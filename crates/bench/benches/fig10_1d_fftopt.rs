@@ -1,0 +1,19 @@
+//! Fig. 10 — 1D FFT optimization (pruning + truncation + zero-padding,
+//! variant A) vs PyTorch.
+use tfno_bench::figures;
+use turbofno::Variant;
+
+fn main() {
+    figures::line_1d(
+        "Fig 10",
+        "1D FFT optimization (variant A) vs PyTorch",
+        &[Variant::FftOpt],
+        &tfno_bench::M_AXIS_1D,
+    );
+    tfno_bench::report::paper_vs_measured(
+        "Fig 10 shape",
+        "70-100% speedup small K -> ~50% large K; grows with M",
+        "see series above",
+        "SHAPE",
+    );
+}

@@ -1,0 +1,18 @@
+//! Fig. 11 — 1D fused FFT-CGEMM (variant B) vs A and PyTorch.
+use tfno_bench::figures;
+use turbofno::Variant;
+
+fn main() {
+    figures::line_1d(
+        "Fig 11",
+        "1D fused FFT-CGEMM (variant B) vs A and PyTorch",
+        &[Variant::FftOpt, Variant::FusedFftGemm],
+        &tfno_bench::BS_AXIS_1D_M,
+    );
+    tfno_bench::report::paper_vs_measured(
+        "Fig 11 shape",
+        "B ~ A + 3-5%; degrades for K >= 128",
+        "see series above (B falls at K=136)",
+        "SHAPE",
+    );
+}

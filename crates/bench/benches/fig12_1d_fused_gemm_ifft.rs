@@ -1,0 +1,18 @@
+//! Fig. 12 — 1D fused CGEMM-iFFT (variant C) vs A, B and PyTorch.
+use tfno_bench::figures;
+use turbofno::Variant;
+
+fn main() {
+    figures::line_1d(
+        "Fig 12",
+        "1D fused CGEMM-iFFT (variant C) vs A, B and PyTorch",
+        &[Variant::FftOpt, Variant::FusedFftGemm, Variant::FusedGemmIfft],
+        &tfno_bench::BS_AXIS_1D_M,
+    );
+    tfno_bench::report::paper_vs_measured(
+        "Fig 12 shape",
+        ">= 50% speedup over PyTorch across sizes",
+        "see series above",
+        "SHAPE",
+    );
+}

@@ -1,0 +1,23 @@
+//! Fig. 13 — 1D fully fused FFT-CGEMM-iFFT (variant D) vs all others.
+use tfno_bench::figures;
+use turbofno::Variant;
+
+fn main() {
+    figures::line_1d(
+        "Fig 13",
+        "1D fully fused FFT-CGEMM-iFFT (variant D) vs A, B, C and PyTorch",
+        &[
+            Variant::FftOpt,
+            Variant::FusedFftGemm,
+            Variant::FusedGemmIfft,
+            Variant::FullyFused,
+        ],
+        &tfno_bench::BS_AXIS_1D_M,
+    );
+    tfno_bench::report::paper_vs_measured(
+        "Fig 13 shape",
+        "up to 150% over PyTorch; +10-20% over partial fusion",
+        "see series above",
+        "SHAPE",
+    );
+}

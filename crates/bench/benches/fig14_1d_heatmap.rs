@@ -1,0 +1,10 @@
+//! Fig. 14 — 1D TurboFNO (best-of) speedup heatmaps vs PyTorch.
+use tfno_bench::figures;
+
+fn main() {
+    tfno_bench::report::header("Fig 14", "1D TurboFNO vs PyTorch heatmaps");
+    let all = figures::heatmap_1d();
+    figures::speedup_summary("Fig 14", &all, "+44% avg", "+250% max");
+    let blues = all.iter().filter(|v| **v < 0.0).count();
+    println!("slowdown cells (paper: small-M / large-K corner only): {blues} of {}", all.len());
+}

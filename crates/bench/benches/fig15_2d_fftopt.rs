@@ -1,0 +1,18 @@
+//! Fig. 15 — 2D FFT optimization (variant A) vs PyTorch.
+use tfno_bench::figures;
+use turbofno::Variant;
+
+fn main() {
+    figures::line_2d(
+        "Fig 15",
+        "2D FFT optimization (variant A) vs PyTorch",
+        &[Variant::FftOpt],
+        &[48, 64, 80, 96, 112, 128, 144],
+    );
+    tfno_bench::report::paper_vs_measured(
+        "Fig 15 shape",
+        "avg > 50% speedup, stable across sizes",
+        "see series above",
+        "SHAPE",
+    );
+}

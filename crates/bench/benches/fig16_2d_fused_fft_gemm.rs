@@ -1,0 +1,18 @@
+//! Fig. 16 — 2D fused FFT-CGEMM (variant B).
+use tfno_bench::figures;
+use turbofno::Variant;
+
+fn main() {
+    figures::line_2d(
+        "Fig 16",
+        "2D fused FFT-CGEMM (variant B) vs A and PyTorch",
+        &[Variant::FftOpt, Variant::FusedFftGemm],
+        &[48, 64, 80, 96],
+    );
+    tfno_bench::report::paper_vs_measured(
+        "Fig 16 shape",
+        "fusion adds only ~1-2% (stage-1 FFT dominates)",
+        "see series above",
+        "SHAPE",
+    );
+}

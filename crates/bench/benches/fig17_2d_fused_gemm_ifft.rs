@@ -1,0 +1,18 @@
+//! Fig. 17 — 2D fused CGEMM-iFFT (variant C).
+use tfno_bench::figures;
+use turbofno::Variant;
+
+fn main() {
+    figures::line_2d(
+        "Fig 17",
+        "2D fused CGEMM-iFFT (variant C) vs A, B and PyTorch",
+        &[Variant::FftOpt, Variant::FusedFftGemm, Variant::FusedGemmIfft],
+        &[48, 64, 80, 96],
+    );
+    tfno_bench::report::paper_vs_measured(
+        "Fig 17 shape",
+        "50-100% over PyTorch; ~1-3% over A",
+        "see series above",
+        "SHAPE",
+    );
+}

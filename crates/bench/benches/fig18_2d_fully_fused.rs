@@ -1,0 +1,23 @@
+//! Fig. 18 — 2D fully fused FFT-CGEMM-iFFT (variant D).
+use tfno_bench::figures;
+use turbofno::Variant;
+
+fn main() {
+    figures::line_2d(
+        "Fig 18",
+        "2D fully fused FFT-CGEMM-iFFT (variant D) vs all",
+        &[
+            Variant::FftOpt,
+            Variant::FusedFftGemm,
+            Variant::FusedGemmIfft,
+            Variant::FullyFused,
+        ],
+        &[48, 64, 80, 96],
+    );
+    tfno_bench::report::paper_vs_measured(
+        "Fig 18 shape",
+        "50-105% over PyTorch; +2-3% over partial fusion",
+        "see series above",
+        "SHAPE",
+    );
+}

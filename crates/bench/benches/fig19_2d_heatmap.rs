@@ -1,0 +1,8 @@
+//! Fig. 19 — 2D TurboFNO (best-of) speedup heatmaps vs PyTorch.
+use tfno_bench::figures;
+
+fn main() {
+    tfno_bench::report::header("Fig 19", "2D TurboFNO vs PyTorch heatmaps");
+    let all = figures::heatmap_2d();
+    figures::speedup_summary("Fig 19", &all, "+67% avg", "+150% max");
+}

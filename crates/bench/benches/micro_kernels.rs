@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks of the simulator itself: functional-execution
+//! throughput of the core kernels and the host-side reference transforms.
+//!
+//! These measure *wall-clock of the simulation*, not modeled GPU time —
+//! they exist to keep the simulator fast enough for the figure sweeps and
+//! to catch accidental complexity regressions in the hot engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tfno_cgemm::{BatchedCgemmKernel, BatchedOperand, GemmShape, MatView, TileConfig};
+use tfno_fft::{host, BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils};
+use tfno_gpu_sim::{ExecMode, GpuDevice};
+use tfno_num::{reference, C32};
+use turbofno::{run_variant_1d, FnoProblem1d, TurboOptions, Variant};
+
+fn signals(n: usize) -> Vec<C32> {
+    (0..n)
+        .map(|i| C32::new((i as f32 * 0.17).sin(), (i as f32 * 0.39).cos()))
+        .collect()
+}
+
+fn bench_host_fft(c: &mut Criterion) {
+    let x = signals(1024);
+    c.bench_function("host_stockham_1024", |b| {
+        b.iter(|| host::stockham(black_box(&x), FftDirection::Forward))
+    });
+    let y = signals(128);
+    c.bench_function("reference_dft_128", |b| {
+        b.iter(|| reference::dft_full(black_box(&y)))
+    });
+}
+
+fn bench_sim_fft_kernel(c: &mut Criterion) {
+    let (n, pencils) = (128usize, 64usize);
+    let mut dev = GpuDevice::a100();
+    let input = dev.alloc("in", pencils * n);
+    let output = dev.alloc("out", pencils * 32);
+    dev.upload(input, &signals(pencils * n));
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(n));
+    let plan = FftPlan::new(n, FftDirection::Forward, n, 32);
+    let addr = RowPencils {
+        count: pencils,
+        in_row_len: n,
+        out_row_len: 32,
+    };
+    let k = BatchedFftKernel::new("bench.fft", cfg, plan, addr, input, output);
+    c.bench_function("sim_fft_64x128pt_functional", |b| {
+        b.iter(|| dev.launch(black_box(&k), ExecMode::Functional))
+    });
+    c.bench_function("sim_fft_64x128pt_analytical", |b| {
+        b.iter(|| dev.launch(black_box(&k), ExecMode::Analytical))
+    });
+}
+
+fn bench_sim_cgemm_kernel(c: &mut Criterion) {
+    let (m, n, kk) = (64usize, 64usize, 32usize);
+    let mut dev = GpuDevice::a100();
+    let a = dev.alloc("A", m * kk);
+    let b_buf = dev.alloc("B", kk * n);
+    let c_buf = dev.alloc("C", m * n);
+    dev.upload(a, &signals(m * kk));
+    dev.upload(b_buf, &signals(kk * n));
+    let kernel = BatchedCgemmKernel::new(
+        "bench.cgemm",
+        TileConfig::table1(),
+        GemmShape {
+            batch: 1,
+            m,
+            n,
+            k: kk,
+        },
+        BatchedOperand {
+            buf: a,
+            view: MatView::row_major(0, kk),
+            batch_stride: 0,
+        },
+        BatchedOperand {
+            buf: b_buf,
+            view: MatView::row_major(0, n),
+            batch_stride: 0,
+        },
+        BatchedOperand {
+            buf: c_buf,
+            view: MatView::row_major(0, n),
+            batch_stride: 0,
+        },
+        C32::ONE,
+        C32::ZERO,
+    );
+    c.bench_function("sim_cgemm_64x64x32_functional", |b| {
+        b.iter(|| dev.launch(black_box(&kernel), ExecMode::Functional))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let p = FnoProblem1d::new(2, 16, 16, 128, 32);
+    c.bench_function("pipeline_1d_fully_fused_functional", |b| {
+        b.iter(|| {
+            let mut dev = GpuDevice::a100();
+            let x = dev.alloc("x", p.input_len());
+            let w = dev.alloc("w", p.weight_len());
+            let y = dev.alloc("y", p.output_len());
+            run_variant_1d(
+                &mut dev,
+                &p,
+                Variant::FullyFused,
+                x,
+                w,
+                y,
+                &TurboOptions::default(),
+                ExecMode::Functional,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_host_fft, bench_sim_fft_kernel, bench_sim_cgemm_kernel, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 1 — CGEMM and FFT kernel parameter setup.
+//!
+//! Prints the kernel configuration this reproduction runs with, next to the
+//! paper's values, and asserts they agree.
+
+use tfno_bench::report;
+use tfno_cgemm::TileConfig;
+use tfno_fft::FftBlockConfig;
+
+fn main() {
+    report::header("Table 1", "CGEMM and FFT kernel parameter setup");
+
+    let t = TileConfig::table1();
+    println!("\nCGEMM   m_tb n_tb k_tb  m_w  n_w  m_t  n_t");
+    println!(
+        "ours    {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>4}",
+        t.m_tb, t.n_tb, t.k_tb, t.m_w, t.n_w, t.m_t, t.n_t
+    );
+    println!("paper     32   32    8   32   16    4    4");
+    assert_eq!(
+        (t.m_tb, t.n_tb, t.k_tb, t.m_w, t.n_w, t.m_t, t.n_t),
+        (32, 32, 8, 32, 16, 4, 4)
+    );
+
+    let f1 = FftBlockConfig::n128();
+    let f2 = FftBlockConfig::n256();
+    println!("\nFFT       N1   N2   n1   n2   bs");
+    println!(
+        "ours    {:>4} {:>4} {:>4} {:>4} {:>4}",
+        f1.n, f2.n, f1.n_thread, f2.n_thread, f1.bs
+    );
+    println!("paper    128  256    8   16    8");
+    assert_eq!((f1.n, f2.n, f1.n_thread, f2.n_thread, f1.bs), (128, 256, 8, 16, 8));
+
+    println!(
+        "\nderived: threads/block = {} (both FFT configs), CGEMM warps/block = {}",
+        f1.threads_per_block(),
+        t.warps()
+    );
+    report::paper_vs_measured(
+        "Table 1 kernel parameters",
+        "as printed",
+        "identical",
+        "MATCH",
+    );
+}

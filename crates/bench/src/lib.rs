@@ -1,0 +1,178 @@
+//! # tfno-bench
+//!
+//! Shared harness for the per-figure benchmark targets (see
+//! `crates/bench/benches/`). Each paper figure/table has one bench target
+//! with `harness = false` that sweeps the paper's parameter grid through
+//! the *analytical* simulator path (virtual buffers, representative-block
+//! execution) and prints the same rows/series the paper reports, plus a
+//! paper-vs-measured summary consumed by EXPERIMENTS.md.
+
+use tfno_culib::{FnoProblem1d, FnoProblem2d};
+use tfno_gpu_sim::{DeviceConfig, ExecMode, GpuDevice};
+use turbofno::{run_variant_1d, run_variant_2d, PipelineRun, TurboOptions, Variant};
+
+pub mod figures;
+pub mod report;
+
+/// Default evaluation geometry used across the 1D figures: 128-point FFT
+/// with 50% truncation, matching the paper's headline configuration.
+pub const DEFAULT_N_1D: usize = 128;
+pub const DEFAULT_NF_1D: usize = 64;
+
+/// Run one 1D variant analytically on virtual buffers; returns the
+/// pipeline record (modeled time + stats).
+pub fn measure_1d(cfg: &DeviceConfig, p: &FnoProblem1d, variant: Variant) -> PipelineRun {
+    measure_1d_opts(cfg, p, variant, &TurboOptions::default())
+}
+
+pub fn measure_1d_opts(
+    cfg: &DeviceConfig,
+    p: &FnoProblem1d,
+    variant: Variant,
+    opts: &TurboOptions,
+) -> PipelineRun {
+    let mut dev = GpuDevice::new(cfg.clone());
+    let x = dev.memory.alloc_virtual("x", p.input_len());
+    let w = dev.memory.alloc_virtual("w", p.weight_len());
+    let y = dev.memory.alloc_virtual("y", p.output_len());
+    run_variant_1d(&mut dev, p, variant, x, w, y, opts, ExecMode::Analytical)
+}
+
+/// Run one 2D variant analytically on virtual buffers.
+pub fn measure_2d(cfg: &DeviceConfig, p: &FnoProblem2d, variant: Variant) -> PipelineRun {
+    measure_2d_opts(cfg, p, variant, &TurboOptions::default())
+}
+
+pub fn measure_2d_opts(
+    cfg: &DeviceConfig,
+    p: &FnoProblem2d,
+    variant: Variant,
+    opts: &TurboOptions,
+) -> PipelineRun {
+    let mut dev = GpuDevice::new(cfg.clone());
+    let x = dev.memory.alloc_virtual("x", p.input_len());
+    let w = dev.memory.alloc_virtual("w", p.weight_len());
+    let y = dev.memory.alloc_virtual("y", p.output_len());
+    run_variant_2d(&mut dev, p, variant, x, w, y, opts, ExecMode::Analytical)
+}
+
+/// The paper's y-axis: "Performance vs PyTorch (%)", where 100 = parity.
+pub fn perf_pct(pytorch_us: f64, variant_us: f64) -> f64 {
+    100.0 * pytorch_us / variant_us
+}
+
+/// Speedup in percent over PyTorch (the heatmap metric: 0 = parity).
+pub fn speedup_pct(pytorch_us: f64, variant_us: f64) -> f64 {
+    100.0 * (pytorch_us / variant_us - 1.0)
+}
+
+/// Modeled times of every concrete variant at one evaluation point (us).
+#[derive(Clone, Copy, Debug)]
+pub struct VariantTimes {
+    pub pytorch: f64,
+    pub fft_opt: f64,
+    pub fused_fft_gemm: f64,
+    pub fused_gemm_ifft: f64,
+    pub fully_fused: f64,
+}
+
+impl VariantTimes {
+    /// The best Turbo variant (the paper's "TurboFNO" = variant E).
+    pub fn best_turbo(&self) -> f64 {
+        self.fft_opt
+            .min(self.fused_fft_gemm)
+            .min(self.fused_gemm_ifft)
+            .min(self.fully_fused)
+    }
+
+    pub fn of(&self, v: Variant) -> f64 {
+        match v {
+            Variant::Pytorch => self.pytorch,
+            Variant::FftOpt => self.fft_opt,
+            Variant::FusedFftGemm => self.fused_fft_gemm,
+            Variant::FusedGemmIfft => self.fused_gemm_ifft,
+            Variant::FullyFused => self.fully_fused,
+            Variant::TurboBest => self.best_turbo(),
+        }
+    }
+}
+
+/// Measure all concrete variants of a 1D point.
+pub fn sweep_1d(cfg: &DeviceConfig, p: &FnoProblem1d) -> VariantTimes {
+    VariantTimes {
+        pytorch: measure_1d(cfg, p, Variant::Pytorch).total_us(),
+        fft_opt: measure_1d(cfg, p, Variant::FftOpt).total_us(),
+        fused_fft_gemm: measure_1d(cfg, p, Variant::FusedFftGemm).total_us(),
+        fused_gemm_ifft: measure_1d(cfg, p, Variant::FusedGemmIfft).total_us(),
+        fully_fused: measure_1d(cfg, p, Variant::FullyFused).total_us(),
+    }
+}
+
+/// Measure all concrete variants of a 2D point.
+pub fn sweep_2d(cfg: &DeviceConfig, p: &FnoProblem2d) -> VariantTimes {
+    VariantTimes {
+        pytorch: measure_2d(cfg, p, Variant::Pytorch).total_us(),
+        fft_opt: measure_2d(cfg, p, Variant::FftOpt).total_us(),
+        fused_fft_gemm: measure_2d(cfg, p, Variant::FusedFftGemm).total_us(),
+        fused_gemm_ifft: measure_2d(cfg, p, Variant::FusedGemmIfft).total_us(),
+        fully_fused: measure_2d(cfg, p, Variant::FullyFused).total_us(),
+    }
+}
+
+/// The paper's K axis for the 1D line figures: 16..136 step 8.
+pub fn k_axis_1d() -> Vec<usize> {
+    (16..=136).step_by(8).collect()
+}
+
+/// The paper's BS axis for Figs. 11–13 (b)–(d).
+pub const BS_AXIS_1D: [usize; 4] = [64, 256, 1024, 4096];
+
+/// The same BS axis expressed in GEMM-M rows (`BS x nf`, `nf = 32`), the
+/// unit `figures::line_1d` sweeps.
+pub const BS_AXIS_1D_M: [usize; 4] = [64 * 32, 256 * 32, 1024 * 32, 4096 * 32];
+
+/// The paper's M axis for Fig. 10 (b)–(d).
+pub const M_AXIS_1D: [usize; 7] = [64, 256, 1024, 4096, 16384, 65536, 262144];
+
+/// 1D problem for a (K, total-M) evaluation point: `M = batch * nf` GEMM
+/// rows, signal length `n`, retained modes `nf`, square hidden dims.
+pub fn problem_1d(k: usize, m_total: usize, n: usize, nf: usize) -> FnoProblem1d {
+    let batch = (m_total / nf).max(1);
+    FnoProblem1d::new(batch, k, k, n, nf)
+}
+
+/// 2D problem for a (K, batch) point at resolution `nx x ny` keeping an
+/// `nf x nf` corner (the paper's "N = 64/128" label).
+pub fn problem_2d(k: usize, batch: usize, nx: usize, ny: usize, nf: usize) -> FnoProblem2d {
+    FnoProblem2d::new(batch, k, k, nx, ny, nf.min(nx), nf.min(ny))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_metrics() {
+        assert!((perf_pct(200.0, 100.0) - 200.0).abs() < 1e-9);
+        assert!((speedup_pct(150.0, 100.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_smoke_1d() {
+        let cfg = DeviceConfig::a100();
+        let p = problem_1d(32, 4096, 128, 64);
+        let pt = measure_1d(&cfg, &p, Variant::Pytorch);
+        let a = measure_1d(&cfg, &p, Variant::FftOpt);
+        assert!(pt.total_us() > 0.0 && a.total_us() > 0.0);
+        assert_eq!(pt.kernel_count(), 5);
+        assert_eq!(a.kernel_count(), 3);
+    }
+
+    #[test]
+    fn measurement_smoke_2d() {
+        let cfg = DeviceConfig::a100();
+        let p = problem_2d(32, 8, 256, 128, 64);
+        let pt = measure_2d(&cfg, &p, Variant::Pytorch);
+        assert_eq!(pt.kernel_count(), 7);
+    }
+}

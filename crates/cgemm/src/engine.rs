@@ -1,0 +1,257 @@
+//! The CGEMM block engine: main loop of Fig. 9 (left), reusable by the
+//! fused kernels.
+//!
+//! One call to [`CgemmBlockEngine::run_mainloop`] executes a thread block's
+//! whole `k`-loop: stage the `A`/`B` tiles into double-buffered shared
+//! memory, then per `k_tb`-chunk run the warp/thread-tiled multiply-
+//! accumulate with fragments loaded from shared memory. The `A` tile can
+//! come from global memory (standalone GEMM) or from a custom provider —
+//! the hook the fused FFT→CGEMM kernel uses to write FFT output straight
+//! into `As` (paper §4.1).
+//!
+//! The accumulators are returned as [`CFragments`] so the caller chooses an
+//! epilogue: [`store_c_global`] (standalone, `alpha/beta` supported) or the
+//! fused CGEMM→iFFT epilogue in the `turbofno` crate (paper §4.2).
+
+use crate::tile::TileConfig;
+use crate::view::MatView;
+use tfno_gpu_sim::{BlockCtx, BufferId, WarpIdx, WARP_SIZE};
+use tfno_num::C32;
+
+/// Where the `A` tile of each `k`-chunk comes from.
+pub enum AProvider<'a> {
+    /// Load from a global buffer; `view.at(m_local, k_global)`.
+    Global { buf: BufferId, view: MatView },
+    /// Custom filler: called as `(ctx, k0, as_base)` and must store the
+    /// `m_tb x k_tb` chunk (column-major, `as_base + kt * m_tb + m`) into
+    /// shared memory itself. Used by the fused FFT→CGEMM kernel.
+    Custom(&'a mut (dyn FnMut(&mut BlockCtx<'_>, usize, usize) + Send)),
+}
+
+/// `B` operand (always global in this pipeline; `view.at(k_global, n_local)`).
+pub struct BOperand {
+    pub buf: BufferId,
+    pub view: MatView,
+}
+
+/// Per-thread register accumulators of one block.
+pub struct CFragments {
+    pub tile: TileConfig,
+    /// `acc[tid * m_t * n_t + i * n_t + j]`
+    pub acc: Vec<C32>,
+}
+
+impl CFragments {
+    pub fn get(&self, tid: usize, i: usize, j: usize) -> C32 {
+        self.acc[tid * self.tile.m_t * self.tile.n_t + i * self.tile.n_t + j]
+    }
+
+    /// Tile-local `(m, n)` origin of a thread's register tile.
+    pub fn thread_origin(tile: &TileConfig, tid: usize) -> (usize, usize) {
+        let warp = tid / WARP_SIZE;
+        let lane = tid % WARP_SIZE;
+        let warps_m = tile.m_tb / tile.m_w;
+        let wm = warp % warps_m;
+        let wn = warp / warps_m;
+        let tm = lane % tile.lanes_m();
+        let tn = lane / tile.lanes_m();
+        (
+            wm * tile.m_w + tm * tile.m_t,
+            wn * tile.n_w + tn * tile.n_t,
+        )
+    }
+}
+
+/// The block-level GEMM main loop.
+pub struct CgemmBlockEngine {
+    pub tile: TileConfig,
+    pub k_total: usize,
+}
+
+impl CgemmBlockEngine {
+    /// Shared elements the double-buffered tiles need.
+    pub fn shared_elems(&self) -> usize {
+        self.tile.shared_elems()
+    }
+
+    /// Shared elements when `A` comes from a custom provider: the paper
+    /// single-buffers `As` in that case ("there is no need to apply double
+    /// buffering to the A block", §3.1).
+    pub fn shared_elems_custom_a(&self) -> usize {
+        self.tile.m_tb * self.tile.k_tb + 2 * self.tile.k_tb * self.tile.n_tb
+    }
+
+    /// Execute the main loop; returns the C accumulators.
+    ///
+    /// * `active_m`/`active_n` — valid extent of this block's tile (partial
+    ///   edge tiles predicate the excess lanes off).
+    /// * `shared_base` — element offset where this engine's staging starts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mainloop(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        a: &mut AProvider<'_>,
+        b: &BOperand,
+        active_m: usize,
+        active_n: usize,
+        shared_base: usize,
+    ) -> CFragments {
+        let tile = self.tile;
+        tile.validate();
+        let (ms, ns, ks) = (tile.m_tb, tile.n_tb, tile.k_tb);
+        let threads = tile.threads();
+        // A is double-buffered only when loaded from global memory; a custom
+        // provider (the fused FFT) synchronizes anyway, so As is single-
+        // buffered (paper §3.1).
+        let (as_base, as_stride, bs_base) = match a {
+            AProvider::Global { .. } => (shared_base, ms * ks, shared_base + 2 * ms * ks),
+            AProvider::Custom(_) => (shared_base, 0, shared_base + ms * ks),
+        };
+
+        let mut acc = vec![C32::ZERO; threads * tile.m_t * tile.n_t];
+        let chunks = self.k_total.div_ceil(ks);
+
+        for chunk in 0..chunks {
+            let k0 = chunk * ks;
+            let active_k = ks.min(self.k_total - k0);
+            let buf = chunk % 2;
+            let as_buf = as_base + buf * as_stride;
+            let bs_buf = bs_base + buf * ks * ns;
+
+            // ---- stage A tile ----
+            match a {
+                AProvider::Global { buf: abuf, view } => {
+                    for kt in 0..active_k {
+                        let mut m = 0;
+                        while m < active_m {
+                            let idx_g = WarpIdx::from_fn(|l| {
+                                (m + l < active_m).then(|| view.at(m + l, k0 + kt))
+                            });
+                            let vals = ctx.global_read(*abuf, &idx_g);
+                            let idx_s = WarpIdx::from_fn(|l| {
+                                (m + l < active_m).then(|| as_buf + kt * ms + m + l)
+                            });
+                            ctx.shared_store(&idx_s, &vals);
+                            m += WARP_SIZE;
+                        }
+                    }
+                }
+                AProvider::Custom(f) => f(ctx, k0, as_buf),
+            }
+
+            // ---- stage B tile ----
+            for kt in 0..active_k {
+                let mut n = 0;
+                while n < active_n {
+                    let idx_g = WarpIdx::from_fn(|l| {
+                        (n + l < active_n).then(|| b.view.at(k0 + kt, n + l))
+                    });
+                    let vals = ctx.global_read(b.buf, &idx_g);
+                    let idx_s = WarpIdx::from_fn(|l| {
+                        (n + l < active_n).then(|| bs_buf + kt * ns + n + l)
+                    });
+                    ctx.shared_store(&idx_s, &vals);
+                    n += WARP_SIZE;
+                }
+            }
+
+            ctx.syncthreads();
+
+            // ---- compute: per warp, per kt: fragment loads + MACs ----
+            // Fragment loads are vectorized (LDS.128-class): each thread
+            // pulls its m_t / n_t consecutive elements in one wide access —
+            // the conflict-free pattern production GEMMs use.
+            for w in 0..tile.warps() {
+                for kt in 0..active_k {
+                    let idx_a = WarpIdx::from_fn(|l| {
+                        let tid = w * WARP_SIZE + l;
+                        let (m0, _n0) = CFragments::thread_origin(&tile, tid);
+                        (m0 < active_m).then(|| as_buf + kt * ms + m0)
+                    });
+                    let at = ctx.shared_load_wide(&idx_a, tile.m_t);
+                    let idx_b = WarpIdx::from_fn(|l| {
+                        let tid = w * WARP_SIZE + l;
+                        let (_m0, n0) = CFragments::thread_origin(&tile, tid);
+                        (n0 < active_n).then(|| bs_buf + kt * ns + n0)
+                    });
+                    let bt = ctx.shared_load_wide(&idx_b, tile.n_t);
+                    // MACs.
+                    let mut flops = 0u64;
+                    for l in 0..WARP_SIZE {
+                        let tid = w * WARP_SIZE + l;
+                        let (m0, n0) = CFragments::thread_origin(&tile, tid);
+                        for i in 0..tile.m_t {
+                            if m0 + i >= active_m {
+                                continue;
+                            }
+                            for j in 0..tile.n_t {
+                                if n0 + j >= active_n {
+                                    continue;
+                                }
+                                let idx = tid * tile.m_t * tile.n_t + i * tile.n_t + j;
+                                acc[idx] = acc[idx].mac(at[i][l], bt[j][l]);
+                                flops += tfno_num::FLOPS_PER_CMAC;
+                            }
+                        }
+                    }
+                    ctx.add_flops(flops);
+                }
+            }
+
+            ctx.syncthreads();
+        }
+
+        CFragments { tile, acc }
+    }
+}
+
+/// Standard epilogue: `C = alpha * acc + beta * C` written to global memory.
+/// `c_view.at(m_local, n_local)`.
+#[allow(clippy::too_many_arguments)]
+pub fn store_c_global(
+    ctx: &mut BlockCtx<'_>,
+    frags: &CFragments,
+    buf: BufferId,
+    c_view: &MatView,
+    active_m: usize,
+    active_n: usize,
+    alpha: C32,
+    beta: C32,
+) {
+    let tile = frags.tile;
+    for w in 0..tile.warps() {
+        for i in 0..tile.m_t {
+            for j in 0..tile.n_t {
+                let lane_mn = |l: usize| {
+                    let tid = w * WARP_SIZE + l;
+                    let (m0, n0) = CFragments::thread_origin(&tile, tid);
+                    let (m, n) = (m0 + i, n0 + j);
+                    (m < active_m && n < active_n).then_some((m, n))
+                };
+                let idx = WarpIdx::from_fn(|l| lane_mn(l).map(|(m, n)| c_view.at(m, n)));
+                let old = if beta != C32::ZERO {
+                    ctx.global_read(buf, &idx)
+                } else {
+                    [C32::ZERO; WARP_SIZE]
+                };
+                let mut vals = [C32::ZERO; WARP_SIZE];
+                let mut flops = 0u64;
+                for l in 0..WARP_SIZE {
+                    if lane_mn(l).is_none() {
+                        continue;
+                    }
+                    let tid = w * WARP_SIZE + l;
+                    let a = frags.get(tid, i, j);
+                    vals[l] = if alpha == C32::ONE && beta == C32::ZERO {
+                        a
+                    } else {
+                        flops += 12;
+                        alpha * a + beta * old[l]
+                    };
+                }
+                ctx.add_flops(flops);
+                ctx.global_write(buf, &idx, &vals);
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # tfno-cgemm
+//!
+//! The blocked complex GEMM of the TurboFNO reproduction (paper §3.1,
+//! Fig. 3 left, Fig. 9 left, Table 1): a CUDA-core-class CGEMM with
+//! double-buffered shared-memory tiles and warp/thread two-level register
+//! tiling, implemented against the simulated GPU.
+//!
+//! The crate deliberately splits the *main loop* ([`engine`]) from the
+//! *kernel driver* ([`kernel`]): the fused FFT-CGEMM-iFFT kernels in the
+//! `turbofno` crate reuse the exact main loop with a custom `A` provider
+//! (the FFT writes straight into the `As` tile) and a custom epilogue (the
+//! iFFT consumes `C` from shared memory).
+
+pub mod engine;
+pub mod kernel;
+pub mod tile;
+pub mod tuner;
+pub mod view;
+
+pub use engine::{store_c_global, AProvider, BOperand, CFragments, CgemmBlockEngine};
+pub use tuner::{candidate_tiles, evaluate_tile, tune, verify_tile, TunedTile};
+pub use kernel::{BatchedCgemmKernel, BatchedOperand, GemmShape};
+pub use tile::TileConfig;
+pub use view::MatView;

@@ -1,0 +1,93 @@
+//! Strided matrix views over device buffers.
+//!
+//! The FNO pipeline never materializes packed matrices: the GEMM operands
+//! live inside `[batch, hidden, spatial...]` tensors. A [`MatView`] maps
+//! `(row, col)` to an element index with independent strides, which covers
+//! every layout the pipeline needs (packed, channel-major, mode-strided
+//! 2D slices).
+
+/// Affine 2D view: element of `(row, col)` is
+/// `base + row * row_stride + col * col_stride`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatView {
+    pub base: usize,
+    pub row_stride: usize,
+    pub col_stride: usize,
+}
+
+impl MatView {
+    /// Packed row-major `rows x cols` matrix at `base`.
+    pub fn row_major(base: usize, cols: usize) -> Self {
+        MatView {
+            base,
+            row_stride: cols,
+            col_stride: 1,
+        }
+    }
+
+    /// Packed column-major `rows x cols` matrix at `base`.
+    pub fn col_major(base: usize, rows: usize) -> Self {
+        MatView {
+            base,
+            row_stride: 1,
+            col_stride: rows,
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> usize {
+        self.base + row * self.row_stride + col * self.col_stride
+    }
+
+    /// The view shifted by a tile origin.
+    pub fn tile(&self, row0: usize, col0: usize) -> MatView {
+        MatView {
+            base: self.at(row0, col0),
+            row_stride: self.row_stride,
+            col_stride: self.col_stride,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_addressing() {
+        let v = MatView::row_major(100, 8);
+        assert_eq!(v.at(0, 0), 100);
+        assert_eq!(v.at(2, 3), 100 + 16 + 3);
+    }
+
+    #[test]
+    fn col_major_addressing() {
+        let v = MatView::col_major(0, 16);
+        assert_eq!(v.at(3, 2), 3 + 32);
+    }
+
+    #[test]
+    fn tiling_composes() {
+        let v = MatView::row_major(0, 64);
+        let t = v.tile(32, 16);
+        assert_eq!(t.at(0, 0), v.at(32, 16));
+        assert_eq!(t.at(1, 2), v.at(33, 18));
+    }
+
+    #[test]
+    fn channel_major_fno_layout() {
+        // A = Xf viewed from a [K, Nf] tensor slice: row = mode f,
+        // col = hidden k  ->  addr = k * nf + f.
+        let (k, nf) = (4usize, 8usize);
+        let v = MatView {
+            base: 0,
+            row_stride: 1,
+            col_stride: nf,
+        };
+        for kk in 0..k {
+            for f in 0..nf {
+                assert_eq!(v.at(f, kk), kk * nf + f);
+            }
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The fused FFT–CGEMM–iFFT kernels (paper §4, Figs. 6 and 9 right).
+//!
+//! One generic kernel implements all three fusion levels via two flags:
+//!
+//! * `fuse_fft` — the CGEMM `A` operand is produced *inside* the k-loop by
+//!   the forward FFT writing its truncated output straight into the `As`
+//!   shared tile (§4.1). With it off, `A` is read from global memory (the
+//!   separate-FFT variants).
+//! * `fuse_ifft` — the inverse FFT runs as a CGEMM epilogue: the `C`
+//!   accumulators are staged into shared memory (with the Fig. 8 swizzle)
+//!   and transformed in place, writing final spatial-domain rows to global
+//!   memory (§4.2). With it off, `C` is stored to global memory.
+//!
+//! The geometry of the surrounding tensor (1D layer or the second stage of
+//! a 2D layer) is abstracted by [`FusedGeometry`].
+//!
+//! Key structural constraint inherited from the paper's configuration: the
+//! block's `m_tb` equals the retained mode count (`N = 64/128` in Table 1's
+//! evaluation), so each block owns a complete mode pencil and no butterfly
+//! work crosses blocks.
+
+use crate::swizzle::{EpilogueStaging, ForwardLayout};
+use tfno_cgemm::{AProvider, BOperand, CFragments, CgemmBlockEngine, MatView, TileConfig};
+use tfno_fft::{FftBlockEngine, FftIo, FftPlan, InstanceOrder, PencilTarget};
+use tfno_gpu_sim::{BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx, WARP_SIZE};
+use tfno_num::{C32, C32_BYTES};
+
+/// Pencils per FFT batch inside the fused kernel — Table 1's `bs = 8`,
+/// chosen to equal the CGEMM `k_tb`.
+pub const FUSED_FFT_BS: usize = 8;
+
+/// log2 of the per-thread FFT size for a given signal length (Table 1's
+/// `n_1 = 8` / `n_2 = 16` scaling), for the engine's register grouping.
+fn reg_bits_for(n: usize) -> usize {
+    tfno_fft::FftBlockConfig::for_len(n)
+        .n_thread
+        .max(1)
+        .trailing_zeros() as usize
+}
+
+/// Tensor geometry seen by the fused kernel.
+pub trait FusedGeometry: Sync {
+    /// Blocks along the non-tiled axes (batch for 1D; batch x nfy for 2D).
+    fn outer_blocks(&self) -> usize;
+    fn k_in(&self) -> usize;
+    fn k_out(&self) -> usize;
+    /// Length of the fused FFT (spatial extent along the transformed axis).
+    fn fft_len(&self) -> usize;
+    /// Retained modes along the transformed axis (= the tile's `m_tb`).
+    fn modes(&self) -> usize;
+    /// Element address of FFT input `(outer, hidden k, spatial idx)`.
+    fn x_addr(&self, outer: usize, k: usize, idx: usize) -> usize;
+    /// `A` view when the forward FFT is *not* fused (reads pre-truncated
+    /// modes): `view.at(m, k_global)`.
+    fn a_view(&self, outer: usize) -> MatView;
+    /// `C` view when the inverse FFT is *not* fused (stores truncated
+    /// modes): `view.at(m, n_local)`, already offset to channel `n0`.
+    fn c_view(&self, outer: usize, n0: usize) -> MatView;
+    /// Element address of iFFT output `(outer, channel, spatial idx)`.
+    fn y_addr(&self, outer: usize, ch: usize, idx: usize) -> usize;
+
+    /// Equivalence classes of `outer` indices whose blocks issue identical
+    /// access *patterns* (same sector/bank counts). Geometries whose
+    /// addresses shift by non-sector-aligned amounts across `outer` must
+    /// split classes by alignment phase.
+    fn outer_classes(&self) -> Vec<(usize, u64)> {
+        vec![(0, self.outer_blocks() as u64)]
+    }
+
+    /// Phase-serialization factors `(fully_fused, single_fusion)` for the
+    /// cost model. 2D fused kernels overlap worse than 1D ones: their
+    /// per-outer working set (one fx slice) is smaller, so the k-loop's
+    /// FFT/MAC dependency chain leaves less independent work in flight —
+    /// consistent with the paper's near-zero 2D fusion gains (§5.2 B.2).
+    fn serialization(&self) -> (f64, f64) {
+        (0.40, 0.30)
+    }
+}
+
+/// 1D Fourier layer geometry (`[batch, k, n]` tensors).
+#[derive(Clone, Copy, Debug)]
+pub struct Geom1d {
+    pub batch: usize,
+    pub k_in: usize,
+    pub k_out: usize,
+    pub n: usize,
+    pub nf: usize,
+}
+
+impl FusedGeometry for Geom1d {
+    fn outer_blocks(&self) -> usize {
+        self.batch
+    }
+    fn k_in(&self) -> usize {
+        self.k_in
+    }
+    fn k_out(&self) -> usize {
+        self.k_out
+    }
+    fn fft_len(&self) -> usize {
+        self.n
+    }
+    fn modes(&self) -> usize {
+        self.nf
+    }
+    fn x_addr(&self, outer: usize, k: usize, idx: usize) -> usize {
+        (outer * self.k_in + k) * self.n + idx
+    }
+    fn a_view(&self, outer: usize) -> MatView {
+        MatView {
+            base: outer * self.k_in * self.nf,
+            row_stride: 1,
+            col_stride: self.nf,
+        }
+    }
+    fn c_view(&self, outer: usize, n0: usize) -> MatView {
+        MatView {
+            base: (outer * self.k_out + n0) * self.nf,
+            row_stride: 1,
+            col_stride: self.nf,
+        }
+    }
+    fn y_addr(&self, outer: usize, ch: usize, idx: usize) -> usize {
+        (outer * self.k_out + ch) * self.n + idx
+    }
+}
+
+/// Geometry of the 2D layer's fused middle.
+///
+/// The paper keeps the *first* FFT stage (along the strided width axis,
+/// here X) as a standalone kernel and fuses the *second* stage, which runs
+/// along the innermost, contiguous axis (here Y) — that is what makes the
+/// k-loop-ordered loads of the fused kernel coalesced (§2.3 / Fig. 6).
+///
+/// Input is therefore the x-truncated stage-1 output `[batch, k, nfx, ny]`
+/// (contiguous Y rows); output is either truncated modes
+/// `[batch, k_out, nfx, nfy]` or the y-restored tensor
+/// `[batch, k_out, nfx, ny]` when the inverse stage is fused too.
+#[derive(Clone, Copy, Debug)]
+pub struct Geom2d {
+    pub batch: usize,
+    pub k_in: usize,
+    pub k_out: usize,
+    /// Spatial extent of the fused (contiguous) axis.
+    pub ny: usize,
+    /// Retained modes along the fused axis (= `m_tb`).
+    pub nfy: usize,
+    /// Retained modes along the already-transformed strided axis.
+    pub nfx: usize,
+}
+
+impl Geom2d {
+    fn split(&self, outer: usize) -> (usize, usize) {
+        (outer / self.nfx, outer % self.nfx)
+    }
+}
+
+impl FusedGeometry for Geom2d {
+    fn outer_blocks(&self) -> usize {
+        self.batch * self.nfx
+    }
+    fn k_in(&self) -> usize {
+        self.k_in
+    }
+    fn k_out(&self) -> usize {
+        self.k_out
+    }
+    fn fft_len(&self) -> usize {
+        self.ny
+    }
+    fn modes(&self) -> usize {
+        self.nfy
+    }
+    fn x_addr(&self, outer: usize, k: usize, idx: usize) -> usize {
+        let (b, fx) = self.split(outer);
+        ((b * self.k_in + k) * self.nfx + fx) * self.ny + idx
+    }
+    fn a_view(&self, outer: usize) -> MatView {
+        let (b, fx) = self.split(outer);
+        MatView {
+            base: (b * self.k_in * self.nfx + fx) * self.nfy,
+            row_stride: 1,
+            col_stride: self.nfx * self.nfy,
+        }
+    }
+    fn c_view(&self, outer: usize, n0: usize) -> MatView {
+        let (b, fx) = self.split(outer);
+        MatView {
+            base: ((b * self.k_out + n0) * self.nfx + fx) * self.nfy,
+            row_stride: 1,
+            col_stride: self.nfx * self.nfy,
+        }
+    }
+    fn y_addr(&self, outer: usize, ch: usize, idx: usize) -> usize {
+        let (b, fx) = self.split(outer);
+        ((b * self.k_out + ch) * self.nfx + fx) * self.ny + idx
+    }
+
+    fn serialization(&self) -> (f64, f64) {
+        (0.85, 0.65)
+    }
+
+    fn outer_classes(&self) -> Vec<(usize, u64)> {
+        // Every base address is a multiple of nfy / ny elements; with
+        // nfy % 4 == 0 all outers share one sector-alignment phase.
+        if self.nfy % 4 == 0 {
+            return vec![(0, self.outer_blocks() as u64)];
+        }
+        // Group outers by the sector phase of their base addresses.
+        let mut rep: [Option<usize>; 4] = [None; 4];
+        let mut count = [0u64; 4];
+        for fx in 0..self.nfx {
+            let ph = (fx * self.nfy) % 4;
+            if rep[ph].is_none() {
+                rep[ph] = Some(fx);
+            }
+            count[ph] += 1;
+        }
+        (0..4)
+            .filter_map(|ph| rep[ph].map(|r| (r, count[ph] * self.batch as u64)))
+            .collect()
+    }
+}
+
+/// The fused kernel (variants B, C and D of the evaluation).
+pub struct FusedKernel<G: FusedGeometry> {
+    pub name: String,
+    pub geom: G,
+    pub fuse_fft: bool,
+    pub fuse_ifft: bool,
+    pub tile: TileConfig,
+    pub fwd_plan: FftPlan,
+    pub inv_plan: FftPlan,
+    /// `x` (fused FFT) or pre-truncated modes (separate FFT).
+    pub input: BufferId,
+    /// Weights `[k_in, k_out]` row-major.
+    pub w: BufferId,
+    /// `y` rows (fused iFFT) or truncated modes (separate iFFT).
+    pub output: BufferId,
+    pub forward_layout: ForwardLayout,
+    pub epilogue_swizzle: bool,
+    pub l1_hit_rate: f64,
+}
+
+impl<G: FusedGeometry> FusedKernel<G> {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        geom: G,
+        fuse_fft: bool,
+        fuse_ifft: bool,
+        n_tb: usize,
+        input: BufferId,
+        w: BufferId,
+        output: BufferId,
+        l1_hit_rate: f64,
+    ) -> Self {
+        assert!(fuse_fft || fuse_ifft, "use BatchedCgemmKernel when nothing is fused");
+        let modes = geom.modes();
+        assert!(
+            modes % 32 == 0,
+            "fused kernels need the retained mode count ({modes}) to be a multiple of the warp M-tile"
+        );
+        let tile = TileConfig::for_fused(modes, n_tb);
+        tile.validate();
+        let n = geom.fft_len();
+        let fwd_plan = FftPlan::new(n, tfno_fft::FftDirection::Forward, n, modes);
+        let inv_plan = FftPlan::new(n, tfno_fft::FftDirection::Inverse, modes, n);
+        FusedKernel {
+            name: name.into(),
+            geom,
+            fuse_fft,
+            fuse_ifft,
+            tile,
+            fwd_plan,
+            inv_plan,
+            input,
+            w,
+            output,
+            forward_layout: ForwardLayout::TurboContiguous,
+            epilogue_swizzle: true,
+            l1_hit_rate,
+        }
+    }
+
+    pub fn with_forward_layout(mut self, layout: ForwardLayout) -> Self {
+        self.forward_layout = layout;
+        self
+    }
+
+    pub fn with_epilogue_swizzle(mut self, on: bool) -> Self {
+        self.epilogue_swizzle = on;
+        self
+    }
+
+    fn n_tiles(&self) -> usize {
+        self.geom.k_out().div_ceil(self.tile.n_tb)
+    }
+
+    fn grid(&self) -> usize {
+        self.geom.outer_blocks() * self.n_tiles()
+    }
+
+    fn staging(&self) -> EpilogueStaging {
+        EpilogueStaging {
+            ms: self.tile.m_tb,
+            swizzled: self.epilogue_swizzle,
+        }
+    }
+
+    /// Shared-memory layout: [GEMM tiles][FFT ping/pong][epilogue staging].
+    fn shared_layout(&self) -> (usize, usize, usize) {
+        let engine = CgemmBlockEngine {
+            tile: self.tile,
+            k_total: self.geom.k_in(),
+        };
+        let gemm = if self.fuse_fft {
+            engine.shared_elems_custom_a()
+        } else {
+            engine.shared_elems()
+        };
+        let fft_base = gemm;
+        let fft = if self.fuse_fft || self.fuse_ifft {
+            FftBlockEngine::staging_elems(self.geom.fft_len(), FUSED_FFT_BS)
+        } else {
+            0
+        };
+        let staging_base = fft_base + fft;
+        let staging = if self.fuse_ifft {
+            self.staging().elems(FUSED_FFT_BS)
+        } else {
+            0
+        };
+        (fft_base, staging_base, staging_base + staging)
+    }
+}
+
+impl<G: FusedGeometry> Kernel for FusedKernel<G> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn dims(&self) -> LaunchDims {
+        let (_, _, total_elems) = self.shared_layout();
+        // Blend the dataflow-dependent hit rate of the bulk loads with the
+        // near-perfect reuse of the weight matrix (every block re-reads the
+        // same [k_in, n_tb] tiles; only the first read misses L2).
+        let g = &self.geom;
+        let bulk_bytes = if self.fuse_fft {
+            self.grid() * FUSED_FFT_BS * g.fft_len() * C32_BYTES * g.k_in().div_ceil(FUSED_FFT_BS)
+        } else {
+            self.grid() * g.modes() * g.k_in() * C32_BYTES
+        } as f64;
+        let w_bytes = (self.grid() * g.k_in() * self.tile.n_tb * C32_BYTES) as f64;
+        let blended = (bulk_bytes * self.l1_hit_rate + w_bytes * 0.95) / (bulk_bytes + w_bytes);
+        // Fusion serializes its sync-separated FFT / MAC / epilogue phases
+        // against each other far more than a homogeneous streaming kernel.
+        let (serial_full, serial_single) = self.geom.serialization();
+        let serial = if self.fuse_fft && self.fuse_ifft {
+            serial_full
+        } else {
+            serial_single
+        };
+        LaunchDims::new(self.grid(), self.tile.threads() as u32)
+            .with_shared(total_elems * C32_BYTES)
+            .with_regs(self.tile.regs_per_thread() + 16)
+            .with_l1_hit_rate(blended)
+            .with_serialization(serial)
+    }
+
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_>) {
+        let geom = &self.geom;
+        let tile = self.tile;
+        let (fft_base, staging_base, _) = self.shared_layout();
+        let outer = block_id / self.n_tiles();
+        let ntile = block_id % self.n_tiles();
+        let n0 = ntile * tile.n_tb;
+        let active_n = tile.n_tb.min(geom.k_out() - n0);
+        let ms = tile.m_tb;
+        let n_len = geom.fft_len();
+
+        let engine = CgemmBlockEngine {
+            tile,
+            k_total: geom.k_in(),
+        };
+
+        // ---- main loop with either a fused-FFT A provider or global A ----
+        let frags: CFragments = if self.fuse_fft {
+            let fwd_plan = &self.fwd_plan;
+            let order = match self.forward_layout {
+                ForwardLayout::TurboContiguous => InstanceOrder::IdxFastest,
+                ForwardLayout::VkFftStrided => InstanceOrder::PencilFastest,
+            };
+            let input = self.input;
+            let k_in = geom.k_in();
+            let mut provider_fn = |ctx: &mut BlockCtx<'_>, k0: usize, as_buf: usize| {
+                let active_p = FUSED_FFT_BS.min(k_in - k0);
+                let fft = FftBlockEngine {
+                    plan: fwd_plan,
+                    active_pencils: active_p,
+                    bs_layout: FUSED_FFT_BS,
+                    ping_base: fft_base,
+                    pong_base: fft_base + n_len * FUSED_FFT_BS,
+                    reg_group_bits: reg_bits_for(n_len),
+                };
+                let in_addr = |p: usize, idx: usize| geom.x_addr(outer, k0 + p, idx);
+                let out_addr = |p: usize, m: usize| as_buf + p * ms + m;
+                let io = FftIo::new(
+                    PencilTarget::Global {
+                        buf: input,
+                        addr: &in_addr,
+                    },
+                    PencilTarget::Shared { addr: &out_addr },
+                )
+                .with_output_order(order);
+                fft.run(ctx, &io);
+                ctx.syncthreads();
+            };
+            let mut a = AProvider::Custom(&mut provider_fn);
+            let b = BOperand {
+                buf: self.w,
+                view: MatView::row_major(0, geom.k_out()).tile(0, n0),
+            };
+            engine.run_mainloop(ctx, &mut a, &b, ms, active_n, 0)
+        } else {
+            let mut a = AProvider::Global {
+                buf: self.input,
+                view: geom.a_view(outer),
+            };
+            let b = BOperand {
+                buf: self.w,
+                view: MatView::row_major(0, geom.k_out()).tile(0, n0),
+            };
+            engine.run_mainloop(ctx, &mut a, &b, ms, active_n, 0)
+        };
+
+        // ---- epilogue ----
+        if self.fuse_ifft {
+            let staging = self.staging();
+            let groups = active_n.div_ceil(FUSED_FFT_BS);
+            for g in 0..groups {
+                let ch0 = g * FUSED_FFT_BS;
+                let chs = FUSED_FFT_BS.min(active_n - ch0);
+
+                // Stage the group's C fragments into shared memory with the
+                // Fig. 8 access pattern.
+                for w in 0..tile.warps() {
+                    for i in 0..tile.m_t {
+                        for j in 0..tile.n_t {
+                            let lane_mn = |l: usize| {
+                                let tid = w * WARP_SIZE + l;
+                                let (m0, nloc0) = CFragments::thread_origin(&tile, tid);
+                                let (m, n) = (m0 + i, nloc0 + j);
+                                (n >= ch0 && n < ch0 + chs).then_some((m, n))
+                            };
+                            let idx = WarpIdx::from_fn(|l| {
+                                lane_mn(l).map(|(m, n)| staging_base + staging.addr(m, n - ch0))
+                            });
+                            if idx.active_lanes() == 0 {
+                                continue;
+                            }
+                            let mut vals = [C32::ZERO; WARP_SIZE];
+                            for l in 0..WARP_SIZE {
+                                if lane_mn(l).is_some() {
+                                    vals[l] = frags.get(w * WARP_SIZE + l, i, j);
+                                }
+                            }
+                            ctx.shared_store(&idx, &vals);
+                        }
+                    }
+                }
+                ctx.syncthreads();
+
+                // Inverse FFT of the staged channels, writing spatial rows.
+                let ifft = FftBlockEngine {
+                    plan: &self.inv_plan,
+                    active_pencils: chs,
+                    bs_layout: FUSED_FFT_BS,
+                    ping_base: fft_base,
+                    pong_base: fft_base + n_len * FUSED_FFT_BS,
+                    reg_group_bits: reg_bits_for(n_len),
+                };
+                let in_addr = |p: usize, m: usize| staging_base + staging.addr(m, p);
+                let out_addr = |p: usize, t: usize| geom.y_addr(outer, n0 + ch0 + p, t);
+                let io = FftIo::new(
+                    PencilTarget::Shared { addr: &in_addr },
+                    PencilTarget::Global {
+                        buf: self.output,
+                        addr: &out_addr,
+                    },
+                )
+                .with_input_order(InstanceOrder::IdxFastest);
+                ifft.run(ctx, &io);
+                ctx.syncthreads();
+            }
+        } else {
+            let c_view = geom.c_view(outer, n0);
+            tfno_cgemm::store_c_global(
+                ctx,
+                &frags,
+                self.output,
+                &c_view,
+                ms,
+                active_n,
+                C32::ONE,
+                C32::ZERO,
+            );
+        }
+    }
+
+    fn block_classes(&self) -> Vec<(usize, u64)> {
+        let nt = self.n_tiles();
+        let ntile_classes: Vec<(usize, u64)> =
+            if self.geom.k_out() % self.tile.n_tb == 0 || nt == 1 {
+                vec![(0, nt as u64)]
+            } else {
+                vec![(0, nt as u64 - 1), (nt - 1, 1)]
+            };
+        let mut classes = Vec::new();
+        for (outer_rep, outer_count) in self.geom.outer_classes() {
+            for &(nt_rep, nt_count) in &ntile_classes {
+                classes.push((outer_rep * nt + nt_rep, outer_count * nt_count));
+            }
+        }
+        classes
+    }
+}

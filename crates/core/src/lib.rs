@@ -1,0 +1,261 @@
+//! # turbofno
+//!
+//! The paper's core contribution, reproduced on the simulated GPU: fully
+//! fused FFT–CGEMM–iFFT kernels for Fourier Neural Operators with
+//! dataflow alignment (§4.1), an iFFT epilogue (§4.2), and the two
+//! shared-memory swizzling patterns that take bank utilization from 25%
+//! to 100% (Figs. 7–8).
+//!
+//! * [`swizzle`] — the address-level swizzle patterns with pinned
+//!   utilization numbers;
+//! * [`fused`] — the generic fused kernel (variants B/C/D) over 1D and 2D
+//!   layer geometries;
+//! * [`pipeline`] — executors for every evaluated variant (Table 2),
+//!   including the PyTorch baseline via `tfno-culib` and the best-of
+//!   selection the paper calls "TurboFNO".
+//!
+//! Numerical equivalence of every variant against the naive reference
+//! layer is enforced by the test suite (`tests/` in this crate and the
+//! workspace-level integration tests).
+
+pub mod fused;
+#[cfg(test)]
+mod fused_tests;
+pub mod pipeline;
+pub mod swizzle;
+
+pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
+pub use pipeline::{
+    pick_best_1d, pick_best_2d, run_variant_1d, run_variant_2d, TurboOptions, Variant,
+    TURBO_FFT_L1_HIT,
+};
+pub use swizzle::{
+    epilogue_store_pattern, fft_writeback_pattern, fig8_offset, forward_to_as_pattern,
+    pattern_utilization, EpilogueStaging, ForwardLayout,
+};
+
+// Re-export the problem descriptors so users of the core crate see one API.
+pub use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfno_gpu_sim::{ExecMode, GpuDevice};
+    use tfno_num::error::rel_l2_error;
+    use tfno_num::{reference, C32, CTensor};
+
+    fn rand_like(len: usize, seed: f32) -> Vec<C32> {
+        (0..len)
+            .map(|i| {
+                C32::new(
+                    ((i as f32) * 0.19 + seed).sin(),
+                    ((i as f32) * 0.31 - seed).cos(),
+                )
+            })
+            .collect()
+    }
+
+    fn run_1d(p: &FnoProblem1d, v: Variant) -> (Vec<C32>, PipelineRun, CTensor) {
+        let mut dev = GpuDevice::a100();
+        let x = dev.alloc("x", p.input_len());
+        let w = dev.alloc("w", p.weight_len());
+        let y = dev.alloc("y", p.output_len());
+        let xd = rand_like(p.input_len(), 0.5);
+        let wd = rand_like(p.weight_len(), 0.8);
+        dev.upload(x, &xd);
+        dev.upload(w, &wd);
+        let run = run_variant_1d(
+            &mut dev,
+            p,
+            v,
+            x,
+            w,
+            y,
+            &TurboOptions::default(),
+            ExecMode::Functional,
+        );
+        let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.n]);
+        let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
+        let want = reference::fno_layer_1d(&xt, &wt, p.nf);
+        (dev.download(y), run, want)
+    }
+
+    #[test]
+    fn all_1d_variants_match_reference() {
+        let p = FnoProblem1d::new(2, 12, 16, 128, 32);
+        for v in Variant::CONCRETE {
+            let (got, run, want) = run_1d(&p, v);
+            let err = rel_l2_error(&got, want.data());
+            assert!(err < 1e-4, "{v:?}: rel l2 error {err}");
+            let expected_kernels = match v {
+                Variant::Pytorch => 5,
+                Variant::FftOpt => 3,
+                Variant::FusedFftGemm | Variant::FusedGemmIfft => 2,
+                Variant::FullyFused => 1,
+                Variant::TurboBest => unreachable!(),
+            };
+            assert_eq!(run.kernel_count(), expected_kernels, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn turbo_best_matches_reference_1d() {
+        let p = FnoProblem1d::new(2, 8, 8, 128, 32);
+        let (got, run, want) = run_1d(&p, Variant::TurboBest);
+        let err = rel_l2_error(&got, want.data());
+        assert!(err < 1e-4, "rel l2 error {err}");
+        assert!(run.kernel_count() <= 3);
+    }
+
+    #[test]
+    fn fused_variants_reduce_traffic_and_launches() {
+        let p = FnoProblem1d::new(4, 32, 32, 128, 32);
+        let (_, pt, _) = run_1d(&p, Variant::Pytorch);
+        let (_, a, _) = run_1d(&p, Variant::FftOpt);
+        let (_, d, _) = run_1d(&p, Variant::FullyFused);
+        let pt_bytes = pt.total_stats().global_bytes();
+        let a_bytes = a.total_stats().global_bytes();
+        let d_bytes = d.total_stats().global_bytes();
+        assert!(
+            a_bytes < pt_bytes,
+            "A must cut traffic: {a_bytes} !< {pt_bytes}"
+        );
+        assert!(
+            d_bytes < a_bytes,
+            "D must cut traffic further: {d_bytes} !< {a_bytes}"
+        );
+        assert!(pt.kernel_count() > a.kernel_count());
+        assert!(a.kernel_count() > d.kernel_count());
+    }
+
+    #[test]
+    fn ablation_layouts_only_change_bank_stats() {
+        let p = FnoProblem1d::new(2, 16, 16, 128, 32);
+        let run_with = |layout: ForwardLayout, swz: bool| {
+            let mut dev = GpuDevice::a100();
+            let x = dev.alloc("x", p.input_len());
+            let w = dev.alloc("w", p.weight_len());
+            let y = dev.alloc("y", p.output_len());
+            let xd = rand_like(p.input_len(), 0.5);
+            let wd = rand_like(p.weight_len(), 0.8);
+            dev.upload(x, &xd);
+            dev.upload(w, &wd);
+            let opts = TurboOptions {
+                forward_layout: layout,
+                epilogue_swizzle: swz,
+                ..Default::default()
+            };
+            let run = run_variant_1d(
+                &mut dev,
+                &p,
+                Variant::FullyFused,
+                x,
+                w,
+                y,
+                &opts,
+                ExecMode::Functional,
+            );
+            (dev.download(y), run)
+        };
+        let (y_good, run_good) = run_with(ForwardLayout::TurboContiguous, true);
+        let (y_bad, run_bad) = run_with(ForwardLayout::VkFftStrided, false);
+        // numerics identical
+        let err = rel_l2_error(&y_good, &y_bad);
+        assert!(err < 1e-6, "layouts changed numerics: {err}");
+        // The bad layout must pay more shared-memory replay cycles. (The
+        // whole-kernel utilization delta is modest because butterfly and
+        // staging traffic dominates; the per-pattern 25% -> 100% numbers of
+        // Figs. 7/8 are pinned exactly in swizzle::tests.)
+        let good = run_good.total_stats();
+        let bad = run_bad.total_stats();
+        assert_eq!(good.shared_ideal_cycles, bad.shared_ideal_cycles);
+        assert!(
+            bad.shared_actual_cycles > good.shared_actual_cycles,
+            "swizzles must remove replays: {} vs {}",
+            bad.shared_actual_cycles,
+            good.shared_actual_cycles
+        );
+    }
+
+    fn run_2d(p: &FnoProblem2d, v: Variant) -> (Vec<C32>, PipelineRun, CTensor) {
+        let mut dev = GpuDevice::a100();
+        let x = dev.alloc("x", p.input_len());
+        let w = dev.alloc("w", p.weight_len());
+        let y = dev.alloc("y", p.output_len());
+        let xd = rand_like(p.input_len(), 0.2);
+        let wd = rand_like(p.weight_len(), 0.6);
+        dev.upload(x, &xd);
+        dev.upload(w, &wd);
+        let run = run_variant_2d(
+            &mut dev,
+            p,
+            v,
+            x,
+            w,
+            y,
+            &TurboOptions::default(),
+            ExecMode::Functional,
+        );
+        let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.nx, p.ny]);
+        let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
+        let want = reference::fno_layer_2d(&xt, &wt, p.nfx, p.nfy);
+        (dev.download(y), run, want)
+    }
+
+    #[test]
+    fn all_2d_variants_match_reference() {
+        let p = FnoProblem2d::new(1, 10, 8, 32, 64, 8, 32);
+        for v in Variant::CONCRETE {
+            let (got, run, want) = run_2d(&p, v);
+            let err = rel_l2_error(&got, want.data());
+            assert!(err < 1e-4, "{v:?}: rel l2 error {err}");
+            let expected_kernels = match v {
+                Variant::Pytorch => 7,
+                Variant::FftOpt => 5,
+                Variant::FusedFftGemm | Variant::FusedGemmIfft => 4,
+                Variant::FullyFused => 3,
+                Variant::TurboBest => unreachable!(),
+            };
+            assert_eq!(run.kernel_count(), expected_kernels, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn analytical_equals_functional_fused() {
+        let p = FnoProblem1d::new(3, 16, 24, 128, 32);
+        for v in [
+            Variant::FftOpt,
+            Variant::FusedFftGemm,
+            Variant::FusedGemmIfft,
+            Variant::FullyFused,
+        ] {
+            let mut dev = GpuDevice::a100();
+            let x = dev.alloc("x", p.input_len());
+            let w = dev.alloc("w", p.weight_len());
+            let y = dev.alloc("y", p.output_len());
+            dev.upload(x, &rand_like(p.input_len(), 0.1));
+            dev.upload(w, &rand_like(p.weight_len(), 0.2));
+            let opts = TurboOptions::default();
+            let f = run_variant_1d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Functional);
+            let a = run_variant_1d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Analytical);
+            assert_eq!(f.total_stats(), a.total_stats(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn analytical_equals_functional_fused_2d() {
+        let p = FnoProblem2d::new(2, 12, 8, 32, 64, 8, 32);
+        for v in [Variant::FftOpt, Variant::FullyFused] {
+            let mut dev = GpuDevice::a100();
+            let x = dev.alloc("x", p.input_len());
+            let w = dev.alloc("w", p.weight_len());
+            let y = dev.alloc("y", p.output_len());
+            dev.upload(x, &rand_like(p.input_len(), 0.3));
+            dev.upload(w, &rand_like(p.weight_len(), 0.4));
+            let opts = TurboOptions::default();
+            let f = run_variant_2d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Functional);
+            let a = run_variant_2d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Analytical);
+            assert_eq!(f.total_stats(), a.total_stats(), "{v:?}");
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Pipeline variants of the paper's evaluation (Table 2) and their
+//! executors.
+//!
+//! | Variant | Fusion | 1D kernels | 2D kernels |
+//! |---|---|---|---|
+//! | `Pytorch`       | none (cuFFT/cuBLAS + copies) | 5 | 7 |
+//! | `FftOpt` (A)    | none, but truncation/padding/pruning built into the FFT | 3 | 5 |
+//! | `FusedFftGemm` (B) | FFT fused into the CGEMM k-loop | 2 | 4 |
+//! | `FusedGemmIfft` (C) | iFFT fused as CGEMM epilogue | 2 | 4 |
+//! | `FullyFused` (D) | both | 1 | 3 |
+//! | `TurboBest` (E) | best of A–D per problem size | — | — |
+//!
+//! In 2D the stage along the strided x axis (forward first, inverse last)
+//! stays a standalone kernel in every Turbo variant — only the stage along
+//! the contiguous y axis participates in fusion, exactly as in the paper
+//! (§5.2: the first FFT's overhead is what masks 2D fusion gains).
+
+use crate::fused::{FusedKernel, Geom1d, Geom2d};
+use crate::swizzle::ForwardLayout;
+use tfno_cgemm::{BatchedOperand, GemmShape, MatView};
+use tfno_culib::{
+    alloc_like, run_pytorch_1d, run_pytorch_2d, CuBlas, FnoProblem1d, FnoProblem2d, PipelineRun,
+    CUFFT_L1_HIT,
+};
+use tfno_fft::{
+    BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
+    StridedPencils,
+};
+use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice};
+use tfno_num::C32;
+
+/// L1/L2 hit rate of the hidden-dim-ordered Turbo FFT: the k-loop-aligned
+/// dataflow gives up the spatial locality the baseline FFT enjoys (paper
+/// §5.1 A.1 — the reason the A-variant speedup settles near 50% at large K
+/// instead of staying at 100%).
+pub const TURBO_FFT_L1_HIT: f64 = 0.10;
+
+/// The evaluated pipeline variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    Pytorch,
+    FftOpt,
+    FusedFftGemm,
+    FusedGemmIfft,
+    FullyFused,
+    TurboBest,
+}
+
+impl Variant {
+    /// All concrete variants (E excluded — it delegates).
+    pub const CONCRETE: [Variant; 5] = [
+        Variant::Pytorch,
+        Variant::FftOpt,
+        Variant::FusedFftGemm,
+        Variant::FusedGemmIfft,
+        Variant::FullyFused,
+    ];
+
+    /// The paper's label for figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Pytorch => "PyTorch",
+            Variant::FftOpt => "FFT+GEMM+iFFT",
+            Variant::FusedFftGemm => "Fused_FFT_GEMM+iFFT",
+            Variant::FusedGemmIfft => "FFT+Fused_GEMM_iFFT",
+            Variant::FullyFused => "Fused_FFT_GEMM_iFFT",
+            Variant::TurboBest => "TurboFNO",
+        }
+    }
+}
+
+/// Tuning/ablation knobs of the Turbo variants.
+#[derive(Clone, Copy, Debug)]
+pub struct TurboOptions {
+    pub forward_layout: ForwardLayout,
+    pub epilogue_swizzle: bool,
+    /// L1 hit rate of the hidden-dim-ordered FFT stages.
+    pub fft_l1_hit: f64,
+}
+
+impl Default for TurboOptions {
+    fn default() -> Self {
+        TurboOptions {
+            forward_layout: ForwardLayout::TurboContiguous,
+            epilogue_swizzle: true,
+            fft_l1_hit: TURBO_FFT_L1_HIT,
+        }
+    }
+}
+
+/// GEMM tile width along the output-channel axis used by the fused
+/// kernels. The paper runs the fused configurations with `N_tb = 128`
+/// (§5.1 A.3): covering the whole hidden output dimension in one tile
+/// avoids re-running the forward FFT per n-tile. Beyond 128 channels the
+/// tile caps out and the recompute cost appears — the mechanism behind the
+/// paper's observation that "for large hidden dimensions (K >= 128),
+/// fusion may even degrade performance".
+fn fused_n_tb(k_out: usize) -> usize {
+    (k_out.div_ceil(16) * 16).clamp(16, 128)
+}
+
+// ---------------------------------------------------------------- 1D ----
+
+/// Truncated forward FFT kernel of the Turbo pipeline (variant A / C).
+fn turbo_fft_1d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem1d,
+    x: BufferId,
+    xf_t: BufferId,
+    opts: &TurboOptions,
+    mode: ExecMode,
+) -> tfno_gpu_sim::LaunchRecord {
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.n))
+        .with_l1_hit_rate(opts.fft_l1_hit)
+        .with_k_iters(p.k_in.div_ceil(8));
+    let plan = FftPlan::new(p.n, FftDirection::Forward, p.n, p.nf);
+    let addr = RowPencils {
+        count: p.batch * p.k_in,
+        in_row_len: p.n,
+        out_row_len: p.nf,
+    };
+    let k = BatchedFftKernel::new("turbo.fft", cfg, plan, addr, x, xf_t);
+    dev.launch(&k, mode)
+}
+
+/// Zero-padded inverse FFT kernel (variant A / B).
+fn turbo_ifft_1d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem1d,
+    yf_t: BufferId,
+    y: BufferId,
+    opts: &TurboOptions,
+    mode: ExecMode,
+) -> tfno_gpu_sim::LaunchRecord {
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.n))
+        .with_l1_hit_rate(opts.fft_l1_hit)
+        .with_k_iters(p.k_out.div_ceil(8));
+    let plan = FftPlan::new(p.n, FftDirection::Inverse, p.nf, p.n);
+    let addr = RowPencils {
+        count: p.batch * p.k_out,
+        in_row_len: p.nf,
+        out_row_len: p.n,
+    };
+    let k = BatchedFftKernel::new("turbo.ifft", cfg, plan, addr, yf_t, y);
+    dev.launch(&k, mode)
+}
+
+/// Standalone CGEMM over truncated modes (variant A).
+fn turbo_gemm_1d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem1d,
+    xf_t: BufferId,
+    w: BufferId,
+    yf_t: BufferId,
+    mode: ExecMode,
+) -> tfno_gpu_sim::LaunchRecord {
+    CuBlas::cgemm_strided_batched(
+        dev,
+        "turbo.cgemm",
+        GemmShape {
+            batch: p.batch,
+            m: p.nf,
+            n: p.k_out,
+            k: p.k_in,
+        },
+        BatchedOperand {
+            buf: xf_t,
+            view: MatView {
+                base: 0,
+                row_stride: 1,
+                col_stride: p.nf,
+            },
+            batch_stride: p.k_in * p.nf,
+        },
+        BatchedOperand {
+            buf: w,
+            view: MatView::row_major(0, p.k_out),
+            batch_stride: 0,
+        },
+        BatchedOperand {
+            buf: yf_t,
+            view: MatView {
+                base: 0,
+                row_stride: 1,
+                col_stride: p.nf,
+            },
+            batch_stride: p.k_out * p.nf,
+        },
+        C32::ONE,
+        C32::ZERO,
+        mode,
+    )
+}
+
+/// Run one variant of the 1D Fourier layer.
+///
+/// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]`, `y`: `[batch, k_out, n]`
+pub fn run_variant_1d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem1d,
+    variant: Variant,
+    x: BufferId,
+    w: BufferId,
+    y: BufferId,
+    opts: &TurboOptions,
+    mode: ExecMode,
+) -> PipelineRun {
+    let mut run = PipelineRun::default();
+    let geom = Geom1d {
+        batch: p.batch,
+        k_in: p.k_in,
+        k_out: p.k_out,
+        n: p.n,
+        nf: p.nf,
+    };
+    match variant {
+        Variant::Pytorch => return run_pytorch_1d(dev, p, x, w, y, mode),
+        Variant::TurboBest => {
+            let best = pick_best_1d(&dev.config, p, opts);
+            return run_variant_1d(dev, p, best, x, w, y, opts, mode);
+        }
+        Variant::FftOpt => {
+            let xf_t = alloc_like(dev, x, "tf.xf_t", p.batch * p.k_in * p.nf);
+            let yf_t = alloc_like(dev, x, "tf.yf_t", p.batch * p.k_out * p.nf);
+            run.push(turbo_fft_1d(dev, p, x, xf_t, opts, mode));
+            run.push(turbo_gemm_1d(dev, p, xf_t, w, yf_t, mode));
+            run.push(turbo_ifft_1d(dev, p, yf_t, y, opts, mode));
+        }
+        Variant::FusedFftGemm => {
+            let yf_t = alloc_like(dev, x, "tf.yf_t", p.batch * p.k_out * p.nf);
+            let k = FusedKernel::new(
+                "turbo.fused_fft_gemm",
+                geom,
+                true,
+                false,
+                fused_n_tb(p.k_out),
+                x,
+                w,
+                yf_t,
+                opts.fft_l1_hit,
+            )
+            .with_forward_layout(opts.forward_layout)
+            .with_epilogue_swizzle(opts.epilogue_swizzle);
+            run.push(dev.launch(&k, mode));
+            run.push(turbo_ifft_1d(dev, p, yf_t, y, opts, mode));
+        }
+        Variant::FusedGemmIfft => {
+            let xf_t = alloc_like(dev, x, "tf.xf_t", p.batch * p.k_in * p.nf);
+            run.push(turbo_fft_1d(dev, p, x, xf_t, opts, mode));
+            let k = FusedKernel::new(
+                "turbo.fused_gemm_ifft",
+                geom,
+                false,
+                true,
+                fused_n_tb(p.k_out),
+                xf_t,
+                w,
+                y,
+                opts.fft_l1_hit,
+            )
+            .with_forward_layout(opts.forward_layout)
+            .with_epilogue_swizzle(opts.epilogue_swizzle);
+            run.push(dev.launch(&k, mode));
+        }
+        Variant::FullyFused => {
+            let k = FusedKernel::new(
+                "turbo.fused_fft_gemm_ifft",
+                geom,
+                true,
+                true,
+                fused_n_tb(p.k_out),
+                x,
+                w,
+                y,
+                opts.fft_l1_hit,
+            )
+            .with_forward_layout(opts.forward_layout)
+            .with_epilogue_swizzle(opts.epilogue_swizzle);
+            run.push(dev.launch(&k, mode));
+        }
+    }
+    run
+}
+
+/// Evaluate variants A–D analytically on scratch virtual buffers and return
+/// the fastest (the paper's "TurboFNO" best-of configuration).
+pub fn pick_best_1d(
+    cfg: &tfno_gpu_sim::DeviceConfig,
+    p: &FnoProblem1d,
+    opts: &TurboOptions,
+) -> Variant {
+    let mut best = (f64::INFINITY, Variant::FftOpt);
+    for v in [
+        Variant::FftOpt,
+        Variant::FusedFftGemm,
+        Variant::FusedGemmIfft,
+        Variant::FullyFused,
+    ] {
+        let mut dev = GpuDevice::new(cfg.clone());
+        let x = dev.memory.alloc_virtual("x", p.input_len());
+        let w = dev.memory.alloc_virtual("w", p.weight_len());
+        let y = dev.memory.alloc_virtual("y", p.output_len());
+        let run = run_variant_1d(&mut dev, p, v, x, w, y, opts, ExecMode::Analytical);
+        let t = run.total_us();
+        if t < best.0 {
+            best = (t, v);
+        }
+    }
+    best.1
+}
+
+// ---------------------------------------------------------------- 2D ----
+
+/// Stage-1 FFT along the strided x axis with built-in truncation (all
+/// Turbo variants). Pencils are adjacent in y, so the reads coalesce
+/// across pencils — the baseline-quality spatial dataflow.
+fn turbo_fft_x(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    x: BufferId,
+    t1: BufferId,
+    mode: ExecMode,
+) -> tfno_gpu_sim::LaunchRecord {
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.nx)).with_l1_hit_rate(CUFFT_L1_HIT);
+    let plan = FftPlan::new(p.nx, FftDirection::Forward, p.nx, p.nfx);
+    let addr = StridedPencils {
+        count: p.batch * p.k_in * p.ny,
+        group: p.ny,
+        in_group_stride: p.nx * p.ny,
+        in_pencil_stride: 1,
+        in_idx_stride: p.ny,
+        out_group_stride: p.nfx * p.ny,
+        out_pencil_stride: 1,
+        out_idx_stride: p.ny,
+    };
+    let k = BatchedFftKernel::new("turbo.fft_x", cfg, plan, addr, x, t1);
+    dev.launch(&k, mode)
+}
+
+/// Final inverse FFT along the strided x axis with built-in zero padding.
+fn turbo_ifft_x(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    t3: BufferId,
+    y: BufferId,
+    mode: ExecMode,
+) -> tfno_gpu_sim::LaunchRecord {
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.nx)).with_l1_hit_rate(CUFFT_L1_HIT);
+    let plan = FftPlan::new(p.nx, FftDirection::Inverse, p.nfx, p.nx);
+    let addr = StridedPencils {
+        count: p.batch * p.k_out * p.ny,
+        group: p.ny,
+        in_group_stride: p.nfx * p.ny,
+        in_pencil_stride: 1,
+        in_idx_stride: p.ny,
+        out_group_stride: p.nx * p.ny,
+        out_pencil_stride: 1,
+        out_idx_stride: p.ny,
+    };
+    let k = BatchedFftKernel::new("turbo.ifft_x", cfg, plan, addr, t3, y);
+    dev.launch(&k, mode)
+}
+
+/// Standalone truncated y-stage FFT over the contiguous rows of `t1`
+/// (variants A and C). Hidden-dim-ordered (the fusable stage), hence the
+/// lower L1 hit rate.
+fn turbo_fft_y(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    t1: BufferId,
+    xf_t: BufferId,
+    opts: &TurboOptions,
+    mode: ExecMode,
+) -> tfno_gpu_sim::LaunchRecord {
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.ny))
+        .with_l1_hit_rate(opts.fft_l1_hit)
+        .with_k_iters(p.k_in.div_ceil(8));
+    let plan = FftPlan::new(p.ny, FftDirection::Forward, p.ny, p.nfy);
+    let addr = RowPencils {
+        count: p.batch * p.k_in * p.nfx,
+        in_row_len: p.ny,
+        out_row_len: p.nfy,
+    };
+    let k = BatchedFftKernel::new("turbo.fft_y", cfg, plan, addr, t1, xf_t);
+    dev.launch(&k, mode)
+}
+
+/// Standalone padded y-stage inverse FFT (variants A and B).
+fn turbo_ifft_y(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    yf_t: BufferId,
+    t3: BufferId,
+    opts: &TurboOptions,
+    mode: ExecMode,
+) -> tfno_gpu_sim::LaunchRecord {
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.ny))
+        .with_l1_hit_rate(opts.fft_l1_hit)
+        .with_k_iters(p.k_out.div_ceil(8));
+    let plan = FftPlan::new(p.ny, FftDirection::Inverse, p.nfy, p.ny);
+    let addr = RowPencils {
+        count: p.batch * p.k_out * p.nfx,
+        in_row_len: p.nfy,
+        out_row_len: p.ny,
+    };
+    let k = BatchedFftKernel::new("turbo.ifft_y", cfg, plan, addr, yf_t, t3);
+    dev.launch(&k, mode)
+}
+
+/// Standalone CGEMM over the truncated 2D modes (variant A).
+fn turbo_gemm_2d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    xf_t: BufferId,
+    w: BufferId,
+    yf_t: BufferId,
+    mode: ExecMode,
+) -> tfno_gpu_sim::LaunchRecord {
+    let m = p.nfx * p.nfy;
+    CuBlas::cgemm_strided_batched(
+        dev,
+        "turbo.cgemm2d",
+        GemmShape {
+            batch: p.batch,
+            m,
+            n: p.k_out,
+            k: p.k_in,
+        },
+        BatchedOperand {
+            buf: xf_t,
+            view: MatView {
+                base: 0,
+                row_stride: 1,
+                col_stride: m,
+            },
+            batch_stride: p.k_in * m,
+        },
+        BatchedOperand {
+            buf: w,
+            view: MatView::row_major(0, p.k_out),
+            batch_stride: 0,
+        },
+        BatchedOperand {
+            buf: yf_t,
+            view: MatView {
+                base: 0,
+                row_stride: 1,
+                col_stride: m,
+            },
+            batch_stride: p.k_out * m,
+        },
+        C32::ONE,
+        C32::ZERO,
+        mode,
+    )
+}
+
+/// Run one variant of the 2D Fourier layer.
+///
+/// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
+///   `y`: `[batch, k_out, nx, ny]`
+#[allow(clippy::too_many_arguments)]
+pub fn run_variant_2d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    variant: Variant,
+    x: BufferId,
+    w: BufferId,
+    y: BufferId,
+    opts: &TurboOptions,
+    mode: ExecMode,
+) -> PipelineRun {
+    let mut run = PipelineRun::default();
+    let geom = Geom2d {
+        batch: p.batch,
+        k_in: p.k_in,
+        k_out: p.k_out,
+        ny: p.ny,
+        nfy: p.nfy,
+        nfx: p.nfx,
+    };
+    if variant == Variant::Pytorch {
+        return run_pytorch_2d(dev, p, x, w, y, mode);
+    }
+    if variant == Variant::TurboBest {
+        let best = pick_best_2d(&dev.config, p, opts);
+        return run_variant_2d(dev, p, best, x, w, y, opts, mode);
+    }
+
+    // Stage 1: truncated FFT along the strided x axis.
+    let t1 = alloc_like(dev, x, "tf2.t1", p.batch * p.k_in * p.nfx * p.ny);
+    // Output of the (possibly fused) y-stage inverse: [b, k_out, nfx, ny].
+    let t3 = alloc_like(dev, x, "tf2.t3", p.batch * p.k_out * p.nfx * p.ny);
+    run.push(turbo_fft_x(dev, p, x, t1, mode));
+
+    match variant {
+        Variant::FftOpt => {
+            let xf_t = alloc_like(dev, x, "tf2.xf_t", p.batch * p.k_in * p.nfx * p.nfy);
+            let yf_t = alloc_like(dev, x, "tf2.yf_t", p.batch * p.k_out * p.nfx * p.nfy);
+            run.push(turbo_fft_y(dev, p, t1, xf_t, opts, mode));
+            run.push(turbo_gemm_2d(dev, p, xf_t, w, yf_t, mode));
+            run.push(turbo_ifft_y(dev, p, yf_t, t3, opts, mode));
+        }
+        Variant::FusedFftGemm => {
+            let yf_t = alloc_like(dev, x, "tf2.yf_t", p.batch * p.k_out * p.nfx * p.nfy);
+            let k = FusedKernel::new(
+                "turbo.fused2d_fft_gemm",
+                geom,
+                true,
+                false,
+                fused_n_tb(p.k_out),
+                t1,
+                w,
+                yf_t,
+                opts.fft_l1_hit,
+            )
+            .with_forward_layout(opts.forward_layout)
+            .with_epilogue_swizzle(opts.epilogue_swizzle);
+            run.push(dev.launch(&k, mode));
+            run.push(turbo_ifft_y(dev, p, yf_t, t3, opts, mode));
+        }
+        Variant::FusedGemmIfft => {
+            let xf_t = alloc_like(dev, x, "tf2.xf_t", p.batch * p.k_in * p.nfx * p.nfy);
+            run.push(turbo_fft_y(dev, p, t1, xf_t, opts, mode));
+            let k = FusedKernel::new(
+                "turbo.fused2d_gemm_ifft",
+                geom,
+                false,
+                true,
+                fused_n_tb(p.k_out),
+                xf_t,
+                w,
+                t3,
+                opts.fft_l1_hit,
+            )
+            .with_forward_layout(opts.forward_layout)
+            .with_epilogue_swizzle(opts.epilogue_swizzle);
+            run.push(dev.launch(&k, mode));
+        }
+        Variant::FullyFused => {
+            let k = FusedKernel::new(
+                "turbo.fused2d_fft_gemm_ifft",
+                geom,
+                true,
+                true,
+                fused_n_tb(p.k_out),
+                t1,
+                w,
+                t3,
+                opts.fft_l1_hit,
+            )
+            .with_forward_layout(opts.forward_layout)
+            .with_epilogue_swizzle(opts.epilogue_swizzle);
+            run.push(dev.launch(&k, mode));
+        }
+        Variant::Pytorch | Variant::TurboBest => unreachable!(),
+    }
+
+    // Final stage: zero-padded inverse FFT along x.
+    run.push(turbo_ifft_x(dev, p, t3, y, mode));
+    run
+}
+
+/// Analytically pick the fastest Turbo variant for a 2D problem.
+pub fn pick_best_2d(
+    cfg: &tfno_gpu_sim::DeviceConfig,
+    p: &FnoProblem2d,
+    opts: &TurboOptions,
+) -> Variant {
+    let mut best = (f64::INFINITY, Variant::FftOpt);
+    for v in [
+        Variant::FftOpt,
+        Variant::FusedFftGemm,
+        Variant::FusedGemmIfft,
+        Variant::FullyFused,
+    ] {
+        let mut dev = GpuDevice::new(cfg.clone());
+        let x = dev.memory.alloc_virtual("x", p.input_len());
+        let w = dev.memory.alloc_virtual("w", p.weight_len());
+        let y = dev.memory.alloc_virtual("y", p.output_len());
+        let run = run_variant_2d(&mut dev, p, v, x, w, y, opts, ExecMode::Analytical);
+        let t = run.total_us();
+        if t < best.0 {
+            best = (t, v);
+        }
+    }
+    best.1
+}

@@ -1,0 +1,25 @@
+//! # tfno-culib
+//!
+//! Emulation of the closed-source library stack the paper compares against:
+//!
+//! * [`cufft`] — a cuFFT-like planner: fast batched Stockham transforms,
+//!   but **no truncation/padding/filtering support** (paper §2.2);
+//! * [`cublas`] — a cuBLAS-like strided-batched CGEMM facade;
+//! * [`copy`] — the PyTorch-style truncation/zero-padding memory-copy
+//!   kernels forced by the libraries' black-box design;
+//! * [`pytorch`] — the full baseline executor chaining them (5 kernels in
+//!   1D, 7 in 2D), numerically validated against `tfno_num::reference`;
+//! * [`problem`] — Fourier-layer problem descriptors shared with the
+//!   TurboFNO executors.
+
+pub mod copy;
+pub mod cublas;
+pub mod cufft;
+pub mod problem;
+pub mod pytorch;
+
+pub use copy::{CornerPad2d, CornerTruncate2d, RowPad, RowTruncate, StridedCopyKernel};
+pub use cublas::CuBlas;
+pub use cufft::{CuFft, CUFFT_L1_HIT};
+pub use problem::{FnoProblem1d, FnoProblem2d};
+pub use pytorch::{alloc_like, run_pytorch_1d, run_pytorch_2d, PipelineRun};

@@ -1,0 +1,133 @@
+//! FNO Fourier-layer problem descriptions shared by every executor
+//! (PyTorch baseline here, TurboFNO variants in the `turbofno` crate).
+
+/// One 1D Fourier layer: input `[batch, k_in, n]`, weight `[k_in, k_out]`,
+/// output `[batch, k_out, n]`, keeping `nf` low-frequency modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FnoProblem1d {
+    pub batch: usize,
+    pub k_in: usize,
+    pub k_out: usize,
+    pub n: usize,
+    pub nf: usize,
+}
+
+impl FnoProblem1d {
+    pub fn new(batch: usize, k_in: usize, k_out: usize, n: usize, nf: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two");
+        assert!(nf >= 1 && nf <= n, "mode count out of range");
+        assert!(batch >= 1 && k_in >= 1 && k_out >= 1);
+        FnoProblem1d {
+            batch,
+            k_in,
+            k_out,
+            n,
+            nf,
+        }
+    }
+
+    /// The paper's GEMM `M` dimension: `BatchSize x` retained positions.
+    pub fn gemm_m_total(&self) -> usize {
+        self.batch * self.nf
+    }
+
+    pub fn input_len(&self) -> usize {
+        self.batch * self.k_in * self.n
+    }
+
+    pub fn output_len(&self) -> usize {
+        self.batch * self.k_out * self.n
+    }
+
+    pub fn weight_len(&self) -> usize {
+        self.k_in * self.k_out
+    }
+}
+
+/// One 2D Fourier layer: input `[batch, k_in, nx, ny]`, keeping the
+/// `nfx x nfy` low-frequency corner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FnoProblem2d {
+    pub batch: usize,
+    pub k_in: usize,
+    pub k_out: usize,
+    pub nx: usize,
+    pub ny: usize,
+    pub nfx: usize,
+    pub nfy: usize,
+}
+
+impl FnoProblem2d {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        batch: usize,
+        k_in: usize,
+        k_out: usize,
+        nx: usize,
+        ny: usize,
+        nfx: usize,
+        nfy: usize,
+    ) -> Self {
+        assert!(nx.is_power_of_two() && ny.is_power_of_two());
+        assert!(nfx >= 1 && nfx <= nx && nfy >= 1 && nfy <= ny);
+        assert!(batch >= 1 && k_in >= 1 && k_out >= 1);
+        FnoProblem2d {
+            batch,
+            k_in,
+            k_out,
+            nx,
+            ny,
+            nfx,
+            nfy,
+        }
+    }
+
+    pub fn gemm_m_total(&self) -> usize {
+        self.batch * self.nfx * self.nfy
+    }
+
+    pub fn input_len(&self) -> usize {
+        self.batch * self.k_in * self.nx * self.ny
+    }
+
+    pub fn output_len(&self) -> usize {
+        self.batch * self.k_out * self.nx * self.ny
+    }
+
+    pub fn weight_len(&self) -> usize {
+        self.k_in * self.k_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_1d() {
+        let p = FnoProblem1d::new(4, 8, 16, 128, 32);
+        assert_eq!(p.gemm_m_total(), 128);
+        assert_eq!(p.input_len(), 4 * 8 * 128);
+        assert_eq!(p.output_len(), 4 * 16 * 128);
+        assert_eq!(p.weight_len(), 128);
+    }
+
+    #[test]
+    fn sizes_2d() {
+        let p = FnoProblem2d::new(2, 4, 4, 64, 32, 16, 8);
+        assert_eq!(p.gemm_m_total(), 2 * 16 * 8);
+        assert_eq!(p.input_len(), 2 * 4 * 64 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        FnoProblem1d::new(1, 1, 1, 100, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "mode count")]
+    fn excess_modes_rejected() {
+        FnoProblem1d::new(1, 1, 1, 64, 65);
+    }
+}

@@ -1,0 +1,419 @@
+//! The PyTorch-style baseline executor (the paper's comparison base).
+//!
+//! Replicates, kernel for kernel, what `torch.fft` + `einsum`-as-batched-
+//! CGEMM + tensor slicing/padding do for one FNO Fourier layer:
+//!
+//! * **1D** (5 kernels): full FFT → truncate-copy → CGEMM → pad-copy →
+//!   full iFFT;
+//! * **2D** (7 kernels): full FFT-y → full FFT-x → corner-truncate-copy →
+//!   CGEMM → corner-pad-copy → full iFFT-x → full iFFT-y.
+//!
+//! Every stage round-trips global memory, and the copies exist only because
+//! cuFFT cannot filter — the two inefficiencies TurboFNO removes.
+
+use crate::copy::{CornerPad2d, CornerTruncate2d, RowPad, RowTruncate, StridedCopyKernel};
+use crate::cublas::CuBlas;
+use crate::cufft::CuFft;
+use crate::problem::{FnoProblem1d, FnoProblem2d};
+use tfno_cgemm::{BatchedOperand, GemmShape, MatView};
+use tfno_fft::{FftDirection, StridedPencils};
+use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, KernelStats, LaunchRecord};
+
+/// The launches of one pipeline execution.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineRun {
+    pub launches: Vec<LaunchRecord>,
+}
+
+impl PipelineRun {
+    pub fn total_us(&self) -> f64 {
+        self.launches.iter().map(|l| l.time_us).sum()
+    }
+
+    pub fn kernel_count(&self) -> usize {
+        self.launches.len()
+    }
+
+    pub fn total_stats(&self) -> KernelStats {
+        self.launches.iter().map(|l| l.stats).sum()
+    }
+
+    pub fn push(&mut self, rec: LaunchRecord) {
+        self.launches.push(rec);
+    }
+}
+
+/// Allocate an intermediate matching the virtualness of the pipeline input
+/// (analytical sweeps run entirely on virtual buffers).
+pub fn alloc_like(dev: &mut GpuDevice, reference: BufferId, name: &str, len: usize) -> BufferId {
+    if dev.memory.is_virtual(reference) {
+        dev.memory.alloc_virtual(name, len)
+    } else {
+        dev.alloc(name, len)
+    }
+}
+
+/// Run the 1D baseline pipeline: `y = iFFT(pad(W * trunc(FFT(x))))`.
+///
+/// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]` row-major,
+///   `y`: `[batch, k_out, n]`.
+pub fn run_pytorch_1d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem1d,
+    x: BufferId,
+    w: BufferId,
+    y: BufferId,
+    mode: ExecMode,
+) -> PipelineRun {
+    let mut run = PipelineRun::default();
+    let (b, ki, ko, n, nf) = (p.batch, p.k_in, p.k_out, p.n, p.nf);
+
+    let xf = alloc_like(dev, x, "pt.xf", b * ki * n);
+    let xf_t = alloc_like(dev, x, "pt.xf_t", b * ki * nf);
+    let yf_t = alloc_like(dev, x, "pt.yf_t", b * ko * nf);
+    let yf_pad = alloc_like(dev, x, "pt.yf_pad", b * ko * n);
+
+    // 1. full forward FFT (cuFFT cannot truncate)
+    run.push(CuFft::exec_rows(
+        dev,
+        "pt.fft",
+        n,
+        b * ki,
+        FftDirection::Forward,
+        x,
+        xf,
+        mode,
+    ));
+
+    // 2. truncation memcpy
+    let trunc = StridedCopyKernel::new(
+        "pt.truncate",
+        RowTruncate {
+            rows: b * ki,
+            n,
+            nf,
+        },
+        xf,
+        xf_t,
+    );
+    run.push(dev.launch(&trunc, mode));
+
+    // 3. batched CGEMM along the hidden dim
+    run.push(CuBlas::cgemm_strided_batched(
+        dev,
+        "pt.cgemm",
+        GemmShape {
+            batch: b,
+            m: nf,
+            n: ko,
+            k: ki,
+        },
+        BatchedOperand {
+            buf: xf_t,
+            view: MatView {
+                base: 0,
+                row_stride: 1,
+                col_stride: nf,
+            },
+            batch_stride: ki * nf,
+        },
+        BatchedOperand {
+            buf: w,
+            view: MatView::row_major(0, ko),
+            batch_stride: 0,
+        },
+        BatchedOperand {
+            buf: yf_t,
+            view: MatView {
+                base: 0,
+                row_stride: 1,
+                col_stride: nf,
+            },
+            batch_stride: ko * nf,
+        },
+        tfno_num::C32::ONE,
+        tfno_num::C32::ZERO,
+        mode,
+    ));
+
+    // 4. zero-padding memcpy
+    let pad = StridedCopyKernel::new(
+        "pt.pad",
+        RowPad {
+            rows: b * ko,
+            nf,
+            n,
+        },
+        yf_t,
+        yf_pad,
+    );
+    run.push(dev.launch(&pad, mode));
+
+    // 5. full inverse FFT
+    run.push(CuFft::exec_rows(
+        dev,
+        "pt.ifft",
+        n,
+        b * ko,
+        FftDirection::Inverse,
+        yf_pad,
+        y,
+        mode,
+    ));
+
+    run
+}
+
+/// Run the 2D baseline pipeline (7 kernels).
+///
+/// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
+///   `y`: `[batch, k_out, nx, ny]`.
+pub fn run_pytorch_2d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    x: BufferId,
+    w: BufferId,
+    y: BufferId,
+    mode: ExecMode,
+) -> PipelineRun {
+    let mut run = PipelineRun::default();
+    let (b, ki, ko) = (p.batch, p.k_in, p.k_out);
+    let (nx, ny, nfx, nfy) = (p.nx, p.ny, p.nfx, p.nfy);
+
+    let t1 = alloc_like(dev, x, "pt2.t1", b * ki * nx * ny);
+    let t2 = alloc_like(dev, x, "pt2.t2", b * ki * nx * ny);
+    let xf_t = alloc_like(dev, x, "pt2.xf_t", b * ki * nfx * nfy);
+    let yf_t = alloc_like(dev, x, "pt2.yf_t", b * ko * nfx * nfy);
+    let yf_pad = alloc_like(dev, x, "pt2.yf_pad", b * ko * nx * ny);
+    let t3 = alloc_like(dev, x, "pt2.t3", b * ko * nx * ny);
+
+    // 1. full FFT along y
+    run.push(CuFft::exec_rows(
+        dev,
+        "pt2.fft_y",
+        ny,
+        b * ki * nx,
+        FftDirection::Forward,
+        x,
+        t1,
+        mode,
+    ));
+
+    // 2. full FFT along x (strided pencils)
+    run.push(CuFft::exec_strided(
+        dev,
+        "pt2.fft_x",
+        nx,
+        StridedPencils {
+            count: b * ki * ny,
+            group: ny,
+            in_group_stride: nx * ny,
+            in_pencil_stride: 1,
+            in_idx_stride: ny,
+            out_group_stride: nx * ny,
+            out_pencil_stride: 1,
+            out_idx_stride: ny,
+        },
+        FftDirection::Forward,
+        t1,
+        t2,
+        mode,
+    ));
+
+    // 3. corner truncation memcpy
+    let trunc = StridedCopyKernel::new(
+        "pt2.truncate",
+        CornerTruncate2d {
+            grids: b * ki,
+            nx,
+            ny,
+            nfx,
+            nfy,
+        },
+        t2,
+        xf_t,
+    );
+    run.push(dev.launch(&trunc, mode));
+
+    // 4. batched CGEMM along the hidden dim
+    let m = nfx * nfy;
+    run.push(CuBlas::cgemm_strided_batched(
+        dev,
+        "pt2.cgemm",
+        GemmShape {
+            batch: b,
+            m,
+            n: ko,
+            k: ki,
+        },
+        BatchedOperand {
+            buf: xf_t,
+            view: MatView {
+                base: 0,
+                row_stride: 1,
+                col_stride: m,
+            },
+            batch_stride: ki * m,
+        },
+        BatchedOperand {
+            buf: w,
+            view: MatView::row_major(0, ko),
+            batch_stride: 0,
+        },
+        BatchedOperand {
+            buf: yf_t,
+            view: MatView {
+                base: 0,
+                row_stride: 1,
+                col_stride: m,
+            },
+            batch_stride: ko * m,
+        },
+        tfno_num::C32::ONE,
+        tfno_num::C32::ZERO,
+        mode,
+    ));
+
+    // 5. corner padding memcpy
+    let pad = StridedCopyKernel::new(
+        "pt2.pad",
+        CornerPad2d {
+            grids: b * ko,
+            nfx,
+            nfy,
+            nx,
+            ny,
+        },
+        yf_t,
+        yf_pad,
+    );
+    run.push(dev.launch(&pad, mode));
+
+    // 6. full inverse FFT along x
+    run.push(CuFft::exec_strided(
+        dev,
+        "pt2.ifft_x",
+        nx,
+        StridedPencils {
+            count: b * ko * ny,
+            group: ny,
+            in_group_stride: nx * ny,
+            in_pencil_stride: 1,
+            in_idx_stride: ny,
+            out_group_stride: nx * ny,
+            out_pencil_stride: 1,
+            out_idx_stride: ny,
+        },
+        FftDirection::Inverse,
+        yf_pad,
+        t3,
+        mode,
+    ));
+
+    // 7. full inverse FFT along y
+    run.push(CuFft::exec_rows(
+        dev,
+        "pt2.ifft_y",
+        ny,
+        b * ko * nx,
+        FftDirection::Inverse,
+        t3,
+        y,
+        mode,
+    ));
+
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfno_num::error::rel_l2_error;
+    use tfno_num::{reference, C32, CTensor};
+
+    fn rand_like(len: usize, seed: f32) -> Vec<C32> {
+        (0..len)
+            .map(|i| {
+                C32::new(
+                    ((i as f32) * 0.17 + seed).sin(),
+                    ((i as f32) * 0.23 - seed).cos(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_1d_matches_reference_layer() {
+        let p = FnoProblem1d::new(2, 4, 4, 64, 16);
+        let mut dev = GpuDevice::a100();
+        let x = dev.alloc("x", p.input_len());
+        let w = dev.alloc("w", p.weight_len());
+        let y = dev.alloc("y", p.output_len());
+        let xd = rand_like(p.input_len(), 0.3);
+        let wd = rand_like(p.weight_len(), 0.7);
+        dev.upload(x, &xd);
+        dev.upload(w, &wd);
+
+        let run = run_pytorch_1d(&mut dev, &p, x, w, y, ExecMode::Functional);
+        assert_eq!(run.kernel_count(), 5);
+
+        let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.n]);
+        let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
+        let want = reference::fno_layer_1d(&xt, &wt, p.nf);
+        let got = dev.download(y);
+        let err = rel_l2_error(&got, want.data());
+        assert!(err < 1e-4, "rel l2 error {err}");
+    }
+
+    #[test]
+    fn pipeline_2d_matches_reference_layer() {
+        let p = FnoProblem2d::new(1, 2, 2, 16, 16, 4, 4);
+        let mut dev = GpuDevice::a100();
+        let x = dev.alloc("x", p.input_len());
+        let w = dev.alloc("w", p.weight_len());
+        let y = dev.alloc("y", p.output_len());
+        let xd = rand_like(p.input_len(), 0.1);
+        let wd = rand_like(p.weight_len(), 0.9);
+        dev.upload(x, &xd);
+        dev.upload(w, &wd);
+
+        let run = run_pytorch_2d(&mut dev, &p, x, w, y, ExecMode::Functional);
+        assert_eq!(run.kernel_count(), 7);
+
+        let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.nx, p.ny]);
+        let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
+        let want = reference::fno_layer_2d(&xt, &wt, p.nfx, p.nfy);
+        let got = dev.download(y);
+        let err = rel_l2_error(&got, want.data());
+        assert!(err < 1e-4, "rel l2 error {err}");
+    }
+
+    #[test]
+    fn analytical_pipeline_on_virtual_buffers() {
+        let p = FnoProblem1d::new(8, 32, 32, 128, 32);
+        let mut dev = GpuDevice::a100();
+        let x = dev.memory.alloc_virtual("x", p.input_len());
+        let w = dev.memory.alloc_virtual("w", p.weight_len());
+        let y = dev.memory.alloc_virtual("y", p.output_len());
+        let run = run_pytorch_1d(&mut dev, &p, x, w, y, ExecMode::Analytical);
+        assert_eq!(run.kernel_count(), 5);
+        assert!(run.total_us() > 0.0);
+        // 5 launches, each paying launch overhead
+        let overhead = 5.0 * dev.config.kernel_launch_overhead_us;
+        assert!(run.total_us() >= overhead);
+    }
+
+    #[test]
+    fn functional_equals_analytical_stats() {
+        let p = FnoProblem1d::new(2, 8, 8, 64, 16);
+        let mut dev = GpuDevice::a100();
+        let x = dev.alloc("x", p.input_len());
+        let w = dev.alloc("w", p.weight_len());
+        let y = dev.alloc("y", p.output_len());
+        dev.upload(x, &rand_like(p.input_len(), 0.2));
+        dev.upload(w, &rand_like(p.weight_len(), 0.4));
+        let f = run_pytorch_1d(&mut dev, &p, x, w, y, ExecMode::Functional);
+        let a = run_pytorch_1d(&mut dev, &p, x, w, y, ExecMode::Analytical);
+        assert_eq!(f.total_stats(), a.total_stats());
+    }
+}

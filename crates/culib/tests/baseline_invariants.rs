@@ -1,0 +1,107 @@
+//! Integration tests of the baseline executor's structural properties —
+//! the cost structure the paper attributes to PyTorch must actually hold
+//! in the emulation.
+
+use tfno_culib::{run_pytorch_1d, run_pytorch_2d, FnoProblem1d, FnoProblem2d};
+use tfno_gpu_sim::{ExecMode, GpuDevice};
+use tfno_num::C32;
+
+fn data(n: usize) -> Vec<C32> {
+    (0..n)
+        .map(|i| C32::new((i as f32 * 0.19).sin(), (i as f32 * 0.41).cos()))
+        .collect()
+}
+
+#[test]
+fn baseline_1d_has_five_stages_in_order() {
+    let p = FnoProblem1d::new(2, 8, 8, 64, 16);
+    let mut dev = GpuDevice::a100();
+    let x = dev.alloc("x", p.input_len());
+    let w = dev.alloc("w", p.weight_len());
+    let y = dev.alloc("y", p.output_len());
+    dev.upload(x, &data(p.input_len()));
+    dev.upload(w, &data(p.weight_len()));
+    let run = run_pytorch_1d(&mut dev, &p, x, w, y, ExecMode::Functional);
+    let names: Vec<&str> = run.launches.iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["pt.fft", "pt.truncate", "pt.cgemm", "pt.pad", "pt.ifft"]
+    );
+}
+
+#[test]
+fn baseline_ffts_never_truncate() {
+    // cuFFT cannot filter: both transforms move full-length rows.
+    let p = FnoProblem1d::new(2, 8, 8, 128, 16);
+    let mut dev = GpuDevice::a100();
+    let x = dev.alloc("x", p.input_len());
+    let w = dev.alloc("w", p.weight_len());
+    let y = dev.alloc("y", p.output_len());
+    dev.upload(x, &data(p.input_len()));
+    dev.upload(w, &data(p.weight_len()));
+    let run = run_pytorch_1d(&mut dev, &p, x, w, y, ExecMode::Functional);
+    let full_rows = (p.batch * p.k_in * p.n * 8) as u64;
+    let fft = &run.launches[0];
+    assert_eq!(fft.stats.global_load_bytes, full_rows);
+    assert_eq!(fft.stats.global_store_bytes, full_rows);
+    let ifft = &run.launches[4];
+    assert_eq!(ifft.stats.global_load_bytes, full_rows);
+    assert_eq!(ifft.stats.global_store_bytes, full_rows);
+}
+
+#[test]
+fn baseline_copies_move_exactly_the_filter_tensors() {
+    let p = FnoProblem1d::new(3, 4, 4, 64, 16);
+    let mut dev = GpuDevice::a100();
+    let x = dev.alloc("x", p.input_len());
+    let w = dev.alloc("w", p.weight_len());
+    let y = dev.alloc("y", p.output_len());
+    dev.upload(x, &data(p.input_len()));
+    dev.upload(w, &data(p.weight_len()));
+    let run = run_pytorch_1d(&mut dev, &p, x, w, y, ExecMode::Functional);
+    let trunc = &run.launches[1];
+    let nf_bytes = (p.batch * p.k_in * p.nf * 8) as u64;
+    assert_eq!(trunc.stats.global_load_bytes, nf_bytes);
+    assert_eq!(trunc.stats.global_store_bytes, nf_bytes);
+    let pad = &run.launches[3];
+    // pad writes the FULL padded tensor (zeros included)
+    assert_eq!(
+        pad.stats.global_store_bytes,
+        (p.batch * p.k_out * p.n * 8) as u64
+    );
+}
+
+#[test]
+fn baseline_2d_has_seven_stages() {
+    let p = FnoProblem2d::new(1, 4, 4, 16, 16, 4, 4);
+    let mut dev = GpuDevice::a100();
+    let x = dev.alloc("x", p.input_len());
+    let w = dev.alloc("w", p.weight_len());
+    let y = dev.alloc("y", p.output_len());
+    dev.upload(x, &data(p.input_len()));
+    dev.upload(w, &data(p.weight_len()));
+    let run = run_pytorch_2d(&mut dev, &p, x, w, y, ExecMode::Functional);
+    assert_eq!(run.kernel_count(), 7);
+    // every stage pays a launch
+    let overhead = dev.config.kernel_launch_overhead_us;
+    assert!(run.total_us() >= 7.0 * overhead);
+}
+
+#[test]
+fn pipeline_run_accumulates() {
+    let p = FnoProblem1d::new(1, 4, 4, 64, 16);
+    let mut dev = GpuDevice::a100();
+    let x = dev.alloc("x", p.input_len());
+    let w = dev.alloc("w", p.weight_len());
+    let y = dev.alloc("y", p.output_len());
+    dev.upload(x, &data(p.input_len()));
+    dev.upload(w, &data(p.weight_len()));
+    let run = run_pytorch_1d(&mut dev, &p, x, w, y, ExecMode::Functional);
+    let sum: f64 = run.launches.iter().map(|l| l.time_us).sum();
+    assert!((run.total_us() - sum).abs() < 1e-9);
+    let stats = run.total_stats();
+    assert_eq!(
+        stats.flops,
+        run.launches.iter().map(|l| l.stats.flops).sum::<u64>()
+    );
+}

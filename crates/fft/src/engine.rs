@@ -1,0 +1,295 @@
+//! Executes an [`FftPlan`] inside one simulated thread block.
+//!
+//! The engine owns the shared-memory choreography of the paper's FFT
+//! kernel: pencils are staged in a ping/pong pair of shared regions using
+//! the interleaved layout `elem = idx * bs + pencil` (consecutive threads
+//! work on consecutive pencils — the conflict-free arrangement batched FFTs
+//! use internally), every butterfly stage issues its loads/stores as
+//! warp-level transactions, and a `__syncthreads()` separates stages.
+//!
+//! Input and output are pluggable ([`PencilTarget`]): global memory for the
+//! standalone kernels, shared memory for the fused FFT→CGEMM forwarding and
+//! the CGEMM→iFFT epilogue (where the bank-conflict story of the paper's
+//! Figs. 7–8 plays out — the fused kernel in `turbofno` drives those
+//! patterns through this same engine).
+
+use crate::plan::{FftOpKind, FftPlan};
+use tfno_gpu_sim::{BlockCtx, BufferId, WarpIdx, WARP_SIZE};
+use tfno_num::C32;
+
+/// Where a block's pencils come from / go to.
+pub enum PencilTarget<'a> {
+    /// Global buffer; `addr(pencil, idx)` maps to an element index.
+    /// `pencil` is block-local (0..bs).
+    Global {
+        buf: BufferId,
+        addr: &'a (dyn Fn(usize, usize) -> usize + Sync),
+    },
+    /// Block shared memory; `addr(pencil, idx)` maps to a shared element.
+    Shared {
+        addr: &'a (dyn Fn(usize, usize) -> usize + Sync),
+    },
+}
+
+/// How the (pencil, idx) instances of a transfer phase map onto lanes.
+///
+/// This is the thread-to-data assignment the paper's Fig. 7 is about:
+/// `PencilFastest` is the VkFFT-style layout (consecutive threads touch the
+/// same offset of different pencils), `IdxFastest` is TurboFNO's layout
+/// (consecutive threads touch consecutive elements of the same pencil),
+/// which is what makes the forwarded `As` tile bank-aligned for CGEMM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceOrder {
+    PencilFastest,
+    IdxFastest,
+}
+
+/// Input/output binding for one engine run.
+pub struct FftIo<'a> {
+    pub input: PencilTarget<'a>,
+    pub output: PencilTarget<'a>,
+    pub input_order: InstanceOrder,
+    pub output_order: InstanceOrder,
+}
+
+impl<'a> FftIo<'a> {
+    /// Default binding: pencil-fastest on both sides (the conflict-free
+    /// interleaved-staging order of batched FFTs).
+    pub fn new(input: PencilTarget<'a>, output: PencilTarget<'a>) -> Self {
+        FftIo {
+            input,
+            output,
+            input_order: InstanceOrder::PencilFastest,
+            output_order: InstanceOrder::PencilFastest,
+        }
+    }
+
+    pub fn with_output_order(mut self, order: InstanceOrder) -> Self {
+        self.output_order = order;
+        self
+    }
+
+    pub fn with_input_order(mut self, order: InstanceOrder) -> Self {
+        self.input_order = order;
+        self
+    }
+}
+
+/// Per-block FFT executor.
+pub struct FftBlockEngine<'p> {
+    pub plan: &'p FftPlan,
+    /// Active pencils in this block (may be < `bs_layout` in the last
+    /// block of a launch).
+    pub active_pencils: usize,
+    /// Layout stride of the shared staging regions (the configured batch
+    /// size, Table 1's `bs = 8`), kept constant across remainder blocks so
+    /// all blocks share address patterns per active lane.
+    pub bs_layout: usize,
+    /// Element offset of the ping region in block shared memory.
+    pub ping_base: usize,
+    /// Element offset of the pong region.
+    pub pong_base: usize,
+    /// log2 of the per-thread FFT size (Table 1's `n_t`): that many
+    /// consecutive butterfly stages execute in registers; only the exchange
+    /// between groups is charged as shared-memory traffic and synchronized.
+    /// 0 disables grouping (every stage goes through shared memory).
+    pub reg_group_bits: usize,
+}
+
+impl<'p> FftBlockEngine<'p> {
+    /// Shared elements the ping+pong staging of an `n`-point, `bs`-pencil
+    /// engine needs.
+    pub fn staging_elems(n: usize, bs_layout: usize) -> usize {
+        2 * n * bs_layout
+    }
+
+    /// Run the planned FFT for this block's pencils.
+    pub fn run(&self, ctx: &mut BlockCtx<'_>, io: &FftIo<'_>) {
+        let plan = self.plan;
+        let bs = self.bs_layout;
+        debug_assert!(self.active_pencils <= bs);
+        debug_assert!(
+            ctx.shared_len() >= self.pong_base + plan.n * bs,
+            "shared staging region out of bounds"
+        );
+
+        // ---- load: input -> ping region ----
+        // The real kernel gathers straight into registers; the staging
+        // store is bookkeeping of the functional model, not shared traffic.
+        self.transfer_in(ctx, io);
+
+        // ---- butterfly stages, ping-pong ----
+        // Stages within a register group move data without shared-memory
+        // charges (the real kernel holds them in per-thread registers);
+        // only the exchanges *between* groups pay shared traffic and a
+        // barrier. The final stage hands its registers directly to the
+        // writeback, so it is never an exchange either.
+        let group = self.reg_group_bits.max(1);
+        let last_stage = plan.stages.len() - 1;
+        let mut src_base = self.ping_base;
+        let mut dst_base = self.pong_base;
+        for (t, stage) in plan.stages.iter().enumerate() {
+            let store_shared = (t + 1) % group == 0 && t != last_stage;
+            let load_shared = t % group == 0 && t != 0;
+            let instances = stage.ops.len() * bs;
+            let mut inst = 0;
+            while inst < instances {
+                // one warp handles up to 32 instances, pencil-fastest
+                let lane_op = |lane: usize| -> Option<(usize, usize)> {
+                    let i = inst + lane;
+                    if i >= instances {
+                        return None;
+                    }
+                    let pencil = i % bs;
+                    let op_j = i / bs;
+                    (pencil < self.active_pencils).then_some((pencil, op_j))
+                };
+
+                let idx_a = WarpIdx::from_fn(|l| {
+                    lane_op(l).and_then(|(p, j)| {
+                        stage.ops[j]
+                            .a
+                            .map(|a| src_base + a as usize * bs + p)
+                    })
+                });
+                let idx_b = WarpIdx::from_fn(|l| {
+                    lane_op(l).and_then(|(p, j)| {
+                        stage.ops[j]
+                            .b
+                            .map(|b| src_base + b as usize * bs + p)
+                    })
+                });
+                ctx.set_shared_metering(load_shared);
+                let a_vals = ctx.shared_load(&idx_a);
+                let b_vals = ctx.shared_load(&idx_b);
+                ctx.set_shared_metering(true);
+
+                let mut out = [C32::ZERO; WARP_SIZE];
+                let mut flops = 0u64;
+                for l in 0..WARP_SIZE {
+                    if let Some((_p, j)) = lane_op(l) {
+                        let op = &stage.ops[j];
+                        let a = if op.a.is_some() { a_vals[l] } else { C32::ZERO };
+                        let b = if op.b.is_some() { b_vals[l] } else { C32::ZERO };
+                        let v = match op.kind {
+                            FftOpKind::Sum => a + b,
+                            FftOpKind::Diff => a - b,
+                        };
+                        out[l] = match op.w {
+                            Some(w) => v * w,
+                            None => v,
+                        };
+                        flops += op.flops();
+                    }
+                }
+                ctx.add_flops(flops);
+
+                let idx_dst = WarpIdx::from_fn(|l| {
+                    lane_op(l).map(|(p, j)| dst_base + stage.ops[j].dst as usize * bs + p)
+                });
+                ctx.set_shared_metering(store_shared);
+                ctx.shared_store(&idx_dst, &out);
+                ctx.set_shared_metering(true);
+                inst += WARP_SIZE;
+            }
+            if store_shared {
+                ctx.syncthreads();
+            }
+            std::mem::swap(&mut src_base, &mut dst_base);
+        }
+
+        // ---- writeback: final region -> output ----
+        self.transfer_out(ctx, io, src_base);
+    }
+
+    /// Decompose a flat instance into `(pencil, idx)` per the given order.
+    fn split(i: usize, bs: usize, n: usize, order: InstanceOrder) -> (usize, usize) {
+        match order {
+            InstanceOrder::PencilFastest => (i % bs, i / bs),
+            InstanceOrder::IdxFastest => (i / n, i % n),
+        }
+    }
+
+    /// Gather input pencils into the ping region (zero-padding applied by
+    /// only loading the `n_in_valid` prefix — the padded tail is never read
+    /// thanks to plan pruning).
+    fn transfer_in(&self, ctx: &mut BlockCtx<'_>, io: &FftIo<'_>) {
+        let plan = self.plan;
+        let bs = self.bs_layout;
+        let n_in = plan.n_in_valid;
+        let instances = n_in * bs;
+        let mut inst = 0;
+        while inst < instances {
+            let lane_pi = |lane: usize| -> Option<(usize, usize)> {
+                let i = inst + lane;
+                if i >= instances {
+                    return None;
+                }
+                let (pencil, idx) = Self::split(i, bs, n_in, io.input_order);
+                (pencil < self.active_pencils).then_some((pencil, idx))
+            };
+            let vals = match &io.input {
+                PencilTarget::Global { buf, addr } => {
+                    let gidx = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| addr(p, i)));
+                    ctx.global_read(*buf, &gidx)
+                }
+                PencilTarget::Shared { addr } => {
+                    let sidx = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| addr(p, i)));
+                    ctx.shared_load(&sidx)
+                }
+            };
+            // staging store models registers, not a shared transaction
+            let dst = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| self.ping_base + i * bs + p));
+            ctx.set_shared_metering(false);
+            ctx.shared_store(&dst, &vals);
+            ctx.set_shared_metering(true);
+            inst += WARP_SIZE;
+        }
+    }
+
+    /// Scatter the kept outputs (applying the inverse-FFT scale).
+    fn transfer_out(&self, ctx: &mut BlockCtx<'_>, io: &FftIo<'_>, final_base: usize) {
+        let plan = self.plan;
+        let bs = self.bs_layout;
+        let n_out = plan.n_out_keep;
+        let scale = plan.scale;
+        let instances = n_out * bs;
+        let mut inst = 0;
+        while inst < instances {
+            let lane_pi = |lane: usize| -> Option<(usize, usize)> {
+                let i = inst + lane;
+                if i >= instances {
+                    return None;
+                }
+                let (pencil, idx) = Self::split(i, bs, n_out, io.output_order);
+                (pencil < self.active_pencils).then_some((pencil, idx))
+            };
+            // the final values live in registers; the staging read is free
+            let src = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| final_base + i * bs + p));
+            ctx.set_shared_metering(false);
+            let mut vals = ctx.shared_load(&src);
+            ctx.set_shared_metering(true);
+            if scale != 1.0 {
+                let mut flops = 0u64;
+                for l in 0..WARP_SIZE {
+                    if lane_pi(l).is_some() {
+                        vals[l] = vals[l].scale(scale);
+                        flops += 2;
+                    }
+                }
+                ctx.add_flops(flops);
+            }
+            match &io.output {
+                PencilTarget::Global { buf, addr } => {
+                    let gidx = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| addr(p, i)));
+                    ctx.global_write(*buf, &gidx, &vals);
+                }
+                PencilTarget::Shared { addr } => {
+                    let sidx = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| addr(p, i)));
+                    ctx.shared_store(&sidx, &vals);
+                }
+            }
+            inst += WARP_SIZE;
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Fast host-side Stockham FFT (no simulation, no pruning).
+//!
+//! Used by `tfno-model` for constructing exact spectral operators and as an
+//! O(N log N) cross-check of the O(N^2) reference DFT. Shares the exact
+//! stage recurrence of [`crate::plan`], so agreement between the two is
+//! also a structural test of the plan generator.
+
+use crate::plan::FftDirection;
+use tfno_num::C32;
+
+/// Out-of-place Stockham FFT. Forward is unnormalized; inverse applies
+/// the `1/N` factor (PyTorch's convention, like the rest of the repo).
+///
+/// ```
+/// use tfno_fft::{host, FftDirection};
+/// use tfno_num::C32;
+/// let x: Vec<C32> = (0..8).map(|i| C32::real(i as f32)).collect();
+/// let modes = host::stockham(&x, FftDirection::Forward);
+/// let back = host::stockham(&modes, FftDirection::Inverse);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((*a - *b).abs() < 1e-5);
+/// }
+/// ```
+pub fn stockham(input: &[C32], direction: FftDirection) -> Vec<C32> {
+    let n = input.len();
+    assert!(n.is_power_of_two() && n >= 1, "length must be a power of two");
+    if n == 1 {
+        return input.to_vec();
+    }
+    let stages = n.trailing_zeros() as usize;
+    let mut src = input.to_vec();
+    let mut dst = vec![C32::ZERO; n];
+    for t in 0..stages {
+        let n_t = n >> t;
+        let m_t = n_t / 2;
+        let s_t = 1 << t;
+        for p in 0..m_t {
+            let w = if p == 0 {
+                C32::ONE
+            } else {
+                match direction {
+                    FftDirection::Forward => C32::twiddle(p, n_t),
+                    FftDirection::Inverse => C32::twiddle_inv(p, n_t),
+                }
+            };
+            for q in 0..s_t {
+                let a = src[q + s_t * p];
+                let b = src[q + s_t * (p + m_t)];
+                dst[q + s_t * 2 * p] = a + b;
+                let d = a - b;
+                dst[q + s_t * (2 * p + 1)] = if p == 0 { d } else { d * w };
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    if direction == FftDirection::Inverse {
+        let s = 1.0 / n as f32;
+        for v in &mut src {
+            *v = v.scale(s);
+        }
+    }
+    src
+}
+
+/// Truncated forward FFT: first `nf` modes of the full transform.
+pub fn fft_truncated(input: &[C32], nf: usize) -> Vec<C32> {
+    let mut out = stockham(input, FftDirection::Forward);
+    out.truncate(nf);
+    out
+}
+
+/// Zero-padded inverse FFT: treat `modes` as the first modes of a length-
+/// `n` spectrum.
+pub fn ifft_padded(modes: &[C32], n: usize) -> Vec<C32> {
+    assert!(modes.len() <= n);
+    let mut full = vec![C32::ZERO; n];
+    full[..modes.len()].copy_from_slice(modes);
+    stockham(&full, FftDirection::Inverse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfno_num::error::{assert_close, fft_tolerance};
+    use tfno_num::reference;
+
+    fn sig(n: usize) -> Vec<C32> {
+        (0..n)
+            .map(|i| C32::new((i as f32 * 0.37).sin(), (i as f32 * 0.61).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft() {
+        for n in [1usize, 2, 8, 64, 512, 1024] {
+            let x = sig(n);
+            let got = stockham(&x, FftDirection::Forward);
+            let want = reference::dft_full(&x);
+            assert_close(&got, &want, fft_tolerance(n, 2.0), &format!("n={n}"));
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x = sig(256);
+        let f = stockham(&x, FftDirection::Forward);
+        let y = stockham(&f, FftDirection::Inverse);
+        assert_close(&y, &x, fft_tolerance(256, 2.0), "roundtrip");
+    }
+
+    #[test]
+    fn truncation_and_padding_helpers() {
+        let x = sig(128);
+        let modes = fft_truncated(&x, 32);
+        assert_eq!(modes.len(), 32);
+        let full = stockham(&x, FftDirection::Forward);
+        assert_close(&modes, &full[..32], 1e-4, "prefix");
+
+        let y = ifft_padded(&modes, 128);
+        let mut want = vec![C32::ZERO; 128];
+        reference::idft(&modes, &mut want);
+        assert_close(&y, &want, fft_tolerance(128, 2.0), "padded inverse");
+    }
+
+    #[test]
+    fn matches_plan_execution() {
+        // the plan generator and the host FFT implement the same network
+        use crate::plan::FftPlan;
+        let n = 64;
+        let x = sig(n);
+        let plan = FftPlan::full(n, FftDirection::Forward);
+        let a = plan.execute_host(&x);
+        let b = stockham(&x, FftDirection::Forward);
+        assert_close(&a, &b, 1e-4, "plan vs host");
+    }
+}

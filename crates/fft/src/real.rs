@@ -1,0 +1,217 @@
+//! Real-input transforms (R2C / C2R), an extension beyond the paper.
+//!
+//! PyTorch's FNO reference implementation actually uses `rfft`/`irfft`
+//! (real fields, Hermitian-symmetric spectra); the paper evaluates the
+//! complex C2C pipeline. This module provides the real-transform pair via
+//! the classic even/odd packing trick — one `n/2`-point complex FFT plus
+//! an O(n) untangling pass — so downstream users can run real workloads at
+//! the proper cost, and so the repo documents exactly how the two
+//! formulations relate.
+//!
+//! Conventions match the complex side: forward unnormalized, inverse
+//! carries `1/n`. The forward transform returns the `n/2 + 1` one-sided
+//! modes; the remaining modes are their conjugate mirror.
+
+use crate::host::stockham;
+use crate::plan::FftDirection;
+use tfno_num::C32;
+
+/// Forward real FFT: `n` real samples -> `n/2 + 1` one-sided modes.
+///
+/// ```
+/// use tfno_fft::real::{rfft, irfft};
+/// let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
+/// let modes = rfft(&x);
+/// assert_eq!(modes.len(), 9); // n/2 + 1
+/// let back = irfft(&modes, 16);
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((a - b).abs() < 1e-4);
+/// }
+/// ```
+///
+/// Packing trick: `z[j] = x[2j] + i x[2j+1]` is transformed with one
+/// `n/2`-point complex FFT; the even/odd spectra are untangled as
+/// `E[k] = (Z[k] + conj(Z[m-k]))/2`, `O[k] = -i (Z[k] - conj(Z[m-k]))/2`
+/// and recombined `X[k] = E[k] + W_n^k O[k]`.
+pub fn rfft(input: &[f32]) -> Vec<C32> {
+    let n = input.len();
+    assert!(n.is_power_of_two() && n >= 2, "length must be a power of two >= 2");
+    let m = n / 2;
+    if m == 1 {
+        // n == 2: X[0] = x0 + x1, X[1] = x0 - x1
+        return vec![
+            C32::real(input[0] + input[1]),
+            C32::real(input[0] - input[1]),
+        ];
+    }
+
+    let packed: Vec<C32> = (0..m)
+        .map(|j| C32::new(input[2 * j], input[2 * j + 1]))
+        .collect();
+    let z = stockham(&packed, FftDirection::Forward);
+
+    let mut out = vec![C32::ZERO; m + 1];
+    for k in 0..=m {
+        let zk = if k == m { z[0] } else { z[k] };
+        let zmk = z[(m - k) % m].conj();
+        let e = (zk + zmk).scale(0.5);
+        let o = (zk - zmk).scale(0.5).mul_neg_i();
+        out[k] = e + C32::twiddle(k, n) * o;
+    }
+    out
+}
+
+/// Inverse real FFT: `n/2 + 1` one-sided modes -> `n` real samples
+/// (with the `1/n` factor). The input must be a valid one-sided spectrum
+/// of a real signal: `modes[0]` and `modes[n/2]` must be (numerically)
+/// real; this is asserted in debug builds.
+pub fn irfft(modes: &[C32], n: usize) -> Vec<f32> {
+    assert!(n.is_power_of_two() && n >= 2);
+    assert_eq!(modes.len(), n / 2 + 1, "one-sided spectrum has n/2+1 modes");
+    debug_assert!(
+        modes[0].im.abs() <= 1e-3 * (1.0 + modes[0].re.abs()),
+        "DC mode must be real, got {}",
+        modes[0]
+    );
+    let m = n / 2;
+    if m == 1 {
+        let x0 = (modes[0].re + modes[1].re) * 0.5;
+        let x1 = (modes[0].re - modes[1].re) * 0.5;
+        return vec![x0, x1];
+    }
+
+    // Reverse the untangling: Z[k] = E[k] + i W_n^{-k} ... derived from
+    // X[k], X[m-k] of the one-sided spectrum.
+    let mut z = vec![C32::ZERO; m];
+    for k in 0..m {
+        let xk = modes[k];
+        let xmk = modes[m - k].conj();
+        let e = (xk + xmk).scale(0.5);
+        let o = (xk - xmk).scale(0.5) * C32::twiddle_inv(k, n);
+        z[k] = e + o.mul_i();
+    }
+    let unpacked = stockham(&z, FftDirection::Inverse);
+    let mut out = vec![0.0f32; n];
+    for j in 0..m {
+        out[2 * j] = unpacked[j].re;
+        out[2 * j + 1] = unpacked[j].im;
+    }
+    out
+}
+
+/// Truncated forward real FFT (FNO-style: keep the first `nf` one-sided
+/// modes, `nf <= n/2 + 1`).
+pub fn rfft_truncated(input: &[f32], nf: usize) -> Vec<C32> {
+    let mut out = rfft(input);
+    assert!(nf <= out.len());
+    out.truncate(nf);
+    out
+}
+
+/// Zero-padded inverse real FFT from `nf` kept modes back to `n` samples.
+pub fn irfft_padded(modes: &[C32], n: usize) -> Vec<f32> {
+    let mut full = vec![C32::ZERO; n / 2 + 1];
+    assert!(modes.len() <= full.len());
+    full[..modes.len()].copy_from_slice(modes);
+    // the (kept) Nyquist term of a truncated spectrum is zero; DC must be
+    // realized as real for a valid spectrum
+    full[0] = C32::real(full[0].re);
+    irfft(&full, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfno_num::reference;
+
+    fn real_sig(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.37).sin() + 0.5 * (i as f32 * 0.11).cos())
+            .collect()
+    }
+
+    #[test]
+    fn rfft_matches_complex_dft() {
+        for n in [2usize, 4, 16, 128, 512] {
+            let x = real_sig(n);
+            let xc: Vec<C32> = x.iter().map(|&v| C32::real(v)).collect();
+            let full = reference::dft_full(&xc);
+            let got = rfft(&x);
+            assert_eq!(got.len(), n / 2 + 1);
+            for k in 0..=n / 2 {
+                assert!(
+                    (got[k] - full[k]).abs() < 1e-3 * (n as f32).sqrt(),
+                    "n={n} k={k}: {} vs {}",
+                    got[k],
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_symmetry_is_implicit() {
+        // the dropped modes are the conjugates of the kept ones
+        let n = 64;
+        let x = real_sig(n);
+        let xc: Vec<C32> = x.iter().map(|&v| C32::real(v)).collect();
+        let full = reference::dft_full(&xc);
+        for k in 1..n / 2 {
+            assert!((full[n - k] - full[k].conj()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [2usize, 8, 64, 256] {
+            let x = real_sig(n);
+            let back = irfft(&rfft(&x), n);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-4, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 128usize;
+        let x = real_sig(n);
+        let modes = rfft(&x);
+        let time_energy: f32 = x.iter().map(|v| v * v).sum();
+        // one-sided Parseval: |X0|^2 + |Xm|^2 + 2 sum |Xk|^2 = n * energy
+        let mut spec = modes[0].norm_sqr() + modes[n / 2].norm_sqr();
+        for k in 1..n / 2 {
+            spec += 2.0 * modes[k].norm_sqr();
+        }
+        assert!(
+            (spec / (n as f32) - time_energy).abs() < 1e-2 * time_energy.max(1.0),
+            "{spec} vs {time_energy}"
+        );
+    }
+
+    #[test]
+    fn truncation_lowpass_roundtrip() {
+        // a band-limited real signal survives truncation + padding
+        let n = 128usize;
+        let x: Vec<f32> = (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f32::consts::PI * i as f32 / n as f32;
+                1.0 + (3.0 * t).sin() + 0.25 * (7.0 * t).cos()
+            })
+            .collect();
+        let kept = rfft_truncated(&x, 16);
+        let back = irfft_padded(&kept, n);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rfft_halves_the_work_conceptually() {
+        // the packed transform length is n/2 — the efficiency the trick buys
+        let n = 256usize;
+        let x = real_sig(n);
+        let modes = rfft(&x);
+        assert_eq!(modes.len(), 129);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests of the simulated FFT kernels: roundtrips, linearity,
+//! shift theorem, and analytical/functional agreement over random shapes.
+
+use proptest::prelude::*;
+use tfno_fft::{
+    BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
+};
+use tfno_gpu_sim::{ExecMode, GpuDevice};
+use tfno_num::error::{fft_tolerance, max_abs_error};
+use tfno_num::C32;
+
+fn launch_fft(
+    pencils: usize,
+    n: usize,
+    nf: usize,
+    dir: FftDirection,
+    data: &[C32],
+    k_iters: usize,
+) -> (Vec<C32>, tfno_gpu_sim::KernelStats, tfno_gpu_sim::KernelStats) {
+    let (in_len, out_len) = match dir {
+        FftDirection::Forward => (n, nf),
+        FftDirection::Inverse => (nf, n),
+    };
+    let mut dev = GpuDevice::a100();
+    let input = dev.alloc("in", pencils * in_len);
+    let output = dev.alloc("out", pencils * out_len);
+    dev.upload(input, data);
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(n)).with_k_iters(k_iters);
+    let plan = match dir {
+        FftDirection::Forward => FftPlan::new(n, dir, n, nf),
+        FftDirection::Inverse => FftPlan::new(n, dir, nf, n),
+    };
+    let addr = RowPencils {
+        count: pencils,
+        in_row_len: in_len,
+        out_row_len: out_len,
+    };
+    let k = BatchedFftKernel::new("prop.fft", cfg, plan, addr, input, output);
+    let f = dev.launch(&k, ExecMode::Functional);
+    let out = dev.download(output);
+    let a = dev.launch(&k, ExecMode::Analytical);
+    (out, f.stats, a.stats)
+}
+
+fn signal(pencils: usize, len: usize, seed: u64) -> Vec<C32> {
+    (0..pencils * len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed);
+            C32::new(
+                ((x >> 16) % 1000) as f32 / 500.0 - 1.0,
+                ((x >> 32) % 1000) as f32 / 500.0 - 1.0,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// FFT through the simulator, then inverse FFT through the simulator,
+    /// restores the band-limited part of the signal; with nf == n it
+    /// restores everything.
+    #[test]
+    fn prop_simulated_roundtrip(
+        pencils in 1usize..20,
+        n_pow in 5u32..9,
+        seed in 0u64..1000,
+        k_iters in 1usize..4,
+    ) {
+        let n = 1usize << n_pow;
+        let x = signal(pencils, n, seed);
+        let (modes, ..) = launch_fft(pencils, n, n, FftDirection::Forward, &x, k_iters);
+        let (back, ..) = launch_fft(pencils, n, n, FftDirection::Inverse, &modes, 1);
+        let err = max_abs_error(&back, &x);
+        prop_assert!(err < fft_tolerance(n, 4.0), "err {err}");
+    }
+
+    /// Analytical stats equal functional stats for every random shape,
+    /// including remainder blocks and k-loop iteration counts.
+    #[test]
+    fn prop_analytical_matches_functional(
+        pencils in 1usize..40,
+        n_pow in 5u32..9,
+        nf_div in 0u32..2,
+        k_iters in 1usize..5,
+    ) {
+        let n = 1usize << n_pow;
+        let nf = n >> nf_div;
+        let x = signal(pencils, n, 3);
+        let (_, f, a) = launch_fft(pencils, n, nf, FftDirection::Forward, &x, k_iters);
+        prop_assert_eq!(f, a);
+    }
+
+    /// Truncation through the kernel equals truncating the full transform.
+    #[test]
+    fn prop_truncation_is_prefix(
+        pencils in 1usize..8,
+        n_pow in 5u32..8,
+        seed in 0u64..100,
+    ) {
+        let n = 1usize << n_pow;
+        let nf = n / 4;
+        let x = signal(pencils, n, seed);
+        let (full, ..) = launch_fft(pencils, n, n, FftDirection::Forward, &x, 1);
+        let (trunc, ..) = launch_fft(pencils, n, nf, FftDirection::Forward, &x, 1);
+        for p in 0..pencils {
+            let err = max_abs_error(
+                &trunc[p * nf..(p + 1) * nf],
+                &full[p * n..p * n + nf],
+            );
+            prop_assert!(err < 1e-4, "pencil {p}: {err}");
+        }
+    }
+
+    /// Linearity of the simulated kernel: FFT(a*x) == a*FFT(x).
+    #[test]
+    fn prop_linearity(
+        n_pow in 5u32..8,
+        re in -2.0f32..2.0,
+        im in -2.0f32..2.0,
+    ) {
+        let n = 1usize << n_pow;
+        let a = C32::new(re, im);
+        let x = signal(2, n, 17);
+        let scaled: Vec<C32> = x.iter().map(|v| a * *v).collect();
+        let (fx, ..) = launch_fft(2, n, n, FftDirection::Forward, &x, 1);
+        let (fs, ..) = launch_fft(2, n, n, FftDirection::Forward, &scaled, 1);
+        let want: Vec<C32> = fx.iter().map(|v| a * *v).collect();
+        let err = max_abs_error(&fs, &want);
+        prop_assert!(err < fft_tolerance(n, 8.0), "err {err}");
+    }
+}
+
+/// The circular-shift theorem through the simulated kernel:
+/// FFT(shift(x, s))[k] == FFT(x)[k] * W^{ks}.
+#[test]
+fn shift_theorem() {
+    let n = 64usize;
+    let s = 5usize;
+    let x = signal(1, n, 23);
+    let shifted: Vec<C32> = (0..n).map(|i| x[(i + s) % n]).collect();
+    let (fx, ..) = launch_fft(1, n, n, FftDirection::Forward, &x, 1);
+    let (fsh, ..) = launch_fft(1, n, n, FftDirection::Forward, &shifted, 1);
+    for k in 0..n {
+        let want = fx[k] * C32::twiddle_inv(k * s % n, n);
+        assert!(
+            (fsh[k] - want).abs() < 1e-3,
+            "k={k}: {} vs {want}",
+            fsh[k]
+        );
+    }
+}

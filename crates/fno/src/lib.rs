@@ -1,0 +1,26 @@
+//! # tfno-model
+//!
+//! Fourier Neural Operator models built on the TurboFNO kernels:
+//!
+//! * [`spectral`] — the spectral convolution layers (the paper's Fourier
+//!   layer, shared complex weight across retained modes) with a fast host
+//!   path and a simulated-device path running any pipeline
+//!   [`Variant`](turbofno::Variant);
+//! * [`permode`] — the classic per-mode-weight FNO spectral layer as an
+//!   extension (executed as a mode-batched CGEMM);
+//! * [`model`] — complete FNO architectures (lifting → Fourier layers with
+//!   pointwise bypass + GELU → projection), 1D and 2D;
+//! * [`pde`] — synthetic PDE workload generators (heat-equation exact
+//!   spectral operator, Burgers-style initial conditions, Gaussian random
+//!   fields for Darcy/Navier–Stokes-like inputs).
+//!
+
+
+pub mod model;
+pub mod permode;
+pub mod pde;
+pub mod spectral;
+
+pub use model::{Fno1d, Fno2d, FnoLayer1d, FnoLayer2d};
+pub use permode::PerModeSpectralConv1d;
+pub use spectral::{SpectralConv1d, SpectralConv2d};

@@ -1,0 +1,364 @@
+//! Complete FNO architectures: lifting → Fourier layers (spectral conv +
+//! pointwise bypass + GELU) → projection, in 1D and 2D.
+//!
+//! The device path runs the spectral convolutions on the simulated GPU
+//! through any pipeline [`Variant`] and aggregates the
+//! per-layer timing records; the pointwise/projection GEMMs execute on the
+//! host (the paper's optimization target is the Fourier layer — everything
+//! else is identical between baselines and TurboFNO).
+
+use crate::spectral::{SpectralConv1d, SpectralConv2d};
+use rand::Rng;
+use tfno_culib::PipelineRun;
+use tfno_gpu_sim::GpuDevice;
+use tfno_num::{C32, CTensor};
+use turbofno::{TurboOptions, Variant};
+
+/// GELU (tanh approximation), applied to both complex lanes.
+pub fn gelu(v: f32) -> f32 {
+    0.5 * v
+        * (1.0
+            + ((2.0 / std::f32::consts::PI).sqrt() * (v + 0.044715 * v * v * v)).tanh())
+}
+
+fn gelu_c(v: C32) -> C32 {
+    C32::new(gelu(v.re), gelu(v.im))
+}
+
+/// Pointwise (1x1) convolution over the channel axis: `w[k_in, k_out]`.
+/// `x: [batch, k_in, ...spatial] -> [batch, k_out, ...spatial]`.
+pub fn pointwise(x: &CTensor, w: &CTensor) -> CTensor {
+    let shape = x.shape().to_vec();
+    let batch = shape[0];
+    let k_in = shape[1];
+    let spatial: usize = shape[2..].iter().product();
+    let (wk_in, k_out) = match *w.shape() {
+        [i, o] => (i, o),
+        _ => panic!("pointwise weight must be rank-2"),
+    };
+    assert_eq!(k_in, wk_in);
+    let mut out_shape = shape.clone();
+    out_shape[1] = k_out;
+    let mut y = CTensor::zeros(&out_shape);
+    for b in 0..batch {
+        for s in 0..spatial {
+            for ko in 0..k_out {
+                let mut acc = C32::ZERO;
+                for ki in 0..k_in {
+                    acc = acc.mac(x.data()[(b * k_in + ki) * spatial + s], w.get(&[ki, ko]));
+                }
+                y.data_mut()[(b * k_out + ko) * spatial + s] = acc;
+            }
+        }
+    }
+    y
+}
+
+fn add_gelu(a: &CTensor, b: &CTensor) -> CTensor {
+    assert_eq!(a.shape(), b.shape());
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| gelu_c(*x + *y))
+        .collect();
+    CTensor::from_vec(data, a.shape())
+}
+
+/// One 1D Fourier layer: `gelu(spectral(x) + pointwise(x))`.
+#[derive(Clone, Debug)]
+pub struct FnoLayer1d {
+    pub spectral: SpectralConv1d,
+    pub bypass: CTensor, // [k, k]
+}
+
+impl FnoLayer1d {
+    pub fn random<R: Rng>(rng: &mut R, width: usize, n: usize, nf: usize) -> Self {
+        let scale = 1.0 / width as f32;
+        let bypass = CTensor::from_vec(
+            (0..width * width)
+                .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
+                .collect(),
+            &[width, width],
+        );
+        FnoLayer1d {
+            spectral: SpectralConv1d::random(rng, width, width, n, nf),
+            bypass,
+        }
+    }
+
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        let s = self.spectral.forward_host(x);
+        let p = pointwise(x, &self.bypass);
+        add_gelu(&s, &p)
+    }
+
+    pub fn forward_device(
+        &self,
+        dev: &mut GpuDevice,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let (s, run) = self.spectral.forward_device(dev, variant, opts, x);
+        let p = pointwise(x, &self.bypass);
+        (add_gelu(&s, &p), run)
+    }
+}
+
+/// A full 1D FNO.
+#[derive(Clone, Debug)]
+pub struct Fno1d {
+    pub lift: CTensor,  // [in_ch, width]
+    pub layers: Vec<FnoLayer1d>,
+    pub proj: CTensor,  // [width, out_ch]
+}
+
+impl Fno1d {
+    /// Random model: `in_ch -> width -> (layers x Fourier) -> out_ch`.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        in_ch: usize,
+        width: usize,
+        out_ch: usize,
+        layers: usize,
+        n: usize,
+        nf: usize,
+    ) -> Self {
+        let mk = |rng: &mut R, i: usize, o: usize| {
+            let scale = 1.0 / i as f32;
+            CTensor::from_vec(
+                (0..i * o)
+                    .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
+                    .collect(),
+                &[i, o],
+            )
+        };
+        Fno1d {
+            lift: mk(rng, in_ch, width),
+            layers: (0..layers).map(|_| FnoLayer1d::random(rng, width, n, nf)).collect(),
+            proj: mk(rng, width, out_ch),
+        }
+    }
+
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        let mut h = pointwise(x, &self.lift);
+        for layer in &self.layers {
+            h = layer.forward_host(&h);
+        }
+        pointwise(&h, &self.proj)
+    }
+
+    /// Device forward; returns the output and the concatenated spectral
+    /// timing records of all layers.
+    pub fn forward_device(
+        &self,
+        dev: &mut GpuDevice,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let mut h = pointwise(x, &self.lift);
+        let mut total = PipelineRun::default();
+        for layer in &self.layers {
+            let (next, run) = layer.forward_device(dev, variant, opts, &h);
+            h = next;
+            for l in run.launches {
+                total.push(l);
+            }
+        }
+        (pointwise(&h, &self.proj), total)
+    }
+}
+
+/// One 2D Fourier layer.
+#[derive(Clone, Debug)]
+pub struct FnoLayer2d {
+    pub spectral: SpectralConv2d,
+    pub bypass: CTensor,
+}
+
+impl FnoLayer2d {
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        width: usize,
+        nx: usize,
+        ny: usize,
+        nfx: usize,
+        nfy: usize,
+    ) -> Self {
+        let scale = 1.0 / width as f32;
+        let bypass = CTensor::from_vec(
+            (0..width * width)
+                .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
+                .collect(),
+            &[width, width],
+        );
+        FnoLayer2d {
+            spectral: SpectralConv2d::random(rng, width, width, nx, ny, nfx, nfy),
+            bypass,
+        }
+    }
+
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        let s = self.spectral.forward_host(x);
+        let p = pointwise(x, &self.bypass);
+        add_gelu(&s, &p)
+    }
+
+    pub fn forward_device(
+        &self,
+        dev: &mut GpuDevice,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let (s, run) = self.spectral.forward_device(dev, variant, opts, x);
+        let p = pointwise(x, &self.bypass);
+        (add_gelu(&s, &p), run)
+    }
+}
+
+/// A full 2D FNO.
+#[derive(Clone, Debug)]
+pub struct Fno2d {
+    pub lift: CTensor,
+    pub layers: Vec<FnoLayer2d>,
+    pub proj: CTensor,
+}
+
+impl Fno2d {
+    #[allow(clippy::too_many_arguments)]
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        in_ch: usize,
+        width: usize,
+        out_ch: usize,
+        layers: usize,
+        nx: usize,
+        ny: usize,
+        nfx: usize,
+        nfy: usize,
+    ) -> Self {
+        let mk = |rng: &mut R, i: usize, o: usize| {
+            let scale = 1.0 / i as f32;
+            CTensor::from_vec(
+                (0..i * o)
+                    .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
+                    .collect(),
+                &[i, o],
+            )
+        };
+        Fno2d {
+            lift: mk(rng, in_ch, width),
+            layers: (0..layers)
+                .map(|_| FnoLayer2d::random(rng, width, nx, ny, nfx, nfy))
+                .collect(),
+            proj: mk(rng, width, out_ch),
+        }
+    }
+
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        let mut h = pointwise(x, &self.lift);
+        for layer in &self.layers {
+            h = layer.forward_host(&h);
+        }
+        pointwise(&h, &self.proj)
+    }
+
+    pub fn forward_device(
+        &self,
+        dev: &mut GpuDevice,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let mut h = pointwise(x, &self.lift);
+        let mut total = PipelineRun::default();
+        for layer in &self.layers {
+            let (next, run) = layer.forward_device(dev, variant, opts, &h);
+            h = next;
+            for l in run.launches {
+                total.push(l);
+            }
+        }
+        (pointwise(&h, &self.proj), total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tfno_num::error::rel_l2_error;
+
+    #[test]
+    fn gelu_reference_points() {
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pointwise_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = CTensor::random(&mut rng, &[2, 3, 8]);
+        let mut w = CTensor::zeros(&[3, 3]);
+        for i in 0..3 {
+            w.set(&[i, i], C32::ONE);
+        }
+        let y = pointwise(&x, &w);
+        assert!(x.max_abs_diff(&y) < 1e-6);
+    }
+
+    #[test]
+    fn fno1d_device_matches_host() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = Fno1d::random(&mut rng, 2, 8, 1, 2, 64, 16);
+        let x = CTensor::random(&mut rng, &[1, 2, 64]);
+        let want = model.forward_host(&x);
+        let mut dev = GpuDevice::a100();
+        let (got, run) = model.forward_device(
+            &mut dev,
+            Variant::FftOpt,
+            &TurboOptions::default(),
+            &x,
+        );
+        let err = rel_l2_error(got.data(), want.data());
+        assert!(err < 1e-3, "err {err}");
+        assert_eq!(run.kernel_count(), 2 * 3); // 2 layers x 3 kernels (variant A)
+    }
+
+    #[test]
+    fn fno1d_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Fno1d::random(&mut rng, 1, 8, 1, 1, 128, 32);
+        let x = CTensor::random(&mut rng, &[2, 1, 128]);
+        let mut outputs = Vec::new();
+        for v in [Variant::Pytorch, Variant::FullyFused] {
+            let mut dev = GpuDevice::a100();
+            let (got, _) = model.forward_device(&mut dev, v, &TurboOptions::default(), &x);
+            outputs.push(got);
+        }
+        let err = rel_l2_error(outputs[0].data(), outputs[1].data());
+        assert!(err < 1e-4, "variants diverge: {err}");
+    }
+
+    #[test]
+    fn fno2d_device_matches_host() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = Fno2d::random(&mut rng, 1, 8, 1, 1, 32, 32, 8, 32);
+        let x = CTensor::random(&mut rng, &[1, 1, 32, 32]);
+        let want = model.forward_host(&x);
+        let mut dev = GpuDevice::a100();
+        let (got, _) = model.forward_device(
+            &mut dev,
+            Variant::FullyFused,
+            &TurboOptions::default(),
+            &x,
+        );
+        let err = rel_l2_error(got.data(), want.data());
+        assert!(err < 1e-3, "err {err}");
+    }
+}

@@ -1,0 +1,363 @@
+//! Spectral convolution layers (the paper's Fourier layer).
+//!
+//! The weight is a single complex `[k_in, k_out]` matrix shared across
+//! retained modes — the formulation that turns the spectral multiply into
+//! one CGEMM (see DESIGN.md §1, "Semantics note"). Two execution paths:
+//!
+//! * `forward_host` — O(N log N) host Stockham FFTs, used for training-free
+//!   validation and as the reference for the device path;
+//! * `forward_device` — any pipeline [`Variant`] on the simulated GPU,
+//!   returning both the output and the modeled timing record.
+
+use rand::Rng;
+use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
+use tfno_fft::host;
+use tfno_gpu_sim::{ExecMode, GpuDevice};
+use tfno_num::{C32, CTensor};
+use turbofno::{run_variant_1d, run_variant_2d, TurboOptions, Variant};
+
+/// 1D spectral convolution: `[batch, k_in, n] -> [batch, k_out, n]`.
+#[derive(Clone, Debug)]
+pub struct SpectralConv1d {
+    pub k_in: usize,
+    pub k_out: usize,
+    pub n: usize,
+    pub nf: usize,
+    /// `[k_in, k_out]` complex weight shared across modes.
+    pub weight: CTensor,
+}
+
+impl SpectralConv1d {
+    pub fn new(k_in: usize, k_out: usize, n: usize, nf: usize, weight: CTensor) -> Self {
+        assert_eq!(weight.shape(), &[k_in, k_out], "weight shape mismatch");
+        assert!(nf <= n);
+        SpectralConv1d {
+            k_in,
+            k_out,
+            n,
+            nf,
+            weight,
+        }
+    }
+
+    /// Xavier-ish random initialization (scale `1 / k_in`).
+    pub fn random<R: Rng>(rng: &mut R, k_in: usize, k_out: usize, n: usize, nf: usize) -> Self {
+        let scale = 1.0 / k_in as f32;
+        let data = (0..k_in * k_out)
+            .map(|_| {
+                C32::new(
+                    rng.gen_range(-scale..scale),
+                    rng.gen_range(-scale..scale),
+                )
+            })
+            .collect();
+        Self::new(k_in, k_out, n, nf, CTensor::from_vec(data, &[k_in, k_out]))
+    }
+
+    pub fn problem(&self, batch: usize) -> FnoProblem1d {
+        FnoProblem1d::new(batch, self.k_in, self.k_out, self.n, self.nf)
+    }
+
+    /// Host-side forward (fast Stockham FFTs).
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        let (batch, k_in, n) = match *x.shape() {
+            [b, k, n] => (b, k, n),
+            _ => panic!("expected rank-3 input"),
+        };
+        assert_eq!(k_in, self.k_in);
+        assert_eq!(n, self.n);
+        let nf = self.nf;
+
+        // FFT + truncate every pencil.
+        let mut xf = vec![C32::ZERO; batch * k_in * nf];
+        for b in 0..batch {
+            for k in 0..k_in {
+                let base = (b * k_in + k) * n;
+                let modes = host::fft_truncated(&x.data()[base..base + n], nf);
+                xf[(b * k_in + k) * nf..(b * k_in + k + 1) * nf].copy_from_slice(&modes);
+            }
+        }
+
+        // Shared-weight CGEMM across retained modes.
+        let mut yf = vec![C32::ZERO; batch * self.k_out * nf];
+        for b in 0..batch {
+            for f in 0..nf {
+                for ko in 0..self.k_out {
+                    let mut acc = C32::ZERO;
+                    for ki in 0..k_in {
+                        acc = acc.mac(xf[(b * k_in + ki) * nf + f], self.weight.get(&[ki, ko]));
+                    }
+                    yf[(b * self.k_out + ko) * nf + f] = acc;
+                }
+            }
+        }
+
+        // Zero-pad + inverse FFT.
+        let mut y = CTensor::zeros(&[batch, self.k_out, n]);
+        for b in 0..batch {
+            for ko in 0..self.k_out {
+                let base = (b * self.k_out + ko) * nf;
+                let row = host::ifft_padded(&yf[base..base + nf], n);
+                let obase = y.offset(&[b, ko, 0]);
+                y.data_mut()[obase..obase + n].copy_from_slice(&row);
+            }
+        }
+        y
+    }
+
+    /// Device forward through a pipeline variant; returns output + timings.
+    pub fn forward_device(
+        &self,
+        dev: &mut GpuDevice,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let (batch, _, _) = match *x.shape() {
+            [b, k, n] => (b, k, n),
+            _ => panic!("expected rank-3 input"),
+        };
+        let p = self.problem(batch);
+        let xb = dev.alloc("spec1d.x", p.input_len());
+        let wb = dev.alloc("spec1d.w", p.weight_len());
+        let yb = dev.alloc("spec1d.y", p.output_len());
+        dev.upload(xb, x.data());
+        dev.upload(wb, self.weight.data());
+        let run = run_variant_1d(dev, &p, variant, xb, wb, yb, opts, ExecMode::Functional);
+        let y = CTensor::from_vec(dev.download(yb), &[batch, self.k_out, self.n]);
+        (y, run)
+    }
+}
+
+/// 2D spectral convolution: `[batch, k_in, nx, ny] -> [batch, k_out, nx, ny]`.
+#[derive(Clone, Debug)]
+pub struct SpectralConv2d {
+    pub k_in: usize,
+    pub k_out: usize,
+    pub nx: usize,
+    pub ny: usize,
+    pub nfx: usize,
+    pub nfy: usize,
+    pub weight: CTensor,
+}
+
+impl SpectralConv2d {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        k_in: usize,
+        k_out: usize,
+        nx: usize,
+        ny: usize,
+        nfx: usize,
+        nfy: usize,
+        weight: CTensor,
+    ) -> Self {
+        assert_eq!(weight.shape(), &[k_in, k_out]);
+        SpectralConv2d {
+            k_in,
+            k_out,
+            nx,
+            ny,
+            nfx,
+            nfy,
+            weight,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        k_in: usize,
+        k_out: usize,
+        nx: usize,
+        ny: usize,
+        nfx: usize,
+        nfy: usize,
+    ) -> Self {
+        let scale = 1.0 / k_in as f32;
+        let data = (0..k_in * k_out)
+            .map(|_| {
+                C32::new(
+                    rng.gen_range(-scale..scale),
+                    rng.gen_range(-scale..scale),
+                )
+            })
+            .collect();
+        Self::new(
+            k_in,
+            k_out,
+            nx,
+            ny,
+            nfx,
+            nfy,
+            CTensor::from_vec(data, &[k_in, k_out]),
+        )
+    }
+
+    pub fn problem(&self, batch: usize) -> FnoProblem2d {
+        FnoProblem2d::new(
+            batch, self.k_in, self.k_out, self.nx, self.ny, self.nfx, self.nfy,
+        )
+    }
+
+    /// Host-side forward via separable Stockham FFTs.
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        let (batch, k_in, nx, ny) = match *x.shape() {
+            [b, k, nx, ny] => (b, k, nx, ny),
+            _ => panic!("expected rank-4 input"),
+        };
+        assert_eq!((k_in, nx, ny), (self.k_in, self.nx, self.ny));
+        let (nfx, nfy) = (self.nfx, self.nfy);
+
+        // 2D FFT + corner truncation per (b, k).
+        let mut xf = vec![C32::ZERO; batch * k_in * nfx * nfy];
+        let mut col = vec![C32::ZERO; nx];
+        for b in 0..batch {
+            for k in 0..k_in {
+                let base = (b * k_in + k) * nx * ny;
+                // y-stage
+                let mut stage1 = vec![C32::ZERO; nx * nfy];
+                for xr in 0..nx {
+                    let modes = host::fft_truncated(&x.data()[base + xr * ny..base + (xr + 1) * ny], nfy);
+                    stage1[xr * nfy..(xr + 1) * nfy].copy_from_slice(&modes);
+                }
+                // x-stage
+                for fy in 0..nfy {
+                    for (xr, c) in col.iter_mut().enumerate() {
+                        *c = stage1[xr * nfy + fy];
+                    }
+                    let modes = host::fft_truncated(&col, nfx);
+                    for fx in 0..nfx {
+                        xf[((b * k_in + k) * nfx + fx) * nfy + fy] = modes[fx];
+                    }
+                }
+            }
+        }
+
+        // Shared-weight CGEMM.
+        let m = nfx * nfy;
+        let mut yf = vec![C32::ZERO; batch * self.k_out * m];
+        for b in 0..batch {
+            for f in 0..m {
+                for ko in 0..self.k_out {
+                    let mut acc = C32::ZERO;
+                    for ki in 0..k_in {
+                        acc = acc.mac(xf[(b * k_in + ki) * m + f], self.weight.get(&[ki, ko]));
+                    }
+                    yf[(b * self.k_out + ko) * m + f] = acc;
+                }
+            }
+        }
+
+        // Pad + inverse 2D FFT.
+        let mut y = CTensor::zeros(&[batch, self.k_out, nx, ny]);
+        let mut colf = vec![C32::ZERO; nfx];
+        for b in 0..batch {
+            for ko in 0..self.k_out {
+                let base = (b * self.k_out + ko) * m;
+                // x-stage inverse
+                let mut stage1 = vec![C32::ZERO; nx * nfy];
+                for fy in 0..nfy {
+                    for (fx, c) in colf.iter_mut().enumerate() {
+                        *c = yf[base + fx * nfy + fy];
+                    }
+                    let spatial = host::ifft_padded(&colf, nx);
+                    for xr in 0..nx {
+                        stage1[xr * nfy + fy] = spatial[xr];
+                    }
+                }
+                // y-stage inverse
+                let obase = y.offset(&[b, ko, 0, 0]);
+                for xr in 0..nx {
+                    let row = host::ifft_padded(&stage1[xr * nfy..(xr + 1) * nfy], ny);
+                    y.data_mut()[obase + xr * ny..obase + (xr + 1) * ny].copy_from_slice(&row);
+                }
+            }
+        }
+        y
+    }
+
+    /// Device forward through a pipeline variant.
+    pub fn forward_device(
+        &self,
+        dev: &mut GpuDevice,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let batch = x.shape()[0];
+        let p = self.problem(batch);
+        let xb = dev.alloc("spec2d.x", p.input_len());
+        let wb = dev.alloc("spec2d.w", p.weight_len());
+        let yb = dev.alloc("spec2d.y", p.output_len());
+        dev.upload(xb, x.data());
+        dev.upload(wb, self.weight.data());
+        let run = run_variant_2d(dev, &p, variant, xb, wb, yb, opts, ExecMode::Functional);
+        let y = CTensor::from_vec(dev.download(yb), &[batch, self.k_out, self.nx, self.ny]);
+        (y, run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tfno_num::error::rel_l2_error;
+    use tfno_num::reference;
+
+    #[test]
+    fn host_forward_matches_reference_1d() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = SpectralConv1d::random(&mut rng, 4, 6, 64, 16);
+        let x = CTensor::random(&mut rng, &[2, 4, 64]);
+        let got = layer.forward_host(&x);
+        let want = reference::fno_layer_1d(&x, &layer.weight, 16);
+        let err = rel_l2_error(got.data(), want.data());
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn device_forward_matches_host_1d() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let layer = SpectralConv1d::random(&mut rng, 8, 8, 128, 32);
+        let x = CTensor::random(&mut rng, &[2, 8, 128]);
+        let want = layer.forward_host(&x);
+        for variant in [Variant::Pytorch, Variant::FullyFused] {
+            let mut dev = GpuDevice::a100();
+            let (got, run) =
+                layer.forward_device(&mut dev, variant, &TurboOptions::default(), &x);
+            let err = rel_l2_error(got.data(), want.data());
+            assert!(err < 1e-4, "{variant:?} err {err}");
+            assert!(run.total_us() > 0.0);
+        }
+    }
+
+    #[test]
+    fn host_forward_matches_reference_2d() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = SpectralConv2d::random(&mut rng, 3, 5, 16, 16, 4, 4);
+        let x = CTensor::random(&mut rng, &[2, 3, 16, 16]);
+        let got = layer.forward_host(&x);
+        let want = reference::fno_layer_2d(&x, &layer.weight, 4, 4);
+        let err = rel_l2_error(got.data(), want.data());
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn device_forward_matches_host_2d() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let layer = SpectralConv2d::random(&mut rng, 8, 8, 32, 64, 8, 32);
+        let x = CTensor::random(&mut rng, &[1, 8, 32, 64]);
+        let want = layer.forward_host(&x);
+        let mut dev = GpuDevice::a100();
+        let (got, _) = layer.forward_device(
+            &mut dev,
+            Variant::FullyFused,
+            &TurboOptions::default(),
+            &x,
+        );
+        let err = rel_l2_error(got.data(), want.data());
+        assert!(err < 1e-4, "err {err}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Analytical cost model: `KernelStats` -> microseconds.
+//!
+//! The model is a roofline over four resources, modulated by occupancy:
+//!
+//! ```text
+//! t = launch_overhead
+//!   + max(dram_time, compute_time, shared_time)
+//!   + sync_time
+//! ```
+//!
+//! * `dram_time` uses *sector* bytes (post-coalescing traffic), with loads
+//!   discounted by the kernel's declared L1/L2 hit rate, divided by peak
+//!   bandwidth scaled by a saturation curve in resident blocks. Small grids
+//!   cannot saturate HBM — this is the mechanism behind the paper's Fig. 14
+//!   slowdown regions ("TurboFNO assigns one thread block to process along
+//!   the (Y, K) dimensions ... resulting in suboptimal SM utilization").
+//! * `compute_time` divides flops by peak FP32 throughput scaled by the
+//!   fraction of SMs that have work and a latency-hiding curve in resident
+//!   warps per SM.
+//! * `shared_time` charges one clock per 128-byte shared-memory phase
+//!   (conflict replays included, so a 4-way-conflicted kernel pays 4x — the
+//!   cost the paper's swizzles remove), spread over the SMs in use.
+//! * `sync_time` charges the barrier latency once per `__syncthreads`
+//!   executed per SM-resident block stream.
+
+use crate::device::DeviceConfig;
+use crate::kernel::LaunchDims;
+use crate::stats::KernelStats;
+
+/// Converts event counts into modeled time for a fixed device.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    cfg: DeviceConfig,
+}
+
+/// Per-resource time breakdown (microseconds), useful in reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimeBreakdown {
+    pub launch_us: f64,
+    pub dram_us: f64,
+    pub compute_us: f64,
+    pub shared_us: f64,
+    pub sync_us: f64,
+    pub total_us: f64,
+}
+
+impl CostModel {
+    pub fn new(cfg: DeviceConfig) -> Self {
+        CostModel { cfg }
+    }
+
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Resident blocks device-wide for this launch shape.
+    fn resident_blocks(&self, dims: &LaunchDims) -> f64 {
+        let occ = self
+            .cfg
+            .occupancy(dims.threads_per_block, dims.shared_bytes, dims.regs_per_thread);
+        let cap = (self.cfg.num_sms * occ.blocks_per_sm.max(1)) as f64;
+        (dims.grid_blocks as f64).min(cap)
+    }
+
+    /// SMs with at least one block.
+    fn sms_used(&self, dims: &LaunchDims) -> f64 {
+        (dims.grid_blocks as f64).min(self.cfg.num_sms as f64)
+    }
+
+    /// Full breakdown of a launch's modeled time.
+    pub fn breakdown(&self, dims: &LaunchDims, stats: &KernelStats) -> TimeBreakdown {
+        let cfg = &self.cfg;
+        let resident = self.resident_blocks(dims);
+        let sms_used = self.sms_used(dims);
+
+        // --- DRAM ---
+        let load_sector_bytes = stats.global_load_sectors as f64 * 32.0;
+        let store_sector_bytes = stats.global_store_sectors as f64 * 32.0;
+        let dram_bytes = load_sector_bytes * (1.0 - dims.l1_hit_rate) + store_sector_bytes;
+        let bw_util = resident / (resident + cfg.bw_sat_blocks);
+        let dram_us = dram_bytes / (cfg.dram_bytes_per_us() * bw_util.max(1e-9));
+
+        // --- Compute ---
+        let warps_per_sm = resident * dims.warps_per_block() as f64 / sms_used.max(1.0);
+        let lat_hide = warps_per_sm / (warps_per_sm + cfg.compute_sat_warps);
+        let sm_frac = sms_used / cfg.num_sms as f64;
+        let compute_us =
+            stats.flops as f64 / (cfg.fp32_flops_per_us() * sm_frac * lat_hide.max(1e-9));
+
+        // --- Shared memory ---
+        // Each phase moves <=128 B in one clock on one SM.
+        let shared_cycles_per_sm = stats.shared_actual_cycles as f64 / sms_used.max(1.0);
+        let shared_us = shared_cycles_per_sm / (cfg.clock_hz() * 1e-6);
+
+        // --- Barriers ---
+        // Blocks co-resident on one SM overlap their barriers; charge the
+        // barrier latency once per block *stream* per SM.
+        let syncs_per_sm = stats.syncthreads as f64 / sms_used.max(1.0);
+        let sync_us = syncs_per_sm * cfg.syncthreads_cycles / (cfg.clock_hz() * 1e-6);
+
+        let launch_us = cfg.kernel_launch_overhead_us;
+        // Roofline with partial overlap: the dominant resource hides the
+        // others only to the extent the kernel's phases are independent.
+        let dominant = dram_us.max(compute_us).max(shared_us);
+        let residue = (dram_us + compute_us + shared_us - dominant) * dims.serialization;
+        let total_us = launch_us + dominant + residue + sync_us;
+        TimeBreakdown {
+            launch_us,
+            dram_us,
+            compute_us,
+            shared_us,
+            sync_us,
+            total_us,
+        }
+    }
+
+    /// Modeled time of a launch in microseconds.
+    pub fn kernel_time_us(&self, dims: &LaunchDims, stats: &KernelStats) -> f64 {
+        self.breakdown(dims, stats).total_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims(blocks: usize) -> LaunchDims {
+        LaunchDims::new(blocks, 128).with_shared(8 * 1024)
+    }
+
+    fn mem_heavy(blocks: u64) -> KernelStats {
+        KernelStats {
+            blocks,
+            warps: blocks * 4,
+            global_load_bytes: blocks * 1_000_000,
+            global_load_sectors: blocks * 31_250,
+            global_store_bytes: blocks * 1_000_000,
+            global_store_sectors: blocks * 31_250,
+            ..KernelStats::ZERO
+        }
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let m = CostModel::new(DeviceConfig::a100());
+        let t = m.kernel_time_us(&dims(1), &KernelStats::ZERO);
+        assert!((t - 4.0).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_scales_with_bytes() {
+        let m = CostModel::new(DeviceConfig::a100());
+        let d = dims(1024);
+        let t1 = m.kernel_time_us(&d, &mem_heavy(1024));
+        let t2 = m.kernel_time_us(&d, &mem_heavy(2048));
+        // doubling traffic at fixed dims roughly doubles the memory term
+        assert!(t2 / t1 > 1.8, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn small_grids_get_poor_bandwidth() {
+        let m = CostModel::new(DeviceConfig::a100());
+        // Same total traffic, spread over 4 vs 1024 blocks.
+        let t_small = m.breakdown(&dims(4), &mem_heavy(1024)).dram_us;
+        let t_big = m.breakdown(&dims(1024), &mem_heavy(1024)).dram_us;
+        assert!(
+            t_small > 5.0 * t_big,
+            "low occupancy must throttle bandwidth: {t_small} vs {t_big}"
+        );
+    }
+
+    #[test]
+    fn l1_hits_reduce_dram_time() {
+        let m = CostModel::new(DeviceConfig::a100());
+        let d0 = dims(512);
+        let d1 = dims(512).with_l1_hit_rate(0.5);
+        let s = mem_heavy(512);
+        let t0 = m.breakdown(&d0, &s).dram_us;
+        let t1 = m.breakdown(&d1, &s).dram_us;
+        // half the load bytes disappear; stores unchanged -> 25% less traffic
+        assert!(t1 < t0 && t1 > 0.7 * t0, "t0={t0} t1={t1}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_flops() {
+        let m = CostModel::new(DeviceConfig::a100());
+        let d = dims(2048);
+        let s1 = KernelStats {
+            blocks: 2048,
+            warps: 2048 * 4,
+            flops: 10_000_000_000,
+            ..KernelStats::ZERO
+        };
+        let mut s2 = s1;
+        s2.flops *= 2;
+        let t1 = m.kernel_time_us(&d, &s1);
+        let t2 = m.kernel_time_us(&d, &s2);
+        assert!(t2 / t1 > 1.9, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn bank_conflicts_increase_shared_time() {
+        let m = CostModel::new(DeviceConfig::a100());
+        let d = dims(108);
+        let clean = KernelStats {
+            blocks: 108,
+            shared_ideal_cycles: 1_000_000,
+            shared_actual_cycles: 1_000_000,
+            ..KernelStats::ZERO
+        };
+        let conflicted = KernelStats {
+            shared_actual_cycles: 4_000_000,
+            ..clean
+        };
+        let t_clean = m.breakdown(&d, &clean).shared_us;
+        let t_conf = m.breakdown(&d, &conflicted).shared_us;
+        assert!((t_conf / t_clean - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn syncs_are_additive() {
+        let m = CostModel::new(DeviceConfig::a100());
+        let d = dims(108);
+        let s = KernelStats {
+            blocks: 108,
+            syncthreads: 108 * 1000,
+            ..KernelStats::ZERO
+        };
+        let b = m.breakdown(&d, &s);
+        assert!(b.sync_us > 0.0);
+        assert!((b.total_us - (b.launch_us + b.sync_us)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roofline_takes_max_not_sum() {
+        let m = CostModel::new(DeviceConfig::a100());
+        let d = dims(1024);
+        let s = mem_heavy(1024);
+        let b = m.breakdown(&d, &s);
+        assert!(b.total_us < b.launch_us + b.dram_us + b.compute_us + b.shared_us + 1e-9 + b.sync_us + b.dram_us);
+        assert!((b.total_us - (b.launch_us + b.dram_us.max(b.compute_us).max(b.shared_us) + b.sync_us)).abs() < 1e-9);
+    }
+}

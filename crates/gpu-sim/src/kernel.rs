@@ -1,0 +1,593 @@
+//! Kernel trait, block execution context, and the launch machinery.
+//!
+//! Kernels are written warp-synchronously against [`BlockCtx`]; the device
+//! executes blocks (optionally in parallel across host threads — blocks are
+//! independent by construction, exactly as on hardware) and merges their
+//! event counts into a [`LaunchRecord`].
+//!
+//! Global-memory semantics are CUDA's: reads observe pre-launch state,
+//! writes become visible after the launch. Cross-block write conflicts are
+//! detected when `validate_writes` is enabled (default in debug builds).
+
+use crate::cost::CostModel;
+use crate::device::DeviceConfig;
+use crate::memory::{BufferId, GlobalMemory};
+use crate::shared::SharedMem;
+use crate::stats::KernelStats;
+use crate::warp::{WarpIdx, WARP_SIZE};
+use std::collections::HashSet;
+use tfno_num::C32;
+
+/// Launch geometry + static kernel metadata used by the cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchDims {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads per block (multiple of 32 in every kernel we build).
+    pub threads_per_block: u32,
+    /// Dynamic shared memory per block in bytes.
+    pub shared_bytes: usize,
+    /// Registers per thread (an estimate the kernel declares; feeds the
+    /// occupancy calculation like `-maxrregcount` would).
+    pub regs_per_thread: u32,
+    /// Fraction of global *load* bytes served by L1/L2 instead of DRAM.
+    /// Encodes the dataflow-locality differences the paper discusses
+    /// (spatial-order FFT reads cache well; k-loop-ordered reads do not).
+    pub l1_hit_rate: f64,
+    /// Fraction of the non-dominant resource times that cannot be hidden
+    /// under the dominant one. Homogeneous streaming kernels overlap well
+    /// (small values); fused kernels whose phases are separated by
+    /// `__syncthreads` serialize much of their compute against their
+    /// memory traffic — the intra-kernel dependency cost the paper pays
+    /// for fusion (§5.1 A.2).
+    pub serialization: f64,
+}
+
+impl LaunchDims {
+    pub fn new(grid_blocks: usize, threads_per_block: u32) -> Self {
+        LaunchDims {
+            grid_blocks,
+            threads_per_block,
+            shared_bytes: 0,
+            regs_per_thread: 32,
+            l1_hit_rate: 0.0,
+            serialization: 0.08,
+        }
+    }
+
+    pub fn with_shared(mut self, bytes: usize) -> Self {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    pub fn with_regs(mut self, regs: u32) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+
+    pub fn with_l1_hit_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.l1_hit_rate = rate;
+        self
+    }
+
+    pub fn with_serialization(mut self, s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&s));
+        self.serialization = s;
+        self
+    }
+
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block.div_ceil(WARP_SIZE as u32)
+    }
+}
+
+/// A simulated GPU kernel.
+pub trait Kernel: Sync {
+    /// Kernel name for launch records and reports.
+    fn name(&self) -> String;
+
+    /// Launch geometry and static metadata.
+    fn dims(&self) -> LaunchDims;
+
+    /// Execute one thread block functionally, issuing all memory traffic
+    /// through `ctx` so it is counted.
+    fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_>);
+
+    /// Equivalence classes of blocks for analytical launches: pairs of
+    /// `(representative_block_id, class_size)`. Analytical mode executes one
+    /// representative per class (writes discarded) and scales its event
+    /// counts by the class size — exact whenever all blocks of a class issue
+    /// the same access *pattern* (ours all do; property tests in the kernel
+    /// crates verify functional == analytical).
+    ///
+    /// The default declares the whole grid one class. Kernels with remainder
+    /// blocks (partial tiles) must override this.
+    fn block_classes(&self) -> Vec<(usize, u64)> {
+        vec![(0, self.dims().grid_blocks as u64)]
+    }
+}
+
+/// One recorded kernel launch.
+#[derive(Clone, Debug)]
+pub struct LaunchRecord {
+    pub name: String,
+    pub dims_grid: usize,
+    pub stats: KernelStats,
+    /// Modeled execution time in microseconds (includes launch overhead).
+    pub time_us: f64,
+}
+
+/// Execution mode for a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run every block, move real data, count real events.
+    Functional,
+    /// Skip execution; use the kernel's closed-form `predict_stats`.
+    Analytical,
+}
+
+/// Per-block execution context handed to `Kernel::run_block`.
+pub struct BlockCtx<'a> {
+    pub block_id: usize,
+    pub dims: LaunchDims,
+    shared: SharedMem,
+    stats: KernelStats,
+    gmem: &'a GlobalMemory,
+    writes: Vec<(BufferId, usize, C32)>,
+}
+
+impl<'a> BlockCtx<'a> {
+    fn new(block_id: usize, dims: LaunchDims, gmem: &'a GlobalMemory) -> Self {
+        BlockCtx {
+            block_id,
+            dims,
+            shared: SharedMem::new(dims.shared_bytes),
+            stats: KernelStats {
+                blocks: 1,
+                warps: dims.warps_per_block() as u64,
+                ..KernelStats::ZERO
+            },
+            gmem,
+            writes: Vec::new(),
+        }
+    }
+
+    /// Warp-level global load. Observes pre-launch buffer contents.
+    pub fn global_read(&mut self, buf: BufferId, idx: &WarpIdx) -> [C32; WARP_SIZE] {
+        let cost = self.gmem.access_cost(buf, idx);
+        self.stats.global_load_bytes += cost.bytes;
+        self.stats.global_load_sectors += cost.sectors;
+        self.gmem.read_warp(buf, idx)
+    }
+
+    /// Warp-level global store. Becomes visible after the launch.
+    pub fn global_write(&mut self, buf: BufferId, idx: &WarpIdx, vals: &[C32; WARP_SIZE]) {
+        let cost = self.gmem.access_cost(buf, idx);
+        self.stats.global_store_bytes += cost.bytes;
+        self.stats.global_store_sectors += cost.sectors;
+        for (lane, elem) in idx.iter_active() {
+            self.writes.push((buf, elem, vals[lane]));
+        }
+    }
+
+    /// Warp-level shared-memory store (bank conflicts counted).
+    pub fn shared_store(&mut self, idx: &WarpIdx, vals: &[C32; WARP_SIZE]) {
+        self.shared.store_warp(idx, vals);
+    }
+
+    /// Warp-level shared-memory load (bank conflicts counted).
+    pub fn shared_load(&mut self, idx: &WarpIdx) -> [C32; WARP_SIZE] {
+        self.shared.load_warp(idx)
+    }
+
+    /// Vectorized shared load: each lane reads `width` consecutive elements
+    /// (models LDS.64/LDS.128 fragment loads in the GEMM main loop).
+    pub fn shared_load_wide(&mut self, idx: &WarpIdx, width: usize) -> Vec<[C32; WARP_SIZE]> {
+        self.shared.load_warp_wide(idx, width)
+    }
+
+    /// Vectorized shared store (`vals[v][lane]`).
+    pub fn shared_store_wide(&mut self, idx: &WarpIdx, vals: &[[C32; WARP_SIZE]], width: usize) {
+        self.shared.store_warp_wide(idx, vals, width)
+    }
+
+    /// Toggle shared-memory traffic accounting. While off, accesses still
+    /// move data (so functional results stay exact) but are charged as
+    /// register traffic — used by the FFT engine to model butterfly stages
+    /// that a real kernel keeps entirely in registers within a radix pass.
+    pub fn set_shared_metering(&mut self, on: bool) {
+        self.shared.metered = on;
+    }
+
+    /// Block-wide barrier. In the functional model execution is already
+    /// sequential per block, so this only records the event for costing.
+    pub fn syncthreads(&mut self) {
+        self.stats.syncthreads += 1;
+    }
+
+    /// Record `n` real floating-point operations.
+    pub fn add_flops(&mut self, n: u64) {
+        self.stats.flops += n;
+    }
+
+    /// Size of this block's shared memory in `C32` elements.
+    pub fn shared_len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Unmetered shared-memory view for debug assertions in kernels/tests.
+    pub fn shared_raw(&self) -> &[C32] {
+        self.shared.raw()
+    }
+
+    fn finish(mut self) -> (KernelStats, Vec<(BufferId, usize, C32)>) {
+        self.stats.shared_ideal_cycles =
+            self.shared.load_stats.ideal_cycles + self.shared.store_stats.ideal_cycles;
+        self.stats.shared_actual_cycles =
+            self.shared.load_stats.actual_cycles + self.shared.store_stats.actual_cycles;
+        (self.stats, self.writes)
+    }
+}
+
+/// The simulated device: global memory + config + launch history.
+pub struct GpuDevice {
+    pub config: DeviceConfig,
+    pub memory: GlobalMemory,
+    cost: CostModel,
+    launches: Vec<LaunchRecord>,
+    /// Detect two blocks writing the same element in one launch.
+    pub validate_writes: bool,
+    /// Execute blocks on multiple host threads when the grid is large.
+    pub parallel: bool,
+}
+
+impl GpuDevice {
+    pub fn new(config: DeviceConfig) -> Self {
+        let cost = CostModel::new(config.clone());
+        GpuDevice {
+            config,
+            memory: GlobalMemory::new(),
+            cost,
+            launches: Vec::new(),
+            validate_writes: cfg!(debug_assertions),
+            parallel: true,
+        }
+    }
+
+    pub fn a100() -> Self {
+        Self::new(DeviceConfig::a100())
+    }
+
+    pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
+        self.memory.alloc(name, len)
+    }
+
+    pub fn upload(&mut self, id: BufferId, data: &[C32]) {
+        self.memory.upload(id, data);
+    }
+
+    pub fn download(&self, id: BufferId) -> Vec<C32> {
+        self.memory.download(id)
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub fn launches(&self) -> &[LaunchRecord] {
+        &self.launches
+    }
+
+    pub fn clear_launches(&mut self) {
+        self.launches.clear();
+    }
+
+    /// Total modeled time of all recorded launches (a "pipeline time").
+    pub fn total_time_us(&self) -> f64 {
+        self.launches.iter().map(|l| l.time_us).sum()
+    }
+
+    /// Launch a kernel. Returns the record (also appended to history).
+    pub fn launch(&mut self, kernel: &dyn Kernel, mode: ExecMode) -> LaunchRecord {
+        let dims = kernel.dims();
+        assert!(dims.grid_blocks > 0, "empty grid for kernel {}", kernel.name());
+        let stats = match mode {
+            ExecMode::Analytical => self.run_analytical(kernel, dims),
+            ExecMode::Functional => self.run_functional(kernel, dims),
+        };
+        let time_us = self.cost.kernel_time_us(&dims, &stats);
+        let rec = LaunchRecord {
+            name: kernel.name(),
+            dims_grid: dims.grid_blocks,
+            stats,
+            time_us,
+        };
+        self.launches.push(rec.clone());
+        rec
+    }
+
+    /// Analytical launch: run one representative block per class (writes
+    /// discarded) and scale the counts.
+    fn run_analytical(&mut self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
+        let classes = kernel.block_classes();
+        let declared: u64 = classes.iter().map(|(_, c)| c).sum();
+        assert_eq!(
+            declared,
+            dims.grid_blocks as u64,
+            "block_classes of '{}' cover {declared} blocks but the grid has {}",
+            kernel.name(),
+            dims.grid_blocks
+        );
+        let mut total = KernelStats::ZERO;
+        for (rep, count) in classes {
+            assert!(rep < dims.grid_blocks, "representative block out of grid");
+            let mut ctx = BlockCtx::new(rep, dims, &self.memory);
+            kernel.run_block(rep, &mut ctx);
+            let (stats, _writes) = ctx.finish();
+            total += stats.scaled(count);
+        }
+        total
+    }
+
+    fn run_functional(&mut self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
+        let n_blocks = dims.grid_blocks;
+        let workers = if self.parallel && n_blocks >= 16 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(n_blocks)
+        } else {
+            1
+        };
+
+        let results: Vec<(KernelStats, Vec<(BufferId, usize, C32)>)> = if workers <= 1 {
+            (0..n_blocks)
+                .map(|b| {
+                    let mut ctx = BlockCtx::new(b, dims, &self.memory);
+                    kernel.run_block(b, &mut ctx);
+                    ctx.finish()
+                })
+                .collect()
+        } else {
+            let gmem = &self.memory;
+            crossbeam::thread::scope(|scope| {
+                let chunk = n_blocks.div_ceil(workers);
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move |_| {
+                            let lo = w * chunk;
+                            let hi = ((w + 1) * chunk).min(n_blocks);
+                            (lo..hi)
+                                .map(|b| {
+                                    let mut ctx = BlockCtx::new(b, dims, gmem);
+                                    kernel.run_block(b, &mut ctx);
+                                    ctx.finish()
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("block worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed")
+        };
+
+        let mut total = KernelStats::ZERO;
+        let mut seen: Option<HashSet<(BufferId, usize)>> =
+            self.validate_writes.then(HashSet::new);
+        for (stats, writes) in results {
+            total += stats;
+            for (buf, elem, v) in writes {
+                if let Some(seen) = seen.as_mut() {
+                    assert!(
+                        seen.insert((buf, elem)),
+                        "write conflict: two blocks of kernel '{}' wrote element {elem} of buffer '{}'",
+                        kernel.name(),
+                        self.memory.name(buf)
+                    );
+                }
+                self.memory.apply_write(buf, elem, v);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    /// A toy kernel: each block scales 32 contiguous elements by 2.
+    struct ScaleKernel {
+        src: BufferId,
+        dst: BufferId,
+        blocks: usize,
+    }
+
+    impl Kernel for ScaleKernel {
+        fn name(&self) -> String {
+            "scale2".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(self.blocks, 32).with_shared(1024)
+        }
+        fn run_block(&self, block_id: usize, ctx: &mut BlockCtx<'_>) {
+            let idx = WarpIdx::contiguous(block_id * 32);
+            let vals = ctx.global_read(self.src, &idx);
+            let mut out = [C32::ZERO; 32];
+            for (o, v) in out.iter_mut().zip(vals.iter()) {
+                *o = v.scale(2.0);
+            }
+            ctx.add_flops(64);
+            ctx.syncthreads();
+            ctx.global_write(self.dst, &idx, &out);
+        }
+    }
+
+    fn expected_stats(blocks: u64) -> KernelStats {
+        KernelStats {
+            blocks,
+            warps: blocks,
+            flops: 64 * blocks,
+            global_load_bytes: 256 * blocks,
+            global_store_bytes: 256 * blocks,
+            global_load_sectors: 8 * blocks,
+            global_store_sectors: 8 * blocks,
+            syncthreads: blocks,
+            ..KernelStats::ZERO
+        }
+    }
+
+    fn setup(blocks: usize) -> (GpuDevice, BufferId, BufferId) {
+        let mut dev = GpuDevice::new(DeviceConfig::a100());
+        let n = blocks * 32;
+        let src = dev.alloc("src", n);
+        let dst = dev.alloc("dst", n);
+        let data: Vec<C32> = (0..n).map(|i| C32::real(i as f32)).collect();
+        dev.upload(src, &data);
+        (dev, src, dst)
+    }
+
+    #[test]
+    fn functional_execution_moves_data() {
+        let (mut dev, src, dst) = setup(4);
+        let k = ScaleKernel { src, dst, blocks: 4 };
+        dev.launch(&k, ExecMode::Functional);
+        let out = dev.download(dst);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, C32::real(2.0 * i as f32));
+        }
+    }
+
+    #[test]
+    fn functional_stats_match_prediction() {
+        let (mut dev, src, dst) = setup(7);
+        let k = ScaleKernel { src, dst, blocks: 7 };
+        let rec = dev.launch(&k, ExecMode::Functional);
+        assert_eq!(rec.stats, expected_stats(7));
+        let rec_a = dev.launch(&k, ExecMode::Analytical);
+        assert_eq!(rec_a.stats, rec.stats, "analytical must equal functional");
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let (mut dev_seq, src, dst) = setup(64);
+        dev_seq.parallel = false;
+        let k = ScaleKernel { src, dst, blocks: 64 };
+        let rec_seq = dev_seq.launch(&k, ExecMode::Functional);
+        let out_seq = dev_seq.download(dst);
+
+        let (mut dev_par, src2, dst2) = setup(64);
+        dev_par.parallel = true;
+        let k2 = ScaleKernel {
+            src: src2,
+            dst: dst2,
+            blocks: 64,
+        };
+        let rec_par = dev_par.launch(&k2, ExecMode::Functional);
+        assert_eq!(rec_seq.stats, rec_par.stats);
+        assert_eq!(out_seq, dev_par.download(dst2));
+    }
+
+    #[test]
+    fn analytical_mode_discards_writes() {
+        let (mut dev, src, dst) = setup(4);
+        let k = ScaleKernel { src, dst, blocks: 4 };
+        let rec = dev.launch(&k, ExecMode::Analytical);
+        assert_eq!(rec.stats, expected_stats(4));
+        // data untouched
+        assert_eq!(dev.download(dst)[5], C32::ZERO);
+    }
+
+    #[test]
+    fn analytical_mode_works_on_virtual_buffers() {
+        let mut dev = GpuDevice::new(DeviceConfig::a100());
+        let blocks = 1 << 20; // far beyond what we'd want to materialize
+        let src = dev.memory.alloc_virtual("src", blocks * 32);
+        let dst = dev.memory.alloc_virtual("dst", blocks * 32);
+        let k = ScaleKernel { src, dst, blocks };
+        let rec = dev.launch(&k, ExecMode::Analytical);
+        assert_eq!(rec.stats, expected_stats(blocks as u64));
+    }
+
+    /// A kernel whose block_classes under-covers the grid must be rejected.
+    struct BadClassesKernel;
+    impl Kernel for BadClassesKernel {
+        fn name(&self) -> String {
+            "bad".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(4, 32)
+        }
+        fn run_block(&self, _b: usize, _ctx: &mut BlockCtx<'_>) {}
+        fn block_classes(&self) -> Vec<(usize, u64)> {
+            vec![(0, 3)]
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover 3 blocks")]
+    fn bad_block_classes_rejected() {
+        let mut dev = GpuDevice::new(DeviceConfig::a100());
+        dev.launch(&BadClassesKernel, ExecMode::Analytical);
+    }
+
+    #[test]
+    fn launch_history_accumulates() {
+        let (mut dev, src, dst) = setup(2);
+        let k = ScaleKernel { src, dst, blocks: 2 };
+        dev.launch(&k, ExecMode::Analytical);
+        dev.launch(&k, ExecMode::Analytical);
+        assert_eq!(dev.launches().len(), 2);
+        assert!(dev.total_time_us() > 0.0);
+        dev.clear_launches();
+        assert!(dev.launches().is_empty());
+    }
+
+    /// Two blocks writing the same element must be rejected.
+    struct ConflictKernel {
+        dst: BufferId,
+    }
+    impl Kernel for ConflictKernel {
+        fn name(&self) -> String {
+            "conflict".into()
+        }
+        fn dims(&self) -> LaunchDims {
+            LaunchDims::new(2, 32)
+        }
+        fn run_block(&self, _block: usize, ctx: &mut BlockCtx<'_>) {
+            let idx = WarpIdx::contiguous(0); // same elements from both blocks
+            ctx.global_write(self.dst, &idx, &[C32::ONE; 32]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "write conflict")]
+    fn write_conflicts_detected() {
+        let mut dev = GpuDevice::new(DeviceConfig::a100());
+        let dst = dev.alloc("dst", 64);
+        dev.validate_writes = true;
+        dev.parallel = false;
+        let k = ConflictKernel { dst };
+        dev.launch(&k, ExecMode::Functional);
+    }
+
+    #[test]
+    fn time_increases_with_work() {
+        let (mut dev, src, dst) = setup(256);
+        let small = ScaleKernel { src, dst, blocks: 4 };
+        let t_small = dev.launch(&small, ExecMode::Analytical).time_us;
+        let big = ScaleKernel {
+            src,
+            dst,
+            blocks: 256,
+        };
+        let t_big = dev.launch(&big, ExecMode::Analytical).time_us;
+        assert!(t_big > t_small);
+    }
+}

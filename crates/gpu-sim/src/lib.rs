@@ -1,0 +1,48 @@
+//! # tfno-gpu-sim
+//!
+//! A software model of an NVIDIA-A100-class GPU, built so the TurboFNO
+//! kernels can be implemented, *functionally executed*, and *costed* without
+//! physical hardware (the reproduction's substitution for CUDA — see
+//! DESIGN.md §2.1).
+//!
+//! The model has two coupled halves:
+//!
+//! 1. **Functional execution** ([`kernel`], [`memory`], [`shared`]):
+//!    kernels are written warp-synchronously; every global access is issued
+//!    as a 32-lane warp transaction (coalescing counted in 32-byte sectors,
+//!    like the hardware's L2 sectors) and every shared-memory access goes
+//!    through a 32-bank conflict model with replay accounting. The bytes
+//!    really move, so kernels produce real numerical results that are
+//!    checked against `tfno-num` references.
+//! 2. **Analytical cost model** ([`cost`]): converts the recorded (or
+//!    closed-form predicted) [`KernelStats`] into an estimated execution
+//!    time using a roofline over DRAM bandwidth, FP32 throughput, shared
+//!    memory throughput and `__syncthreads` latency, modulated by an
+//!    occupancy model (blocks per SM limited by threads / shared memory /
+//!    registers, then a saturation curve in resident blocks). This is what
+//!    reproduces the paper's low-occupancy "blue regions" and
+//!    bandwidth-bound large-batch regime.
+//!
+//! Execution semantics deliberately mirror CUDA's: global reads observe the
+//! pre-launch state of the device (no cross-block communication within a
+//! launch), global writes become visible when the launch completes, and
+//! shared memory is per-block scratch. Writes from different blocks to the
+//! same element are detected and rejected in debug builds.
+
+pub mod cost;
+pub mod device;
+pub mod kernel;
+pub mod memory;
+pub mod shared;
+pub mod stats;
+pub mod timeline;
+pub mod warp;
+
+pub use cost::CostModel;
+pub use device::{DeviceConfig, Occupancy};
+pub use kernel::{BlockCtx, ExecMode, GpuDevice, Kernel, LaunchDims, LaunchRecord};
+pub use memory::BufferId;
+pub use shared::BankStats;
+pub use stats::KernelStats;
+pub use timeline::{achieved_bandwidth_gbps, binding_resource, render_table, BindingResource};
+pub use warp::{WarpIdx, WARP_SIZE};

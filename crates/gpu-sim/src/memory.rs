@@ -1,0 +1,279 @@
+//! Global-memory model: named device buffers with sector-level coalescing
+//! accounting.
+//!
+//! DRAM traffic is counted in 32-byte sectors (the granularity of the L2
+//! <-> HBM interface on NVIDIA parts): a warp access touches
+//! `|distinct(addr / 32)|` sectors. A fully-coalesced warp load of 32
+//! consecutive `C32` elements (256 bytes) therefore costs 8 sectors, while a
+//! stride-N pattern can cost up to 32 (one 32 B sector per 8 useful bytes).
+
+use crate::warp::{WarpIdx, WARP_SIZE};
+use tfno_num::{C32, C32_BYTES};
+
+/// Sector size in bytes.
+pub const SECTOR_BYTES: usize = 32;
+
+/// Handle to a device buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+#[derive(Debug)]
+pub(crate) enum BufferData {
+    /// Backed by host memory: reads/writes move real values.
+    Real(Vec<C32>),
+    /// Storage-free: reads return zero, writes are discarded. Used for
+    /// analytical sweeps at paper scale (e.g. M = 2^20 pencils) where only
+    /// addresses matter, never values.
+    Virtual { len: usize },
+}
+
+#[derive(Debug)]
+pub(crate) struct Buffer {
+    pub name: String,
+    pub data: BufferData,
+    /// Byte address of the first element; buffers are 128 B aligned and
+    /// disjoint so sector counts never alias across buffers.
+    pub base_addr: usize,
+}
+
+impl Buffer {
+    fn len(&self) -> usize {
+        match &self.data {
+            BufferData::Real(v) => v.len(),
+            BufferData::Virtual { len } => *len,
+        }
+    }
+}
+
+/// All global memory of the simulated device.
+#[derive(Debug, Default)]
+pub struct GlobalMemory {
+    buffers: Vec<Buffer>,
+    next_addr: usize,
+}
+
+/// Outcome of a warp-level access: how much traffic it generated.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccessCost {
+    pub bytes: u64,
+    pub sectors: u64,
+}
+
+impl GlobalMemory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a zero-initialized buffer of `len` complex elements.
+    pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
+        self.alloc_inner(name, BufferData::Real(vec![C32::ZERO; len]), len)
+    }
+
+    /// Allocate a storage-free buffer: address/bounds semantics of a real
+    /// buffer, but reads return zero and writes vanish. For analytical
+    /// sweeps at sizes where materializing data would need gigabytes.
+    pub fn alloc_virtual(&mut self, name: &str, len: usize) -> BufferId {
+        self.alloc_inner(name, BufferData::Virtual { len }, len)
+    }
+
+    fn alloc_inner(&mut self, name: &str, data: BufferData, len: usize) -> BufferId {
+        let id = BufferId(self.buffers.len());
+        let base = self.next_addr;
+        let bytes = len * C32_BYTES;
+        // keep buffers 128-byte aligned and separated
+        self.next_addr = (base + bytes + 127) & !127;
+        self.buffers.push(Buffer {
+            name: name.to_string(),
+            data,
+            base_addr: base,
+        });
+        id
+    }
+
+    pub fn len(&self, id: BufferId) -> usize {
+        self.buffers[id.0].len()
+    }
+
+    pub fn is_empty(&self, id: BufferId) -> bool {
+        self.buffers[id.0].len() == 0
+    }
+
+    /// True when the buffer has no backing storage.
+    pub fn is_virtual(&self, id: BufferId) -> bool {
+        matches!(self.buffers[id.0].data, BufferData::Virtual { .. })
+    }
+
+    pub fn name(&self, id: BufferId) -> &str {
+        &self.buffers[id.0].name
+    }
+
+    /// Host-side upload (no traffic accounting — models cudaMemcpy done
+    /// outside the timed region, as the paper's harness does).
+    pub fn upload(&mut self, id: BufferId, data: &[C32]) {
+        let buf = &mut self.buffers[id.0];
+        match &mut buf.data {
+            BufferData::Real(v) => {
+                assert_eq!(data.len(), v.len(), "upload size mismatch for {}", buf.name);
+                v.copy_from_slice(data);
+            }
+            BufferData::Virtual { .. } => panic!("cannot upload to virtual buffer {}", buf.name),
+        }
+    }
+
+    /// Host-side download.
+    pub fn download(&self, id: BufferId) -> Vec<C32> {
+        match &self.buffers[id.0].data {
+            BufferData::Real(v) => v.clone(),
+            BufferData::Virtual { .. } => {
+                panic!("cannot download virtual buffer {}", self.buffers[id.0].name)
+            }
+        }
+    }
+
+    /// Zero a buffer (host-side).
+    pub fn clear(&mut self, id: BufferId) {
+        if let BufferData::Real(v) = &mut self.buffers[id.0].data {
+            v.fill(C32::ZERO);
+        }
+    }
+
+    /// Compute the traffic cost of a warp access at the given element
+    /// indices, without moving data.
+    pub fn access_cost(&self, id: BufferId, idx: &WarpIdx) -> AccessCost {
+        let buf = &self.buffers[id.0];
+        let buf_len = buf.len();
+        let mut sectors: Vec<usize> = Vec::with_capacity(WARP_SIZE);
+        let mut bytes = 0u64;
+        for (_, elem) in idx.iter_active() {
+            assert!(
+                elem < buf_len,
+                "global access out of bounds: elem {elem} >= {buf_len} in buffer {}",
+                buf.name
+            );
+            bytes += C32_BYTES as u64;
+            let addr = buf.base_addr + elem * C32_BYTES;
+            for s in [addr / SECTOR_BYTES, (addr + C32_BYTES - 1) / SECTOR_BYTES] {
+                if !sectors.contains(&s) {
+                    sectors.push(s);
+                }
+            }
+        }
+        AccessCost {
+            bytes,
+            sectors: sectors.len() as u64,
+        }
+    }
+
+    /// Warp read: returns per-lane values (inactive lanes read zero;
+    /// virtual buffers read zero everywhere).
+    pub fn read_warp(&self, id: BufferId, idx: &WarpIdx) -> [C32; WARP_SIZE] {
+        let mut out = [C32::ZERO; WARP_SIZE];
+        if let BufferData::Real(v) = &self.buffers[id.0].data {
+            for (lane, elem) in idx.iter_active() {
+                out[lane] = v[elem];
+            }
+        }
+        out
+    }
+
+    /// Apply a buffered write (used by the launch machinery after blocks
+    /// complete; not part of the public kernel API).
+    pub(crate) fn apply_write(&mut self, id: BufferId, elem: usize, v: C32) {
+        if let BufferData::Real(vec) = &mut self.buffers[id.0].data {
+            vec[elem] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_roundtrip() {
+        let mut gm = GlobalMemory::new();
+        let b = gm.alloc("x", 64);
+        assert_eq!(gm.len(b), 64);
+        let data: Vec<C32> = (0..64).map(|i| C32::real(i as f32)).collect();
+        gm.upload(b, &data);
+        assert_eq!(gm.download(b), data);
+    }
+
+    #[test]
+    fn buffers_are_disjoint_and_aligned() {
+        let mut gm = GlobalMemory::new();
+        let a = gm.alloc("a", 3); // 24 bytes -> next at 128
+        let b = gm.alloc("b", 1);
+        assert_eq!(gm.buffers[a.0].base_addr % 128, 0);
+        assert_eq!(gm.buffers[b.0].base_addr, 128);
+    }
+
+    #[test]
+    fn coalesced_read_costs_8_sectors() {
+        let mut gm = GlobalMemory::new();
+        let b = gm.alloc("x", 1024);
+        let cost = gm.access_cost(b, &WarpIdx::contiguous(0));
+        assert_eq!(cost.bytes, 256);
+        assert_eq!(cost.sectors, 8);
+    }
+
+    #[test]
+    fn strided_read_wastes_sectors() {
+        let mut gm = GlobalMemory::new();
+        let b = gm.alloc("x", 32 * 64);
+        // stride 64 elements = 512 bytes: each lane in its own sector
+        let cost = gm.access_cost(b, &WarpIdx::strided(0, 64));
+        assert_eq!(cost.bytes, 256);
+        assert_eq!(cost.sectors, 32);
+    }
+
+    #[test]
+    fn stride_two_doubles_sectors() {
+        let mut gm = GlobalMemory::new();
+        let b = gm.alloc("x", 256);
+        // stride 2 elements = 16 bytes -> half the bytes in each sector used
+        let cost = gm.access_cost(b, &WarpIdx::strided(0, 2));
+        assert_eq!(cost.sectors, 16);
+    }
+
+    #[test]
+    fn partial_warp_counts_only_active_lanes() {
+        let mut gm = GlobalMemory::new();
+        let b = gm.alloc("x", 64);
+        let cost = gm.access_cost(b, &WarpIdx::contiguous_partial(0, 4));
+        assert_eq!(cost.bytes, 32);
+        assert_eq!(cost.sectors, 1);
+    }
+
+    #[test]
+    fn read_warp_returns_values() {
+        let mut gm = GlobalMemory::new();
+        let b = gm.alloc("x", 64);
+        let data: Vec<C32> = (0..64).map(|i| C32::real(i as f32)).collect();
+        gm.upload(b, &data);
+        let vals = gm.read_warp(b, &WarpIdx::contiguous(8));
+        assert_eq!(vals[0], C32::real(8.0));
+        assert_eq!(vals[31], C32::real(39.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_cost_panics() {
+        let mut gm = GlobalMemory::new();
+        let b = gm.alloc("x", 8);
+        gm.access_cost(b, &WarpIdx::contiguous(0));
+    }
+
+    /// An unaligned element can straddle two sectors; the model counts both.
+    #[test]
+    fn straddling_elements_count_both_sectors() {
+        let mut gm = GlobalMemory::new();
+        let b = gm.alloc("x", 64);
+        // Elements at odd multiples of 4 (32-byte boundaries are every 4
+        // elements): element 3 occupies bytes 24..32 — still one sector;
+        // base_addr is 128-aligned so elements never straddle here. Check
+        // the dense case stays at the ideal 8 sectors instead.
+        let cost = gm.access_cost(b, &WarpIdx::contiguous(4));
+        assert_eq!(cost.sectors, 8);
+    }
+}

@@ -1,0 +1,148 @@
+//! Launch-record reporting: formatted tables and resource breakdowns.
+//!
+//! Examples and diagnostics all want the same view of a pipeline run: a
+//! per-kernel table with modeled time, the binding resource, and traffic
+//! summaries. Centralizing it here keeps the formatting consistent and
+//! testable.
+
+use crate::cost::CostModel;
+use crate::kernel::{LaunchDims, LaunchRecord};
+
+/// Which resource dominates a kernel's modeled time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BindingResource {
+    Dram,
+    Compute,
+    SharedMemory,
+    LaunchOverhead,
+}
+
+impl BindingResource {
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BindingResource::Dram => "DRAM",
+            BindingResource::Compute => "FP32",
+            BindingResource::SharedMemory => "SMEM",
+            BindingResource::LaunchOverhead => "LNCH",
+        }
+    }
+}
+
+/// Classify a launch by its dominating resource.
+pub fn binding_resource(model: &CostModel, dims: &LaunchDims, rec: &LaunchRecord) -> BindingResource {
+    let b = model.breakdown(dims, &rec.stats);
+    let exec = b.dram_us.max(b.compute_us).max(b.shared_us);
+    if b.launch_us >= exec {
+        BindingResource::LaunchOverhead
+    } else if b.dram_us >= b.compute_us && b.dram_us >= b.shared_us {
+        BindingResource::Dram
+    } else if b.compute_us >= b.shared_us {
+        BindingResource::Compute
+    } else {
+        BindingResource::SharedMemory
+    }
+}
+
+/// Render a launch table as text (one line per kernel plus a total row).
+pub fn render_table(records: &[LaunchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<30} {:>8} {:>10} {:>12} {:>12} {:>8}\n",
+        "kernel", "blocks", "time(us)", "GB moved", "GFLOP", "util%"
+    ));
+    let mut total_us = 0.0;
+    let mut total_gb = 0.0;
+    for r in records {
+        let gb = r.stats.global_sector_bytes() as f64 / 1e9;
+        let gf = r.stats.flops as f64 / 1e9;
+        out.push_str(&format!(
+            "{:<30} {:>8} {:>10.1} {:>12.4} {:>12.3} {:>7.1}%\n",
+            r.name,
+            r.dims_grid,
+            r.time_us,
+            gb,
+            gf,
+            100.0 * r.stats.bank_utilization(),
+        ));
+        total_us += r.time_us;
+        total_gb += gb;
+    }
+    out.push_str(&format!(
+        "{:<30} {:>8} {:>10.1} {:>12.4}\n",
+        "TOTAL",
+        records.len(),
+        total_us,
+        total_gb
+    ));
+    out
+}
+
+/// Aggregate bandwidth achieved by a pipeline (GB/s of sector traffic over
+/// modeled time) — the metric to sanity-check against the device peak.
+pub fn achieved_bandwidth_gbps(records: &[LaunchRecord]) -> f64 {
+    let bytes: u64 = records.iter().map(|r| r.stats.global_sector_bytes()).sum();
+    let us: f64 = records.iter().map(|r| r.time_us).sum();
+    if us == 0.0 {
+        0.0
+    } else {
+        bytes as f64 / 1e3 / us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::stats::KernelStats;
+
+    fn record(name: &str, time_us: f64, sectors: u64, flops: u64) -> LaunchRecord {
+        LaunchRecord {
+            name: name.into(),
+            dims_grid: 8,
+            stats: KernelStats {
+                blocks: 8,
+                global_load_sectors: sectors,
+                global_load_bytes: sectors * 32,
+                flops,
+                ..KernelStats::ZERO
+            },
+            time_us,
+        }
+    }
+
+    #[test]
+    fn table_contains_all_kernels_and_total() {
+        let recs = vec![record("fft", 10.0, 1000, 5000), record("gemm", 20.0, 500, 90000)];
+        let table = render_table(&recs);
+        assert!(table.contains("fft"));
+        assert!(table.contains("gemm"));
+        assert!(table.contains("TOTAL"));
+        assert_eq!(table.lines().count(), 4);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let recs = vec![record("k", 10.0, 1_000_000, 0)]; // 32 MB in 10 us
+        let bw = achieved_bandwidth_gbps(&recs);
+        assert!((bw - 3200.0).abs() < 1.0, "bw={bw}");
+        assert_eq!(achieved_bandwidth_gbps(&[]), 0.0);
+    }
+
+    #[test]
+    fn binding_resource_classification() {
+        let model = CostModel::new(DeviceConfig::a100());
+        let dims = LaunchDims::new(1024, 128);
+        // memory-heavy kernel
+        let mem = record("mem", 0.0, 10_000_000, 1000);
+        assert_eq!(binding_resource(&model, &dims, &mem), BindingResource::Dram);
+        // compute-heavy kernel
+        let cmp = record("cmp", 0.0, 10, 50_000_000_000);
+        assert_eq!(binding_resource(&model, &dims, &cmp), BindingResource::Compute);
+        // empty kernel: launch overhead dominates
+        let idle = record("idle", 0.0, 0, 0);
+        assert_eq!(
+            binding_resource(&model, &dims, &idle),
+            BindingResource::LaunchOverhead
+        );
+    }
+}

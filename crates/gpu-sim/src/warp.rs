@@ -1,0 +1,129 @@
+//! Warp-level access descriptors.
+//!
+//! Kernels issue memory operations one warp at a time. A [`WarpIdx`] names,
+//! for each of the 32 lanes, the *element index* (in `C32` units) the lane
+//! touches, or `None` when the lane is predicated off. All conflict and
+//! coalescing accounting derives from these per-lane indices, which is what
+//! makes the swizzle claims of the paper checkable at address level.
+
+/// SIMT width.
+pub const WARP_SIZE: usize = 32;
+
+/// Per-lane element indices for one warp access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarpIdx {
+    pub lanes: [Option<usize>; WARP_SIZE],
+}
+
+impl Default for WarpIdx {
+    fn default() -> Self {
+        WarpIdx {
+            lanes: [None; WARP_SIZE],
+        }
+    }
+}
+
+impl WarpIdx {
+    /// All lanes inactive.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Dense access: lane `l` touches `base + l`.
+    pub fn contiguous(base: usize) -> Self {
+        let mut w = Self::empty();
+        for (l, lane) in w.lanes.iter_mut().enumerate() {
+            *lane = Some(base + l);
+        }
+        w
+    }
+
+    /// Strided access: lane `l` touches `base + l * stride`.
+    pub fn strided(base: usize, stride: usize) -> Self {
+        let mut w = Self::empty();
+        for (l, lane) in w.lanes.iter_mut().enumerate() {
+            *lane = Some(base + l * stride);
+        }
+        w
+    }
+
+    /// Build from a closure; return `None` to predicate a lane off.
+    pub fn from_fn(f: impl Fn(usize) -> Option<usize>) -> Self {
+        let mut w = Self::empty();
+        for (l, lane) in w.lanes.iter_mut().enumerate() {
+            *lane = f(l);
+        }
+        w
+    }
+
+    /// Dense access over the first `n` lanes only.
+    pub fn contiguous_partial(base: usize, n: usize) -> Self {
+        Self::from_fn(|l| if l < n { Some(base + l) } else { None })
+    }
+
+    /// Number of active lanes.
+    pub fn active_lanes(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Iterator over `(lane, element_index)` for active lanes.
+    pub fn iter_active(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(l, idx)| idx.map(|i| (l, i)))
+    }
+}
+
+/// Iterate over the warps of a block: calls `f(warp_id, lane_base_tid)` for
+/// each of `ceil(threads / 32)` warps.
+pub fn for_each_warp(threads: usize, mut f: impl FnMut(usize, usize)) {
+    let warps = threads.div_ceil(WARP_SIZE);
+    for w in 0..warps {
+        f(w, w * WARP_SIZE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_layout() {
+        let w = WarpIdx::contiguous(100);
+        assert_eq!(w.lanes[0], Some(100));
+        assert_eq!(w.lanes[31], Some(131));
+        assert_eq!(w.active_lanes(), 32);
+    }
+
+    #[test]
+    fn strided_layout() {
+        let w = WarpIdx::strided(0, 16);
+        assert_eq!(w.lanes[1], Some(16));
+        assert_eq!(w.lanes[31], Some(496));
+    }
+
+    #[test]
+    fn predication() {
+        let w = WarpIdx::contiguous_partial(0, 10);
+        assert_eq!(w.active_lanes(), 10);
+        assert_eq!(w.lanes[9], Some(9));
+        assert_eq!(w.lanes[10], None);
+    }
+
+    #[test]
+    fn from_fn_even_lanes() {
+        let w = WarpIdx::from_fn(|l| (l % 2 == 0).then_some(l / 2));
+        assert_eq!(w.active_lanes(), 16);
+        assert_eq!(w.lanes[4], Some(2));
+        assert_eq!(w.lanes[5], None);
+    }
+
+    #[test]
+    fn warp_iteration_counts() {
+        let mut seen = vec![];
+        for_each_warp(100, |w, base| seen.push((w, base)));
+        assert_eq!(seen.len(), 4); // ceil(100/32)
+        assert_eq!(seen[3], (3, 96));
+    }
+}

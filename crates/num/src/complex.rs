@@ -1,0 +1,298 @@
+//! Single-precision complex arithmetic.
+//!
+//! The simulated kernels operate on [`C32`] values exactly the way a CUDA
+//! kernel operates on `cuComplex`: 8 bytes, two `f32` lanes, no implicit
+//! widening. We deliberately do not pull in an external complex crate so the
+//! arithmetic (and its flop counts) stays fully visible to the simulator.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A single-precision complex number, layout-compatible with `cuComplex`.
+///
+/// ```
+/// use tfno_num::C32;
+/// let a = C32::new(1.0, 2.0);
+/// let b = C32::new(3.0, -1.0);
+/// assert_eq!(a * b, C32::new(5.0, 5.0));
+/// assert_eq!(C32::ZERO.mac(a, b), a * b); // fused multiply-accumulate
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct C32 {
+    pub re: f32,
+    pub im: f32,
+}
+
+impl C32 {
+    pub const ZERO: C32 = C32 { re: 0.0, im: 0.0 };
+    pub const ONE: C32 = C32 { re: 1.0, im: 0.0 };
+    pub const I: C32 = C32 { re: 0.0, im: 1.0 };
+
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        C32 { re, im }
+    }
+
+    /// Purely real value.
+    #[inline]
+    pub const fn real(re: f32) -> Self {
+        C32 { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}` — used for twiddle factors.
+    #[inline]
+    pub fn expi(theta: f64) -> Self {
+        C32 {
+            re: theta.cos() as f32,
+            im: theta.sin() as f32,
+        }
+    }
+
+    /// The forward-DFT twiddle `W_n^k = e^{-2 pi i k / n}`.
+    #[inline]
+    pub fn twiddle(k: usize, n: usize) -> Self {
+        Self::expi(-2.0 * std::f64::consts::PI * (k as f64) / (n as f64))
+    }
+
+    /// The inverse-DFT twiddle `e^{+2 pi i k / n}`.
+    #[inline]
+    pub fn twiddle_inv(k: usize, n: usize) -> Self {
+        Self::expi(2.0 * std::f64::consts::PI * (k as f64) / (n as f64))
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        C32 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    #[inline]
+    pub fn scale(self, s: f32) -> Self {
+        C32 {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Fused multiply-accumulate: `self + a * b`.
+    ///
+    /// This is the innermost operation of the CGEMM kernels; counting one
+    /// call as [`crate::FLOPS_PER_CMAC`] real flops keeps accounting honest.
+    #[inline]
+    pub fn mac(self, a: C32, b: C32) -> Self {
+        C32 {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// Multiply by `i` (no real multiplies — a swap and a negate).
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        C32 {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Multiply by `-i`.
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        C32 {
+            re: self.im,
+            im: -self.re,
+        }
+    }
+
+    /// True when both lanes are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for C32 {
+    type Output = C32;
+    #[inline]
+    fn add(self, rhs: C32) -> C32 {
+        C32 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for C32 {
+    type Output = C32;
+    #[inline]
+    fn sub(self, rhs: C32) -> C32 {
+        C32 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for C32 {
+    type Output = C32;
+    #[inline]
+    fn mul(self, rhs: C32) -> C32 {
+        C32 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Mul<f32> for C32 {
+    type Output = C32;
+    #[inline]
+    fn mul(self, rhs: f32) -> C32 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f32> for C32 {
+    type Output = C32;
+    #[inline]
+    fn div(self, rhs: f32) -> C32 {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for C32 {
+    type Output = C32;
+    #[inline]
+    fn neg(self) -> C32 {
+        C32 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for C32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C32) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C32) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for C32 {
+    fn sum<I: Iterator<Item = C32>>(iter: I) -> C32 {
+        iter.fold(C32::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for C32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C32, b: C32, tol: f32) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = C32::new(1.0, 2.0);
+        let b = C32::new(3.0, -1.0);
+        assert_eq!(a + b, C32::new(4.0, 1.0));
+        assert_eq!(a - b, C32::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert_eq!(a * b, C32::new(5.0, 5.0));
+        assert_eq!(-a, C32::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn mac_matches_mul_add() {
+        let acc = C32::new(0.5, -0.25);
+        let a = C32::new(1.5, 2.0);
+        let b = C32::new(-0.75, 0.5);
+        assert_eq!(acc.mac(a, b), acc + a * b);
+    }
+
+    #[test]
+    fn mul_i_shortcuts() {
+        let a = C32::new(3.0, -4.0);
+        assert_eq!(a.mul_i(), a * C32::I);
+        assert_eq!(a.mul_neg_i(), a * C32::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn twiddle_identities() {
+        // W_n^0 = 1
+        assert!(close(C32::twiddle(0, 8), C32::ONE, 1e-7));
+        // W_4^1 = -i
+        assert!(close(C32::twiddle(1, 4), C32::new(0.0, -1.0), 1e-7));
+        // W_n^k * W_n^{n-k} = 1 (unit modulus, conjugate pairs)
+        for n in [4usize, 8, 16, 128] {
+            for k in 1..n {
+                let prod = C32::twiddle(k, n) * C32::twiddle(n - k, n);
+                assert!(close(prod, C32::ONE, 1e-5), "n={n} k={k} prod={prod}");
+            }
+        }
+        // inverse twiddle is the conjugate of the forward twiddle
+        for k in 0..16 {
+            assert!(close(C32::twiddle_inv(k, 16), C32::twiddle(k, 16).conj(), 1e-7));
+        }
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = C32::new(3.0, 4.0);
+        assert_eq!(a.conj(), C32::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C32::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C32::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![C32::new(1.0, 1.0); 4];
+        let s: C32 = v.into_iter().sum();
+        assert_eq!(s, C32::new(4.0, 4.0));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error metrics and tolerance helpers.
+//!
+//! FFT error grows roughly with `sqrt(log2 N)` in well-behaved
+//! implementations and the GEMM error with `sqrt(K)`; the helpers here bake
+//! those scalings in so tests can use one call site per comparison instead
+//! of hand-tuned magic tolerances.
+
+use crate::C32;
+
+/// Maximum absolute element-wise error between two complex slices.
+pub fn max_abs_error(a: &[C32], b: &[C32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Relative L2 error `||a - b|| / ||b||` (0 when both are zero).
+pub fn rel_l2_error(a: &[C32], b: &[C32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        num += (*x - *y).norm_sqr() as f64;
+        den += y.norm_sqr() as f64;
+    }
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f32::INFINITY };
+    }
+    (num / den).sqrt() as f32
+}
+
+/// A tolerance suitable for comparing an N-point single-precision FFT
+/// against the naive DFT reference: scales with the signal magnitude and
+/// `sqrt(log2 N)`. The naive reference itself accumulates error linearly,
+/// so the bound is intentionally loose by a small constant factor.
+pub fn fft_tolerance(n: usize, magnitude: f32) -> f32 {
+    let stages = (n.max(2) as f32).log2();
+    4.0 * f32::EPSILON * magnitude * (n as f32) * stages.sqrt().max(1.0)
+}
+
+/// Tolerance for a K-deep complex dot product / GEMM accumulation.
+pub fn gemm_tolerance(k: usize, magnitude: f32) -> f32 {
+    8.0 * f32::EPSILON * magnitude * magnitude * (k as f32)
+}
+
+/// Panic with a readable report unless `max_abs_error(a, b) <= tol`.
+#[track_caller]
+pub fn assert_close(a: &[C32], b: &[C32], tol: f32, what: &str) {
+    let err = max_abs_error(a, b);
+    assert!(
+        err <= tol,
+        "{what}: max abs error {err:.3e} exceeds tolerance {tol:.3e} (len {})",
+        a.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_abs_error_basics() {
+        let a = [C32::new(1.0, 0.0), C32::new(0.0, 2.0)];
+        let b = [C32::new(1.0, 0.0), C32::new(0.0, 0.0)];
+        assert_eq!(max_abs_error(&a, &b), 2.0);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rel_l2_error_basics() {
+        let a = [C32::real(2.0)];
+        let b = [C32::real(1.0)];
+        assert!((rel_l2_error(&a, &b) - 1.0).abs() < 1e-6);
+        assert_eq!(rel_l2_error(&b, &b), 0.0);
+        let z = [C32::ZERO];
+        assert_eq!(rel_l2_error(&z, &z), 0.0);
+        assert!(rel_l2_error(&a, &z).is_infinite());
+    }
+
+    #[test]
+    fn tolerances_grow_with_size() {
+        assert!(fft_tolerance(1024, 1.0) > fft_tolerance(16, 1.0));
+        assert!(gemm_tolerance(256, 1.0) > gemm_tolerance(8, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds tolerance")]
+    fn assert_close_panics_on_divergence() {
+        let a = [C32::real(1.0)];
+        let b = [C32::real(2.0)];
+        assert_close(&a, &b, 1e-6, "unit");
+    }
+}

@@ -1,0 +1,35 @@
+//! # tfno-num
+//!
+//! Numerics substrate for the TurboFNO reproduction: a single-precision
+//! complex number type ([`C32`]), dense complex tensors ([`CTensor`]),
+//! reference implementations of the DFT / complex GEMM / the full FNO
+//! Fourier-layer pipeline ([`mod@reference`]), and error metrics ([`error`]).
+//!
+//! Everything in the higher crates (simulated GPU kernels, fused pipelines,
+//! the FNO model) is validated against the *naive but obviously correct*
+//! routines in this crate. Nothing here is performance-sensitive by design:
+//! the reference kernels are O(N^2) DFTs and triple-loop GEMMs.
+
+pub mod complex;
+pub mod error;
+pub mod reference;
+pub mod tensor;
+
+pub use complex::C32;
+pub use tensor::CTensor;
+
+/// Real floating-point operations performed by one complex multiply
+/// (4 real multiplies + 2 adds) followed by an accumulate (2 adds).
+///
+/// This is the convention used throughout the event accounting: one complex
+/// multiply-accumulate (MAC) costs [`FLOPS_PER_CMAC`] real flops.
+pub const FLOPS_PER_CMAC: u64 = 8;
+
+/// Real flops for a complex add/subtract.
+pub const FLOPS_PER_CADD: u64 = 2;
+
+/// Real flops for a standalone complex multiply (no accumulate).
+pub const FLOPS_PER_CMUL: u64 = 6;
+
+/// Size in bytes of one [`C32`] element as stored in simulated memory.
+pub const C32_BYTES: usize = 8;

@@ -1,0 +1,210 @@
+//! Dense complex tensors with row-major layout.
+//!
+//! [`CTensor`] is intentionally minimal: a `Vec<C32>` plus a shape. The FNO
+//! pipeline only needs rank-3 (`[batch, hidden, n]`) and rank-4
+//! (`[batch, hidden, x, y]`) tensors, contiguous in row-major order, which is
+//! also the layout the simulated global-memory buffers use — so a tensor can
+//! be uploaded to the simulator with a plain memcpy.
+
+use crate::C32;
+use rand::Rng;
+
+/// A dense, row-major complex tensor.
+///
+/// ```
+/// use tfno_num::{C32, CTensor};
+/// let mut t = CTensor::zeros(&[2, 3, 4]);
+/// t.set(&[1, 2, 3], C32::ONE);
+/// assert_eq!(t.get(&[1, 2, 3]), C32::ONE);
+/// assert_eq!(t.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CTensor {
+    data: Vec<C32>,
+    shape: Vec<usize>,
+}
+
+impl CTensor {
+    /// Zero-filled tensor with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        CTensor {
+            data: vec![C32::ZERO; len],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Build from existing data; `data.len()` must equal the shape product.
+    pub fn from_vec(data: Vec<C32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        CTensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Tensor with i.i.d. uniform entries in `[-1, 1] x [-1, 1]i`.
+    pub fn random<R: Rng>(rng: &mut R, shape: &[usize]) -> Self {
+        let len: usize = shape.iter().product();
+        let data = (0..len)
+            .map(|_| C32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        CTensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn data(&self) -> &[C32] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [C32] {
+        &mut self.data
+    }
+
+    pub fn into_vec(self) -> Vec<C32> {
+        self.data
+    }
+
+    /// Row-major strides of the current shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.shape.len()];
+        for i in (0..self.shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.shape[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset for a multi-index (debug-checked against the shape).
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let strides = self.strides();
+        idx.iter()
+            .zip(&self.shape)
+            .zip(&strides)
+            .map(|((&i, &dim), &s)| {
+                debug_assert!(i < dim, "index {i} out of bounds for dim {dim}");
+                i * s
+            })
+            .sum()
+    }
+
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> C32 {
+        self.data[self.offset(idx)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: C32) {
+        let o = self.offset(idx);
+        self.data[o] = v;
+    }
+
+    /// Reinterpret with a new shape of equal volume (no data movement).
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape volume mismatch"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &CTensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = CTensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.data().iter().all(|c| *c == C32::ZERO));
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let t = CTensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_and_indexing_roundtrip() {
+        let mut t = CTensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], C32::new(7.0, -7.0));
+        assert_eq!(t.get(&[1, 2, 3]), C32::new(7.0, -7.0));
+        assert_eq!(t.offset(&[1, 2, 3]), 23);
+        assert_eq!(t.data()[23], C32::new(7.0, -7.0));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = CTensor::random(&mut rng, &[4, 6]);
+        let flat = t.data().to_vec();
+        let r = t.reshape(&[2, 12]);
+        assert_eq!(r.data(), &flat[..]);
+        assert_eq!(r.shape(), &[2, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape volume mismatch")]
+    fn reshape_rejects_bad_volume() {
+        CTensor::zeros(&[2, 3]).reshape(&[7]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let ta = CTensor::random(&mut a, &[5, 5]);
+        let tb = CTensor::random(&mut b, &[5, 5]);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = CTensor::zeros(&[3]);
+        let mut b = CTensor::zeros(&[3]);
+        b.set(&[1], C32::new(0.0, 0.5));
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Pseudo-spectral Burgers' equation solver built on the library's FFT
+//! stack — the FFT → pointwise → iFFT loop the paper's introduction calls
+//! "a fundamental motif in a wide range of scientific computing
+//! applications".
+//!
+//! ```text
+//! cargo run --release --example burgers_spectral
+//! ```
+//!
+//! Solves `u_t + u u_x = nu u_xx` on a periodic domain with an
+//! integrating-factor RK2 scheme: the diffusion term is handled exactly in
+//! Fourier space, the nonlinear term pseudo-spectrally with 2/3-rule
+//! dealiasing, using the crate's real transforms (`rfft`/`irfft`). Checks
+//! conservation properties and prints the shock-steepening diagnostics.
+
+use tfno_fft::real::{irfft, rfft};
+use tfno_num::C32;
+
+/// One right-hand-side evaluation of the dealiased nonlinear term
+/// `-(u u_x)` in spectral space.
+fn nonlinear_term(u_hat: &[C32], n: usize, l: f32) -> Vec<C32> {
+    let m = n / 2;
+    // u in physical space
+    let u = irfft(u_hat, n);
+    // u_x via spectral differentiation
+    let ux_hat: Vec<C32> = u_hat
+        .iter()
+        .enumerate()
+        .map(|(k, v)| {
+            let kk = 2.0 * std::f32::consts::PI * k as f32 / l;
+            v.mul_i().scale(kk)
+        })
+        .collect();
+    let ux = irfft(
+        &{
+            let mut h = ux_hat;
+            h[0] = C32::real(h[0].re);
+            h[m] = C32::real(h[m].re);
+            h
+        },
+        n,
+    );
+    // pointwise product, back to spectral space, dealias (2/3 rule)
+    let prod: Vec<f32> = u.iter().zip(&ux).map(|(a, b)| -a * b).collect();
+    let mut out = rfft(&prod);
+    let cutoff = (2 * m) / 3;
+    for v in out.iter_mut().skip(cutoff) {
+        *v = C32::ZERO;
+    }
+    out
+}
+
+fn energy(u: &[f32]) -> f32 {
+    u.iter().map(|v| v * v).sum::<f32>() / u.len() as f32
+}
+
+fn main() {
+    let n = 256usize;
+    let l = 2.0 * std::f32::consts::PI;
+    let nu = 0.02f32;
+    let dt = 5e-4f32;
+    let steps = 2000;
+
+    // initial condition: u0 = sin(x)
+    let u0: Vec<f32> = (0..n)
+        .map(|i| (2.0 * std::f32::consts::PI * i as f32 / n as f32).sin())
+        .collect();
+    println!("Burgers: n={n}, nu={nu}, dt={dt}, {steps} steps (t_end={})", dt * steps as f32);
+    println!("initial energy {:.6}", energy(&u0));
+
+    // integrating factor for the diffusion term
+    let m = n / 2;
+    let decay: Vec<f32> = (0..=m)
+        .map(|k| {
+            let kk = 2.0 * std::f32::consts::PI * k as f32 / l;
+            (-nu * kk * kk * dt).exp()
+        })
+        .collect();
+
+    let mut u_hat = rfft(&u0);
+    for step in 0..steps {
+        // RK2 (midpoint) with exact diffusion via the integrating factor
+        let k1 = nonlinear_term(&u_hat, n, l);
+        let mid: Vec<C32> = u_hat
+            .iter()
+            .zip(&k1)
+            .enumerate()
+            .map(|(k, (v, f))| (*v + f.scale(0.5 * dt)).scale(decay[k].sqrt()))
+            .collect();
+        let k2 = nonlinear_term(&mid, n, l);
+        u_hat = u_hat
+            .iter()
+            .enumerate()
+            .map(|(k, v)| (v.scale(decay[k].sqrt()) + k2[k].scale(dt)).scale(decay[k].sqrt()))
+            .collect();
+        u_hat[0] = C32::real(u_hat[0].re);
+        u_hat[m] = C32::real(u_hat[m].re);
+
+        if step % 500 == 499 {
+            let u = irfft(&u_hat, n);
+            let max_grad = {
+                let mut g: f32 = 0.0;
+                for i in 0..n {
+                    g = g.max((u[(i + 1) % n] - u[i]).abs() * n as f32 / l);
+                }
+                g
+            };
+            println!(
+                "step {:>5}: energy {:.6}, max |u_x| {:.2}",
+                step + 1,
+                energy(&u),
+                max_grad
+            );
+        }
+    }
+
+    let u_end = irfft(&u_hat, n);
+    let e0 = energy(&u0);
+    let e1 = energy(&u_end);
+    // viscous Burgers dissipates energy monotonically
+    assert!(e1 < e0, "energy must decay: {e1} !< {e0}");
+    assert!(u_end.iter().all(|v| v.is_finite()), "solution blew up");
+    // mean (momentum) is conserved exactly in spectral form
+    let mean0: f32 = u0.iter().sum::<f32>() / n as f32;
+    let mean1: f32 = u_end.iter().sum::<f32>() / n as f32;
+    assert!((mean0 - mean1).abs() < 1e-4, "momentum drifted: {mean0} vs {mean1}");
+
+    println!(
+        "\nfinal energy {:.6} (dissipated {:.1}%), momentum conserved to {:.1e}",
+        e1,
+        100.0 * (1.0 - e1 / e0),
+        (mean0 - mean1).abs()
+    );
+    println!("the shock forms near x=pi and is resolved by the viscous scale — the");
+    println!("classic pseudo-spectral pipeline (rfft -> pointwise -> irfft) the");
+    println!("paper's FFT-GEMM-iFFT motif generalizes.");
+}

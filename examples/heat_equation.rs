@@ -1,0 +1,70 @@
+//! Physics validation: an FNO layer as the *exact* heat-equation solution
+//! operator.
+//!
+//! ```text
+//! cargo run --release --example heat_equation
+//! ```
+//!
+//! On a periodic domain the heat equation `u_t = nu * u_xx` has the exact
+//! spectral solution `u_hat(k, t) = u_hat(k, 0) * exp(-nu k^2 t)`. With
+//! per-mode diagonal weights set to those multipliers, an FNO spectral
+//! layer *is* the solution operator — so we can validate the whole device
+//! pipeline (FFT kernels, mode-batched CGEMM, iFFT kernels) against an
+//! analytically known PDE solution, no training required.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tfno_gpu_sim::GpuDevice;
+use tfno_model::{pde, PerModeSpectralConv1d};
+use tfno_num::error::rel_l2_error;
+use tfno_num::C32;
+
+fn main() {
+    let n = 256usize;
+    let l = 2.0 * std::f64::consts::PI;
+    let (nu, t) = (0.05f64, 0.8f64);
+    // Initial conditions are band-limited (12 modes), so keeping 32 modes
+    // loses nothing: the truncated operator is exact for this input class.
+    let nf = 32usize;
+    let batch = 4usize;
+
+    println!("periodic heat equation: nu={nu}, t={t}, n={n}, {nf} retained modes");
+
+    // Build the exact solution operator as a per-mode diagonal FNO layer.
+    let diag = pde::heat_multipliers(nf, nu, t, l);
+    let layer = PerModeSpectralConv1d::diagonal(1, n, &diag);
+
+    // A batch of random smooth initial conditions.
+    let mut rng = StdRng::seed_from_u64(7);
+    // Analytic (positive-frequency) fields: one-sided mode truncation is
+    // lossless on this class — see `pde::random_analytic_field_1d`.
+    let fields: Vec<Vec<C32>> = (0..batch)
+        .map(|_| pde::random_analytic_field_1d(&mut rng, n, 12, 1.2))
+        .collect();
+    let x = pde::batch_1d(&fields);
+
+    // Device forward (Turbo truncated FFT -> mode-batched CGEMM -> padded iFFT).
+    let mut dev = GpuDevice::a100();
+    let (y, run) = layer.forward_device(&mut dev, &x);
+    println!(
+        "device pipeline: {} kernels, modeled {:.1} us",
+        run.kernel_count(),
+        run.total_us()
+    );
+
+    // Compare each sample against the exact spectral evolution.
+    let mut worst = 0.0f32;
+    for (b, u0) in fields.iter().enumerate() {
+        let exact = pde::heat_exact(u0, nu, t, l);
+        let got = &y.data()[b * n..(b + 1) * n];
+        let err = rel_l2_error(got, &exact);
+        worst = worst.max(err);
+        println!("  sample {b}: rel L2 error vs exact solution = {err:.3e}");
+    }
+    assert!(
+        worst < 1e-4,
+        "FNO heat operator diverged from the exact solution: {worst}"
+    );
+    println!("\nFNO layer reproduces the exact heat-equation solution operator");
+    println!("through the full simulated-GPU pipeline (worst error {worst:.3e}).");
+}

@@ -1,0 +1,86 @@
+//! A guided tour of the simulated-GPU internals the reproduction is built
+//! on: device model, occupancy, coalescing, bank conflicts, swizzles and
+//! butterfly pruning.
+//!
+//! ```text
+//! cargo run --release --example kernel_tour
+//! ```
+
+use tfno_fft::{FftDirection, FftPlan};
+use tfno_gpu_sim::shared::warp_bank_cycles;
+use tfno_gpu_sim::{DeviceConfig, WarpIdx};
+use turbofno::{fft_writeback_pattern, forward_to_as_pattern, pattern_utilization, ForwardLayout};
+
+fn main() {
+    let dev = DeviceConfig::a100();
+    println!("== device: {} ==", dev.name);
+    println!(
+        "  {} SMs, {:.2} GHz, {:.0} GB/s HBM, {:.1} TFLOP/s FP32, {} banks x {} B shared",
+        dev.num_sms,
+        dev.clock_ghz,
+        dev.dram_bw_gbps,
+        dev.fp32_gflops / 1e3,
+        dev.shared_banks,
+        dev.bank_width_bytes
+    );
+
+    println!("\n== occupancy (blocks per SM) ==");
+    for (threads, smem, regs, label) in [
+        (128u32, 16 * 1024usize, 40u32, "standalone FFT kernel"),
+        (64, 5 * 1024, 64, "Table-1 CGEMM kernel"),
+        (128, 52 * 1024, 80, "fully fused kernel (256-pt)"),
+    ] {
+        let occ = dev.occupancy(threads, smem, regs);
+        println!(
+            "  {label:<28} threads={threads:<4} smem={:>3}KiB regs={regs:<3} -> {} blocks/SM (limited by {:?})",
+            smem / 1024,
+            occ.blocks_per_sm,
+            occ.limiter
+        );
+    }
+
+    println!("\n== shared-memory bank conflicts (32 banks x 4B, C32 = 2 banks) ==");
+    for (name, idx) in [
+        ("32 consecutive elements", WarpIdx::contiguous(0)),
+        ("stride-16 elements", WarpIdx::from_fn(|l| (l < 16).then_some(l * 16))),
+        ("broadcast (one element)", WarpIdx::from_fn(|_| Some(7))),
+    ] {
+        let s = warp_bank_cycles(&idx);
+        println!(
+            "  {name:<26} ideal {} cycles, actual {} -> {:.1}% utilization",
+            s.ideal_cycles,
+            s.actual_cycles,
+            100.0 * s.utilization()
+        );
+    }
+
+    println!("\n== the paper's swizzles (Figs. 7-8) ==");
+    println!(
+        "  FFT writeback 16-pt/thread : raw {:>6.2}% -> +tid   {:>5.1}%",
+        100.0 * pattern_utilization(&fft_writeback_pattern(16, false)),
+        100.0 * pattern_utilization(&fft_writeback_pattern(16, true))
+    );
+    println!(
+        "  FFT writeback  8-pt/thread : raw {:>6.2}% -> +tid/2 {:>5.1}%",
+        100.0 * pattern_utilization(&fft_writeback_pattern(8, false)),
+        100.0 * pattern_utilization(&fft_writeback_pattern(8, true))
+    );
+    println!(
+        "  As-tile forwarding         : VkFFT layout {:>5.1}% vs TurboFNO layout {:>5.1}%",
+        100.0 * pattern_utilization(&forward_to_as_pattern(ForwardLayout::VkFftStrided, 64, 8)),
+        100.0 * pattern_utilization(&forward_to_as_pattern(ForwardLayout::TurboContiguous, 64, 8))
+    );
+
+    println!("\n== butterfly pruning (Fig. 5 convention: 1 op per produced value) ==");
+    println!("     n  keep   ops  full  surviving");
+    for (n, keep) in [(4usize, 1usize), (4, 2), (4, 4), (128, 32), (128, 64), (256, 64)] {
+        let plan = FftPlan::new(n, FftDirection::Forward, n, keep);
+        println!(
+            "  {n:>4} {keep:>5} {:>5} {:>5} {:>9.1}%",
+            plan.paper_ops(),
+            plan.full_paper_ops(),
+            100.0 * plan.surviving_fraction()
+        );
+    }
+    println!("\n(4-pt rows match the paper's Fig. 5 exactly: 3/6/8 ops.)");
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate: re-exports the whole TurboFNO reproduction workspace so
+//! the examples and integration tests can `use turbofno_suite::*`.
+pub use tfno_cgemm as cgemm;
+pub use tfno_culib as culib;
+pub use tfno_fft as fft;
+pub use tfno_gpu_sim as gpu_sim;
+pub use tfno_model as model;
+pub use tfno_num as num;
+pub use turbofno as core;

@@ -1,0 +1,146 @@
+//! Workspace integration tests: every pipeline variant must compute the
+//! same Fourier layer as the naive reference, across a matrix of problem
+//! shapes, including property-based random configurations.
+
+use proptest::prelude::*;
+use tfno_num::error::rel_l2_error;
+use tfno_num::{reference, C32, CTensor};
+use turbofno::{
+    run_variant_1d, run_variant_2d, FnoProblem1d, FnoProblem2d, TurboOptions, Variant,
+};
+use turbofno_suite::gpu_sim::{ExecMode, GpuDevice};
+
+fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
+    (0..len)
+        .map(|i| {
+            C32::new(
+                ((i as f32) * 0.137 + seed).sin(),
+                ((i as f32) * 0.291 - seed).cos(),
+            )
+        })
+        .collect()
+}
+
+fn check_1d(p: &FnoProblem1d, v: Variant) {
+    let mut dev = GpuDevice::a100();
+    let x = dev.alloc("x", p.input_len());
+    let w = dev.alloc("w", p.weight_len());
+    let y = dev.alloc("y", p.output_len());
+    let xd = rand_vec(p.input_len(), 0.4);
+    let wd = rand_vec(p.weight_len(), 0.9);
+    dev.upload(x, &xd);
+    dev.upload(w, &wd);
+    run_variant_1d(
+        &mut dev,
+        p,
+        v,
+        x,
+        w,
+        y,
+        &TurboOptions::default(),
+        ExecMode::Functional,
+    );
+    let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.n]);
+    let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
+    let want = reference::fno_layer_1d(&xt, &wt, p.nf);
+    let got = dev.download(y);
+    let err = rel_l2_error(&got, want.data());
+    assert!(err < 2e-4, "{v:?} {p:?}: rel l2 {err}");
+}
+
+#[test]
+fn variant_matrix_1d() {
+    // shapes chosen to hit: uneven hidden dims, k tails (k % 8 != 0),
+    // partial n-tiles, different mode counts
+    let shapes = [
+        FnoProblem1d::new(1, 8, 8, 64, 32),
+        FnoProblem1d::new(3, 12, 20, 128, 32),
+        FnoProblem1d::new(2, 9, 16, 128, 64),
+        FnoProblem1d::new(2, 33, 40, 64, 32),
+    ];
+    for p in &shapes {
+        for v in Variant::CONCRETE {
+            check_1d(p, v);
+        }
+    }
+}
+
+fn check_2d(p: &FnoProblem2d, v: Variant) {
+    let mut dev = GpuDevice::a100();
+    let x = dev.alloc("x", p.input_len());
+    let w = dev.alloc("w", p.weight_len());
+    let y = dev.alloc("y", p.output_len());
+    let xd = rand_vec(p.input_len(), 0.2);
+    let wd = rand_vec(p.weight_len(), 0.7);
+    dev.upload(x, &xd);
+    dev.upload(w, &wd);
+    run_variant_2d(
+        &mut dev,
+        p,
+        v,
+        x,
+        w,
+        y,
+        &TurboOptions::default(),
+        ExecMode::Functional,
+    );
+    let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.nx, p.ny]);
+    let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
+    let want = reference::fno_layer_2d(&xt, &wt, p.nfx, p.nfy);
+    let got = dev.download(y);
+    let err = rel_l2_error(&got, want.data());
+    assert!(err < 2e-4, "{v:?} {p:?}: rel l2 {err}");
+}
+
+#[test]
+fn variant_matrix_2d() {
+    let shapes = [
+        FnoProblem2d::new(1, 8, 8, 32, 64, 8, 32),
+        FnoProblem2d::new(2, 10, 12, 32, 32, 16, 32),
+        FnoProblem2d::new(1, 17, 8, 64, 64, 8, 32),
+    ];
+    for p in &shapes {
+        for v in Variant::CONCRETE {
+            check_2d(p, v);
+        }
+    }
+}
+
+#[test]
+fn turbo_best_equivalence() {
+    check_1d(&FnoProblem1d::new(2, 16, 16, 128, 32), Variant::TurboBest);
+    check_2d(&FnoProblem2d::new(1, 8, 8, 32, 64, 8, 32), Variant::TurboBest);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random 1D shapes: fused variants must agree with the reference.
+    #[test]
+    fn prop_fused_1d_matches_reference(
+        batch in 1usize..4,
+        k_in in 1usize..24,
+        k_out in 1usize..24,
+        n_pow in 6u32..8,
+        nf_sel in 0usize..2,
+    ) {
+        let n = 1usize << n_pow;
+        let nf = [32usize, 64][nf_sel].min(n);
+        let p = FnoProblem1d::new(batch, k_in, k_out, n, nf);
+        check_1d(&p, Variant::FullyFused);
+    }
+
+    /// Random 1D shapes through the PyTorch baseline.
+    #[test]
+    fn prop_pytorch_1d_matches_reference(
+        batch in 1usize..4,
+        k in 1usize..16,
+        n_pow in 5u32..8,
+        nf_div in 1usize..4,
+    ) {
+        let n = 1usize << n_pow;
+        let nf = (n / (1 << nf_div)).max(1);
+        let p = FnoProblem1d::new(batch, k, k, n, nf);
+        check_1d(&p, Variant::Pytorch);
+    }
+}

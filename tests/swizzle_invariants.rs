@@ -1,0 +1,78 @@
+//! Property tests on the swizzle/staging machinery: the address
+//! transformations behind Figs. 7-8 must be injective permutations and the
+//! claimed utilizations must hold for every supported geometry.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use turbofno::{
+    epilogue_store_pattern, fft_writeback_pattern, forward_to_as_pattern, pattern_utilization,
+    EpilogueStaging, ForwardLayout,
+};
+
+proptest! {
+    /// The Fig. 8 staging swizzle never maps two C elements to one address.
+    #[test]
+    fn prop_staging_injective(ms_sel in 0usize..3, channels in 1usize..9, swizzled: bool) {
+        let ms = [32usize, 64, 128][ms_sel];
+        let st = EpilogueStaging { ms, swizzled };
+        let mut seen = HashSet::new();
+        for n in 0..channels {
+            for m in 0..ms {
+                prop_assert!(seen.insert(st.addr(m, n)), "collision at ({m},{n})");
+            }
+        }
+    }
+
+    /// Addresses always fit the declared staging capacity.
+    #[test]
+    fn prop_staging_capacity(ms_sel in 0usize..3, channels in 1usize..9) {
+        let ms = [32usize, 64, 128][ms_sel];
+        let st = EpilogueStaging { ms, swizzled: true };
+        for n in 0..channels {
+            for m in 0..ms {
+                prop_assert!(st.addr(m, n) < st.elems(channels));
+            }
+        }
+    }
+}
+
+#[test]
+fn swizzled_patterns_dominate_raw_everywhere() {
+    // For every geometry we use, the swizzled pattern's utilization is at
+    // least the raw pattern's — the swizzle never makes things worse.
+    for n_thread in [8usize, 16] {
+        let raw = pattern_utilization(&fft_writeback_pattern(n_thread, false));
+        let swz = pattern_utilization(&fft_writeback_pattern(n_thread, true));
+        assert!(swz >= raw, "n_thread={n_thread}: {swz} < {raw}");
+        assert!((swz - 1.0).abs() < 1e-12, "swizzled must be conflict-free");
+    }
+    for ms in [32usize, 64, 128] {
+        let vk = pattern_utilization(&forward_to_as_pattern(ForwardLayout::VkFftStrided, ms, 8));
+        let tb =
+            pattern_utilization(&forward_to_as_pattern(ForwardLayout::TurboContiguous, ms, 8));
+        assert!(tb > vk, "ms={ms}");
+        assert!((tb - 1.0).abs() < 1e-12);
+    }
+    for ms in [32usize, 64, 128] {
+        let raw_st = EpilogueStaging { ms, swizzled: false };
+        let swz_st = EpilogueStaging { ms, swizzled: true };
+        let collect = |st: &EpilogueStaging| {
+            let pats: Vec<_> = (0..4)
+                .flat_map(|i| (0..4).map(move |j| (i, j)))
+                .map(|(i, j)| epilogue_store_pattern(st, i, j))
+                .collect();
+            pattern_utilization(&pats)
+        };
+        let raw = collect(&raw_st);
+        let swz = collect(&swz_st);
+        assert!((raw - 0.25).abs() < 1e-9, "ms={ms}: raw {raw}");
+        assert!((swz - 1.0).abs() < 1e-9, "ms={ms}: swizzled {swz}");
+    }
+}
+
+#[test]
+fn paper_utilization_numbers() {
+    // the exact figures quoted in the paper
+    assert!((pattern_utilization(&fft_writeback_pattern(16, false)) - 0.0625).abs() < 1e-12);
+    assert!((pattern_utilization(&fft_writeback_pattern(16, true)) - 1.0).abs() < 1e-12);
+}
