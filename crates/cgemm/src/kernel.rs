@@ -167,8 +167,8 @@ impl Kernel for BatchedCgemmKernel {
         // pattern. Enumerate up to four classes.
         let mt = self.m_tiles();
         let nt = self.n_tiles();
-        let edge_m = self.shape.m % self.tile.m_tb != 0;
-        let edge_n = self.shape.n % self.tile.n_tb != 0;
+        let edge_m = !self.shape.m.is_multiple_of(self.tile.m_tb);
+        let edge_n = !self.shape.n.is_multiple_of(self.tile.n_tb);
         let mut classes: Vec<(usize, u64)> = Vec::new();
         let full_m = if edge_m { mt - 1 } else { mt };
         let full_n = if edge_n { nt - 1 } else { nt };

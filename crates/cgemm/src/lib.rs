@@ -11,6 +11,11 @@
 //! (the FFT writes straight into the `As` tile) and a custom epilogue (the
 //! iFFT consumes `C` from shared memory).
 
+// Lane loops (`for l in 0..WARP_SIZE`) deliberately mirror the CUDA
+// warp-synchronous style — the index *is* the lane id — and kernel
+// constructors take launch-parameter lists like real CUDA launches do.
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
 pub mod engine;
 pub mod kernel;
 pub mod tile;

@@ -73,9 +73,9 @@ impl TileConfig {
 
     /// Panics unless the shape is internally consistent.
     pub fn validate(&self) {
-        assert!(self.m_tb % self.m_w == 0, "m_tb must be a multiple of m_w");
-        assert!(self.n_tb % self.n_w == 0, "n_tb must be a multiple of n_w");
-        assert!(self.m_w % self.m_t == 0 && self.n_w % self.n_t == 0);
+        assert!(self.m_tb.is_multiple_of(self.m_w), "m_tb must be a multiple of m_w");
+        assert!(self.n_tb.is_multiple_of(self.n_w), "n_tb must be a multiple of n_w");
+        assert!(self.m_w.is_multiple_of(self.m_t) && self.n_w.is_multiple_of(self.n_t));
         let lanes = (self.m_w / self.m_t) * (self.n_w / self.n_t);
         assert_eq!(
             lanes, 32,

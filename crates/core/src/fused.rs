@@ -203,7 +203,7 @@ impl FusedGeometry for Geom2d {
     fn outer_classes(&self) -> Vec<(usize, u64)> {
         // Every base address is a multiple of nfy / ny elements; with
         // nfy % 4 == 0 all outers share one sector-alignment phase.
-        if self.nfy % 4 == 0 {
+        if self.nfy.is_multiple_of(4) {
             return vec![(0, self.outer_blocks() as u64)];
         }
         // Group outers by the sector phase of their base addresses.
@@ -258,7 +258,7 @@ impl<G: FusedGeometry> FusedKernel<G> {
         assert!(fuse_fft || fuse_ifft, "use BatchedCgemmKernel when nothing is fused");
         let modes = geom.modes();
         assert!(
-            modes % 32 == 0,
+            modes.is_multiple_of(32),
             "fused kernels need the retained mode count ({modes}) to be a multiple of the warp M-tile"
         );
         let tile = TileConfig::for_fused(modes, n_tb);
@@ -511,7 +511,7 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
     fn block_classes(&self) -> Vec<(usize, u64)> {
         let nt = self.n_tiles();
         let ntile_classes: Vec<(usize, u64)> =
-            if self.geom.k_out() % self.tile.n_tb == 0 || nt == 1 {
+            if self.geom.k_out().is_multiple_of(self.tile.n_tb) || nt == 1 {
                 vec![(0, nt as u64)]
             } else {
                 vec![(0, nt as u64 - 1), (nt - 1, 1)]

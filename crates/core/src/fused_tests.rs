@@ -18,15 +18,15 @@ fn geom1d_addressing_is_row_major() {
     };
     // x[b, k, i] with row-major [batch, k_in, n]
     assert_eq!(g.x_addr(0, 0, 0), 0);
-    assert_eq!(g.x_addr(1, 2, 3), (1 * 4 + 2) * 16 + 3);
+    assert_eq!(g.x_addr(1, 2, 3), (4 + 2) * 16 + 3);
     // a view: xf_t[b, k, f] -> at(m=f, col=k)
     let v = g.a_view(2);
     assert_eq!(v.at(5, 3), 2 * 4 * 8 + 3 * 8 + 5);
     // c view offset by n0 channels
     let c = g.c_view(1, 2);
-    assert_eq!(c.at(7, 1), (1 * 5 + 2 + 1) * 8 + 7);
+    assert_eq!(c.at(7, 1), (5 + 2 + 1) * 8 + 7);
     // y addr
-    assert_eq!(g.y_addr(1, 4, 15), (1 * 5 + 4) * 16 + 15);
+    assert_eq!(g.y_addr(1, 4, 15), (5 + 4) * 16 + 15);
     assert_eq!(g.outer_blocks(), 3);
 }
 
@@ -44,12 +44,12 @@ fn geom2d_addressing_keeps_rows_contiguous() {
     assert_eq!(g.fft_len(), 32);
     assert_eq!(g.modes(), 16);
     // outer = b * nfx + fx
-    let outer = 1 * 8 + 5; // b=1, fx=5
+    let outer = 8 + 5; // b=1, fx=5
     // input t1[b, k, fx, y]: consecutive idx must be consecutive addresses
     let a0 = g.x_addr(outer, 2, 0);
     let a1 = g.x_addr(outer, 2, 1);
     assert_eq!(a1, a0 + 1, "fused-axis reads must be contiguous");
-    assert_eq!(a0, ((1 * 3 + 2) * 8 + 5) * 32);
+    assert_eq!(a0, ((3 + 2) * 8 + 5) * 32);
     // a/c views: row stride 1 along fy
     let av = g.a_view(outer);
     assert_eq!(av.at(1, 0), av.at(0, 0) + 1);

@@ -18,6 +18,11 @@
 //! layer is enforced by the test suite (`tests/` in this crate and the
 //! workspace-level integration tests).
 
+// Lane loops (`for l in 0..WARP_SIZE`) deliberately mirror the CUDA
+// warp-synchronous style, and the pipeline entry points take CUDA-launch
+// style parameter lists (device, problem, buffers, options, mode).
+#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+
 pub mod fused;
 #[cfg(test)]
 mod fused_tests;

@@ -17,7 +17,7 @@ impl CuBlas {
     /// problem fills them, Table-1 tiles otherwise.
     pub fn select_tile(shape: &GemmShape) -> TileConfig {
         let large = TileConfig::large64();
-        if shape.m % large.m_tb == 0 && shape.n % large.n_tb == 0 && shape.m >= 128 {
+        if shape.m.is_multiple_of(large.m_tb) && shape.n.is_multiple_of(large.n_tb) && shape.m >= 128 {
             large
         } else {
             TileConfig::table1()

@@ -220,7 +220,7 @@ impl<A: PencilAddressing> Kernel for BatchedFftKernel<A> {
         let grid = self.grid_blocks();
         let bs = self.cfg.block.bs;
         let full =
-            self.addressing.count() % (bs * self.cfg.k_iters) == 0;
+            self.addressing.count().is_multiple_of(bs * self.cfg.k_iters);
         if full {
             vec![(0, grid as u64)]
         } else if grid == 1 {

@@ -15,6 +15,10 @@
 //! * [`host`] — fast host-side Stockham FFT used by the model crate and as
 //!   an extra cross-check of the reference DFT.
 
+// Lane loops (`for l in 0..WARP_SIZE`) deliberately mirror the CUDA
+// warp-synchronous style — the index *is* the lane id.
+#![allow(clippy::needless_range_loop)]
+
 pub mod engine;
 pub mod host;
 pub mod kernels;

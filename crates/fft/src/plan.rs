@@ -181,9 +181,7 @@ impl FftPlan {
         // needed[t][i]: is value i of the array *entering* stage t needed?
         // needed[stages][i]: is output i needed?
         let mut needed = vec![vec![false; n]; stages_count + 1];
-        for i in 0..n_out_keep {
-            needed[stages_count][i] = true;
-        }
+        needed[stages_count][..n_out_keep].fill(true);
         for t in (0..stages_count).rev() {
             for op in &raw[t] {
                 if needed[t + 1][op.dst as usize] {
@@ -196,16 +194,12 @@ impl FftPlan {
         // ---- forward zero propagation from the padded inputs ----
         // zero[t][i]: is value i entering stage t structurally zero?
         let mut zero = vec![vec![false; n]; stages_count + 1];
-        for i in n_in_valid..n {
-            zero[0][i] = true;
-        }
+        zero[0][n_in_valid..].fill(true);
         for t in 0..stages_count {
             // values not written by any surviving op default to zero as
             // well, but reachability guarantees they are never read; only
             // propagate through the raw network for soundness.
-            for i in 0..n {
-                zero[t + 1][i] = true;
-            }
+            zero[t + 1].fill(true);
             for op in &raw[t] {
                 let za = zero[t][op.a.unwrap() as usize];
                 let zb = zero[t][op.b.unwrap() as usize];

@@ -179,10 +179,12 @@ mod tests {
         let modes = rfft(&x);
         let time_energy: f32 = x.iter().map(|v| v * v).sum();
         // one-sided Parseval: |X0|^2 + |Xm|^2 + 2 sum |Xk|^2 = n * energy
-        let mut spec = modes[0].norm_sqr() + modes[n / 2].norm_sqr();
-        for k in 1..n / 2 {
-            spec += 2.0 * modes[k].norm_sqr();
-        }
+        let spec = modes[0].norm_sqr()
+            + modes[n / 2].norm_sqr()
+            + modes[1..n / 2]
+                .iter()
+                .map(|m| 2.0 * m.norm_sqr())
+                .sum::<f32>();
         assert!(
             (spec / (n as f32) - time_energy).abs() < 1e-2 * time_energy.max(1.0),
             "{spec} vs {time_energy}"

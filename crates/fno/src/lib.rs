@@ -16,6 +16,11 @@
 //!
 
 
+// Spectral loops index by frequency (`spectrum[f]`, `modes[f]`) — the
+// index is the physical mode number, so range loops read better than
+// enumerate/skip/take chains.
+#![allow(clippy::needless_range_loop)]
+
 pub mod model;
 pub mod permode;
 pub mod pde;

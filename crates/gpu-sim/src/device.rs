@@ -130,17 +130,15 @@ impl DeviceConfig {
         );
         let by_threads = self.max_threads_per_sm / threads_per_block.max(1);
         let by_blocks = self.max_blocks_per_sm;
-        let by_shared = if shared_bytes == 0 {
-            u32::MAX
-        } else {
-            (self.shared_mem_per_sm / shared_bytes) as u32
-        };
+        let by_shared = self
+            .shared_mem_per_sm
+            .checked_div(shared_bytes)
+            .map_or(u32::MAX, |b| b as u32);
         let regs_per_block = regs_per_thread.max(1) * threads_per_block;
-        let by_regs = if regs_per_block == 0 {
-            u32::MAX
-        } else {
-            self.regs_per_sm / regs_per_block
-        };
+        let by_regs = self
+            .regs_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
         let blocks_per_sm = by_threads.min(by_blocks).min(by_shared).min(by_regs);
         let limiter = if blocks_per_sm == by_threads {
             OccupancyLimiter::Threads

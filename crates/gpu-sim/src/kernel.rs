@@ -221,7 +221,7 @@ impl<'a> BlockCtx<'a> {
         self.shared.raw()
     }
 
-    fn finish(mut self) -> (KernelStats, Vec<(BufferId, usize, C32)>) {
+    fn finish(mut self) -> BlockResult {
         self.stats.shared_ideal_cycles =
             self.shared.load_stats.ideal_cycles + self.shared.store_stats.ideal_cycles;
         self.stats.shared_actual_cycles =
@@ -229,6 +229,10 @@ impl<'a> BlockCtx<'a> {
         (self.stats, self.writes)
     }
 }
+
+/// What one block's execution produces: its event stats and the global
+/// writes it wants applied when the launch completes.
+type BlockResult = (KernelStats, Vec<(BufferId, usize, C32)>);
 
 /// The simulated device: global memory + config + launch history.
 pub struct GpuDevice {
@@ -341,7 +345,7 @@ impl GpuDevice {
             1
         };
 
-        let results: Vec<(KernelStats, Vec<(BufferId, usize, C32)>)> = if workers <= 1 {
+        let results: Vec<BlockResult> = if workers <= 1 {
             (0..n_blocks)
                 .map(|b| {
                     let mut ctx = BlockCtx::new(b, dims, &self.memory);
@@ -351,11 +355,11 @@ impl GpuDevice {
                 .collect()
         } else {
             let gmem = &self.memory;
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let chunk = n_blocks.div_ceil(workers);
                 let handles: Vec<_> = (0..workers)
                     .map(|w| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let lo = w * chunk;
                             let hi = ((w + 1) * chunk).min(n_blocks);
                             (lo..hi)
@@ -373,7 +377,6 @@ impl GpuDevice {
                     .flat_map(|h| h.join().expect("block worker panicked"))
                     .collect()
             })
-            .expect("crossbeam scope failed")
         };
 
         let mut total = KernelStats::ZERO;

@@ -10,6 +10,10 @@
 //! routines in this crate. Nothing here is performance-sensitive by design:
 //! the reference kernels are O(N^2) DFTs and triple-loop GEMMs.
 
+// Reference kernels take explicit shape/stride parameter lists on purpose:
+// they mirror the BLAS-style signatures the simulated kernels implement.
+#![allow(clippy::too_many_arguments)]
+
 pub mod complex;
 pub mod error;
 pub mod reference;

@@ -1,0 +1,43 @@
+//! Smoke test: every example target must keep compiling.
+//!
+//! `cargo test` never builds examples, so without this check
+//! `quickstart.rs` and the PDE demos can rot silently. The test shells out
+//! to the same cargo binary that is running us and builds all `examples/`
+//! targets (debug profile — cheap and shares the cache with `cargo test`).
+
+use std::path::Path;
+use std::process::Command;
+
+/// The demos the README points at; renaming one should fail loudly here,
+/// not in a user's terminal.
+const EXPECTED: [&str; 6] = [
+    "burgers_spectral",
+    "darcy_flow",
+    "heat_equation",
+    "kernel_tour",
+    "navier_stokes_2d",
+    "quickstart",
+];
+
+#[test]
+fn all_examples_build() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for name in EXPECTED {
+        let path = Path::new(manifest_dir)
+            .join("examples")
+            .join(format!("{name}.rs"));
+        assert!(path.exists(), "expected example {name}.rs is missing");
+    }
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let out = Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args(["build", "--examples", "--quiet"])
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -49,7 +49,7 @@ fn heat_operator_is_exact_on_analytic_fields() {
 
     let mut rng = StdRng::seed_from_u64(33);
     let u0 = pde::random_analytic_field_1d(&mut rng, n, 10, 1.0);
-    let x = pde::batch_1d(&[u0.clone()]);
+    let x = pde::batch_1d(std::slice::from_ref(&u0));
 
     let mut dev = GpuDevice::a100();
     let (y, run) = layer.forward_device(&mut dev, &x);

@@ -1,0 +1,41 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Size specification for [`vec`]: a fixed length or a half-open range.
+pub trait SizeRange {
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        Strategy::sample(self, rng)
+    }
+}
+
+/// Strategy producing a `Vec` of values drawn from `element`.
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample_len(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element_strategy, len)`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no registry access, so the property tests run
+//! against this shim instead of the real crate: the [`proptest!`] macro
+//! expands each property into a `#[test]` that samples a deterministic,
+//! per-test-seeded stream of cases (no shrinking). Supported surface:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] ... }`
+//! * parameters as `name in strategy` (integer `Range`s,
+//!   `proptest::collection::vec`) or `name: type` (via [`Arbitrary`]);
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Cases are deterministic per test name, so failures reproduce exactly —
+//! the trade for not implementing shrinking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::proptest;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+}
+
+/// Expand a block of property tests into plain `#[test]` functions that
+/// loop over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __pt_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __pt_case in 0..__pt_cfg.cases {
+                    let _ = __pt_case;
+                    $crate::__proptest_bind! { rng = __pt_rng; $($params)* }
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    (rng = $rng:ident;) => {};
+    (rng = $rng:ident; $param:ident in $strat:expr, $($rest:tt)*) => {
+        let $param = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+    (rng = $rng:ident; $param:ident in $strat:expr) => {
+        let $param = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    (rng = $rng:ident; $param:ident : $ty:ty, $($rest:tt)*) => {
+        let $param = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+    (rng = $rng:ident; $param:ident : $ty:ty) => {
+        let $param = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (the shim has no failure persistence).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!` — the shim cannot re-draw, so a failed assumption just
+/// skips the remaining body of this case by early `continue`-ing is not
+/// possible from a macro; instead it is treated as a satisfied no-op when
+/// true and panics when false (no test in this workspace currently uses it
+/// with assumptions that can fail).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        assert!($cond $(, $($fmt)*)?)
+    };
+}
