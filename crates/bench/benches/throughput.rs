@@ -1,0 +1,232 @@
+//! End-to-end model throughput: functional-mode FNO forwards per second.
+//!
+//! Measures the whole forward pass — lifting, every Fourier layer through
+//! the simulated device (`Variant::TurboBest`), pointwise bypasses, GELU,
+//! projection — under two engines:
+//!
+//! * **`legacy`** — the pre-PR stack: static-chunk executor with
+//!   per-block context allocation and per-element write application
+//!   (`GpuDevice::legacy_executor`), analytical launch memo off, a fresh
+//!   `pick_best` plan for every layer of every forward, and the scalar
+//!   `pointwise_naive` host path;
+//! * **`turbo`** — this PR's throughput engine: work-stealing executor
+//!   with journaled writes, memoized analytical launches, the global
+//!   `Planner` cache, and the blocked parallel pointwise kernel.
+//!
+//! Both engines are verified to produce the same numbers before timing.
+//! Results land in `BENCH_throughput.json` (override the path with
+//! `TFNO_BENCH_OUT`) so every future perf PR has a pinned trajectory.
+//! `--smoke` shrinks shapes and the measuring window for CI.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use tfno_gpu_sim::{set_launch_memo_enabled, GpuDevice};
+use tfno_model::{gelu, pointwise_naive, Fno1d, Fno2d};
+use tfno_num::error::rel_l2_error;
+use tfno_num::CTensor;
+use turbofno::{pick_best_1d, pick_best_2d, TurboOptions, Variant};
+
+struct Case {
+    dim: &'static str,
+    shape: String,
+    engine: &'static str,
+    forwards_per_sec: f64,
+    iters: u64,
+    elapsed_s: f64,
+}
+
+/// Warm up once, then run until the window closes; returns (iters, secs).
+fn measure(min_secs: f64, mut f: impl FnMut()) -> (u64, f64) {
+    f();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs && iters >= 3 {
+            return (iters, elapsed);
+        }
+    }
+}
+
+/// The pre-PR elementwise stage: a serial map (the shipped `add_gelu` is
+/// thread-fanned on multi-core hosts).
+fn add_gelu_naive(a: &CTensor, b: &CTensor) -> CTensor {
+    assert_eq!(a.shape(), b.shape());
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| {
+            let v = *x + *y;
+            tfno_num::C32::new(gelu(v.re), gelu(v.im))
+        })
+        .collect();
+    CTensor::from_vec(data, a.shape())
+}
+
+fn legacy_device() -> GpuDevice {
+    let mut dev = GpuDevice::a100();
+    dev.legacy_executor = true;
+    dev
+}
+
+/// The pre-PR 1D forward: scalar pointwise everywhere and a cold
+/// `pick_best` plan per layer (what `TurboBest` dispatch used to do).
+fn forward_legacy_1d(model: &Fno1d, opts: &TurboOptions, x: &CTensor) -> CTensor {
+    let mut dev = legacy_device();
+    let mut h = pointwise_naive(x, &model.lift);
+    for layer in &model.layers {
+        let p = layer.spectral.problem(h.shape()[0]);
+        let best = pick_best_1d(&dev.config, &p, opts);
+        let (s, _) = layer.spectral.forward_device(&mut dev, best, opts, &h);
+        let pb = pointwise_naive(&h, &layer.bypass);
+        h = add_gelu_naive(&s, &pb);
+    }
+    pointwise_naive(&h, &model.proj)
+}
+
+fn forward_legacy_2d(model: &Fno2d, opts: &TurboOptions, x: &CTensor) -> CTensor {
+    let mut dev = legacy_device();
+    let mut h = pointwise_naive(x, &model.lift);
+    for layer in &model.layers {
+        let p = layer.spectral.problem(h.shape()[0]);
+        let best = pick_best_2d(&dev.config, &p, opts);
+        let (s, _) = layer.spectral.forward_device(&mut dev, best, opts, &h);
+        let pb = pointwise_naive(&h, &layer.bypass);
+        h = add_gelu_naive(&s, &pb);
+    }
+    pointwise_naive(&h, &model.proj)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let min_secs = if smoke { 0.3 } else { 2.0 };
+    let opts = TurboOptions::default();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut cases: Vec<Case> = Vec::new();
+
+    println!("== tfno-bench throughput ({}) ==", if smoke { "smoke" } else { "full" });
+
+    // ------------------------------------------------------------ 1D ----
+    let (layers1, n1, nf1, width1, batch1) =
+        if smoke { (2, 128, 32, 8, 1) } else { (4, 256, 64, 16, 2) };
+    let model1 = Fno1d::random(&mut rng, 1, width1, 1, layers1, n1, nf1);
+    let x1 = CTensor::random(&mut rng, &[batch1, 1, n1]);
+    let shape1 = format!(
+        "batch={batch1} width={width1} layers={layers1} n={n1} nf={nf1}"
+    );
+
+    // ------------------------------------------------------------ 2D ----
+    let (layers2, nx2, ny2, nfx2, nfy2, width2, batch2) =
+        if smoke { (2, 16, 32, 4, 32, 8, 1) } else { (4, 32, 64, 8, 32, 8, 1) };
+    let model2 = Fno2d::random(&mut rng, 1, width2, 1, layers2, nx2, ny2, nfx2, nfy2);
+    let x2 = CTensor::random(&mut rng, &[batch2, 1, nx2, ny2]);
+    let shape2 = format!(
+        "batch={batch2} width={width2} layers={layers2} nx={nx2} ny={ny2} nfx={nfx2} nfy={nfy2}"
+    );
+
+    // Cross-check the two engines compute the same model before timing.
+    set_launch_memo_enabled(false);
+    let y1_legacy = forward_legacy_1d(&model1, &opts, &x1);
+    let y2_legacy = forward_legacy_2d(&model2, &opts, &x2);
+    set_launch_memo_enabled(true);
+    let mut dev = GpuDevice::a100();
+    let (y1_turbo, _) = model1.forward_device(&mut dev, Variant::TurboBest, &opts, &x1);
+    let mut dev = GpuDevice::a100();
+    let (y2_turbo, _) = model2.forward_device(&mut dev, Variant::TurboBest, &opts, &x2);
+    let err1 = rel_l2_error(y1_turbo.data(), y1_legacy.data());
+    let err2 = rel_l2_error(y2_turbo.data(), y2_legacy.data());
+    assert!(err1 < 1e-6, "1D engines diverge: rel l2 {err1}");
+    assert!(err2 < 1e-6, "2D engines diverge: rel l2 {err2}");
+    println!("engine cross-check: 1D rel_l2 {err1:.2e}, 2D rel_l2 {err2:.2e}");
+
+    // ------------------------------------------------- measurements ----
+    let mut run_case = |dim: &'static str,
+                        shape: &str,
+                        engine: &'static str,
+                        f: &mut dyn FnMut()| {
+        let (iters, elapsed) = measure(min_secs, f);
+        let fps = iters as f64 / elapsed;
+        println!("{dim:>3} {engine:<7} {fps:>9.2} forwards/s  ({iters} iters in {elapsed:.2}s)");
+        cases.push(Case {
+            dim,
+            shape: shape.to_string(),
+            engine,
+            forwards_per_sec: fps,
+            iters,
+            elapsed_s: elapsed,
+        });
+    };
+
+    set_launch_memo_enabled(false);
+    run_case("1d", &shape1, "legacy", &mut || {
+        forward_legacy_1d(&model1, &opts, &x1);
+    });
+    run_case("2d", &shape2, "legacy", &mut || {
+        forward_legacy_2d(&model2, &opts, &x2);
+    });
+    set_launch_memo_enabled(true);
+
+    run_case("1d", &shape1, "turbo", &mut || {
+        let mut dev = GpuDevice::a100();
+        model1.forward_device(&mut dev, Variant::TurboBest, &opts, &x1);
+    });
+    run_case("2d", &shape2, "turbo", &mut || {
+        let mut dev = GpuDevice::a100();
+        model2.forward_device(&mut dev, Variant::TurboBest, &opts, &x2);
+    });
+
+    let fps_of = |dim: &str, engine: &str| {
+        cases
+            .iter()
+            .find(|c| c.dim == dim && c.engine == engine)
+            .map(|c| c.forwards_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup_1d = fps_of("1d", "turbo") / fps_of("1d", "legacy");
+    let speedup_2d = fps_of("2d", "turbo") / fps_of("2d", "legacy");
+    println!("speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x");
+
+    // --------------------------------------------------------- JSON ----
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"throughput\",\n");
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    json.push_str(&format!(
+        "  \"host_cores\": {},\n  \"workers\": {},\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        tfno_gpu_sim::configured_workers()
+    ));
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dim\": \"{}\", \"engine\": \"{}\", \"shape\": \"{}\", \"forwards_per_sec\": {:.4}, \"iters\": {}, \"elapsed_s\": {:.4}}}{}\n",
+            c.dim,
+            c.engine,
+            json_escape(&c.shape),
+            c.forwards_per_sec,
+            c.iters,
+            c.elapsed_s,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4}\n}}\n"
+    ));
+
+    // Default to the workspace root (cargo runs benches with the package
+    // dir as CWD), overridable for CI layouts.
+    let out_path = std::env::var("TFNO_BENCH_OUT").unwrap_or_else(|_| {
+        format!("{}/../../BENCH_throughput.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
+    println!("wrote {out_path}");
+}
+

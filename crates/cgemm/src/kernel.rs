@@ -9,11 +9,12 @@
 use crate::engine::{store_c_global, AProvider, BOperand, CgemmBlockEngine};
 use crate::tile::TileConfig;
 use crate::view::MatView;
-use tfno_gpu_sim::{BlockCtx, BufferId, Kernel, LaunchDims};
+use std::hash::Hash;
+use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims};
 use tfno_num::{C32, C32_BYTES};
 
 /// Problem shape for one launch.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Hash)]
 pub struct GemmShape {
     pub batch: usize,
     pub m: usize,
@@ -160,6 +161,26 @@ impl Kernel for BatchedCgemmKernel {
             self.alpha,
             self.beta,
         );
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        // BufferId is absent by design; views/strides/shapes cover the
+        // access pattern. `BatchedOperand` hashes its view + batch stride.
+        let hash_operand = |op: &BatchedOperand, h: &mut std::collections::hash_map::DefaultHasher| {
+            op.view.hash(h);
+            op.batch_stride.hash(h);
+        };
+        Some(structural_fingerprint("cgemm.batched", |h| {
+            self.tile.hash(h);
+            self.shape.hash(h);
+            hash_operand(&self.a, h);
+            hash_operand(&self.b, h);
+            hash_operand(&self.c, h);
+            self.alpha.re.to_bits().hash(h);
+            self.alpha.im.to_bits().hash(h);
+            self.beta.re.to_bits().hash(h);
+            self.beta.im.to_bits().hash(h);
+        }))
     }
 
     fn block_classes(&self) -> Vec<(usize, u64)> {

@@ -17,7 +17,7 @@
 /// assert_eq!((t.m_tb, t.n_tb, t.k_tb), (32, 32, 8));
 /// assert_eq!(t.threads(), 64);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TileConfig {
     pub m_tb: usize,
     pub n_tb: usize,

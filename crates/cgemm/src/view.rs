@@ -8,7 +8,7 @@
 
 /// Affine 2D view: element of `(row, col)` is
 /// `base + row * row_stride + col * col_stride`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MatView {
     pub base: usize,
     pub row_stride: usize,

@@ -20,9 +20,10 @@
 //! work crosses blocks.
 
 use crate::swizzle::{EpilogueStaging, ForwardLayout};
+use std::hash::Hash;
 use tfno_cgemm::{AProvider, BOperand, CFragments, CgemmBlockEngine, MatView, TileConfig};
-use tfno_fft::{FftBlockEngine, FftIo, FftPlan, InstanceOrder, PencilTarget};
-use tfno_gpu_sim::{BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx, WARP_SIZE};
+use tfno_fft::{FftBlockEngine, FftIo, FftPlan, InstanceOrder, PencilTarget, TraceCache};
+use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx, WARP_SIZE};
 use tfno_num::{C32, C32_BYTES};
 
 /// Pencils per FFT batch inside the fused kernel — Table 1's `bs = 8`,
@@ -75,6 +76,10 @@ pub trait FusedGeometry: Sync {
     fn serialization(&self) -> (f64, f64) {
         (0.40, 0.30)
     }
+
+    /// Structural hash of the geometry for the analytical launch memo:
+    /// must cover every field that shapes the kernel's addresses.
+    fn fingerprint(&self) -> u64;
 }
 
 /// 1D Fourier layer geometry (`[batch, k, n]` tensors).
@@ -122,6 +127,15 @@ impl FusedGeometry for Geom1d {
     }
     fn y_addr(&self, outer: usize, ch: usize, idx: usize) -> usize {
         (outer * self.k_out + ch) * self.n + idx
+    }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("fused.geom1d", |h| {
+            self.batch.hash(h);
+            self.k_in.hash(h);
+            self.k_out.hash(h);
+            self.n.hash(h);
+            self.nf.hash(h);
+        })
     }
 }
 
@@ -200,6 +214,17 @@ impl FusedGeometry for Geom2d {
         (0.85, 0.65)
     }
 
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("fused.geom2d", |h| {
+            self.batch.hash(h);
+            self.k_in.hash(h);
+            self.k_out.hash(h);
+            self.ny.hash(h);
+            self.nfy.hash(h);
+            self.nfx.hash(h);
+        })
+    }
+
     fn outer_classes(&self) -> Vec<(usize, u64)> {
         // Every base address is a multiple of nfy / ny elements; with
         // nfy % 4 == 0 all outers share one sector-alignment phase.
@@ -240,6 +265,10 @@ pub struct FusedKernel<G: FusedGeometry> {
     pub forward_layout: ForwardLayout,
     pub epilogue_swizzle: bool,
     pub l1_hit_rate: f64,
+    /// Butterfly schedules of the fused forward / inverse FFT stages,
+    /// shared across blocks and k-iterations of a launch.
+    fwd_traces: TraceCache,
+    inv_traces: TraceCache,
 }
 
 impl<G: FusedGeometry> FusedKernel<G> {
@@ -280,6 +309,8 @@ impl<G: FusedGeometry> FusedKernel<G> {
             forward_layout: ForwardLayout::TurboContiguous,
             epilogue_swizzle: true,
             l1_hit_rate,
+            fwd_traces: TraceCache::new(),
+            inv_traces: TraceCache::new(),
         }
     }
 
@@ -393,6 +424,7 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
             };
             let input = self.input;
             let k_in = geom.k_in();
+            let fwd_traces = &self.fwd_traces;
             let mut provider_fn = |ctx: &mut BlockCtx<'_>, k0: usize, as_buf: usize| {
                 let active_p = FUSED_FFT_BS.min(k_in - k0);
                 let fft = FftBlockEngine {
@@ -413,7 +445,12 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
                     PencilTarget::Shared { addr: &out_addr },
                 )
                 .with_output_order(order);
-                fft.run(ctx, &io);
+                if ctx.legacy_mode() {
+                    fft.run(ctx, &io);
+                } else {
+                    let trace = fwd_traces.get(&fft);
+                    fft.run_traced(ctx, &io, &trace);
+                }
                 ctx.syncthreads();
             };
             let mut a = AProvider::Custom(&mut provider_fn);
@@ -490,7 +527,12 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
                     },
                 )
                 .with_input_order(InstanceOrder::IdxFastest);
-                ifft.run(ctx, &io);
+                if ctx.legacy_mode() {
+                    ifft.run(ctx, &io);
+                } else {
+                    let trace = self.inv_traces.get(&ifft);
+                    ifft.run_traced(ctx, &io, &trace);
+                }
                 ctx.syncthreads();
             }
         } else {
@@ -506,6 +548,23 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
                 C32::ZERO,
             );
         }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(structural_fingerprint("fused.kernel", |h| {
+            self.geom.fingerprint().hash(h);
+            self.fuse_fft.hash(h);
+            self.fuse_ifft.hash(h);
+            self.tile.hash(h);
+            for plan in [&self.fwd_plan, &self.inv_plan] {
+                plan.n.hash(h);
+                plan.n_in_valid.hash(h);
+                plan.n_out_keep.hash(h);
+            }
+            self.forward_layout.hash(h);
+            self.epilogue_swizzle.hash(h);
+            self.l1_hit_rate.to_bits().hash(h);
+        }))
     }
 
     fn block_classes(&self) -> Vec<(usize, u64)> {

@@ -27,6 +27,7 @@ pub mod fused;
 #[cfg(test)]
 mod fused_tests;
 pub mod pipeline;
+pub mod planner;
 pub mod swizzle;
 
 pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
@@ -34,6 +35,7 @@ pub use pipeline::{
     pick_best_1d, pick_best_2d, run_variant_1d, run_variant_2d, TurboOptions, Variant,
     TURBO_FFT_L1_HIT,
 };
+pub use planner::{Planner, PlannerStats, TURBO_CANDIDATES};
 pub use swizzle::{
     epilogue_store_pattern, fft_writeback_pattern, fig8_offset, forward_to_as_pattern,
     pattern_utilization, EpilogueStaging, ForwardLayout,
@@ -47,7 +49,23 @@ mod tests {
     use super::*;
     use tfno_gpu_sim::{ExecMode, GpuDevice};
     use tfno_num::error::rel_l2_error;
-    use tfno_num::{reference, C32, CTensor};
+    use tfno_num::{C32, CTensor};
+
+    /// O(N log N) reference Fourier layer via the host Stockham path of
+    /// `tfno-model` (dev-dependency; itself pinned against the naive
+    /// O(N^2) DFT), so the hottest equivalence checks here do not pay
+    /// quadratic DFT cost.
+    fn reference_layer_1d(x: &CTensor, w: &CTensor, p: &FnoProblem1d) -> CTensor {
+        tfno_model::spectral::SpectralConv1d::new(p.k_in, p.k_out, p.n, p.nf, w.clone())
+            .forward_host(x)
+    }
+
+    fn reference_layer_2d(x: &CTensor, w: &CTensor, p: &FnoProblem2d) -> CTensor {
+        tfno_model::spectral::SpectralConv2d::new(
+            p.k_in, p.k_out, p.nx, p.ny, p.nfx, p.nfy, w.clone(),
+        )
+        .forward_host(x)
+    }
 
     fn rand_like(len: usize, seed: f32) -> Vec<C32> {
         (0..len)
@@ -81,7 +99,7 @@ mod tests {
         );
         let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.n]);
         let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
-        let want = reference::fno_layer_1d(&xt, &wt, p.nf);
+        let want = reference_layer_1d(&xt, &wt, p);
         (dev.download(y), run, want)
     }
 
@@ -203,7 +221,7 @@ mod tests {
         );
         let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.nx, p.ny]);
         let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
-        let want = reference::fno_layer_2d(&xt, &wt, p.nfx, p.nfy);
+        let want = reference_layer_2d(&xt, &wt, p);
         (dev.download(y), run, want)
     }
 

@@ -216,7 +216,7 @@ pub fn run_variant_1d(
     match variant {
         Variant::Pytorch => return run_pytorch_1d(dev, p, x, w, y, mode),
         Variant::TurboBest => {
-            let best = pick_best_1d(&dev.config, p, opts);
+            let best = crate::planner::Planner::global().plan_1d(&dev.config, p, opts);
             return run_variant_1d(dev, p, best, x, w, y, opts, mode);
         }
         Variant::FftOpt => {
@@ -283,30 +283,15 @@ pub fn run_variant_1d(
 }
 
 /// Evaluate variants A–D analytically on scratch virtual buffers and return
-/// the fastest (the paper's "TurboFNO" best-of configuration).
+/// the fastest (the paper's "TurboFNO" best-of configuration). Always a
+/// cold evaluation; `Variant::TurboBest` dispatches go through the
+/// memoizing [`crate::planner::Planner`] instead.
 pub fn pick_best_1d(
     cfg: &tfno_gpu_sim::DeviceConfig,
     p: &FnoProblem1d,
     opts: &TurboOptions,
 ) -> Variant {
-    let mut best = (f64::INFINITY, Variant::FftOpt);
-    for v in [
-        Variant::FftOpt,
-        Variant::FusedFftGemm,
-        Variant::FusedGemmIfft,
-        Variant::FullyFused,
-    ] {
-        let mut dev = GpuDevice::new(cfg.clone());
-        let x = dev.memory.alloc_virtual("x", p.input_len());
-        let w = dev.memory.alloc_virtual("w", p.weight_len());
-        let y = dev.memory.alloc_virtual("y", p.output_len());
-        let run = run_variant_1d(&mut dev, p, v, x, w, y, opts, ExecMode::Analytical);
-        let t = run.total_us();
-        if t < best.0 {
-            best = (t, v);
-        }
-    }
-    best.1
+    crate::planner::evaluate_1d(cfg, p, opts).0
 }
 
 // ---------------------------------------------------------------- 2D ----
@@ -483,7 +468,7 @@ pub fn run_variant_2d(
         return run_pytorch_2d(dev, p, x, w, y, mode);
     }
     if variant == Variant::TurboBest {
-        let best = pick_best_2d(&dev.config, p, opts);
+        let best = crate::planner::Planner::global().plan_2d(&dev.config, p, opts);
         return run_variant_2d(dev, p, best, x, w, y, opts, mode);
     }
 
@@ -561,28 +546,12 @@ pub fn run_variant_2d(
     run
 }
 
-/// Analytically pick the fastest Turbo variant for a 2D problem.
+/// Analytically pick the fastest Turbo variant for a 2D problem (cold
+/// evaluation; see [`pick_best_1d`]).
 pub fn pick_best_2d(
     cfg: &tfno_gpu_sim::DeviceConfig,
     p: &FnoProblem2d,
     opts: &TurboOptions,
 ) -> Variant {
-    let mut best = (f64::INFINITY, Variant::FftOpt);
-    for v in [
-        Variant::FftOpt,
-        Variant::FusedFftGemm,
-        Variant::FusedGemmIfft,
-        Variant::FullyFused,
-    ] {
-        let mut dev = GpuDevice::new(cfg.clone());
-        let x = dev.memory.alloc_virtual("x", p.input_len());
-        let w = dev.memory.alloc_virtual("w", p.weight_len());
-        let y = dev.memory.alloc_virtual("y", p.output_len());
-        let run = run_variant_2d(&mut dev, p, v, x, w, y, opts, ExecMode::Analytical);
-        let t = run.total_us();
-        if t < best.0 {
-            best = (t, v);
-        }
-    }
-    best.1
+    crate::planner::evaluate_2d(cfg, p, opts).0
 }

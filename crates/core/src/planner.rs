@@ -1,0 +1,320 @@
+//! Memoized `TurboBest` planning.
+//!
+//! The paper's "TurboFNO" configuration is the best of variants A–D per
+//! problem size, found by simulating all four analytically. Pre-PR, every
+//! `TurboBest` dispatch redid that from scratch — an L-layer forward pass
+//! paid L × 4 analytical pipeline simulations for plans that are a pure
+//! function of `(device, problem shape, options)`.
+//!
+//! [`Planner`] memoizes the decision: the first plan of a shape evaluates
+//! the four candidates (on parallel host threads when available) and every
+//! later plan of the same key is a hash lookup — zero simulated launches.
+//! `run_variant_{1d,2d}(Variant::TurboBest, ..)` goes through the
+//! process-wide [`Planner::global`], so models, benches and serving loops
+//! share one warm cache; `pick_best_{1d,2d}` remain the uncached cold
+//! evaluation they always were.
+
+use crate::pipeline::{run_variant_1d, run_variant_2d, TurboOptions, Variant};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
+use tfno_culib::{FnoProblem1d, FnoProblem2d};
+use tfno_gpu_sim::{configured_workers, DeviceConfig, ExecMode, GpuDevice};
+
+/// The candidates `TurboBest` chooses among (paper Table 2, A–D).
+pub const TURBO_CANDIDATES: [Variant; 4] = [
+    Variant::FftOpt,
+    Variant::FusedFftGemm,
+    Variant::FusedGemmIfft,
+    Variant::FullyFused,
+];
+
+/// Cache/evaluation counters of one [`Planner`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans that required a cold evaluation.
+    pub misses: u64,
+    /// Kernel launches simulated by cold evaluations (a cache hit adds 0).
+    pub simulated_launches: u64,
+}
+
+/// Memoizing `TurboBest` planner.
+#[derive(Default)]
+pub struct Planner {
+    cache: Mutex<HashMap<u64, Variant>>,
+    stats: Mutex<PlannerStats>,
+}
+
+impl Planner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide planner used by `Variant::TurboBest` dispatches.
+    pub fn global() -> &'static Planner {
+        static GLOBAL: OnceLock<Planner> = OnceLock::new();
+        GLOBAL.get_or_init(Planner::new)
+    }
+
+    pub fn stats(&self) -> PlannerStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Drop all cached plans (counters keep accumulating).
+    pub fn clear(&self) {
+        self.cache.lock().unwrap().clear();
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Plan a 1D layer: cached variant, or a cold four-way evaluation.
+    pub fn plan_1d(&self, cfg: &DeviceConfig, p: &FnoProblem1d, opts: &TurboOptions) -> Variant {
+        let mut h = key_base(cfg, opts);
+        "1d".hash(&mut h);
+        p.batch.hash(&mut h);
+        p.k_in.hash(&mut h);
+        p.k_out.hash(&mut h);
+        p.n.hash(&mut h);
+        p.nf.hash(&mut h);
+        self.plan(h.finish(), || evaluate_1d(cfg, p, opts))
+    }
+
+    /// Plan a 2D layer.
+    pub fn plan_2d(&self, cfg: &DeviceConfig, p: &FnoProblem2d, opts: &TurboOptions) -> Variant {
+        let mut h = key_base(cfg, opts);
+        "2d".hash(&mut h);
+        p.batch.hash(&mut h);
+        p.k_in.hash(&mut h);
+        p.k_out.hash(&mut h);
+        p.nx.hash(&mut h);
+        p.ny.hash(&mut h);
+        p.nfx.hash(&mut h);
+        p.nfy.hash(&mut h);
+        self.plan(h.finish(), || evaluate_2d(cfg, p, opts))
+    }
+
+    /// Plan-cache entry cap (epoch eviction, like the launch memo): keeps
+    /// long-running shape-diverse processes bounded.
+    const CACHE_CAP: usize = 1 << 16;
+
+    fn plan(&self, key: u64, evaluate: impl FnOnce() -> (Variant, u64)) -> Variant {
+        if let Some(v) = self.cache.lock().unwrap().get(&key) {
+            self.stats.lock().unwrap().hits += 1;
+            return *v;
+        }
+        // Evaluate outside the cache lock; concurrent planners of the same
+        // key may race, but they insert the same (deterministic) answer.
+        let (best, launches) = evaluate();
+        let mut cache = self.cache.lock().unwrap();
+        if cache.len() >= Self::CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, best);
+        drop(cache);
+        let mut stats = self.stats.lock().unwrap();
+        stats.misses += 1;
+        stats.simulated_launches += launches;
+        best
+    }
+}
+
+/// Hash the planner-relevant device and option state.
+fn key_base(cfg: &DeviceConfig, opts: &TurboOptions) -> DefaultHasher {
+    let mut h = DefaultHasher::new();
+    cfg.name.hash(&mut h);
+    cfg.num_sms.hash(&mut h);
+    cfg.max_threads_per_sm.hash(&mut h);
+    cfg.max_blocks_per_sm.hash(&mut h);
+    cfg.shared_mem_per_sm.hash(&mut h);
+    cfg.shared_mem_per_block_max.hash(&mut h);
+    cfg.regs_per_sm.hash(&mut h);
+    cfg.warp_size.hash(&mut h);
+    cfg.shared_banks.hash(&mut h);
+    cfg.bank_width_bytes.hash(&mut h);
+    cfg.clock_ghz.to_bits().hash(&mut h);
+    cfg.dram_bw_gbps.to_bits().hash(&mut h);
+    cfg.fp32_gflops.to_bits().hash(&mut h);
+    cfg.shared_bytes_per_clk_per_sm.to_bits().hash(&mut h);
+    cfg.kernel_launch_overhead_us.to_bits().hash(&mut h);
+    cfg.syncthreads_cycles.to_bits().hash(&mut h);
+    cfg.bw_sat_blocks.to_bits().hash(&mut h);
+    cfg.compute_sat_warps.to_bits().hash(&mut h);
+    opts.forward_layout.hash(&mut h);
+    opts.epilogue_swizzle.hash(&mut h);
+    opts.fft_l1_hit.to_bits().hash(&mut h);
+    h
+}
+
+/// Cold evaluation: simulate the four candidates analytically on virtual
+/// buffers (in parallel host threads when available) and return the
+/// fastest plus the number of simulated launches. Ties break toward the
+/// earlier candidate, matching the sequential pre-PR scan. The analytical
+/// launch memo is disabled on the scratch devices so "cold" stays true —
+/// every counted launch really simulates its representative blocks.
+pub(crate) fn evaluate_1d(
+    cfg: &DeviceConfig,
+    p: &FnoProblem1d,
+    opts: &TurboOptions,
+) -> (Variant, u64) {
+    select(evaluate_candidates(|v| {
+        let mut dev = GpuDevice::new(cfg.clone());
+        dev.analytical_memo = false;
+        let x = dev.memory.alloc_virtual("x", p.input_len());
+        let w = dev.memory.alloc_virtual("w", p.weight_len());
+        let y = dev.memory.alloc_virtual("y", p.output_len());
+        let run = run_variant_1d(&mut dev, p, v, x, w, y, opts, ExecMode::Analytical);
+        (run.total_us(), run.kernel_count() as u64)
+    }))
+}
+
+pub(crate) fn evaluate_2d(
+    cfg: &DeviceConfig,
+    p: &FnoProblem2d,
+    opts: &TurboOptions,
+) -> (Variant, u64) {
+    select(evaluate_candidates(|v| {
+        let mut dev = GpuDevice::new(cfg.clone());
+        dev.analytical_memo = false;
+        let x = dev.memory.alloc_virtual("x", p.input_len());
+        let w = dev.memory.alloc_virtual("w", p.weight_len());
+        let y = dev.memory.alloc_virtual("y", p.output_len());
+        let run = run_variant_2d(&mut dev, p, v, x, w, y, opts, ExecMode::Analytical);
+        (run.total_us(), run.kernel_count() as u64)
+    }))
+}
+
+/// Run the per-candidate closure for all four variants across at most
+/// `configured_workers()` host threads (the `TFNO_THREADS` knob governs
+/// planner fan-out like every other host-parallel loop).
+fn evaluate_candidates(
+    eval: impl Fn(Variant) -> (f64, u64) + Sync,
+) -> [(Variant, f64, u64); 4] {
+    let mut out = [(Variant::FftOpt, f64::INFINITY, 0u64); 4];
+    let workers = configured_workers().min(TURBO_CANDIDATES.len());
+    if workers > 1 {
+        let eval = &eval;
+        std::thread::scope(|scope| {
+            // Round-robin candidates over the worker threads; each worker
+            // returns (candidate index, result) pairs.
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        TURBO_CANDIDATES
+                            .iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, &v)| (i, v, eval(v)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, v, (t, launches)) in h.join().expect("planner evaluation panicked") {
+                    out[i] = (v, t, launches);
+                }
+            }
+        });
+    } else {
+        for (slot, &v) in out.iter_mut().zip(TURBO_CANDIDATES.iter()) {
+            let (t, launches) = eval(v);
+            *slot = (v, t, launches);
+        }
+    }
+    out
+}
+
+fn select(results: [(Variant, f64, u64); 4]) -> (Variant, u64) {
+    let mut best = (f64::INFINITY, Variant::FftOpt);
+    let mut launches = 0;
+    for (v, t, l) in results {
+        launches += l;
+        if t < best.0 {
+            best = (t, v);
+        }
+    }
+    (best.1, launches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{pick_best_1d, pick_best_2d};
+
+    fn p1() -> FnoProblem1d {
+        FnoProblem1d::new(2, 16, 16, 128, 32)
+    }
+
+    fn p2() -> FnoProblem2d {
+        FnoProblem2d::new(1, 8, 8, 32, 64, 8, 32)
+    }
+
+    #[test]
+    fn cache_hit_matches_cold_pick_and_simulates_nothing() {
+        let cfg = DeviceConfig::a100();
+        let opts = TurboOptions::default();
+        let planner = Planner::new();
+
+        let cold = pick_best_1d(&cfg, &p1(), &opts);
+        let first = planner.plan_1d(&cfg, &p1(), &opts);
+        assert_eq!(first, cold, "planner must agree with the uncached scan");
+        let after_first = planner.stats();
+        assert_eq!(after_first.misses, 1);
+        assert!(after_first.simulated_launches > 0);
+
+        let second = planner.plan_1d(&cfg, &p1(), &opts);
+        assert_eq!(second, first);
+        let after_second = planner.stats();
+        assert_eq!(after_second.hits, 1);
+        assert_eq!(
+            after_second.simulated_launches, after_first.simulated_launches,
+            "a cache hit must perform zero simulated launches"
+        );
+    }
+
+    #[test]
+    fn cache_distinguishes_shapes_options_and_dim() {
+        let cfg = DeviceConfig::a100();
+        let opts = TurboOptions::default();
+        let planner = Planner::new();
+        planner.plan_1d(&cfg, &p1(), &opts);
+        planner.plan_1d(&cfg, &FnoProblem1d::new(4, 16, 16, 128, 32), &opts);
+        planner.plan_2d(&cfg, &p2(), &opts);
+        let degraded = TurboOptions {
+            epilogue_swizzle: false,
+            ..TurboOptions::default()
+        };
+        planner.plan_1d(&cfg, &p1(), &degraded);
+        assert_eq!(planner.len(), 4);
+        assert_eq!(planner.stats().hits, 0);
+    }
+
+    #[test]
+    fn planner_2d_matches_cold_pick() {
+        let cfg = DeviceConfig::a100();
+        let opts = TurboOptions::default();
+        let planner = Planner::new();
+        assert_eq!(planner.plan_2d(&cfg, &p2(), &opts), pick_best_2d(&cfg, &p2(), &opts));
+        assert_eq!(planner.plan_2d(&cfg, &p2(), &opts), pick_best_2d(&cfg, &p2(), &opts));
+        assert_eq!(planner.stats().hits, 1);
+    }
+
+    #[test]
+    fn global_planner_is_shared_and_clearable() {
+        let cfg = DeviceConfig::a100();
+        let opts = TurboOptions::default();
+        let v = Planner::global().plan_1d(&cfg, &p1(), &opts);
+        assert_eq!(Planner::global().plan_1d(&cfg, &p1(), &opts), v);
+        Planner::global().clear();
+    }
+}

@@ -52,7 +52,7 @@ pub fn pattern_utilization(patterns: &[WarpIdx]) -> f64 {
 
 /// Thread-to-data assignment when forwarding FFT output into the CGEMM
 /// `As` tile (Fig. 7a). `ms` is the tile's M extent (= retained modes).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ForwardLayout {
     /// VkFFT-style: consecutive threads hold the same offset of different
     /// pencils; forwarding writes `As[k][m]` with `k` varying fastest

@@ -7,7 +7,8 @@
 //! FFT (`out_ft` padding). Both are pure global-memory traffic — exactly
 //! the overhead TurboFNO's built-in truncation removes.
 
-use tfno_gpu_sim::{BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx, WARP_SIZE};
+use std::hash::Hash;
+use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx, WARP_SIZE};
 use tfno_num::C32;
 
 /// Row-structured copy addressing: `rows` rows; row `r` reads
@@ -20,6 +21,9 @@ pub trait CopyAddressing: Sync {
     fn out_len(&self, row: usize) -> usize;
     fn in_addr(&self, row: usize, i: usize) -> usize;
     fn out_addr(&self, row: usize, i: usize) -> usize;
+    /// Structural hash of the addressing scheme for the analytical launch
+    /// memo: must cover every field that shapes addresses or row lengths.
+    fn fingerprint(&self) -> u64;
 }
 
 /// Truncation gather: keep the first `nf` of every length-`n` row
@@ -47,6 +51,13 @@ impl CopyAddressing for RowTruncate {
     fn out_addr(&self, r: usize, i: usize) -> usize {
         r * self.nf + i
     }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("copy.row_truncate", |h| {
+            self.rows.hash(h);
+            self.n.hash(h);
+            self.nf.hash(h);
+        })
+    }
 }
 
 /// Zero-padding scatter: `[rows, nf] -> [rows, n]` with a zero tail.
@@ -72,6 +83,13 @@ impl CopyAddressing for RowPad {
     }
     fn out_addr(&self, r: usize, i: usize) -> usize {
         r * self.n + i
+    }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("copy.row_pad", |h| {
+            self.rows.hash(h);
+            self.nf.hash(h);
+            self.n.hash(h);
+        })
     }
 }
 
@@ -103,6 +121,15 @@ impl CopyAddressing for CornerTruncate2d {
     }
     fn out_addr(&self, r: usize, i: usize) -> usize {
         r * self.nfy + i
+    }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("copy.corner_truncate2d", |h| {
+            self.grids.hash(h);
+            self.nx.hash(h);
+            self.ny.hash(h);
+            self.nfx.hash(h);
+            self.nfy.hash(h);
+        })
     }
 }
 
@@ -139,6 +166,15 @@ impl CopyAddressing for CornerPad2d {
     }
     fn out_addr(&self, r: usize, i: usize) -> usize {
         r * self.ny + i
+    }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("copy.corner_pad2d", |h| {
+            self.grids.hash(h);
+            self.nfx.hash(h);
+            self.nfy.hash(h);
+            self.nx.hash(h);
+            self.ny.hash(h);
+        })
     }
 }
 
@@ -200,6 +236,12 @@ impl<A: CopyAddressing> Kernel for StridedCopyKernel<A> {
                 i += WARP_SIZE;
             }
         }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(structural_fingerprint("copy.strided", |h| {
+            self.addressing.fingerprint().hash(h);
+        }))
     }
 
     fn block_classes(&self) -> Vec<(usize, u64)> {

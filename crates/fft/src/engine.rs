@@ -14,6 +14,8 @@
 //! patterns through this same engine).
 
 use crate::plan::{FftOpKind, FftPlan};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use tfno_gpu_sim::{BlockCtx, BufferId, WarpIdx, WARP_SIZE};
 use tfno_num::C32;
 
@@ -75,6 +77,103 @@ impl<'a> FftIo<'a> {
     }
 }
 
+/// One lane's butterfly operation, resolved at trace-build time.
+#[derive(Clone, Copy)]
+struct TraceLaneOp {
+    sum: bool,
+    has_a: bool,
+    has_b: bool,
+    w: Option<C32>,
+}
+
+/// One warp-sized chunk of a butterfly stage with every index pattern and
+/// per-lane op precomputed.
+struct TraceChunk {
+    /// `None` when no lane reads this operand (fully pruned input) — the
+    /// load is skipped entirely at replay.
+    idx_a: Option<WarpIdx>,
+    idx_b: Option<WarpIdx>,
+    idx_dst: WarpIdx,
+    lane: [Option<TraceLaneOp>; WARP_SIZE],
+    flops: u64,
+}
+
+struct TraceStage {
+    chunks: Vec<TraceChunk>,
+    load_shared: bool,
+    store_shared: bool,
+}
+
+/// Precomputed butterfly schedule of one block shape.
+///
+/// Every block of a launch executes the same instruction sequence over
+/// different data, so the warp index patterns and per-lane op selections of
+/// the butterfly stages are block-invariant. Building them once and
+/// replaying per block removes the per-block address arithmetic that
+/// dominated the functional executor's FFT cost (only the actual data
+/// movement, compute, and event accounting remain per block).
+pub struct ButterflyTrace {
+    stages: Vec<TraceStage>,
+    /// Staging region holding the final values (after ping/pong swaps).
+    final_base: usize,
+}
+
+/// Per-kernel cache of [`ButterflyTrace`]s, keyed by the active-pencil
+/// count (full blocks vs. the remainder block). The owning kernel must use
+/// one cache per distinct (plan, layout, staging-bases, grouping) engine
+/// configuration — all fields except `active_pencils` must be constant
+/// across the cache's users.
+///
+/// A launch sees at most two distinct shapes (full and remainder), so the
+/// warm path is two lock-free `OnceLock` slots — the work-stealing
+/// workers' per-block lookups never contend. A mutexed overflow map keeps
+/// unusual callers correct.
+#[derive(Default)]
+pub struct TraceCache {
+    slots: [OnceLock<(usize, Arc<ButterflyTrace>)>; 2],
+    overflow: Mutex<HashMap<usize, Arc<ButterflyTrace>>>,
+}
+
+impl TraceCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch (or build) the trace for this engine configuration. Warm
+    /// lookups are lock-free slot reads; cold builds serialize on the
+    /// overflow mutex so each shape's trace is built exactly once.
+    pub fn get(&self, engine: &FftBlockEngine<'_>) -> Arc<ButterflyTrace> {
+        let key = engine.active_pencils;
+        for slot in &self.slots {
+            if let Some((k, trace)) = slot.get() {
+                if *k == key {
+                    return trace.clone();
+                }
+            }
+        }
+        let mut map = self.overflow.lock().unwrap();
+        // A racer may have published while we waited for the lock.
+        for slot in &self.slots {
+            if let Some((k, trace)) = slot.get() {
+                if *k == key {
+                    return trace.clone();
+                }
+            }
+        }
+        if let Some(trace) = map.get(&key) {
+            return trace.clone();
+        }
+        let trace = Arc::new(engine.build_trace());
+        for slot in &self.slots {
+            if slot.set((key, trace.clone())).is_ok() {
+                return trace;
+            }
+        }
+        map.insert(key, trace.clone());
+        trace
+    }
+}
+
 /// Per-block FFT executor.
 pub struct FftBlockEngine<'p> {
     pub plan: &'p FftPlan,
@@ -103,7 +202,12 @@ impl<'p> FftBlockEngine<'p> {
         2 * n * bs_layout
     }
 
-    /// Run the planned FFT for this block's pencils.
+    /// Run the planned FFT for this block's pencils, recomputing every
+    /// warp index inline — the pre-PR implementation, retained verbatim as
+    /// the legacy-executor baseline (so A/B benches measure the pre-PR
+    /// cost profile, not a trace build per block). Call sites that execute
+    /// many identical blocks should hold a [`TraceCache`] and use
+    /// [`Self::run_traced`] instead.
     pub fn run(&self, ctx: &mut BlockCtx<'_>, io: &FftIo<'_>) {
         let plan = self.plan;
         let bs = self.bs_layout;
@@ -113,17 +217,8 @@ impl<'p> FftBlockEngine<'p> {
             "shared staging region out of bounds"
         );
 
-        // ---- load: input -> ping region ----
-        // The real kernel gathers straight into registers; the staging
-        // store is bookkeeping of the functional model, not shared traffic.
         self.transfer_in(ctx, io);
 
-        // ---- butterfly stages, ping-pong ----
-        // Stages within a register group move data without shared-memory
-        // charges (the real kernel holds them in per-thread registers);
-        // only the exchanges *between* groups pay shared traffic and a
-        // barrier. The final stage hands its registers directly to the
-        // writeback, so it is never an exchange either.
         let group = self.reg_group_bits.max(1);
         let last_stage = plan.stages.len() - 1;
         let mut src_base = self.ping_base;
@@ -147,16 +242,12 @@ impl<'p> FftBlockEngine<'p> {
 
                 let idx_a = WarpIdx::from_fn(|l| {
                     lane_op(l).and_then(|(p, j)| {
-                        stage.ops[j]
-                            .a
-                            .map(|a| src_base + a as usize * bs + p)
+                        stage.ops[j].a.map(|a| src_base + a as usize * bs + p)
                     })
                 });
                 let idx_b = WarpIdx::from_fn(|l| {
                     lane_op(l).and_then(|(p, j)| {
-                        stage.ops[j]
-                            .b
-                            .map(|b| src_base + b as usize * bs + p)
+                        stage.ops[j].b.map(|b| src_base + b as usize * bs + p)
                     })
                 });
                 ctx.set_shared_metering(load_shared);
@@ -198,8 +289,145 @@ impl<'p> FftBlockEngine<'p> {
             std::mem::swap(&mut src_base, &mut dst_base);
         }
 
-        // ---- writeback: final region -> output ----
         self.transfer_out(ctx, io, src_base);
+    }
+
+    /// Precompute the butterfly schedule for this block shape.
+    ///
+    /// Stages within a register group move data without shared-memory
+    /// charges (the real kernel holds them in per-thread registers); only
+    /// the exchanges *between* groups pay shared traffic and a barrier.
+    /// The final stage hands its registers directly to the writeback, so
+    /// it is never an exchange either.
+    pub fn build_trace(&self) -> ButterflyTrace {
+        let plan = self.plan;
+        let bs = self.bs_layout;
+        let group = self.reg_group_bits.max(1);
+        let last_stage = plan.stages.len() - 1;
+        let mut src_base = self.ping_base;
+        let mut dst_base = self.pong_base;
+        let mut stages = Vec::with_capacity(plan.stages.len());
+        for (t, stage) in plan.stages.iter().enumerate() {
+            let store_shared = (t + 1) % group == 0 && t != last_stage;
+            let load_shared = t % group == 0 && t != 0;
+            let instances = stage.ops.len() * bs;
+            let mut chunks = Vec::with_capacity(instances.div_ceil(WARP_SIZE));
+            let mut inst = 0;
+            while inst < instances {
+                let mut lane_ops: [Option<(usize, usize)>; WARP_SIZE] = [None; WARP_SIZE];
+                for (lane, slot) in lane_ops.iter_mut().enumerate() {
+                    let i = inst + lane;
+                    if i < instances {
+                        let pencil = i % bs;
+                        *slot = (pencil < self.active_pencils).then_some((pencil, i / bs));
+                    }
+                }
+                let idx_a = WarpIdx::from_fn(|l| {
+                    lane_ops[l].and_then(|(p, j)| {
+                        stage.ops[j].a.map(|a| src_base + a as usize * bs + p)
+                    })
+                });
+                let idx_b = WarpIdx::from_fn(|l| {
+                    lane_ops[l].and_then(|(p, j)| {
+                        stage.ops[j].b.map(|b| src_base + b as usize * bs + p)
+                    })
+                });
+                let idx_dst = WarpIdx::from_fn(|l| {
+                    lane_ops[l].map(|(p, j)| dst_base + stage.ops[j].dst as usize * bs + p)
+                });
+                let mut lane = [None; WARP_SIZE];
+                let mut flops = 0u64;
+                for l in 0..WARP_SIZE {
+                    if let Some((_p, j)) = lane_ops[l] {
+                        let op = &stage.ops[j];
+                        lane[l] = Some(TraceLaneOp {
+                            sum: matches!(op.kind, FftOpKind::Sum),
+                            has_a: op.a.is_some(),
+                            has_b: op.b.is_some(),
+                            w: op.w,
+                        });
+                        flops += op.flops();
+                    }
+                }
+                chunks.push(TraceChunk {
+                    idx_a: (idx_a.active_lanes() > 0).then_some(idx_a),
+                    idx_b: (idx_b.active_lanes() > 0).then_some(idx_b),
+                    idx_dst,
+                    lane,
+                    flops,
+                });
+                inst += WARP_SIZE;
+            }
+            stages.push(TraceStage {
+                chunks,
+                load_shared,
+                store_shared,
+            });
+            std::mem::swap(&mut src_base, &mut dst_base);
+        }
+        ButterflyTrace {
+            stages,
+            final_base: src_base,
+        }
+    }
+
+    /// Run the planned FFT using a precomputed [`ButterflyTrace`] (which
+    /// must have been built from an identically-configured engine).
+    pub fn run_traced(&self, ctx: &mut BlockCtx<'_>, io: &FftIo<'_>, trace: &ButterflyTrace) {
+        let plan = self.plan;
+        let bs = self.bs_layout;
+        debug_assert!(self.active_pencils <= bs);
+        debug_assert!(
+            ctx.shared_len() >= self.pong_base + plan.n * bs,
+            "shared staging region out of bounds"
+        );
+        debug_assert_eq!(trace.stages.len(), plan.stages.len());
+
+        // ---- load: input -> ping region ----
+        // The real kernel gathers straight into registers; the staging
+        // store is bookkeeping of the functional model, not shared traffic.
+        self.transfer_in(ctx, io);
+
+        // ---- butterfly stages, ping-pong (precomputed schedule) ----
+        for stage in &trace.stages {
+            for chunk in &stage.chunks {
+                ctx.set_shared_metering(stage.load_shared);
+                let zero = [C32::ZERO; WARP_SIZE];
+                let a_vals = match &chunk.idx_a {
+                    Some(idx) => ctx.shared_load(idx),
+                    None => zero,
+                };
+                let b_vals = match &chunk.idx_b {
+                    Some(idx) => ctx.shared_load(idx),
+                    None => zero,
+                };
+                ctx.set_shared_metering(true);
+
+                let mut out = [C32::ZERO; WARP_SIZE];
+                for l in 0..WARP_SIZE {
+                    if let Some(op) = chunk.lane[l] {
+                        let a = if op.has_a { a_vals[l] } else { C32::ZERO };
+                        let b = if op.has_b { b_vals[l] } else { C32::ZERO };
+                        let v = if op.sum { a + b } else { a - b };
+                        out[l] = match op.w {
+                            Some(w) => v * w,
+                            None => v,
+                        };
+                    }
+                }
+                ctx.add_flops(chunk.flops);
+
+                ctx.set_shared_metering(stage.store_shared);
+                ctx.shared_store(&chunk.idx_dst, &out);
+                ctx.set_shared_metering(true);
+            }
+            if stage.store_shared {
+                ctx.syncthreads();
+            }
+        }
+
+        // ---- writeback: final region -> output ----
+        self.transfer_out(ctx, io, trace.final_base);
     }
 
     /// Decompose a flat instance into `(pencil, idx)` per the given order.
@@ -220,26 +448,28 @@ impl<'p> FftBlockEngine<'p> {
         let instances = n_in * bs;
         let mut inst = 0;
         while inst < instances {
-            let lane_pi = |lane: usize| -> Option<(usize, usize)> {
+            let mut lane_pi = [None; WARP_SIZE];
+            for (lane, slot) in lane_pi.iter_mut().enumerate() {
                 let i = inst + lane;
-                if i >= instances {
-                    return None;
+                if i < instances {
+                    let (pencil, idx) = Self::split(i, bs, n_in, io.input_order);
+                    *slot = (pencil < self.active_pencils).then_some((pencil, idx));
                 }
-                let (pencil, idx) = Self::split(i, bs, n_in, io.input_order);
-                (pencil < self.active_pencils).then_some((pencil, idx))
-            };
+            }
             let vals = match &io.input {
                 PencilTarget::Global { buf, addr } => {
-                    let gidx = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| addr(p, i)));
+                    let gidx =
+                        WarpIdx::from_fn(|l| lane_pi[l].map(|(p, i): (usize, usize)| addr(p, i)));
                     ctx.global_read(*buf, &gidx)
                 }
                 PencilTarget::Shared { addr } => {
-                    let sidx = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| addr(p, i)));
+                    let sidx =
+                        WarpIdx::from_fn(|l| lane_pi[l].map(|(p, i): (usize, usize)| addr(p, i)));
                     ctx.shared_load(&sidx)
                 }
             };
             // staging store models registers, not a shared transaction
-            let dst = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| self.ping_base + i * bs + p));
+            let dst = WarpIdx::from_fn(|l| lane_pi[l].map(|(p, i)| self.ping_base + i * bs + p));
             ctx.set_shared_metering(false);
             ctx.shared_store(&dst, &vals);
             ctx.set_shared_metering(true);
@@ -256,23 +486,25 @@ impl<'p> FftBlockEngine<'p> {
         let instances = n_out * bs;
         let mut inst = 0;
         while inst < instances {
-            let lane_pi = |lane: usize| -> Option<(usize, usize)> {
+            let mut lane_pi = [None; WARP_SIZE];
+            for (lane, slot) in lane_pi.iter_mut().enumerate() {
                 let i = inst + lane;
-                if i >= instances {
-                    return None;
+                if i < instances {
+                    let (pencil, idx) = Self::split(i, bs, n_out, io.output_order);
+                    *slot = (pencil < self.active_pencils).then_some((pencil, idx));
                 }
-                let (pencil, idx) = Self::split(i, bs, n_out, io.output_order);
-                (pencil < self.active_pencils).then_some((pencil, idx))
-            };
+            }
             // the final values live in registers; the staging read is free
-            let src = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| final_base + i * bs + p));
+            let src = WarpIdx::from_fn(|l| {
+                lane_pi[l].map(|(p, i): (usize, usize)| final_base + i * bs + p)
+            });
             ctx.set_shared_metering(false);
             let mut vals = ctx.shared_load(&src);
             ctx.set_shared_metering(true);
             if scale != 1.0 {
                 let mut flops = 0u64;
                 for l in 0..WARP_SIZE {
-                    if lane_pi(l).is_some() {
+                    if lane_pi[l].is_some() {
                         vals[l] = vals[l].scale(scale);
                         flops += 2;
                     }
@@ -281,11 +513,11 @@ impl<'p> FftBlockEngine<'p> {
             }
             match &io.output {
                 PencilTarget::Global { buf, addr } => {
-                    let gidx = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| addr(p, i)));
+                    let gidx = WarpIdx::from_fn(|l| lane_pi[l].map(|(p, i)| addr(p, i)));
                     ctx.global_write(*buf, &gidx, &vals);
                 }
                 PencilTarget::Shared { addr } => {
-                    let sidx = WarpIdx::from_fn(|l| lane_pi(l).map(|(p, i)| addr(p, i)));
+                    let sidx = WarpIdx::from_fn(|l| lane_pi[l].map(|(p, i)| addr(p, i)));
                     ctx.shared_store(&sidx, &vals);
                 }
             }

@@ -10,10 +10,11 @@
 //! so the same kernel serves 1D rows, the hidden-dim-ordered variant the
 //! fused pipeline uses, and the strided second stage of 2D FFTs.
 
-use crate::engine::{FftBlockEngine, FftIo, PencilTarget};
-use crate::plan::FftPlan;
+use crate::engine::{FftBlockEngine, FftIo, PencilTarget, TraceCache};
+use crate::plan::{FftDirection, FftPlan};
 use crate::FftBlockConfig;
-use tfno_gpu_sim::{BlockCtx, BufferId, Kernel, LaunchDims};
+use std::hash::Hash;
+use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims};
 use tfno_num::C32_BYTES;
 
 /// Maps block-global pencil ids to input/output element addresses.
@@ -24,6 +25,9 @@ pub trait PencilAddressing: Sync {
     fn in_addr(&self, pencil: usize, idx: usize) -> usize;
     /// Output element address of `(pencil, idx)`.
     fn out_addr(&self, pencil: usize, idx: usize) -> usize;
+    /// Structural hash of the addressing scheme for the analytical launch
+    /// memo: must cover every field that shapes the produced addresses.
+    fn fingerprint(&self) -> u64;
 }
 
 /// Pencils stored as contiguous rows (the 1D FNO layout `[pencil, n]`),
@@ -44,6 +48,13 @@ impl PencilAddressing for RowPencils {
     }
     fn out_addr(&self, pencil: usize, idx: usize) -> usize {
         pencil * self.out_row_len + idx
+    }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("fft.addr.rows", |h| {
+            self.count.hash(h);
+            self.in_row_len.hash(h);
+            self.out_row_len.hash(h);
+        })
     }
 }
 
@@ -79,6 +90,18 @@ impl PencilAddressing for StridedPencils {
         self.out_group_stride * (pencil / self.group)
             + self.out_pencil_stride * (pencil % self.group)
             + self.out_idx_stride * idx
+    }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("fft.addr.strided", |h| {
+            self.count.hash(h);
+            self.group.hash(h);
+            self.in_group_stride.hash(h);
+            self.in_pencil_stride.hash(h);
+            self.in_idx_stride.hash(h);
+            self.out_group_stride.hash(h);
+            self.out_pencil_stride.hash(h);
+            self.out_idx_stride.hash(h);
+        })
     }
 }
 
@@ -131,6 +154,9 @@ pub struct BatchedFftKernel<A: PencilAddressing> {
     pub addressing: A,
     pub input: BufferId,
     pub output: BufferId,
+    /// Butterfly schedules shared by every block of a launch (the index
+    /// patterns are block-invariant; only data differs).
+    traces: TraceCache,
 }
 
 impl<A: PencilAddressing> BatchedFftKernel<A> {
@@ -150,6 +176,7 @@ impl<A: PencilAddressing> BatchedFftKernel<A> {
             addressing,
             input,
             output,
+            traces: TraceCache::new(),
         }
     }
 
@@ -209,11 +236,32 @@ impl<A: PencilAddressing> Kernel for BatchedFftKernel<A> {
                     addr: &out_addr,
                 },
             );
-            engine.run(ctx, &io);
+            if ctx.legacy_mode() {
+                engine.run(ctx, &io);
+            } else {
+                let trace = self.traces.get(&engine);
+                engine.run_traced(ctx, &io, &trace);
+            }
             if self.cfg.k_iters > 1 {
                 ctx.syncthreads();
             }
         }
+    }
+
+    fn fingerprint(&self) -> Option<u64> {
+        Some(structural_fingerprint("fft.batched", |h| {
+            self.cfg.block.n.hash(h);
+            self.cfg.block.n_thread.hash(h);
+            self.cfg.block.bs.hash(h);
+            self.cfg.l1_hit_rate.to_bits().hash(h);
+            self.cfg.regs_per_thread.hash(h);
+            self.cfg.k_iters.hash(h);
+            self.plan.n.hash(h);
+            (self.plan.direction == FftDirection::Forward).hash(h);
+            self.plan.n_in_valid.hash(h);
+            self.plan.n_out_keep.hash(h);
+            self.addressing.fingerprint().hash(h);
+        }))
     }
 
     fn block_classes(&self) -> Vec<(usize, u64)> {

@@ -25,7 +25,7 @@ pub mod kernels;
 pub mod plan;
 pub mod real;
 
-pub use engine::{FftBlockEngine, FftIo, InstanceOrder, PencilTarget};
+pub use engine::{ButterflyTrace, FftBlockEngine, FftIo, InstanceOrder, PencilTarget, TraceCache};
 pub use kernels::{BatchedFftKernel, FftKernelConfig, PencilAddressing, RowPencils, StridedPencils};
 pub use plan::{FftDirection, FftOp, FftOpKind, FftPlan, FftStage};
 pub use real::{irfft, irfft_padded, rfft, rfft_truncated};

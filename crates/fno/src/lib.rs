@@ -26,6 +26,6 @@ pub mod permode;
 pub mod pde;
 pub mod spectral;
 
-pub use model::{Fno1d, Fno2d, FnoLayer1d, FnoLayer2d};
+pub use model::{add_gelu, gelu, pointwise, pointwise_naive, Fno1d, Fno2d, FnoLayer1d, FnoLayer2d};
 pub use permode::PerModeSpectralConv1d;
 pub use spectral::{SpectralConv1d, SpectralConv2d};

@@ -25,9 +25,26 @@ fn gelu_c(v: C32) -> C32 {
     C32::new(gelu(v.re), gelu(v.im))
 }
 
-/// Pointwise (1x1) convolution over the channel axis: `w[k_in, k_out]`.
-/// `x: [batch, k_in, ...spatial] -> [batch, k_out, ...spatial]`.
-pub fn pointwise(x: &CTensor, w: &CTensor) -> CTensor {
+/// Output channels per micro-tile of the blocked pointwise kernel: each
+/// spatial tile of `x` is loaded once and reused for this many output
+/// channels. Shrunk automatically when the host has more workers than
+/// full-width segments.
+const PW_KO_BLOCK: usize = 8;
+/// Spatial lanes per micro-tile (sized to keep the tile plus the
+/// accumulator rows L1-resident).
+const PW_S_BLOCK: usize = 512;
+/// Complex MACs of work per spawned `pointwise` worker thread: sized so a
+/// worker's share (~0.5 ms of arithmetic) dwarfs the OS thread-spawn cost
+/// (there is no pool in the stack).
+const PW_PAR_TASK_WORK: usize = 1 << 16;
+/// Elements of elementwise work per spawned `add_gelu` task.
+const EW_MIN_CHUNK: usize = 4096;
+
+/// Scalar reference pointwise convolution — the pre-PR implementation,
+/// kept as the ground truth the blocked kernel is checked against
+/// (bitwise: both accumulate over `k_in` in ascending order) and as the
+/// baseline of the throughput bench.
+pub fn pointwise_naive(x: &CTensor, w: &CTensor) -> CTensor {
     let shape = x.shape().to_vec();
     let batch = shape[0];
     let k_in = shape[1];
@@ -54,15 +71,143 @@ pub fn pointwise(x: &CTensor, w: &CTensor) -> CTensor {
     y
 }
 
-fn add_gelu(a: &CTensor, b: &CTensor) -> CTensor {
+/// One segment of the blocked pointwise kernel: `nko` output-channel rows
+/// of batch `b`, written into their contiguous slice of the output. Walks
+/// the spatial axis in tiles and runs the channel reduction innermost, so
+/// each `x` tile streams through cache once per `PW_KO_BLOCK` outputs and
+/// the inner loop is a vectorizable axpy.
+fn pointwise_seg(
+    xd: &[C32],
+    wd: &[C32],
+    k_in: usize,
+    k_out: usize,
+    spatial: usize,
+    seg: (usize, usize, usize),
+    out: &mut [C32],
+) {
+    let (b, ko0, nko) = seg;
+    for s0 in (0..spatial).step_by(PW_S_BLOCK) {
+        let ts = PW_S_BLOCK.min(spatial - s0);
+        for ki in 0..k_in {
+            let xrow = &xd[(b * k_in + ki) * spatial + s0..][..ts];
+            for j in 0..nko {
+                let wv = wd[ki * k_out + ko0 + j];
+                let orow = &mut out[j * spatial + s0..][..ts];
+                for (o, xv) in orow.iter_mut().zip(xrow) {
+                    *o = o.mac(*xv, wv);
+                }
+            }
+        }
+    }
+}
+
+/// Pointwise (1x1) convolution over the channel axis: `w[k_in, k_out]`.
+/// `x: [batch, k_in, ...spatial] -> [batch, k_out, ...spatial]`.
+///
+/// Blocked over `batch x spatial` with a k-inner micro-kernel and fanned
+/// out across host threads under the engine's worker policy
+/// (`TFNO_THREADS`); numerically identical to [`pointwise_naive`] — every
+/// output element accumulates over `k_in` in the same order.
+pub fn pointwise(x: &CTensor, w: &CTensor) -> CTensor {
+    let shape = x.shape().to_vec();
+    let batch = shape[0];
+    let k_in = shape[1];
+    let spatial: usize = shape[2..].iter().product();
+    let (wk_in, k_out) = match *w.shape() {
+        [i, o] => (i, o),
+        _ => panic!("pointwise weight must be rank-2"),
+    };
+    assert_eq!(k_in, wk_in);
+    let mut out_shape = shape.clone();
+    out_shape[1] = k_out;
+
+    // A segment: `(batch index, first output channel, channel count)`.
+    type Seg = (usize, usize, usize);
+    let mut y = vec![C32::ZERO; batch * k_out * spatial];
+    // Segments of channel rows, never crossing a batch: each owns a
+    // contiguous, disjoint slice of the output. Prefer PW_KO_BLOCK-wide
+    // segments (x-tile reuse), but shrink them when the host has more
+    // workers than segments so the fan-out actually engages.
+    let par_workers = tfno_gpu_sim::configured_workers();
+    let seg_ko = if batch * k_out.div_ceil(PW_KO_BLOCK) >= par_workers {
+        PW_KO_BLOCK
+    } else {
+        (batch * k_out).div_ceil(par_workers).clamp(1, PW_KO_BLOCK)
+    };
+    let mut segs: Vec<Seg> = Vec::new();
+    for b in 0..batch {
+        let mut ko = 0;
+        while ko < k_out {
+            let nko = seg_ko.min(k_out - ko);
+            segs.push((b, ko, nko));
+            ko += nko;
+        }
+    }
+    let mut tasks: Vec<(Seg, &mut [C32])> = Vec::with_capacity(segs.len());
+    let mut rest = y.as_mut_slice();
+    for &seg in &segs {
+        let (head, tail) = rest.split_at_mut(seg.2 * spatial);
+        tasks.push((seg, head));
+        rest = tail;
+    }
+
+    let (xd, wd) = (x.data(), w.data());
+    // Fan out only as many workers as the arithmetic keeps busy: each
+    // spawned thread must amortize its creation against PW_PAR_TASK_WORK
+    // MACs of useful work (total work below that floor runs serial).
+    let total_macs = batch * k_out * spatial * k_in;
+    let workers = par_workers
+        .min(tasks.len())
+        .min(total_macs / PW_PAR_TASK_WORK)
+        .max(1);
+    if workers <= 1 {
+        for (seg, out) in tasks.iter_mut() {
+            pointwise_seg(xd, wd, k_in, k_out, spatial, *seg, out);
+        }
+    } else {
+        let per = tasks.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for chunk in tasks.chunks_mut(per) {
+                scope.spawn(move || {
+                    for (seg, out) in chunk.iter_mut() {
+                        pointwise_seg(xd, wd, k_in, k_out, spatial, *seg, out);
+                    }
+                });
+            }
+        });
+    }
+    CTensor::from_vec(y, &out_shape)
+}
+
+/// `gelu(a + b)` elementwise, fanned out across host threads for large
+/// tensors (deterministic: each element is computed exactly once, in
+/// isolation).
+pub fn add_gelu(a: &CTensor, b: &CTensor) -> CTensor {
     assert_eq!(a.shape(), b.shape());
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .map(|(x, y)| gelu_c(*x + *y))
-        .collect();
-    CTensor::from_vec(data, a.shape())
+    let len = a.data().len();
+    let mut out = vec![C32::ZERO; len];
+    let workers = tfno_gpu_sim::configured_workers().min(len / EW_MIN_CHUNK).max(1);
+    if workers <= 1 {
+        for (o, (x, y)) in out.iter_mut().zip(a.data().iter().zip(b.data())) {
+            *o = gelu_c(*x + *y);
+        }
+    } else {
+        let per = len.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for ((oc, ac), bc) in out
+                .chunks_mut(per)
+                .zip(a.data().chunks(per))
+                .zip(b.data().chunks(per))
+            {
+                scope.spawn(move || {
+                    for (o, (x, y)) in oc.iter_mut().zip(ac.iter().zip(bc)) {
+                        *o = gelu_c(*x + *y);
+                    }
+                });
+            }
+        });
+    }
+    CTensor::from_vec(out, a.shape())
 }
 
 /// One 1D Fourier layer: `gelu(spectral(x) + pointwise(x))`.
@@ -298,6 +443,42 @@ mod tests {
         assert!((gelu(0.0)).abs() < 1e-7);
         assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
         assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    /// The blocked kernel must be bitwise-identical to the scalar
+    /// reference: both accumulate over `k_in` in ascending order, so no
+    /// tolerance is needed — any difference is a real indexing bug.
+    #[test]
+    fn pointwise_blocked_matches_naive_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // shapes chosen to exercise k_out % PW_KO_BLOCK != 0, spatial that
+        // is not a multiple of the tile, rank-3 and rank-4 inputs
+        let cases: Vec<(Vec<usize>, usize)> = vec![
+            (vec![2, 3, 77], 5),
+            (vec![1, 8, 513], 9),
+            (vec![3, 5, 7, 11], 13),
+            (vec![1, 1, 1], 1),
+            (vec![2, 16, 32, 32], 16),
+        ];
+        for (shape, k_out) in cases {
+            let x = CTensor::random(&mut rng, &shape);
+            let w = CTensor::random(&mut rng, &[shape[1], k_out]);
+            let fast = pointwise(&x, &w);
+            let naive = pointwise_naive(&x, &w);
+            assert_eq!(fast.shape(), naive.shape());
+            assert_eq!(fast.data(), naive.data(), "shape {shape:?} k_out {k_out}");
+        }
+    }
+
+    #[test]
+    fn add_gelu_matches_scalar_map() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = CTensor::random(&mut rng, &[3, 4, 100]);
+        let b = CTensor::random(&mut rng, &[3, 4, 100]);
+        let got = add_gelu(&a, &b);
+        for ((g, x), y) in got.data().iter().zip(a.data()).zip(b.data()) {
+            assert_eq!(*g, gelu_c(*x + *y));
+        }
     }
 
     #[test]

@@ -1,21 +1,46 @@
 //! Kernel trait, block execution context, and the launch machinery.
 //!
 //! Kernels are written warp-synchronously against [`BlockCtx`]; the device
-//! executes blocks (optionally in parallel across host threads — blocks are
-//! independent by construction, exactly as on hardware) and merges their
-//! event counts into a [`LaunchRecord`].
+//! executes blocks (in parallel across host threads via a work-stealing
+//! cursor — blocks are independent by construction, exactly as on
+//! hardware) and merges their event counts into a [`LaunchRecord`].
 //!
 //! Global-memory semantics are CUDA's: reads observe pre-launch state,
 //! writes become visible after the launch. Cross-block write conflicts are
 //! detected when `validate_writes` is enabled (default in debug builds).
+//!
+//! ## The functional executor
+//!
+//! Each worker owns one reusable [`BlockCtx`] (shared-memory scratch and
+//! stats allocated once per launch, not per block) and one
+//! [`WriteJournal`] that run-length-compresses contiguous stores. Workers
+//! claim blocks from an atomic cursor — work stealing, so a slow remainder
+//! block never idles the other workers the way the pre-PR static chunking
+//! did. When the launch completes, the journals are validated (interval
+//! overlap per buffer) and applied (`memcpy` per run), both sharded per
+//! buffer across workers. The pre-PR executor is kept behind
+//! [`GpuDevice::legacy_executor`] for A/B benchmarking.
+//!
+//! ## Analytical launches
+//!
+//! Analytical mode executes one representative block per equivalence class
+//! and scales the counts. Kernels that implement
+//! [`Kernel::fingerprint`] additionally get memoized through the
+//! process-wide [launch memo](crate::memo): a repeated launch of an
+//! identical shape returns the cached [`KernelStats`] without touching a
+//! single block.
 
 use crate::cost::CostModel;
 use crate::device::DeviceConfig;
+use crate::exec;
+use crate::journal::{self, WriteJournal};
+use crate::memo;
 use crate::memory::{BufferId, GlobalMemory};
 use crate::shared::SharedMem;
 use crate::stats::KernelStats;
 use crate::warp::{WarpIdx, WARP_SIZE};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tfno_num::C32;
 
 /// Launch geometry + static kernel metadata used by the cost model.
@@ -106,6 +131,25 @@ pub trait Kernel: Sync {
     fn block_classes(&self) -> Vec<(usize, u64)> {
         vec![(0, self.dims().grid_blocks as u64)]
     }
+
+    /// Name-independent structural fingerprint of this kernel's access
+    /// pattern, or `None` (the default) to opt out of the analytical
+    /// launch memo.
+    ///
+    /// Contract: two kernels with equal fingerprints, equal [`dims`]
+    /// (bitwise) and equal [`block_classes`] must record identical
+    /// [`KernelStats`] from an analytical launch — so the fingerprint must
+    /// cover every parameter that shapes address patterns or operation
+    /// counts (plans, tile configs, strides, view bases, epilogue flags),
+    /// while kernel names and buffer identities stay out. Build it with
+    /// [`memo::structural_fingerprint`], whose type tag keeps different
+    /// kernel families from ever colliding.
+    ///
+    /// [`dims`]: Kernel::dims
+    /// [`block_classes`]: Kernel::block_classes
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// One recorded kernel launch.
@@ -128,34 +172,63 @@ pub enum ExecMode {
 }
 
 /// Per-block execution context handed to `Kernel::run_block`.
+///
+/// One context is reused for every block a worker executes: shared-memory
+/// scratch is zeroed between blocks (allocation and bank statistics
+/// persist) and global writes accumulate in the worker's journal.
 pub struct BlockCtx<'a> {
     pub block_id: usize,
     pub dims: LaunchDims,
     shared: SharedMem,
     stats: KernelStats,
     gmem: &'a GlobalMemory,
-    writes: Vec<(BufferId, usize, C32)>,
+    journal: WriteJournal,
+    /// Route per-access accounting through the pre-PR allocating
+    /// implementations (legacy-executor baseline).
+    legacy_accounting: bool,
 }
 
 impl<'a> BlockCtx<'a> {
-    fn new(block_id: usize, dims: LaunchDims, gmem: &'a GlobalMemory) -> Self {
+    fn new(dims: LaunchDims, gmem: &'a GlobalMemory) -> Self {
         BlockCtx {
-            block_id,
+            block_id: 0,
             dims,
             shared: SharedMem::new(dims.shared_bytes),
-            stats: KernelStats {
-                blocks: 1,
-                warps: dims.warps_per_block() as u64,
-                ..KernelStats::ZERO
-            },
+            stats: KernelStats::ZERO,
             gmem,
-            writes: Vec::new(),
+            journal: WriteJournal::new(),
+            legacy_accounting: false,
         }
+    }
+
+    fn new_legacy(dims: LaunchDims, gmem: &'a GlobalMemory) -> Self {
+        let mut ctx = Self::new(dims, gmem);
+        ctx.legacy_accounting = true;
+        ctx.shared.legacy_accounting = true;
+        ctx
+    }
+
+    #[inline]
+    fn access_cost(&self, buf: BufferId, idx: &WarpIdx) -> crate::memory::AccessCost {
+        if self.legacy_accounting {
+            self.gmem.access_cost_alloc(buf, idx)
+        } else {
+            self.gmem.access_cost(buf, idx)
+        }
+    }
+
+    /// Arm the context for the next block: fresh zeroed shared scratch,
+    /// block/warp counters bumped, journal kept accumulating.
+    fn begin_block(&mut self, block_id: usize) {
+        self.block_id = block_id;
+        self.stats.blocks += 1;
+        self.stats.warps += self.dims.warps_per_block() as u64;
+        self.shared.reset_for_block();
     }
 
     /// Warp-level global load. Observes pre-launch buffer contents.
     pub fn global_read(&mut self, buf: BufferId, idx: &WarpIdx) -> [C32; WARP_SIZE] {
-        let cost = self.gmem.access_cost(buf, idx);
+        let cost = self.access_cost(buf, idx);
         self.stats.global_load_bytes += cost.bytes;
         self.stats.global_load_sectors += cost.sectors;
         self.gmem.read_warp(buf, idx)
@@ -163,11 +236,11 @@ impl<'a> BlockCtx<'a> {
 
     /// Warp-level global store. Becomes visible after the launch.
     pub fn global_write(&mut self, buf: BufferId, idx: &WarpIdx, vals: &[C32; WARP_SIZE]) {
-        let cost = self.gmem.access_cost(buf, idx);
+        let cost = self.access_cost(buf, idx);
         self.stats.global_store_bytes += cost.bytes;
         self.stats.global_store_sectors += cost.sectors;
         for (lane, elem) in idx.iter_active() {
-            self.writes.push((buf, elem, vals[lane]));
+            self.journal.push(buf, elem, vals[lane]);
         }
     }
 
@@ -200,6 +273,14 @@ impl<'a> BlockCtx<'a> {
         self.shared.metered = on;
     }
 
+    /// True when this context belongs to the legacy (pre-PR) executor
+    /// baseline. Kernels consult this to bypass new-engine caches (e.g.
+    /// butterfly trace reuse) so A/B benchmarks measure the pre-PR cost
+    /// profile faithfully.
+    pub fn legacy_mode(&self) -> bool {
+        self.legacy_accounting
+    }
+
     /// Block-wide barrier. In the functional model execution is already
     /// sequential per block, so this only records the event for costing.
     pub fn syncthreads(&mut self) {
@@ -221,18 +302,18 @@ impl<'a> BlockCtx<'a> {
         self.shared.raw()
     }
 
-    fn finish(mut self) -> BlockResult {
+    fn finish(mut self) -> WorkerResult {
         self.stats.shared_ideal_cycles =
             self.shared.load_stats.ideal_cycles + self.shared.store_stats.ideal_cycles;
         self.stats.shared_actual_cycles =
             self.shared.load_stats.actual_cycles + self.shared.store_stats.actual_cycles;
-        (self.stats, self.writes)
+        (self.stats, self.journal)
     }
 }
 
-/// What one block's execution produces: its event stats and the global
-/// writes it wants applied when the launch completes.
-type BlockResult = (KernelStats, Vec<(BufferId, usize, C32)>);
+/// What one worker's blocks produce: their summed event stats and the
+/// journal of global writes to apply when the launch completes.
+type WorkerResult = (KernelStats, WriteJournal);
 
 /// The simulated device: global memory + config + launch history.
 pub struct GpuDevice {
@@ -244,6 +325,15 @@ pub struct GpuDevice {
     pub validate_writes: bool,
     /// Execute blocks on multiple host threads when the grid is large.
     pub parallel: bool,
+    /// Use the memoized-analytical launch path (see [`crate::memo`]).
+    pub analytical_memo: bool,
+    /// Run the pre-PR static-chunk executor (per-block context allocation,
+    /// per-element write tuples, serial hash-set validation and apply).
+    /// Kept solely so benchmarks and tests can A/B the engines.
+    pub legacy_executor: bool,
+    /// Explicit worker-count override; `None` follows the
+    /// `TFNO_THREADS`-aware default policy in [`crate::exec`].
+    workers: Option<usize>,
 }
 
 impl GpuDevice {
@@ -256,11 +346,39 @@ impl GpuDevice {
             launches: Vec::new(),
             validate_writes: cfg!(debug_assertions),
             parallel: true,
+            analytical_memo: true,
+            legacy_executor: false,
+            workers: None,
         }
     }
 
     pub fn a100() -> Self {
         Self::new(DeviceConfig::a100())
+    }
+
+    /// Pin the functional executor to exactly `n` workers (capped at the
+    /// grid size per launch), overriding `TFNO_THREADS` and the
+    /// block-count heuristic.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.set_workers(Some(n));
+        self
+    }
+
+    /// Set or clear the explicit worker-count override.
+    pub fn set_workers(&mut self, workers: Option<usize>) {
+        self.workers = workers.map(|n| n.max(1));
+    }
+
+    /// Worker count the functional executor will use for a grid of
+    /// `n_blocks` under the current policy.
+    pub fn effective_workers(&self, n_blocks: usize) -> usize {
+        if !self.parallel || n_blocks == 0 {
+            return 1;
+        }
+        match self.workers {
+            Some(n) => n.min(n_blocks).max(1),
+            None => exec::workers_for(n_blocks),
+        }
     }
 
     pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
@@ -312,7 +430,8 @@ impl GpuDevice {
     }
 
     /// Analytical launch: run one representative block per class (writes
-    /// discarded) and scale the counts.
+    /// discarded) and scale the counts — unless a memoized launch of the
+    /// same signature already did.
     fn run_analytical(&mut self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
         let classes = kernel.block_classes();
         let declared: u64 = classes.iter().map(|(_, c)| c).sum();
@@ -323,36 +442,104 @@ impl GpuDevice {
             kernel.name(),
             dims.grid_blocks
         );
+        let key = if self.analytical_memo && memo::launch_memo_enabled() {
+            memo::signature(kernel.fingerprint(), &dims, &classes)
+        } else {
+            None
+        };
+        if let Some(key) = key {
+            if let Some(stats) = memo::lookup(key) {
+                return stats;
+            }
+        }
         let mut total = KernelStats::ZERO;
         for (rep, count) in classes {
             assert!(rep < dims.grid_blocks, "representative block out of grid");
-            let mut ctx = BlockCtx::new(rep, dims, &self.memory);
+            let mut ctx = BlockCtx::new(dims, &self.memory);
+            ctx.begin_block(rep);
             kernel.run_block(rep, &mut ctx);
             let (stats, _writes) = ctx.finish();
             total += stats.scaled(count);
         }
+        if let Some(key) = key {
+            memo::insert(key, total);
+        }
         total
     }
 
+    /// Work-stealing functional executor (see the module docs).
     fn run_functional(&mut self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
+        if self.legacy_executor {
+            return self.run_functional_legacy(kernel, dims);
+        }
         let n_blocks = dims.grid_blocks;
-        let workers = if self.parallel && n_blocks >= 16 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(n_blocks)
+        let workers = self.effective_workers(n_blocks);
+
+        let (total, journals) = if workers <= 1 {
+            let mut ctx = BlockCtx::new(dims, &self.memory);
+            for b in 0..n_blocks {
+                ctx.begin_block(b);
+                kernel.run_block(b, &mut ctx);
+            }
+            let (stats, journal) = ctx.finish();
+            (stats, vec![journal])
         } else {
-            1
+            let gmem = &self.memory;
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut ctx = BlockCtx::new(dims, gmem);
+                            loop {
+                                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                                if b >= n_blocks {
+                                    break;
+                                }
+                                ctx.begin_block(b);
+                                kernel.run_block(b, &mut ctx);
+                            }
+                            ctx.finish()
+                        })
+                    })
+                    .collect();
+                let mut total = KernelStats::ZERO;
+                let mut journals = Vec::with_capacity(workers);
+                for h in handles {
+                    let (stats, journal) = h.join().expect("block worker panicked");
+                    total += stats;
+                    journals.push(journal);
+                }
+                (total, journals)
+            })
         };
 
-        let results: Vec<BlockResult> = if workers <= 1 {
-            (0..n_blocks)
-                .map(|b| {
-                    let mut ctx = BlockCtx::new(b, dims, &self.memory);
-                    kernel.run_block(b, &mut ctx);
-                    ctx.finish()
-                })
-                .collect()
+        journal::apply_journals(
+            &mut self.memory,
+            &journals,
+            self.validate_writes,
+            workers,
+            &kernel.name(),
+        );
+        total
+    }
+
+    /// The pre-PR executor: static contiguous chunking, one context
+    /// allocation per block, per-element hash-set validation, serial write
+    /// application. Behavior-identical baseline for A/B benchmarks.
+    fn run_functional_legacy(&mut self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
+        let n_blocks = dims.grid_blocks;
+        let workers = self.effective_workers(n_blocks);
+
+        let run_one = |b: usize, gmem: &GlobalMemory| -> WorkerResult {
+            let mut ctx = BlockCtx::new_legacy(dims, gmem);
+            ctx.begin_block(b);
+            kernel.run_block(b, &mut ctx);
+            ctx.finish()
+        };
+
+        let results: Vec<WorkerResult> = if workers <= 1 {
+            (0..n_blocks).map(|b| run_one(b, &self.memory)).collect()
         } else {
             let gmem = &self.memory;
             std::thread::scope(|scope| {
@@ -362,13 +549,7 @@ impl GpuDevice {
                         scope.spawn(move || {
                             let lo = w * chunk;
                             let hi = ((w + 1) * chunk).min(n_blocks);
-                            (lo..hi)
-                                .map(|b| {
-                                    let mut ctx = BlockCtx::new(b, dims, gmem);
-                                    kernel.run_block(b, &mut ctx);
-                                    ctx.finish()
-                                })
-                                .collect::<Vec<_>>()
+                            (lo..hi).map(|b| run_one(b, gmem)).collect::<Vec<_>>()
                         })
                     })
                     .collect();
@@ -382,9 +563,9 @@ impl GpuDevice {
         let mut total = KernelStats::ZERO;
         let mut seen: Option<HashSet<(BufferId, usize)>> =
             self.validate_writes.then(HashSet::new);
-        for (stats, writes) in results {
+        for (stats, journal) in results {
             total += stats;
-            for (buf, elem, v) in writes {
+            for (buf, elem, v) in journal.iter_elements() {
                 if let Some(seen) = seen.as_mut() {
                     assert!(
                         seen.insert((buf, elem)),
@@ -429,6 +610,12 @@ mod tests {
             ctx.add_flops(64);
             ctx.syncthreads();
             ctx.global_write(self.dst, &idx, &out);
+        }
+        fn fingerprint(&self) -> Option<u64> {
+            Some(memo::structural_fingerprint("test.scale2", |h| {
+                use std::hash::Hash;
+                self.blocks.hash(h);
+            }))
         }
     }
 
@@ -485,8 +672,8 @@ mod tests {
         let rec_seq = dev_seq.launch(&k, ExecMode::Functional);
         let out_seq = dev_seq.download(dst);
 
-        let (mut dev_par, src2, dst2) = setup(64);
-        dev_par.parallel = true;
+        let (dev_par, src2, dst2) = setup(64);
+        let mut dev_par = dev_par.with_workers(4);
         let k2 = ScaleKernel {
             src: src2,
             dst: dst2,
@@ -495,6 +682,43 @@ mod tests {
         let rec_par = dev_par.launch(&k2, ExecMode::Functional);
         assert_eq!(rec_seq.stats, rec_par.stats);
         assert_eq!(out_seq, dev_par.download(dst2));
+    }
+
+    #[test]
+    fn legacy_executor_matches_work_stealing() {
+        let (mut dev_new, src, dst) = setup(32);
+        let k = ScaleKernel { src, dst, blocks: 32 };
+        let rec_new = dev_new.launch(&k, ExecMode::Functional);
+        let out_new = dev_new.download(dst);
+
+        let (mut dev_old, src2, dst2) = setup(32);
+        dev_old.legacy_executor = true;
+        let k2 = ScaleKernel {
+            src: src2,
+            dst: dst2,
+            blocks: 32,
+        };
+        let rec_old = dev_old.launch(&k2, ExecMode::Functional);
+        assert_eq!(rec_new.stats, rec_old.stats);
+        assert_eq!(out_new, dev_old.download(dst2));
+    }
+
+    /// Worker policy: explicit overrides beat the env var and the
+    /// block-count gate. (Env-var *parsing* is tested in `exec::tests`
+    /// through the pure parser — mutating `TFNO_THREADS` from a test
+    /// would race other tests' executors reading it.)
+    #[test]
+    fn worker_policy_respects_overrides() {
+        let dev2 = GpuDevice::new(DeviceConfig::a100()).with_workers(8);
+        assert_eq!(dev2.effective_workers(4), 4, "capped at grid");
+        assert_eq!(dev2.effective_workers(100), 8);
+        let mut dev3 = GpuDevice::new(DeviceConfig::a100()).with_workers(8);
+        dev3.parallel = false;
+        assert_eq!(dev3.effective_workers(100), 1, "parallel=false wins");
+        if std::env::var_os("TFNO_THREADS").is_none() {
+            let dev = GpuDevice::new(DeviceConfig::a100());
+            assert_eq!(dev.effective_workers(4), 1, "default: small grids stay serial");
+        }
     }
 
     #[test]
@@ -516,6 +740,23 @@ mod tests {
         let k = ScaleKernel { src, dst, blocks };
         let rec = dev.launch(&k, ExecMode::Analytical);
         assert_eq!(rec.stats, expected_stats(blocks as u64));
+    }
+
+    #[test]
+    fn memoized_analytical_launch_returns_identical_stats() {
+        let (mut dev, src, dst) = setup(9);
+        let k = ScaleKernel { src, dst, blocks: 9 };
+        let cold = dev.launch(&k, ExecMode::Analytical).stats;
+        let before = memo::launch_memo_stats();
+        let warm = dev.launch(&k, ExecMode::Analytical).stats;
+        let after = memo::launch_memo_stats();
+        assert_eq!(cold, warm);
+        assert!(after.hits > before.hits, "second launch must hit the memo");
+
+        // Disabling the memo on the device gives the same stats, freshly.
+        dev.analytical_memo = false;
+        let fresh = dev.launch(&k, ExecMode::Analytical).stats;
+        assert_eq!(cold, fresh);
     }
 
     /// A kernel whose block_classes under-covers the grid must be rejected.
@@ -576,6 +817,18 @@ mod tests {
         let dst = dev.alloc("dst", 64);
         dev.validate_writes = true;
         dev.parallel = false;
+        let k = ConflictKernel { dst };
+        dev.launch(&k, ExecMode::Functional);
+    }
+
+    #[test]
+    #[should_panic(expected = "write conflict")]
+    fn legacy_executor_detects_conflicts_too() {
+        let mut dev = GpuDevice::new(DeviceConfig::a100());
+        let dst = dev.alloc("dst", 64);
+        dev.validate_writes = true;
+        dev.parallel = false;
+        dev.legacy_executor = true;
         let k = ConflictKernel { dst };
         dev.launch(&k, ExecMode::Functional);
     }

@@ -31,7 +31,10 @@
 
 pub mod cost;
 pub mod device;
+pub mod exec;
+pub mod journal;
 pub mod kernel;
+pub mod memo;
 pub mod memory;
 pub mod shared;
 pub mod stats;
@@ -40,7 +43,13 @@ pub mod warp;
 
 pub use cost::CostModel;
 pub use device::{DeviceConfig, Occupancy};
+pub use exec::{configured_workers, workers_for, PAR_BLOCK_THRESHOLD};
+pub use journal::WriteJournal;
 pub use kernel::{BlockCtx, ExecMode, GpuDevice, Kernel, LaunchDims, LaunchRecord};
+pub use memo::{
+    launch_memo_clear, launch_memo_enabled, launch_memo_stats, set_launch_memo_enabled,
+    structural_fingerprint, MemoStats,
+};
 pub use memory::BufferId;
 pub use shared::BankStats;
 pub use stats::KernelStats;

@@ -139,7 +139,66 @@ impl GlobalMemory {
 
     /// Compute the traffic cost of a warp access at the given element
     /// indices, without moving data.
+    ///
+    /// Allocation-free (a warp touches at most `2 * WARP_SIZE` sectors, so
+    /// the sector list fits a stack buffer), with an O(lanes) fast path
+    /// for monotonic address patterns — contiguous and forward-strided
+    /// warps, i.e. nearly every access our kernels issue. This runs on
+    /// every global warp access of the functional executor. The pre-PR
+    /// heap-allocating version survives as [`Self::access_cost_alloc`] for
+    /// the legacy-executor baseline; a property test pins them equal.
     pub fn access_cost(&self, id: BufferId, idx: &WarpIdx) -> AccessCost {
+        let buf = &self.buffers[id.0];
+        let buf_len = buf.len();
+        let mut sectors = [0usize; 2 * WARP_SIZE];
+        let mut n = 0usize;
+        let mut bytes = 0u64;
+        for (_, elem) in idx.iter_active() {
+            assert!(
+                elem < buf_len,
+                "global access out of bounds: elem {elem} >= {buf_len} in buffer {}",
+                buf.name
+            );
+            bytes += C32_BYTES as u64;
+            let addr = buf.base_addr + elem * C32_BYTES;
+            sectors[n] = addr / SECTOR_BYTES;
+            sectors[n + 1] = (addr + C32_BYTES - 1) / SECTOR_BYTES;
+            n += 2;
+        }
+        // Monotonic sequences need only adjacent comparisons to count
+        // distinct sectors; arbitrary patterns fall back to a dedupe scan.
+        let list = &sectors[..n];
+        let monotonic = list.windows(2).all(|w| w[0] <= w[1]);
+        let distinct = if monotonic {
+            let mut count = 0u64;
+            let mut prev = usize::MAX;
+            for &s in list {
+                if s != prev {
+                    count += 1;
+                    prev = s;
+                }
+            }
+            count
+        } else {
+            let mut seen = [0usize; 2 * WARP_SIZE];
+            let mut count = 0usize;
+            for &s in list {
+                if !seen[..count].contains(&s) {
+                    seen[count] = s;
+                    count += 1;
+                }
+            }
+            count as u64
+        };
+        AccessCost {
+            bytes,
+            sectors: distinct,
+        }
+    }
+
+    /// The pre-PR implementation of [`Self::access_cost`] (one heap
+    /// allocation per warp access). Kept verbatim for the legacy executor.
+    pub fn access_cost_alloc(&self, id: BufferId, idx: &WarpIdx) -> AccessCost {
         let buf = &self.buffers[id.0];
         let buf_len = buf.len();
         let mut sectors: Vec<usize> = Vec::with_capacity(WARP_SIZE);
@@ -182,6 +241,17 @@ impl GlobalMemory {
         if let BufferData::Real(vec) = &mut self.buffers[id.0].data {
             vec[elem] = v;
         }
+    }
+
+    /// Number of allocated buffers (journal sharding).
+    pub(crate) fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Mutable access to the buffer table for the write-application
+    /// machinery in [`crate::journal`].
+    pub(crate) fn buffers_mut(&mut self) -> &mut [Buffer] {
+        &mut self.buffers
     }
 }
 

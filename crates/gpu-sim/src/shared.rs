@@ -51,7 +51,62 @@ pub fn warp_bank_cycles(idx: &WarpIdx) -> BankStats {
 /// `width` consecutive `C32` elements starting at its index (width 1, 2 or
 /// 4 model 8/16/32-byte per-lane loads — `LDS.64/LDS.128`-class traffic).
 /// Lanes are grouped into phases of 128 bytes each, exactly like hardware.
+///
+/// Allocation-free: a phase moves at most 128 bytes = 32 words, so the
+/// distinct-word set fits a stack buffer. Runs on every shared-memory warp
+/// access, i.e. the hottest loop of the functional executor. The pre-PR
+/// heap-allocating version survives as [`warp_bank_cycles_wide_alloc`]
+/// for the legacy-executor baseline; a property test pins them equal.
 pub fn warp_bank_cycles_wide(idx: &WarpIdx, width: usize) -> BankStats {
+    assert!(
+        matches!(width, 1 | 2 | 4),
+        "unsupported vector width {width}"
+    );
+    /// Upper bound on distinct words in one 128-byte phase.
+    const PHASE_WORDS: usize = LANES_PER_PHASE * WORDS_PER_ELEM;
+    let lanes_per_phase = LANES_PER_PHASE / width;
+    let mut ideal = 0u64;
+    let mut actual = 0u64;
+    for phase_base in (0..WARP_SIZE).step_by(lanes_per_phase) {
+        // Distinct words addressed within this phase.
+        let mut words = [0usize; PHASE_WORDS];
+        let mut n_words = 0usize;
+        let mut any = false;
+        for lane in phase_base..(phase_base + lanes_per_phase).min(WARP_SIZE) {
+            if let Some(elem) = idx.lanes[lane] {
+                any = true;
+                let w0 = elem * WORDS_PER_ELEM;
+                for w in w0..w0 + width * WORDS_PER_ELEM {
+                    if !words[..n_words].contains(&w) {
+                        words[n_words] = w;
+                        n_words += 1;
+                    }
+                }
+            }
+        }
+        if any {
+            ideal += 1;
+            // Replays = max over banks of distinct words in that bank.
+            let mut per_bank = [0u8; NUM_BANKS];
+            let mut replays = 1u8;
+            for &w in &words[..n_words] {
+                let bank = w % NUM_BANKS;
+                per_bank[bank] += 1;
+                replays = replays.max(per_bank[bank]);
+            }
+            actual += replays as u64;
+        }
+    }
+    BankStats {
+        ideal_cycles: ideal,
+        actual_cycles: actual,
+    }
+}
+
+/// The pre-PR implementation of [`warp_bank_cycles_wide`] (a heap
+/// allocation per bank per phase). Kept verbatim so the legacy executor
+/// baseline preserves pre-PR performance characteristics in A/B benches.
+pub fn warp_bank_cycles_wide_alloc(idx: &WarpIdx, width: usize) -> BankStats {
     assert!(
         matches!(width, 1 | 2 | 4),
         "unsupported vector width {width}"
@@ -102,6 +157,9 @@ pub struct SharedMem {
     /// register-resident value flow inside a radix pass, where the real
     /// kernel never touches shared memory).
     pub metered: bool,
+    /// Route accounting through the pre-PR allocating implementation
+    /// (the legacy-executor baseline).
+    pub legacy_accounting: bool,
 }
 
 impl SharedMem {
@@ -112,7 +170,27 @@ impl SharedMem {
             load_stats: BankStats::default(),
             store_stats: BankStats::default(),
             metered: true,
+            legacy_accounting: false,
         }
+    }
+
+    #[inline]
+    fn cycles(&self, idx: &WarpIdx, width: usize) -> BankStats {
+        if self.legacy_accounting {
+            warp_bank_cycles_wide_alloc(idx, width)
+        } else {
+            warp_bank_cycles_wide(idx, width)
+        }
+    }
+
+    /// Re-arm for the next block of the same launch: zero the data (each
+    /// block sees fresh scratch, as `new` gives) and restore metering, but
+    /// keep the bank statistics accumulating across blocks. Lets the
+    /// executor reuse one allocation per worker instead of reallocating
+    /// per block.
+    pub fn reset_for_block(&mut self) {
+        self.data.fill(C32::ZERO);
+        self.metered = true;
     }
 
     pub fn len(&self) -> usize {
@@ -126,35 +204,37 @@ impl SharedMem {
     /// Warp store: each active lane writes its value at its element index.
     pub fn store_warp(&mut self, idx: &WarpIdx, vals: &[C32; WARP_SIZE]) {
         if self.metered {
-            let s = warp_bank_cycles(idx);
+            let s = self.cycles(idx, 1);
             self.store_stats.ideal_cycles += s.ideal_cycles;
             self.store_stats.actual_cycles += s.actual_cycles;
         }
         for (lane, elem) in idx.iter_active() {
-            assert!(
-                elem < self.data.len(),
-                "shared store out of bounds: elem {elem} >= {}",
-                self.data.len()
-            );
-            self.data[elem] = vals[lane];
+            match self.data.get_mut(elem) {
+                Some(slot) => *slot = vals[lane],
+                None => panic!(
+                    "shared store out of bounds: elem {elem} >= {}",
+                    self.data.len()
+                ),
+            }
         }
     }
 
     /// Warp load: returns each active lane's element (inactive lanes get 0).
     pub fn load_warp(&mut self, idx: &WarpIdx) -> [C32; WARP_SIZE] {
         if self.metered {
-            let s = warp_bank_cycles(idx);
+            let s = self.cycles(idx, 1);
             self.load_stats.ideal_cycles += s.ideal_cycles;
             self.load_stats.actual_cycles += s.actual_cycles;
         }
         let mut out = [C32::ZERO; WARP_SIZE];
         for (lane, elem) in idx.iter_active() {
-            assert!(
-                elem < self.data.len(),
-                "shared load out of bounds: elem {elem} >= {}",
-                self.data.len()
-            );
-            out[lane] = self.data[elem];
+            match self.data.get(elem) {
+                Some(v) => out[lane] = *v,
+                None => panic!(
+                    "shared load out of bounds: elem {elem} >= {}",
+                    self.data.len()
+                ),
+            }
         }
         out
     }
@@ -164,7 +244,7 @@ impl SharedMem {
     /// `v`-th element.
     pub fn load_warp_wide(&mut self, idx: &WarpIdx, width: usize) -> Vec<[C32; WARP_SIZE]> {
         if self.metered {
-            let s = warp_bank_cycles_wide(idx, width);
+            let s = self.cycles(idx, width);
             self.load_stats.ideal_cycles += s.ideal_cycles;
             self.load_stats.actual_cycles += s.actual_cycles;
         }
@@ -187,7 +267,7 @@ impl SharedMem {
     pub fn store_warp_wide(&mut self, idx: &WarpIdx, vals: &[[C32; WARP_SIZE]], width: usize) {
         assert_eq!(vals.len(), width);
         if self.metered {
-            let s = warp_bank_cycles_wide(idx, width);
+            let s = self.cycles(idx, width);
             self.store_stats.ideal_cycles += s.ideal_cycles;
             self.store_stats.actual_cycles += s.actual_cycles;
         }

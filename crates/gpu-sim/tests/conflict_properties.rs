@@ -93,3 +93,61 @@ fn broadcast_has_unit_cost() {
         assert_eq!(s.actual_cycles, s.ideal_cycles);
     }
 }
+
+// ---- fast-vs-legacy accounting equivalence --------------------------------
+//
+// The throughput engine replaced the heap-allocating per-access accounting
+// with allocation-free implementations (stack buffers + a monotonic fast
+// path). The pre-PR versions survive for the legacy-executor baseline;
+// these properties pin the two bitwise equal over arbitrary patterns.
+
+use tfno_gpu_sim::shared::warp_bank_cycles_wide_alloc;
+
+proptest! {
+    /// Stack-buffer bank accounting == the pre-PR allocating version, for
+    /// every vector width and random (partially predicated) patterns.
+    #[test]
+    fn prop_fast_bank_accounting_matches_alloc(
+        addrs in proptest::collection::vec(0usize..4096, 32),
+        mask in proptest::collection::vec(0usize..2, 32),
+        width_sel in 0usize..3,
+    ) {
+        let width = [1usize, 2, 4][width_sel];
+        let idx = WarpIdx::from_fn(|l| (mask[l] == 1).then_some(addrs[l]));
+        prop_assert_eq!(
+            warp_bank_cycles_wide(&idx, width),
+            warp_bank_cycles_wide_alloc(&idx, width)
+        );
+    }
+
+    /// Sector accounting with the monotonic fast path == the pre-PR
+    /// allocating dedupe, over random (non-monotonic included) patterns.
+    #[test]
+    fn prop_fast_sector_accounting_matches_alloc(
+        addrs in proptest::collection::vec(0usize..2048, 32),
+        mask in proptest::collection::vec(0usize..2, 32),
+    ) {
+        let mut dev = GpuDevice::a100();
+        let buf = dev.alloc("b", 2048);
+        let idx = WarpIdx::from_fn(|l| (mask[l] == 1).then_some(addrs[l]));
+        let fast = dev.memory.access_cost(buf, &idx);
+        let slow = dev.memory.access_cost_alloc(buf, &idx);
+        prop_assert_eq!(fast.bytes, slow.bytes);
+        prop_assert_eq!(fast.sectors, slow.sectors);
+    }
+
+    /// Strictly increasing strided patterns (the executor's common case)
+    /// also agree — exercises the monotonic fast path specifically.
+    #[test]
+    fn prop_monotonic_sector_fast_path(
+        base in 0usize..64,
+        stride in 1usize..60,
+    ) {
+        let mut dev = GpuDevice::a100();
+        let buf = dev.alloc("b", 64 + 32 * 60);
+        let idx = WarpIdx::strided(base, stride);
+        let fast = dev.memory.access_cost(buf, &idx);
+        let slow = dev.memory.access_cost_alloc(buf, &idx);
+        prop_assert_eq!(fast.sectors, slow.sectors);
+    }
+}

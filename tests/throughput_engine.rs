@@ -1,0 +1,164 @@
+//! Workspace integration tests of the throughput engine: work-stealing
+//! executor determinism, analytical launch memoization, and the cached
+//! `TurboBest` planner.
+
+use tfno_gpu_sim::{launch_memo_stats, ExecMode, GpuDevice};
+use tfno_num::C32;
+use turbofno::{
+    pick_best_1d, pick_best_2d, run_variant_1d, run_variant_2d, FnoProblem1d, FnoProblem2d,
+    Planner, TurboOptions, Variant,
+};
+
+fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
+    (0..len)
+        .map(|i| {
+            C32::new(
+                ((i as f32) * 0.113 + seed).sin(),
+                ((i as f32) * 0.271 - seed).cos(),
+            )
+        })
+        .collect()
+}
+
+/// Run one functional 1D pipeline on a configured device; returns the
+/// output bits and the total stats.
+fn run_functional_1d(
+    p: &FnoProblem1d,
+    v: Variant,
+    configure: impl FnOnce(&mut GpuDevice),
+) -> (Vec<C32>, tfno_gpu_sim::KernelStats) {
+    let mut dev = GpuDevice::a100();
+    configure(&mut dev);
+    let x = dev.alloc("x", p.input_len());
+    let w = dev.alloc("w", p.weight_len());
+    let y = dev.alloc("y", p.output_len());
+    dev.upload(x, &rand_vec(p.input_len(), 0.3));
+    dev.upload(w, &rand_vec(p.weight_len(), 0.8));
+    let run = run_variant_1d(&mut dev, p, v, x, w, y, &TurboOptions::default(), ExecMode::Functional);
+    (dev.download(y), run.total_stats())
+}
+
+/// The work-stealing executor must be bitwise-deterministic and identical
+/// to the serial path, for every concrete variant.
+#[test]
+fn parallel_executor_is_bitwise_deterministic() {
+    let p = FnoProblem1d::new(2, 12, 16, 128, 32);
+    for v in Variant::CONCRETE {
+        let (serial, stats_serial) = run_functional_1d(&p, v, |d| d.parallel = false);
+        let (par_a, stats_a) = run_functional_1d(&p, v, |d| d.set_workers(Some(4)));
+        let (par_b, stats_b) = run_functional_1d(&p, v, |d| d.set_workers(Some(4)));
+        assert_eq!(serial, par_a, "{v:?}: parallel != serial");
+        assert_eq!(par_a, par_b, "{v:?}: parallel run not deterministic");
+        assert_eq!(stats_serial, stats_a, "{v:?}: stats differ");
+        assert_eq!(stats_a, stats_b, "{v:?}: stats not deterministic");
+    }
+}
+
+/// The retained pre-PR executor must agree with the work-stealing one.
+#[test]
+fn legacy_executor_is_bitwise_equal() {
+    let p = FnoProblem1d::new(2, 9, 16, 128, 32);
+    for v in [Variant::Pytorch, Variant::FftOpt, Variant::FullyFused] {
+        let (new_out, new_stats) = run_functional_1d(&p, v, |_| {});
+        let (old_out, old_stats) = run_functional_1d(&p, v, |d| d.legacy_executor = true);
+        assert_eq!(new_out, old_out, "{v:?}: engines diverge");
+        assert_eq!(new_stats, old_stats, "{v:?}: stats diverge");
+    }
+}
+
+/// Memoized analytical launches must return exactly the stats a fresh
+/// (memo-disabled) analytical run records, across all five variants.
+#[test]
+fn memoized_analytical_equals_fresh_all_variants() {
+    let p = FnoProblem1d::new(3, 16, 24, 128, 32);
+    let opts = TurboOptions::default();
+    for v in Variant::CONCRETE {
+        let run_analytical = |memo: bool| {
+            let mut dev = GpuDevice::a100();
+            dev.analytical_memo = memo;
+            let x = dev.memory.alloc_virtual("x", p.input_len());
+            let w = dev.memory.alloc_virtual("w", p.weight_len());
+            let y = dev.memory.alloc_virtual("y", p.output_len());
+            run_variant_1d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Analytical).total_stats()
+        };
+        let fresh = run_analytical(false);
+        let memo_cold = run_analytical(true); // may or may not hit, depending on test order
+        let memo_warm = run_analytical(true); // guaranteed warm after the previous call
+        assert_eq!(fresh, memo_cold, "{v:?}: memoized != fresh");
+        assert_eq!(fresh, memo_warm, "{v:?}: warm memoized != fresh");
+    }
+}
+
+/// A warm repeat of an identical analytical launch must be served from the
+/// launch memo (hits strictly increase).
+#[test]
+fn repeated_analytical_launch_hits_memo() {
+    let p = FnoProblem2d::new(1, 8, 8, 32, 64, 8, 32);
+    let opts = TurboOptions::default();
+    let launch = || {
+        let mut dev = GpuDevice::a100();
+        let x = dev.memory.alloc_virtual("x", p.input_len());
+        let w = dev.memory.alloc_virtual("w", p.weight_len());
+        let y = dev.memory.alloc_virtual("y", p.output_len());
+        run_variant_2d(&mut dev, &p, Variant::FullyFused, x, w, y, &opts, ExecMode::Analytical)
+            .total_stats()
+    };
+    let first = launch();
+    let before = launch_memo_stats();
+    let second = launch();
+    let after = launch_memo_stats();
+    assert_eq!(first, second);
+    assert!(
+        after.hits >= before.hits + 3,
+        "three-kernel pipeline repeat must hit the memo: {before:?} -> {after:?}"
+    );
+}
+
+/// Acceptance: the second `TurboBest` plan of an identical shape performs
+/// zero simulated launches — a pure cache hit — and returns the same
+/// variant a cold `pick_best` computes.
+#[test]
+fn second_turbo_best_plan_simulates_nothing() {
+    let cfg = tfno_gpu_sim::DeviceConfig::a100();
+    let opts = TurboOptions::default();
+    let p1 = FnoProblem1d::new(2, 16, 16, 256, 64);
+    let p2 = FnoProblem2d::new(1, 8, 8, 32, 64, 8, 32);
+
+    let planner = Planner::new();
+    let first_1d = planner.plan_1d(&cfg, &p1, &opts);
+    let first_2d = planner.plan_2d(&cfg, &p2, &opts);
+    let after_cold = planner.stats();
+    assert_eq!(after_cold.misses, 2);
+    assert!(after_cold.simulated_launches > 0);
+
+    let second_1d = planner.plan_1d(&cfg, &p1, &opts);
+    let second_2d = planner.plan_2d(&cfg, &p2, &opts);
+    let after_warm = planner.stats();
+    assert_eq!((second_1d, second_2d), (first_1d, first_2d));
+    assert_eq!(after_warm.hits, 2);
+    assert_eq!(
+        after_warm.simulated_launches, after_cold.simulated_launches,
+        "cache hits must not simulate any launch"
+    );
+
+    assert_eq!(first_1d, pick_best_1d(&cfg, &p1, &opts));
+    assert_eq!(first_2d, pick_best_2d(&cfg, &p2, &opts));
+}
+
+/// `TurboBest` dispatches share the global planner: an L-layer model plans
+/// once per shape, not L times.
+#[test]
+fn turbo_best_dispatch_uses_global_planner_cache() {
+    let p = FnoProblem1d::new(2, 8, 8, 64, 32);
+    let before = Planner::global().stats();
+    let (out_a, _) = run_functional_1d(&p, Variant::TurboBest, |_| {});
+    let mid = Planner::global().stats();
+    let (out_b, _) = run_functional_1d(&p, Variant::TurboBest, |_| {});
+    let after = Planner::global().stats();
+    assert_eq!(out_a, out_b);
+    assert_eq!(
+        after.simulated_launches, mid.simulated_launches,
+        "second dispatch of the same shape must not replan"
+    );
+    assert!(after.hits > before.hits);
+}
