@@ -11,7 +11,7 @@ use tfno_cgemm::{BatchedCgemmKernel, BatchedOperand, GemmShape, MatView, TileCon
 use tfno_fft::{host, BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils};
 use tfno_gpu_sim::{ExecMode, GpuDevice};
 use tfno_num::{reference, C32};
-use turbofno::{run_variant_1d, FnoProblem1d, TurboOptions, Variant};
+use turbofno::{FnoProblem1d, LayerSpec, Session, Variant};
 
 fn signals(n: usize) -> Vec<C32> {
     (0..n)
@@ -94,22 +94,14 @@ fn bench_sim_cgemm_kernel(c: &mut Criterion) {
 
 fn bench_pipeline(c: &mut Criterion) {
     let p = FnoProblem1d::new(2, 16, 16, 128, 32);
+    let spec = LayerSpec::from_problem_1d(&p).variant(Variant::FullyFused);
     c.bench_function("pipeline_1d_fully_fused_functional", |b| {
         b.iter(|| {
-            let mut dev = GpuDevice::a100();
-            let x = dev.alloc("x", p.input_len());
-            let w = dev.alloc("w", p.weight_len());
-            let y = dev.alloc("y", p.output_len());
-            run_variant_1d(
-                &mut dev,
-                &p,
-                Variant::FullyFused,
-                x,
-                w,
-                y,
-                &TurboOptions::default(),
-                ExecMode::Functional,
-            )
+            let mut sess = Session::a100();
+            let x = sess.alloc("x", p.input_len());
+            let w = sess.alloc("w", p.weight_len());
+            let y = sess.alloc("y", p.output_len());
+            sess.run(black_box(&spec), x, w, y)
         })
     });
 }

@@ -9,9 +9,11 @@
 //!   (`GpuDevice::legacy_executor`), analytical launch memo off, a fresh
 //!   `pick_best` plan for every layer of every forward, and the scalar
 //!   `pointwise_naive` host path;
-//! * **`turbo`** — this PR's throughput engine: work-stealing executor
-//!   with journaled writes, memoized analytical launches, the global
-//!   `Planner` cache, and the blocked parallel pointwise kernel.
+//! * **`turbo`** — the throughput engine behind the `Session` API: one
+//!   long-lived `turbofno::Session` (work-stealing executor, journaled
+//!   writes, memoized analytical launches, warm per-session `Planner`
+//!   cache, pooled operand/scratch buffers) serving every forward, plus
+//!   the blocked parallel pointwise kernel.
 //!
 //! Both engines are verified to produce the same numbers before timing.
 //! Results land in `BENCH_throughput.json` (override the path with
@@ -25,7 +27,7 @@ use tfno_gpu_sim::{set_launch_memo_enabled, GpuDevice};
 use tfno_model::{gelu, pointwise_naive, Fno1d, Fno2d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
-use turbofno::{pick_best_1d, pick_best_2d, TurboOptions, Variant};
+use turbofno::{pick_best_1d, pick_best_2d, Session, TurboOptions, Variant};
 
 struct Case {
     dim: &'static str,
@@ -67,21 +69,27 @@ fn add_gelu_naive(a: &CTensor, b: &CTensor) -> CTensor {
     CTensor::from_vec(data, a.shape())
 }
 
-fn legacy_device() -> GpuDevice {
+/// A throwaway session over the pre-PR executor: fresh per forward, so no
+/// planner or pool state survives between forwards. (Within one forward
+/// the session API still pools operand buffers across layers — a
+/// host-allocation effect the pre-PR engine did not have, which makes
+/// this baseline marginally *faster* than the original; the reported
+/// speedups are therefore conservative.)
+fn legacy_session() -> Session {
     let mut dev = GpuDevice::a100();
     dev.legacy_executor = true;
-    dev
+    Session::new(dev)
 }
 
 /// The pre-PR 1D forward: scalar pointwise everywhere and a cold
 /// `pick_best` plan per layer (what `TurboBest` dispatch used to do).
 fn forward_legacy_1d(model: &Fno1d, opts: &TurboOptions, x: &CTensor) -> CTensor {
-    let mut dev = legacy_device();
+    let mut sess = legacy_session();
     let mut h = pointwise_naive(x, &model.lift);
     for layer in &model.layers {
         let p = layer.spectral.problem(h.shape()[0]);
-        let best = pick_best_1d(&dev.config, &p, opts);
-        let (s, _) = layer.spectral.forward_device(&mut dev, best, opts, &h);
+        let best = pick_best_1d(&sess.device().config, &p, opts);
+        let (s, _) = layer.spectral.forward_device(&mut sess, best, opts, &h);
         let pb = pointwise_naive(&h, &layer.bypass);
         h = add_gelu_naive(&s, &pb);
     }
@@ -89,12 +97,12 @@ fn forward_legacy_1d(model: &Fno1d, opts: &TurboOptions, x: &CTensor) -> CTensor
 }
 
 fn forward_legacy_2d(model: &Fno2d, opts: &TurboOptions, x: &CTensor) -> CTensor {
-    let mut dev = legacy_device();
+    let mut sess = legacy_session();
     let mut h = pointwise_naive(x, &model.lift);
     for layer in &model.layers {
         let p = layer.spectral.problem(h.shape()[0]);
-        let best = pick_best_2d(&dev.config, &p, opts);
-        let (s, _) = layer.spectral.forward_device(&mut dev, best, opts, &h);
+        let best = pick_best_2d(&sess.device().config, &p, opts);
+        let (s, _) = layer.spectral.forward_device(&mut sess, best, opts, &h);
         let pb = pointwise_naive(&h, &layer.bypass);
         h = add_gelu_naive(&s, &pb);
     }
@@ -137,10 +145,11 @@ fn main() {
     let y1_legacy = forward_legacy_1d(&model1, &opts, &x1);
     let y2_legacy = forward_legacy_2d(&model2, &opts, &x2);
     set_launch_memo_enabled(true);
-    let mut dev = GpuDevice::a100();
-    let (y1_turbo, _) = model1.forward_device(&mut dev, Variant::TurboBest, &opts, &x1);
-    let mut dev = GpuDevice::a100();
-    let (y2_turbo, _) = model2.forward_device(&mut dev, Variant::TurboBest, &opts, &x2);
+    // One session serves every turbo forward of the bench: planner cache
+    // and buffer pool warm up once and stay warm across the whole run.
+    let mut turbo_sess = Session::a100();
+    let (y1_turbo, _) = model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    let (y2_turbo, _) = model2.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x2);
     let err1 = rel_l2_error(y1_turbo.data(), y1_legacy.data());
     let err2 = rel_l2_error(y2_turbo.data(), y2_legacy.data());
     assert!(err1 < 1e-6, "1D engines diverge: rel l2 {err1}");
@@ -175,13 +184,16 @@ fn main() {
     set_launch_memo_enabled(true);
 
     run_case("1d", &shape1, "turbo", &mut || {
-        let mut dev = GpuDevice::a100();
-        model1.forward_device(&mut dev, Variant::TurboBest, &opts, &x1);
+        model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
     });
     run_case("2d", &shape2, "turbo", &mut || {
-        let mut dev = GpuDevice::a100();
-        model2.forward_device(&mut dev, Variant::TurboBest, &opts, &x2);
+        model2.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x2);
     });
+    let (pool, plans) = (turbo_sess.pool_stats(), turbo_sess.planner_stats());
+    println!(
+        "session state after the run: pool {} hits / {} misses, planner {} hits / {} misses",
+        pool.hits, pool.misses, plans.hits, plans.misses
+    );
 
     let fps_of = |dim: &str, engine: &str| {
         cases

@@ -8,8 +8,8 @@
 //! paper-vs-measured summary consumed by EXPERIMENTS.md.
 
 use tfno_culib::{FnoProblem1d, FnoProblem2d};
-use tfno_gpu_sim::{DeviceConfig, ExecMode, GpuDevice};
-use turbofno::{run_variant_1d, run_variant_2d, PipelineRun, TurboOptions, Variant};
+use tfno_gpu_sim::{DeviceConfig, GpuDevice};
+use turbofno::{LayerSpec, PipelineRun, Session, TurboOptions, Variant};
 
 pub mod figures;
 pub mod report;
@@ -31,11 +31,8 @@ pub fn measure_1d_opts(
     variant: Variant,
     opts: &TurboOptions,
 ) -> PipelineRun {
-    let mut dev = GpuDevice::new(cfg.clone());
-    let x = dev.memory.alloc_virtual("x", p.input_len());
-    let w = dev.memory.alloc_virtual("w", p.weight_len());
-    let y = dev.memory.alloc_virtual("y", p.output_len());
-    run_variant_1d(&mut dev, p, variant, x, w, y, opts, ExecMode::Analytical)
+    Session::new(GpuDevice::new(cfg.clone()))
+        .measure(&LayerSpec::from_problem_1d(p).variant(variant).options(*opts))
 }
 
 /// Run one 2D variant analytically on virtual buffers.
@@ -49,11 +46,8 @@ pub fn measure_2d_opts(
     variant: Variant,
     opts: &TurboOptions,
 ) -> PipelineRun {
-    let mut dev = GpuDevice::new(cfg.clone());
-    let x = dev.memory.alloc_virtual("x", p.input_len());
-    let w = dev.memory.alloc_virtual("w", p.weight_len());
-    let y = dev.memory.alloc_virtual("y", p.output_len());
-    run_variant_2d(&mut dev, p, variant, x, w, y, opts, ExecMode::Analytical)
+    Session::new(GpuDevice::new(cfg.clone()))
+        .measure(&LayerSpec::from_problem_2d(p).variant(variant).options(*opts))
 }
 
 /// The paper's y-axis: "Performance vs PyTorch (%)", where 100 = parity.

@@ -6,36 +6,44 @@
 //! shared-memory swizzling patterns that take bank utilization from 25%
 //! to 100% (Figs. 7–8).
 //!
+//! * [`session`] — the execution surface: [`Session`] (device + planner +
+//!   buffer pool in one owning handle), [`LayerSpec`] (builder-style layer
+//!   description) and [`Session::run_many`] batched serving;
 //! * [`swizzle`] — the address-level swizzle patterns with pinned
 //!   utilization numbers;
 //! * [`fused`] — the generic fused kernel (variants B/C/D) over 1D and 2D
 //!   layer geometries;
 //! * [`pipeline`] — executors for every evaluated variant (Table 2),
 //!   including the PyTorch baseline via `tfno-culib` and the best-of
-//!   selection the paper calls "TurboFNO".
+//!   selection the paper calls "TurboFNO";
+//! * [`pool`] — the size-class scratch [`BufferPool`] sessions allocate
+//!   pipeline intermediates from;
+//! * [`planner`] — the memoizing `TurboBest` [`Planner`].
 //!
 //! Numerical equivalence of every variant against the naive reference
 //! layer is enforced by the test suite (`tests/` in this crate and the
 //! workspace-level integration tests).
 
 // Lane loops (`for l in 0..WARP_SIZE`) deliberately mirror the CUDA
-// warp-synchronous style, and the pipeline entry points take CUDA-launch
-// style parameter lists (device, problem, buffers, options, mode).
-#![allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+// warp-synchronous style.
+#![allow(clippy::needless_range_loop)]
 
 pub mod fused;
 #[cfg(test)]
 mod fused_tests;
 pub mod pipeline;
 pub mod planner;
+pub mod pool;
+pub mod session;
 pub mod swizzle;
 
 pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
-pub use pipeline::{
-    pick_best_1d, pick_best_2d, run_variant_1d, run_variant_2d, TurboOptions, Variant,
-    TURBO_FFT_L1_HIT,
-};
+#[allow(deprecated)]
+pub use pipeline::{run_variant_1d, run_variant_2d};
+pub use pipeline::{pick_best_1d, pick_best_2d, TurboOptions, Variant, TURBO_FFT_L1_HIT};
 pub use planner::{Planner, PlannerStats, TURBO_CANDIDATES};
+pub use pool::{BufferPool, PoolStats};
+pub use session::{LayerSpec, Request, Session};
 pub use swizzle::{
     epilogue_store_pattern, fft_writeback_pattern, fig8_offset, forward_to_as_pattern,
     pattern_utilization, EpilogueStaging, ForwardLayout,
@@ -78,29 +86,36 @@ mod tests {
             .collect()
     }
 
-    fn run_1d(p: &FnoProblem1d, v: Variant) -> (Vec<C32>, PipelineRun, CTensor) {
-        let mut dev = GpuDevice::a100();
-        let x = dev.alloc("x", p.input_len());
-        let w = dev.alloc("w", p.weight_len());
-        let y = dev.alloc("y", p.output_len());
+    /// A fresh session with uploaded operands for `p`; returns the
+    /// uploaded data so references are computed from exactly those values.
+    #[allow(clippy::type_complexity)]
+    fn session_for_1d(
+        p: &FnoProblem1d,
+    ) -> (
+        Session,
+        LayerSpec,
+        [tfno_gpu_sim::BufferId; 3],
+        (Vec<C32>, Vec<C32>),
+    ) {
+        let mut sess = Session::a100();
+        let spec = LayerSpec::from_problem_1d(p);
+        let x = sess.alloc("x", p.input_len());
+        let w = sess.alloc("w", p.weight_len());
+        let y = sess.alloc("y", p.output_len());
         let xd = rand_like(p.input_len(), 0.5);
         let wd = rand_like(p.weight_len(), 0.8);
-        dev.upload(x, &xd);
-        dev.upload(w, &wd);
-        let run = run_variant_1d(
-            &mut dev,
-            p,
-            v,
-            x,
-            w,
-            y,
-            &TurboOptions::default(),
-            ExecMode::Functional,
-        );
+        sess.upload(x, &xd);
+        sess.upload(w, &wd);
+        (sess, spec, [x, w, y], (xd, wd))
+    }
+
+    fn run_1d(p: &FnoProblem1d, v: Variant) -> (Vec<C32>, PipelineRun, CTensor) {
+        let (mut sess, spec, [x, w, y], (xd, wd)) = session_for_1d(p);
+        let run = sess.run(&spec.variant(v), x, w, y);
         let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.n]);
         let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
         let want = reference_layer_1d(&xt, &wt, p);
-        (dev.download(y), run, want)
+        (sess.download(y), run, want)
     }
 
     #[test]
@@ -155,30 +170,19 @@ mod tests {
     fn ablation_layouts_only_change_bank_stats() {
         let p = FnoProblem1d::new(2, 16, 16, 128, 32);
         let run_with = |layout: ForwardLayout, swz: bool| {
-            let mut dev = GpuDevice::a100();
-            let x = dev.alloc("x", p.input_len());
-            let w = dev.alloc("w", p.weight_len());
-            let y = dev.alloc("y", p.output_len());
-            let xd = rand_like(p.input_len(), 0.5);
-            let wd = rand_like(p.weight_len(), 0.8);
-            dev.upload(x, &xd);
-            dev.upload(w, &wd);
+            let (mut sess, spec, [x, w, y], _) = session_for_1d(&p);
             let opts = TurboOptions {
                 forward_layout: layout,
                 epilogue_swizzle: swz,
                 ..Default::default()
             };
-            let run = run_variant_1d(
-                &mut dev,
-                &p,
-                Variant::FullyFused,
+            let run = sess.run(
+                &spec.variant(Variant::FullyFused).options(opts),
                 x,
                 w,
                 y,
-                &opts,
-                ExecMode::Functional,
             );
-            (dev.download(y), run)
+            (sess.download(y), run)
         };
         let (y_good, run_good) = run_with(ForwardLayout::TurboContiguous, true);
         let (y_bad, run_bad) = run_with(ForwardLayout::VkFftStrided, false);
@@ -201,28 +205,20 @@ mod tests {
     }
 
     fn run_2d(p: &FnoProblem2d, v: Variant) -> (Vec<C32>, PipelineRun, CTensor) {
-        let mut dev = GpuDevice::a100();
-        let x = dev.alloc("x", p.input_len());
-        let w = dev.alloc("w", p.weight_len());
-        let y = dev.alloc("y", p.output_len());
+        let mut sess = Session::a100();
+        let spec = LayerSpec::from_problem_2d(p).variant(v);
+        let x = sess.alloc("x", p.input_len());
+        let w = sess.alloc("w", p.weight_len());
+        let y = sess.alloc("y", p.output_len());
         let xd = rand_like(p.input_len(), 0.2);
         let wd = rand_like(p.weight_len(), 0.6);
-        dev.upload(x, &xd);
-        dev.upload(w, &wd);
-        let run = run_variant_2d(
-            &mut dev,
-            p,
-            v,
-            x,
-            w,
-            y,
-            &TurboOptions::default(),
-            ExecMode::Functional,
-        );
+        sess.upload(x, &xd);
+        sess.upload(w, &wd);
+        let run = sess.run(&spec, x, w, y);
         let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.nx, p.ny]);
         let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
         let want = reference_layer_2d(&xt, &wt, p);
-        (dev.download(y), run, want)
+        (sess.download(y), run, want)
     }
 
     #[test]
@@ -252,15 +248,9 @@ mod tests {
             Variant::FusedGemmIfft,
             Variant::FullyFused,
         ] {
-            let mut dev = GpuDevice::a100();
-            let x = dev.alloc("x", p.input_len());
-            let w = dev.alloc("w", p.weight_len());
-            let y = dev.alloc("y", p.output_len());
-            dev.upload(x, &rand_like(p.input_len(), 0.1));
-            dev.upload(w, &rand_like(p.weight_len(), 0.2));
-            let opts = TurboOptions::default();
-            let f = run_variant_1d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Functional);
-            let a = run_variant_1d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Analytical);
+            let (mut sess, spec, [x, w, y], _) = session_for_1d(&p);
+            let f = sess.run(&spec.variant(v), x, w, y);
+            let a = sess.run(&spec.variant(v).exec(ExecMode::Analytical), x, w, y);
             assert_eq!(f.total_stats(), a.total_stats(), "{v:?}");
         }
     }
@@ -269,15 +259,15 @@ mod tests {
     fn analytical_equals_functional_fused_2d() {
         let p = FnoProblem2d::new(2, 12, 8, 32, 64, 8, 32);
         for v in [Variant::FftOpt, Variant::FullyFused] {
-            let mut dev = GpuDevice::a100();
-            let x = dev.alloc("x", p.input_len());
-            let w = dev.alloc("w", p.weight_len());
-            let y = dev.alloc("y", p.output_len());
-            dev.upload(x, &rand_like(p.input_len(), 0.3));
-            dev.upload(w, &rand_like(p.weight_len(), 0.4));
-            let opts = TurboOptions::default();
-            let f = run_variant_2d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Functional);
-            let a = run_variant_2d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Analytical);
+            let mut sess = Session::new(GpuDevice::a100());
+            let spec = LayerSpec::from_problem_2d(&p).variant(v);
+            let x = sess.alloc("x", p.input_len());
+            let w = sess.alloc("w", p.weight_len());
+            let y = sess.alloc("y", p.output_len());
+            sess.upload(x, &rand_like(p.input_len(), 0.3));
+            sess.upload(w, &rand_like(p.weight_len(), 0.4));
+            let f = sess.run(&spec, x, w, y);
+            let a = sess.run(&spec.exec(ExecMode::Analytical), x, w, y);
             assert_eq!(f.total_stats(), a.total_stats(), "{v:?}");
         }
     }

@@ -14,13 +14,19 @@
 //! stays a standalone kernel in every Turbo variant — only the stage along
 //! the contiguous y axis participates in fusion, exactly as in the paper
 //! (§5.2: the first FFT's overhead is what masks 2D fusion gains).
+//!
+//! The public execution surface is [`crate::Session`]: it owns the device,
+//! the memoizing [`crate::Planner`] and a scratch [`crate::BufferPool`],
+//! and dispatches [`crate::LayerSpec`]s through the executors here. The
+//! pre-Session free functions [`run_variant_1d`]/[`run_variant_2d`]
+//! survive one release as deprecated shims.
 
 use crate::fused::{FusedKernel, Geom1d, Geom2d};
+use crate::pool::BufferPool;
 use crate::swizzle::ForwardLayout;
 use tfno_cgemm::{BatchedOperand, GemmShape, MatView};
 use tfno_culib::{
-    alloc_like, run_pytorch_1d, run_pytorch_2d, CuBlas, FnoProblem1d, FnoProblem2d, PipelineRun,
-    CUFFT_L1_HIT,
+    run_pytorch_1d, run_pytorch_2d, CuBlas, FnoProblem1d, FnoProblem2d, PipelineRun, CUFFT_L1_HIT,
 };
 use tfno_fft::{
     BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
@@ -70,7 +76,7 @@ impl Variant {
 }
 
 /// Tuning/ablation knobs of the Turbo variants.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TurboOptions {
     pub forward_layout: ForwardLayout,
     pub epilogue_swizzle: bool,
@@ -97,6 +103,25 @@ impl Default for TurboOptions {
 /// fusion may even degrade performance".
 fn fused_n_tb(k_out: usize) -> usize {
     (k_out.div_ceil(16) * 16).clamp(16, 128)
+}
+
+/// The three tensor operands of one Fourier-layer execution.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LayerBufs {
+    pub x: BufferId,
+    pub w: BufferId,
+    pub y: BufferId,
+}
+
+/// Everything a pipeline execution needs from its surrounding
+/// [`Session`](crate::Session): the device, the scratch pool, and the
+/// planner consulted for `TurboBest` dispatches. The deprecated free
+/// functions build a transient one (fresh pool, global planner), which
+/// reproduces their historical alloc-per-call behavior exactly.
+pub(crate) struct ExecCtx<'a> {
+    pub dev: &'a mut GpuDevice,
+    pub pool: &'a mut BufferPool,
+    pub planner: &'a crate::Planner,
 }
 
 // ---------------------------------------------------------------- 1D ----
@@ -192,9 +217,230 @@ fn turbo_gemm_1d(
     )
 }
 
-/// Run one variant of the 1D Fourier layer.
+impl ExecCtx<'_> {
+    /// Lease pipeline scratch matching the virtualness of the layer input.
+    fn scratch(&mut self, like: BufferId, len: usize, leases: &mut Vec<BufferId>) -> BufferId {
+        let id = self.pool.acquire_like(self.dev, like, len);
+        leases.push(id);
+        id
+    }
+
+    fn release(&mut self, leases: Vec<BufferId>) {
+        for id in leases {
+            self.pool.release(self.dev, id);
+        }
+    }
+
+    /// Run one variant of the 1D Fourier layer.
+    ///
+    /// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]`, `y`: `[batch, k_out, n]`
+    pub(crate) fn run_1d(
+        &mut self,
+        p: &FnoProblem1d,
+        variant: Variant,
+        b: LayerBufs,
+        opts: &TurboOptions,
+        mode: ExecMode,
+    ) -> PipelineRun {
+        let mut run = PipelineRun::default();
+        let mut leases = Vec::new();
+        let geom = Geom1d {
+            batch: p.batch,
+            k_in: p.k_in,
+            k_out: p.k_out,
+            n: p.n,
+            nf: p.nf,
+        };
+        let LayerBufs { x, w, y } = b;
+        match variant {
+            // The baseline allocates its copy temporaries per call on
+            // purpose: that churn is part of the library stack it emulates
+            // (only Turbo scratch goes through the pool).
+            Variant::Pytorch => return run_pytorch_1d(self.dev, p, x, w, y, mode),
+            Variant::TurboBest => {
+                let best = self.planner.plan_1d(&self.dev.config, p, opts);
+                return self.run_1d(p, best, b, opts, mode);
+            }
+            Variant::FftOpt => {
+                let xf_t = self.scratch(x, p.batch * p.k_in * p.nf, &mut leases);
+                let yf_t = self.scratch(x, p.batch * p.k_out * p.nf, &mut leases);
+                run.push(turbo_fft_1d(self.dev, p, x, xf_t, opts, mode));
+                run.push(turbo_gemm_1d(self.dev, p, xf_t, w, yf_t, mode));
+                run.push(turbo_ifft_1d(self.dev, p, yf_t, y, opts, mode));
+            }
+            Variant::FusedFftGemm => {
+                let yf_t = self.scratch(x, p.batch * p.k_out * p.nf, &mut leases);
+                let k = FusedKernel::new(
+                    "turbo.fused_fft_gemm",
+                    geom,
+                    true,
+                    false,
+                    fused_n_tb(p.k_out),
+                    x,
+                    w,
+                    yf_t,
+                    opts.fft_l1_hit,
+                )
+                .with_forward_layout(opts.forward_layout)
+                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                run.push(self.dev.launch(&k, mode));
+                run.push(turbo_ifft_1d(self.dev, p, yf_t, y, opts, mode));
+            }
+            Variant::FusedGemmIfft => {
+                let xf_t = self.scratch(x, p.batch * p.k_in * p.nf, &mut leases);
+                run.push(turbo_fft_1d(self.dev, p, x, xf_t, opts, mode));
+                let k = FusedKernel::new(
+                    "turbo.fused_gemm_ifft",
+                    geom,
+                    false,
+                    true,
+                    fused_n_tb(p.k_out),
+                    xf_t,
+                    w,
+                    y,
+                    opts.fft_l1_hit,
+                )
+                .with_forward_layout(opts.forward_layout)
+                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                run.push(self.dev.launch(&k, mode));
+            }
+            Variant::FullyFused => {
+                let k = FusedKernel::new(
+                    "turbo.fused_fft_gemm_ifft",
+                    geom,
+                    true,
+                    true,
+                    fused_n_tb(p.k_out),
+                    x,
+                    w,
+                    y,
+                    opts.fft_l1_hit,
+                )
+                .with_forward_layout(opts.forward_layout)
+                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                run.push(self.dev.launch(&k, mode));
+            }
+        }
+        self.release(leases);
+        run
+    }
+
+    /// Run one variant of the 2D Fourier layer.
+    ///
+    /// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
+    ///   `y`: `[batch, k_out, nx, ny]`
+    pub(crate) fn run_2d(
+        &mut self,
+        p: &FnoProblem2d,
+        variant: Variant,
+        b: LayerBufs,
+        opts: &TurboOptions,
+        mode: ExecMode,
+    ) -> PipelineRun {
+        let mut run = PipelineRun::default();
+        let mut leases = Vec::new();
+        let geom = Geom2d {
+            batch: p.batch,
+            k_in: p.k_in,
+            k_out: p.k_out,
+            ny: p.ny,
+            nfy: p.nfy,
+            nfx: p.nfx,
+        };
+        let LayerBufs { x, w, y } = b;
+        if variant == Variant::Pytorch {
+            return run_pytorch_2d(self.dev, p, x, w, y, mode);
+        }
+        if variant == Variant::TurboBest {
+            let best = self.planner.plan_2d(&self.dev.config, p, opts);
+            return self.run_2d(p, best, b, opts, mode);
+        }
+
+        // Stage 1: truncated FFT along the strided x axis.
+        let t1 = self.scratch(x, p.batch * p.k_in * p.nfx * p.ny, &mut leases);
+        // Output of the (possibly fused) y-stage inverse: [b, k_out, nfx, ny].
+        let t3 = self.scratch(x, p.batch * p.k_out * p.nfx * p.ny, &mut leases);
+        run.push(turbo_fft_x(self.dev, p, x, t1, mode));
+
+        match variant {
+            Variant::FftOpt => {
+                let xf_t = self.scratch(x, p.batch * p.k_in * p.nfx * p.nfy, &mut leases);
+                let yf_t = self.scratch(x, p.batch * p.k_out * p.nfx * p.nfy, &mut leases);
+                run.push(turbo_fft_y(self.dev, p, t1, xf_t, opts, mode));
+                run.push(turbo_gemm_2d(self.dev, p, xf_t, w, yf_t, mode));
+                run.push(turbo_ifft_y(self.dev, p, yf_t, t3, opts, mode));
+            }
+            Variant::FusedFftGemm => {
+                let yf_t = self.scratch(x, p.batch * p.k_out * p.nfx * p.nfy, &mut leases);
+                let k = FusedKernel::new(
+                    "turbo.fused2d_fft_gemm",
+                    geom,
+                    true,
+                    false,
+                    fused_n_tb(p.k_out),
+                    t1,
+                    w,
+                    yf_t,
+                    opts.fft_l1_hit,
+                )
+                .with_forward_layout(opts.forward_layout)
+                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                run.push(self.dev.launch(&k, mode));
+                run.push(turbo_ifft_y(self.dev, p, yf_t, t3, opts, mode));
+            }
+            Variant::FusedGemmIfft => {
+                let xf_t = self.scratch(x, p.batch * p.k_in * p.nfx * p.nfy, &mut leases);
+                run.push(turbo_fft_y(self.dev, p, t1, xf_t, opts, mode));
+                let k = FusedKernel::new(
+                    "turbo.fused2d_gemm_ifft",
+                    geom,
+                    false,
+                    true,
+                    fused_n_tb(p.k_out),
+                    xf_t,
+                    w,
+                    t3,
+                    opts.fft_l1_hit,
+                )
+                .with_forward_layout(opts.forward_layout)
+                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                run.push(self.dev.launch(&k, mode));
+            }
+            Variant::FullyFused => {
+                let k = FusedKernel::new(
+                    "turbo.fused2d_fft_gemm_ifft",
+                    geom,
+                    true,
+                    true,
+                    fused_n_tb(p.k_out),
+                    t1,
+                    w,
+                    t3,
+                    opts.fft_l1_hit,
+                )
+                .with_forward_layout(opts.forward_layout)
+                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                run.push(self.dev.launch(&k, mode));
+            }
+            Variant::Pytorch | Variant::TurboBest => unreachable!(),
+        }
+
+        // Final stage: zero-padded inverse FFT along x.
+        run.push(turbo_ifft_x(self.dev, p, t3, y, mode));
+        self.release(leases);
+        run
+    }
+}
+
+/// Run one variant of the 1D Fourier layer on bare buffers.
 ///
 /// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]`, `y`: `[batch, k_out, n]`
+#[deprecated(
+    note = "use `Session::run` with a `LayerSpec` — this shim allocates fresh \
+            scratch per call (no pooling) and will be removed next release"
+)]
+// Frozen pre-Session signature; the allow goes away with the shim.
+#[allow(clippy::too_many_arguments)]
 pub fn run_variant_1d(
     dev: &mut GpuDevice,
     p: &FnoProblem1d,
@@ -205,81 +451,42 @@ pub fn run_variant_1d(
     opts: &TurboOptions,
     mode: ExecMode,
 ) -> PipelineRun {
-    let mut run = PipelineRun::default();
-    let geom = Geom1d {
-        batch: p.batch,
-        k_in: p.k_in,
-        k_out: p.k_out,
-        n: p.n,
-        nf: p.nf,
-    };
-    match variant {
-        Variant::Pytorch => return run_pytorch_1d(dev, p, x, w, y, mode),
-        Variant::TurboBest => {
-            let best = crate::planner::Planner::global().plan_1d(&dev.config, p, opts);
-            return run_variant_1d(dev, p, best, x, w, y, opts, mode);
-        }
-        Variant::FftOpt => {
-            let xf_t = alloc_like(dev, x, "tf.xf_t", p.batch * p.k_in * p.nf);
-            let yf_t = alloc_like(dev, x, "tf.yf_t", p.batch * p.k_out * p.nf);
-            run.push(turbo_fft_1d(dev, p, x, xf_t, opts, mode));
-            run.push(turbo_gemm_1d(dev, p, xf_t, w, yf_t, mode));
-            run.push(turbo_ifft_1d(dev, p, yf_t, y, opts, mode));
-        }
-        Variant::FusedFftGemm => {
-            let yf_t = alloc_like(dev, x, "tf.yf_t", p.batch * p.k_out * p.nf);
-            let k = FusedKernel::new(
-                "turbo.fused_fft_gemm",
-                geom,
-                true,
-                false,
-                fused_n_tb(p.k_out),
-                x,
-                w,
-                yf_t,
-                opts.fft_l1_hit,
-            )
-            .with_forward_layout(opts.forward_layout)
-            .with_epilogue_swizzle(opts.epilogue_swizzle);
-            run.push(dev.launch(&k, mode));
-            run.push(turbo_ifft_1d(dev, p, yf_t, y, opts, mode));
-        }
-        Variant::FusedGemmIfft => {
-            let xf_t = alloc_like(dev, x, "tf.xf_t", p.batch * p.k_in * p.nf);
-            run.push(turbo_fft_1d(dev, p, x, xf_t, opts, mode));
-            let k = FusedKernel::new(
-                "turbo.fused_gemm_ifft",
-                geom,
-                false,
-                true,
-                fused_n_tb(p.k_out),
-                xf_t,
-                w,
-                y,
-                opts.fft_l1_hit,
-            )
-            .with_forward_layout(opts.forward_layout)
-            .with_epilogue_swizzle(opts.epilogue_swizzle);
-            run.push(dev.launch(&k, mode));
-        }
-        Variant::FullyFused => {
-            let k = FusedKernel::new(
-                "turbo.fused_fft_gemm_ifft",
-                geom,
-                true,
-                true,
-                fused_n_tb(p.k_out),
-                x,
-                w,
-                y,
-                opts.fft_l1_hit,
-            )
-            .with_forward_layout(opts.forward_layout)
-            .with_epilogue_swizzle(opts.epilogue_swizzle);
-            run.push(dev.launch(&k, mode));
-        }
+    let mut pool = BufferPool::new();
+    ExecCtx {
+        dev,
+        pool: &mut pool,
+        planner: crate::Planner::global(),
     }
-    run
+    .run_1d(p, variant, LayerBufs { x, w, y }, opts, mode)
+}
+
+/// Run one variant of the 2D Fourier layer on bare buffers.
+///
+/// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
+///   `y`: `[batch, k_out, nx, ny]`
+#[deprecated(
+    note = "use `Session::run` with a `LayerSpec` — this shim allocates fresh \
+            scratch per call (no pooling) and will be removed next release"
+)]
+// Frozen pre-Session signature; the allow goes away with the shim.
+#[allow(clippy::too_many_arguments)]
+pub fn run_variant_2d(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    variant: Variant,
+    x: BufferId,
+    w: BufferId,
+    y: BufferId,
+    opts: &TurboOptions,
+    mode: ExecMode,
+) -> PipelineRun {
+    let mut pool = BufferPool::new();
+    ExecCtx {
+        dev,
+        pool: &mut pool,
+        planner: crate::Planner::global(),
+    }
+    .run_2d(p, variant, LayerBufs { x, w, y }, opts, mode)
 }
 
 /// Evaluate variants A–D analytically on scratch virtual buffers and return
@@ -438,112 +645,6 @@ fn turbo_gemm_2d(
         C32::ZERO,
         mode,
     )
-}
-
-/// Run one variant of the 2D Fourier layer.
-///
-/// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
-///   `y`: `[batch, k_out, nx, ny]`
-#[allow(clippy::too_many_arguments)]
-pub fn run_variant_2d(
-    dev: &mut GpuDevice,
-    p: &FnoProblem2d,
-    variant: Variant,
-    x: BufferId,
-    w: BufferId,
-    y: BufferId,
-    opts: &TurboOptions,
-    mode: ExecMode,
-) -> PipelineRun {
-    let mut run = PipelineRun::default();
-    let geom = Geom2d {
-        batch: p.batch,
-        k_in: p.k_in,
-        k_out: p.k_out,
-        ny: p.ny,
-        nfy: p.nfy,
-        nfx: p.nfx,
-    };
-    if variant == Variant::Pytorch {
-        return run_pytorch_2d(dev, p, x, w, y, mode);
-    }
-    if variant == Variant::TurboBest {
-        let best = crate::planner::Planner::global().plan_2d(&dev.config, p, opts);
-        return run_variant_2d(dev, p, best, x, w, y, opts, mode);
-    }
-
-    // Stage 1: truncated FFT along the strided x axis.
-    let t1 = alloc_like(dev, x, "tf2.t1", p.batch * p.k_in * p.nfx * p.ny);
-    // Output of the (possibly fused) y-stage inverse: [b, k_out, nfx, ny].
-    let t3 = alloc_like(dev, x, "tf2.t3", p.batch * p.k_out * p.nfx * p.ny);
-    run.push(turbo_fft_x(dev, p, x, t1, mode));
-
-    match variant {
-        Variant::FftOpt => {
-            let xf_t = alloc_like(dev, x, "tf2.xf_t", p.batch * p.k_in * p.nfx * p.nfy);
-            let yf_t = alloc_like(dev, x, "tf2.yf_t", p.batch * p.k_out * p.nfx * p.nfy);
-            run.push(turbo_fft_y(dev, p, t1, xf_t, opts, mode));
-            run.push(turbo_gemm_2d(dev, p, xf_t, w, yf_t, mode));
-            run.push(turbo_ifft_y(dev, p, yf_t, t3, opts, mode));
-        }
-        Variant::FusedFftGemm => {
-            let yf_t = alloc_like(dev, x, "tf2.yf_t", p.batch * p.k_out * p.nfx * p.nfy);
-            let k = FusedKernel::new(
-                "turbo.fused2d_fft_gemm",
-                geom,
-                true,
-                false,
-                fused_n_tb(p.k_out),
-                t1,
-                w,
-                yf_t,
-                opts.fft_l1_hit,
-            )
-            .with_forward_layout(opts.forward_layout)
-            .with_epilogue_swizzle(opts.epilogue_swizzle);
-            run.push(dev.launch(&k, mode));
-            run.push(turbo_ifft_y(dev, p, yf_t, t3, opts, mode));
-        }
-        Variant::FusedGemmIfft => {
-            let xf_t = alloc_like(dev, x, "tf2.xf_t", p.batch * p.k_in * p.nfx * p.nfy);
-            run.push(turbo_fft_y(dev, p, t1, xf_t, opts, mode));
-            let k = FusedKernel::new(
-                "turbo.fused2d_gemm_ifft",
-                geom,
-                false,
-                true,
-                fused_n_tb(p.k_out),
-                xf_t,
-                w,
-                t3,
-                opts.fft_l1_hit,
-            )
-            .with_forward_layout(opts.forward_layout)
-            .with_epilogue_swizzle(opts.epilogue_swizzle);
-            run.push(dev.launch(&k, mode));
-        }
-        Variant::FullyFused => {
-            let k = FusedKernel::new(
-                "turbo.fused2d_fft_gemm_ifft",
-                geom,
-                true,
-                true,
-                fused_n_tb(p.k_out),
-                t1,
-                w,
-                t3,
-                opts.fft_l1_hit,
-            )
-            .with_forward_layout(opts.forward_layout)
-            .with_epilogue_swizzle(opts.epilogue_swizzle);
-            run.push(dev.launch(&k, mode));
-        }
-        Variant::Pytorch | Variant::TurboBest => unreachable!(),
-    }
-
-    // Final stage: zero-padded inverse FFT along x.
-    run.push(turbo_ifft_x(dev, p, t3, y, mode));
-    run
 }
 
 /// Analytically pick the fastest Turbo variant for a 2D problem (cold

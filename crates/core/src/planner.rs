@@ -9,12 +9,14 @@
 //! [`Planner`] memoizes the decision: the first plan of a shape evaluates
 //! the four candidates (on parallel host threads when available) and every
 //! later plan of the same key is a hash lookup — zero simulated launches.
-//! `run_variant_{1d,2d}(Variant::TurboBest, ..)` goes through the
-//! process-wide [`Planner::global`], so models, benches and serving loops
-//! share one warm cache; `pick_best_{1d,2d}` remain the uncached cold
-//! evaluation they always were.
+//! Each [`Session`](crate::Session) owns a planner, so its models, benches
+//! and serving loops share one warm cache whose stats are observable per
+//! session; the deprecated `run_variant_{1d,2d}` shims fall back to the
+//! process-wide [`Planner::global`]. `pick_best_{1d,2d}` remain the
+//! uncached cold evaluation they always were.
 
-use crate::pipeline::{run_variant_1d, run_variant_2d, TurboOptions, Variant};
+use crate::pipeline::{ExecCtx, LayerBufs, TurboOptions, Variant};
+use crate::pool::BufferPool;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -169,10 +171,17 @@ pub(crate) fn evaluate_1d(
     select(evaluate_candidates(|v| {
         let mut dev = GpuDevice::new(cfg.clone());
         dev.analytical_memo = false;
+        let mut pool = BufferPool::new();
         let x = dev.memory.alloc_virtual("x", p.input_len());
         let w = dev.memory.alloc_virtual("w", p.weight_len());
         let y = dev.memory.alloc_virtual("y", p.output_len());
-        let run = run_variant_1d(&mut dev, p, v, x, w, y, opts, ExecMode::Analytical);
+        // Candidates are concrete, so the planner field is never consulted.
+        let run = ExecCtx {
+            dev: &mut dev,
+            pool: &mut pool,
+            planner: Planner::global(),
+        }
+        .run_1d(p, v, LayerBufs { x, w, y }, opts, ExecMode::Analytical);
         (run.total_us(), run.kernel_count() as u64)
     }))
 }
@@ -185,10 +194,16 @@ pub(crate) fn evaluate_2d(
     select(evaluate_candidates(|v| {
         let mut dev = GpuDevice::new(cfg.clone());
         dev.analytical_memo = false;
+        let mut pool = BufferPool::new();
         let x = dev.memory.alloc_virtual("x", p.input_len());
         let w = dev.memory.alloc_virtual("w", p.weight_len());
         let y = dev.memory.alloc_virtual("y", p.output_len());
-        let run = run_variant_2d(&mut dev, p, v, x, w, y, opts, ExecMode::Analytical);
+        let run = ExecCtx {
+            dev: &mut dev,
+            pool: &mut pool,
+            planner: Planner::global(),
+        }
+        .run_2d(p, v, LayerBufs { x, w, y }, opts, ExecMode::Analytical);
         (run.total_us(), run.kernel_count() as u64)
     }))
 }

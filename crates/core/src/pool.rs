@@ -1,0 +1,187 @@
+//! Size-class buffer pooling for pipeline scratch.
+//!
+//! Every Turbo pipeline variant needs intermediate device buffers (the
+//! truncated spectra `xf_t`/`yf_t`, the 2D stage tensors `t1`/`t3`).
+//! Pre-Session, each `run_variant_*` call allocated them fresh via
+//! `alloc_like` and never reused them — in a serving loop that is an
+//! allocation per stage per layer per forward, and the simulated global
+//! memory never frees, so the buffer table grew without bound.
+//!
+//! [`BufferPool`] recycles them: buffers are keyed by `(length,
+//! virtualness)` size class, leased for the duration of one pipeline run
+//! and returned afterwards. Reuse is numerically safe because every
+//! pipeline stage fully overwrites its scratch output before any stage
+//! reads it (the kernels write whole pencils/tiles, never read-modify),
+//! so stale contents are unobservable; the tests in `tests/session_api.rs`
+//! pin bitwise equality between pooled and fresh-buffer runs.
+
+use std::collections::HashMap;
+use tfno_gpu_sim::{BufferId, GpuDevice};
+
+/// Counters of one [`BufferPool`] (see [`BufferPool::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leases served by recycling a pooled buffer (no device allocation).
+    pub hits: u64,
+    /// Leases that had to allocate a new device buffer.
+    pub misses: u64,
+    /// Buffers currently leased out.
+    pub leased: u64,
+    /// Buffers currently sitting in the free lists.
+    pub pooled: u64,
+}
+
+/// A size-class pool of simulated device buffers.
+///
+/// Owned by a [`Session`](crate::Session); not tied to a specific
+/// `GpuDevice` — the device is passed per call so the pool can live next
+/// to it in one struct without borrow cycles. Handing buffers from one
+/// device to a pool used with another is a logic error (buffer ids are
+/// per-device indices).
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: HashMap<(usize, bool), Vec<BufferId>>,
+    stats: PoolStats,
+    seq: u64,
+}
+
+impl BufferPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lease/recycle counters so callers can prove reuse (a warm
+    /// same-shape pipeline run must report `hits > 0`).
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Lease a real (value-carrying) buffer of `len` complex elements.
+    pub fn acquire(&mut self, dev: &mut GpuDevice, len: usize) -> BufferId {
+        self.acquire_class(dev, len, false)
+    }
+
+    /// Lease a storage-free virtual buffer (analytical sweeps).
+    pub fn acquire_virtual(&mut self, dev: &mut GpuDevice, len: usize) -> BufferId {
+        self.acquire_class(dev, len, true)
+    }
+
+    /// Lease a buffer matching the virtualness of `reference` — the pooled
+    /// replacement for `tfno_culib::alloc_like`.
+    pub fn acquire_like(
+        &mut self,
+        dev: &mut GpuDevice,
+        reference: BufferId,
+        len: usize,
+    ) -> BufferId {
+        let virt = dev.memory.is_virtual(reference);
+        self.acquire_class(dev, len, virt)
+    }
+
+    fn acquire_class(&mut self, dev: &mut GpuDevice, len: usize, virt: bool) -> BufferId {
+        if let Some(id) = self.free.get_mut(&(len, virt)).and_then(Vec::pop) {
+            self.stats.hits += 1;
+            self.stats.leased += 1;
+            self.stats.pooled -= 1;
+            return id;
+        }
+        self.stats.misses += 1;
+        self.stats.leased += 1;
+        self.seq += 1;
+        let name = format!("pool.{}{}", if virt { "v" } else { "b" }, self.seq);
+        if virt {
+            dev.memory.alloc_virtual(&name, len)
+        } else {
+            dev.alloc(&name, len)
+        }
+    }
+
+    /// Return a leased buffer to its size class. Accepts any buffer of
+    /// `dev` (adopting foreign buffers into the pool is allowed); contents
+    /// are left as-is — the next lessee must fully overwrite before
+    /// reading, which every pipeline stage does.
+    ///
+    /// # Panics
+    /// On a double release: handing the same id back twice would let two
+    /// later leases alias one buffer and silently corrupt results.
+    pub fn release(&mut self, dev: &GpuDevice, id: BufferId) {
+        let key = (dev.memory.len(id), dev.memory.is_virtual(id));
+        let list = self.free.entry(key).or_default();
+        assert!(
+            !list.contains(&id),
+            "double release of pooled buffer {id:?} ({} elements)",
+            key.0
+        );
+        list.push(id);
+        self.stats.leased = self.stats.leased.saturating_sub(1);
+        self.stats.pooled += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_is_by_exact_size_class() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let a = pool.acquire(&mut dev, 64);
+        let b = pool.acquire(&mut dev, 64);
+        assert_ne!(a, b, "two live leases must be distinct buffers");
+        assert_eq!(pool.stats().misses, 2);
+        pool.release(&dev, a);
+        pool.release(&dev, b);
+        // same class -> recycled; different length -> fresh allocation
+        let c = pool.acquire(&mut dev, 64);
+        let d = pool.acquire(&mut dev, 128);
+        assert!(c == a || c == b);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 3);
+        let _ = d;
+    }
+
+    #[test]
+    fn virtual_and_real_classes_never_mix() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let v = pool.acquire_virtual(&mut dev, 32);
+        pool.release(&dev, v);
+        let r = pool.acquire(&mut dev, 32);
+        assert_ne!(v, r, "a virtual buffer must not satisfy a real lease");
+        assert!(dev.memory.is_virtual(v));
+        assert!(!dev.memory.is_virtual(r));
+    }
+
+    #[test]
+    fn acquire_like_follows_reference_virtualness() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let real = dev.alloc("x", 16);
+        let virt = dev.memory.alloc_virtual("xv", 16);
+        let like_real = pool.acquire_like(&mut dev, real, 8);
+        let like_virt = pool.acquire_like(&mut dev, virt, 8);
+        assert!(!dev.memory.is_virtual(like_real));
+        assert!(dev.memory.is_virtual(like_virt));
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_is_rejected() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let a = pool.acquire(&mut dev, 8);
+        pool.release(&dev, a);
+        pool.release(&dev, a);
+    }
+
+    #[test]
+    fn leased_and_pooled_counters_track() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let a = pool.acquire(&mut dev, 8);
+        assert_eq!((pool.stats().leased, pool.stats().pooled), (1, 0));
+        pool.release(&dev, a);
+        assert_eq!((pool.stats().leased, pool.stats().pooled), (0, 1));
+    }
+}

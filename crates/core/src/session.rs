@@ -1,0 +1,606 @@
+//! `Session` — the batch-first execution surface of the crate.
+//!
+//! The paper's thesis is that FNO performance is lost to per-stage round
+//! trips; the pre-Session host API re-created that problem one level up:
+//! every `run_variant_*` call took eight positional arguments, allocated
+//! its scratch fresh, and callers threaded device, planner, options and
+//! mode through every layer by hand. A [`Session`] owns that state once —
+//! the simulated [`GpuDevice`], the memoizing [`Planner`], and a
+//! size-class [`BufferPool`] — and executes [`LayerSpec`]s against it:
+//!
+//! ```
+//! use turbofno::{LayerSpec, Session, Variant};
+//!
+//! let mut sess = Session::a100();
+//! let spec = LayerSpec::d1(2, 16, 16, 128).modes(32).variant(Variant::FftOpt);
+//! let x = sess.alloc("x", spec.input_len());
+//! let w = sess.alloc("w", spec.weight_len());
+//! let y = sess.alloc("y", spec.output_len());
+//! // ... upload x/w ...
+//! let run = sess.run(&spec, x, w, y);
+//! assert_eq!(run.kernel_count(), 3); // FFT, CGEMM, iFFT
+//! // A second same-shape run reuses the pooled scratch spectra:
+//! sess.run(&spec, x, w, y);
+//! assert!(sess.pool_stats().hits > 0);
+//! ```
+//!
+//! [`Session::run_many`] is the serving entry point: requests of the same
+//! shape share one `TurboBest` planning decision, run back-to-back through
+//! the same pooled scratch, and — when they also share a weight buffer —
+//! coalesce into a single stacked-batch launch sequence.
+
+use crate::pipeline::{ExecCtx, LayerBufs, TurboOptions, Variant};
+use crate::planner::{Planner, PlannerStats};
+use crate::pool::{BufferPool, PoolStats};
+use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
+use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice};
+use tfno_num::C32;
+
+/// Dimension-generic description of one Fourier-layer execution.
+///
+/// Built with [`LayerSpec::d1`]/[`LayerSpec::d2`] plus chained setters;
+/// consumed by [`Session::run`]/[`Session::run_many`]. Until `.modes(..)`
+/// is called the spec keeps the full spectrum (`nf = n`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerSpec {
+    shape: SpecShape,
+    /// Pipeline variant to execute (default [`Variant::TurboBest`]).
+    pub variant: Variant,
+    /// Turbo tuning/ablation knobs.
+    pub opts: TurboOptions,
+    /// Execution mode (default [`ExecMode::Functional`]).
+    pub exec: ExecMode,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum SpecShape {
+    D1 {
+        batch: usize,
+        k_in: usize,
+        k_out: usize,
+        n: usize,
+        nf: usize,
+    },
+    D2 {
+        batch: usize,
+        k_in: usize,
+        k_out: usize,
+        nx: usize,
+        ny: usize,
+        nfx: usize,
+        nfy: usize,
+    },
+}
+
+impl LayerSpec {
+    /// A 1D Fourier layer: `x [batch, k_in, n] -> y [batch, k_out, n]`.
+    pub fn d1(batch: usize, k_in: usize, k_out: usize, n: usize) -> Self {
+        LayerSpec {
+            shape: SpecShape::D1 {
+                batch,
+                k_in,
+                k_out,
+                n,
+                nf: n,
+            },
+            variant: Variant::TurboBest,
+            opts: TurboOptions::default(),
+            exec: ExecMode::Functional,
+        }
+    }
+
+    /// A 2D Fourier layer: `x [batch, k_in, nx, ny] -> y [batch, k_out, nx, ny]`.
+    pub fn d2(batch: usize, k_in: usize, k_out: usize, nx: usize, ny: usize) -> Self {
+        LayerSpec {
+            shape: SpecShape::D2 {
+                batch,
+                k_in,
+                k_out,
+                nx,
+                ny,
+                nfx: nx,
+                nfy: ny,
+            },
+            variant: Variant::TurboBest,
+            opts: TurboOptions::default(),
+            exec: ExecMode::Functional,
+        }
+    }
+
+    /// Spec matching an existing 1D problem descriptor.
+    pub fn from_problem_1d(p: &FnoProblem1d) -> Self {
+        LayerSpec::d1(p.batch, p.k_in, p.k_out, p.n).modes(p.nf)
+    }
+
+    /// Spec matching an existing 2D problem descriptor.
+    pub fn from_problem_2d(p: &FnoProblem2d) -> Self {
+        LayerSpec::d2(p.batch, p.k_in, p.k_out, p.nx, p.ny).modes_xy(p.nfx, p.nfy)
+    }
+
+    /// Retain `nf` low-frequency modes per transformed axis (clamped to
+    /// the axis length in 2D).
+    pub fn modes(mut self, nf: usize) -> Self {
+        match &mut self.shape {
+            SpecShape::D1 { nf: m, .. } => *m = nf,
+            SpecShape::D2 {
+                nx, ny, nfx, nfy, ..
+            } => {
+                *nfx = nf.min(*nx);
+                *nfy = nf.min(*ny);
+            }
+        }
+        self
+    }
+
+    /// Retain an `nfx x nfy` corner (2D only).
+    ///
+    /// # Panics
+    /// On a 1D spec — a 1D layer has a single mode count; use
+    /// [`LayerSpec::modes`].
+    pub fn modes_xy(mut self, nfx_new: usize, nfy_new: usize) -> Self {
+        match &mut self.shape {
+            SpecShape::D1 { .. } => panic!("modes_xy on a 1D LayerSpec; use .modes(nf)"),
+            SpecShape::D2 { nfx, nfy, .. } => {
+                *nfx = nfx_new;
+                *nfy = nfy_new;
+            }
+        }
+        self
+    }
+
+    /// Select the pipeline variant (default `TurboBest`).
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Override the Turbo tuning knobs.
+    pub fn options(mut self, opts: TurboOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Select the execution mode (default `Functional`).
+    pub fn exec(mut self, mode: ExecMode) -> Self {
+        self.exec = mode;
+        self
+    }
+
+    /// The 1D problem descriptor, if this spec is 1D. Shape invariants
+    /// (power-of-two length, mode bounds) are asserted here.
+    pub fn problem_1d(&self) -> Option<FnoProblem1d> {
+        match self.shape {
+            SpecShape::D1 {
+                batch,
+                k_in,
+                k_out,
+                n,
+                nf,
+            } => Some(FnoProblem1d::new(batch, k_in, k_out, n, nf)),
+            SpecShape::D2 { .. } => None,
+        }
+    }
+
+    /// The 2D problem descriptor, if this spec is 2D.
+    pub fn problem_2d(&self) -> Option<FnoProblem2d> {
+        match self.shape {
+            SpecShape::D1 { .. } => None,
+            SpecShape::D2 {
+                batch,
+                k_in,
+                k_out,
+                nx,
+                ny,
+                nfx,
+                nfy,
+            } => Some(FnoProblem2d::new(batch, k_in, k_out, nx, ny, nfx, nfy)),
+        }
+    }
+
+    /// Leading (batch) dimension.
+    pub fn batch(&self) -> usize {
+        match self.shape {
+            SpecShape::D1 { batch, .. } | SpecShape::D2 { batch, .. } => batch,
+        }
+    }
+
+    /// Required length of the `x` operand in complex elements.
+    pub fn input_len(&self) -> usize {
+        match self.shape {
+            SpecShape::D1 { batch, k_in, n, .. } => batch * k_in * n,
+            SpecShape::D2 {
+                batch, k_in, nx, ny, ..
+            } => batch * k_in * nx * ny,
+        }
+    }
+
+    /// Required length of the `w` operand (`k_in * k_out`).
+    pub fn weight_len(&self) -> usize {
+        match self.shape {
+            SpecShape::D1 { k_in, k_out, .. } | SpecShape::D2 { k_in, k_out, .. } => k_in * k_out,
+        }
+    }
+
+    /// Required length of the `y` operand.
+    pub fn output_len(&self) -> usize {
+        match self.shape {
+            SpecShape::D1 {
+                batch, k_out, n, ..
+            } => batch * k_out * n,
+            SpecShape::D2 {
+                batch, k_out, nx, ny, ..
+            } => batch * k_out * nx * ny,
+        }
+    }
+
+    /// The same layer with the batch dimension scaled by `factor` — the
+    /// shape of a coalesced stack of `factor` identical requests.
+    fn stacked(&self, factor: usize) -> LayerSpec {
+        let mut s = *self;
+        match &mut s.shape {
+            SpecShape::D1 { batch, .. } | SpecShape::D2 { batch, .. } => *batch *= factor,
+        }
+        s
+    }
+}
+
+/// One queued layer execution for [`Session::run_many`].
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    pub spec: LayerSpec,
+    pub x: BufferId,
+    pub w: BufferId,
+    pub y: BufferId,
+}
+
+/// An owning execution handle: simulated device + memoizing planner +
+/// scratch buffer pool. The single way to execute Fourier layers (and,
+/// via `tfno-model`, whole FNO forwards).
+///
+/// Sessions are cheap to create but meant to be long-lived: planner and
+/// pool state warm up over the first request of each shape and every later
+/// same-shape request skips planning and scratch allocation entirely.
+pub struct Session {
+    dev: GpuDevice,
+    planner: Planner,
+    pool: BufferPool,
+}
+
+impl Session {
+    /// Wrap an existing device (its executor/memo configuration is kept).
+    pub fn new(dev: GpuDevice) -> Self {
+        Session {
+            dev,
+            planner: Planner::new(),
+            pool: BufferPool::new(),
+        }
+    }
+
+    /// A session over the paper's evaluation device.
+    pub fn a100() -> Self {
+        Session::new(GpuDevice::a100())
+    }
+
+    pub fn device(&self) -> &GpuDevice {
+        &self.dev
+    }
+
+    pub fn device_mut(&mut self) -> &mut GpuDevice {
+        &mut self.dev
+    }
+
+    /// The session-local `TurboBest` planner.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Planning counters: a warm same-shape request must add zero
+    /// `simulated_launches`.
+    pub fn planner_stats(&self) -> PlannerStats {
+        self.planner.stats()
+    }
+
+    /// Scratch-pool counters: a warm same-shape request must report
+    /// `hits > 0`.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Allocate a named long-lived buffer (weights, persistent activations).
+    pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
+        self.dev.alloc(name, len)
+    }
+
+    /// Lease a real buffer from the pool (return it with [`Session::release`]).
+    pub fn acquire(&mut self, len: usize) -> BufferId {
+        self.pool.acquire(&mut self.dev, len)
+    }
+
+    /// Lease a storage-free virtual buffer from the pool.
+    pub fn acquire_virtual(&mut self, len: usize) -> BufferId {
+        self.pool.acquire_virtual(&mut self.dev, len)
+    }
+
+    /// Return a leased buffer to the pool.
+    pub fn release(&mut self, id: BufferId) {
+        self.pool.release(&self.dev, id);
+    }
+
+    pub fn upload(&mut self, id: BufferId, data: &[C32]) {
+        self.dev.upload(id, data);
+    }
+
+    pub fn download(&self, id: BufferId) -> Vec<C32> {
+        self.dev.download(id)
+    }
+
+    fn ctx(&mut self) -> ExecCtx<'_> {
+        ExecCtx {
+            dev: &mut self.dev,
+            pool: &mut self.pool,
+            planner: &self.planner,
+        }
+    }
+
+    fn validate(&self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) {
+        let mem = &self.dev.memory;
+        assert_eq!(mem.len(x), spec.input_len(), "x length != spec input_len");
+        assert_eq!(mem.len(w), spec.weight_len(), "w length != spec weight_len");
+        assert_eq!(mem.len(y), spec.output_len(), "y length != spec output_len");
+    }
+
+    /// Execute one layer spec. `TurboBest` consults the session planner
+    /// (memoized per shape); scratch comes from the session pool.
+    pub fn run(&mut self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) -> PipelineRun {
+        self.validate(spec, x, w, y);
+        self.run_unchecked(spec, spec.variant, x, w, y)
+    }
+
+    fn run_unchecked(
+        &mut self,
+        spec: &LayerSpec,
+        variant: Variant,
+        x: BufferId,
+        w: BufferId,
+        y: BufferId,
+    ) -> PipelineRun {
+        let bufs = LayerBufs { x, w, y };
+        let (opts, exec) = (spec.opts, spec.exec);
+        if let Some(p) = spec.problem_1d() {
+            self.ctx().run_1d(&p, variant, bufs, &opts, exec)
+        } else {
+            let p = spec.problem_2d().expect("spec is 1D or 2D");
+            self.ctx().run_2d(&p, variant, bufs, &opts, exec)
+        }
+    }
+
+    /// Resolve `TurboBest` to a concrete variant (one planner consult; a
+    /// cache hit for every shape the session has planned before).
+    fn resolve(&mut self, spec: &LayerSpec) -> Variant {
+        if spec.variant != Variant::TurboBest {
+            return spec.variant;
+        }
+        if let Some(p) = spec.problem_1d() {
+            self.planner.plan_1d(&self.dev.config, &p, &spec.opts)
+        } else {
+            let p = spec.problem_2d().expect("spec is 1D or 2D");
+            self.planner.plan_2d(&self.dev.config, &p, &spec.opts)
+        }
+    }
+
+    /// Execute a queue of layer requests, coalescing where possible.
+    ///
+    /// * Requests with identical specs share one planning decision —
+    ///   `TurboBest` is resolved once per shape group, so N same-shape
+    ///   requests cost exactly one (possibly cached) plan.
+    /// * Within a shape group, requests that also share the same weight
+    ///   buffer (functional mode, value-carrying buffers) are stacked
+    ///   along the batch axis and executed as a single batched launch
+    ///   sequence; per-sample results are bitwise-identical to sequential
+    ///   [`Session::run`] calls because every kernel treats batch entries
+    ///   independently.
+    /// * Everything else runs back-to-back through the shared scratch
+    ///   pool, so N same-shape requests allocate scratch once and reuse
+    ///   it N−1 times.
+    ///
+    /// Returns one [`PipelineRun`] per request, in order. A coalesced
+    /// group reports its launches on the group's first request; the other
+    /// members report empty runs (their outputs are still written).
+    ///
+    /// The queue is a *parallel batch*: no request's output buffer may be
+    /// another request's operand (coalescing and shape grouping reorder
+    /// execution, so chained layers must go through sequential
+    /// [`Session::run`] calls). Violations panic.
+    pub fn run_many(&mut self, reqs: &[Request]) -> Vec<PipelineRun> {
+        for r in reqs {
+            self.validate(&r.spec, r.x, r.w, r.y);
+        }
+        for (i, a) in reqs.iter().enumerate() {
+            for (j, b) in reqs.iter().enumerate() {
+                assert!(
+                    i == j || (a.y != b.x && a.y != b.w && a.y != b.y),
+                    "run_many requests must not alias outputs: request {i}'s y is an \
+                     operand of request {j}; chain dependent layers through \
+                     sequential `run` calls instead"
+                );
+            }
+        }
+        let mut out: Vec<Option<PipelineRun>> = vec![None; reqs.len()];
+        let mut claimed = vec![false; reqs.len()];
+        for i in 0..reqs.len() {
+            if claimed[i] {
+                continue;
+            }
+            // The shape group: every unclaimed request with an identical spec.
+            let group: Vec<usize> = (i..reqs.len())
+                .filter(|&j| !claimed[j] && reqs[j].spec == reqs[i].spec)
+                .collect();
+            for &j in &group {
+                claimed[j] = true;
+            }
+            let concrete = self.resolve(&reqs[i].spec);
+
+            // Sub-groups of stackable requests sharing a weight buffer
+            // coalesce into one launch; everything else (virtual buffers,
+            // analytical mode, lone weights) runs sequentially.
+            let mut rest: Vec<usize> = Vec::new();
+            let mut stacks: Vec<Vec<usize>> = Vec::new();
+            for &j in &group {
+                if !self.stackable(&reqs[j]) {
+                    rest.push(j);
+                    continue;
+                }
+                match stacks.iter_mut().find(|s| reqs[s[0]].w == reqs[j].w) {
+                    Some(s) => s.push(j),
+                    None => stacks.push(vec![j]),
+                }
+            }
+            // Singletons gain nothing from the stacking copies.
+            stacks.retain(|s| {
+                if s.len() < 2 {
+                    rest.extend(s.iter().copied());
+                    false
+                } else {
+                    true
+                }
+            });
+
+            for stack in stacks {
+                let run = self.run_stacked(reqs, &stack, concrete);
+                let mut run = Some(run);
+                for &j in &stack {
+                    out[j] = Some(run.take().unwrap_or_default());
+                }
+            }
+            for j in rest {
+                let r = &reqs[j];
+                out[j] = Some(self.run_unchecked(&r.spec, concrete, r.x, r.w, r.y));
+            }
+        }
+        out.into_iter().map(|r| r.expect("every request ran")).collect()
+    }
+
+    /// Stacking needs value movement through the host staging path, so it
+    /// requires functional execution on real buffers.
+    fn stackable(&self, r: &Request) -> bool {
+        r.spec.exec == ExecMode::Functional
+            && !self.dev.memory.is_virtual(r.x)
+            && !self.dev.memory.is_virtual(r.y)
+            && !self.dev.memory.is_virtual(r.w)
+    }
+
+    /// Execute a same-spec, same-weight stack of requests as one batched
+    /// launch sequence: gather the inputs into a pooled stacked buffer
+    /// (host-side staging — the model's analogue of the serving host
+    /// assembling a batch outside the timed region), run the pipeline once
+    /// at `batch * stack_len`, and scatter the outputs back.
+    fn run_stacked(&mut self, reqs: &[Request], stack: &[usize], concrete: Variant) -> PipelineRun {
+        let spec = reqs[stack[0]].spec.stacked(stack.len());
+        let w = reqs[stack[0]].w;
+        let out_len = reqs[stack[0]].spec.output_len();
+
+        let sx = self.acquire(spec.input_len());
+        let sy = self.acquire(spec.output_len());
+        let mut xs: Vec<C32> = Vec::with_capacity(spec.input_len());
+        for &j in stack {
+            xs.extend(self.dev.download(reqs[j].x));
+        }
+        debug_assert_eq!(xs.len(), spec.input_len());
+        self.dev.upload(sx, &xs);
+
+        let run = self.run_unchecked(&spec, concrete, sx, w, sy);
+
+        let ys = self.dev.download(sy);
+        for (pos, &j) in stack.iter().enumerate() {
+            self.dev.upload(reqs[j].y, &ys[pos * out_len..(pos + 1) * out_len]);
+        }
+        self.release(sx);
+        self.release(sy);
+        run
+    }
+
+    /// Model one spec analytically on pooled virtual buffers (no values
+    /// move; addresses and event counts only). The spec's `exec` mode is
+    /// ignored — measurement is always [`ExecMode::Analytical`].
+    pub fn measure(&mut self, spec: &LayerSpec) -> PipelineRun {
+        let x = self.acquire_virtual(spec.input_len());
+        let w = self.acquire_virtual(spec.weight_len());
+        let y = self.acquire_virtual(spec.output_len());
+        let spec = spec.exec(ExecMode::Analytical);
+        let run = self.run_unchecked(&spec, spec.variant, x, w, y);
+        self.release(x);
+        self.release(w);
+        self.release(y);
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_lengths() {
+        let s = LayerSpec::d1(2, 8, 16, 128).modes(32);
+        assert_eq!(s.input_len(), 2 * 8 * 128);
+        assert_eq!(s.weight_len(), 8 * 16);
+        assert_eq!(s.output_len(), 2 * 16 * 128);
+        assert_eq!(s.problem_1d().unwrap(), FnoProblem1d::new(2, 8, 16, 128, 32));
+        assert!(s.problem_2d().is_none());
+
+        let s2 = LayerSpec::d2(1, 4, 4, 32, 64).modes(32);
+        let p2 = s2.problem_2d().unwrap();
+        assert_eq!((p2.nfx, p2.nfy), (32, 32), "modes clamp to the axis");
+        assert_eq!(
+            LayerSpec::d2(1, 4, 4, 32, 64).modes_xy(8, 32).problem_2d().unwrap(),
+            FnoProblem2d::new(1, 4, 4, 32, 64, 8, 32)
+        );
+    }
+
+    #[test]
+    fn spec_defaults_are_turbo_best_functional_full_spectrum() {
+        let s = LayerSpec::d1(1, 4, 4, 64);
+        assert_eq!(s.variant, Variant::TurboBest);
+        assert_eq!(s.exec, ExecMode::Functional);
+        assert_eq!(s.problem_1d().unwrap().nf, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "modes_xy on a 1D")]
+    fn modes_xy_rejects_1d() {
+        let _ = LayerSpec::d1(1, 1, 1, 64).modes_xy(4, 4);
+    }
+
+    #[test]
+    fn stacked_scales_only_batch() {
+        let s = LayerSpec::d1(3, 8, 8, 128).modes(32).stacked(4);
+        assert_eq!(s.problem_1d().unwrap(), FnoProblem1d::new(12, 8, 8, 128, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "input_len")]
+    fn run_validates_buffer_lengths() {
+        let mut sess = Session::a100();
+        let spec = LayerSpec::d1(1, 2, 2, 64).variant(Variant::FftOpt);
+        let x = sess.alloc("x", 7); // wrong
+        let w = sess.alloc("w", spec.weight_len());
+        let y = sess.alloc("y", spec.output_len());
+        sess.run(&spec, x, w, y);
+    }
+
+    #[test]
+    fn measure_is_analytical_and_pools_its_buffers() {
+        let mut sess = Session::a100();
+        let spec = LayerSpec::d1(2, 8, 8, 128).modes(32).variant(Variant::FftOpt);
+        let a = sess.measure(&spec);
+        assert_eq!(a.kernel_count(), 3);
+        assert!(a.total_us() > 0.0);
+        let cold = sess.pool_stats();
+        let b = sess.measure(&spec);
+        assert_eq!(a.total_stats(), b.total_stats());
+        assert!(
+            sess.pool_stats().hits > cold.hits,
+            "second measure must recycle the virtual operand buffers"
+        );
+    }
+}

@@ -1,8 +1,9 @@
 //! Complete FNO architectures: lifting → Fourier layers (spectral conv +
 //! pointwise bypass + GELU) → projection, in 1D and 2D.
 //!
-//! The device path runs the spectral convolutions on the simulated GPU
-//! through any pipeline [`Variant`] and aggregates the
+//! The device path runs the spectral convolutions through a
+//! [`Session`] (shared planner + pooled buffers across layers and
+//! forwards) with any pipeline [`Variant`] and aggregates the
 //! per-layer timing records; the pointwise/projection GEMMs execute on the
 //! host (the paper's optimization target is the Fourier layer — everything
 //! else is identical between baselines and TurboFNO).
@@ -10,9 +11,8 @@
 use crate::spectral::{SpectralConv1d, SpectralConv2d};
 use rand::Rng;
 use tfno_culib::PipelineRun;
-use tfno_gpu_sim::GpuDevice;
 use tfno_num::{C32, CTensor};
-use turbofno::{TurboOptions, Variant};
+use turbofno::{Session, TurboOptions, Variant};
 
 /// GELU (tanh approximation), applied to both complex lanes.
 pub fn gelu(v: f32) -> f32 {
@@ -240,12 +240,12 @@ impl FnoLayer1d {
 
     pub fn forward_device(
         &self,
-        dev: &mut GpuDevice,
+        sess: &mut Session,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
-        let (s, run) = self.spectral.forward_device(dev, variant, opts, x);
+        let (s, run) = self.spectral.forward_device(sess, variant, opts, x);
         let p = pointwise(x, &self.bypass);
         (add_gelu(&s, &p), run)
     }
@@ -298,7 +298,7 @@ impl Fno1d {
     /// timing records of all layers.
     pub fn forward_device(
         &self,
-        dev: &mut GpuDevice,
+        sess: &mut Session,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -306,7 +306,7 @@ impl Fno1d {
         let mut h = pointwise(x, &self.lift);
         let mut total = PipelineRun::default();
         for layer in &self.layers {
-            let (next, run) = layer.forward_device(dev, variant, opts, &h);
+            let (next, run) = layer.forward_device(sess, variant, opts, &h);
             h = next;
             for l in run.launches {
                 total.push(l);
@@ -353,12 +353,12 @@ impl FnoLayer2d {
 
     pub fn forward_device(
         &self,
-        dev: &mut GpuDevice,
+        sess: &mut Session,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
-        let (s, run) = self.spectral.forward_device(dev, variant, opts, x);
+        let (s, run) = self.spectral.forward_device(sess, variant, opts, x);
         let p = pointwise(x, &self.bypass);
         (add_gelu(&s, &p), run)
     }
@@ -413,7 +413,7 @@ impl Fno2d {
 
     pub fn forward_device(
         &self,
-        dev: &mut GpuDevice,
+        sess: &mut Session,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -421,7 +421,7 @@ impl Fno2d {
         let mut h = pointwise(x, &self.lift);
         let mut total = PipelineRun::default();
         for layer in &self.layers {
-            let (next, run) = layer.forward_device(dev, variant, opts, &h);
+            let (next, run) = layer.forward_device(sess, variant, opts, &h);
             h = next;
             for l in run.launches {
                 total.push(l);
@@ -499,9 +499,9 @@ mod tests {
         let model = Fno1d::random(&mut rng, 2, 8, 1, 2, 64, 16);
         let x = CTensor::random(&mut rng, &[1, 2, 64]);
         let want = model.forward_host(&x);
-        let mut dev = GpuDevice::a100();
+        let mut sess = Session::a100();
         let (got, run) = model.forward_device(
-            &mut dev,
+            &mut sess,
             Variant::FftOpt,
             &TurboOptions::default(),
             &x,
@@ -518,8 +518,8 @@ mod tests {
         let x = CTensor::random(&mut rng, &[2, 1, 128]);
         let mut outputs = Vec::new();
         for v in [Variant::Pytorch, Variant::FullyFused] {
-            let mut dev = GpuDevice::a100();
-            let (got, _) = model.forward_device(&mut dev, v, &TurboOptions::default(), &x);
+            let mut sess = Session::a100();
+            let (got, _) = model.forward_device(&mut sess, v, &TurboOptions::default(), &x);
             outputs.push(got);
         }
         let err = rel_l2_error(outputs[0].data(), outputs[1].data());
@@ -532,9 +532,9 @@ mod tests {
         let model = Fno2d::random(&mut rng, 1, 8, 1, 1, 32, 32, 8, 32);
         let x = CTensor::random(&mut rng, &[1, 1, 32, 32]);
         let want = model.forward_host(&x);
-        let mut dev = GpuDevice::a100();
+        let mut sess = Session::a100();
         let (got, _) = model.forward_device(
-            &mut dev,
+            &mut sess,
             Variant::FullyFused,
             &TurboOptions::default(),
             &x,

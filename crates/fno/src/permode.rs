@@ -13,8 +13,9 @@ use rand::Rng;
 use tfno_cgemm::{BatchedOperand, GemmShape, MatView};
 use tfno_culib::{CuBlas, PipelineRun};
 use tfno_fft::host;
-use tfno_gpu_sim::{ExecMode, GpuDevice};
+use tfno_gpu_sim::ExecMode;
 use tfno_num::{C32, CTensor};
+use turbofno::Session;
 
 /// 1D spectral convolution with per-mode weights
 /// (`weight[f, ki, ko]`, `f < nf`).
@@ -112,19 +113,20 @@ impl PerModeSpectralConv1d {
     /// inverse FFT (a 3-kernel pipeline; per-mode weights cannot enter the
     /// single-CGEMM fused path, which is exactly why the paper's
     /// formulation shares them).
-    pub fn forward_device(&self, dev: &mut GpuDevice, x: &CTensor) -> (CTensor, PipelineRun) {
+    pub fn forward_device(&self, sess: &mut Session, x: &CTensor) -> (CTensor, PipelineRun) {
         use tfno_fft::{BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils};
         let batch = x.shape()[0];
         let (k_in, k_out, n, nf) = (self.k_in, self.k_out, self.n, self.nf);
         let mut run = PipelineRun::default();
 
-        let xb = dev.alloc("pm.x", batch * k_in * n);
-        let wb = dev.alloc("pm.w", nf * k_in * k_out);
-        let xf = dev.alloc("pm.xf", batch * k_in * nf);
-        let yf = dev.alloc("pm.yf", batch * k_out * nf);
-        let yb = dev.alloc("pm.y", batch * k_out * n);
-        dev.upload(xb, x.data());
-        dev.upload(wb, self.weight.data());
+        let xb = sess.acquire(batch * k_in * n);
+        let wb = sess.acquire(nf * k_in * k_out);
+        let xf = sess.acquire(batch * k_in * nf);
+        let yf = sess.acquire(batch * k_out * nf);
+        let yb = sess.acquire(batch * k_out * n);
+        sess.upload(xb, x.data());
+        sess.upload(wb, self.weight.data());
+        let dev = sess.device_mut();
 
         let cfg = FftKernelConfig::new(FftBlockConfig::for_len(n))
             .with_l1_hit_rate(turbofno::TURBO_FFT_L1_HIT);
@@ -196,7 +198,10 @@ impl PerModeSpectralConv1d {
         );
         run.push(dev.launch(&ifft, ExecMode::Functional));
 
-        let y = CTensor::from_vec(dev.download(yb), &[batch, k_out, n]);
+        let y = CTensor::from_vec(sess.download(yb), &[batch, k_out, n]);
+        for id in [xb, wb, xf, yf, yb] {
+            sess.release(id);
+        }
         (y, run)
     }
 }
@@ -235,8 +240,8 @@ mod tests {
         let pm = PerModeSpectralConv1d::random(&mut rng, 8, 8, 64, 16);
         let x = CTensor::random(&mut rng, &[4, 8, 64]);
         let want = pm.forward_host(&x);
-        let mut dev = GpuDevice::a100();
-        let (got, run) = pm.forward_device(&mut dev, &x);
+        let mut sess = Session::a100();
+        let (got, run) = pm.forward_device(&mut sess, &x);
         let err = rel_l2_error(got.data(), want.data());
         assert!(err < 1e-4, "err {err}");
         assert_eq!(run.kernel_count(), 3);

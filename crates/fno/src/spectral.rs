@@ -6,15 +6,14 @@
 //!
 //! * `forward_host` — O(N log N) host Stockham FFTs, used for training-free
 //!   validation and as the reference for the device path;
-//! * `forward_device` — any pipeline [`Variant`] on the simulated GPU,
-//!   returning both the output and the modeled timing record.
+//! * `forward_device` — any pipeline [`Variant`] through a
+//!   [`Session`], returning both the output and the modeled timing record.
 
 use rand::Rng;
 use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
 use tfno_fft::host;
-use tfno_gpu_sim::{ExecMode, GpuDevice};
 use tfno_num::{C32, CTensor};
-use turbofno::{run_variant_1d, run_variant_2d, TurboOptions, Variant};
+use turbofno::{LayerSpec, Session, TurboOptions, Variant};
 
 /// 1D spectral convolution: `[batch, k_in, n] -> [batch, k_out, n]`.
 #[derive(Clone, Debug)]
@@ -106,9 +105,11 @@ impl SpectralConv1d {
     }
 
     /// Device forward through a pipeline variant; returns output + timings.
+    /// Operand buffers are leased from the session pool, so repeated
+    /// same-shape forwards allocate nothing.
     pub fn forward_device(
         &self,
-        dev: &mut GpuDevice,
+        sess: &mut Session,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -118,13 +119,17 @@ impl SpectralConv1d {
             _ => panic!("expected rank-3 input"),
         };
         let p = self.problem(batch);
-        let xb = dev.alloc("spec1d.x", p.input_len());
-        let wb = dev.alloc("spec1d.w", p.weight_len());
-        let yb = dev.alloc("spec1d.y", p.output_len());
-        dev.upload(xb, x.data());
-        dev.upload(wb, self.weight.data());
-        let run = run_variant_1d(dev, &p, variant, xb, wb, yb, opts, ExecMode::Functional);
-        let y = CTensor::from_vec(dev.download(yb), &[batch, self.k_out, self.n]);
+        let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);
+        let xb = sess.acquire(p.input_len());
+        let wb = sess.acquire(p.weight_len());
+        let yb = sess.acquire(p.output_len());
+        sess.upload(xb, x.data());
+        sess.upload(wb, self.weight.data());
+        let run = sess.run(&spec, xb, wb, yb);
+        let y = CTensor::from_vec(sess.download(yb), &[batch, self.k_out, self.n]);
+        sess.release(xb);
+        sess.release(wb);
+        sess.release(yb);
         (y, run)
     }
 }
@@ -277,23 +282,28 @@ impl SpectralConv2d {
         y
     }
 
-    /// Device forward through a pipeline variant.
+    /// Device forward through a pipeline variant (pooled operand buffers;
+    /// see [`SpectralConv1d::forward_device`]).
     pub fn forward_device(
         &self,
-        dev: &mut GpuDevice,
+        sess: &mut Session,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
         let batch = x.shape()[0];
         let p = self.problem(batch);
-        let xb = dev.alloc("spec2d.x", p.input_len());
-        let wb = dev.alloc("spec2d.w", p.weight_len());
-        let yb = dev.alloc("spec2d.y", p.output_len());
-        dev.upload(xb, x.data());
-        dev.upload(wb, self.weight.data());
-        let run = run_variant_2d(dev, &p, variant, xb, wb, yb, opts, ExecMode::Functional);
-        let y = CTensor::from_vec(dev.download(yb), &[batch, self.k_out, self.nx, self.ny]);
+        let spec = LayerSpec::from_problem_2d(&p).variant(variant).options(*opts);
+        let xb = sess.acquire(p.input_len());
+        let wb = sess.acquire(p.weight_len());
+        let yb = sess.acquire(p.output_len());
+        sess.upload(xb, x.data());
+        sess.upload(wb, self.weight.data());
+        let run = sess.run(&spec, xb, wb, yb);
+        let y = CTensor::from_vec(sess.download(yb), &[batch, self.k_out, self.nx, self.ny]);
+        sess.release(xb);
+        sess.release(wb);
+        sess.release(yb);
         (y, run)
     }
 }
@@ -323,14 +333,15 @@ mod tests {
         let layer = SpectralConv1d::random(&mut rng, 8, 8, 128, 32);
         let x = CTensor::random(&mut rng, &[2, 8, 128]);
         let want = layer.forward_host(&x);
+        let mut sess = Session::a100();
         for variant in [Variant::Pytorch, Variant::FullyFused] {
-            let mut dev = GpuDevice::a100();
-            let (got, run) =
-                layer.forward_device(&mut dev, variant, &TurboOptions::default(), &x);
+            let (got, run) = layer.forward_device(&mut sess, variant, &TurboOptions::default(), &x);
             let err = rel_l2_error(got.data(), want.data());
             assert!(err < 1e-4, "{variant:?} err {err}");
             assert!(run.total_us() > 0.0);
         }
+        // pooled operands: the second variant's forward recycles the first's
+        assert!(sess.pool_stats().hits >= 3);
     }
 
     #[test]
@@ -350,9 +361,9 @@ mod tests {
         let layer = SpectralConv2d::random(&mut rng, 8, 8, 32, 64, 8, 32);
         let x = CTensor::random(&mut rng, &[1, 8, 32, 64]);
         let want = layer.forward_host(&x);
-        let mut dev = GpuDevice::a100();
+        let mut sess = Session::a100();
         let (got, _) = layer.forward_device(
-            &mut dev,
+            &mut sess,
             Variant::FullyFused,
             &TurboOptions::default(),
             &x,

@@ -13,11 +13,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tfno_gpu_sim::GpuDevice;
 use tfno_model::{pde, SpectralConv2d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
-use turbofno::{TurboOptions, Variant};
+use turbofno::{Session, TurboOptions, Variant};
 
 fn main() {
     let (nx, ny) = (64usize, 64usize);
@@ -26,6 +25,10 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(11);
     let layer = SpectralConv2d::random(&mut rng, width, width, nx, ny, nfx, nfy);
+
+    // One session for the whole sweep: every variant of every batch size
+    // shares the planner cache and the buffer pool.
+    let mut sess = Session::a100();
 
     println!("Darcy-style spectral layer: width {width}, grid {nx}x{ny}, modes {nfx}x{nfy}\n");
     println!(
@@ -55,8 +58,7 @@ fn main() {
             Variant::FusedGemmIfft,
             Variant::FullyFused,
         ] {
-            let mut dev = GpuDevice::a100();
-            let (y, run) = layer.forward_device(&mut dev, variant, &TurboOptions::default(), &x);
+            let (y, run) = layer.forward_device(&mut sess, variant, &TurboOptions::default(), &x);
             match &reference {
                 None => reference = Some(y),
                 Some(r) => {
@@ -76,5 +78,10 @@ fn main() {
         }
         println!();
     }
-    println!("all variants produced identical fields (checked per batch size)");
+    let pool = sess.pool_stats();
+    println!(
+        "all variants produced identical fields (checked per batch size); \
+         pooled buffers recycled {} times across the sweep",
+        pool.hits
+    );
 }

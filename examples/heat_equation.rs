@@ -14,8 +14,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tfno_gpu_sim::GpuDevice;
 use tfno_model::{pde, PerModeSpectralConv1d};
+use turbofno::Session;
 use tfno_num::error::rel_l2_error;
 use tfno_num::C32;
 
@@ -44,8 +44,8 @@ fn main() {
     let x = pde::batch_1d(&fields);
 
     // Device forward (Turbo truncated FFT -> mode-batched CGEMM -> padded iFFT).
-    let mut dev = GpuDevice::a100();
-    let (y, run) = layer.forward_device(&mut dev, &x);
+    let mut sess = Session::a100();
+    let (y, run) = layer.forward_device(&mut sess, &x);
     println!(
         "device pipeline: {} kernels, modeled {:.1} us",
         run.kernel_count(),

@@ -13,11 +13,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tfno_gpu_sim::GpuDevice;
 use tfno_model::{pde, Fno2d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
-use turbofno::{TurboOptions, Variant};
+use turbofno::{Session, TurboOptions, Variant};
 
 fn main() {
     let (nx, ny) = (64usize, 64usize);
@@ -36,15 +35,12 @@ fn main() {
     }
     let x = CTensor::from_vec(data, &[batch, 1, nx, ny]);
 
-    // Baseline path.
-    let mut dev_pt = GpuDevice::a100();
+    // Both paths share one session (device + planner + buffer pool).
+    let mut sess = Session::a100();
     let (y_pt, run_pt) =
-        model.forward_device(&mut dev_pt, Variant::Pytorch, &TurboOptions::default(), &x);
-
-    // Fully fused path.
-    let mut dev_tf = GpuDevice::a100();
+        model.forward_device(&mut sess, Variant::Pytorch, &TurboOptions::default(), &x);
     let (y_tf, run_tf) =
-        model.forward_device(&mut dev_tf, Variant::FullyFused, &TurboOptions::default(), &x);
+        model.forward_device(&mut sess, Variant::FullyFused, &TurboOptions::default(), &x);
 
     let err = rel_l2_error(y_tf.data(), y_pt.data());
     assert!(err < 1e-3, "paths diverged: {err}");

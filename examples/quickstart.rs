@@ -1,21 +1,26 @@
-//! Quickstart: run one FNO Fourier layer through every pipeline variant.
+//! Quickstart: the `Session` API — one FNO Fourier layer through every
+//! pipeline variant, then a batched multi-request queue.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds a 1D spectral convolution (the paper's Fig. 1 pipeline), executes
-//! it on the simulated A100 via the PyTorch-style baseline and every
-//! TurboFNO fusion level, verifies all outputs agree with the host
-//! reference, and prints the modeled timing comparison.
+//! A [`turbofno::Session`] owns the simulated A100, the memoized
+//! `TurboBest` planner, and a scratch buffer pool; layers are described by
+//! a [`turbofno::LayerSpec`] builder and executed with `session.run` (or
+//! queued through `session.run_many`). This example builds a 1D spectral
+//! convolution (the paper's Fig. 1 pipeline), executes it at every
+//! TurboFNO fusion level, verifies all outputs against the host reference,
+//! and prints the modeled timing comparison plus the session's cache
+//! counters — the second run of every shape plans nothing and allocates
+//! nothing.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tfno_gpu_sim::GpuDevice;
 use tfno_model::SpectralConv1d;
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
-use turbofno::{TurboOptions, Variant};
+use turbofno::{LayerSpec, Request, Session, Variant};
 
 fn main() {
     // One Fourier layer: 64 hidden channels, 128-point signals, keep 32 modes.
@@ -27,6 +32,9 @@ fn main() {
     println!("FNO Fourier layer: [batch={batch}, k={width}, n={n}], {nf} retained modes");
     println!("reference: host Stockham FFT + shared-weight CGEMM + padded iFFT\n");
     let reference = layer.forward_host(&x);
+
+    // One session serves everything below: device + planner + buffer pool.
+    let mut sess = Session::a100();
 
     println!(
         "{:<24} {:>9} {:>9} {:>12} {:>12}",
@@ -41,8 +49,7 @@ fn main() {
         Variant::FullyFused,
         Variant::TurboBest,
     ] {
-        let mut dev = GpuDevice::a100();
-        let (y, run) = layer.forward_device(&mut dev, variant, &TurboOptions::default(), &x);
+        let (y, run) = layer.forward_device(&mut sess, variant, &Default::default(), &x);
         let err = rel_l2_error(y.data(), reference.data());
         assert!(err < 1e-4, "{variant:?} diverged: {err}");
         let t = run.total_us();
@@ -57,7 +64,48 @@ fn main() {
         );
     }
 
+    // The same layer through the bare-buffer API: describe it with a
+    // LayerSpec, hand the session three device buffers.
+    let spec = LayerSpec::d1(batch, width, width, n)
+        .modes(nf)
+        .variant(Variant::TurboBest);
+    let xb = sess.alloc("demo.x", spec.input_len());
+    let wb = sess.alloc("demo.w", spec.weight_len());
+    let yb = sess.alloc("demo.y", spec.output_len());
+    sess.upload(xb, x.data());
+    sess.upload(wb, layer.weight.data());
+    sess.run(&spec, xb, wb, yb);
+    let err = rel_l2_error(&sess.download(yb), reference.data());
+    assert!(err < 1e-4, "LayerSpec path diverged: {err}");
+
+    // Batched serving: queue four same-shape requests sharing the weight
+    // buffer — run_many plans once and coalesces them into one stacked
+    // launch sequence.
+    let reqs: Vec<Request> = (0..4)
+        .map(|_| Request {
+            spec,
+            x: xb,
+            w: wb,
+            y: sess.acquire(spec.output_len()),
+        })
+        .collect();
+    let runs = sess.run_many(&reqs);
+    let coalesced: usize = runs.iter().map(|r| r.kernel_count()).sum();
+    for r in &reqs {
+        let err = rel_l2_error(&sess.download(r.y), reference.data());
+        assert!(err < 1e-4, "run_many diverged: {err}");
+    }
+    println!("\nrun_many: 4 queued same-shape requests -> {coalesced} kernel launches total");
+
+    let (pool, plans) = (sess.pool_stats(), sess.planner_stats());
+    println!(
+        "session caches: planner {} hits / {} misses, pool {} hits / {} misses",
+        plans.hits, plans.misses, pool.hits, pool.misses
+    );
+    assert!(pool.hits > 0, "warm shapes must recycle pooled buffers");
+
     println!("\nAll variants agree with the reference. The fused pipeline needs a");
     println!("single kernel launch where the baseline needs five (FFT, truncate-");
-    println!("copy, CGEMM, pad-copy, iFFT).");
+    println!("copy, CGEMM, pad-copy, iFFT); a warm Session re-plans and");
+    println!("re-allocates nothing.");
 }

@@ -7,3 +7,7 @@ pub use tfno_gpu_sim as gpu_sim;
 pub use tfno_model as model;
 pub use tfno_num as num;
 pub use turbofno as core;
+
+// The execution surface, re-exported flat: `turbofno_suite::Session` is
+// the canonical way to run layers and models.
+pub use turbofno::{BufferPool, LayerSpec, PoolStats, Request, Session, TurboOptions, Variant};

@@ -6,8 +6,7 @@ use rand::SeedableRng;
 use tfno_model::{pde, Fno1d, Fno2d, PerModeSpectralConv1d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
-use turbofno::{TurboOptions, Variant};
-use turbofno_suite::gpu_sim::GpuDevice;
+use turbofno::{Session, TurboOptions, Variant};
 
 #[test]
 fn fno1d_all_variants_agree_with_host() {
@@ -15,9 +14,9 @@ fn fno1d_all_variants_agree_with_host() {
     let model = Fno1d::random(&mut rng, 2, 16, 3, 2, 128, 32);
     let x = CTensor::random(&mut rng, &[2, 2, 128]);
     let host = model.forward_host(&x);
+    let mut sess = Session::a100();
     for v in Variant::CONCRETE {
-        let mut dev = GpuDevice::a100();
-        let (got, run) = model.forward_device(&mut dev, v, &TurboOptions::default(), &x);
+        let (got, run) = model.forward_device(&mut sess, v, &TurboOptions::default(), &x);
         let err = rel_l2_error(got.data(), host.data());
         assert!(err < 1e-3, "{v:?}: rel l2 {err}");
         assert!(run.total_us() > 0.0);
@@ -30,9 +29,9 @@ fn fno2d_fused_agrees_with_host() {
     let model = Fno2d::random(&mut rng, 1, 8, 1, 2, 32, 64, 8, 32);
     let x = CTensor::random(&mut rng, &[1, 1, 32, 64]);
     let host = model.forward_host(&x);
-    let mut dev = GpuDevice::a100();
+    let mut sess = Session::a100();
     let (got, run) =
-        model.forward_device(&mut dev, Variant::FullyFused, &TurboOptions::default(), &x);
+        model.forward_device(&mut sess, Variant::FullyFused, &TurboOptions::default(), &x);
     let err = rel_l2_error(got.data(), host.data());
     assert!(err < 1e-3, "rel l2 {err}");
     // 2 layers x 3 kernels (fused middle + two x-stage kernels)
@@ -51,8 +50,8 @@ fn heat_operator_is_exact_on_analytic_fields() {
     let u0 = pde::random_analytic_field_1d(&mut rng, n, 10, 1.0);
     let x = pde::batch_1d(std::slice::from_ref(&u0));
 
-    let mut dev = GpuDevice::a100();
-    let (y, run) = layer.forward_device(&mut dev, &x);
+    let mut sess = Session::a100();
+    let (y, run) = layer.forward_device(&mut sess, &x);
     let exact = pde::heat_exact(&u0, nu, t, l);
     let err = rel_l2_error(&y.data()[..n], &exact);
     assert!(err < 1e-4, "heat operator error {err}");
@@ -76,12 +75,11 @@ fn permode_reduces_to_shared_weights() {
     let pm = PerModeSpectralConv1d::new(6, 6, 64, 32, w);
     let x = CTensor::random(&mut rng, &[2, 6, 64]);
 
-    // device paths of both layers must agree
-    let mut dev1 = GpuDevice::a100();
+    // device paths of both layers must agree (and can share one session)
+    let mut sess = Session::a100();
     let (y_shared, _) =
-        shared.forward_device(&mut dev1, Variant::FullyFused, &TurboOptions::default(), &x);
-    let mut dev2 = GpuDevice::a100();
-    let (y_pm, _) = pm.forward_device(&mut dev2, &x);
+        shared.forward_device(&mut sess, Variant::FullyFused, &TurboOptions::default(), &x);
+    let (y_pm, _) = pm.forward_device(&mut sess, &x);
     let err = rel_l2_error(y_pm.data(), y_shared.data());
     assert!(err < 1e-4, "per-mode vs shared: {err}");
     // and the outputs must be non-trivial

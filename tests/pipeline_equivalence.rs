@@ -12,10 +12,7 @@ use proptest::prelude::*;
 use tfno_model::spectral::{SpectralConv1d, SpectralConv2d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::{C32, CTensor};
-use turbofno::{
-    run_variant_1d, run_variant_2d, FnoProblem1d, FnoProblem2d, TurboOptions, Variant,
-};
-use turbofno_suite::gpu_sim::{ExecMode, GpuDevice};
+use turbofno::{FnoProblem1d, FnoProblem2d, LayerSpec, Session, Variant};
 
 /// O(N log N) reference layer via the host Stockham path.
 fn reference_layer_1d(x: &CTensor, w: &CTensor, p: &FnoProblem1d) -> CTensor {
@@ -38,28 +35,19 @@ fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
 }
 
 fn check_1d(p: &FnoProblem1d, v: Variant) {
-    let mut dev = GpuDevice::a100();
-    let x = dev.alloc("x", p.input_len());
-    let w = dev.alloc("w", p.weight_len());
-    let y = dev.alloc("y", p.output_len());
+    let mut sess = Session::a100();
+    let x = sess.alloc("x", p.input_len());
+    let w = sess.alloc("w", p.weight_len());
+    let y = sess.alloc("y", p.output_len());
     let xd = rand_vec(p.input_len(), 0.4);
     let wd = rand_vec(p.weight_len(), 0.9);
-    dev.upload(x, &xd);
-    dev.upload(w, &wd);
-    run_variant_1d(
-        &mut dev,
-        p,
-        v,
-        x,
-        w,
-        y,
-        &TurboOptions::default(),
-        ExecMode::Functional,
-    );
+    sess.upload(x, &xd);
+    sess.upload(w, &wd);
+    sess.run(&LayerSpec::from_problem_1d(p).variant(v), x, w, y);
     let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.n]);
     let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
     let want = reference_layer_1d(&xt, &wt, p);
-    let got = dev.download(y);
+    let got = sess.download(y);
     let err = rel_l2_error(&got, want.data());
     assert!(err < 2e-4, "{v:?} {p:?}: rel l2 {err}");
 }
@@ -82,28 +70,19 @@ fn variant_matrix_1d() {
 }
 
 fn check_2d(p: &FnoProblem2d, v: Variant) {
-    let mut dev = GpuDevice::a100();
-    let x = dev.alloc("x", p.input_len());
-    let w = dev.alloc("w", p.weight_len());
-    let y = dev.alloc("y", p.output_len());
+    let mut sess = Session::a100();
+    let x = sess.alloc("x", p.input_len());
+    let w = sess.alloc("w", p.weight_len());
+    let y = sess.alloc("y", p.output_len());
     let xd = rand_vec(p.input_len(), 0.2);
     let wd = rand_vec(p.weight_len(), 0.7);
-    dev.upload(x, &xd);
-    dev.upload(w, &wd);
-    run_variant_2d(
-        &mut dev,
-        p,
-        v,
-        x,
-        w,
-        y,
-        &TurboOptions::default(),
-        ExecMode::Functional,
-    );
+    sess.upload(x, &xd);
+    sess.upload(w, &wd);
+    sess.run(&LayerSpec::from_problem_2d(p).variant(v), x, w, y);
     let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.nx, p.ny]);
     let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
     let want = reference_layer_2d(&xt, &wt, p);
-    let got = dev.download(y);
+    let got = sess.download(y);
     let err = rel_l2_error(&got, want.data());
     assert!(err < 2e-4, "{v:?} {p:?}: rel l2 {err}");
 }

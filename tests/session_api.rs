@@ -1,0 +1,371 @@
+//! Integration tests of the `Session` execution surface: batched
+//! `run_many` semantics, planner/pool reuse guarantees, coalesced stacked
+//! launches, and equivalence with the deprecated free-function shims.
+
+use tfno_num::C32;
+use turbofno::{
+    BufferPool, FnoProblem1d, FnoProblem2d, LayerSpec, Request, Session, TurboOptions, Variant,
+};
+use turbofno_suite::gpu_sim::{BufferId, ExecMode, GpuDevice};
+
+fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
+    (0..len)
+        .map(|i| {
+            C32::new(
+                ((i as f32) * 0.149 + seed).sin(),
+                ((i as f32) * 0.257 - seed).cos(),
+            )
+        })
+        .collect()
+}
+
+/// Allocate + upload the operands of `spec`, with data derived from `seed`.
+fn operands(sess: &mut Session, spec: &LayerSpec, seed: f32) -> (BufferId, BufferId, BufferId) {
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    let y = sess.alloc("y", spec.output_len());
+    sess.upload(x, &rand_vec(spec.input_len(), seed));
+    sess.upload(w, &rand_vec(spec.weight_len(), seed + 0.5));
+    (x, w, y)
+}
+
+/// Acceptance: `run_many` over a mixed-shape queue is bitwise-equal to
+/// issuing the same requests through sequential `run` calls, N same-shape
+/// requests cost exactly one plan, and the pooled scratch is reused at
+/// least N−1 times.
+#[test]
+fn run_many_matches_sequential_runs_bitwise() {
+    // FftOpt shapes so scratch buffers exist; distinct weights per request
+    // keep the sequential pooled path (no stacking).
+    let spec1 = LayerSpec::d1(2, 12, 16, 128).modes(32).variant(Variant::TurboBest);
+    let spec2 = LayerSpec::d2(1, 8, 8, 32, 64)
+        .modes_xy(8, 32)
+        .variant(Variant::FftOpt);
+    let seeds = [0.1f32, 0.7, 1.3, 0.4, 2.2];
+    let specs = [spec1, spec1, spec1, spec2, spec2];
+
+    let mut batch_sess = Session::a100();
+    let reqs: Vec<Request> = specs
+        .iter()
+        .zip(seeds)
+        .map(|(spec, seed)| {
+            let (x, w, y) = operands(&mut batch_sess, spec, seed);
+            Request { spec: *spec, x, w, y }
+        })
+        .collect();
+    let runs = batch_sess.run_many(&reqs);
+    assert_eq!(runs.len(), reqs.len());
+
+    // Exactly one plan for the three TurboBest requests of spec1 (spec2 is
+    // concrete and plans nothing).
+    let plans = batch_sess.planner_stats();
+    assert_eq!(
+        (plans.misses, plans.hits),
+        (1, 0),
+        "same-shape group must plan exactly once"
+    );
+    // spec2 (variant A, 2D) leases four scratch tensors (t1, t3, xf_t,
+    // yf_t) on its first request; its second request must recycle all four.
+    // (spec1's TurboBest plan may resolve to the fully fused kernel, which
+    // needs no scratch, so the guaranteed floor comes from spec2.)
+    assert!(
+        batch_sess.pool_stats().hits >= 4,
+        "pooled scratch must be reused across a shape group: {:?}",
+        batch_sess.pool_stats()
+    );
+
+    // Sequential reference: same data through `run`, one call at a time.
+    let mut seq_sess = Session::a100();
+    for (i, (spec, seed)) in specs.iter().zip(seeds).enumerate() {
+        let (x, w, y) = operands(&mut seq_sess, spec, seed);
+        seq_sess.run(spec, x, w, y);
+        assert_eq!(
+            seq_sess.download(y),
+            batch_sess.download(reqs[i].y),
+            "request {i} diverged from the sequential path"
+        );
+    }
+}
+
+/// A session reused across many runs must produce bitwise-identical
+/// outputs to a fresh session per run — pooled scratch reuse is
+/// unobservable in the numerics.
+#[test]
+fn reused_session_is_bitwise_identical_to_fresh() {
+    let p = FnoProblem1d::new(2, 9, 16, 128, 32);
+    let mut warm = Session::a100();
+    for v in Variant::CONCRETE {
+        let spec = LayerSpec::from_problem_1d(&p).variant(v);
+        let (wx, ww, wy) = operands(&mut warm, &spec, 0.3);
+        warm.run(&spec, wx, ww, wy);
+        // drive the warm session a second time into the same buffers
+        warm.run(&spec, wx, ww, wy);
+        let warm_out = warm.download(wy);
+
+        let mut fresh = Session::a100();
+        let (fx, fw, fy) = operands(&mut fresh, &spec, 0.3);
+        fresh.run(&spec, fx, fw, fy);
+        assert_eq!(warm_out, fresh.download(fy), "{v:?}: warm != fresh");
+    }
+    assert!(warm.pool_stats().hits > 0, "the warm session never pooled");
+}
+
+/// Satellite acceptance: the pool proves reuse — hit count > 0 on the
+/// second same-shape call, and the simulated buffer table stops growing.
+#[test]
+fn pool_reports_hits_on_second_same_shape_call() {
+    let spec = LayerSpec::d1(2, 8, 8, 128).modes(32).variant(Variant::FftOpt);
+    let mut sess = Session::a100();
+    let (x, w, y) = operands(&mut sess, &spec, 0.9);
+    sess.run(&spec, x, w, y);
+    let cold = sess.pool_stats();
+    assert_eq!(cold.hits, 0);
+    assert_eq!(cold.misses, 2, "variant A leases xf_t and yf_t");
+    sess.run(&spec, x, w, y);
+    let warm = sess.pool_stats();
+    assert_eq!(warm.hits, 2, "second same-shape call must recycle both");
+    assert_eq!(warm.misses, cold.misses, "no new allocations when warm");
+}
+
+/// Planner/memo acceptance: the second same-shape `TurboBest` request
+/// through a session performs zero simulated planning launches.
+#[test]
+fn second_request_plans_nothing() {
+    let spec = LayerSpec::d1(2, 16, 16, 128).modes(32);
+    assert_eq!(spec.variant, Variant::TurboBest, "default variant");
+    let mut sess = Session::a100();
+    let (x, w, y) = operands(&mut sess, &spec, 1.7);
+    sess.run(&spec, x, w, y);
+    let cold = sess.planner_stats();
+    assert!(cold.simulated_launches > 0, "first plan is a cold evaluation");
+    sess.run(&spec, x, w, y);
+    let warm = sess.planner_stats();
+    assert_eq!(warm.simulated_launches, cold.simulated_launches);
+    assert_eq!(warm.hits, cold.hits + 1);
+}
+
+/// Requests sharing spec *and* weight buffer coalesce into one stacked
+/// batched launch sequence: bitwise-equal outputs, strictly fewer kernel
+/// launches than sequential execution.
+#[test]
+fn same_weight_requests_coalesce_into_one_stacked_launch() {
+    let spec = LayerSpec::d1(2, 8, 12, 128).modes(32).variant(Variant::FftOpt);
+    let mut sess = Session::a100();
+    let w = sess.alloc("w", spec.weight_len());
+    sess.upload(w, &rand_vec(spec.weight_len(), 0.8));
+    let reqs: Vec<Request> = (0..3)
+        .map(|i| {
+            let x = sess.alloc("x", spec.input_len());
+            let y = sess.alloc("y", spec.output_len());
+            sess.upload(x, &rand_vec(spec.input_len(), 0.2 + i as f32));
+            Request { spec, x, w, y }
+        })
+        .collect();
+    let runs = sess.run_many(&reqs);
+
+    // One 3-kernel pipeline for the whole stack, attributed to the first
+    // request of the coalesced group.
+    let counts: Vec<usize> = runs.iter().map(|r| r.kernel_count()).collect();
+    assert_eq!(counts, vec![3, 0, 0], "stack must run as one launch sequence");
+
+    // Bitwise-equal to running each request alone.
+    for (i, r) in reqs.iter().enumerate() {
+        let mut solo = Session::a100();
+        let (x, w, y) = operands(&mut solo, &spec, 0.0);
+        solo.upload(x, &rand_vec(spec.input_len(), 0.2 + i as f32));
+        solo.upload(w, &rand_vec(spec.weight_len(), 0.8));
+        solo.run(&spec, x, w, y);
+        assert_eq!(
+            sess.download(r.y),
+            solo.download(y),
+            "request {i}: stacked result != solo result"
+        );
+    }
+}
+
+/// 2D stacking follows the same contract.
+#[test]
+fn stacked_launch_is_bitwise_equal_2d() {
+    let spec = LayerSpec::d2(1, 6, 8, 32, 64)
+        .modes_xy(8, 32)
+        .variant(Variant::FullyFused);
+    let mut sess = Session::a100();
+    let w = sess.alloc("w", spec.weight_len());
+    sess.upload(w, &rand_vec(spec.weight_len(), 0.4));
+    let reqs: Vec<Request> = (0..2)
+        .map(|i| {
+            let x = sess.alloc("x", spec.input_len());
+            let y = sess.alloc("y", spec.output_len());
+            sess.upload(x, &rand_vec(spec.input_len(), 0.6 + i as f32));
+            Request { spec, x, w, y }
+        })
+        .collect();
+    let runs = sess.run_many(&reqs);
+    assert_eq!(runs[0].kernel_count(), 3, "fully fused 2D = 3 kernels");
+    assert_eq!(runs[1].kernel_count(), 0, "second request coalesced");
+    for (i, r) in reqs.iter().enumerate() {
+        let mut solo = Session::a100();
+        let x = solo.alloc("x", spec.input_len());
+        let ww = solo.alloc("w", spec.weight_len());
+        let y = solo.alloc("y", spec.output_len());
+        solo.upload(x, &rand_vec(spec.input_len(), 0.6 + i as f32));
+        solo.upload(ww, &rand_vec(spec.weight_len(), 0.4));
+        solo.run(&spec, x, ww, y);
+        assert_eq!(sess.download(r.y), solo.download(y), "request {i} diverged");
+    }
+}
+
+/// Analytical `run_many` on virtual buffers must never try to stack
+/// (values cannot move through the host staging path) and still share
+/// planning.
+#[test]
+fn analytical_virtual_requests_run_unstacked() {
+    let spec = LayerSpec::d1(2, 8, 8, 128)
+        .modes(32)
+        .variant(Variant::FftOpt)
+        .exec(ExecMode::Analytical);
+    let mut sess = Session::a100();
+    let w = sess.acquire_virtual(spec.weight_len());
+    let reqs: Vec<Request> = (0..3)
+        .map(|_| Request {
+            spec,
+            x: sess.acquire_virtual(spec.input_len()),
+            w,
+            y: sess.acquire_virtual(spec.output_len()),
+        })
+        .collect();
+    let runs = sess.run_many(&reqs);
+    for r in &runs {
+        assert_eq!(r.kernel_count(), 3, "each analytical request runs alone");
+    }
+    let a = runs[0].total_stats();
+    for r in &runs[1..] {
+        assert_eq!(r.total_stats(), a, "same shape -> same modeled stats");
+    }
+}
+
+/// A same-spec group mixing real- and virtual-buffer requests must stack
+/// only the real members; the virtual one runs sequentially (stacking
+/// stages values through the host, which virtual buffers cannot do).
+#[test]
+fn mixed_real_virtual_group_stacks_only_real_members() {
+    let spec = LayerSpec::d1(1, 6, 6, 128).modes(32).variant(Variant::FftOpt);
+    let mut sess = Session::a100();
+    let w = sess.alloc("w", spec.weight_len());
+    sess.upload(w, &rand_vec(spec.weight_len(), 0.3));
+    let mut reqs: Vec<Request> = (0..2)
+        .map(|i| {
+            let x = sess.alloc("x", spec.input_len());
+            let y = sess.alloc("y", spec.output_len());
+            sess.upload(x, &rand_vec(spec.input_len(), 1.0 + i as f32));
+            Request { spec, x, w, y }
+        })
+        .collect();
+    reqs.push(Request {
+        spec,
+        x: sess.acquire_virtual(spec.input_len()),
+        w,
+        y: sess.acquire_virtual(spec.output_len()),
+    });
+    let runs = sess.run_many(&reqs);
+    let counts: Vec<usize> = runs.iter().map(|r| r.kernel_count()).collect();
+    assert_eq!(
+        counts,
+        vec![3, 0, 3],
+        "two real requests stack; the virtual one runs alone"
+    );
+    for (i, r) in reqs.iter().take(2).enumerate() {
+        let mut solo = Session::a100();
+        let x = solo.alloc("x", spec.input_len());
+        let ww = solo.alloc("w", spec.weight_len());
+        let y = solo.alloc("y", spec.output_len());
+        solo.upload(x, &rand_vec(spec.input_len(), 1.0 + i as f32));
+        solo.upload(ww, &rand_vec(spec.weight_len(), 0.3));
+        solo.run(&spec, x, ww, y);
+        assert_eq!(sess.download(r.y), solo.download(y), "request {i} diverged");
+    }
+}
+
+/// `run_many` is a parallel batch: a request whose output feeds another
+/// request's input must be rejected, not silently reordered.
+#[test]
+#[should_panic(expected = "must not alias outputs")]
+fn run_many_rejects_chained_buffers() {
+    let spec = LayerSpec::d1(1, 4, 4, 64).variant(Variant::FftOpt);
+    let mut sess = Session::a100();
+    let (x, w, y) = operands(&mut sess, &spec, 0.2);
+    let y2 = sess.alloc("y2", spec.output_len());
+    let reqs = [
+        Request { spec, x, w, y },
+        Request { spec, x: y, w, y: y2 }, // chained: consumes the first output
+    ];
+    sess.run_many(&reqs);
+}
+
+/// The deprecated free-function shims must still compute exactly what the
+/// session does (they are the migration path for out-of-tree callers).
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_match_session_bitwise() {
+    let p1 = FnoProblem1d::new(2, 10, 12, 128, 32);
+    let p2 = FnoProblem2d::new(1, 6, 8, 32, 64, 8, 32);
+    let opts = TurboOptions::default();
+
+    let mut dev = GpuDevice::a100();
+    let x = dev.alloc("x", p1.input_len());
+    let w = dev.alloc("w", p1.weight_len());
+    let y = dev.alloc("y", p1.output_len());
+    dev.upload(x, &rand_vec(p1.input_len(), 0.2));
+    dev.upload(w, &rand_vec(p1.weight_len(), 0.7));
+    turbofno::run_variant_1d(
+        &mut dev,
+        &p1,
+        Variant::FullyFused,
+        x,
+        w,
+        y,
+        &opts,
+        ExecMode::Functional,
+    );
+    let shim_out = dev.download(y);
+
+    let mut sess = Session::a100();
+    let spec = LayerSpec::from_problem_1d(&p1).variant(Variant::FullyFused);
+    let (sx, sw, sy) = operands(&mut sess, &spec, 0.0);
+    sess.upload(sx, &rand_vec(p1.input_len(), 0.2));
+    sess.upload(sw, &rand_vec(p1.weight_len(), 0.7));
+    sess.run(&spec, sx, sw, sy);
+    assert_eq!(shim_out, sess.download(sy), "1D shim != session");
+
+    // 2D: analytical stats through both surfaces.
+    let mut dev = GpuDevice::a100();
+    let x = dev.memory.alloc_virtual("x", p2.input_len());
+    let w = dev.memory.alloc_virtual("w", p2.weight_len());
+    let y = dev.memory.alloc_virtual("y", p2.output_len());
+    let shim_run = turbofno::run_variant_2d(
+        &mut dev,
+        &p2,
+        Variant::FftOpt,
+        x,
+        w,
+        y,
+        &opts,
+        ExecMode::Analytical,
+    );
+    let sess_run = Session::a100().measure(&LayerSpec::from_problem_2d(&p2).variant(Variant::FftOpt));
+    assert_eq!(shim_run.total_stats(), sess_run.total_stats());
+    assert_eq!(shim_run.kernel_count(), sess_run.kernel_count());
+}
+
+/// A standalone `BufferPool` is usable outside a session (the planner's
+/// cold evaluations and custom executors drive it directly).
+#[test]
+fn standalone_pool_round_trip() {
+    let mut dev = GpuDevice::a100();
+    let mut pool = BufferPool::new();
+    let a = pool.acquire(&mut dev, 256);
+    pool.release(&dev, a);
+    let b = pool.acquire(&mut dev, 256);
+    assert_eq!(a, b, "size-class match must recycle the same buffer");
+    assert_eq!(pool.stats().hits, 1);
+}

@@ -4,23 +4,23 @@
 
 use proptest::prelude::*;
 use tfno_num::C32;
-use turbofno::{run_variant_1d, FnoProblem1d, TurboOptions, Variant};
-use turbofno_suite::gpu_sim::{ExecMode, GpuDevice, KernelStats};
+use turbofno::{FnoProblem1d, LayerSpec, Session, Variant};
+use turbofno_suite::gpu_sim::{ExecMode, KernelStats};
 
 fn run(p: &FnoProblem1d, v: Variant, mode: ExecMode) -> (KernelStats, usize, f64) {
-    let mut dev = GpuDevice::a100();
-    let x = dev.alloc("x", p.input_len());
-    let w = dev.alloc("w", p.weight_len());
-    let y = dev.alloc("y", p.output_len());
+    let mut sess = Session::a100();
+    let x = sess.alloc("x", p.input_len());
+    let w = sess.alloc("w", p.weight_len());
+    let y = sess.alloc("y", p.output_len());
     let data: Vec<C32> = (0..p.input_len())
         .map(|i| C32::new((i as f32 * 0.3).sin(), (i as f32 * 0.7).cos()))
         .collect();
-    dev.upload(x, &data);
+    sess.upload(x, &data);
     let wd: Vec<C32> = (0..p.weight_len())
         .map(|i| C32::new((i as f32 * 0.2).cos(), (i as f32 * 0.5).sin()))
         .collect();
-    dev.upload(w, &wd);
-    let r = run_variant_1d(&mut dev, p, v, x, w, y, &TurboOptions::default(), mode);
+    sess.upload(w, &wd);
+    let r = sess.run(&LayerSpec::from_problem_1d(p).variant(v).exec(mode), x, w, y);
     (r.total_stats(), r.kernel_count(), r.total_us())
 }
 

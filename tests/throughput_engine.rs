@@ -1,12 +1,12 @@
 //! Workspace integration tests of the throughput engine: work-stealing
 //! executor determinism, analytical launch memoization, and the cached
-//! `TurboBest` planner.
+//! `TurboBest` planner — all through the `Session` execution surface.
 
 use tfno_gpu_sim::{launch_memo_stats, ExecMode, GpuDevice};
 use tfno_num::C32;
 use turbofno::{
-    pick_best_1d, pick_best_2d, run_variant_1d, run_variant_2d, FnoProblem1d, FnoProblem2d,
-    Planner, TurboOptions, Variant,
+    pick_best_1d, pick_best_2d, FnoProblem1d, FnoProblem2d, LayerSpec, Planner, Session,
+    TurboOptions, Variant,
 };
 
 fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
@@ -20,8 +20,8 @@ fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
         .collect()
 }
 
-/// Run one functional 1D pipeline on a configured device; returns the
-/// output bits and the total stats.
+/// Run one functional 1D pipeline on a session over a configured device;
+/// returns the output bits and the total stats.
 fn run_functional_1d(
     p: &FnoProblem1d,
     v: Variant,
@@ -29,13 +29,14 @@ fn run_functional_1d(
 ) -> (Vec<C32>, tfno_gpu_sim::KernelStats) {
     let mut dev = GpuDevice::a100();
     configure(&mut dev);
-    let x = dev.alloc("x", p.input_len());
-    let w = dev.alloc("w", p.weight_len());
-    let y = dev.alloc("y", p.output_len());
-    dev.upload(x, &rand_vec(p.input_len(), 0.3));
-    dev.upload(w, &rand_vec(p.weight_len(), 0.8));
-    let run = run_variant_1d(&mut dev, p, v, x, w, y, &TurboOptions::default(), ExecMode::Functional);
-    (dev.download(y), run.total_stats())
+    let mut sess = Session::new(dev);
+    let x = sess.alloc("x", p.input_len());
+    let w = sess.alloc("w", p.weight_len());
+    let y = sess.alloc("y", p.output_len());
+    sess.upload(x, &rand_vec(p.input_len(), 0.3));
+    sess.upload(w, &rand_vec(p.weight_len(), 0.8));
+    let run = sess.run(&LayerSpec::from_problem_1d(p).variant(v), x, w, y);
+    (sess.download(y), run.total_stats())
 }
 
 /// The work-stealing executor must be bitwise-deterministic and identical
@@ -71,15 +72,18 @@ fn legacy_executor_is_bitwise_equal() {
 #[test]
 fn memoized_analytical_equals_fresh_all_variants() {
     let p = FnoProblem1d::new(3, 16, 24, 128, 32);
-    let opts = TurboOptions::default();
     for v in Variant::CONCRETE {
         let run_analytical = |memo: bool| {
             let mut dev = GpuDevice::a100();
             dev.analytical_memo = memo;
-            let x = dev.memory.alloc_virtual("x", p.input_len());
-            let w = dev.memory.alloc_virtual("w", p.weight_len());
-            let y = dev.memory.alloc_virtual("y", p.output_len());
-            run_variant_1d(&mut dev, &p, v, x, w, y, &opts, ExecMode::Analytical).total_stats()
+            let mut sess = Session::new(dev);
+            let x = sess.acquire_virtual(p.input_len());
+            let w = sess.acquire_virtual(p.weight_len());
+            let y = sess.acquire_virtual(p.output_len());
+            let spec = LayerSpec::from_problem_1d(&p)
+                .variant(v)
+                .exec(ExecMode::Analytical);
+            sess.run(&spec, x, w, y).total_stats()
         };
         let fresh = run_analytical(false);
         let memo_cold = run_analytical(true); // may or may not hit, depending on test order
@@ -94,15 +98,8 @@ fn memoized_analytical_equals_fresh_all_variants() {
 #[test]
 fn repeated_analytical_launch_hits_memo() {
     let p = FnoProblem2d::new(1, 8, 8, 32, 64, 8, 32);
-    let opts = TurboOptions::default();
-    let launch = || {
-        let mut dev = GpuDevice::a100();
-        let x = dev.memory.alloc_virtual("x", p.input_len());
-        let w = dev.memory.alloc_virtual("w", p.weight_len());
-        let y = dev.memory.alloc_virtual("y", p.output_len());
-        run_variant_2d(&mut dev, &p, Variant::FullyFused, x, w, y, &opts, ExecMode::Analytical)
-            .total_stats()
-    };
+    let spec = LayerSpec::from_problem_2d(&p).variant(Variant::FullyFused);
+    let launch = || Session::a100().measure(&spec).total_stats();
     let first = launch();
     let before = launch_memo_stats();
     let second = launch();
@@ -145,20 +142,32 @@ fn second_turbo_best_plan_simulates_nothing() {
     assert_eq!(first_2d, pick_best_2d(&cfg, &p2, &opts));
 }
 
-/// `TurboBest` dispatches share the global planner: an L-layer model plans
-/// once per shape, not L times.
+/// `TurboBest` dispatches share the session's planner: an L-layer model
+/// plans once per shape, not L times, and repeated forwards replan nothing.
 #[test]
-fn turbo_best_dispatch_uses_global_planner_cache() {
+fn turbo_best_dispatch_uses_session_planner_cache() {
     let p = FnoProblem1d::new(2, 8, 8, 64, 32);
-    let before = Planner::global().stats();
-    let (out_a, _) = run_functional_1d(&p, Variant::TurboBest, |_| {});
-    let mid = Planner::global().stats();
-    let (out_b, _) = run_functional_1d(&p, Variant::TurboBest, |_| {});
-    let after = Planner::global().stats();
+    let spec = LayerSpec::from_problem_1d(&p).variant(Variant::TurboBest);
+    let mut sess = Session::a100();
+    let x = sess.alloc("x", p.input_len());
+    let w = sess.alloc("w", p.weight_len());
+    let y = sess.alloc("y", p.output_len());
+    sess.upload(x, &rand_vec(p.input_len(), 0.3));
+    sess.upload(w, &rand_vec(p.weight_len(), 0.8));
+
+    sess.run(&spec, x, w, y);
+    let out_a = sess.download(y);
+    let mid = sess.planner_stats();
+    assert_eq!(mid.misses, 1);
+    assert!(mid.simulated_launches > 0);
+
+    sess.run(&spec, x, w, y);
+    let out_b = sess.download(y);
+    let after = sess.planner_stats();
     assert_eq!(out_a, out_b);
     assert_eq!(
         after.simulated_launches, mid.simulated_launches,
         "second dispatch of the same shape must not replan"
     );
-    assert!(after.hits > before.hits);
+    assert!(after.hits > mid.hits);
 }

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Size specification for [`vec`]: a fixed length or a half-open range.
+/// Size specification for [`vec()`]: a fixed length or a half-open range.
 pub trait SizeRange {
     fn sample_len(&self, rng: &mut TestRng) -> usize;
 }

@@ -7,7 +7,7 @@
 //!
 //! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] ... }`
 //! * parameters as `name in strategy` (integer `Range`s,
-//!   `proptest::collection::vec`) or `name: type` (via [`Arbitrary`]);
+//!   `proptest::collection::vec`) or `name: type` (via `Arbitrary`);
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
 //!
 //! Cases are deterministic per test name, so failures reproduce exactly —
