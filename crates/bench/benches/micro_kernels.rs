@@ -69,21 +69,9 @@ fn bench_sim_cgemm_kernel(c: &mut Criterion) {
             n,
             k: kk,
         },
-        BatchedOperand {
-            buf: a,
-            view: MatView::row_major(0, kk),
-            batch_stride: 0,
-        },
-        BatchedOperand {
-            buf: b_buf,
-            view: MatView::row_major(0, n),
-            batch_stride: 0,
-        },
-        BatchedOperand {
-            buf: c_buf,
-            view: MatView::row_major(0, n),
-            batch_stride: 0,
-        },
+        BatchedOperand::shared(a, MatView::row_major(0, kk)),
+        BatchedOperand::shared(b_buf, MatView::row_major(0, n)),
+        BatchedOperand::shared(c_buf, MatView::row_major(0, n)),
         C32::ONE,
         C32::ZERO,
     );

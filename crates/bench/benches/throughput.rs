@@ -27,7 +27,7 @@ use tfno_gpu_sim::{set_launch_memo_enabled, GpuDevice};
 use tfno_model::{gelu, pointwise_naive, Fno1d, Fno2d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
-use turbofno::{pick_best_1d, pick_best_2d, Session, TurboOptions, Variant};
+use turbofno::{LayerSpec, Planner, Request, Session, TurboOptions, Variant};
 
 struct Case {
     dim: &'static str,
@@ -88,7 +88,7 @@ fn forward_legacy_1d(model: &Fno1d, opts: &TurboOptions, x: &CTensor) -> CTensor
     let mut h = pointwise_naive(x, &model.lift);
     for layer in &model.layers {
         let p = layer.spectral.problem(h.shape()[0]);
-        let best = pick_best_1d(&sess.device().config, &p, opts);
+        let best = Planner::pick_best_1d(&sess.device().config, &p, opts);
         let (s, _) = layer.spectral.forward_device(&mut sess, best, opts, &h);
         let pb = pointwise_naive(&h, &layer.bypass);
         h = add_gelu_naive(&s, &pb);
@@ -101,7 +101,7 @@ fn forward_legacy_2d(model: &Fno2d, opts: &TurboOptions, x: &CTensor) -> CTensor
     let mut h = pointwise_naive(x, &model.lift);
     for layer in &model.layers {
         let p = layer.spectral.problem(h.shape()[0]);
-        let best = pick_best_2d(&sess.device().config, &p, opts);
+        let best = Planner::pick_best_2d(&sess.device().config, &p, opts);
         let (s, _) = layer.spectral.forward_device(&mut sess, best, opts, &h);
         let pb = pointwise_naive(&h, &layer.bypass);
         h = add_gelu_naive(&s, &pb);
@@ -189,6 +189,72 @@ fn main() {
     run_case("2d", &shape2, "turbo", &mut || {
         model2.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x2);
     });
+
+    // -------------------------------------------- mixed-weight serving ----
+    // A multi-tenant queue: K same-shape layer requests, each from a
+    // different model (K distinct weight buffers). "per-weight" is the
+    // pre-PR coalescing rule — requests only stacked when they shared a
+    // weight buffer, so this queue degenerates to K sequential launch
+    // sequences. "mixed-stacked" packs the weights into one strided
+    // buffer and serves the whole queue as a single stacked launch
+    // sequence (device-side gather/scatter, one weight slice per
+    // stacked sub-batch).
+    let (serve_k, serve_n, serve_nf, serve_width) =
+        if smoke { (4usize, 128, 32, 8) } else { (8usize, 256, 64, 16) };
+    let serve_spec = LayerSpec::d1(1, serve_width, serve_width, serve_n)
+        .modes(serve_nf)
+        .variant(Variant::TurboBest);
+    let serve_shape = format!(
+        "k={serve_k} batch=1 width={serve_width} n={serve_n} nf={serve_nf} distinct_weights={serve_k}"
+    );
+    let mut serve_sess = Session::a100();
+    let serve_reqs: Vec<Request> = (0..serve_k)
+        .map(|i| {
+            let x = serve_sess.alloc("sx", serve_spec.input_len());
+            let w = serve_sess.alloc("sw", serve_spec.weight_len());
+            let y = serve_sess.alloc("sy", serve_spec.output_len());
+            let xd: Vec<tfno_num::C32> = (0..serve_spec.input_len())
+                .map(|j| {
+                    let t = (i * serve_spec.input_len() + j) as f32;
+                    tfno_num::C32::new((t * 0.13).sin(), (t * 0.29).cos())
+                })
+                .collect();
+            let wd: Vec<tfno_num::C32> = (0..serve_spec.weight_len())
+                .map(|j| {
+                    let t = (i * serve_spec.weight_len() + j) as f32;
+                    tfno_num::C32::new((t * 0.41).cos(), (t * 0.07).sin())
+                })
+                .collect();
+            serve_sess.upload(x, &xd);
+            serve_sess.upload(w, &wd);
+            Request { spec: serve_spec, x, w, y }
+        })
+        .collect();
+    // Cross-check: the stacked path must reproduce the sequential results
+    // bitwise before any timing.
+    let seq_out: Vec<Vec<tfno_num::C32>> = serve_reqs
+        .iter()
+        .map(|r| {
+            serve_sess.run(&serve_spec, r.x, r.w, r.y);
+            serve_sess.download(r.y)
+        })
+        .collect();
+    serve_sess.run_many(&serve_reqs);
+    for (i, r) in serve_reqs.iter().enumerate() {
+        assert_eq!(
+            serve_sess.download(r.y),
+            seq_out[i],
+            "serve-mixed: stacked request {i} diverged from sequential"
+        );
+    }
+    run_case("serve-mixed", &serve_shape, "per-weight", &mut || {
+        for r in &serve_reqs {
+            serve_sess.run(&serve_spec, r.x, r.w, r.y);
+        }
+    });
+    run_case("serve-mixed", &serve_shape, "mixed-stacked", &mut || {
+        serve_sess.run_many(&serve_reqs);
+    });
     let (pool, plans) = (turbo_sess.pool_stats(), turbo_sess.planner_stats());
     println!(
         "session state after the run: pool {} hits / {} misses, planner {} hits / {} misses",
@@ -204,7 +270,10 @@ fn main() {
     };
     let speedup_1d = fps_of("1d", "turbo") / fps_of("1d", "legacy");
     let speedup_2d = fps_of("2d", "turbo") / fps_of("2d", "legacy");
+    let speedup_serve =
+        fps_of("serve-mixed", "mixed-stacked") / fps_of("serve-mixed", "per-weight");
     println!("speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x");
+    println!("mixed-weight serving: stacked vs per-weight queues {speedup_serve:.2}x");
 
     // --------------------------------------------------------- JSON ----
     let mut json = String::from("{\n");
@@ -230,7 +299,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4}\n}}\n"
+        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4}\n}}\n"
     ));
 
     // Default to the workspace root (cargo runs benches with the package

@@ -29,6 +29,9 @@ pub enum AProvider<'a> {
 }
 
 /// `B` operand (always global in this pipeline; `view.at(k_global, n_local)`).
+/// Callers resolve any batch/weight-slice addressing before the main loop:
+/// the view already points at the slice this block reads (for stacked
+/// weights, `WeightStacking::slice_base` of the block's batch entry).
 pub struct BOperand {
     pub buf: BufferId,
     pub view: MatView,

@@ -23,19 +23,62 @@ pub struct GemmShape {
 }
 
 /// A matrix operand: per-batch view plus batch stride.
+///
+/// The view advances by `batch_stride` once every `batch_group` batch
+/// entries (`batch_group == 1` is the classic cuBLAS strided-batched
+/// layout; `batch_stride == 0` shares one matrix across the batch). A
+/// grouped weight operand — `batch_group` = per-request batch,
+/// `batch_stride` = slice length — is what lets a mixed-weight serving
+/// stack run as one launch with one weight slice per stacked sub-batch.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchedOperand {
     pub buf: BufferId,
     pub view: MatView,
     pub batch_stride: usize,
+    pub batch_group: usize,
 }
 
 impl BatchedOperand {
+    /// Classic strided-batched operand: the view advances every batch entry.
+    pub fn strided(buf: BufferId, view: MatView, batch_stride: usize) -> Self {
+        BatchedOperand {
+            buf,
+            view,
+            batch_stride,
+            batch_group: 1,
+        }
+    }
+
+    /// One matrix shared by every batch entry.
+    pub fn shared(buf: BufferId, view: MatView) -> Self {
+        Self::strided(buf, view, 0)
+    }
+
+    /// Stacked weight operand: one `stacking.stride`-spaced slice per
+    /// `stacking.group` consecutive batch entries.
+    pub fn stacked(buf: BufferId, view: MatView, stacking: crate::WeightStacking) -> Self {
+        BatchedOperand {
+            buf,
+            view,
+            batch_stride: stacking.stride,
+            batch_group: stacking.group.max(1),
+        }
+    }
+
     pub fn at_batch(&self, b: usize) -> MatView {
         MatView {
-            base: self.view.base + b * self.batch_stride,
+            base: self.view.base + (b / self.batch_group) * self.batch_stride,
             ..self.view
         }
+    }
+
+    /// Distinct matrices read by a batch of `batch` entries.
+    fn distinct_slices(&self, batch: usize) -> usize {
+        crate::WeightStacking {
+            stride: self.batch_stride,
+            group: self.batch_group,
+        }
+        .slices(batch)
     }
 }
 
@@ -97,17 +140,17 @@ impl BatchedCgemmKernel {
     }
 
     /// Estimated L1/L2 hit rate from inter-block operand reuse: the same A
-    /// tile is read by every n-tile block and the same B tile by every
-    /// (batch, m-tile) block; only the first read goes to DRAM.
+    /// tile is read by every n-tile block and the same B slice by every
+    /// (batch-group, m-tile) block; only the first read goes to DRAM.
     fn l1_hit_estimate(&self) -> f64 {
         let s = self.shape;
         let a_total = (s.batch * self.m_tiles() * self.n_tiles() * self.tile.m_tb
             * s.k
             * C32_BYTES) as f64;
-        let a_distinct = (s.batch * s.m * s.k * C32_BYTES) as f64;
+        let a_distinct = (self.a.distinct_slices(s.batch) * s.m * s.k * C32_BYTES) as f64;
         let b_total =
             (self.grid() * self.tile.n_tb * s.k * C32_BYTES) as f64;
-        let b_distinct = (s.k * s.n * C32_BYTES) as f64; // weights shared
+        let b_distinct = (self.b.distinct_slices(s.batch) * s.k * s.n * C32_BYTES) as f64;
         let total = a_total + b_total;
         if total == 0.0 {
             return 0.0;
@@ -169,6 +212,7 @@ impl Kernel for BatchedCgemmKernel {
         let hash_operand = |op: &BatchedOperand, h: &mut std::collections::hash_map::DefaultHasher| {
             op.view.hash(h);
             op.batch_stride.hash(h);
+            op.batch_group.hash(h);
         };
         Some(structural_fingerprint("cgemm.batched", |h| {
             self.tile.hash(h);
@@ -184,28 +228,50 @@ impl Kernel for BatchedCgemmKernel {
     }
 
     fn block_classes(&self) -> Vec<(usize, u64)> {
-        // Classes keyed by (partial_m, partial_n); batch never changes the
-        // pattern. Enumerate up to four classes.
+        // Classes keyed by (partial_m, partial_n) within one batch entry.
         let mt = self.m_tiles();
         let nt = self.n_tiles();
         let edge_m = !self.shape.m.is_multiple_of(self.tile.m_tb);
         let edge_n = !self.shape.n.is_multiple_of(self.tile.n_tb);
-        let mut classes: Vec<(usize, u64)> = Vec::new();
+        let mut tiles: Vec<(usize, u64)> = Vec::new();
         let full_m = if edge_m { mt - 1 } else { mt };
         let full_n = if edge_n { nt - 1 } else { nt };
-        let b = self.shape.batch as u64;
         // representative ids within batch 0: block = mtile + ntile * mt
         if full_m > 0 && full_n > 0 {
-            classes.push((0, (full_m * full_n) as u64 * b));
+            tiles.push((0, (full_m * full_n) as u64));
         }
         if edge_m && full_n > 0 {
-            classes.push((mt - 1, full_n as u64 * b));
+            tiles.push((mt - 1, full_n as u64));
         }
         if edge_n && full_m > 0 {
-            classes.push(((nt - 1) * mt, full_m as u64 * b));
+            tiles.push(((nt - 1) * mt, full_m as u64));
         }
         if edge_m && edge_n {
-            classes.push(((nt - 1) * mt + (mt - 1), b));
+            tiles.push(((nt - 1) * mt + (mt - 1), 1));
+        }
+        // Batches share a class only when every operand base lands on the
+        // same sector-alignment phase (plain strided/shared layouts always
+        // do; grouped weight slices with a stride that is not a multiple of
+        // the 4-element sector can differ per batch group).
+        const SECTOR_ELEMS: usize = 4;
+        let phases = |b: usize| {
+            let op_phase = |op: &BatchedOperand| op.at_batch(b).base % SECTOR_ELEMS;
+            (op_phase(&self.a), op_phase(&self.b), op_phase(&self.c))
+        };
+        let mut batch_groups: Vec<((usize, usize, usize), usize, u64)> = Vec::new();
+        for b in 0..self.shape.batch {
+            let ph = phases(b);
+            match batch_groups.iter_mut().find(|(p, _, _)| *p == ph) {
+                Some((_, _, count)) => *count += 1,
+                None => batch_groups.push((ph, b, 1)),
+            }
+        }
+        let per_batch = mt * nt;
+        let mut classes = Vec::with_capacity(batch_groups.len() * tiles.len());
+        for &(_, rep_b, count_b) in &batch_groups {
+            for &(rep_t, count_t) in &tiles {
+                classes.push((rep_b * per_batch + rep_t, count_b * count_t));
+            }
         }
         classes
     }
@@ -255,21 +321,9 @@ mod tests {
             "cgemm",
             tile,
             GemmShape { batch, m, n, k },
-            BatchedOperand {
-                buf: a_buf,
-                view: MatView::row_major(0, k),
-                batch_stride: m * k,
-            },
-            BatchedOperand {
-                buf: b_buf,
-                view: MatView::row_major(0, n),
-                batch_stride: 0,
-            },
-            BatchedOperand {
-                buf: c_buf,
-                view: MatView::row_major(0, n),
-                batch_stride: m * n,
-            },
+            BatchedOperand::strided(a_buf, MatView::row_major(0, k), m * k),
+            BatchedOperand::shared(b_buf, MatView::row_major(0, n)),
+            BatchedOperand::strided(c_buf, MatView::row_major(0, n), m * n),
             alpha,
             beta,
         );
@@ -427,6 +481,72 @@ mod tests {
         );
     }
 
+    /// A grouped weight operand (one slice per stacked sub-batch) must
+    /// compute, for each batch entry `b`, `C_b = A_b * W_{b/group}` — the
+    /// mixed-weight serving stack collapsed into one launch.
+    #[test]
+    fn grouped_weight_operand_selects_slice_per_sub_batch() {
+        let (requests, per_batch, m, n, k) = (3usize, 2usize, 32usize, 32usize, 8usize);
+        let batch = requests * per_batch;
+        let mut dev = GpuDevice::a100();
+        let a_buf = dev.alloc("A", batch * m * k);
+        let b_buf = dev.alloc("B", requests * k * n);
+        let c_buf = dev.alloc("C", batch * m * n);
+        let a_data = data(batch * m * k, 1.0);
+        let b_data = data(requests * k * n, 2.0);
+        dev.upload(a_buf, &a_data);
+        dev.upload(b_buf, &b_data);
+        let kernel = BatchedCgemmKernel::new(
+            "cgemm.stacked",
+            TileConfig::table1(),
+            GemmShape { batch, m, n, k },
+            BatchedOperand::strided(a_buf, MatView::row_major(0, k), m * k),
+            BatchedOperand::stacked(
+                b_buf,
+                MatView::row_major(0, n),
+                crate::WeightStacking::strided(k * n, per_batch),
+            ),
+            BatchedOperand::strided(c_buf, MatView::row_major(0, n), m * n),
+            C32::ONE,
+            C32::ZERO,
+        );
+        dev.launch(&kernel, ExecMode::Functional);
+        let out = dev.download(c_buf);
+        for bi in 0..batch {
+            let w_slice = &b_data[(bi / per_batch) * k * n..(bi / per_batch + 1) * k * n];
+            let mut want = vec![C32::ZERO; m * n];
+            reference::cgemm(
+                m,
+                n,
+                k,
+                C32::ONE,
+                &a_data[bi * m * k..(bi + 1) * m * k],
+                w_slice,
+                C32::ZERO,
+                &mut want,
+            );
+            assert_close(
+                &out[bi * m * n..(bi + 1) * m * n],
+                &want,
+                gemm_tolerance(k, 2.0),
+                &format!("batch {bi}"),
+            );
+        }
+        // More distinct weight data in flight -> lower reuse estimate than
+        // the shared-weight launch of the same shape.
+        let shared = BatchedCgemmKernel::new(
+            "cgemm.shared",
+            TileConfig::table1(),
+            GemmShape { batch, m, n, k },
+            BatchedOperand::strided(a_buf, MatView::row_major(0, k), m * k),
+            BatchedOperand::shared(b_buf, MatView::row_major(0, n)),
+            BatchedOperand::strided(c_buf, MatView::row_major(0, n), m * n),
+            C32::ONE,
+            C32::ZERO,
+        );
+        assert!(kernel.dims().l1_hit_rate <= shared.dims().l1_hit_rate);
+    }
+
     #[test]
     fn weight_reuse_raises_l1_estimate() {
         // many m-tiles re-reading the same weights -> high hit estimate
@@ -443,21 +563,9 @@ mod tests {
                 n: 32,
                 k: 16,
             },
-            BatchedOperand {
-                buf: a_buf,
-                view: MatView::row_major(0, 16),
-                batch_stride: 0,
-            },
-            BatchedOperand {
-                buf: b_buf,
-                view: MatView::row_major(0, 32),
-                batch_stride: 0,
-            },
-            BatchedOperand {
-                buf: c_buf,
-                view: MatView::row_major(0, 32),
-                batch_stride: 0,
-            },
+            BatchedOperand::shared(a_buf, MatView::row_major(0, 16)),
+            BatchedOperand::shared(b_buf, MatView::row_major(0, 32)),
+            BatchedOperand::shared(c_buf, MatView::row_major(0, 32)),
             C32::ONE,
             C32::ZERO,
         );

@@ -26,4 +26,4 @@ pub use engine::{store_c_global, AProvider, BOperand, CFragments, CgemmBlockEngi
 pub use tuner::{candidate_tiles, evaluate_tile, tune, verify_tile, TunedTile};
 pub use kernel::{BatchedCgemmKernel, BatchedOperand, GemmShape};
 pub use tile::TileConfig;
-pub use view::MatView;
+pub use view::{MatView, WeightStacking};

@@ -59,21 +59,9 @@ pub fn evaluate_tile(cfg: &DeviceConfig, shape: &GemmShape, tile: TileConfig) ->
         "tune",
         tile,
         *shape,
-        BatchedOperand {
-            buf: a,
-            view: MatView::row_major(0, shape.k),
-            batch_stride: shape.m * shape.k,
-        },
-        BatchedOperand {
-            buf: b,
-            view: MatView::row_major(0, shape.n),
-            batch_stride: 0,
-        },
-        BatchedOperand {
-            buf: c,
-            view: MatView::row_major(0, shape.n),
-            batch_stride: shape.m * shape.n,
-        },
+        BatchedOperand::strided(a, MatView::row_major(0, shape.k), shape.m * shape.k),
+        BatchedOperand::shared(b, MatView::row_major(0, shape.n)),
+        BatchedOperand::strided(c, MatView::row_major(0, shape.n), shape.m * shape.n),
         C32::ONE,
         C32::ZERO,
     );
@@ -121,21 +109,9 @@ pub fn verify_tile(tile: TileConfig, shape: &GemmShape) -> f32 {
         "verify",
         tile,
         *shape,
-        BatchedOperand {
-            buf: a,
-            view: MatView::row_major(0, shape.k),
-            batch_stride: shape.m * shape.k,
-        },
-        BatchedOperand {
-            buf: b,
-            view: MatView::row_major(0, shape.n),
-            batch_stride: 0,
-        },
-        BatchedOperand {
-            buf: c,
-            view: MatView::row_major(0, shape.n),
-            batch_stride: shape.m * shape.n,
-        },
+        BatchedOperand::strided(a, MatView::row_major(0, shape.k), shape.m * shape.k),
+        BatchedOperand::shared(b, MatView::row_major(0, shape.n)),
+        BatchedOperand::strided(c, MatView::row_major(0, shape.n), shape.m * shape.n),
         C32::ONE,
         C32::ZERO,
     );

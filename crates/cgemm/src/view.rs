@@ -4,7 +4,9 @@
 //! live inside `[batch, hidden, spatial...]` tensors. A [`MatView`] maps
 //! `(row, col)` to an element index with independent strides, which covers
 //! every layout the pipeline needs (packed, channel-major, mode-strided
-//! 2D slices).
+//! 2D slices). [`WeightStacking`] describes how a weight (`B`) operand
+//! advances across stacked sub-batches — the cuBLAS-strided-batched
+//! mechanism mixed-weight serving stacks ride on.
 
 /// Affine 2D view: element of `(row, col)` is
 /// `base + row * row_stride + col * col_stride`.
@@ -49,6 +51,65 @@ impl MatView {
     }
 }
 
+/// How a weight (`B`) operand advances across a stacked batch.
+///
+/// A coalesced serving stack packs `k` requests' weight matrices
+/// back-to-back (`[w_0 .. w_{k-1}]`, `stride` elements apart) and runs one
+/// launch whose batch axis covers every request's sub-batch. Each weight
+/// slice serves `group` consecutive batch entries — the per-request batch
+/// size — so batch entry `b` reads slice `b / group`:
+///
+/// ```text
+/// slice_base(b) = (b / group) * stride
+/// ```
+///
+/// [`WeightStacking::SHARED`] (`stride == 0`) is the classic single-weight
+/// batched GEMM where every batch entry reads the same matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WeightStacking {
+    /// Elements between consecutive weight slices (0 = one shared slice).
+    pub stride: usize,
+    /// Consecutive batch entries served by one slice (≥ 1).
+    pub group: usize,
+}
+
+impl WeightStacking {
+    /// One weight matrix shared by the whole batch.
+    pub const SHARED: WeightStacking = WeightStacking { stride: 0, group: 1 };
+
+    /// One weight slice every `group` batch entries, `stride` elements apart.
+    pub fn strided(stride: usize, group: usize) -> Self {
+        assert!(group >= 1, "weight stacking group must be >= 1");
+        WeightStacking { stride, group }
+    }
+
+    /// Is this the shared-weight layout?
+    pub fn is_shared(&self) -> bool {
+        self.stride == 0
+    }
+
+    /// Element offset of the weight slice serving batch entry `b`.
+    #[inline]
+    pub fn slice_base(&self, b: usize) -> usize {
+        (b / self.group) * self.stride
+    }
+
+    /// Number of distinct slices read by a batch of `batch` entries.
+    pub fn slices(&self, batch: usize) -> usize {
+        if self.stride == 0 {
+            1
+        } else {
+            batch.div_ceil(self.group)
+        }
+    }
+}
+
+impl Default for WeightStacking {
+    fn default() -> Self {
+        WeightStacking::SHARED
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +150,33 @@ mod tests {
                 assert_eq!(v.at(f, kk), kk * nf + f);
             }
         }
+    }
+
+    #[test]
+    fn shared_weight_stacking_never_advances() {
+        let ws = WeightStacking::SHARED;
+        assert!(ws.is_shared());
+        for b in 0..16 {
+            assert_eq!(ws.slice_base(b), 0);
+        }
+        assert_eq!(ws.slices(16), 1);
+    }
+
+    #[test]
+    fn strided_weight_stacking_advances_per_group() {
+        // 3 requests of per-request batch 2, weight slices 256 elements apart
+        let ws = WeightStacking::strided(256, 2);
+        assert_eq!(
+            (0..6).map(|b| ws.slice_base(b)).collect::<Vec<_>>(),
+            vec![0, 0, 256, 256, 512, 512]
+        );
+        assert_eq!(ws.slices(6), 3);
+        assert_eq!(ws.slices(5), 3, "partial last group still reads a slice");
+    }
+
+    #[test]
+    #[should_panic(expected = "group must be >= 1")]
+    fn zero_group_is_rejected() {
+        let _ = WeightStacking::strided(8, 0);
     }
 }

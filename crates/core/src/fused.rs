@@ -21,7 +21,9 @@
 
 use crate::swizzle::{EpilogueStaging, ForwardLayout};
 use std::hash::Hash;
-use tfno_cgemm::{AProvider, BOperand, CFragments, CgemmBlockEngine, MatView, TileConfig};
+use tfno_cgemm::{
+    AProvider, BOperand, CFragments, CgemmBlockEngine, MatView, TileConfig, WeightStacking,
+};
 use tfno_fft::{FftBlockEngine, FftIo, FftPlan, InstanceOrder, PencilTarget, TraceCache};
 use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx, WARP_SIZE};
 use tfno_num::{C32, C32_BYTES};
@@ -43,6 +45,9 @@ fn reg_bits_for(n: usize) -> usize {
 pub trait FusedGeometry: Sync {
     /// Blocks along the non-tiled axes (batch for 1D; batch x nfy for 2D).
     fn outer_blocks(&self) -> usize;
+    /// Batch index of an `outer` block — the axis stacked weight slices
+    /// are grouped along.
+    fn outer_batch(&self, outer: usize) -> usize;
     fn k_in(&self) -> usize;
     fn k_out(&self) -> usize;
     /// Length of the fused FFT (spatial extent along the transformed axis).
@@ -95,6 +100,9 @@ pub struct Geom1d {
 impl FusedGeometry for Geom1d {
     fn outer_blocks(&self) -> usize {
         self.batch
+    }
+    fn outer_batch(&self, outer: usize) -> usize {
+        outer
     }
     fn k_in(&self) -> usize {
         self.k_in
@@ -172,6 +180,9 @@ impl Geom2d {
 impl FusedGeometry for Geom2d {
     fn outer_blocks(&self) -> usize {
         self.batch * self.nfx
+    }
+    fn outer_batch(&self, outer: usize) -> usize {
+        self.split(outer).0
     }
     fn k_in(&self) -> usize {
         self.k_in
@@ -258,8 +269,12 @@ pub struct FusedKernel<G: FusedGeometry> {
     pub inv_plan: FftPlan,
     /// `x` (fused FFT) or pre-truncated modes (separate FFT).
     pub input: BufferId,
-    /// Weights `[k_in, k_out]` row-major.
+    /// Weights `[k_in, k_out]` row-major — one slice, or a
+    /// `weights`-strided stack of them.
     pub w: BufferId,
+    /// How `w` advances across the batch axis ([`WeightStacking::SHARED`]
+    /// unless the kernel serves a coalesced mixed-weight stack).
+    pub weights: WeightStacking,
     /// `y` rows (fused iFFT) or truncated modes (separate iFFT).
     pub output: BufferId,
     pub forward_layout: ForwardLayout,
@@ -305,6 +320,7 @@ impl<G: FusedGeometry> FusedKernel<G> {
             inv_plan,
             input,
             w,
+            weights: WeightStacking::SHARED,
             output,
             forward_layout: ForwardLayout::TurboContiguous,
             epilogue_swizzle: true,
@@ -322,6 +338,20 @@ impl<G: FusedGeometry> FusedKernel<G> {
     pub fn with_epilogue_swizzle(mut self, on: bool) -> Self {
         self.epilogue_swizzle = on;
         self
+    }
+
+    /// Serve a coalesced stack: `w` holds one `[k_in, k_out]` slice per
+    /// `ws.group` batch entries, `ws.stride` elements apart.
+    pub fn with_weight_stacking(mut self, ws: WeightStacking) -> Self {
+        self.weights = ws;
+        self
+    }
+
+    /// `B` view of the weight slice an `outer` block reads, shifted to
+    /// channel tile `n0`.
+    fn w_view(&self, outer: usize, n0: usize) -> MatView {
+        let base = self.weights.slice_base(self.geom.outer_batch(outer));
+        MatView::row_major(base, self.geom.k_out()).tile(0, n0)
     }
 
     fn n_tiles(&self) -> usize {
@@ -456,7 +486,7 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
             let mut a = AProvider::Custom(&mut provider_fn);
             let b = BOperand {
                 buf: self.w,
-                view: MatView::row_major(0, geom.k_out()).tile(0, n0),
+                view: self.w_view(outer, n0),
             };
             engine.run_mainloop(ctx, &mut a, &b, ms, active_n, 0)
         } else {
@@ -466,7 +496,7 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
             };
             let b = BOperand {
                 buf: self.w,
-                view: MatView::row_major(0, geom.k_out()).tile(0, n0),
+                view: self.w_view(outer, n0),
             };
             engine.run_mainloop(ctx, &mut a, &b, ms, active_n, 0)
         };
@@ -563,6 +593,7 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
             }
             self.forward_layout.hash(h);
             self.epilogue_swizzle.hash(h);
+            self.weights.hash(h);
             self.l1_hit_rate.to_bits().hash(h);
         }))
     }
@@ -575,8 +606,16 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
             } else {
                 vec![(0, nt as u64 - 1), (nt - 1, 1)]
             };
+        // Stacked weight slices whose stride is not sector-aligned give
+        // each outer its own weight-base phase; fall back to enumerating
+        // outers rather than reusing one representative's sector counts.
+        let outer_classes = if !self.weights.is_shared() && !self.weights.stride.is_multiple_of(4) {
+            (0..self.geom.outer_blocks()).map(|o| (o, 1)).collect()
+        } else {
+            self.geom.outer_classes()
+        };
         let mut classes = Vec::new();
-        for (outer_rep, outer_count) in self.geom.outer_classes() {
+        for (outer_rep, outer_count) in outer_classes {
             for &(nt_rep, nt_count) in &ntile_classes {
                 classes.push((outer_rep * nt + nt_rep, outer_count * nt_count));
             }

@@ -38,12 +38,12 @@ pub mod session;
 pub mod swizzle;
 
 pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
-#[allow(deprecated)]
-pub use pipeline::{run_variant_1d, run_variant_2d};
-pub use pipeline::{pick_best_1d, pick_best_2d, TurboOptions, Variant, TURBO_FFT_L1_HIT};
+pub use pipeline::{TurboOptions, Variant, TURBO_FFT_L1_HIT};
 pub use planner::{Planner, PlannerStats, TURBO_CANDIDATES};
 pub use pool::{BufferPool, PoolStats};
 pub use session::{LayerSpec, Request, Session};
+// The strided-batched weight layout mixed-weight serving stacks ride on.
+pub use tfno_cgemm::WeightStacking;
 pub use swizzle::{
     epilogue_store_pattern, fft_writeback_pattern, fig8_offset, forward_to_as_pattern,
     pattern_utilization, EpilogueStaging, ForwardLayout,

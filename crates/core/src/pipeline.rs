@@ -17,16 +17,18 @@
 //!
 //! The public execution surface is [`crate::Session`]: it owns the device,
 //! the memoizing [`crate::Planner`] and a scratch [`crate::BufferPool`],
-//! and dispatches [`crate::LayerSpec`]s through the executors here. The
-//! pre-Session free functions [`run_variant_1d`]/[`run_variant_2d`]
-//! survive one release as deprecated shims.
+//! and dispatches [`crate::LayerSpec`]s through the executors here. (The
+//! pre-Session `run_variant_{1d,2d}` shims have completed their one
+//! deprecation release and are gone; cold best-of evaluation lives on as
+//! `Planner::pick_best_{1d,2d}`.)
 
 use crate::fused::{FusedKernel, Geom1d, Geom2d};
 use crate::pool::BufferPool;
 use crate::swizzle::ForwardLayout;
-use tfno_cgemm::{BatchedOperand, GemmShape, MatView};
+use tfno_cgemm::{BatchedOperand, GemmShape, MatView, WeightStacking};
 use tfno_culib::{
-    run_pytorch_1d, run_pytorch_2d, CuBlas, FnoProblem1d, FnoProblem2d, PipelineRun, CUFFT_L1_HIT,
+    run_pytorch_1d_stacked, run_pytorch_2d_stacked, CuBlas, FnoProblem1d, FnoProblem2d,
+    PipelineRun, CUFFT_L1_HIT,
 };
 use tfno_fft::{
     BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
@@ -105,12 +107,27 @@ fn fused_n_tb(k_out: usize) -> usize {
     (k_out.div_ceil(16) * 16).clamp(16, 128)
 }
 
-/// The three tensor operands of one Fourier-layer execution.
+/// The three tensor operands of one Fourier-layer execution, plus the
+/// weight-stacking layout of `w` (shared single matrix unless the run is
+/// a coalesced mixed-weight stack).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct LayerBufs {
     pub x: BufferId,
     pub w: BufferId,
     pub y: BufferId,
+    pub ws: WeightStacking,
+}
+
+impl LayerBufs {
+    /// The classic layout: one weight matrix for the whole batch.
+    pub fn shared(x: BufferId, w: BufferId, y: BufferId) -> Self {
+        LayerBufs {
+            x,
+            w,
+            y,
+            ws: WeightStacking::SHARED,
+        }
+    }
 }
 
 /// Everything a pipeline execution needs from its surrounding
@@ -176,6 +193,7 @@ fn turbo_gemm_1d(
     p: &FnoProblem1d,
     xf_t: BufferId,
     w: BufferId,
+    ws: WeightStacking,
     yf_t: BufferId,
     mode: ExecMode,
 ) -> tfno_gpu_sim::LaunchRecord {
@@ -188,29 +206,25 @@ fn turbo_gemm_1d(
             n: p.k_out,
             k: p.k_in,
         },
-        BatchedOperand {
-            buf: xf_t,
-            view: MatView {
+        BatchedOperand::strided(
+            xf_t,
+            MatView {
                 base: 0,
                 row_stride: 1,
                 col_stride: p.nf,
             },
-            batch_stride: p.k_in * p.nf,
-        },
-        BatchedOperand {
-            buf: w,
-            view: MatView::row_major(0, p.k_out),
-            batch_stride: 0,
-        },
-        BatchedOperand {
-            buf: yf_t,
-            view: MatView {
+            p.k_in * p.nf,
+        ),
+        BatchedOperand::stacked(w, MatView::row_major(0, p.k_out), ws),
+        BatchedOperand::strided(
+            yf_t,
+            MatView {
                 base: 0,
                 row_stride: 1,
                 col_stride: p.nf,
             },
-            batch_stride: p.k_out * p.nf,
-        },
+            p.k_out * p.nf,
+        ),
         C32::ONE,
         C32::ZERO,
         mode,
@@ -251,12 +265,12 @@ impl ExecCtx<'_> {
             n: p.n,
             nf: p.nf,
         };
-        let LayerBufs { x, w, y } = b;
+        let LayerBufs { x, w, y, ws } = b;
         match variant {
             // The baseline allocates its copy temporaries per call on
             // purpose: that churn is part of the library stack it emulates
             // (only Turbo scratch goes through the pool).
-            Variant::Pytorch => return run_pytorch_1d(self.dev, p, x, w, y, mode),
+            Variant::Pytorch => return run_pytorch_1d_stacked(self.dev, p, x, w, ws, y, mode),
             Variant::TurboBest => {
                 let best = self.planner.plan_1d(&self.dev.config, p, opts);
                 return self.run_1d(p, best, b, opts, mode);
@@ -265,7 +279,7 @@ impl ExecCtx<'_> {
                 let xf_t = self.scratch(x, p.batch * p.k_in * p.nf, &mut leases);
                 let yf_t = self.scratch(x, p.batch * p.k_out * p.nf, &mut leases);
                 run.push(turbo_fft_1d(self.dev, p, x, xf_t, opts, mode));
-                run.push(turbo_gemm_1d(self.dev, p, xf_t, w, yf_t, mode));
+                run.push(turbo_gemm_1d(self.dev, p, xf_t, w, ws, yf_t, mode));
                 run.push(turbo_ifft_1d(self.dev, p, yf_t, y, opts, mode));
             }
             Variant::FusedFftGemm => {
@@ -282,7 +296,8 @@ impl ExecCtx<'_> {
                     opts.fft_l1_hit,
                 )
                 .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                .with_epilogue_swizzle(opts.epilogue_swizzle)
+                .with_weight_stacking(ws);
                 run.push(self.dev.launch(&k, mode));
                 run.push(turbo_ifft_1d(self.dev, p, yf_t, y, opts, mode));
             }
@@ -301,7 +316,8 @@ impl ExecCtx<'_> {
                     opts.fft_l1_hit,
                 )
                 .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                .with_epilogue_swizzle(opts.epilogue_swizzle)
+                .with_weight_stacking(ws);
                 run.push(self.dev.launch(&k, mode));
             }
             Variant::FullyFused => {
@@ -317,7 +333,8 @@ impl ExecCtx<'_> {
                     opts.fft_l1_hit,
                 )
                 .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                .with_epilogue_swizzle(opts.epilogue_swizzle)
+                .with_weight_stacking(ws);
                 run.push(self.dev.launch(&k, mode));
             }
         }
@@ -347,9 +364,9 @@ impl ExecCtx<'_> {
             nfy: p.nfy,
             nfx: p.nfx,
         };
-        let LayerBufs { x, w, y } = b;
+        let LayerBufs { x, w, y, ws } = b;
         if variant == Variant::Pytorch {
-            return run_pytorch_2d(self.dev, p, x, w, y, mode);
+            return run_pytorch_2d_stacked(self.dev, p, x, w, ws, y, mode);
         }
         if variant == Variant::TurboBest {
             let best = self.planner.plan_2d(&self.dev.config, p, opts);
@@ -367,7 +384,7 @@ impl ExecCtx<'_> {
                 let xf_t = self.scratch(x, p.batch * p.k_in * p.nfx * p.nfy, &mut leases);
                 let yf_t = self.scratch(x, p.batch * p.k_out * p.nfx * p.nfy, &mut leases);
                 run.push(turbo_fft_y(self.dev, p, t1, xf_t, opts, mode));
-                run.push(turbo_gemm_2d(self.dev, p, xf_t, w, yf_t, mode));
+                run.push(turbo_gemm_2d(self.dev, p, xf_t, w, ws, yf_t, mode));
                 run.push(turbo_ifft_y(self.dev, p, yf_t, t3, opts, mode));
             }
             Variant::FusedFftGemm => {
@@ -384,7 +401,8 @@ impl ExecCtx<'_> {
                     opts.fft_l1_hit,
                 )
                 .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                .with_epilogue_swizzle(opts.epilogue_swizzle)
+                .with_weight_stacking(ws);
                 run.push(self.dev.launch(&k, mode));
                 run.push(turbo_ifft_y(self.dev, p, yf_t, t3, opts, mode));
             }
@@ -403,7 +421,8 @@ impl ExecCtx<'_> {
                     opts.fft_l1_hit,
                 )
                 .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                .with_epilogue_swizzle(opts.epilogue_swizzle)
+                .with_weight_stacking(ws);
                 run.push(self.dev.launch(&k, mode));
             }
             Variant::FullyFused => {
@@ -419,7 +438,8 @@ impl ExecCtx<'_> {
                     opts.fft_l1_hit,
                 )
                 .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle);
+                .with_epilogue_swizzle(opts.epilogue_swizzle)
+                .with_weight_stacking(ws);
                 run.push(self.dev.launch(&k, mode));
             }
             Variant::Pytorch | Variant::TurboBest => unreachable!(),
@@ -430,75 +450,6 @@ impl ExecCtx<'_> {
         self.release(leases);
         run
     }
-}
-
-/// Run one variant of the 1D Fourier layer on bare buffers.
-///
-/// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]`, `y`: `[batch, k_out, n]`
-#[deprecated(
-    note = "use `Session::run` with a `LayerSpec` — this shim allocates fresh \
-            scratch per call (no pooling) and will be removed next release"
-)]
-// Frozen pre-Session signature; the allow goes away with the shim.
-#[allow(clippy::too_many_arguments)]
-pub fn run_variant_1d(
-    dev: &mut GpuDevice,
-    p: &FnoProblem1d,
-    variant: Variant,
-    x: BufferId,
-    w: BufferId,
-    y: BufferId,
-    opts: &TurboOptions,
-    mode: ExecMode,
-) -> PipelineRun {
-    let mut pool = BufferPool::new();
-    ExecCtx {
-        dev,
-        pool: &mut pool,
-        planner: crate::Planner::global(),
-    }
-    .run_1d(p, variant, LayerBufs { x, w, y }, opts, mode)
-}
-
-/// Run one variant of the 2D Fourier layer on bare buffers.
-///
-/// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
-///   `y`: `[batch, k_out, nx, ny]`
-#[deprecated(
-    note = "use `Session::run` with a `LayerSpec` — this shim allocates fresh \
-            scratch per call (no pooling) and will be removed next release"
-)]
-// Frozen pre-Session signature; the allow goes away with the shim.
-#[allow(clippy::too_many_arguments)]
-pub fn run_variant_2d(
-    dev: &mut GpuDevice,
-    p: &FnoProblem2d,
-    variant: Variant,
-    x: BufferId,
-    w: BufferId,
-    y: BufferId,
-    opts: &TurboOptions,
-    mode: ExecMode,
-) -> PipelineRun {
-    let mut pool = BufferPool::new();
-    ExecCtx {
-        dev,
-        pool: &mut pool,
-        planner: crate::Planner::global(),
-    }
-    .run_2d(p, variant, LayerBufs { x, w, y }, opts, mode)
-}
-
-/// Evaluate variants A–D analytically on scratch virtual buffers and return
-/// the fastest (the paper's "TurboFNO" best-of configuration). Always a
-/// cold evaluation; `Variant::TurboBest` dispatches go through the
-/// memoizing [`crate::planner::Planner`] instead.
-pub fn pick_best_1d(
-    cfg: &tfno_gpu_sim::DeviceConfig,
-    p: &FnoProblem1d,
-    opts: &TurboOptions,
-) -> Variant {
-    crate::planner::evaluate_1d(cfg, p, opts).0
 }
 
 // ---------------------------------------------------------------- 2D ----
@@ -605,6 +556,7 @@ fn turbo_gemm_2d(
     p: &FnoProblem2d,
     xf_t: BufferId,
     w: BufferId,
+    ws: WeightStacking,
     yf_t: BufferId,
     mode: ExecMode,
 ) -> tfno_gpu_sim::LaunchRecord {
@@ -618,41 +570,27 @@ fn turbo_gemm_2d(
             n: p.k_out,
             k: p.k_in,
         },
-        BatchedOperand {
-            buf: xf_t,
-            view: MatView {
+        BatchedOperand::strided(
+            xf_t,
+            MatView {
                 base: 0,
                 row_stride: 1,
                 col_stride: m,
             },
-            batch_stride: p.k_in * m,
-        },
-        BatchedOperand {
-            buf: w,
-            view: MatView::row_major(0, p.k_out),
-            batch_stride: 0,
-        },
-        BatchedOperand {
-            buf: yf_t,
-            view: MatView {
+            p.k_in * m,
+        ),
+        BatchedOperand::stacked(w, MatView::row_major(0, p.k_out), ws),
+        BatchedOperand::strided(
+            yf_t,
+            MatView {
                 base: 0,
                 row_stride: 1,
                 col_stride: m,
             },
-            batch_stride: p.k_out * m,
-        },
+            p.k_out * m,
+        ),
         C32::ONE,
         C32::ZERO,
         mode,
     )
-}
-
-/// Analytically pick the fastest Turbo variant for a 2D problem (cold
-/// evaluation; see [`pick_best_1d`]).
-pub fn pick_best_2d(
-    cfg: &tfno_gpu_sim::DeviceConfig,
-    p: &FnoProblem2d,
-    opts: &TurboOptions,
-) -> Variant {
-    crate::planner::evaluate_2d(cfg, p, opts).0
 }

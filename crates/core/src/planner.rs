@@ -11,16 +11,17 @@
 //! later plan of the same key is a hash lookup — zero simulated launches.
 //! Each [`Session`](crate::Session) owns a planner, so its models, benches
 //! and serving loops share one warm cache whose stats are observable per
-//! session; the deprecated `run_variant_{1d,2d}` shims fall back to the
-//! process-wide [`Planner::global`]. `pick_best_{1d,2d}` remain the
-//! uncached cold evaluation they always were.
+//! session. Cold, uncached best-of evaluation is exposed as
+//! [`Planner::pick_best_1d`]/[`Planner::pick_best_2d`]. Capping uses
+//! generational eviction (never a full wipe), and racing cold evaluations
+//! of one key are de-duplicated: one planner evaluates, the rest wait.
 
 use crate::pipeline::{ExecCtx, LayerBufs, TurboOptions, Variant};
 use crate::pool::BufferPool;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, OnceLock};
 use tfno_culib::{FnoProblem1d, FnoProblem2d};
 use tfno_gpu_sim::{configured_workers, DeviceConfig, ExecMode, GpuDevice};
 
@@ -43,16 +44,91 @@ pub struct PlannerStats {
     pub simulated_launches: u64,
 }
 
-/// Memoizing `TurboBest` planner.
+/// Two-generation plan cache: inserts and promotions land in `hot`; when
+/// `hot` fills half the cap, it rotates into `cold` and the previous
+/// `cold` generation is dropped. Capping therefore evicts only the least
+/// recently confirmed half of the entries — a full-cache `clear()` would
+/// force every live shape to re-evaluate at once (a re-evaluation storm).
 #[derive(Default)]
+struct PlanCache {
+    hot: HashMap<u64, Variant>,
+    cold: HashMap<u64, Variant>,
+}
+
+impl PlanCache {
+    /// `hot`/`cold` are disjoint, so the live entry count is the sum.
+    fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    fn clear(&mut self) {
+        self.hot.clear();
+        self.cold.clear();
+    }
+
+    fn get(&mut self, key: u64, cap: usize) -> Option<Variant> {
+        if let Some(v) = self.hot.get(&key) {
+            return Some(*v);
+        }
+        let v = self.cold.remove(&key)?;
+        self.put(key, v, cap);
+        Some(v)
+    }
+
+    fn put(&mut self, key: u64, v: Variant, cap: usize) {
+        if self.hot.len() >= (cap / 2).max(1) {
+            self.cold = std::mem::take(&mut self.hot);
+        }
+        self.hot.insert(key, v);
+    }
+}
+
+/// Removes the in-flight marker even if the evaluation panics, so waiting
+/// planners are never stranded on a key that will not resolve.
+struct PendingGuard<'a> {
+    planner: &'a Planner,
+    key: u64,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.planner.pending.lock().unwrap().remove(&self.key);
+        self.planner.pending_cv.notify_all();
+    }
+}
+
+/// Memoizing `TurboBest` planner.
 pub struct Planner {
-    cache: Mutex<HashMap<u64, Variant>>,
+    cache: Mutex<PlanCache>,
+    /// Keys currently being cold-evaluated (racing planners wait instead
+    /// of duplicating the four-candidate simulation).
+    pending: Mutex<HashSet<u64>>,
+    pending_cv: Condvar,
     stats: Mutex<PlannerStats>,
+    cap: usize,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new()
+    }
 }
 
 impl Planner {
     pub fn new() -> Self {
-        Self::default()
+        Planner::with_cache_cap(Self::CACHE_CAP)
+    }
+
+    /// A planner with a custom plan-cache entry cap (tests exercise the
+    /// eviction policy with small caps; serving code uses [`Planner::new`]).
+    pub fn with_cache_cap(cap: usize) -> Self {
+        Planner {
+            cache: Mutex::new(PlanCache::default()),
+            pending: Mutex::new(HashSet::new()),
+            pending_cv: Condvar::new(),
+            stats: Mutex::new(PlannerStats::default()),
+            cap: cap.max(2),
+        }
     }
 
     /// The process-wide planner used by `Variant::TurboBest` dispatches.
@@ -105,28 +181,57 @@ impl Planner {
         self.plan(h.finish(), || evaluate_2d(cfg, p, opts))
     }
 
-    /// Plan-cache entry cap (epoch eviction, like the launch memo): keeps
-    /// long-running shape-diverse processes bounded.
+    /// Default plan-cache entry cap: keeps long-running shape-diverse
+    /// processes bounded. Eviction is generational (see [`PlanCache`]), so
+    /// hitting the cap drops at most the stale half of the entries.
     const CACHE_CAP: usize = 1 << 16;
 
     fn plan(&self, key: u64, evaluate: impl FnOnce() -> (Variant, u64)) -> Variant {
-        if let Some(v) = self.cache.lock().unwrap().get(&key) {
+        loop {
+            if let Some(v) = self.cache.lock().unwrap().get(key, self.cap) {
+                self.stats.lock().unwrap().hits += 1;
+                return v;
+            }
+            // Claim the key, or wait for whichever planner holds it: racing
+            // cold evaluations of one key would double-count misses and
+            // simulated launches (and waste the whole four-candidate sweep).
+            let mut pending = self.pending.lock().unwrap();
+            if pending.insert(key) {
+                break;
+            }
+            while pending.contains(&key) {
+                pending = self.pending_cv.wait(pending).unwrap();
+            }
+            // The winner has published its plan; re-read the cache.
+        }
+        let _guard = PendingGuard { planner: self, key };
+        // The miss check and the pending claim are not atomic: the previous
+        // holder may have published its plan between them. Re-check before
+        // paying for an evaluation that already happened.
+        if let Some(v) = self.cache.lock().unwrap().get(key, self.cap) {
             self.stats.lock().unwrap().hits += 1;
-            return *v;
+            return v;
         }
-        // Evaluate outside the cache lock; concurrent planners of the same
-        // key may race, but they insert the same (deterministic) answer.
+        // Evaluate outside every lock; only this planner evaluates `key`.
         let (best, launches) = evaluate();
-        let mut cache = self.cache.lock().unwrap();
-        if cache.len() >= Self::CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(key, best);
-        drop(cache);
+        self.cache.lock().unwrap().put(key, best, self.cap);
         let mut stats = self.stats.lock().unwrap();
         stats.misses += 1;
         stats.simulated_launches += launches;
         best
+    }
+
+    /// Evaluate variants A–D analytically and return the fastest (the
+    /// paper's "TurboFNO" best-of configuration). Always a cold, uncached
+    /// evaluation; `Variant::TurboBest` dispatches use the memoized
+    /// [`Planner::plan_1d`] instead.
+    pub fn pick_best_1d(cfg: &DeviceConfig, p: &FnoProblem1d, opts: &TurboOptions) -> Variant {
+        evaluate_1d(cfg, p, opts).0
+    }
+
+    /// Cold best-of evaluation for a 2D problem (see [`Planner::pick_best_1d`]).
+    pub fn pick_best_2d(cfg: &DeviceConfig, p: &FnoProblem2d, opts: &TurboOptions) -> Variant {
+        evaluate_2d(cfg, p, opts).0
     }
 }
 
@@ -181,7 +286,7 @@ pub(crate) fn evaluate_1d(
             pool: &mut pool,
             planner: Planner::global(),
         }
-        .run_1d(p, v, LayerBufs { x, w, y }, opts, ExecMode::Analytical);
+        .run_1d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical);
         (run.total_us(), run.kernel_count() as u64)
     }))
 }
@@ -203,7 +308,7 @@ pub(crate) fn evaluate_2d(
             pool: &mut pool,
             planner: Planner::global(),
         }
-        .run_2d(p, v, LayerBufs { x, w, y }, opts, ExecMode::Analytical);
+        .run_2d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical);
         (run.total_us(), run.kernel_count() as u64)
     }))
 }
@@ -264,7 +369,6 @@ fn select(results: [(Variant, f64, u64); 4]) -> (Variant, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::{pick_best_1d, pick_best_2d};
 
     fn p1() -> FnoProblem1d {
         FnoProblem1d::new(2, 16, 16, 128, 32)
@@ -280,7 +384,7 @@ mod tests {
         let opts = TurboOptions::default();
         let planner = Planner::new();
 
-        let cold = pick_best_1d(&cfg, &p1(), &opts);
+        let cold = Planner::pick_best_1d(&cfg, &p1(), &opts);
         let first = planner.plan_1d(&cfg, &p1(), &opts);
         assert_eq!(first, cold, "planner must agree with the uncached scan");
         let after_first = planner.stats();
@@ -319,9 +423,85 @@ mod tests {
         let cfg = DeviceConfig::a100();
         let opts = TurboOptions::default();
         let planner = Planner::new();
-        assert_eq!(planner.plan_2d(&cfg, &p2(), &opts), pick_best_2d(&cfg, &p2(), &opts));
-        assert_eq!(planner.plan_2d(&cfg, &p2(), &opts), pick_best_2d(&cfg, &p2(), &opts));
+        assert_eq!(planner.plan_2d(&cfg, &p2(), &opts), Planner::pick_best_2d(&cfg, &p2(), &opts));
+        assert_eq!(planner.plan_2d(&cfg, &p2(), &opts), Planner::pick_best_2d(&cfg, &p2(), &opts));
         assert_eq!(planner.stats().hits, 1);
+    }
+
+    /// Regression (re-evaluation storm): hitting the cache cap must not
+    /// wipe every plan — recently planned shapes stay cached across an
+    /// eviction, and only older generations fall out.
+    #[test]
+    fn cap_evicts_generationally_not_wholesale() {
+        let cfg = DeviceConfig::a100();
+        let opts = TurboOptions::default();
+        // cap 4 -> hot generation holds 2 entries
+        let planner = Planner::with_cache_cap(4);
+        let shapes: Vec<FnoProblem1d> = (0..3)
+            .map(|i| FnoProblem1d::new(1 + i, 8, 8, 128, 32))
+            .collect();
+        for p in &shapes {
+            planner.plan_1d(&cfg, p, &opts);
+        }
+        assert_eq!(planner.stats().misses, 3);
+        assert!(planner.len() <= 4, "cache stays within its cap");
+        // The third insert rotated {shape0, shape1} into the cold
+        // generation; all three must still be hits, not re-evaluations.
+        for p in &shapes {
+            planner.plan_1d(&cfg, p, &opts);
+        }
+        let s = planner.stats();
+        assert_eq!(
+            s.misses, 3,
+            "re-planning recently cached shapes after an eviction must not re-evaluate"
+        );
+        assert_eq!(s.hits, 3);
+    }
+
+    /// With a tiny cap, old generations do eventually fall out — the cache
+    /// is bounded, and an evicted shape costs exactly one re-evaluation.
+    #[test]
+    fn cache_stays_bounded_under_shape_churn() {
+        let cfg = DeviceConfig::a100();
+        let opts = TurboOptions::default();
+        let planner = Planner::with_cache_cap(2);
+        for i in 0..5 {
+            planner.plan_1d(&cfg, &FnoProblem1d::new(1 + i, 8, 8, 128, 32), &opts);
+            assert!(planner.len() <= 2, "cap 2 exceeded: {}", planner.len());
+        }
+        assert_eq!(planner.stats().misses, 5);
+    }
+
+    /// Regression (racing cold evaluations): N threads planning the same
+    /// key concurrently must produce exactly one miss and one evaluation's
+    /// worth of simulated launches — not N.
+    #[test]
+    fn racing_planners_deduplicate_the_cold_evaluation() {
+        let cfg = DeviceConfig::a100();
+        let opts = TurboOptions::default();
+
+        // One uncontended evaluation's launch count, for comparison.
+        let reference = Planner::new();
+        reference.plan_1d(&cfg, &p1(), &opts);
+        let one_eval = reference.stats().simulated_launches;
+        assert!(one_eval > 0);
+
+        let planner = Planner::new();
+        let threads = 4;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| planner.plan_1d(&cfg, &p1(), &opts)))
+                .collect();
+            let plans: Vec<Variant> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(plans.windows(2).all(|w| w[0] == w[1]));
+        });
+        let s = planner.stats();
+        assert_eq!(s.misses, 1, "exactly one thread performs the cold evaluation");
+        assert_eq!(s.hits, threads - 1, "the racers are served from the cache");
+        assert_eq!(
+            s.simulated_launches, one_eval,
+            "simulated launches must not be double-counted by the race"
+        );
     }
 
     #[test]

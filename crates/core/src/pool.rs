@@ -15,7 +15,7 @@
 //! so stale contents are unobservable; the tests in `tests/session_api.rs`
 //! pin bitwise equality between pooled and fresh-buffer runs.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use tfno_gpu_sim::{BufferId, GpuDevice};
 
 /// Counters of one [`BufferPool`] (see [`BufferPool::stats`]).
@@ -41,6 +41,11 @@ pub struct PoolStats {
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: HashMap<(usize, bool), Vec<BufferId>>,
+    /// Ids currently sitting in `free` — O(1) double-release detection.
+    free_ids: HashSet<BufferId>,
+    /// Ids currently leased out. `release` only accepts members; foreign
+    /// buffers enter via the explicit [`BufferPool::adopt`].
+    leased_ids: HashSet<BufferId>,
     stats: PoolStats,
     seq: u64,
 }
@@ -54,6 +59,13 @@ impl BufferPool {
     /// same-shape pipeline run must report `hits > 0`).
     pub fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Number of `(length, virtualness)` size classes currently holding
+    /// free buffers. Bounded by the number of *pooled* buffers, not by the
+    /// number of shapes ever served: classes are pruned when they empty.
+    pub fn size_classes(&self) -> usize {
+        self.free.len()
     }
 
     /// Lease a real (value-carrying) buffer of `len` complex elements.
@@ -79,7 +91,15 @@ impl BufferPool {
     }
 
     fn acquire_class(&mut self, dev: &mut GpuDevice, len: usize, virt: bool) -> BufferId {
-        if let Some(id) = self.free.get_mut(&(len, virt)).and_then(Vec::pop) {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.free.entry((len, virt)) {
+            let id = e.get_mut().pop().expect("free lists are never left empty");
+            // Prune the class when it empties, or a shape-diverse serving
+            // loop grows the map by one dead entry per size ever seen.
+            if e.get().is_empty() {
+                e.remove();
+            }
+            self.free_ids.remove(&id);
+            self.leased_ids.insert(id);
             self.stats.hits += 1;
             self.stats.leased += 1;
             self.stats.pooled -= 1;
@@ -89,31 +109,64 @@ impl BufferPool {
         self.stats.leased += 1;
         self.seq += 1;
         let name = format!("pool.{}{}", if virt { "v" } else { "b" }, self.seq);
-        if virt {
+        let id = if virt {
             dev.memory.alloc_virtual(&name, len)
         } else {
             dev.alloc(&name, len)
-        }
+        };
+        self.leased_ids.insert(id);
+        id
     }
 
-    /// Return a leased buffer to its size class. Accepts any buffer of
-    /// `dev` (adopting foreign buffers into the pool is allowed); contents
-    /// are left as-is — the next lessee must fully overwrite before
-    /// reading, which every pipeline stage does.
+    /// Return a leased buffer to its size class. Contents are left as-is —
+    /// the next lessee must fully overwrite before reading, which every
+    /// pipeline stage does.
     ///
     /// # Panics
-    /// On a double release: handing the same id back twice would let two
-    /// later leases alias one buffer and silently corrupt results.
+    /// * On a double release: handing the same id back twice would let two
+    ///   later leases alias one buffer and silently corrupt results.
+    /// * On an id this pool never leased: silently accepting it used to
+    ///   skew the `leased`/`pooled` counters (the decrement saturated
+    ///   against leases that never happened). Foreign buffers must enter
+    ///   through the explicit [`BufferPool::adopt`].
     pub fn release(&mut self, dev: &GpuDevice, id: BufferId) {
-        let key = (dev.memory.len(id), dev.memory.is_virtual(id));
-        let list = self.free.entry(key).or_default();
         assert!(
-            !list.contains(&id),
+            !self.free_ids.contains(&id),
             "double release of pooled buffer {id:?} ({} elements)",
-            key.0
+            dev.memory.len(id)
         );
-        list.push(id);
-        self.stats.leased = self.stats.leased.saturating_sub(1);
+        assert!(
+            self.leased_ids.remove(&id),
+            "released buffer {id:?} was never leased from this pool; \
+             use `adopt` to donate a foreign buffer"
+        );
+        self.park(dev, id);
+        self.stats.leased -= 1;
+    }
+
+    /// Donate a buffer this pool never leased (e.g. a caller-allocated
+    /// operand that is no longer needed) to the free lists. Unlike
+    /// [`BufferPool::release`] this does not touch the `leased` counter —
+    /// the buffer was never leased, so there is nothing to decrement.
+    ///
+    /// # Panics
+    /// If the buffer is already pooled or currently leased.
+    pub fn adopt(&mut self, dev: &GpuDevice, id: BufferId) {
+        assert!(
+            !self.free_ids.contains(&id),
+            "adopting buffer {id:?} twice would alias later leases"
+        );
+        assert!(
+            !self.leased_ids.contains(&id),
+            "buffer {id:?} is currently leased from this pool; release it instead"
+        );
+        self.park(dev, id);
+    }
+
+    fn park(&mut self, dev: &GpuDevice, id: BufferId) {
+        let key = (dev.memory.len(id), dev.memory.is_virtual(id));
+        self.free.entry(key).or_default().push(id);
+        self.free_ids.insert(id);
         self.stats.pooled += 1;
     }
 }
@@ -183,5 +236,81 @@ mod tests {
         assert_eq!((pool.stats().leased, pool.stats().pooled), (1, 0));
         pool.release(&dev, a);
         assert_eq!((pool.stats().leased, pool.stats().pooled), (0, 1));
+    }
+
+    /// Regression: releasing a buffer the pool never leased used to be
+    /// silently absorbed (with `leased` saturating toward zero and `pooled`
+    /// inflating). It must be rejected loudly.
+    #[test]
+    #[should_panic(expected = "never leased from this pool")]
+    fn releasing_a_foreign_buffer_is_rejected() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let foreign = dev.alloc("foreign", 32);
+        pool.release(&dev, foreign);
+    }
+
+    /// Regression companion: the counters stay exact when foreign buffers
+    /// enter through the explicit adoption path.
+    #[test]
+    fn adoption_is_explicit_and_keeps_stats_exact() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let leased = pool.acquire(&mut dev, 32);
+        let foreign = dev.alloc("foreign", 32);
+        pool.adopt(&dev, foreign);
+        // one lease out, one adopted buffer pooled — not 0/2 or 2/0
+        assert_eq!((pool.stats().leased, pool.stats().pooled), (1, 1));
+        // the adopted buffer satisfies the next same-class lease
+        let next = pool.acquire(&mut dev, 32);
+        assert_eq!(next, foreign);
+        assert_eq!(pool.stats().hits, 1);
+        pool.release(&dev, leased);
+        pool.release(&dev, next);
+        assert_eq!((pool.stats().leased, pool.stats().pooled), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "adopting buffer")]
+    fn double_adoption_is_rejected() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let foreign = dev.alloc("foreign", 8);
+        pool.adopt(&dev, foreign);
+        pool.adopt(&dev, foreign);
+    }
+
+    #[test]
+    #[should_panic(expected = "currently leased")]
+    fn adopting_a_leased_buffer_is_rejected() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        let a = pool.acquire(&mut dev, 8);
+        pool.adopt(&dev, a);
+    }
+
+    /// Regression: a shape-diverse serving loop must not grow the free map
+    /// by one empty `Vec` per size class ever seen — emptied classes are
+    /// pruned, so the map tracks *pooled buffers*, not history.
+    #[test]
+    fn empty_size_classes_are_pruned() {
+        let mut dev = GpuDevice::a100();
+        let mut pool = BufferPool::new();
+        for len in (1..=64).map(|i| i * 17) {
+            let a = pool.acquire(&mut dev, len);
+            pool.release(&dev, a);
+            let b = pool.acquire(&mut dev, len); // re-lease empties the class
+            assert_eq!(a, b);
+            assert_eq!(
+                pool.size_classes(),
+                0,
+                "emptied class for len {len} must be pruned"
+            );
+            pool.release(&dev, b);
+            assert_eq!(pool.size_classes(), 1);
+            let _ = pool.acquire(&mut dev, len);
+        }
+        assert_eq!(pool.size_classes(), 0);
+        assert_eq!(pool.stats().leased, 64, "every final lease is live");
     }
 }

@@ -32,7 +32,8 @@
 use crate::pipeline::{ExecCtx, LayerBufs, TurboOptions, Variant};
 use crate::planner::{Planner, PlannerStats};
 use crate::pool::{BufferPool, PoolStats};
-use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
+use tfno_cgemm::WeightStacking;
+use tfno_culib::{CopySegment, FnoProblem1d, FnoProblem2d, PipelineRun, SegmentedCopyKernel};
 use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice};
 use tfno_num::C32;
 
@@ -326,6 +327,12 @@ impl Session {
         self.pool.release(&self.dev, id);
     }
 
+    /// Donate a buffer the pool never leased (e.g. one created with
+    /// [`Session::alloc`] that is no longer needed) to the free lists.
+    pub fn adopt(&mut self, id: BufferId) {
+        self.pool.adopt(&self.dev, id);
+    }
+
     pub fn upload(&mut self, id: BufferId, data: &[C32]) {
         self.dev.upload(id, data);
     }
@@ -364,7 +371,10 @@ impl Session {
         w: BufferId,
         y: BufferId,
     ) -> PipelineRun {
-        let bufs = LayerBufs { x, w, y };
+        self.run_bufs(spec, variant, LayerBufs::shared(x, w, y))
+    }
+
+    fn run_bufs(&mut self, spec: &LayerSpec, variant: Variant, bufs: LayerBufs) -> PipelineRun {
         let (opts, exec) = (spec.opts, spec.exec);
         if let Some(p) = spec.problem_1d() {
             self.ctx().run_1d(&p, variant, bufs, &opts, exec)
@@ -393,29 +403,39 @@ impl Session {
     /// * Requests with identical specs share one planning decision —
     ///   `TurboBest` is resolved once per shape group, so N same-shape
     ///   requests cost exactly one (possibly cached) plan.
-    /// * Within a shape group, requests that also share the same weight
-    ///   buffer (functional mode, value-carrying buffers) are stacked
-    ///   along the batch axis and executed as a single batched launch
-    ///   sequence; per-sample results are bitwise-identical to sequential
-    ///   [`Session::run`] calls because every kernel treats batch entries
-    ///   independently.
-    /// * Everything else runs back-to-back through the shared scratch
-    ///   pool, so N same-shape requests allocate scratch once and reuse
-    ///   it N−1 times.
+    /// * Within a shape group, every stackable request (functional mode,
+    ///   value-carrying buffers) joins **one** stack along the batch axis
+    ///   and executes as a single batched launch sequence — *even when the
+    ///   requests use different weight buffers*: the weights are packed
+    ///   into a pooled strided buffer and the kernels read one slice per
+    ///   stacked sub-batch ([`WeightStacking`]). Per-sample results are
+    ///   bitwise-identical to sequential [`Session::run`] calls because
+    ///   every kernel treats batch entries independently.
+    /// * Everything else (virtual buffers, analytical mode) runs
+    ///   back-to-back through the shared scratch pool, so N same-shape
+    ///   requests allocate scratch once and reuse it N−1 times.
     ///
     /// Returns one [`PipelineRun`] per request, in order. A coalesced
-    /// group reports its launches on the group's first request; the other
-    /// members report empty runs (their outputs are still written).
+    /// group reports its launches (a device-side gather, the pipeline
+    /// kernels, a device-side scatter) on the group's first request; the
+    /// other members report empty runs (their outputs are still written).
     ///
     /// The queue is a *parallel batch*: no request's output buffer may be
-    /// another request's operand (coalescing and shape grouping reorder
-    /// execution, so chained layers must go through sequential
-    /// [`Session::run`] calls). Violations panic.
+    /// one of its own or another request's operands (coalescing and shape
+    /// grouping reorder execution, so chained or in-place layers must go
+    /// through sequential [`Session::run`] calls). Violations panic.
     pub fn run_many(&mut self, reqs: &[Request]) -> Vec<PipelineRun> {
         for r in reqs {
             self.validate(&r.spec, r.x, r.w, r.y);
         }
         for (i, a) in reqs.iter().enumerate() {
+            assert!(
+                a.y != a.x && a.y != a.w,
+                "run_many request {i} is self-aliased (y == {}): group-reordered \
+                 execution would run it in-place; use a distinct output buffer or a \
+                 sequential `run` call",
+                if a.y == a.x { "x" } else { "w" }
+            );
             for (j, b) in reqs.iter().enumerate() {
                 assert!(
                     i == j || (a.y != b.x && a.y != b.w && a.y != b.y),
@@ -440,32 +460,19 @@ impl Session {
             }
             let concrete = self.resolve(&reqs[i].spec);
 
-            // Sub-groups of stackable requests sharing a weight buffer
-            // coalesce into one launch; everything else (virtual buffers,
-            // analytical mode, lone weights) runs sequentially.
-            let mut rest: Vec<usize> = Vec::new();
-            let mut stacks: Vec<Vec<usize>> = Vec::new();
-            for &j in &group {
-                if !self.stackable(&reqs[j]) {
-                    rest.push(j);
-                    continue;
-                }
-                match stacks.iter_mut().find(|s| reqs[s[0]].w == reqs[j].w) {
-                    Some(s) => s.push(j),
-                    None => stacks.push(vec![j]),
-                }
+            // One stack for the whole shape group, mixed weights included;
+            // non-stackable members (virtual buffers, analytical mode) run
+            // sequentially, as does a singleton — it gains nothing from
+            // the staging copies.
+            let (mut stack, mut rest): (Vec<usize>, Vec<usize>) = group
+                .iter()
+                .copied()
+                .partition(|&j| self.stackable(&reqs[j]));
+            if stack.len() < 2 {
+                rest.append(&mut stack);
+                rest.sort_unstable();
             }
-            // Singletons gain nothing from the stacking copies.
-            stacks.retain(|s| {
-                if s.len() < 2 {
-                    rest.extend(s.iter().copied());
-                    false
-                } else {
-                    true
-                }
-            });
-
-            for stack in stacks {
+            if !stack.is_empty() {
                 let run = self.run_stacked(reqs, &stack, concrete);
                 let mut run = Some(run);
                 for &j in &stack {
@@ -480,8 +487,8 @@ impl Session {
         out.into_iter().map(|r| r.expect("every request ran")).collect()
     }
 
-    /// Stacking needs value movement through the host staging path, so it
-    /// requires functional execution on real buffers.
+    /// Stacking moves values through device-side gather/scatter copies, so
+    /// it requires functional execution on real buffers.
     fn stackable(&self, r: &Request) -> bool {
         r.spec.exec == ExecMode::Functional
             && !self.dev.memory.is_virtual(r.x)
@@ -489,33 +496,84 @@ impl Session {
             && !self.dev.memory.is_virtual(r.w)
     }
 
-    /// Execute a same-spec, same-weight stack of requests as one batched
-    /// launch sequence: gather the inputs into a pooled stacked buffer
-    /// (host-side staging — the model's analogue of the serving host
-    /// assembling a batch outside the timed region), run the pipeline once
-    /// at `batch * stack_len`, and scatter the outputs back.
+    /// Execute a same-spec stack of requests as one batched launch
+    /// sequence:
+    ///
+    /// 1. one device-side gather launch assembles the stacked input
+    ///    `[x_0 .. x_{k-1}]` — and, when the requests use different weight
+    ///    buffers, packs `[w_0 .. w_{k-1}]` into a pooled strided weight
+    ///    buffer in the same launch;
+    /// 2. the pipeline runs once at `batch * stack_len`, with the weight
+    ///    operand advancing one slice per stacked sub-batch
+    ///    ([`WeightStacking`]);
+    /// 3. one device-side scatter launch redistributes the stacked output
+    ///    to the requests' `y` buffers.
+    ///
+    /// No values round-trip through the host, and the launch count is the
+    /// same whether the stack shares one weight buffer or uses `k`
+    /// distinct ones.
     fn run_stacked(&mut self, reqs: &[Request], stack: &[usize], concrete: Variant) -> PipelineRun {
-        let spec = reqs[stack[0]].spec.stacked(stack.len());
-        let w = reqs[stack[0]].w;
-        let out_len = reqs[stack[0]].spec.output_len();
+        let base = reqs[stack[0]].spec;
+        let spec = base.stacked(stack.len());
+        let (in_len, out_len, w_len) = (base.input_len(), base.output_len(), base.weight_len());
 
         let sx = self.acquire(spec.input_len());
         let sy = self.acquire(spec.output_len());
-        let mut xs: Vec<C32> = Vec::with_capacity(spec.input_len());
-        for &j in stack {
-            xs.extend(self.dev.download(reqs[j].x));
-        }
-        debug_assert_eq!(xs.len(), spec.input_len());
-        self.dev.upload(sx, &xs);
 
-        let run = self.run_unchecked(&spec, concrete, sx, w, sy);
+        // Gather inputs (and, for mixed weights, the packed weight stack)
+        // in one launch.
+        let mut gather: Vec<CopySegment> = stack
+            .iter()
+            .enumerate()
+            .map(|(pos, &j)| CopySegment {
+                src: reqs[j].x,
+                src_base: 0,
+                dst: sx,
+                dst_base: pos * in_len,
+                len: in_len,
+            })
+            .collect();
+        let mixed = stack.iter().any(|&j| reqs[j].w != reqs[stack[0]].w);
+        let (w, ws, sw) = if mixed {
+            let sw = self.acquire(stack.len() * w_len);
+            gather.extend(stack.iter().enumerate().map(|(pos, &j)| CopySegment {
+                src: reqs[j].w,
+                src_base: 0,
+                dst: sw,
+                dst_base: pos * w_len,
+                len: w_len,
+            }));
+            (sw, WeightStacking::strided(w_len, base.batch()), Some(sw))
+        } else {
+            (reqs[stack[0]].w, WeightStacking::SHARED, None)
+        };
 
-        let ys = self.dev.download(sy);
-        for (pos, &j) in stack.iter().enumerate() {
-            self.dev.upload(reqs[j].y, &ys[pos * out_len..(pos + 1) * out_len]);
-        }
+        let mut run = PipelineRun::default();
+        let gather = SegmentedCopyKernel::new("serve.gather", gather);
+        run.push(self.dev.launch(&gather, ExecMode::Functional));
+
+        let pipeline = self.run_bufs(&spec, concrete, LayerBufs { x: sx, w, y: sy, ws });
+        run.launches.extend(pipeline.launches);
+
+        let scatter: Vec<CopySegment> = stack
+            .iter()
+            .enumerate()
+            .map(|(pos, &j)| CopySegment {
+                src: sy,
+                src_base: pos * out_len,
+                dst: reqs[j].y,
+                dst_base: 0,
+                len: out_len,
+            })
+            .collect();
+        let scatter = SegmentedCopyKernel::new("serve.scatter", scatter);
+        run.push(self.dev.launch(&scatter, ExecMode::Functional));
+
         self.release(sx);
         self.release(sy);
+        if let Some(sw) = sw {
+            self.release(sw);
+        }
         run
     }
 

@@ -87,21 +87,9 @@ mod tests {
             &mut dev,
             "gemm",
             GemmShape { batch, m, n, k },
-            BatchedOperand {
-                buf: a_buf,
-                view: MatView::row_major(0, k),
-                batch_stride: m * k,
-            },
-            BatchedOperand {
-                buf: b_buf,
-                view: MatView::row_major(0, n),
-                batch_stride: 0,
-            },
-            BatchedOperand {
-                buf: c_buf,
-                view: MatView::row_major(0, n),
-                batch_stride: m * n,
-            },
+            BatchedOperand::strided(a_buf, MatView::row_major(0, k), m * k),
+            BatchedOperand::shared(b_buf, MatView::row_major(0, n)),
+            BatchedOperand::strided(c_buf, MatView::row_major(0, n), m * n),
             C32::ONE,
             C32::ZERO,
             ExecMode::Functional,

@@ -22,8 +22,14 @@ pub mod cufft;
 pub mod problem;
 pub mod pytorch;
 
-pub use copy::{CornerPad2d, CornerTruncate2d, RowPad, RowTruncate, StridedCopyKernel};
+pub use copy::{
+    CopySegment, CornerPad2d, CornerTruncate2d, RowPad, RowTruncate, SegmentedCopyKernel,
+    StridedCopyKernel,
+};
 pub use cublas::CuBlas;
 pub use cufft::{CuFft, CUFFT_L1_HIT};
 pub use problem::{FnoProblem1d, FnoProblem2d};
-pub use pytorch::{alloc_like, run_pytorch_1d, run_pytorch_2d, PipelineRun};
+pub use pytorch::{
+    alloc_like, run_pytorch_1d, run_pytorch_1d_stacked, run_pytorch_2d, run_pytorch_2d_stacked,
+    PipelineRun,
+};

@@ -15,7 +15,7 @@ use crate::copy::{CornerPad2d, CornerTruncate2d, RowPad, RowTruncate, StridedCop
 use crate::cublas::CuBlas;
 use crate::cufft::CuFft;
 use crate::problem::{FnoProblem1d, FnoProblem2d};
-use tfno_cgemm::{BatchedOperand, GemmShape, MatView};
+use tfno_cgemm::{BatchedOperand, GemmShape, MatView, WeightStacking};
 use tfno_fft::{FftDirection, StridedPencils};
 use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, KernelStats, LaunchRecord};
 
@@ -65,6 +65,21 @@ pub fn run_pytorch_1d(
     y: BufferId,
     mode: ExecMode,
 ) -> PipelineRun {
+    run_pytorch_1d_stacked(dev, p, x, w, WeightStacking::SHARED, y, mode)
+}
+
+/// [`run_pytorch_1d`] with a stacked weight operand: `w` holds one
+/// `[k_in, k_out]` slice per `ws.group` consecutive batch entries (the
+/// mixed-weight serving stack collapsed into one baseline launch sequence).
+pub fn run_pytorch_1d_stacked(
+    dev: &mut GpuDevice,
+    p: &FnoProblem1d,
+    x: BufferId,
+    w: BufferId,
+    ws: WeightStacking,
+    y: BufferId,
+    mode: ExecMode,
+) -> PipelineRun {
     let mut run = PipelineRun::default();
     let (b, ki, ko, n, nf) = (p.batch, p.k_in, p.k_out, p.n, p.nf);
 
@@ -108,29 +123,9 @@ pub fn run_pytorch_1d(
             n: ko,
             k: ki,
         },
-        BatchedOperand {
-            buf: xf_t,
-            view: MatView {
-                base: 0,
-                row_stride: 1,
-                col_stride: nf,
-            },
-            batch_stride: ki * nf,
-        },
-        BatchedOperand {
-            buf: w,
-            view: MatView::row_major(0, ko),
-            batch_stride: 0,
-        },
-        BatchedOperand {
-            buf: yf_t,
-            view: MatView {
-                base: 0,
-                row_stride: 1,
-                col_stride: nf,
-            },
-            batch_stride: ko * nf,
-        },
+        BatchedOperand::strided(xf_t, MatView { base: 0, row_stride: 1, col_stride: nf, }, ki * nf),
+        BatchedOperand::stacked(w, MatView::row_major(0, ko), ws),
+        BatchedOperand::strided(yf_t, MatView { base: 0, row_stride: 1, col_stride: nf, }, ko * nf),
         tfno_num::C32::ONE,
         tfno_num::C32::ZERO,
         mode,
@@ -173,6 +168,20 @@ pub fn run_pytorch_2d(
     p: &FnoProblem2d,
     x: BufferId,
     w: BufferId,
+    y: BufferId,
+    mode: ExecMode,
+) -> PipelineRun {
+    run_pytorch_2d_stacked(dev, p, x, w, WeightStacking::SHARED, y, mode)
+}
+
+/// [`run_pytorch_2d`] with a stacked weight operand (see
+/// [`run_pytorch_1d_stacked`]).
+pub fn run_pytorch_2d_stacked(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    x: BufferId,
+    w: BufferId,
+    ws: WeightStacking,
     y: BufferId,
     mode: ExecMode,
 ) -> PipelineRun {
@@ -246,29 +255,9 @@ pub fn run_pytorch_2d(
             n: ko,
             k: ki,
         },
-        BatchedOperand {
-            buf: xf_t,
-            view: MatView {
-                base: 0,
-                row_stride: 1,
-                col_stride: m,
-            },
-            batch_stride: ki * m,
-        },
-        BatchedOperand {
-            buf: w,
-            view: MatView::row_major(0, ko),
-            batch_stride: 0,
-        },
-        BatchedOperand {
-            buf: yf_t,
-            view: MatView {
-                base: 0,
-                row_stride: 1,
-                col_stride: m,
-            },
-            batch_stride: ko * m,
-        },
+        BatchedOperand::strided(xf_t, MatView { base: 0, row_stride: 1, col_stride: m, }, ki * m),
+        BatchedOperand::stacked(w, MatView::row_major(0, ko), ws),
+        BatchedOperand::strided(yf_t, MatView { base: 0, row_stride: 1, col_stride: m, }, ko * m),
         tfno_num::C32::ONE,
         tfno_num::C32::ZERO,
         mode,

@@ -155,29 +155,25 @@ impl PerModeSpectralConv1d {
                 n: k_out,
                 k: k_in,
             },
-            BatchedOperand {
-                buf: xf,
-                view: MatView {
+            BatchedOperand::strided(
+                xf,
+                MatView {
                     base: 0,
                     row_stride: k_in * nf, // next batch row
                     col_stride: nf,        // next hidden channel
                 },
-                batch_stride: 1, // next mode
-            },
-            BatchedOperand {
-                buf: wb,
-                view: MatView::row_major(0, k_out),
-                batch_stride: k_in * k_out,
-            },
-            BatchedOperand {
-                buf: yf,
-                view: MatView {
+                1, // next mode
+            ),
+            BatchedOperand::strided(wb, MatView::row_major(0, k_out), k_in * k_out),
+            BatchedOperand::strided(
+                yf,
+                MatView {
                     base: 0,
                     row_stride: k_out * nf,
                     col_stride: nf,
                 },
-                batch_stride: 1,
-            },
+                1,
+            ),
             C32::ONE,
             C32::ZERO,
             ExecMode::Functional,

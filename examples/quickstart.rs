@@ -97,6 +97,34 @@ fn main() {
     }
     println!("\nrun_many: 4 queued same-shape requests -> {coalesced} kernel launches total");
 
+    // Mixed-weight serving: four requests from four *different* models
+    // (distinct weight buffers) still coalesce into one stacked launch
+    // sequence — the weights are packed into a pooled strided buffer and
+    // each stacked sub-batch reads its own slice.
+    let mixed: Vec<Request> = (0..4)
+        .map(|_| {
+            let w = sess.alloc("demo.w_i", spec.weight_len());
+            sess.upload(w, layer.weight.data());
+            Request {
+                spec,
+                x: xb,
+                w,
+                y: sess.acquire(spec.output_len()),
+            }
+        })
+        .collect();
+    let mixed_runs = sess.run_many(&mixed);
+    let mixed_coalesced: usize = mixed_runs.iter().map(|r| r.kernel_count()).sum();
+    assert_eq!(
+        mixed_coalesced, coalesced,
+        "mixed weights must stack exactly like a shared weight"
+    );
+    for r in &mixed {
+        let err = rel_l2_error(&sess.download(r.y), reference.data());
+        assert!(err < 1e-4, "mixed-weight run_many diverged: {err}");
+    }
+    println!("run_many: 4 distinct-weight requests -> {mixed_coalesced} launches (same stack)");
+
     let (pool, plans) = (sess.pool_stats(), sess.planner_stats());
     println!(
         "session caches: planner {} hits / {} misses, pool {} hits / {} misses",

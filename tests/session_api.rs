@@ -1,10 +1,11 @@
 //! Integration tests of the `Session` execution surface: batched
 //! `run_many` semantics, planner/pool reuse guarantees, coalesced stacked
-//! launches, and equivalence with the deprecated free-function shims.
+//! launches (same-weight *and* mixed-weight), and the aliasing rules.
 
+use proptest::prelude::*;
 use tfno_num::C32;
 use turbofno::{
-    BufferPool, FnoProblem1d, FnoProblem2d, LayerSpec, Request, Session, TurboOptions, Variant,
+    BufferPool, FnoProblem1d, LayerSpec, Request, Session, Variant,
 };
 use turbofno_suite::gpu_sim::{BufferId, ExecMode, GpuDevice};
 
@@ -29,14 +30,26 @@ fn operands(sess: &mut Session, spec: &LayerSpec, seed: f32) -> (BufferId, Buffe
     (x, w, y)
 }
 
+/// Run `spec` alone in a fresh session with the given input/weight seeds
+/// and return the output values — the reference every coalescing test
+/// compares against bitwise.
+fn solo_output(spec: &LayerSpec, x_seed: f32, w_seed: f32) -> Vec<C32> {
+    let mut solo = Session::a100();
+    let x = solo.alloc("x", spec.input_len());
+    let w = solo.alloc("w", spec.weight_len());
+    let y = solo.alloc("y", spec.output_len());
+    solo.upload(x, &rand_vec(spec.input_len(), x_seed));
+    solo.upload(w, &rand_vec(spec.weight_len(), w_seed));
+    solo.run(spec, x, w, y);
+    solo.download(y)
+}
+
 /// Acceptance: `run_many` over a mixed-shape queue is bitwise-equal to
 /// issuing the same requests through sequential `run` calls, N same-shape
-/// requests cost exactly one plan, and the pooled scratch is reused at
-/// least N−1 times.
+/// requests cost exactly one plan, and re-serving the queue recycles the
+/// pooled staging/scratch buffers.
 #[test]
 fn run_many_matches_sequential_runs_bitwise() {
-    // FftOpt shapes so scratch buffers exist; distinct weights per request
-    // keep the sequential pooled path (no stacking).
     let spec1 = LayerSpec::d1(2, 12, 16, 128).modes(32).variant(Variant::TurboBest);
     let spec2 = LayerSpec::d2(1, 8, 8, 32, 64)
         .modes_xy(8, 32)
@@ -64,15 +77,16 @@ fn run_many_matches_sequential_runs_bitwise() {
         (1, 0),
         "same-shape group must plan exactly once"
     );
-    // spec2 (variant A, 2D) leases four scratch tensors (t1, t3, xf_t,
-    // yf_t) on its first request; its second request must recycle all four.
-    // (spec1's TurboBest plan may resolve to the fully fused kernel, which
-    // needs no scratch, so the guaranteed floor comes from spec2.)
-    assert!(
-        batch_sess.pool_stats().hits >= 4,
-        "pooled scratch must be reused across a shape group: {:?}",
-        batch_sess.pool_stats()
+    // Re-serving the same queue must recycle every pooled staging and
+    // scratch buffer the first pass allocated.
+    let cold = batch_sess.pool_stats();
+    batch_sess.run_many(&reqs);
+    let warm = batch_sess.pool_stats();
+    assert_eq!(
+        warm.misses, cold.misses,
+        "second pass over the queue must allocate nothing new"
     );
+    assert!(warm.hits > cold.hits, "pooled buffers must be reused");
 
     // Sequential reference: same data through `run`, one call at a time.
     let mut seq_sess = Session::a100();
@@ -145,8 +159,8 @@ fn second_request_plans_nothing() {
 }
 
 /// Requests sharing spec *and* weight buffer coalesce into one stacked
-/// batched launch sequence: bitwise-equal outputs, strictly fewer kernel
-/// launches than sequential execution.
+/// batched launch sequence (gather, pipeline, scatter): bitwise-equal
+/// outputs, strictly fewer kernel launches than sequential execution.
 #[test]
 fn same_weight_requests_coalesce_into_one_stacked_launch() {
     let spec = LayerSpec::d1(2, 8, 12, 128).modes(32).variant(Variant::FftOpt);
@@ -163,60 +177,134 @@ fn same_weight_requests_coalesce_into_one_stacked_launch() {
         .collect();
     let runs = sess.run_many(&reqs);
 
-    // One 3-kernel pipeline for the whole stack, attributed to the first
-    // request of the coalesced group.
+    // One launch sequence for the whole stack — device-side gather, the
+    // 3-kernel FftOpt pipeline, device-side scatter — attributed to the
+    // first request of the coalesced group.
     let counts: Vec<usize> = runs.iter().map(|r| r.kernel_count()).collect();
-    assert_eq!(counts, vec![3, 0, 0], "stack must run as one launch sequence");
+    assert_eq!(counts, vec![5, 0, 0], "stack must run as one launch sequence");
 
     // Bitwise-equal to running each request alone.
     for (i, r) in reqs.iter().enumerate() {
-        let mut solo = Session::a100();
-        let (x, w, y) = operands(&mut solo, &spec, 0.0);
-        solo.upload(x, &rand_vec(spec.input_len(), 0.2 + i as f32));
-        solo.upload(w, &rand_vec(spec.weight_len(), 0.8));
-        solo.run(&spec, x, w, y);
         assert_eq!(
             sess.download(r.y),
-            solo.download(y),
+            solo_output(&spec, 0.2 + i as f32, 0.8),
             "request {i}: stacked result != solo result"
         );
     }
 }
 
-/// 2D stacking follows the same contract.
+/// Tentpole acceptance: a same-shape group whose requests use K distinct
+/// weight buffers still executes as ONE stacked launch sequence — the
+/// launch count equals the same-weight stacked case exactly — and the
+/// outputs stay bitwise-equal to sequential `run` calls.
+#[test]
+fn mixed_weight_requests_coalesce_into_one_stacked_launch() {
+    let spec = LayerSpec::d1(2, 8, 12, 128).modes(32).variant(Variant::FftOpt);
+    let mut sess = Session::a100();
+    let reqs: Vec<Request> = (0..3)
+        .map(|i| {
+            let (x, w, y) = operands(&mut sess, &spec, 0.2 + i as f32);
+            Request { spec, x, w, y }
+        })
+        .collect();
+    assert!(
+        reqs.iter().skip(1).all(|r| r.w != reqs[0].w),
+        "precondition: every request brings its own weight buffer"
+    );
+    let runs = sess.run_many(&reqs);
+    let counts: Vec<usize> = runs.iter().map(|r| r.kernel_count()).collect();
+    assert_eq!(
+        counts,
+        vec![5, 0, 0],
+        "K distinct weights must stack exactly like the same-weight case"
+    );
+    for (i, r) in reqs.iter().enumerate() {
+        assert_eq!(
+            sess.download(r.y),
+            solo_output(&spec, 0.2 + i as f32, 0.7 + i as f32),
+            "request {i}: mixed-weight stacked result != solo result"
+        );
+    }
+}
+
+/// The launch-count parity pinned directly: for every concrete Turbo
+/// variant, a mixed-weight queue coalesces into exactly as many launches
+/// as the same-weight queue of the same shape.
+#[test]
+fn mixed_weight_launch_count_equals_same_weight_for_all_variants() {
+    for v in [
+        Variant::Pytorch,
+        Variant::FftOpt,
+        Variant::FusedFftGemm,
+        Variant::FusedGemmIfft,
+        Variant::FullyFused,
+    ] {
+        let spec = LayerSpec::d1(1, 8, 8, 128).modes(32).variant(v);
+        let count_with = |mixed: bool| {
+            let mut sess = Session::a100();
+            let shared_w = sess.alloc("w", spec.weight_len());
+            sess.upload(shared_w, &rand_vec(spec.weight_len(), 0.5));
+            let reqs: Vec<Request> = (0..3)
+                .map(|i| {
+                    let x = sess.alloc("x", spec.input_len());
+                    let y = sess.alloc("y", spec.output_len());
+                    sess.upload(x, &rand_vec(spec.input_len(), i as f32));
+                    let w = if mixed {
+                        let w = sess.alloc("w_i", spec.weight_len());
+                        sess.upload(w, &rand_vec(spec.weight_len(), 3.0 + i as f32));
+                        w
+                    } else {
+                        shared_w
+                    };
+                    Request { spec, x, w, y }
+                })
+                .collect();
+            sess.run_many(&reqs)
+                .iter()
+                .map(|r| r.kernel_count())
+                .sum::<usize>()
+        };
+        assert_eq!(
+            count_with(true),
+            count_with(false),
+            "{v:?}: mixed-weight stack must cost the same launches as same-weight"
+        );
+    }
+}
+
+/// 2D mixed-weight stacking through the fully fused kernel follows the
+/// same contract (this exercises the strided weight operand inside the
+/// fused FFT-GEMM-iFFT kernel, not just the standalone CGEMM).
 #[test]
 fn stacked_launch_is_bitwise_equal_2d() {
     let spec = LayerSpec::d2(1, 6, 8, 32, 64)
         .modes_xy(8, 32)
         .variant(Variant::FullyFused);
     let mut sess = Session::a100();
-    let w = sess.alloc("w", spec.weight_len());
-    sess.upload(w, &rand_vec(spec.weight_len(), 0.4));
     let reqs: Vec<Request> = (0..2)
         .map(|i| {
-            let x = sess.alloc("x", spec.input_len());
-            let y = sess.alloc("y", spec.output_len());
-            sess.upload(x, &rand_vec(spec.input_len(), 0.6 + i as f32));
+            let (x, w, y) = operands(&mut sess, &spec, 0.6 + i as f32);
             Request { spec, x, w, y }
         })
         .collect();
     let runs = sess.run_many(&reqs);
-    assert_eq!(runs[0].kernel_count(), 3, "fully fused 2D = 3 kernels");
+    assert_eq!(
+        runs[0].kernel_count(),
+        5,
+        "gather + fully fused 2D (3 kernels) + scatter"
+    );
     assert_eq!(runs[1].kernel_count(), 0, "second request coalesced");
     for (i, r) in reqs.iter().enumerate() {
-        let mut solo = Session::a100();
-        let x = solo.alloc("x", spec.input_len());
-        let ww = solo.alloc("w", spec.weight_len());
-        let y = solo.alloc("y", spec.output_len());
-        solo.upload(x, &rand_vec(spec.input_len(), 0.6 + i as f32));
-        solo.upload(ww, &rand_vec(spec.weight_len(), 0.4));
-        solo.run(&spec, x, ww, y);
-        assert_eq!(sess.download(r.y), solo.download(y), "request {i} diverged");
+        assert_eq!(
+            sess.download(r.y),
+            solo_output(&spec, 0.6 + i as f32, 1.1 + i as f32),
+            "request {i} diverged"
+        );
     }
 }
 
 /// Analytical `run_many` on virtual buffers must never try to stack
-/// (values cannot move through the host staging path) and still share
+/// (values cannot move through the gather/scatter copies) and still share
 /// planning.
 #[test]
 fn analytical_virtual_requests_run_unstacked() {
@@ -246,43 +334,36 @@ fn analytical_virtual_requests_run_unstacked() {
 
 /// A same-spec group mixing real- and virtual-buffer requests must stack
 /// only the real members; the virtual one runs sequentially (stacking
-/// stages values through the host, which virtual buffers cannot do).
+/// moves values, which virtual buffers cannot do).
 #[test]
 fn mixed_real_virtual_group_stacks_only_real_members() {
     let spec = LayerSpec::d1(1, 6, 6, 128).modes(32).variant(Variant::FftOpt);
     let mut sess = Session::a100();
-    let w = sess.alloc("w", spec.weight_len());
-    sess.upload(w, &rand_vec(spec.weight_len(), 0.3));
     let mut reqs: Vec<Request> = (0..2)
         .map(|i| {
-            let x = sess.alloc("x", spec.input_len());
-            let y = sess.alloc("y", spec.output_len());
-            sess.upload(x, &rand_vec(spec.input_len(), 1.0 + i as f32));
+            let (x, w, y) = operands(&mut sess, &spec, 1.0 + i as f32);
             Request { spec, x, w, y }
         })
         .collect();
     reqs.push(Request {
         spec,
         x: sess.acquire_virtual(spec.input_len()),
-        w,
+        w: sess.acquire_virtual(spec.weight_len()),
         y: sess.acquire_virtual(spec.output_len()),
     });
     let runs = sess.run_many(&reqs);
     let counts: Vec<usize> = runs.iter().map(|r| r.kernel_count()).collect();
     assert_eq!(
         counts,
-        vec![3, 0, 3],
+        vec![5, 0, 3],
         "two real requests stack; the virtual one runs alone"
     );
     for (i, r) in reqs.iter().take(2).enumerate() {
-        let mut solo = Session::a100();
-        let x = solo.alloc("x", spec.input_len());
-        let ww = solo.alloc("w", spec.weight_len());
-        let y = solo.alloc("y", spec.output_len());
-        solo.upload(x, &rand_vec(spec.input_len(), 1.0 + i as f32));
-        solo.upload(ww, &rand_vec(spec.weight_len(), 0.3));
-        solo.run(&spec, x, ww, y);
-        assert_eq!(sess.download(r.y), solo.download(y), "request {i} diverged");
+        assert_eq!(
+            sess.download(r.y),
+            solo_output(&spec, 1.0 + i as f32, 1.5 + i as f32),
+            "request {i} diverged"
+        );
     }
 }
 
@@ -302,59 +383,93 @@ fn run_many_rejects_chained_buffers() {
     sess.run_many(&reqs);
 }
 
-/// The deprecated free-function shims must still compute exactly what the
-/// session does (they are the migration path for out-of-tree callers).
+/// Satellite regression: a self-aliased request (`y == x`) used to slip
+/// through the aliasing validation because the scan skipped `i == j`; it
+/// must be rejected like any other aliasing.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_match_session_bitwise() {
-    let p1 = FnoProblem1d::new(2, 10, 12, 128, 32);
-    let p2 = FnoProblem2d::new(1, 6, 8, 32, 64, 8, 32);
-    let opts = TurboOptions::default();
-
-    let mut dev = GpuDevice::a100();
-    let x = dev.alloc("x", p1.input_len());
-    let w = dev.alloc("w", p1.weight_len());
-    let y = dev.alloc("y", p1.output_len());
-    dev.upload(x, &rand_vec(p1.input_len(), 0.2));
-    dev.upload(w, &rand_vec(p1.weight_len(), 0.7));
-    turbofno::run_variant_1d(
-        &mut dev,
-        &p1,
-        Variant::FullyFused,
-        x,
-        w,
-        y,
-        &opts,
-        ExecMode::Functional,
-    );
-    let shim_out = dev.download(y);
-
+#[should_panic(expected = "self-aliased (y == x)")]
+fn run_many_rejects_self_aliased_input() {
+    let spec = LayerSpec::d1(1, 4, 4, 64).variant(Variant::FftOpt);
     let mut sess = Session::a100();
-    let spec = LayerSpec::from_problem_1d(&p1).variant(Variant::FullyFused);
-    let (sx, sw, sy) = operands(&mut sess, &spec, 0.0);
-    sess.upload(sx, &rand_vec(p1.input_len(), 0.2));
-    sess.upload(sw, &rand_vec(p1.weight_len(), 0.7));
-    sess.run(&spec, sx, sw, sy);
-    assert_eq!(shim_out, sess.download(sy), "1D shim != session");
+    // square layer: input_len == output_len, so y = x validates lengths
+    let (x, w, _) = operands(&mut sess, &spec, 0.4);
+    sess.run_many(&[Request { spec, x, w, y: x }]);
+}
 
-    // 2D: analytical stats through both surfaces.
-    let mut dev = GpuDevice::a100();
-    let x = dev.memory.alloc_virtual("x", p2.input_len());
-    let w = dev.memory.alloc_virtual("w", p2.weight_len());
-    let y = dev.memory.alloc_virtual("y", p2.output_len());
-    let shim_run = turbofno::run_variant_2d(
-        &mut dev,
-        &p2,
-        Variant::FftOpt,
-        x,
-        w,
-        y,
-        &opts,
-        ExecMode::Analytical,
-    );
-    let sess_run = Session::a100().measure(&LayerSpec::from_problem_2d(&p2).variant(Variant::FftOpt));
-    assert_eq!(shim_run.total_stats(), sess_run.total_stats());
-    assert_eq!(shim_run.kernel_count(), sess_run.kernel_count());
+/// Self-aliasing against the weight buffer is rejected too.
+#[test]
+#[should_panic(expected = "self-aliased (y == w)")]
+fn run_many_rejects_self_aliased_weight() {
+    // k_out * n == k_in * k_out so the weight length matches the output
+    let spec = LayerSpec::d1(1, 64, 1, 64).variant(Variant::FftOpt);
+    let mut sess = Session::a100();
+    let (x, w, _) = operands(&mut sess, &spec, 0.4);
+    sess.run_many(&[Request { spec, x, w, y: w }]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: any mix of same/mixed weights and real/virtual members in
+    /// a same-shape group coalesces to the pinned launch count, and every
+    /// real functional request's output is bitwise-equal to its solo run.
+    #[test]
+    fn prop_group_compositions_coalesce_and_match(
+        n_real in 0usize..4,
+        n_virtual in 0usize..2,
+        weight_sel in 0usize..4,
+    ) {
+        let spec = LayerSpec::d1(1, 6, 6, 64).modes(32).variant(Variant::FftOpt);
+        let mut sess = Session::a100();
+        // Weight pool: weight_sel encodes which of the real requests share
+        // weight buffer 0 (bit i => request i brings its own).
+        let shared_w = sess.alloc("w", spec.weight_len());
+        sess.upload(shared_w, &rand_vec(spec.weight_len(), 9.0));
+        let mut reqs: Vec<Request> = Vec::new();
+        let mut expect: Vec<(usize, Vec<C32>)> = Vec::new();
+        for i in 0..n_real {
+            let x = sess.alloc("x", spec.input_len());
+            let y = sess.alloc("y", spec.output_len());
+            sess.upload(x, &rand_vec(spec.input_len(), i as f32));
+            let own = weight_sel & (1 << i) != 0;
+            let (w, w_seed) = if own {
+                let w = sess.alloc("wi", spec.weight_len());
+                sess.upload(w, &rand_vec(spec.weight_len(), 20.0 + i as f32));
+                (w, 20.0 + i as f32)
+            } else {
+                (shared_w, 9.0)
+            };
+            expect.push((reqs.len(), solo_output(&spec, i as f32, w_seed)));
+            reqs.push(Request { spec, x, w, y });
+        }
+        for _ in 0..n_virtual {
+            reqs.push(Request {
+                spec,
+                x: sess.acquire_virtual(spec.input_len()),
+                w: sess.acquire_virtual(spec.weight_len()),
+                y: sess.acquire_virtual(spec.output_len()),
+            });
+        }
+        if !reqs.is_empty() {
+            let runs = sess.run_many(&reqs);
+
+            // Launch-count ceiling: the real members stack (gather +
+            // 3-kernel FftOpt + scatter) when there are >= 2 of them;
+            // every other member runs its own 3-kernel pipeline.
+            let stacked = n_real >= 2;
+            let expected: usize = if stacked { 5 } else { 3 * n_real } + 3 * n_virtual;
+            let total: usize = runs.iter().map(|r| r.kernel_count()).sum();
+            prop_assert_eq!(total, expected);
+
+            for (idx, want) in &expect {
+                prop_assert_eq!(
+                    &sess.download(reqs[*idx].y),
+                    want,
+                    "request {} diverged from its solo run", idx
+                );
+            }
+        }
+    }
 }
 
 /// A standalone `BufferPool` is usable outside a session (the planner's

@@ -5,7 +5,7 @@
 use tfno_gpu_sim::{launch_memo_stats, ExecMode, GpuDevice};
 use tfno_num::C32;
 use turbofno::{
-    pick_best_1d, pick_best_2d, FnoProblem1d, FnoProblem2d, LayerSpec, Planner, Session,
+    FnoProblem1d, FnoProblem2d, LayerSpec, Planner, Session,
     TurboOptions, Variant,
 };
 
@@ -138,8 +138,8 @@ fn second_turbo_best_plan_simulates_nothing() {
         "cache hits must not simulate any launch"
     );
 
-    assert_eq!(first_1d, pick_best_1d(&cfg, &p1, &opts));
-    assert_eq!(first_2d, pick_best_2d(&cfg, &p2, &opts));
+    assert_eq!(first_1d, Planner::pick_best_1d(&cfg, &p1, &opts));
+    assert_eq!(first_2d, Planner::pick_best_2d(&cfg, &p2, &opts));
 }
 
 /// `TurboBest` dispatches share the session's planner: an L-layer model
