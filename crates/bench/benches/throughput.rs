@@ -19,6 +19,16 @@
 //! Results land in `BENCH_throughput.json` (override the path with
 //! `TFNO_BENCH_OUT`) so every future perf PR has a pinned trajectory.
 //! `--smoke` shrinks shapes and the measuring window for CI.
+//!
+//! The `pipeline-overlap` scenario compares a queue of K independent
+//! forwards through the strictly sequential session path
+//! (`forward_device_sync` per input) against the async-dispatch schedule
+//! (`forward_device_batch`: per layer, one stacked spectral launch
+//! sequence in flight while the host runs all K pointwise bypasses).
+//!
+//! `--check-floors` turns the emitted speedups into a regression gate:
+//! the process exits nonzero when any pinned floor is broken, so CI's
+//! smoke run fails loudly instead of uploading a quietly regressed JSON.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,8 +123,18 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Regression floors for `--check-floors` (CI smoke). Deliberately far
+/// below the build-host numbers (4.4x / 3.2x / 1.17x at the time of
+/// pinning): shared CI runners are noisy, and the gate exists to catch a
+/// *collapsed* optimization — an engine regression to pre-PR behavior —
+/// not a few percent of jitter.
+const FLOOR_SPEEDUP_1D: f64 = 2.0;
+const FLOOR_SPEEDUP_2D: f64 = 1.5;
+const FLOOR_SPEEDUP_SERVE_MIXED: f64 = 1.02;
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let check_floors = std::env::args().any(|a| a == "--check-floors");
     let min_secs = if smoke { 0.3 } else { 2.0 };
     let opts = TurboOptions::default();
     let mut rng = StdRng::seed_from_u64(42);
@@ -255,6 +275,56 @@ fn main() {
     run_case("serve-mixed", &serve_shape, "mixed-stacked", &mut || {
         serve_sess.run_many(&serve_reqs);
     });
+
+    // ------------------------------------------- pipeline overlap ----
+    // A queue of K independent batch-1 model forwards — the online-serving
+    // shape, where each request is one sample. "sync" runs them one by
+    // one on the strictly sequential per-layer schedule (spectral conv to
+    // completion, then the pointwise bypass). "async" runs the
+    // async-dispatch schedule: per layer, all K spectral convs coalesce
+    // into ONE stacked launch sequence issued on the dispatch thread
+    // while the host computes the K pointwise bypasses. Outputs are
+    // bitwise-identical; the async gain comes from launch coalescing plus
+    // (on multi-core hosts) genuine device/host overlap. Batch-1 requests
+    // are where stacking pays: the gather/scatter staging is small
+    // relative to the per-sequence launch costs it removes (fat-batch
+    // offline forwards already amortize their launches and should use the
+    // plain overlapped `forward_device` instead).
+    let overlap_k = if smoke { 4usize } else { 8 };
+    let overlap_shape = format!(
+        "k={overlap_k} batch=1 width={width1} layers={layers1} n={n1} nf={nf1}"
+    );
+    let mut overlap_rng = StdRng::seed_from_u64(7);
+    let overlap_xs: Vec<CTensor> = (0..overlap_k)
+        .map(|_| CTensor::random(&mut overlap_rng, &[1, 1, n1]))
+        .collect();
+    let mut overlap_sess = Session::a100();
+    // Cross-check bitwise equality before any timing.
+    let overlap_want: Vec<CTensor> = overlap_xs
+        .iter()
+        .map(|x| {
+            model1
+                .forward_device_sync(&mut overlap_sess, Variant::TurboBest, &opts, x)
+                .0
+        })
+        .collect();
+    let overlap_got =
+        model1.forward_device_batch(&mut overlap_sess, Variant::TurboBest, &opts, &overlap_xs);
+    for (i, ((got, _), want)) in overlap_got.iter().zip(&overlap_want).enumerate() {
+        assert_eq!(
+            got.data(),
+            want.data(),
+            "pipeline-overlap: async forward {i} diverged from the synchronous path"
+        );
+    }
+    run_case("pipeline-overlap", &overlap_shape, "sync", &mut || {
+        for x in &overlap_xs {
+            model1.forward_device_sync(&mut overlap_sess, Variant::TurboBest, &opts, x);
+        }
+    });
+    run_case("pipeline-overlap", &overlap_shape, "async", &mut || {
+        model1.forward_device_batch(&mut overlap_sess, Variant::TurboBest, &opts, &overlap_xs);
+    });
     let (pool, plans) = (turbo_sess.pool_stats(), turbo_sess.planner_stats());
     println!(
         "session state after the run: pool {} hits / {} misses, planner {} hits / {} misses",
@@ -272,8 +342,11 @@ fn main() {
     let speedup_2d = fps_of("2d", "turbo") / fps_of("2d", "legacy");
     let speedup_serve =
         fps_of("serve-mixed", "mixed-stacked") / fps_of("serve-mixed", "per-weight");
+    let speedup_overlap =
+        fps_of("pipeline-overlap", "async") / fps_of("pipeline-overlap", "sync");
     println!("speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x");
     println!("mixed-weight serving: stacked vs per-weight queues {speedup_serve:.2}x");
+    println!("pipeline overlap: async dispatch vs synchronous session path {speedup_overlap:.2}x");
 
     // --------------------------------------------------------- JSON ----
     let mut json = String::from("{\n");
@@ -299,7 +372,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4}\n}}\n"
+        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4}\n}}\n"
     ));
 
     // Default to the workspace root (cargo runs benches with the package
@@ -309,5 +382,27 @@ fn main() {
     });
     std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
     println!("wrote {out_path}");
+
+    if check_floors {
+        let floors = [
+            ("speedup_1d", speedup_1d, FLOOR_SPEEDUP_1D),
+            ("speedup_2d", speedup_2d, FLOOR_SPEEDUP_2D),
+            ("speedup_serve_mixed", speedup_serve, FLOOR_SPEEDUP_SERVE_MIXED),
+        ];
+        let mut broken = false;
+        for (name, got, floor) in floors {
+            // NaN (a missing case) must break the floor too.
+            if got < floor || got.is_nan() {
+                eprintln!("FLOOR BROKEN: {name} = {got:.4} < pinned floor {floor}");
+                broken = true;
+            } else {
+                println!("floor ok: {name} = {got:.4} >= {floor}");
+            }
+        }
+        if broken {
+            eprintln!("throughput regression floors broken; failing the run");
+            std::process::exit(1);
+        }
+    }
 }
 

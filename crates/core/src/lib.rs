@@ -41,7 +41,7 @@ pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
 pub use pipeline::{TurboOptions, Variant, TURBO_FFT_L1_HIT};
 pub use planner::{Planner, PlannerStats, TURBO_CANDIDATES};
 pub use pool::{BufferPool, PoolStats};
-pub use session::{LayerSpec, Request, Session};
+pub use session::{LaunchHandle, LayerSpec, Request, Session};
 // The strided-batched weight layout mixed-weight serving stacks ride on.
 pub use tfno_cgemm::WeightStacking;
 pub use swizzle::{

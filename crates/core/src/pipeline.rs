@@ -132,9 +132,10 @@ impl LayerBufs {
 
 /// Everything a pipeline execution needs from its surrounding
 /// [`Session`](crate::Session): the device, the scratch pool, and the
-/// planner consulted for `TurboBest` dispatches. The deprecated free
-/// functions build a transient one (fresh pool, global planner), which
-/// reproduces their historical alloc-per-call behavior exactly.
+/// planner consulted for `TurboBest` dispatches. Synchronous `Session`
+/// calls build one over the resident state; async dispatch threads build
+/// one over the device/pool they temporarily own — both paths therefore
+/// execute the exact same engine code (see `session.rs`).
 pub(crate) struct ExecCtx<'a> {
     pub dev: &'a mut GpuDevice,
     pub pool: &'a mut BufferPool,

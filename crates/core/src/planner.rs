@@ -15,6 +15,9 @@
 //! [`Planner::pick_best_1d`]/[`Planner::pick_best_2d`]. Capping uses
 //! generational eviction (never a full wipe), and racing cold evaluations
 //! of one key are de-duplicated: one planner evaluates, the rest wait.
+//! Internal locks recover from poisoning ([`lock_unpoisoned`]), so a
+//! caught panic — the documented aliasing/conflict panics unwind through
+//! planner state — never wedges a shared planner for unrelated callers.
 
 use crate::pipeline::{ExecCtx, LayerBufs, TurboOptions, Variant};
 use crate::pool::BufferPool;
@@ -23,7 +26,9 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::{Condvar, Mutex, OnceLock};
 use tfno_culib::{FnoProblem1d, FnoProblem2d};
-use tfno_gpu_sim::{configured_workers, DeviceConfig, ExecMode, GpuDevice};
+use tfno_gpu_sim::{
+    configured_workers, lock_unpoisoned, wait_unpoisoned, DeviceConfig, ExecMode, GpuDevice,
+};
 
 /// The candidates `TurboBest` chooses among (paper Table 2, A–D).
 pub const TURBO_CANDIDATES: [Variant; 4] = [
@@ -92,7 +97,7 @@ struct PendingGuard<'a> {
 
 impl Drop for PendingGuard<'_> {
     fn drop(&mut self) {
-        self.planner.pending.lock().unwrap().remove(&self.key);
+        lock_unpoisoned(&self.planner.pending).remove(&self.key);
         self.planner.pending_cv.notify_all();
     }
 }
@@ -138,17 +143,17 @@ impl Planner {
     }
 
     pub fn stats(&self) -> PlannerStats {
-        *self.stats.lock().unwrap()
+        *lock_unpoisoned(&self.stats)
     }
 
     /// Drop all cached plans (counters keep accumulating).
     pub fn clear(&self) {
-        self.cache.lock().unwrap().clear();
+        lock_unpoisoned(&self.cache).clear();
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        lock_unpoisoned(&self.cache).len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -188,19 +193,19 @@ impl Planner {
 
     fn plan(&self, key: u64, evaluate: impl FnOnce() -> (Variant, u64)) -> Variant {
         loop {
-            if let Some(v) = self.cache.lock().unwrap().get(key, self.cap) {
-                self.stats.lock().unwrap().hits += 1;
+            if let Some(v) = lock_unpoisoned(&self.cache).get(key, self.cap) {
+                lock_unpoisoned(&self.stats).hits += 1;
                 return v;
             }
             // Claim the key, or wait for whichever planner holds it: racing
             // cold evaluations of one key would double-count misses and
             // simulated launches (and waste the whole four-candidate sweep).
-            let mut pending = self.pending.lock().unwrap();
+            let mut pending = lock_unpoisoned(&self.pending);
             if pending.insert(key) {
                 break;
             }
             while pending.contains(&key) {
-                pending = self.pending_cv.wait(pending).unwrap();
+                pending = wait_unpoisoned(&self.pending_cv, pending);
             }
             // The winner has published its plan; re-read the cache.
         }
@@ -208,14 +213,14 @@ impl Planner {
         // The miss check and the pending claim are not atomic: the previous
         // holder may have published its plan between them. Re-check before
         // paying for an evaluation that already happened.
-        if let Some(v) = self.cache.lock().unwrap().get(key, self.cap) {
-            self.stats.lock().unwrap().hits += 1;
+        if let Some(v) = lock_unpoisoned(&self.cache).get(key, self.cap) {
+            lock_unpoisoned(&self.stats).hits += 1;
             return v;
         }
         // Evaluate outside every lock; only this planner evaluates `key`.
         let (best, launches) = evaluate();
-        self.cache.lock().unwrap().put(key, best, self.cap);
-        let mut stats = self.stats.lock().unwrap();
+        lock_unpoisoned(&self.cache).put(key, best, self.cap);
+        let mut stats = lock_unpoisoned(&self.stats);
         stats.misses += 1;
         stats.simulated_launches += launches;
         best
@@ -502,6 +507,45 @@ mod tests {
             s.simulated_launches, one_eval,
             "simulated launches must not be double-counted by the race"
         );
+    }
+
+    /// Regression: a panicking cold evaluation (any documented kernel or
+    /// aliasing panic can surface inside one) must neither strand waiters
+    /// on the pending marker nor poison the planner's locks — a caught
+    /// panic used to wedge the process-wide planner for every later test.
+    #[test]
+    fn caught_evaluation_panic_does_not_wedge_the_planner() {
+        let planner = Planner::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            planner.plan(42, || panic!("evaluation blew up"))
+        }));
+        assert!(result.is_err(), "the panic must propagate to the caller");
+        // The pending marker is gone (no deadlock) and the same key plans
+        // cleanly on retry.
+        let v = planner.plan(42, || (Variant::FullyFused, 7));
+        assert_eq!(v, Variant::FullyFused);
+        let s = planner.stats();
+        assert_eq!((s.misses, s.simulated_launches), (1, 7));
+        assert_eq!(planner.len(), 1);
+    }
+
+    /// Regression companion: even a lock poisoned mid-critical-section
+    /// (simulated by panicking while holding it) keeps serving.
+    #[test]
+    fn poisoned_planner_locks_recover() {
+        let planner = Planner::new();
+        planner.plan(7, || (Variant::FftOpt, 3));
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = planner.stats.lock().unwrap();
+                let _cache = planner.cache.lock().unwrap();
+                panic!("poison the planner locks");
+            })
+            .join()
+        });
+        assert_eq!(planner.stats().misses, 1, "stats lock must recover");
+        assert_eq!(planner.plan(7, || unreachable!()), Variant::FftOpt);
+        assert_eq!(planner.stats().hits, 1, "cache lock must recover");
     }
 
     #[test]

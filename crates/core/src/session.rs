@@ -28,10 +28,35 @@
 //! shape share one `TurboBest` planning decision, run back-to-back through
 //! the same pooled scratch, and — when they also share a weight buffer —
 //! coalesce into a single stacked-batch launch sequence.
+//!
+//! ## Async layer dispatch
+//!
+//! [`Session::submit`]/[`Session::submit_many`] are the asynchronous halves
+//! of `run`/`run_many`: they issue the same launch sequence on a *dispatch
+//! thread* and return a [`LaunchHandle`] immediately, so the host can do
+//! unrelated work — an FNO layer's pointwise bypass, the next batch's
+//! staging — while the simulated device executes. [`Session::wait`] (or
+//! [`Session::wait_many`]) joins the dispatch and returns the same
+//! [`PipelineRun`]s the synchronous call would have; outputs are
+//! bitwise-identical because the dispatched work *is* the synchronous code
+//! path, merely running on another thread.
+//!
+//! While a dispatch is in flight the device and pool are on that thread:
+//! any `&mut Session` method first synchronizes (so `submit` → `run` is
+//! legal and simply serializes), while `&self` inspection methods
+//! ([`Session::download`], [`Session::device`], [`Session::pool_stats`])
+//! panic rather than observe half-complete state. Buffers leased before a
+//! `submit` stay leased until after the `wait` — the lease ledger travels
+//! with the pool, so in-flight layers keep their operands pinned. A panic
+//! raised by dispatched work (the documented aliasing/shape panics) is
+//! re-raised on the host at the next synchronizing call.
 
 use crate::pipeline::{ExecCtx, LayerBufs, TurboOptions, Variant};
 use crate::planner::{Planner, PlannerStats};
 use crate::pool::{BufferPool, PoolStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use tfno_cgemm::WeightStacking;
 use tfno_culib::{CopySegment, FnoProblem1d, FnoProblem2d, PipelineRun, SegmentedCopyKernel};
 use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice};
@@ -118,11 +143,17 @@ impl LayerSpec {
         LayerSpec::d2(p.batch, p.k_in, p.k_out, p.nx, p.ny).modes_xy(p.nfx, p.nfy)
     }
 
-    /// Retain `nf` low-frequency modes per transformed axis (clamped to
-    /// the axis length in 2D).
+    /// Retain `nf` low-frequency modes per transformed axis, clamped to
+    /// the axis length (`n` in 1D, `nx`/`ny` in 2D).
+    ///
+    /// The clamp is to the *full* axis length, not `n/2`: retained modes
+    /// count complex spectrum entries from DC upward (this formulation has
+    /// no Hermitian-symmetry truncation), so `.modes(n)` keeps the whole
+    /// spectrum and any larger request degrades to exactly that instead of
+    /// building an invalid problem that panics downstream.
     pub fn modes(mut self, nf: usize) -> Self {
         match &mut self.shape {
-            SpecShape::D1 { nf: m, .. } => *m = nf,
+            SpecShape::D1 { n, nf: m, .. } => *m = nf.min(*n),
             SpecShape::D2 {
                 nx, ny, nfx, nfy, ..
             } => {
@@ -133,7 +164,9 @@ impl LayerSpec {
         self
     }
 
-    /// Retain an `nfx x nfy` corner (2D only).
+    /// Retain an `nfx x nfy` corner (2D only), with the same per-axis
+    /// clamping as [`LayerSpec::modes`] — `.modes(k)` and `.modes_xy(k, k)`
+    /// agree on every input, in and out of range.
     ///
     /// # Panics
     /// On a 1D spec — a 1D layer has a single mode count; use
@@ -141,9 +174,11 @@ impl LayerSpec {
     pub fn modes_xy(mut self, nfx_new: usize, nfy_new: usize) -> Self {
         match &mut self.shape {
             SpecShape::D1 { .. } => panic!("modes_xy on a 1D LayerSpec; use .modes(nf)"),
-            SpecShape::D2 { nfx, nfy, .. } => {
-                *nfx = nfx_new;
-                *nfy = nfy_new;
+            SpecShape::D2 {
+                nx, ny, nfx, nfy, ..
+            } => {
+                *nfx = nfx_new.min(*nx);
+                *nfy = nfy_new.min(*ny);
             }
         }
         self
@@ -196,6 +231,13 @@ impl LayerSpec {
                 nfy,
             } => Some(FnoProblem2d::new(batch, k_in, k_out, nx, ny, nfx, nfy)),
         }
+    }
+
+    /// Construct (and discard) the problem descriptor so shape panics
+    /// surface on the submitting thread, not inside a dispatch.
+    fn assert_valid_shape(&self) {
+        let _ = self.problem_1d();
+        let _ = self.problem_2d();
     }
 
     /// Leading (batch) dimension.
@@ -254,6 +296,36 @@ pub struct Request {
     pub y: BufferId,
 }
 
+/// Ticket for work dispatched with [`Session::submit`] or
+/// [`Session::submit_many`]. Redeem it with [`Session::wait`] /
+/// [`Session::wait_many`] on the session that issued it — handles are
+/// session-bound and single-use (consumed by the wait).
+///
+/// Dropping a handle without waiting does not cancel the work: it still
+/// completes at the session's next synchronizing call, and its result is
+/// parked until (never) collected — wait on every handle you submit.
+#[derive(Debug)]
+#[must_use = "dispatched work completes, but its PipelineRun is lost unless the handle is waited on"]
+pub struct LaunchHandle {
+    session: u64,
+    seq: u64,
+}
+
+/// What a dispatch thread returns: the device and pool travel back to the
+/// session together with the runs (or the caught panic payload).
+type Flight = (GpuDevice, BufferPool, std::thread::Result<Vec<PipelineRun>>);
+
+struct InFlight {
+    seq: u64,
+    join: std::thread::JoinHandle<Flight>,
+}
+
+static SESSION_IDS: AtomicU64 = AtomicU64::new(1);
+
+const IN_FLIGHT: &str = "session has in-flight submitted work; wait on its LaunchHandle \
+                         (any `&mut Session` method also synchronizes) before reading \
+                         session state";
+
 /// An owning execution handle: simulated device + memoizing planner +
 /// scratch buffer pool. The single way to execute Fourier layers (and,
 /// via `tfno-model`, whole FNO forwards).
@@ -261,19 +333,38 @@ pub struct Request {
 /// Sessions are cheap to create but meant to be long-lived: planner and
 /// pool state warm up over the first request of each shape and every later
 /// same-shape request skips planning and scratch allocation entirely.
+///
+/// Execution is synchronous ([`Session::run`], [`Session::run_many`]) or
+/// asynchronous ([`Session::submit`], [`Session::submit_many`] — see the
+/// [module docs](self) for the dispatch model); both produce bitwise-equal
+/// results.
 pub struct Session {
-    dev: GpuDevice,
-    planner: Planner,
-    pool: BufferPool,
+    /// `None` exactly while a dispatch is in flight (the device is on the
+    /// dispatch thread).
+    dev: Option<GpuDevice>,
+    /// Travels with the device so in-flight pipelines lease scratch and
+    /// leases pinned by the host stay tracked.
+    pool: Option<BufferPool>,
+    /// Shared with dispatch threads; all planner state is interior-mutex.
+    planner: Arc<Planner>,
+    id: u64,
+    next_seq: u64,
+    inflight: Option<InFlight>,
+    /// Finished dispatches not yet collected by a `wait`.
+    completed: HashMap<u64, Vec<PipelineRun>>,
 }
 
 impl Session {
     /// Wrap an existing device (its executor/memo configuration is kept).
     pub fn new(dev: GpuDevice) -> Self {
         Session {
-            dev,
-            planner: Planner::new(),
-            pool: BufferPool::new(),
+            dev: Some(dev),
+            pool: Some(BufferPool::new()),
+            planner: Arc::new(Planner::new()),
+            id: SESSION_IDS.fetch_add(1, Ordering::Relaxed),
+            next_seq: 0,
+            inflight: None,
+            completed: HashMap::new(),
         }
     }
 
@@ -282,12 +373,17 @@ impl Session {
         Session::new(GpuDevice::a100())
     }
 
+    fn dev_ref(&self) -> &GpuDevice {
+        self.dev.as_ref().expect(IN_FLIGHT)
+    }
+
     pub fn device(&self) -> &GpuDevice {
-        &self.dev
+        self.dev_ref()
     }
 
     pub fn device_mut(&mut self) -> &mut GpuDevice {
-        &mut self.dev
+        self.synchronize();
+        self.dev.as_mut().expect("device resident after synchronize")
     }
 
     /// The session-local `TurboBest` planner.
@@ -304,98 +400,136 @@ impl Session {
     /// Scratch-pool counters: a warm same-shape request must report
     /// `hits > 0`.
     pub fn pool_stats(&self) -> PoolStats {
-        self.pool.stats()
+        self.pool.as_ref().expect(IN_FLIGHT).stats()
+    }
+
+    /// True while submitted work is still on the dispatch thread (it flips
+    /// false at the next synchronizing call, not by itself).
+    pub fn pending(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Join any in-flight dispatch, restoring the device and pool and
+    /// parking the finished runs for their `wait`. A panic raised by the
+    /// dispatched work is re-raised here. Every `&mut Session` entry point
+    /// calls this first, so session state is never observed mid-dispatch.
+    pub fn synchronize(&mut self) {
+        if let Some(flight) = self.inflight.take() {
+            let (dev, pool, result) = flight
+                .join
+                .join()
+                .expect("async dispatch thread died outside the guarded region");
+            self.dev = Some(dev);
+            self.pool = Some(pool);
+            match result {
+                Ok(runs) => {
+                    self.completed.insert(flight.seq, runs);
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
     }
 
     /// Allocate a named long-lived buffer (weights, persistent activations).
     pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
-        self.dev.alloc(name, len)
+        self.device_mut().alloc(name, len)
     }
 
     /// Lease a real buffer from the pool (return it with [`Session::release`]).
     pub fn acquire(&mut self, len: usize) -> BufferId {
-        self.pool.acquire(&mut self.dev, len)
+        self.synchronize();
+        let (dev, pool) = self.resident_mut();
+        pool.acquire(dev, len)
     }
 
     /// Lease a storage-free virtual buffer from the pool.
     pub fn acquire_virtual(&mut self, len: usize) -> BufferId {
-        self.pool.acquire_virtual(&mut self.dev, len)
+        self.synchronize();
+        let (dev, pool) = self.resident_mut();
+        pool.acquire_virtual(dev, len)
     }
 
     /// Return a leased buffer to the pool.
     pub fn release(&mut self, id: BufferId) {
-        self.pool.release(&self.dev, id);
+        self.synchronize();
+        let (dev, pool) = self.resident_mut();
+        pool.release(dev, id);
     }
 
     /// Donate a buffer the pool never leased (e.g. one created with
     /// [`Session::alloc`] that is no longer needed) to the free lists.
     pub fn adopt(&mut self, id: BufferId) {
-        self.pool.adopt(&self.dev, id);
+        self.synchronize();
+        let (dev, pool) = self.resident_mut();
+        pool.adopt(dev, id);
     }
 
     pub fn upload(&mut self, id: BufferId, data: &[C32]) {
-        self.dev.upload(id, data);
+        self.device_mut().upload(id, data);
     }
 
     pub fn download(&self, id: BufferId) -> Vec<C32> {
-        self.dev.download(id)
+        self.dev_ref().download(id)
+    }
+
+    /// Both halves of the resident state, after a `synchronize`.
+    fn resident_mut(&mut self) -> (&mut GpuDevice, &mut BufferPool) {
+        (
+            self.dev.as_mut().expect("device resident after synchronize"),
+            self.pool.as_mut().expect("pool resident after synchronize"),
+        )
     }
 
     fn ctx(&mut self) -> ExecCtx<'_> {
         ExecCtx {
-            dev: &mut self.dev,
-            pool: &mut self.pool,
+            dev: self.dev.as_mut().expect("device resident after synchronize"),
+            pool: self.pool.as_mut().expect("pool resident after synchronize"),
             planner: &self.planner,
         }
     }
 
     fn validate(&self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) {
-        let mem = &self.dev.memory;
+        let mem = &self.dev_ref().memory;
         assert_eq!(mem.len(x), spec.input_len(), "x length != spec input_len");
         assert_eq!(mem.len(w), spec.weight_len(), "w length != spec weight_len");
         assert_eq!(mem.len(y), spec.output_len(), "y length != spec output_len");
     }
 
+    /// The full `run_many` admission contract: operand lengths plus the
+    /// aliasing rules. Runs on the caller's thread for both the
+    /// synchronous and the submitted path, so the documented panics always
+    /// surface at the call site.
+    fn validate_queue(&self, reqs: &[Request]) {
+        for r in reqs {
+            self.validate(&r.spec, r.x, r.w, r.y);
+            r.spec.assert_valid_shape();
+        }
+        for (i, a) in reqs.iter().enumerate() {
+            assert!(
+                a.y != a.x && a.y != a.w,
+                "run_many request {i} is self-aliased (y == {}): group-reordered \
+                 execution would run it in-place; use a distinct output buffer or a \
+                 sequential `run` call",
+                if a.y == a.x { "x" } else { "w" }
+            );
+            for (j, b) in reqs.iter().enumerate() {
+                assert!(
+                    i == j || (a.y != b.x && a.y != b.w && a.y != b.y),
+                    "run_many requests must not alias outputs: request {i}'s y is an \
+                     operand of request {j}; chain dependent layers through \
+                     sequential `run` calls instead"
+                );
+            }
+        }
+    }
+
     /// Execute one layer spec. `TurboBest` consults the session planner
     /// (memoized per shape); scratch comes from the session pool.
     pub fn run(&mut self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) -> PipelineRun {
+        self.synchronize();
         self.validate(spec, x, w, y);
-        self.run_unchecked(spec, spec.variant, x, w, y)
-    }
-
-    fn run_unchecked(
-        &mut self,
-        spec: &LayerSpec,
-        variant: Variant,
-        x: BufferId,
-        w: BufferId,
-        y: BufferId,
-    ) -> PipelineRun {
-        self.run_bufs(spec, variant, LayerBufs::shared(x, w, y))
-    }
-
-    fn run_bufs(&mut self, spec: &LayerSpec, variant: Variant, bufs: LayerBufs) -> PipelineRun {
-        let (opts, exec) = (spec.opts, spec.exec);
-        if let Some(p) = spec.problem_1d() {
-            self.ctx().run_1d(&p, variant, bufs, &opts, exec)
-        } else {
-            let p = spec.problem_2d().expect("spec is 1D or 2D");
-            self.ctx().run_2d(&p, variant, bufs, &opts, exec)
-        }
-    }
-
-    /// Resolve `TurboBest` to a concrete variant (one planner consult; a
-    /// cache hit for every shape the session has planned before).
-    fn resolve(&mut self, spec: &LayerSpec) -> Variant {
-        if spec.variant != Variant::TurboBest {
-            return spec.variant;
-        }
-        if let Some(p) = spec.problem_1d() {
-            self.planner.plan_1d(&self.dev.config, &p, &spec.opts)
-        } else {
-            let p = spec.problem_2d().expect("spec is 1D or 2D");
-            self.planner.plan_2d(&self.dev.config, &p, &spec.opts)
-        }
+        let variant = spec.variant;
+        self.ctx().run_spec(spec, variant, LayerBufs::shared(x, w, y))
     }
 
     /// Execute a queue of layer requests, coalescing where possible.
@@ -425,26 +559,164 @@ impl Session {
     /// grouping reorder execution, so chained or in-place layers must go
     /// through sequential [`Session::run`] calls). Violations panic.
     pub fn run_many(&mut self, reqs: &[Request]) -> Vec<PipelineRun> {
-        for r in reqs {
-            self.validate(&r.spec, r.x, r.w, r.y);
+        self.synchronize();
+        self.validate_queue(reqs);
+        self.ctx().run_queue(reqs)
+    }
+
+    /// Issue [`Session::run`] asynchronously: the launch sequence executes
+    /// on a dispatch thread while this call returns immediately. Redeem
+    /// the handle with [`Session::wait`] for the [`PipelineRun`]; the
+    /// output buffer holds its result from that point on, bitwise equal to
+    /// the synchronous call. Operand/shape validation still happens here,
+    /// synchronously.
+    ///
+    /// One dispatch is in flight per session at a time: a second `submit`
+    /// (or any `&mut Session` call) first synchronizes with the previous
+    /// one — which is what makes interleaving host work *between* a submit
+    /// and its wait the profitable pattern.
+    pub fn submit(&mut self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) -> LaunchHandle {
+        self.synchronize();
+        self.validate(spec, x, w, y);
+        spec.assert_valid_shape();
+        let spec = *spec;
+        self.dispatch(move |ctx| vec![ctx.run_spec(&spec, spec.variant, LayerBufs::shared(x, w, y))])
+    }
+
+    /// Issue [`Session::run_many`] asynchronously (same coalescing, same
+    /// aliasing contract — validated here, synchronously). Redeem with
+    /// [`Session::wait_many`].
+    pub fn submit_many(&mut self, reqs: &[Request]) -> LaunchHandle {
+        self.synchronize();
+        self.validate_queue(reqs);
+        let reqs = reqs.to_vec();
+        self.dispatch(move |ctx| ctx.run_queue(&reqs))
+    }
+
+    /// Move the device and pool onto a dispatch thread running `work`; the
+    /// session records the flight and hands back its ticket.
+    fn dispatch(
+        &mut self,
+        work: impl FnOnce(&mut ExecCtx<'_>) -> Vec<PipelineRun> + Send + 'static,
+    ) -> LaunchHandle {
+        debug_assert!(self.inflight.is_none(), "dispatch follows a synchronize");
+        let mut dev = self.dev.take().expect(IN_FLIGHT);
+        let mut pool = self.pool.take().expect(IN_FLIGHT);
+        let planner = Arc::clone(&self.planner);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let join = std::thread::Builder::new()
+            .name("tfno-dispatch".into())
+            .spawn(move || {
+                // Catch panics *around* the pipeline only, so the device
+                // and pool always travel home and the panic is re-raised
+                // on the host at the next synchronize.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut ctx = ExecCtx {
+                        dev: &mut dev,
+                        pool: &mut pool,
+                        planner: &planner,
+                    };
+                    work(&mut ctx)
+                }));
+                (dev, pool, result)
+            })
+            .expect("spawn async dispatch thread");
+        self.inflight = Some(InFlight { seq, join });
+        LaunchHandle {
+            session: self.id,
+            seq,
         }
-        for (i, a) in reqs.iter().enumerate() {
-            assert!(
-                a.y != a.x && a.y != a.w,
-                "run_many request {i} is self-aliased (y == {}): group-reordered \
-                 execution would run it in-place; use a distinct output buffer or a \
-                 sequential `run` call",
-                if a.y == a.x { "x" } else { "w" }
-            );
-            for (j, b) in reqs.iter().enumerate() {
-                assert!(
-                    i == j || (a.y != b.x && a.y != b.w && a.y != b.y),
-                    "run_many requests must not alias outputs: request {i}'s y is an \
-                     operand of request {j}; chain dependent layers through \
-                     sequential `run` calls instead"
-                );
-            }
+    }
+
+    /// Redeem a [`Session::submit`] handle: synchronize with the dispatch
+    /// and return its [`PipelineRun`].
+    ///
+    /// # Panics
+    /// If the handle came from another session or from [`Session::submit_many`]
+    /// with more than one request (use [`Session::wait_many`]).
+    pub fn wait(&mut self, handle: LaunchHandle) -> PipelineRun {
+        let mut runs = self.wait_many(handle);
+        assert_eq!(
+            runs.len(),
+            1,
+            "wait() on a multi-request submit_many handle; use wait_many()"
+        );
+        runs.pop().expect("one run")
+    }
+
+    /// Redeem a [`Session::submit_many`] handle: one [`PipelineRun`] per
+    /// submitted request, in order, exactly as [`Session::run_many`] would
+    /// have returned them.
+    pub fn wait_many(&mut self, handle: LaunchHandle) -> Vec<PipelineRun> {
+        assert_eq!(
+            handle.session, self.id,
+            "LaunchHandle was issued by a different Session"
+        );
+        self.synchronize();
+        self.completed
+            .remove(&handle.seq)
+            .expect("no parked result for this LaunchHandle (already waited on?)")
+    }
+
+    /// Model one spec analytically on pooled virtual buffers (no values
+    /// move; addresses and event counts only). The spec's `exec` mode is
+    /// ignored — measurement is always [`ExecMode::Analytical`].
+    pub fn measure(&mut self, spec: &LayerSpec) -> PipelineRun {
+        self.synchronize();
+        self.ctx().measure_spec(spec)
+    }
+}
+
+impl Drop for Session {
+    /// Never leak a dispatch thread: join it, discarding the parked result
+    /// (and swallowing, not re-raising, any panic payload — panicking in
+    /// drop would abort).
+    fn drop(&mut self) {
+        if let Some(flight) = self.inflight.take() {
+            let _ = flight.join.join();
         }
+    }
+}
+
+/// The execution engine shared by the synchronous entry points and the
+/// dispatch threads: everything here runs against an [`ExecCtx`], so the
+/// submitted path is the *same code* as the synchronous one — the bitwise
+/// equality guarantee of async dispatch is structural, not re-verified
+/// per feature.
+impl ExecCtx<'_> {
+    /// Execute one layer spec against this context.
+    pub(crate) fn run_spec(
+        &mut self,
+        spec: &LayerSpec,
+        variant: Variant,
+        bufs: LayerBufs,
+    ) -> PipelineRun {
+        let (opts, exec) = (spec.opts, spec.exec);
+        if let Some(p) = spec.problem_1d() {
+            self.run_1d(&p, variant, bufs, &opts, exec)
+        } else {
+            let p = spec.problem_2d().expect("spec is 1D or 2D");
+            self.run_2d(&p, variant, bufs, &opts, exec)
+        }
+    }
+
+    /// Resolve `TurboBest` to a concrete variant (one planner consult; a
+    /// cache hit for every shape the session has planned before).
+    fn resolve(&self, spec: &LayerSpec) -> Variant {
+        if spec.variant != Variant::TurboBest {
+            return spec.variant;
+        }
+        if let Some(p) = spec.problem_1d() {
+            self.planner.plan_1d(&self.dev.config, &p, &spec.opts)
+        } else {
+            let p = spec.problem_2d().expect("spec is 1D or 2D");
+            self.planner.plan_2d(&self.dev.config, &p, &spec.opts)
+        }
+    }
+
+    /// The [`Session::run_many`] body (queue already validated).
+    pub(crate) fn run_queue(&mut self, reqs: &[Request]) -> Vec<PipelineRun> {
         let mut out: Vec<Option<PipelineRun>> = vec![None; reqs.len()];
         let mut claimed = vec![false; reqs.len()];
         for i in 0..reqs.len() {
@@ -481,7 +753,7 @@ impl Session {
             }
             for j in rest {
                 let r = &reqs[j];
-                out[j] = Some(self.run_unchecked(&r.spec, concrete, r.x, r.w, r.y));
+                out[j] = Some(self.run_spec(&r.spec, concrete, LayerBufs::shared(r.x, r.w, r.y)));
             }
         }
         out.into_iter().map(|r| r.expect("every request ran")).collect()
@@ -517,8 +789,8 @@ impl Session {
         let spec = base.stacked(stack.len());
         let (in_len, out_len, w_len) = (base.input_len(), base.output_len(), base.weight_len());
 
-        let sx = self.acquire(spec.input_len());
-        let sy = self.acquire(spec.output_len());
+        let sx = self.pool.acquire(self.dev, spec.input_len());
+        let sy = self.pool.acquire(self.dev, spec.output_len());
 
         // Gather inputs (and, for mixed weights, the packed weight stack)
         // in one launch.
@@ -535,7 +807,7 @@ impl Session {
             .collect();
         let mixed = stack.iter().any(|&j| reqs[j].w != reqs[stack[0]].w);
         let (w, ws, sw) = if mixed {
-            let sw = self.acquire(stack.len() * w_len);
+            let sw = self.pool.acquire(self.dev, stack.len() * w_len);
             gather.extend(stack.iter().enumerate().map(|(pos, &j)| CopySegment {
                 src: reqs[j].w,
                 src_base: 0,
@@ -552,7 +824,7 @@ impl Session {
         let gather = SegmentedCopyKernel::new("serve.gather", gather);
         run.push(self.dev.launch(&gather, ExecMode::Functional));
 
-        let pipeline = self.run_bufs(&spec, concrete, LayerBufs { x: sx, w, y: sy, ws });
+        let pipeline = self.run_spec(&spec, concrete, LayerBufs { x: sx, w, y: sy, ws });
         run.launches.extend(pipeline.launches);
 
         let scatter: Vec<CopySegment> = stack
@@ -569,26 +841,25 @@ impl Session {
         let scatter = SegmentedCopyKernel::new("serve.scatter", scatter);
         run.push(self.dev.launch(&scatter, ExecMode::Functional));
 
-        self.release(sx);
-        self.release(sy);
+        self.pool.release(self.dev, sx);
+        self.pool.release(self.dev, sy);
         if let Some(sw) = sw {
-            self.release(sw);
+            self.pool.release(self.dev, sw);
         }
         run
     }
 
-    /// Model one spec analytically on pooled virtual buffers (no values
-    /// move; addresses and event counts only). The spec's `exec` mode is
-    /// ignored — measurement is always [`ExecMode::Analytical`].
-    pub fn measure(&mut self, spec: &LayerSpec) -> PipelineRun {
-        let x = self.acquire_virtual(spec.input_len());
-        let w = self.acquire_virtual(spec.weight_len());
-        let y = self.acquire_virtual(spec.output_len());
+    /// The [`Session::measure`] body: analytical run on pooled virtual
+    /// operands.
+    pub(crate) fn measure_spec(&mut self, spec: &LayerSpec) -> PipelineRun {
+        let x = self.pool.acquire_virtual(self.dev, spec.input_len());
+        let w = self.pool.acquire_virtual(self.dev, spec.weight_len());
+        let y = self.pool.acquire_virtual(self.dev, spec.output_len());
         let spec = spec.exec(ExecMode::Analytical);
-        let run = self.run_unchecked(&spec, spec.variant, x, w, y);
-        self.release(x);
-        self.release(w);
-        self.release(y);
+        let run = self.run_spec(&spec, spec.variant, LayerBufs::shared(x, w, y));
+        self.pool.release(self.dev, x);
+        self.pool.release(self.dev, w);
+        self.pool.release(self.dev, y);
         run
     }
 }
@@ -613,6 +884,34 @@ mod tests {
             LayerSpec::d2(1, 4, 4, 32, 64).modes_xy(8, 32).problem_2d().unwrap(),
             FnoProblem2d::new(1, 4, 4, 32, 64, 8, 32)
         );
+    }
+
+    /// Regression: the 1D arm of `modes` documented the clamp but did not
+    /// apply it — `.modes(nf > n)` built an invalid `FnoProblem1d` that
+    /// only failed later with an opaque downstream assert.
+    #[test]
+    fn modes_clamps_to_the_1d_axis() {
+        let s = LayerSpec::d1(1, 2, 2, 64).modes(1000);
+        assert_eq!(s.problem_1d().unwrap(), FnoProblem1d::new(1, 2, 2, 64, 64));
+        // In-range requests are untouched.
+        assert_eq!(LayerSpec::d1(1, 2, 2, 64).modes(16).problem_1d().unwrap().nf, 16);
+    }
+
+    /// Regression: `modes_xy` skipped the per-axis clamp `modes` applies,
+    /// so the two builders disagreed on out-of-range inputs.
+    #[test]
+    fn modes_xy_clamps_like_modes() {
+        let s = LayerSpec::d2(1, 2, 2, 32, 64).modes_xy(1000, 48);
+        let p = s.problem_2d().unwrap();
+        assert_eq!((p.nfx, p.nfy), (32, 48));
+        // The two builders must agree on every input, in and out of range.
+        for k in [1usize, 16, 32, 33, 64, 65, 1000] {
+            assert_eq!(
+                LayerSpec::d2(2, 4, 4, 32, 64).modes(k),
+                LayerSpec::d2(2, 4, 4, 32, 64).modes_xy(k, k),
+                "modes({k}) and modes_xy({k}, {k}) diverge"
+            );
+        }
     }
 
     #[test]
@@ -660,5 +959,104 @@ mod tests {
             sess.pool_stats().hits > cold.hits,
             "second measure must recycle the virtual operand buffers"
         );
+    }
+
+    fn seeded(len: usize, seed: f32) -> Vec<C32> {
+        (0..len)
+            .map(|i| {
+                C32::new(
+                    ((i as f32) * 0.17 + seed).sin(),
+                    ((i as f32) * 0.23 - seed).cos(),
+                )
+            })
+            .collect()
+    }
+
+    fn spec_with_operands(sess: &mut Session) -> (LayerSpec, BufferId, BufferId, BufferId) {
+        let spec = LayerSpec::d1(2, 8, 8, 128).modes(32).variant(Variant::FftOpt);
+        let x = sess.alloc("x", spec.input_len());
+        let w = sess.alloc("w", spec.weight_len());
+        let y = sess.alloc("y", spec.output_len());
+        sess.upload(x, &seeded(spec.input_len(), 0.4));
+        sess.upload(w, &seeded(spec.weight_len(), 0.9));
+        (spec, x, w, y)
+    }
+
+    #[test]
+    fn submit_wait_is_bitwise_equal_to_run() {
+        let mut sync = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sync);
+        let run_sync = sync.run(&spec, x, w, y);
+        let want = sync.download(y);
+
+        let mut agsync = Session::a100();
+        let (spec2, x2, w2, y2) = spec_with_operands(&mut agsync);
+        let handle = agsync.submit(&spec2, x2, w2, y2);
+        assert!(agsync.pending(), "dispatch must be in flight after submit");
+        let run_async = agsync.wait(handle);
+        assert!(!agsync.pending());
+        assert_eq!(agsync.download(y2), want);
+        assert_eq!(run_async.kernel_count(), run_sync.kernel_count());
+        assert_eq!(run_async.total_stats(), run_sync.total_stats());
+    }
+
+    #[test]
+    fn mut_session_methods_synchronize_with_the_dispatch() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        let handle = sess.submit(&spec, x, w, y);
+        // `run` is a &mut method: it must serialize behind the dispatch,
+        // not observe or corrupt mid-flight state.
+        let y2 = sess.alloc("y2", spec.output_len());
+        assert!(!sess.pending(), "alloc synchronized with the dispatch");
+        sess.run(&spec, x, w, y2);
+        assert_eq!(sess.download(y2), sess.download(y));
+        // The handle's result was parked across the interleaved run.
+        let run = sess.wait(handle);
+        assert!(run.kernel_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight submitted work")]
+    fn download_during_flight_panics() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        let _handle = sess.submit(&spec, x, w, y);
+        let _ = sess.download(y);
+    }
+
+    #[test]
+    #[should_panic(expected = "different Session")]
+    fn foreign_handles_are_rejected() {
+        let mut a = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut a);
+        let handle = a.submit(&spec, x, w, y);
+        let mut b = Session::a100();
+        let _ = b.wait(handle);
+    }
+
+    /// Shape panics surface on the submitting thread, exactly like the
+    /// synchronous path — not deferred into the dispatch.
+    #[test]
+    #[should_panic(expected = "mode count out of range")]
+    fn submit_validates_shapes_synchronously() {
+        let mut sess = Session::a100();
+        // Bypass the modes() clamp to build an invalid spec directly.
+        let spec = LayerSpec {
+            shape: SpecShape::D1 {
+                batch: 1,
+                k_in: 2,
+                k_out: 2,
+                n: 64,
+                nf: 0,
+            },
+            variant: Variant::FftOpt,
+            opts: TurboOptions::default(),
+            exec: ExecMode::Functional,
+        };
+        let x = sess.alloc("x", spec.input_len());
+        let w = sess.alloc("w", spec.weight_len());
+        let y = sess.alloc("y", spec.output_len());
+        let _ = sess.submit(&spec, x, w, y);
     }
 }

@@ -28,4 +28,4 @@ pub mod spectral;
 
 pub use model::{add_gelu, gelu, pointwise, pointwise_naive, Fno1d, Fno2d, FnoLayer1d, FnoLayer2d};
 pub use permode::PerModeSpectralConv1d;
-pub use spectral::{SpectralConv1d, SpectralConv2d};
+pub use spectral::{PendingSpectral, SpectralConv1d, SpectralConv2d};

@@ -7,12 +7,34 @@
 //! per-layer timing records; the pointwise/projection GEMMs execute on the
 //! host (the paper's optimization target is the Fourier layer — everything
 //! else is identical between baselines and TurboFNO).
+//!
+//! ## Overlapped layer schedule
+//!
+//! Within one Fourier layer, the spectral conv (device) and the pointwise
+//! bypass (host) both read the *same* input — they are independent until
+//! `add_gelu` joins them. `forward_device` exploits that: it submits the
+//! spectral launch sequence on the session's dispatch thread
+//! ([`Session::submit`]), runs the blocked host `pointwise` while the
+//! launches execute, then joins for `add_gelu`. The paper removes dead
+//! time between pipeline stages *inside* the Fourier layer (fused
+//! FFT-GEMM-iFFT); this applies the same idea one level up, to the glue
+//! between device launches and host pointwise work. `forward_device_sync`
+//! keeps the strictly sequential schedule; both are bitwise-identical
+//! (pinned by tests and a workspace proptest) because the overlapped path
+//! runs the exact same kernels and the exact same host arithmetic.
+//!
+//! `forward_device_batch` extends the overlap across a *queue* of
+//! independent forwards: each layer's K same-shape spectral convs coalesce
+//! into one stacked launch sequence ([`Session::submit_many`], riding the
+//! mixed-weight stacking machinery) while the host runs all K pointwise
+//! bypasses — the serving-path schedule the throughput bench pins as
+//! `pipeline-overlap`.
 
 use crate::spectral::{SpectralConv1d, SpectralConv2d};
 use rand::Rng;
 use tfno_culib::PipelineRun;
 use tfno_num::{C32, CTensor};
-use turbofno::{Session, TurboOptions, Variant};
+use turbofno::{LayerSpec, Request, Session, TurboOptions, Variant};
 
 /// GELU (tanh approximation), applied to both complex lanes.
 pub fn gelu(v: f32) -> f32 {
@@ -238,7 +260,27 @@ impl FnoLayer1d {
         add_gelu(&s, &p)
     }
 
+    /// Overlapped device forward (see the [module docs](self)): the
+    /// spectral launches execute on the dispatch thread while this thread
+    /// runs the pointwise bypass. Bitwise-equal to
+    /// [`FnoLayer1d::forward_device_sync`].
     pub fn forward_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let pending = self.spectral.submit_device(sess, variant, opts, x);
+        let p = pointwise(x, &self.bypass);
+        let (s, run) = pending.finish(sess);
+        (add_gelu(&s, &p), run)
+    }
+
+    /// The strictly sequential schedule: spectral conv to completion, then
+    /// the pointwise bypass. Retained as the equality reference and the
+    /// baseline of the `pipeline-overlap` throughput scenario.
+    pub fn forward_device_sync(
         &self,
         sess: &mut Session,
         variant: Variant,
@@ -295,7 +337,9 @@ impl Fno1d {
     }
 
     /// Device forward; returns the output and the concatenated spectral
-    /// timing records of all layers.
+    /// timing records of all layers. Each layer runs the overlapped
+    /// schedule ([`FnoLayer1d::forward_device`]); the output is
+    /// bitwise-equal to [`Fno1d::forward_device_sync`].
     pub fn forward_device(
         &self,
         sess: &mut Session,
@@ -313,6 +357,81 @@ impl Fno1d {
             }
         }
         (pointwise(&h, &self.proj), total)
+    }
+
+    /// Device forward on the strictly sequential per-layer schedule (the
+    /// pre-async execution contract; equality reference for
+    /// [`Fno1d::forward_device`]).
+    pub fn forward_device_sync(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let mut h = pointwise(x, &self.lift);
+        let mut total = PipelineRun::default();
+        for layer in &self.layers {
+            let (next, run) = layer.forward_device_sync(sess, variant, opts, &h);
+            h = next;
+            for l in run.launches {
+                total.push(l);
+            }
+        }
+        (pointwise(&h, &self.proj), total)
+    }
+
+    /// Forward a queue of independent inputs in lockstep (see the
+    /// [module docs](self)): per layer, all K spectral convs are submitted
+    /// as one [`Session::submit_many`] stack (one gather, one batched
+    /// pipeline, one scatter) while the host runs the K pointwise
+    /// bypasses. Returns `(output, timing)` per input, in order; each
+    /// output is bitwise-equal to a solo [`Fno1d::forward_device`] on the
+    /// same input. A coalesced layer's launches are reported on the
+    /// queue's first entry, matching the [`Session::run_many`] convention.
+    pub fn forward_device_batch(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        xs: &[CTensor],
+    ) -> Vec<(CTensor, PipelineRun)> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let mut hs: Vec<CTensor> = xs.iter().map(|x| pointwise(x, &self.lift)).collect();
+        let mut totals: Vec<PipelineRun> = xs.iter().map(|_| PipelineRun::default()).collect();
+        for layer in &self.layers {
+            let sc = &layer.spectral;
+            let wb = sess.acquire(sc.k_in * sc.k_out);
+            sess.upload(wb, sc.weight.data());
+            let mut reqs = Vec::with_capacity(hs.len());
+            for h in &hs {
+                let p = sc.problem(h.shape()[0]);
+                let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);
+                let xb = sess.acquire(spec.input_len());
+                sess.upload(xb, h.data());
+                let yb = sess.acquire(spec.output_len());
+                reqs.push(Request { spec, x: xb, w: wb, y: yb });
+            }
+            let handle = sess.submit_many(&reqs);
+            // Host half of the layer, overlapped with the stacked dispatch.
+            let ps: Vec<CTensor> = hs.iter().map(|h| pointwise(h, &layer.bypass)).collect();
+            let runs = sess.wait_many(handle);
+            for (j, (req, run)) in reqs.iter().zip(runs).enumerate() {
+                let batch = hs[j].shape()[0];
+                let s = CTensor::from_vec(sess.download(req.y), &[batch, sc.k_out, sc.n]);
+                hs[j] = add_gelu(&s, &ps[j]);
+                totals[j].launches.extend(run.launches);
+                sess.release(req.x);
+                sess.release(req.y);
+            }
+            sess.release(wb);
+        }
+        hs.into_iter()
+            .zip(totals)
+            .map(|(h, total)| (pointwise(&h, &self.proj), total))
+            .collect()
     }
 }
 
@@ -351,7 +470,22 @@ impl FnoLayer2d {
         add_gelu(&s, &p)
     }
 
+    /// Overlapped device forward (see [`FnoLayer1d::forward_device`]).
     pub fn forward_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let pending = self.spectral.submit_device(sess, variant, opts, x);
+        let p = pointwise(x, &self.bypass);
+        let (s, run) = pending.finish(sess);
+        (add_gelu(&s, &p), run)
+    }
+
+    /// The strictly sequential schedule (equality reference).
+    pub fn forward_device_sync(
         &self,
         sess: &mut Session,
         variant: Variant,
@@ -411,6 +545,7 @@ impl Fno2d {
         pointwise(&h, &self.proj)
     }
 
+    /// Overlapped device forward (see [`Fno1d::forward_device`]).
     pub fn forward_device(
         &self,
         sess: &mut Session,
@@ -428,6 +563,76 @@ impl Fno2d {
             }
         }
         (pointwise(&h, &self.proj), total)
+    }
+
+    /// Device forward on the strictly sequential per-layer schedule
+    /// (equality reference for [`Fno2d::forward_device`]).
+    pub fn forward_device_sync(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let mut h = pointwise(x, &self.lift);
+        let mut total = PipelineRun::default();
+        for layer in &self.layers {
+            let (next, run) = layer.forward_device_sync(sess, variant, opts, &h);
+            h = next;
+            for l in run.launches {
+                total.push(l);
+            }
+        }
+        (pointwise(&h, &self.proj), total)
+    }
+
+    /// Forward a queue of independent inputs in lockstep (see
+    /// [`Fno1d::forward_device_batch`]).
+    pub fn forward_device_batch(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        xs: &[CTensor],
+    ) -> Vec<(CTensor, PipelineRun)> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let mut hs: Vec<CTensor> = xs.iter().map(|x| pointwise(x, &self.lift)).collect();
+        let mut totals: Vec<PipelineRun> = xs.iter().map(|_| PipelineRun::default()).collect();
+        for layer in &self.layers {
+            let sc = &layer.spectral;
+            let wb = sess.acquire(sc.k_in * sc.k_out);
+            sess.upload(wb, sc.weight.data());
+            let mut reqs = Vec::with_capacity(hs.len());
+            for h in &hs {
+                let p = sc.problem(h.shape()[0]);
+                let spec = LayerSpec::from_problem_2d(&p).variant(variant).options(*opts);
+                let xb = sess.acquire(spec.input_len());
+                sess.upload(xb, h.data());
+                let yb = sess.acquire(spec.output_len());
+                reqs.push(Request { spec, x: xb, w: wb, y: yb });
+            }
+            let handle = sess.submit_many(&reqs);
+            let ps: Vec<CTensor> = hs.iter().map(|h| pointwise(h, &layer.bypass)).collect();
+            let runs = sess.wait_many(handle);
+            for (j, (req, run)) in reqs.iter().zip(runs).enumerate() {
+                let batch = hs[j].shape()[0];
+                let s = CTensor::from_vec(
+                    sess.download(req.y),
+                    &[batch, sc.k_out, sc.nx, sc.ny],
+                );
+                hs[j] = add_gelu(&s, &ps[j]);
+                totals[j].launches.extend(run.launches);
+                sess.release(req.x);
+                sess.release(req.y);
+            }
+            sess.release(wb);
+        }
+        hs.into_iter()
+            .zip(totals)
+            .map(|(h, total)| (pointwise(&h, &self.proj), total))
+            .collect()
     }
 }
 
@@ -524,6 +729,53 @@ mod tests {
         }
         let err = rel_l2_error(outputs[0].data(), outputs[1].data());
         assert!(err < 1e-4, "variants diverge: {err}");
+    }
+
+    /// The overlapped schedule must be *bitwise* equal to the sequential
+    /// one — same kernels, same host arithmetic, different interleaving.
+    #[test]
+    fn overlapped_forward_is_bitwise_equal_to_sync() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let model1 = Fno1d::random(&mut rng, 2, 8, 1, 2, 128, 32);
+        let x1 = CTensor::random(&mut rng, &[2, 2, 128]);
+        let model2 = Fno2d::random(&mut rng, 1, 8, 1, 2, 32, 64, 8, 32);
+        let x2 = CTensor::random(&mut rng, &[1, 1, 32, 64]);
+        let mut sess = Session::a100();
+        let opts = TurboOptions::default();
+
+        let (sync1, run_s1) = model1.forward_device_sync(&mut sess, Variant::TurboBest, &opts, &x1);
+        let (over1, run_o1) = model1.forward_device(&mut sess, Variant::TurboBest, &opts, &x1);
+        assert_eq!(over1.data(), sync1.data(), "1D overlapped forward diverged");
+        assert_eq!(run_o1.kernel_count(), run_s1.kernel_count());
+
+        let (sync2, _) = model2.forward_device_sync(&mut sess, Variant::FullyFused, &opts, &x2);
+        let (over2, _) = model2.forward_device(&mut sess, Variant::FullyFused, &opts, &x2);
+        assert_eq!(over2.data(), sync2.data(), "2D overlapped forward diverged");
+    }
+
+    /// The lockstep batch path must reproduce the solo forwards bitwise
+    /// and leave no leases behind.
+    #[test]
+    fn batch_forward_is_bitwise_equal_to_solo_forwards() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let model = Fno1d::random(&mut rng, 1, 8, 1, 2, 128, 32);
+        let xs: Vec<CTensor> = (0..3).map(|_| CTensor::random(&mut rng, &[1, 1, 128])).collect();
+        let mut sess = Session::a100();
+        let opts = TurboOptions::default();
+        let solo: Vec<CTensor> = xs
+            .iter()
+            .map(|x| model.forward_device_sync(&mut sess, Variant::TurboBest, &opts, x).0)
+            .collect();
+        let batch = model.forward_device_batch(&mut sess, Variant::TurboBest, &opts, &xs);
+        assert_eq!(batch.len(), xs.len());
+        for (j, ((got, run), want)) in batch.iter().zip(&solo).enumerate() {
+            assert_eq!(got.data(), want.data(), "batched forward {j} diverged");
+            // Coalesced layers report launches on the first entry.
+            if j == 0 {
+                assert!(run.kernel_count() > 0);
+            }
+        }
+        assert_eq!(sess.pool_stats().leased, 0, "batch forward leaked leases");
     }
 
     #[test]

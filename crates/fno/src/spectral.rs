@@ -7,13 +7,69 @@
 //! * `forward_host` — O(N log N) host Stockham FFTs, used for training-free
 //!   validation and as the reference for the device path;
 //! * `forward_device` — any pipeline [`Variant`] through a
-//!   [`Session`], returning both the output and the modeled timing record.
+//!   [`Session`], returning both the output and the modeled timing record;
+//! * `submit_device` — the asynchronous split of `forward_device`: launches
+//!   issue on the session's dispatch thread and a [`PendingSpectral`]
+//!   ticket is returned so the host can overlap independent work before
+//!   [`PendingSpectral::finish`]ing (bitwise-equal to the synchronous path).
 
 use rand::Rng;
 use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
 use tfno_fft::host;
+use tfno_gpu_sim::BufferId;
 use tfno_num::{C32, CTensor};
-use turbofno::{LayerSpec, Session, TurboOptions, Variant};
+use turbofno::{LaunchHandle, LayerSpec, Session, TurboOptions, Variant};
+
+/// A spectral convolution in flight on the session's dispatch thread
+/// (issued by [`SpectralConv1d::submit_device`] /
+/// [`SpectralConv2d::submit_device`]): the device is executing the layer's
+/// launch sequence while the host is free to run the layer's pointwise
+/// bypass. [`PendingSpectral::finish`] joins the dispatch, downloads the
+/// result, and returns the leased operand buffers to the session pool —
+/// the leases stay pinned for exactly the flight's duration.
+#[must_use = "an in-flight spectral conv leaks its pooled operand leases unless finished"]
+pub struct PendingSpectral {
+    handle: LaunchHandle,
+    x: BufferId,
+    w: BufferId,
+    y: BufferId,
+    out_shape: Vec<usize>,
+}
+
+impl PendingSpectral {
+    fn issue(
+        sess: &mut Session,
+        spec: &LayerSpec,
+        x_data: &[C32],
+        w_data: &[C32],
+        out_shape: Vec<usize>,
+    ) -> Self {
+        let x = sess.acquire(spec.input_len());
+        let w = sess.acquire(spec.weight_len());
+        let y = sess.acquire(spec.output_len());
+        sess.upload(x, x_data);
+        sess.upload(w, w_data);
+        let handle = sess.submit(spec, x, w, y);
+        PendingSpectral {
+            handle,
+            x,
+            w,
+            y,
+            out_shape,
+        }
+    }
+
+    /// Join the dispatch: output tensor + the layer's timing record,
+    /// bitwise-identical to what the synchronous `forward_device` returns.
+    pub fn finish(self, sess: &mut Session) -> (CTensor, PipelineRun) {
+        let run = sess.wait(self.handle);
+        let y = CTensor::from_vec(sess.download(self.y), &self.out_shape);
+        sess.release(self.x);
+        sess.release(self.w);
+        sess.release(self.y);
+        (y, run)
+    }
+}
 
 /// 1D spectral convolution: `[batch, k_in, n] -> [batch, k_out, n]`.
 #[derive(Clone, Debug)]
@@ -131,6 +187,34 @@ impl SpectralConv1d {
         sess.release(wb);
         sess.release(yb);
         (y, run)
+    }
+
+    /// Asynchronous [`SpectralConv1d::forward_device`]: uploads the
+    /// operands and issues the launch sequence on the session's dispatch
+    /// thread, returning immediately so the host can overlap independent
+    /// work (an FNO layer runs its pointwise bypass here). Finish with
+    /// [`PendingSpectral::finish`]; the result is bitwise-identical to the
+    /// synchronous call.
+    pub fn submit_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> PendingSpectral {
+        let (batch, _, _) = match *x.shape() {
+            [b, k, n] => (b, k, n),
+            _ => panic!("expected rank-3 input"),
+        };
+        let p = self.problem(batch);
+        let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);
+        PendingSpectral::issue(
+            sess,
+            &spec,
+            x.data(),
+            self.weight.data(),
+            vec![batch, self.k_out, self.n],
+        )
     }
 }
 
@@ -306,6 +390,27 @@ impl SpectralConv2d {
         sess.release(yb);
         (y, run)
     }
+
+    /// Asynchronous [`SpectralConv2d::forward_device`] (see
+    /// [`SpectralConv1d::submit_device`]).
+    pub fn submit_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> PendingSpectral {
+        let batch = x.shape()[0];
+        let p = self.problem(batch);
+        let spec = LayerSpec::from_problem_2d(&p).variant(variant).options(*opts);
+        PendingSpectral::issue(
+            sess,
+            &spec,
+            x.data(),
+            self.weight.data(),
+            vec![batch, self.k_out, self.nx, self.ny],
+        )
+    }
 }
 
 #[cfg(test)]
@@ -342,6 +447,27 @@ mod tests {
         }
         // pooled operands: the second variant's forward recycles the first's
         assert!(sess.pool_stats().hits >= 3);
+    }
+
+    /// The async split must be bitwise-equal to the synchronous forward —
+    /// the dispatch runs the identical engine code on another thread.
+    #[test]
+    fn submit_device_matches_forward_device_bitwise() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let layer = SpectralConv1d::random(&mut rng, 8, 8, 128, 32);
+        let x = CTensor::random(&mut rng, &[2, 8, 128]);
+        let mut sess = Session::a100();
+        let (want, run_sync) =
+            layer.forward_device(&mut sess, Variant::FftOpt, &TurboOptions::default(), &x);
+        let pending = layer.submit_device(&mut sess, Variant::FftOpt, &TurboOptions::default(), &x);
+        let (got, run_async) = pending.finish(&mut sess);
+        assert_eq!(got.data(), want.data(), "async forward diverged bitwise");
+        assert_eq!(run_async.kernel_count(), run_sync.kernel_count());
+        assert_eq!(
+            sess.pool_stats().leased,
+            0,
+            "finish must return every operand lease"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Host-side parallelism policy for the functional executor.
+//! Host-side parallelism policy for the functional executor, plus the
+//! completion handle of deferred (asynchronous) launches.
 //!
 //! The pre-PR executor hard-coded `available_parallelism` behind a
 //! `>= 16 blocks` gate. The policy is now tunable at two levels:
@@ -13,6 +14,72 @@
 //! The same policy feeds every host-parallel loop in the stack (block
 //! execution, write application, planner evaluation, the model's pointwise
 //! path), so one knob tunes the whole engine.
+//!
+//! ## Deferred launches
+//!
+//! [`GpuDevice::launch`](crate::GpuDevice::launch) executes blocks *and*
+//! applies the buffered write journals before returning — the synchronous
+//! contract every pipeline stage relies on. [`PendingLaunch`] splits that
+//! in two, mirroring CUDA's asynchronous launch semantics: issue executes
+//! the blocks (reads observe pre-launch memory, writes accumulate in
+//! journals) and returns this handle; nothing becomes visible until the
+//! handle is passed back to [`complete`](crate::GpuDevice::complete),
+//! which validates and applies the journals and records the launch. In
+//! between, the issuing side only holds `&GpuDevice`, so the host is free
+//! to do unrelated work — the primitive `turbofno::Session::submit`'s
+//! async layer dispatch is built on.
+
+use crate::journal::WriteJournal;
+use crate::kernel::LaunchDims;
+use crate::stats::KernelStats;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// A launch whose blocks have executed but whose global writes have not
+/// been applied yet. Created by
+/// [`GpuDevice::launch_deferred`](crate::GpuDevice::launch_deferred);
+/// consumed by [`GpuDevice::complete`](crate::GpuDevice::complete).
+///
+/// Until completion the device's global memory still holds its pre-launch
+/// contents — exactly what a CUDA host thread observes between an async
+/// kernel launch and the stream synchronize.
+#[must_use = "a deferred launch moves no data until GpuDevice::complete applies its journals"]
+pub struct PendingLaunch {
+    pub(crate) name: String,
+    pub(crate) dims: LaunchDims,
+    pub(crate) stats: KernelStats,
+    pub(crate) journals: Vec<WriteJournal>,
+    pub(crate) workers: usize,
+}
+
+impl PendingLaunch {
+    /// Kernel name of the issued launch.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Event counts recorded at issue time (identical to what the
+    /// completed [`LaunchRecord`](crate::LaunchRecord) will carry).
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+}
+
+/// Lock a mutex, recovering the guard when a previous holder panicked.
+///
+/// Process-wide state (the analytical launch memo, the planner caches)
+/// must survive *caught* panics: the documented aliasing/conflict panics
+/// unwind through these locks, and `.lock().unwrap()` would turn one
+/// caught panic into a cascade of unrelated `PoisonError` failures. The
+/// guarded data is always left consistent by its critical sections (plain
+/// inserts/lookups/counter bumps), so recovering the guard is sound.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock_unpoisoned`].
+pub fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Grids below this size stay serial under the *default* policy (thread
 /// spawn overhead beats stealing a handful of blocks). Explicit overrides
@@ -72,6 +139,25 @@ mod tests {
         assert_eq!(workers_for(0), 1);
         assert!(workers_for(1) <= 1);
         assert!(workers_for(1000) <= 1000);
+    }
+
+    /// A panic while the lock is held must not wedge later lockers: the
+    /// recovery helpers hand back the guard instead of propagating
+    /// `PoisonError`.
+    #[test]
+    fn poisoned_locks_recover() {
+        let m = Mutex::new(7usize);
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = m.lock().unwrap();
+                panic!("poison the mutex");
+            })
+            .join()
+        });
+        assert!(m.lock().is_err(), "the mutex must actually be poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7, "data written before the panic survives");
+        *lock_unpoisoned(&m) = 9;
+        assert_eq!(*lock_unpoisoned(&m), 9);
     }
 
     /// The env-var parsing is tested through the pure function — tests

@@ -32,7 +32,7 @@
 
 use crate::cost::CostModel;
 use crate::device::DeviceConfig;
-use crate::exec;
+use crate::exec::{self, PendingLaunch};
 use crate::journal::{self, WriteJournal};
 use crate::memo;
 use crate::memory::{BufferId, GlobalMemory};
@@ -411,16 +411,87 @@ impl GpuDevice {
     }
 
     /// Launch a kernel. Returns the record (also appended to history).
+    ///
+    /// Equivalent to [`GpuDevice::launch_deferred`] immediately followed
+    /// by [`GpuDevice::complete`] — the synchronous contract every
+    /// pipeline stage relies on (stage N+1 reads stage N's output). The
+    /// legacy executor applies its writes inline, so its launches flow
+    /// through `complete` with an empty journal set.
     pub fn launch(&mut self, kernel: &dyn Kernel, mode: ExecMode) -> LaunchRecord {
+        let pending = if self.legacy_executor && mode == ExecMode::Functional {
+            let dims = kernel.dims();
+            assert!(dims.grid_blocks > 0, "empty grid for kernel {}", kernel.name());
+            let stats = self.run_functional_legacy(kernel, dims);
+            PendingLaunch {
+                name: kernel.name(),
+                dims,
+                stats,
+                journals: Vec::new(),
+                workers: 1,
+            }
+        } else {
+            self.launch_deferred(kernel, mode)
+        };
+        self.complete(pending)
+    }
+
+    /// Issue a launch without applying its writes — the asynchronous half
+    /// of [`GpuDevice::launch`]. Blocks execute now (reads observe the
+    /// current memory state; global stores accumulate in write journals),
+    /// but memory is untouched and nothing lands in the launch history
+    /// until the returned [`PendingLaunch`] goes through
+    /// [`GpuDevice::complete`]. Note the `&self` receiver: between issue
+    /// and completion the caller keeps shared access to the device, which
+    /// models a CUDA host thread continuing past an async kernel launch.
+    ///
+    /// The legacy executor applies writes inline per element and therefore
+    /// cannot defer functional launches; deferred functional issue always
+    /// runs the journaled work-stealing engine. Analytical issue produces
+    /// no journals and works on any device configuration.
+    pub fn launch_deferred(&self, kernel: &dyn Kernel, mode: ExecMode) -> PendingLaunch {
+        assert!(
+            !(self.legacy_executor && mode == ExecMode::Functional),
+            "deferred functional launches require the journaled executor \
+             (legacy_executor = false)"
+        );
         let dims = kernel.dims();
         assert!(dims.grid_blocks > 0, "empty grid for kernel {}", kernel.name());
-        let stats = match mode {
-            ExecMode::Analytical => self.run_analytical(kernel, dims),
-            ExecMode::Functional => self.run_functional(kernel, dims),
+        let (stats, journals, workers) = match mode {
+            ExecMode::Analytical => (self.run_analytical(kernel, dims), Vec::new(), 1),
+            ExecMode::Functional => self.run_blocks(kernel, dims),
         };
+        PendingLaunch {
+            name: kernel.name(),
+            dims,
+            stats,
+            journals,
+            workers,
+        }
+    }
+
+    /// Complete a deferred launch: validate and apply its write journals
+    /// (making the kernel's stores visible, as a stream synchronize
+    /// would), cost it, and append it to the launch history.
+    pub fn complete(&mut self, pending: PendingLaunch) -> LaunchRecord {
+        let PendingLaunch {
+            name,
+            dims,
+            stats,
+            journals,
+            workers,
+        } = pending;
+        if !journals.is_empty() {
+            journal::apply_journals(
+                &mut self.memory,
+                &journals,
+                self.validate_writes,
+                workers,
+                &name,
+            );
+        }
         let time_us = self.cost.kernel_time_us(&dims, &stats);
         let rec = LaunchRecord {
-            name: kernel.name(),
+            name,
             dims_grid: dims.grid_blocks,
             stats,
             time_us,
@@ -432,7 +503,7 @@ impl GpuDevice {
     /// Analytical launch: run one representative block per class (writes
     /// discarded) and scale the counts — unless a memoized launch of the
     /// same signature already did.
-    fn run_analytical(&mut self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
+    fn run_analytical(&self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
         let classes = kernel.block_classes();
         let declared: u64 = classes.iter().map(|(_, c)| c).sum();
         assert_eq!(
@@ -467,11 +538,16 @@ impl GpuDevice {
         total
     }
 
-    /// Work-stealing functional executor (see the module docs).
-    fn run_functional(&mut self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
-        if self.legacy_executor {
-            return self.run_functional_legacy(kernel, dims);
-        }
+    /// Work-stealing block execution (see the module docs): run every
+    /// block and return the summed stats plus the unapplied per-worker
+    /// write journals. Shared by the synchronous launch path (which
+    /// applies the journals immediately) and the deferred path (which
+    /// hands them to the caller inside a [`PendingLaunch`]).
+    fn run_blocks(
+        &self,
+        kernel: &dyn Kernel,
+        dims: LaunchDims,
+    ) -> (KernelStats, Vec<WriteJournal>, usize) {
         let n_blocks = dims.grid_blocks;
         let workers = self.effective_workers(n_blocks);
 
@@ -513,15 +589,7 @@ impl GpuDevice {
                 (total, journals)
             })
         };
-
-        journal::apply_journals(
-            &mut self.memory,
-            &journals,
-            self.validate_writes,
-            workers,
-            &kernel.name(),
-        );
-        total
+        (total, journals, workers)
     }
 
     /// The pre-PR executor: static contiguous chunking, one context
@@ -831,6 +899,71 @@ mod tests {
         dev.legacy_executor = true;
         let k = ConflictKernel { dst };
         dev.launch(&k, ExecMode::Functional);
+    }
+
+    /// Deferred issue + complete must be indistinguishable from a
+    /// synchronous launch: same stats, same data, same history entry.
+    #[test]
+    fn deferred_launch_equals_synchronous_launch() {
+        let (mut dev_sync, src, dst) = setup(16);
+        let k = ScaleKernel { src, dst, blocks: 16 };
+        let rec_sync = dev_sync.launch(&k, ExecMode::Functional);
+        let out_sync = dev_sync.download(dst);
+
+        let (mut dev_def, src2, dst2) = setup(16);
+        let k2 = ScaleKernel {
+            src: src2,
+            dst: dst2,
+            blocks: 16,
+        };
+        let pending = dev_def.launch_deferred(&k2, ExecMode::Functional);
+        assert_eq!(pending.name(), "scale2");
+        assert_eq!(*pending.stats(), rec_sync.stats);
+        let rec_def = dev_def.complete(pending);
+        assert_eq!(rec_def.stats, rec_sync.stats);
+        assert_eq!(rec_def.time_us, rec_sync.time_us);
+        assert_eq!(dev_def.download(dst2), out_sync);
+        assert_eq!(dev_def.launches().len(), 1);
+    }
+
+    /// CUDA visibility semantics: between issue and completion the host
+    /// observes pre-launch memory, and nothing is in the launch history.
+    #[test]
+    fn deferred_writes_invisible_until_complete() {
+        let (mut dev, src, dst) = setup(4);
+        let k = ScaleKernel { src, dst, blocks: 4 };
+        let pending = dev.launch_deferred(&k, ExecMode::Functional);
+        assert_eq!(
+            dev.download(dst)[5],
+            C32::ZERO,
+            "writes must stay journaled until completion"
+        );
+        assert!(dev.launches().is_empty(), "history records completions, not issues");
+        dev.complete(pending);
+        assert_eq!(dev.download(dst)[5], C32::real(10.0));
+        assert_eq!(dev.launches().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "journaled executor")]
+    fn deferred_launch_rejects_legacy_executor() {
+        let (mut dev, src, dst) = setup(2);
+        dev.legacy_executor = true;
+        let k = ScaleKernel { src, dst, blocks: 2 };
+        let _ = dev.launch_deferred(&k, ExecMode::Functional);
+    }
+
+    /// Regression: `legacy_executor` only ever governed *functional*
+    /// execution — analytical launches (e.g. `Session::measure` on a
+    /// legacy A/B device) must keep working, as they did pre-deferral.
+    #[test]
+    fn legacy_executor_still_runs_analytical_launches() {
+        let (mut dev, src, dst) = setup(4);
+        dev.legacy_executor = true;
+        let k = ScaleKernel { src, dst, blocks: 4 };
+        let rec = dev.launch(&k, ExecMode::Analytical);
+        assert_eq!(rec.stats, expected_stats(4));
+        assert_eq!(dev.launches().len(), 1);
     }
 
     #[test]

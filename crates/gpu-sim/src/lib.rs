@@ -43,7 +43,10 @@ pub mod warp;
 
 pub use cost::CostModel;
 pub use device::{DeviceConfig, Occupancy};
-pub use exec::{configured_workers, workers_for, PAR_BLOCK_THRESHOLD};
+pub use exec::{
+    configured_workers, lock_unpoisoned, wait_unpoisoned, workers_for, PendingLaunch,
+    PAR_BLOCK_THRESHOLD,
+};
 pub use journal::WriteJournal;
 pub use kernel::{BlockCtx, ExecMode, GpuDevice, Kernel, LaunchDims, LaunchRecord};
 pub use memo::{

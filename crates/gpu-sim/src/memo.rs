@@ -21,6 +21,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::exec::lock_unpoisoned;
 use std::sync::{Mutex, OnceLock};
 
 /// Hit/miss counters of the process-wide memo.
@@ -55,13 +56,13 @@ pub fn launch_memo_stats() -> MemoStats {
     MemoStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
-        entries: table().lock().unwrap().len() as u64,
+        entries: lock_unpoisoned(table()).len() as u64,
     }
 }
 
 /// Drop all cached entries (counters keep accumulating).
 pub fn launch_memo_clear() {
-    table().lock().unwrap().clear();
+    lock_unpoisoned(table()).clear();
 }
 
 /// Build the launch signature; `None` when the kernel opted out.
@@ -84,7 +85,7 @@ pub(crate) fn signature(
 }
 
 pub(crate) fn lookup(key: u64) -> Option<KernelStats> {
-    let got = table().lock().unwrap().get(&key).copied();
+    let got = lock_unpoisoned(table()).get(&key).copied();
     match got {
         Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
         None => MISSES.fetch_add(1, Ordering::Relaxed),
@@ -98,7 +99,7 @@ pub(crate) fn lookup(key: u64) -> Option<KernelStats> {
 const MEMO_CAP: usize = 1 << 16;
 
 pub(crate) fn insert(key: u64, stats: KernelStats) {
-    let mut table = table().lock().unwrap();
+    let mut table = lock_unpoisoned(table());
     if table.len() >= MEMO_CAP {
         table.clear();
     }
@@ -143,6 +144,28 @@ mod tests {
         let a = structural_fingerprint("fft", |h| 42usize.hash(h));
         let b = structural_fingerprint("gemm", |h| 42usize.hash(h));
         assert_ne!(a, b);
+    }
+
+    /// Regression: a panic that unwinds while the process-wide table lock
+    /// is held (any caught kernel/aliasing panic can do this) used to
+    /// poison the memo and cascade `PoisonError` failures into every
+    /// unrelated later launch. The memo must keep serving after it.
+    #[test]
+    fn caught_panic_while_holding_the_table_lock_does_not_wedge_the_memo() {
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = table().lock().unwrap_or_else(|e| e.into_inner());
+                panic!("unwind while holding the memo table lock");
+            })
+            .join()
+        });
+        // Every public entry point must still work on the poisoned lock.
+        let key = structural_fingerprint("memo-poison-key", |h| 2usize.hash(h));
+        assert!(lookup(key).is_none());
+        insert(key, KernelStats::ZERO);
+        assert_eq!(lookup(key), Some(KernelStats::ZERO));
+        let stats = launch_memo_stats();
+        assert!(stats.entries >= 1);
     }
 
     #[test]
