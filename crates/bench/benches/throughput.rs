@@ -26,6 +26,12 @@
 //! (`forward_device_batch`: per layer, one stacked spectral launch
 //! sequence in flight while the host runs all K pointwise bypasses).
 //!
+//! The `replay-warm` scenario pins the whole-forward launch replay: a
+//! steady-state forward on a long-lived session (every layer's launch
+//! sequence served by replaying its recorded artifact) against the same
+//! forward on a fresh session per call (cold planner cache, cold pool,
+//! nothing recorded).
+//!
 //! `--check-floors` turns the emitted speedups into a regression gate:
 //! the process exits nonzero when any pinned floor is broken, so CI's
 //! smoke run fails loudly instead of uploading a quietly regressed JSON.
@@ -131,6 +137,8 @@ fn json_escape(s: &str) -> String {
 const FLOOR_SPEEDUP_1D: f64 = 2.0;
 const FLOOR_SPEEDUP_2D: f64 = 1.5;
 const FLOOR_SPEEDUP_SERVE_MIXED: f64 = 1.02;
+const FLOOR_SPEEDUP_PIPELINE_OVERLAP: f64 = 1.02;
+const FLOOR_SPEEDUP_REPLAY_WARM: f64 = 1.3;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -267,11 +275,16 @@ fn main() {
             "serve-mixed: stacked request {i} diverged from sequential"
         );
     }
+    // The per-weight baseline models the pre-PR engine's serving rule, so
+    // it runs with whole-forward replay off (the pre-PR engine had none);
+    // the stacked engine is the full modern path, replay included.
+    serve_sess.set_replay_enabled(false);
     run_case("serve-mixed", &serve_shape, "per-weight", &mut || {
         for r in &serve_reqs {
             serve_sess.run(&serve_spec, r.x, r.w, r.y);
         }
     });
+    serve_sess.set_replay_enabled(true);
     run_case("serve-mixed", &serve_shape, "mixed-stacked", &mut || {
         serve_sess.run_many(&serve_reqs);
     });
@@ -317,18 +330,60 @@ fn main() {
             "pipeline-overlap: async forward {i} diverged from the synchronous path"
         );
     }
+    // The sync baseline is the pre-dispatch schedule, so it runs with
+    // whole-forward replay off (pre-PR sessions had none); the async
+    // engine is the full modern path — stacked dispatch plus replay.
+    overlap_sess.set_replay_enabled(false);
     run_case("pipeline-overlap", &overlap_shape, "sync", &mut || {
         for x in &overlap_xs {
             model1.forward_device_sync(&mut overlap_sess, Variant::TurboBest, &opts, x);
         }
     });
+    overlap_sess.set_replay_enabled(true);
     run_case("pipeline-overlap", &overlap_shape, "async", &mut || {
         model1.forward_device_batch(&mut overlap_sess, Variant::TurboBest, &opts, &overlap_xs);
     });
+
+    // ------------------------------------------------ warm-path replay ----
+    // Steady-state serving vs cold start on the same 1D model. The warm
+    // engine is the bench's long-lived session: its pool hands back the
+    // same buffer ids every forward, so each layer's whole launch
+    // sequence is served by replaying its recorded artifact (no
+    // planning, no pool traffic, no kernel assembly, per-kernel trace
+    // caches hot). The cold engine builds a fresh session per forward —
+    // cold planner cache, cold pool, nothing recorded.
+    let replay_hits_before = turbo_sess.replay_stats().hits;
+    let (y_warm, _) = model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    assert_eq!(
+        y_warm.data(),
+        y1_turbo.data(),
+        "replay-warm: steady-state forward diverged from the cross-checked output"
+    );
+    assert!(
+        turbo_sess.replay_stats().hits > replay_hits_before,
+        "replay-warm: steady-state forward must be served by replay"
+    );
+    run_case("replay-warm", &shape1, "cold-session", &mut || {
+        let mut sess = Session::a100();
+        model1.forward_device(&mut sess, Variant::TurboBest, &opts, &x1);
+    });
+    run_case("replay-warm", &shape1, "warm-replay", &mut || {
+        model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    });
+
     let (pool, plans) = (turbo_sess.pool_stats(), turbo_sess.planner_stats());
     println!(
         "session state after the run: pool {} hits / {} misses, planner {} hits / {} misses",
         pool.hits, pool.misses, plans.hits, plans.misses
+    );
+    let (replay, dispatch) = (turbo_sess.replay_stats(), turbo_sess.dispatch_stats());
+    println!(
+        "  replay: {} hits / {} misses / {} invalidations ({} artifacts cached)",
+        replay.hits, replay.misses, replay.invalidations, replay.entries
+    );
+    println!(
+        "  dispatch: {} thread(s) spawned, {} jobs, max in-flight depth {}",
+        dispatch.threads_spawned, dispatch.jobs_dispatched, dispatch.max_in_flight
     );
 
     let fps_of = |dim: &str, engine: &str| {
@@ -344,9 +399,11 @@ fn main() {
         fps_of("serve-mixed", "mixed-stacked") / fps_of("serve-mixed", "per-weight");
     let speedup_overlap =
         fps_of("pipeline-overlap", "async") / fps_of("pipeline-overlap", "sync");
+    let speedup_replay = fps_of("replay-warm", "warm-replay") / fps_of("replay-warm", "cold-session");
     println!("speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x");
     println!("mixed-weight serving: stacked vs per-weight queues {speedup_serve:.2}x");
     println!("pipeline overlap: async dispatch vs synchronous session path {speedup_overlap:.2}x");
+    println!("warm-path replay: steady-state session vs cold session {speedup_replay:.2}x");
 
     // --------------------------------------------------------- JSON ----
     let mut json = String::from("{\n");
@@ -372,7 +429,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4}\n}}\n"
+        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4}\n}}\n"
     ));
 
     // Default to the workspace root (cargo runs benches with the package
@@ -388,6 +445,8 @@ fn main() {
             ("speedup_1d", speedup_1d, FLOOR_SPEEDUP_1D),
             ("speedup_2d", speedup_2d, FLOOR_SPEEDUP_2D),
             ("speedup_serve_mixed", speedup_serve, FLOOR_SPEEDUP_SERVE_MIXED),
+            ("speedup_pipeline_overlap", speedup_overlap, FLOOR_SPEEDUP_PIPELINE_OVERLAP),
+            ("speedup_replay_warm", speedup_replay, FLOOR_SPEEDUP_REPLAY_WARM),
         ];
         let mut broken = false;
         for (name, got, floor) in floors {

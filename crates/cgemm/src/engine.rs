@@ -15,7 +15,9 @@
 
 use crate::tile::TileConfig;
 use crate::view::MatView;
-use tfno_gpu_sim::{BlockCtx, BufferId, WarpIdx, WARP_SIZE};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use tfno_gpu_sim::{lock_unpoisoned, BlockCtx, BufferId, WarpIdx, WARP_SIZE};
 use tfno_num::C32;
 
 /// Where the `A` tile of each `k`-chunk comes from.
@@ -205,6 +207,309 @@ impl CgemmBlockEngine {
         }
 
         CFragments { tile, acc }
+    }
+}
+
+/// One staged warp transaction of the main loop. The global pattern is
+/// stored relative to the operand view's base: blocks of one launch differ
+/// only in their view bases (tile origin / batch offset), never in strides,
+/// so one trace serves every block of the same `(active_m, active_n)` class.
+#[derive(Clone)]
+struct TraceXfer {
+    global_rel: WarpIdx,
+    shared: WarpIdx,
+}
+
+/// Shared-memory fragment-load patterns of one `(warp, kt)` step.
+#[derive(Clone)]
+struct TraceFrag {
+    idx_a: WarpIdx,
+    idx_b: WarpIdx,
+}
+
+/// One `k`-chunk of the main loop, fully resolved: staging transactions
+/// (double-buffer parity baked in), fragment loads, and the chunk's valid
+/// `k` extent.
+struct TraceChunk {
+    a_stage: Vec<TraceXfer>,
+    b_stage: Vec<TraceXfer>,
+    /// Warp-major, then `kt` within the chunk.
+    frags: Vec<TraceFrag>,
+    active_k: usize,
+}
+
+/// Per-lane MAC extents of one warp: the edge predicates of the original
+/// loop (`m0 + i < active_m`) are prefixes, so each lane's work collapses
+/// to two trip counts.
+#[derive(Clone, Copy)]
+struct LaneMac {
+    lane: usize,
+    acc_base: usize,
+    ni: usize,
+    nj: usize,
+}
+
+/// Precomputed main-loop schedule of one block shape.
+///
+/// Every block of a CGEMM launch executes the same instruction sequence
+/// over different data: the staging/fragment warp index patterns and the
+/// per-lane MAC predication depend only on the tile config, `k_total`,
+/// operand strides, and the block's `(active_m, active_n)` — never on the
+/// block id. Building them once and replaying per block removes the
+/// per-block address arithmetic and `thread_origin` divisions that
+/// dominate the functional executor's GEMM cost; only the data movement,
+/// MACs, and event accounting remain per block. Replay is event-for-event
+/// identical to [`CgemmBlockEngine::run_mainloop`].
+pub struct MainloopTrace {
+    chunks: Vec<TraceChunk>,
+    /// Per warp: active lanes with their accumulator base and trip counts.
+    warp_macs: Vec<Vec<LaneMac>>,
+    /// Per warp: flops of one `(warp, kt)` MAC step.
+    warp_flops: Vec<u64>,
+}
+
+fn offset_idx(rel: &WarpIdx, base: usize) -> WarpIdx {
+    let mut out = *rel;
+    for v in out.lanes.iter_mut().flatten() {
+        *v += base;
+    }
+    out
+}
+
+impl CgemmBlockEngine {
+    /// Build the replayable main-loop schedule for blocks with a
+    /// global-memory `A` operand. `a_view`/`b_view` contribute only their
+    /// strides (bases are re-applied per block at replay); `shared_base` is
+    /// baked into the shared patterns.
+    pub fn build_trace(
+        &self,
+        a_view: &MatView,
+        b_view: &MatView,
+        active_m: usize,
+        active_n: usize,
+        shared_base: usize,
+    ) -> MainloopTrace {
+        let tile = self.tile;
+        tile.validate();
+        let (ms, ns, ks) = (tile.m_tb, tile.n_tb, tile.k_tb);
+        let a_rel = MatView { base: 0, ..*a_view };
+        let b_rel = MatView { base: 0, ..*b_view };
+        let (as_base, as_stride, bs_base) = (shared_base, ms * ks, shared_base + 2 * ms * ks);
+
+        let total_chunks = self.k_total.div_ceil(ks);
+        let mut chunks = Vec::with_capacity(total_chunks);
+        for chunk in 0..total_chunks {
+            let k0 = chunk * ks;
+            let active_k = ks.min(self.k_total - k0);
+            let buf = chunk % 2;
+            let as_buf = as_base + buf * as_stride;
+            let bs_buf = bs_base + buf * ks * ns;
+
+            let mut a_stage = Vec::new();
+            for kt in 0..active_k {
+                let mut m = 0;
+                while m < active_m {
+                    a_stage.push(TraceXfer {
+                        global_rel: WarpIdx::from_fn(|l| {
+                            (m + l < active_m).then(|| a_rel.at(m + l, k0 + kt))
+                        }),
+                        shared: WarpIdx::from_fn(|l| {
+                            (m + l < active_m).then(|| as_buf + kt * ms + m + l)
+                        }),
+                    });
+                    m += WARP_SIZE;
+                }
+            }
+
+            let mut b_stage = Vec::new();
+            for kt in 0..active_k {
+                let mut n = 0;
+                while n < active_n {
+                    b_stage.push(TraceXfer {
+                        global_rel: WarpIdx::from_fn(|l| {
+                            (n + l < active_n).then(|| b_rel.at(k0 + kt, n + l))
+                        }),
+                        shared: WarpIdx::from_fn(|l| {
+                            (n + l < active_n).then(|| bs_buf + kt * ns + n + l)
+                        }),
+                    });
+                    n += WARP_SIZE;
+                }
+            }
+
+            let mut frags = Vec::with_capacity(tile.warps() * active_k);
+            for w in 0..tile.warps() {
+                for kt in 0..active_k {
+                    frags.push(TraceFrag {
+                        idx_a: WarpIdx::from_fn(|l| {
+                            let tid = w * WARP_SIZE + l;
+                            let (m0, _n0) = CFragments::thread_origin(&tile, tid);
+                            (m0 < active_m).then(|| as_buf + kt * ms + m0)
+                        }),
+                        idx_b: WarpIdx::from_fn(|l| {
+                            let tid = w * WARP_SIZE + l;
+                            let (_m0, n0) = CFragments::thread_origin(&tile, tid);
+                            (n0 < active_n).then(|| bs_buf + kt * ns + n0)
+                        }),
+                    });
+                }
+            }
+
+            chunks.push(TraceChunk {
+                a_stage,
+                b_stage,
+                frags,
+                active_k,
+            });
+        }
+
+        let mut warp_macs = Vec::with_capacity(tile.warps());
+        let mut warp_flops = Vec::with_capacity(tile.warps());
+        for w in 0..tile.warps() {
+            let mut lanes = Vec::new();
+            let mut flops = 0u64;
+            for l in 0..WARP_SIZE {
+                let tid = w * WARP_SIZE + l;
+                let (m0, n0) = CFragments::thread_origin(&tile, tid);
+                let ni = tile.m_t.min(active_m.saturating_sub(m0));
+                let nj = tile.n_t.min(active_n.saturating_sub(n0));
+                if ni == 0 || nj == 0 {
+                    continue;
+                }
+                lanes.push(LaneMac {
+                    lane: l,
+                    acc_base: tid * tile.m_t * tile.n_t,
+                    ni,
+                    nj,
+                });
+                flops += (ni * nj) as u64 * tfno_num::FLOPS_PER_CMAC;
+            }
+            warp_macs.push(lanes);
+            warp_flops.push(flops);
+        }
+
+        MainloopTrace {
+            chunks,
+            warp_macs,
+            warp_flops,
+        }
+    }
+
+    /// Replay a prebuilt schedule: event-for-event identical to
+    /// [`Self::run_mainloop`] with a [`AProvider::Global`] operand whose
+    /// view has base `a_base` (likewise `b_base` for `B`), but with every
+    /// index pattern and predicate looked up instead of recomputed.
+    pub fn run_mainloop_traced(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        a_buf: BufferId,
+        a_base: usize,
+        b_buf: BufferId,
+        b_base: usize,
+        trace: &MainloopTrace,
+    ) -> CFragments {
+        let tile = self.tile;
+        let threads = tile.threads();
+        let mut acc = vec![C32::ZERO; threads * tile.m_t * tile.n_t];
+
+        for chunk in &trace.chunks {
+            for x in &chunk.a_stage {
+                let vals = ctx.global_read(a_buf, &offset_idx(&x.global_rel, a_base));
+                ctx.shared_store(&x.shared, &vals);
+            }
+            for x in &chunk.b_stage {
+                let vals = ctx.global_read(b_buf, &offset_idx(&x.global_rel, b_base));
+                ctx.shared_store(&x.shared, &vals);
+            }
+            ctx.syncthreads();
+
+            let mut fi = 0;
+            for w in 0..tile.warps() {
+                for _kt in 0..chunk.active_k {
+                    let f = &chunk.frags[fi];
+                    fi += 1;
+                    let at = ctx.shared_load_wide(&f.idx_a, tile.m_t);
+                    let bt = ctx.shared_load_wide(&f.idx_b, tile.n_t);
+                    for mac in &trace.warp_macs[w] {
+                        for i in 0..mac.ni {
+                            for j in 0..mac.nj {
+                                let idx = mac.acc_base + i * tile.n_t + j;
+                                acc[idx] = acc[idx].mac(at[i][mac.lane], bt[j][mac.lane]);
+                            }
+                        }
+                    }
+                    ctx.add_flops(trace.warp_flops[w]);
+                }
+            }
+            ctx.syncthreads();
+        }
+
+        CFragments { tile, acc }
+    }
+}
+
+/// Per-kernel cache of [`MainloopTrace`]s, keyed by `(active_m, active_n)`.
+/// The owning kernel must use one cache per distinct (tile, `k_total`,
+/// operand-stride, `shared_base`) configuration — everything except the
+/// active extents must be constant across the cache's users.
+///
+/// A launch sees at most four distinct extents (interior blocks plus the
+/// m-edge, n-edge, and corner), so the warm path is four lock-free
+/// `OnceLock` slots; a mutexed overflow map keeps unusual callers correct.
+/// One warm-path slot: the `(active_m, active_n)` key plus its trace.
+type TraceSlot = OnceLock<((usize, usize), Arc<MainloopTrace>)>;
+
+#[derive(Default)]
+pub struct MainloopTraceCache {
+    slots: [TraceSlot; 4],
+    overflow: Mutex<HashMap<(usize, usize), Arc<MainloopTrace>>>,
+}
+
+impl MainloopTraceCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch (or build) the trace for one block-extent class. Warm lookups
+    /// are lock-free slot reads; cold builds serialize on the overflow
+    /// mutex so each class's trace is built exactly once per racer set.
+    pub fn get(
+        &self,
+        engine: &CgemmBlockEngine,
+        a_view: &MatView,
+        b_view: &MatView,
+        active_m: usize,
+        active_n: usize,
+        shared_base: usize,
+    ) -> Arc<MainloopTrace> {
+        let key = (active_m, active_n);
+        for slot in &self.slots {
+            if let Some((k, trace)) = slot.get() {
+                if *k == key {
+                    return trace.clone();
+                }
+            }
+        }
+        let mut map = lock_unpoisoned(&self.overflow);
+        // A racer may have published while we waited for the lock.
+        for slot in &self.slots {
+            if let Some((k, trace)) = slot.get() {
+                if *k == key {
+                    return trace.clone();
+                }
+            }
+        }
+        if let Some(trace) = map.get(&key) {
+            return trace.clone();
+        }
+        let trace = Arc::new(engine.build_trace(a_view, b_view, active_m, active_n, shared_base));
+        for slot in &self.slots {
+            if slot.set((key, trace.clone())).is_ok() {
+                return trace;
+            }
+        }
+        map.insert(key, trace.clone());
+        trace
     }
 }
 

@@ -22,7 +22,10 @@ pub mod tile;
 pub mod tuner;
 pub mod view;
 
-pub use engine::{store_c_global, AProvider, BOperand, CFragments, CgemmBlockEngine};
+pub use engine::{
+    store_c_global, AProvider, BOperand, CFragments, CgemmBlockEngine, MainloopTrace,
+    MainloopTraceCache,
+};
 pub use tuner::{candidate_tiles, evaluate_tile, tune, verify_tile, TunedTile};
 pub use kernel::{BatchedCgemmKernel, BatchedOperand, GemmShape};
 pub use tile::TileConfig;

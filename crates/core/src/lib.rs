@@ -18,7 +18,10 @@
 //!   selection the paper calls "TurboFNO";
 //! * [`pool`] — the size-class scratch [`BufferPool`] sessions allocate
 //!   pipeline intermediates from;
-//! * [`planner`] — the memoizing `TurboBest` [`Planner`].
+//! * [`planner`] — the memoizing `TurboBest` [`Planner`];
+//! * [`replay`] — whole-forward launch replay: warm serving loops re-issue
+//!   a recorded kernel sequence instead of re-planning and re-assembling
+//!   every layer (see the "Warm-path replay" section of the README).
 //!
 //! Numerical equivalence of every variant against the naive reference
 //! layer is enforced by the test suite (`tests/` in this crate and the
@@ -34,6 +37,7 @@ mod fused_tests;
 pub mod pipeline;
 pub mod planner;
 pub mod pool;
+pub mod replay;
 pub mod session;
 pub mod swizzle;
 
@@ -41,7 +45,8 @@ pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
 pub use pipeline::{TurboOptions, Variant, TURBO_FFT_L1_HIT};
 pub use planner::{Planner, PlannerStats, TURBO_CANDIDATES};
 pub use pool::{BufferPool, PoolStats};
-pub use session::{LaunchHandle, LayerSpec, Request, Session};
+pub use replay::ReplayStats;
+pub use session::{DispatchStats, LaunchHandle, LayerSpec, Request, Session};
 // The strided-batched weight layout mixed-weight serving stacks ride on.
 pub use tfno_cgemm::WeightStacking;
 pub use swizzle::{

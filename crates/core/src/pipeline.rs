@@ -24,8 +24,10 @@
 
 use crate::fused::{FusedKernel, Geom1d, Geom2d};
 use crate::pool::BufferPool;
+use crate::replay::{ReplayStep, ReplayTape};
 use crate::swizzle::ForwardLayout;
-use tfno_cgemm::{BatchedOperand, GemmShape, MatView, WeightStacking};
+use std::sync::Arc;
+use tfno_cgemm::{BatchedCgemmKernel, BatchedOperand, GemmShape, MatView, WeightStacking};
 use tfno_culib::{
     run_pytorch_1d_stacked, run_pytorch_2d_stacked, CuBlas, FnoProblem1d, FnoProblem2d,
     PipelineRun, CUFFT_L1_HIT,
@@ -34,7 +36,7 @@ use tfno_fft::{
     BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
     StridedPencils,
 };
-use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice};
+use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, Kernel, LaunchRecord, PendingLaunch};
 use tfno_num::C32;
 
 /// L1/L2 hit rate of the hidden-dim-ordered Turbo FFT: the k-loop-aligned
@@ -140,19 +142,25 @@ pub(crate) struct ExecCtx<'a> {
     pub dev: &'a mut GpuDevice,
     pub pool: &'a mut BufferPool,
     pub planner: &'a crate::Planner,
+    /// Recording tape for whole-forward launch replay (`replay.rs`). When
+    /// present, every launch routed through [`ExecCtx::step`] is captured;
+    /// `None` on paths that never record (planner cost probes, measure).
+    pub tape: Option<ReplayTape>,
 }
 
 // ---------------------------------------------------------------- 1D ----
 
 /// Truncated forward FFT kernel of the Turbo pipeline (variant A / C).
+///
+/// The `turbo_*` helpers build the kernel object without launching it so
+/// every launch can flow through [`ExecCtx::step`] (and onto the replay
+/// tape when one is recording).
 fn turbo_fft_1d(
-    dev: &mut GpuDevice,
     p: &FnoProblem1d,
     x: BufferId,
     xf_t: BufferId,
     opts: &TurboOptions,
-    mode: ExecMode,
-) -> tfno_gpu_sim::LaunchRecord {
+) -> BatchedFftKernel<RowPencils> {
     let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.n))
         .with_l1_hit_rate(opts.fft_l1_hit)
         .with_k_iters(p.k_in.div_ceil(8));
@@ -162,19 +170,16 @@ fn turbo_fft_1d(
         in_row_len: p.n,
         out_row_len: p.nf,
     };
-    let k = BatchedFftKernel::new("turbo.fft", cfg, plan, addr, x, xf_t);
-    dev.launch(&k, mode)
+    BatchedFftKernel::new("turbo.fft", cfg, plan, addr, x, xf_t)
 }
 
 /// Zero-padded inverse FFT kernel (variant A / B).
 fn turbo_ifft_1d(
-    dev: &mut GpuDevice,
     p: &FnoProblem1d,
     yf_t: BufferId,
     y: BufferId,
     opts: &TurboOptions,
-    mode: ExecMode,
-) -> tfno_gpu_sim::LaunchRecord {
+) -> BatchedFftKernel<RowPencils> {
     let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.n))
         .with_l1_hit_rate(opts.fft_l1_hit)
         .with_k_iters(p.k_out.div_ceil(8));
@@ -184,22 +189,18 @@ fn turbo_ifft_1d(
         in_row_len: p.nf,
         out_row_len: p.n,
     };
-    let k = BatchedFftKernel::new("turbo.ifft", cfg, plan, addr, yf_t, y);
-    dev.launch(&k, mode)
+    BatchedFftKernel::new("turbo.ifft", cfg, plan, addr, yf_t, y)
 }
 
 /// Standalone CGEMM over truncated modes (variant A).
 fn turbo_gemm_1d(
-    dev: &mut GpuDevice,
     p: &FnoProblem1d,
     xf_t: BufferId,
     w: BufferId,
     ws: WeightStacking,
     yf_t: BufferId,
-    mode: ExecMode,
-) -> tfno_gpu_sim::LaunchRecord {
-    CuBlas::cgemm_strided_batched(
-        dev,
+) -> BatchedCgemmKernel {
+    CuBlas::kernel(
         "turbo.cgemm",
         GemmShape {
             batch: p.batch,
@@ -228,7 +229,6 @@ fn turbo_gemm_1d(
         ),
         C32::ONE,
         C32::ZERO,
-        mode,
     )
 }
 
@@ -240,9 +240,73 @@ impl ExecCtx<'_> {
         id
     }
 
-    fn release(&mut self, leases: Vec<BufferId>) {
+    pub(crate) fn release(&mut self, leases: Vec<BufferId>) {
+        // While a replay recording is live, scratch stays leased: on a
+        // successful recording the artifact retains it (so the buffers —
+        // and therefore the recorded kernels' operand views — remain
+        // exclusively its own), and on an abandoned one `replay::record`
+        // releases it. Data-wise this is invisible: every stage fully
+        // overwrites the scratch it reads.
+        if let Some(tape) = &mut self.tape {
+            tape.scratch.extend(leases);
+            return;
+        }
         for id in leases {
             self.pool.release(self.dev, id);
+        }
+    }
+
+    /// Launch a kernel, capturing it on the replay tape when recording.
+    pub(crate) fn step<K: Kernel + Send + Sync + 'static>(
+        &mut self,
+        kernel: K,
+        mode: ExecMode,
+    ) -> LaunchRecord {
+        match &mut self.tape {
+            Some(tape) if tape.recordable => {
+                let kernel: Arc<dyn Kernel + Send + Sync> = Arc::new(kernel);
+                let rec = self.dev.launch(&*kernel, mode);
+                tape.steps.push(ReplayStep { kernel, mode });
+                rec
+            }
+            _ => self.dev.launch(&kernel, mode),
+        }
+    }
+
+    /// Deferred-completion variant of [`ExecCtx::step`] for launches whose
+    /// writes nothing later in the sequence reads (serving-queue scatters).
+    /// On the tape the step is ordinary — replay completes synchronously,
+    /// which is bitwise-identical.
+    pub(crate) fn step_deferred<K: Kernel + Send + Sync + 'static>(
+        &mut self,
+        kernel: K,
+        mode: ExecMode,
+    ) -> PendingLaunch {
+        match &mut self.tape {
+            Some(tape) if tape.recordable => {
+                let kernel: Arc<dyn Kernel + Send + Sync> = Arc::new(kernel);
+                let pending = self.dev.launch_deferred(&*kernel, mode);
+                tape.steps.push(ReplayStep { kernel, mode });
+                pending
+            }
+            _ => self.dev.launch_deferred(&kernel, mode),
+        }
+    }
+
+    /// Close the current output unit: steps since the previous boundary
+    /// belong to `out[out_idx]` when the recording is replayed.
+    pub(crate) fn mark_unit(&mut self, out_idx: usize) {
+        if let Some(tape) = &mut self.tape {
+            let end = tape.steps.len();
+            tape.plan.push((out_idx, end));
+        }
+    }
+
+    /// The sequence took a path that cannot be captured (the opaque
+    /// `Pytorch` baseline); the recording is abandoned.
+    pub(crate) fn mark_unrecordable(&mut self) {
+        if let Some(tape) = &mut self.tape {
+            tape.recordable = false;
         }
     }
 
@@ -270,8 +334,12 @@ impl ExecCtx<'_> {
         match variant {
             // The baseline allocates its copy temporaries per call on
             // purpose: that churn is part of the library stack it emulates
-            // (only Turbo scratch goes through the pool).
-            Variant::Pytorch => return run_pytorch_1d_stacked(self.dev, p, x, w, ws, y, mode),
+            // (only Turbo scratch goes through the pool). Its internal
+            // launches never reach the tape, so the recording is abandoned.
+            Variant::Pytorch => {
+                self.mark_unrecordable();
+                return run_pytorch_1d_stacked(self.dev, p, x, w, ws, y, mode);
+            }
             Variant::TurboBest => {
                 let best = self.planner.plan_1d(&self.dev.config, p, opts);
                 return self.run_1d(p, best, b, opts, mode);
@@ -279,9 +347,9 @@ impl ExecCtx<'_> {
             Variant::FftOpt => {
                 let xf_t = self.scratch(x, p.batch * p.k_in * p.nf, &mut leases);
                 let yf_t = self.scratch(x, p.batch * p.k_out * p.nf, &mut leases);
-                run.push(turbo_fft_1d(self.dev, p, x, xf_t, opts, mode));
-                run.push(turbo_gemm_1d(self.dev, p, xf_t, w, ws, yf_t, mode));
-                run.push(turbo_ifft_1d(self.dev, p, yf_t, y, opts, mode));
+                run.push(self.step(turbo_fft_1d(p, x, xf_t, opts), mode));
+                run.push(self.step(turbo_gemm_1d(p, xf_t, w, ws, yf_t), mode));
+                run.push(self.step(turbo_ifft_1d(p, yf_t, y, opts), mode));
             }
             Variant::FusedFftGemm => {
                 let yf_t = self.scratch(x, p.batch * p.k_out * p.nf, &mut leases);
@@ -299,12 +367,12 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.dev.launch(&k, mode));
-                run.push(turbo_ifft_1d(self.dev, p, yf_t, y, opts, mode));
+                run.push(self.step(k, mode));
+                run.push(self.step(turbo_ifft_1d(p, yf_t, y, opts), mode));
             }
             Variant::FusedGemmIfft => {
                 let xf_t = self.scratch(x, p.batch * p.k_in * p.nf, &mut leases);
-                run.push(turbo_fft_1d(self.dev, p, x, xf_t, opts, mode));
+                run.push(self.step(turbo_fft_1d(p, x, xf_t, opts), mode));
                 let k = FusedKernel::new(
                     "turbo.fused_gemm_ifft",
                     geom,
@@ -319,7 +387,7 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.dev.launch(&k, mode));
+                run.push(self.step(k, mode));
             }
             Variant::FullyFused => {
                 let k = FusedKernel::new(
@@ -336,7 +404,7 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.dev.launch(&k, mode));
+                run.push(self.step(k, mode));
             }
         }
         self.release(leases);
@@ -367,6 +435,7 @@ impl ExecCtx<'_> {
         };
         let LayerBufs { x, w, y, ws } = b;
         if variant == Variant::Pytorch {
+            self.mark_unrecordable();
             return run_pytorch_2d_stacked(self.dev, p, x, w, ws, y, mode);
         }
         if variant == Variant::TurboBest {
@@ -378,15 +447,15 @@ impl ExecCtx<'_> {
         let t1 = self.scratch(x, p.batch * p.k_in * p.nfx * p.ny, &mut leases);
         // Output of the (possibly fused) y-stage inverse: [b, k_out, nfx, ny].
         let t3 = self.scratch(x, p.batch * p.k_out * p.nfx * p.ny, &mut leases);
-        run.push(turbo_fft_x(self.dev, p, x, t1, mode));
+        run.push(self.step(turbo_fft_x(p, x, t1), mode));
 
         match variant {
             Variant::FftOpt => {
                 let xf_t = self.scratch(x, p.batch * p.k_in * p.nfx * p.nfy, &mut leases);
                 let yf_t = self.scratch(x, p.batch * p.k_out * p.nfx * p.nfy, &mut leases);
-                run.push(turbo_fft_y(self.dev, p, t1, xf_t, opts, mode));
-                run.push(turbo_gemm_2d(self.dev, p, xf_t, w, ws, yf_t, mode));
-                run.push(turbo_ifft_y(self.dev, p, yf_t, t3, opts, mode));
+                run.push(self.step(turbo_fft_y(p, t1, xf_t, opts), mode));
+                run.push(self.step(turbo_gemm_2d(p, xf_t, w, ws, yf_t), mode));
+                run.push(self.step(turbo_ifft_y(p, yf_t, t3, opts), mode));
             }
             Variant::FusedFftGemm => {
                 let yf_t = self.scratch(x, p.batch * p.k_out * p.nfx * p.nfy, &mut leases);
@@ -404,12 +473,12 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.dev.launch(&k, mode));
-                run.push(turbo_ifft_y(self.dev, p, yf_t, t3, opts, mode));
+                run.push(self.step(k, mode));
+                run.push(self.step(turbo_ifft_y(p, yf_t, t3, opts), mode));
             }
             Variant::FusedGemmIfft => {
                 let xf_t = self.scratch(x, p.batch * p.k_in * p.nfx * p.nfy, &mut leases);
-                run.push(turbo_fft_y(self.dev, p, t1, xf_t, opts, mode));
+                run.push(self.step(turbo_fft_y(p, t1, xf_t, opts), mode));
                 let k = FusedKernel::new(
                     "turbo.fused2d_gemm_ifft",
                     geom,
@@ -424,7 +493,7 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.dev.launch(&k, mode));
+                run.push(self.step(k, mode));
             }
             Variant::FullyFused => {
                 let k = FusedKernel::new(
@@ -441,13 +510,13 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.dev.launch(&k, mode));
+                run.push(self.step(k, mode));
             }
             Variant::Pytorch | Variant::TurboBest => unreachable!(),
         }
 
         // Final stage: zero-padded inverse FFT along x.
-        run.push(turbo_ifft_x(self.dev, p, t3, y, mode));
+        run.push(self.step(turbo_ifft_x(p, t3, y), mode));
         self.release(leases);
         run
     }
@@ -458,13 +527,7 @@ impl ExecCtx<'_> {
 /// Stage-1 FFT along the strided x axis with built-in truncation (all
 /// Turbo variants). Pencils are adjacent in y, so the reads coalesce
 /// across pencils — the baseline-quality spatial dataflow.
-fn turbo_fft_x(
-    dev: &mut GpuDevice,
-    p: &FnoProblem2d,
-    x: BufferId,
-    t1: BufferId,
-    mode: ExecMode,
-) -> tfno_gpu_sim::LaunchRecord {
+fn turbo_fft_x(p: &FnoProblem2d, x: BufferId, t1: BufferId) -> BatchedFftKernel<StridedPencils> {
     let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.nx)).with_l1_hit_rate(CUFFT_L1_HIT);
     let plan = FftPlan::new(p.nx, FftDirection::Forward, p.nx, p.nfx);
     let addr = StridedPencils {
@@ -477,18 +540,11 @@ fn turbo_fft_x(
         out_pencil_stride: 1,
         out_idx_stride: p.ny,
     };
-    let k = BatchedFftKernel::new("turbo.fft_x", cfg, plan, addr, x, t1);
-    dev.launch(&k, mode)
+    BatchedFftKernel::new("turbo.fft_x", cfg, plan, addr, x, t1)
 }
 
 /// Final inverse FFT along the strided x axis with built-in zero padding.
-fn turbo_ifft_x(
-    dev: &mut GpuDevice,
-    p: &FnoProblem2d,
-    t3: BufferId,
-    y: BufferId,
-    mode: ExecMode,
-) -> tfno_gpu_sim::LaunchRecord {
+fn turbo_ifft_x(p: &FnoProblem2d, t3: BufferId, y: BufferId) -> BatchedFftKernel<StridedPencils> {
     let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.nx)).with_l1_hit_rate(CUFFT_L1_HIT);
     let plan = FftPlan::new(p.nx, FftDirection::Inverse, p.nfx, p.nx);
     let addr = StridedPencils {
@@ -501,21 +557,18 @@ fn turbo_ifft_x(
         out_pencil_stride: 1,
         out_idx_stride: p.ny,
     };
-    let k = BatchedFftKernel::new("turbo.ifft_x", cfg, plan, addr, t3, y);
-    dev.launch(&k, mode)
+    BatchedFftKernel::new("turbo.ifft_x", cfg, plan, addr, t3, y)
 }
 
 /// Standalone truncated y-stage FFT over the contiguous rows of `t1`
 /// (variants A and C). Hidden-dim-ordered (the fusable stage), hence the
 /// lower L1 hit rate.
 fn turbo_fft_y(
-    dev: &mut GpuDevice,
     p: &FnoProblem2d,
     t1: BufferId,
     xf_t: BufferId,
     opts: &TurboOptions,
-    mode: ExecMode,
-) -> tfno_gpu_sim::LaunchRecord {
+) -> BatchedFftKernel<RowPencils> {
     let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.ny))
         .with_l1_hit_rate(opts.fft_l1_hit)
         .with_k_iters(p.k_in.div_ceil(8));
@@ -525,19 +578,16 @@ fn turbo_fft_y(
         in_row_len: p.ny,
         out_row_len: p.nfy,
     };
-    let k = BatchedFftKernel::new("turbo.fft_y", cfg, plan, addr, t1, xf_t);
-    dev.launch(&k, mode)
+    BatchedFftKernel::new("turbo.fft_y", cfg, plan, addr, t1, xf_t)
 }
 
 /// Standalone padded y-stage inverse FFT (variants A and B).
 fn turbo_ifft_y(
-    dev: &mut GpuDevice,
     p: &FnoProblem2d,
     yf_t: BufferId,
     t3: BufferId,
     opts: &TurboOptions,
-    mode: ExecMode,
-) -> tfno_gpu_sim::LaunchRecord {
+) -> BatchedFftKernel<RowPencils> {
     let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.ny))
         .with_l1_hit_rate(opts.fft_l1_hit)
         .with_k_iters(p.k_out.div_ceil(8));
@@ -547,23 +597,19 @@ fn turbo_ifft_y(
         in_row_len: p.nfy,
         out_row_len: p.ny,
     };
-    let k = BatchedFftKernel::new("turbo.ifft_y", cfg, plan, addr, yf_t, t3);
-    dev.launch(&k, mode)
+    BatchedFftKernel::new("turbo.ifft_y", cfg, plan, addr, yf_t, t3)
 }
 
 /// Standalone CGEMM over the truncated 2D modes (variant A).
 fn turbo_gemm_2d(
-    dev: &mut GpuDevice,
     p: &FnoProblem2d,
     xf_t: BufferId,
     w: BufferId,
     ws: WeightStacking,
     yf_t: BufferId,
-    mode: ExecMode,
-) -> tfno_gpu_sim::LaunchRecord {
+) -> BatchedCgemmKernel {
     let m = p.nfx * p.nfy;
-    CuBlas::cgemm_strided_batched(
-        dev,
+    CuBlas::kernel(
         "turbo.cgemm2d",
         GemmShape {
             batch: p.batch,
@@ -592,6 +638,5 @@ fn turbo_gemm_2d(
         ),
         C32::ONE,
         C32::ZERO,
-        mode,
     )
 }

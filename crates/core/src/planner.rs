@@ -24,6 +24,7 @@ use crate::pool::BufferPool;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use tfno_culib::{FnoProblem1d, FnoProblem2d};
 use tfno_gpu_sim::{
@@ -111,6 +112,11 @@ pub struct Planner {
     pending_cv: Condvar,
     stats: Mutex<PlannerStats>,
     cap: usize,
+    /// Bumped on every [`Planner::clear`]. Replay artifacts that embedded
+    /// a plan decision record the generation they saw; a mismatch means
+    /// the plans they were recorded under may have changed, so the
+    /// artifact must re-record instead of replaying a stale decision.
+    generation: AtomicU64,
 }
 
 impl Default for Planner {
@@ -133,6 +139,7 @@ impl Planner {
             pending_cv: Condvar::new(),
             stats: Mutex::new(PlannerStats::default()),
             cap: cap.max(2),
+            generation: AtomicU64::new(0),
         }
     }
 
@@ -146,9 +153,18 @@ impl Planner {
         *lock_unpoisoned(&self.stats)
     }
 
-    /// Drop all cached plans (counters keep accumulating).
+    /// Drop all cached plans (counters keep accumulating). Bumps the
+    /// planner [`generation`](Planner::generation) so downstream caches
+    /// keyed on plan decisions know to re-record.
     pub fn clear(&self) {
         lock_unpoisoned(&self.cache).clear();
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotonic counter of [`Planner::clear`] calls — the invalidation
+    /// token replay artifacts check before trusting a recorded plan.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Number of cached plans.
@@ -243,28 +259,36 @@ impl Planner {
 /// Hash the planner-relevant device and option state.
 fn key_base(cfg: &DeviceConfig, opts: &TurboOptions) -> DefaultHasher {
     let mut h = DefaultHasher::new();
-    cfg.name.hash(&mut h);
-    cfg.num_sms.hash(&mut h);
-    cfg.max_threads_per_sm.hash(&mut h);
-    cfg.max_blocks_per_sm.hash(&mut h);
-    cfg.shared_mem_per_sm.hash(&mut h);
-    cfg.shared_mem_per_block_max.hash(&mut h);
-    cfg.regs_per_sm.hash(&mut h);
-    cfg.warp_size.hash(&mut h);
-    cfg.shared_banks.hash(&mut h);
-    cfg.bank_width_bytes.hash(&mut h);
-    cfg.clock_ghz.to_bits().hash(&mut h);
-    cfg.dram_bw_gbps.to_bits().hash(&mut h);
-    cfg.fp32_gflops.to_bits().hash(&mut h);
-    cfg.shared_bytes_per_clk_per_sm.to_bits().hash(&mut h);
-    cfg.kernel_launch_overhead_us.to_bits().hash(&mut h);
-    cfg.syncthreads_cycles.to_bits().hash(&mut h);
-    cfg.bw_sat_blocks.to_bits().hash(&mut h);
-    cfg.compute_sat_warps.to_bits().hash(&mut h);
+    hash_device_config(cfg, &mut h);
     opts.forward_layout.hash(&mut h);
     opts.epilogue_swizzle.hash(&mut h);
     opts.fft_l1_hit.to_bits().hash(&mut h);
     h
+}
+
+/// Hash every analytically-relevant `DeviceConfig` field. Shared by the
+/// planner's cache keys and the sequence-level launch memo in `session.rs`
+/// (`Session::measure`), so both invalidate on exactly the same device
+/// changes.
+pub(crate) fn hash_device_config(cfg: &DeviceConfig, h: &mut DefaultHasher) {
+    cfg.name.hash(h);
+    cfg.num_sms.hash(h);
+    cfg.max_threads_per_sm.hash(h);
+    cfg.max_blocks_per_sm.hash(h);
+    cfg.shared_mem_per_sm.hash(h);
+    cfg.shared_mem_per_block_max.hash(h);
+    cfg.regs_per_sm.hash(h);
+    cfg.warp_size.hash(h);
+    cfg.shared_banks.hash(h);
+    cfg.bank_width_bytes.hash(h);
+    cfg.clock_ghz.to_bits().hash(h);
+    cfg.dram_bw_gbps.to_bits().hash(h);
+    cfg.fp32_gflops.to_bits().hash(h);
+    cfg.shared_bytes_per_clk_per_sm.to_bits().hash(h);
+    cfg.kernel_launch_overhead_us.to_bits().hash(h);
+    cfg.syncthreads_cycles.to_bits().hash(h);
+    cfg.bw_sat_blocks.to_bits().hash(h);
+    cfg.compute_sat_warps.to_bits().hash(h);
 }
 
 /// Cold evaluation: simulate the four candidates analytically on virtual
@@ -290,6 +314,7 @@ pub(crate) fn evaluate_1d(
             dev: &mut dev,
             pool: &mut pool,
             planner: Planner::global(),
+            tape: None,
         }
         .run_1d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical);
         (run.total_us(), run.kernel_count() as u64)
@@ -312,6 +337,7 @@ pub(crate) fn evaluate_2d(
             dev: &mut dev,
             pool: &mut pool,
             planner: Planner::global(),
+            tape: None,
         }
         .run_2d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical);
         (run.total_us(), run.kernel_count() as u64)
@@ -546,6 +572,16 @@ mod tests {
         assert_eq!(planner.stats().misses, 1, "stats lock must recover");
         assert_eq!(planner.plan(7, || unreachable!()), Variant::FftOpt);
         assert_eq!(planner.stats().hits, 1, "cache lock must recover");
+    }
+
+    #[test]
+    fn clear_bumps_the_generation() {
+        let planner = Planner::new();
+        let g0 = planner.generation();
+        planner.plan(9, || (Variant::FftOpt, 1));
+        assert_eq!(planner.generation(), g0, "planning alone never invalidates");
+        planner.clear();
+        assert_eq!(planner.generation(), g0 + 1);
     }
 
     #[test]

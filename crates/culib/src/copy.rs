@@ -7,8 +7,13 @@
 //! FFT (`out_ft` padding). Both are pure global-memory traffic — exactly
 //! the overhead TurboFNO's built-in truncation removes.
 
+use std::collections::HashMap;
 use std::hash::Hash;
-use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx, WARP_SIZE};
+use std::sync::{Arc, Mutex, OnceLock};
+use tfno_gpu_sim::{
+    lock_unpoisoned, structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx,
+    WARP_SIZE,
+};
 use tfno_num::C32;
 
 /// Row-structured copy addressing: `rows` rows; row `r` reads
@@ -253,6 +258,37 @@ impl<A: CopyAddressing> Kernel for StridedCopyKernel<A> {
     }
 }
 
+/// Affine per-block address template for the segmented copy: the warp
+/// schedule of a chunk depends only on its element count, so the relative
+/// pattern — `(element offset, active lanes)` per warp transaction — is
+/// built once per distinct chunk length and shared process-wide, then
+/// offset by each block's segment bases at run time. This is the
+/// transfer-phase analogue of the FFT butterfly trace cache: a warm
+/// serving loop's gather/scatter launches replay templates instead of
+/// re-deriving per-lane addresses. Addresses, lane masks, and therefore
+/// all traffic accounting are identical to the untemplated path (the
+/// legacy executor still runs that path for A/B fidelity).
+#[derive(Debug)]
+struct CopyTemplate {
+    /// `(relative element offset, active lanes)` per warp transaction.
+    iters: Vec<(usize, usize)>,
+}
+
+fn copy_template(chunk_len: usize) -> Arc<CopyTemplate> {
+    static TEMPLATES: OnceLock<Mutex<HashMap<usize, Arc<CopyTemplate>>>> = OnceLock::new();
+    let table = TEMPLATES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut table = lock_unpoisoned(table);
+    Arc::clone(table.entry(chunk_len).or_insert_with(|| {
+        let mut iters = Vec::with_capacity(chunk_len.div_ceil(WARP_SIZE));
+        let mut i = 0;
+        while i < chunk_len {
+            iters.push((i, WARP_SIZE.min(chunk_len - i)));
+            i += WARP_SIZE;
+        }
+        Arc::new(CopyTemplate { iters })
+    }))
+}
+
 /// One contiguous span moved by a [`SegmentedCopyKernel`].
 #[derive(Clone, Copy, Debug)]
 pub struct CopySegment {
@@ -315,13 +351,24 @@ impl Kernel for SegmentedCopyKernel {
         let (s, off) = self.blocks[block_id];
         let seg = &self.segments[s];
         let end = seg.len.min(off + SEGMENT_COPY_BLOCK_ELEMS);
-        let mut i = off;
-        while i < end {
-            let read_idx = WarpIdx::from_fn(|l| (i + l < end).then(|| seg.src_base + i + l));
+        if ctx.legacy_mode() {
+            // Pre-template path, kept for the legacy-executor A/B baseline.
+            let mut i = off;
+            while i < end {
+                let read_idx = WarpIdx::from_fn(|l| (i + l < end).then(|| seg.src_base + i + l));
+                let vals = ctx.global_read(seg.src, &read_idx);
+                let write_idx = WarpIdx::from_fn(|l| (i + l < end).then(|| seg.dst_base + i + l));
+                ctx.global_write(seg.dst, &write_idx, &vals);
+                i += WARP_SIZE;
+            }
+            return;
+        }
+        let template = copy_template(end - off);
+        for &(rel, active) in &template.iters {
+            let read_idx = WarpIdx::contiguous_partial(seg.src_base + off + rel, active);
             let vals = ctx.global_read(seg.src, &read_idx);
-            let write_idx = WarpIdx::from_fn(|l| (i + l < end).then(|| seg.dst_base + i + l));
+            let write_idx = WarpIdx::contiguous_partial(seg.dst_base + off + rel, active);
             ctx.global_write(seg.dst, &write_idx, &vals);
-            i += WARP_SIZE;
         }
     }
 
@@ -545,6 +592,31 @@ mod tests {
         let rec = dev.launch(&k, ExecMode::Functional);
         assert_eq!(rec.stats.blocks, 3);
         assert_eq!(dev.download(dst), seq(len));
+    }
+
+    /// The affine address templates must not change a single byte of data
+    /// or traffic relative to the per-lane closure path the legacy
+    /// executor still runs.
+    #[test]
+    fn templated_copy_matches_legacy_path_bitwise() {
+        let len = SEGMENT_COPY_BLOCK_ELEMS + 77; // full chunk + odd tail
+        let run = |legacy: bool| {
+            let mut dev = GpuDevice::a100();
+            dev.legacy_executor = legacy;
+            let src = dev.alloc("src", len);
+            let dst = dev.alloc("dst", len + 13);
+            dev.upload(src, &seq(len));
+            let k = SegmentedCopyKernel::new(
+                "tmpl",
+                vec![CopySegment { src, src_base: 0, dst, dst_base: 13, len }],
+            );
+            let rec = dev.launch(&k, ExecMode::Functional);
+            (rec.stats, dev.download(dst))
+        };
+        let (stats_new, out_new) = run(false);
+        let (stats_old, out_old) = run(true);
+        assert_eq!(stats_new, stats_old, "templates changed traffic accounting");
+        assert_eq!(out_new, out_old, "templates changed data movement");
     }
 
     #[test]

@@ -24,6 +24,25 @@ impl CuBlas {
         }
     }
 
+    /// Build the kernel `cgemm_strided_batched` would launch, without
+    /// launching it. Callers that record replayable launch sequences
+    /// (CUDA-graph-style capture) keep the returned kernel object alive —
+    /// along with its internal main-loop trace — and re-launch it on warm
+    /// replays.
+    #[allow(clippy::too_many_arguments)]
+    pub fn kernel(
+        name: &str,
+        shape: GemmShape,
+        a: BatchedOperand,
+        b: BatchedOperand,
+        c: BatchedOperand,
+        alpha: C32,
+        beta: C32,
+    ) -> BatchedCgemmKernel {
+        let tile = Self::select_tile(&shape);
+        BatchedCgemmKernel::new(name, tile, shape, a, b, c, alpha, beta)
+    }
+
     /// `C = alpha * A B + beta * C`, batched with strides.
     #[allow(clippy::too_many_arguments)]
     pub fn cgemm_strided_batched(
@@ -37,8 +56,7 @@ impl CuBlas {
         beta: C32,
         mode: ExecMode,
     ) -> LaunchRecord {
-        let tile = Self::select_tile(&shape);
-        let k = BatchedCgemmKernel::new(name, tile, shape, a, b, c, alpha, beta);
+        let k = Self::kernel(name, shape, a, b, c, alpha, beta);
         dev.launch(&k, mode)
     }
 }

@@ -30,8 +30,9 @@
 //! async layer dispatch is built on.
 
 use crate::journal::WriteJournal;
-use crate::kernel::LaunchDims;
+use crate::kernel::{GpuDevice, LaunchDims, LaunchRecord};
 use crate::stats::KernelStats;
+use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// A launch whose blocks have executed but whose global writes have not
@@ -58,9 +59,65 @@ impl PendingLaunch {
     }
 
     /// Event counts recorded at issue time (identical to what the
-    /// completed [`LaunchRecord`](crate::LaunchRecord) will carry).
+    /// completed [`LaunchRecord`] will carry).
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+}
+
+/// A bounded in-order queue of deferred launches — the simulator's stand-in
+/// for a CUDA stream with a completion window.
+///
+/// [`push`](LaunchQueue::push) issues nothing itself: the caller hands over
+/// an already-issued [`PendingLaunch`] (its blocks have executed; its reads
+/// observed the memory state at issue time). The queue holds up to `depth`
+/// pendings and completes the oldest ones — applying their journals and
+/// recording them — whenever the window overflows; [`flush`](LaunchQueue::flush)
+/// drains everything.
+///
+/// **Safety contract** (the caller's obligation, exactly as with CUDA
+/// streams): nothing issued or read between a pending's issue and its
+/// completion may depend on that pending's *writes*. Its reads are safe —
+/// they already happened at issue. `Session::run_many` uses this to defer
+/// cross-group scatter launches: aliasing validation guarantees no later
+/// gather or pipeline reads any scatter destination.
+#[derive(Default)]
+pub struct LaunchQueue {
+    depth: usize,
+    pending: VecDeque<PendingLaunch>,
+}
+
+impl LaunchQueue {
+    /// A queue completing eagerly past `depth` in-flight launches
+    /// (clamped to ≥ 1; depth 1 behaves like immediate completion on the
+    /// next push).
+    pub fn new(depth: usize) -> Self {
+        LaunchQueue {
+            depth: depth.max(1),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Enqueue an issued launch; completes the oldest launches first if
+    /// the window is full. Returns the records of whatever completed.
+    pub fn push(&mut self, dev: &mut GpuDevice, launch: PendingLaunch) -> Vec<LaunchRecord> {
+        let mut done = Vec::new();
+        while self.pending.len() >= self.depth.max(1) {
+            let oldest = self.pending.pop_front().expect("non-empty window");
+            done.push(dev.complete(oldest));
+        }
+        self.pending.push_back(launch);
+        done
+    }
+
+    /// Complete every in-flight launch, oldest first.
+    pub fn flush(&mut self, dev: &mut GpuDevice) -> Vec<LaunchRecord> {
+        self.pending.drain(..).map(|p| dev.complete(p)).collect()
+    }
+
+    /// Launches currently issued but not completed.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
     }
 }
 

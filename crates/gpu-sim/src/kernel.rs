@@ -369,6 +369,21 @@ impl GpuDevice {
         self.workers = workers.map(|n| n.max(1));
     }
 
+    /// Stable key of the execution policy in force on this device: the
+    /// explicit worker override, the process-wide configured worker count,
+    /// and the executor/parallelism flags. Sequence-replay caches store it
+    /// so a policy change between warm calls invalidates (never stale-hits)
+    /// the recorded artifact.
+    pub fn worker_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.workers.hash(&mut h);
+        exec::configured_workers().hash(&mut h);
+        self.parallel.hash(&mut h);
+        self.legacy_executor.hash(&mut h);
+        h.finish()
+    }
+
     /// Worker count the functional executor will use for a grid of
     /// `n_blocks` under the current policy.
     pub fn effective_workers(&self, n_blocks: usize) -> usize {
@@ -964,6 +979,74 @@ mod tests {
         let rec = dev.launch(&k, ExecMode::Analytical);
         assert_eq!(rec.stats, expected_stats(4));
         assert_eq!(dev.launches().len(), 1);
+    }
+
+    /// A depth-D launch queue must end in exactly the state a sequence of
+    /// synchronous launches produces, as long as the queued launches are
+    /// write-independent (disjoint destinations here).
+    #[test]
+    fn launch_queue_matches_synchronous_completion() {
+        let (mut dev_sync, src, dst) = setup(8);
+        let dst2 = dev_sync.alloc("dst2", 8 * 32);
+        let k1 = ScaleKernel { src, dst, blocks: 8 };
+        let k2 = ScaleKernel { src, dst: dst2, blocks: 8 };
+        let r1 = dev_sync.launch(&k1, ExecMode::Functional);
+        let r2 = dev_sync.launch(&k2, ExecMode::Functional);
+        let want_a = dev_sync.download(dst);
+        let want_b = dev_sync.download(dst2);
+
+        let (mut dev_q, src_q, dst_q) = setup(8);
+        let dst2_q = dev_q.alloc("dst2", 8 * 32);
+        let q1 = ScaleKernel { src: src_q, dst: dst_q, blocks: 8 };
+        let q2 = ScaleKernel { src: src_q, dst: dst2_q, blocks: 8 };
+        let mut queue = crate::exec::LaunchQueue::new(2);
+        let p1 = dev_q.launch_deferred(&q1, ExecMode::Functional);
+        assert!(queue.push(&mut dev_q, p1).is_empty(), "window not full yet");
+        let p2 = dev_q.launch_deferred(&q2, ExecMode::Functional);
+        assert!(queue.push(&mut dev_q, p2).is_empty());
+        assert_eq!(queue.in_flight(), 2);
+        // Nothing visible until the window drains.
+        assert_eq!(dev_q.download(dst_q)[5], C32::ZERO);
+        let done = queue.flush(&mut dev_q);
+        assert_eq!(done.len(), 2);
+        assert_eq!(queue.in_flight(), 0);
+        assert_eq!(done[0].stats, r1.stats);
+        assert_eq!(done[1].stats, r2.stats);
+        assert_eq!(dev_q.download(dst_q), want_a);
+        assert_eq!(dev_q.download(dst2_q), want_b);
+        assert_eq!(dev_q.launches().len(), 2);
+    }
+
+    /// Overflowing the window completes the oldest launch first.
+    #[test]
+    fn launch_queue_completes_oldest_on_overflow() {
+        let (mut dev, src, dst) = setup(4);
+        let dst2 = dev.alloc("q.dst2", 4 * 32);
+        let k1 = ScaleKernel { src, dst, blocks: 4 };
+        let k2 = ScaleKernel { src, dst: dst2, blocks: 4 };
+        let mut queue = crate::exec::LaunchQueue::new(1);
+        let p1 = dev.launch_deferred(&k1, ExecMode::Functional);
+        queue.push(&mut dev, p1);
+        let p2 = dev.launch_deferred(&k2, ExecMode::Functional);
+        let done = queue.push(&mut dev, p2);
+        assert_eq!(done.len(), 1, "depth-1 window completes on the next push");
+        assert_eq!(done[0].name, "scale2");
+        assert_eq!(dev.download(dst)[5], C32::real(10.0), "oldest applied");
+        assert_eq!(dev.download(dst2)[5], C32::ZERO, "newest still journaled");
+        queue.flush(&mut dev);
+        assert_eq!(dev.download(dst2)[5], C32::real(10.0));
+    }
+
+    #[test]
+    fn worker_key_tracks_policy_changes() {
+        let dev = GpuDevice::a100();
+        let base = dev.worker_key();
+        assert_eq!(base, GpuDevice::a100().worker_key(), "key is stable");
+        let pinned = GpuDevice::a100().with_workers(1);
+        assert_ne!(base, pinned.worker_key(), "override changes the key");
+        let mut legacy = GpuDevice::a100();
+        legacy.legacy_executor = true;
+        assert_ne!(base, legacy.worker_key(), "executor flavor changes the key");
     }
 
     #[test]

@@ -44,14 +44,15 @@ pub mod warp;
 pub use cost::CostModel;
 pub use device::{DeviceConfig, Occupancy};
 pub use exec::{
-    configured_workers, lock_unpoisoned, wait_unpoisoned, workers_for, PendingLaunch,
-    PAR_BLOCK_THRESHOLD,
+    configured_workers, lock_unpoisoned, wait_unpoisoned, workers_for, LaunchQueue,
+    PendingLaunch, PAR_BLOCK_THRESHOLD,
 };
 pub use journal::WriteJournal;
 pub use kernel::{BlockCtx, ExecMode, GpuDevice, Kernel, LaunchDims, LaunchRecord};
 pub use memo::{
-    launch_memo_clear, launch_memo_enabled, launch_memo_stats, set_launch_memo_enabled,
-    structural_fingerprint, MemoStats,
+    launch_memo_clear, launch_memo_enabled, launch_memo_stats, seq_insert, seq_lookup,
+    seq_memo_clear, seq_memo_stats, set_launch_memo_enabled, structural_fingerprint,
+    MemoStats, SeqMemoStats,
 };
 pub use memory::BufferId;
 pub use shared::BankStats;

@@ -15,7 +15,7 @@
 //! stats from an analytical launch. Modeled *time* is still computed per
 //! launch from the dims, so the memo never changes any figure.
 
-use crate::kernel::LaunchDims;
+use crate::kernel::{LaunchDims, LaunchRecord};
 use crate::stats::KernelStats;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -106,6 +106,84 @@ pub(crate) fn insert(key: u64, stats: KernelStats) {
     table.insert(key, stats);
 }
 
+// ---------------------------------------------------------------------------
+// Sequence memo
+// ---------------------------------------------------------------------------
+//
+// The per-kernel memo above caches the *stats of one launch*. Warm serving
+// loops replay whole launch **sequences** (an L-layer forward is the same
+// FFT→CGEMM→iFFT chain every call), so the next level up caches the full
+// `Vec<LaunchRecord>` of a sequence under a caller-provided structural key
+// (hash of problem shape + variant + options + device config — never buffer
+// identities). `turbofno::Session::measure` uses it to answer a warm
+// analytical sweep without issuing a single launch.
+
+/// Hit/miss counters of the process-wide sequence memo.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeqMemoStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: u64,
+}
+
+static SEQ_TABLE: OnceLock<Mutex<HashMap<u64, Vec<LaunchRecord>>>> = OnceLock::new();
+static SEQ_HITS: AtomicU64 = AtomicU64::new(0);
+static SEQ_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn seq_table() -> &'static Mutex<HashMap<u64, Vec<LaunchRecord>>> {
+    SEQ_TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Entry cap for the sequence memo. Sequences are heavier than single
+/// `KernelStats`, so the cap is smaller; eviction is the same wholesale
+/// epoch reset as the per-kernel table.
+const SEQ_MEMO_CAP: usize = 1 << 12;
+
+/// Look up a cached launch sequence. Honors the global memo enable flag
+/// (`set_launch_memo_enabled`); disabled lookups miss without counting.
+pub fn seq_lookup(key: u64) -> Option<Vec<LaunchRecord>> {
+    if !launch_memo_enabled() {
+        return None;
+    }
+    let got = lock_unpoisoned(seq_table()).get(&key).cloned();
+    match got {
+        Some(_) => SEQ_HITS.fetch_add(1, Ordering::Relaxed),
+        None => SEQ_MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    got
+}
+
+/// Cache the launch sequence of a completed run under `key`.
+///
+/// Contract mirrors the per-kernel memo: two runs with equal keys must
+/// produce identical records, so the key has to cover everything that
+/// shapes the sequence (problem shape, variant, options, device config)
+/// while buffer identities stay out.
+pub fn seq_insert(key: u64, records: Vec<LaunchRecord>) {
+    if !launch_memo_enabled() {
+        return;
+    }
+    let mut table = lock_unpoisoned(seq_table());
+    if table.len() >= SEQ_MEMO_CAP {
+        table.clear();
+    }
+    table.insert(key, records);
+}
+
+/// Counters plus current entry count of the sequence memo.
+pub fn seq_memo_stats() -> SeqMemoStats {
+    SeqMemoStats {
+        hits: SEQ_HITS.load(Ordering::Relaxed),
+        misses: SEQ_MISSES.load(Ordering::Relaxed),
+        entries: lock_unpoisoned(seq_table()).len() as u64,
+    }
+}
+
+/// Drop all cached sequences (counters keep accumulating).
+pub fn seq_memo_clear() {
+    lock_unpoisoned(seq_table()).clear();
+}
+
 /// Helper for `Kernel::fingerprint` implementations: hash a type tag (so
 /// kernels of different families never share a signature) plus every
 /// structural field the closure feeds in. Buffer *identities* must stay
@@ -166,6 +244,33 @@ mod tests {
         assert_eq!(lookup(key), Some(KernelStats::ZERO));
         let stats = launch_memo_stats();
         assert!(stats.entries >= 1);
+    }
+
+    #[test]
+    fn seq_memo_round_trips_sequences() {
+        let key = structural_fingerprint("seq-memo-test", |h| 3usize.hash(h));
+        assert!(seq_lookup(key).is_none());
+        let records = vec![
+            LaunchRecord {
+                name: "fft".into(),
+                dims_grid: 4,
+                stats: KernelStats::ZERO,
+                time_us: 1.5,
+            },
+            LaunchRecord {
+                name: "gemm".into(),
+                dims_grid: 2,
+                stats: KernelStats::ZERO,
+                time_us: 2.5,
+            },
+        ];
+        seq_insert(key, records.clone());
+        let got = seq_lookup(key).expect("warm lookup must hit");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "fft");
+        assert_eq!(got[1].time_us, 2.5);
+        let stats = seq_memo_stats();
+        assert!(stats.hits >= 1 && stats.misses >= 1 && stats.entries >= 1);
     }
 
     #[test]

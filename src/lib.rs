@@ -10,4 +10,7 @@ pub use turbofno as core;
 
 // The execution surface, re-exported flat: `turbofno_suite::Session` is
 // the canonical way to run layers and models.
-pub use turbofno::{BufferPool, LayerSpec, PoolStats, Request, Session, TurboOptions, Variant};
+pub use turbofno::{
+    BufferPool, DispatchStats, LayerSpec, PoolStats, ReplayStats, Request, Session, TurboOptions,
+    Variant,
+};

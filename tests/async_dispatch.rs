@@ -14,8 +14,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tfno_model::{Fno1d, Fno2d};
-use tfno_num::CTensor;
-use turbofno::{Session, TurboOptions, Variant};
+use tfno_num::{CTensor, C32};
+use turbofno::{LayerSpec, Session, TurboOptions, Variant};
 
 const ALL_VARIANTS: [Variant; 6] = [
     Variant::Pytorch,
@@ -159,4 +159,117 @@ fn dispatch_interleaving_contract() {
     // The layer-level overlapped path is exactly that composition.
     let (want, _) = model.layers[0].forward_device_sync(&mut sess, Variant::FftOpt, &opts, &h);
     assert_eq!(joined.data(), want.data());
+}
+
+fn seeded(len: usize, seed: f32) -> Vec<C32> {
+    (0..len)
+        .map(|i| {
+            C32::new(
+                ((i as f32) * 0.131 + seed).sin(),
+                ((i as f32) * 0.229 - seed).cos(),
+            )
+        })
+        .collect()
+}
+
+/// Satellite regression: a session runs ONE long-lived dispatch thread,
+/// reused across every submit — the pre-replay implementation spawned
+/// (and joined) a fresh OS thread per submit.
+#[test]
+fn submits_reuse_one_dispatch_thread() {
+    let spec = LayerSpec::d1(1, 8, 8, 128).modes(32).variant(Variant::FftOpt);
+    let mut sess = Session::a100();
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    sess.upload(x, &seeded(spec.input_len(), 0.4));
+    sess.upload(w, &seeded(spec.weight_len(), 0.7));
+    let ys: Vec<_> = (0..8).map(|_| sess.alloc("y", spec.output_len())).collect();
+
+    for &y in &ys {
+        let h = sess.submit(&spec, x, w, y);
+        let run = sess.wait(h);
+        assert!(run.kernel_count() > 0);
+    }
+    let stats = sess.dispatch_stats();
+    assert_eq!(
+        stats.threads_spawned, 1,
+        "every submit must reuse the session's one dispatch thread"
+    );
+    assert_eq!(stats.jobs_dispatched, 8);
+    // Each submit used a distinct y (a distinct replay key); all outputs agree.
+    let want = sess.download(ys[0]);
+    for &y in &ys[1..] {
+        assert_eq!(sess.download(y), want);
+    }
+}
+
+/// Deep pipelining: with depth D, up to D submits ride the in-order queue
+/// concurrently, submits past that apply backpressure instead of
+/// reordering, and the results are bitwise-equal to synchronous runs.
+#[test]
+fn deep_pipeline_keeps_submits_in_flight_and_bitwise_equal() {
+    let spec = LayerSpec::d1(1, 8, 8, 128).modes(32).variant(Variant::FftOpt);
+
+    let mut sync = Session::a100();
+    let sx = sync.alloc("x", spec.input_len());
+    let sw = sync.alloc("w", spec.weight_len());
+    let sy = sync.alloc("y", spec.output_len());
+    sync.upload(sx, &seeded(spec.input_len(), 1.2));
+    sync.upload(sw, &seeded(spec.weight_len(), 2.1));
+    sync.run(&spec, sx, sw, sy);
+    let want = sync.download(sy);
+
+    let mut sess = Session::a100();
+    sess.set_pipeline_depth(4);
+    assert_eq!(sess.pipeline_depth(), 4);
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    sess.upload(x, &seeded(spec.input_len(), 1.2));
+    sess.upload(w, &seeded(spec.weight_len(), 2.1));
+    let ys: Vec<_> = (0..6).map(|_| sess.alloc("y", spec.output_len())).collect();
+
+    // Six submits against depth 4: the last two must wait for a slot, and
+    // none of it drains the session.
+    let handles: Vec<_> = ys.iter().map(|&y| sess.submit(&spec, x, w, y)).collect();
+    assert!(sess.pending(), "submits must leave the pipeline in flight");
+    let stats = sess.dispatch_stats();
+    assert!(
+        stats.max_in_flight <= 4,
+        "backpressure must cap the in-flight depth at 4 (saw {})",
+        stats.max_in_flight
+    );
+    assert!(
+        stats.max_in_flight >= 3,
+        "six eager submits should actually fill the pipeline (saw {})",
+        stats.max_in_flight
+    );
+    for h in handles {
+        sess.wait(h);
+    }
+    assert!(!sess.pending());
+    for &y in &ys {
+        assert_eq!(sess.download(y), want, "pipelined submit diverged");
+    }
+    assert_eq!(sess.dispatch_stats().threads_spawned, 1);
+}
+
+/// Depth 1 degenerates to the PR 5 contract — at most one job in flight —
+/// without changing results.
+#[test]
+fn depth_one_serializes_submits() {
+    let spec = LayerSpec::d1(1, 6, 6, 64).modes(32).variant(Variant::FullyFused);
+    let mut sess = Session::a100();
+    sess.set_pipeline_depth(1);
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    sess.upload(x, &seeded(spec.input_len(), 0.9));
+    sess.upload(w, &seeded(spec.weight_len(), 0.2));
+    let y1 = sess.alloc("y1", spec.output_len());
+    let y2 = sess.alloc("y2", spec.output_len());
+    let h1 = sess.submit(&spec, x, w, y1);
+    let h2 = sess.submit(&spec, x, w, y2);
+    assert_eq!(sess.dispatch_stats().max_in_flight, 1);
+    sess.wait(h1);
+    sess.wait(h2);
+    assert_eq!(sess.download(y1), sess.download(y2));
 }

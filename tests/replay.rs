@@ -1,0 +1,342 @@
+//! Whole-forward launch replay: the warm (replayed) path must be
+//! **bitwise**-equal to the cold path for every variant and
+//! dimensionality, must re-read operand buffers at launch time (it is
+//! re-execution, not output caching), and must never serve a stale
+//! artifact when anything about the call changes — shape, variant, stack
+//! depth, weight-stacking layout, worker configuration, or planner state.
+//!
+//! CI additionally runs this file under `TFNO_THREADS=1`.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tfno_gpu_sim::{BufferId, GpuDevice};
+use tfno_num::C32;
+use turbofno::{LayerSpec, Request, Session, Variant};
+
+fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
+    (0..len)
+        .map(|i| {
+            C32::new(
+                ((i as f32) * 0.157 + seed).sin(),
+                ((i as f32) * 0.283 - seed).cos(),
+            )
+        })
+        .collect()
+}
+
+/// Run `spec` cold and warm in one session (same operands), proving the
+/// warm call replayed (where the variant allows) and rewrote the output;
+/// returns the agreed output bits.
+fn cold_then_warm(sess: &mut Session, spec: &LayerSpec, x_seed: f32, w_seed: f32) -> Vec<C32> {
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    let y = sess.alloc("y", spec.output_len());
+    sess.upload(x, &rand_vec(spec.input_len(), x_seed));
+    sess.upload(w, &rand_vec(spec.weight_len(), w_seed));
+
+    let cold = sess.run(spec, x, w, y);
+    let cold_out = sess.download(y);
+
+    // Clobber the output so a warm call that failed to re-execute the
+    // scatter/epilogue would be caught bitwise.
+    sess.upload(y, &vec![C32::ZERO; spec.output_len()]);
+
+    let hits_before = sess.replay_stats().hits;
+    let warm = sess.run(spec, x, w, y);
+    let warm_out = sess.download(y);
+
+    assert_eq!(cold_out, warm_out, "warm run diverged from cold run");
+    assert_eq!(warm.kernel_count(), cold.kernel_count());
+    assert_eq!(warm.total_stats(), cold.total_stats());
+    if spec.variant != Variant::Pytorch {
+        assert_eq!(
+            sess.replay_stats().hits,
+            hits_before + 1,
+            "warm run must be a replay hit for {:?}",
+            spec.variant
+        );
+    }
+    cold_out
+}
+
+/// Acceptance bar: for every concrete variant × {1D, 2D} (plus
+/// `TurboBest`), the replayed forward is bitwise-equal to the cold
+/// forward and to a fresh session's forward.
+#[test]
+fn warm_replay_is_bitwise_equal_all_variants() {
+    let mut variants = Variant::CONCRETE.to_vec();
+    variants.push(Variant::TurboBest);
+    for v in variants {
+        let spec1 = LayerSpec::d1(2, 8, 8, 128).modes(32).variant(v);
+        let spec2 = LayerSpec::d2(1, 6, 8, 32, 64).modes_xy(8, 32).variant(v);
+        for spec in [spec1, spec2] {
+            let mut warm_sess = Session::a100();
+            let agreed = cold_then_warm(&mut warm_sess, &spec, 0.3, 0.8);
+
+            let mut fresh = Session::a100();
+            let x = fresh.alloc("x", spec.input_len());
+            let w = fresh.alloc("w", spec.weight_len());
+            let y = fresh.alloc("y", spec.output_len());
+            fresh.upload(x, &rand_vec(spec.input_len(), 0.3));
+            fresh.upload(w, &rand_vec(spec.weight_len(), 0.8));
+            fresh.run(&spec, x, w, y);
+            assert_eq!(
+                fresh.download(y),
+                agreed,
+                "{v:?}: replayed session != fresh session"
+            );
+        }
+    }
+}
+
+/// Replay re-reads operands at launch time: uploading new input between
+/// warm calls must produce the new answer, not the recorded call's.
+#[test]
+fn replay_reads_current_operand_values() {
+    let spec = LayerSpec::d1(1, 8, 8, 128).modes(32).variant(Variant::FullyFused);
+    let mut sess = Session::a100();
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    let y = sess.alloc("y", spec.output_len());
+    sess.upload(w, &rand_vec(spec.weight_len(), 0.5));
+    for round in 0..3 {
+        let xd = rand_vec(spec.input_len(), 1.0 + round as f32);
+        sess.upload(x, &xd);
+        sess.run(&spec, x, w, y);
+
+        let mut fresh = Session::a100();
+        let fx = fresh.alloc("x", spec.input_len());
+        let fw = fresh.alloc("w", spec.weight_len());
+        let fy = fresh.alloc("y", spec.output_len());
+        fresh.upload(fx, &xd);
+        fresh.upload(fw, &rand_vec(spec.weight_len(), 0.5));
+        fresh.run(&spec, fx, fw, fy);
+        assert_eq!(
+            sess.download(y),
+            fresh.download(fy),
+            "round {round}: replay served stale values"
+        );
+    }
+    let stats = sess.replay_stats();
+    assert_eq!((stats.hits, stats.misses), (2, 1));
+}
+
+/// Changing the device's worker configuration between warm calls must
+/// invalidate the artifact (re-record), never serve under the stale
+/// executor setup — and stay bitwise-equal throughout.
+#[test]
+fn changing_workers_invalidates_never_stale_serves() {
+    let spec = LayerSpec::d1(2, 8, 8, 128).modes(32).variant(Variant::FftOpt);
+    let mut sess = Session::a100();
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    let y = sess.alloc("y", spec.output_len());
+    sess.upload(x, &rand_vec(spec.input_len(), 0.2));
+    sess.upload(w, &rand_vec(spec.weight_len(), 0.6));
+
+    sess.run(&spec, x, w, y);
+    sess.run(&spec, x, w, y);
+    let want = sess.download(y);
+    assert_eq!(sess.replay_stats().hits, 1);
+
+    sess.device_mut().set_workers(Some(1));
+    sess.upload(y, &vec![C32::ZERO; spec.output_len()]);
+    sess.run(&spec, x, w, y);
+    let stats = sess.replay_stats();
+    assert_eq!(
+        stats.invalidations, 1,
+        "worker change must invalidate, not hit: {stats:?}"
+    );
+    assert_eq!(sess.download(y), want, "single-worker run diverged");
+
+    // The re-recorded artifact replays under the new configuration.
+    sess.run(&spec, x, w, y);
+    assert_eq!(sess.replay_stats().hits, 2);
+    assert_eq!(sess.download(y), want);
+}
+
+/// Clearing the planner bumps its generation: a warm `TurboBest` call
+/// re-records against the fresh plan instead of replaying a sequence that
+/// might no longer match the planner's answer.
+#[test]
+fn planner_clear_invalidates_turbo_best_artifacts() {
+    let spec = LayerSpec::d1(2, 8, 8, 128).modes(32); // TurboBest default
+    let mut sess = Session::a100();
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    let y = sess.alloc("y", spec.output_len());
+    sess.upload(x, &rand_vec(spec.input_len(), 0.9));
+    sess.upload(w, &rand_vec(spec.weight_len(), 0.1));
+
+    sess.run(&spec, x, w, y);
+    sess.run(&spec, x, w, y);
+    let want = sess.download(y);
+    assert_eq!(sess.replay_stats().hits, 1);
+
+    sess.planner().clear();
+    sess.run(&spec, x, w, y);
+    let stats = sess.replay_stats();
+    assert_eq!(stats.invalidations, 1, "planner clear must invalidate");
+    assert_eq!(sess.download(y), want);
+}
+
+/// Per-iteration operand slots for the queue property: reused across
+/// iterations so identical queue layouts actually replay.
+struct Slots {
+    sess: Session,
+    x: Vec<BufferId>,
+    w: Vec<BufferId>,
+    y: Vec<BufferId>,
+    shared_w: BufferId,
+}
+
+impl Slots {
+    fn new(spec: &LayerSpec, cap: usize) -> Self {
+        let mut sess = Session::a100();
+        let shared_w = sess.alloc("w_shared", spec.weight_len());
+        let x = (0..cap).map(|_| sess.alloc("x", spec.input_len())).collect();
+        let w = (0..cap).map(|_| sess.alloc("w", spec.weight_len())).collect();
+        let y = (0..cap).map(|_| sess.alloc("y", spec.output_len())).collect();
+        Slots {
+            sess,
+            x,
+            w,
+            y,
+            shared_w,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property (tentpole correctness bar): over a random sequence of
+    /// serving calls that mutate the stack depth and the weight-stacking
+    /// layout between warm calls — with fresh operand values every
+    /// iteration — every output is bitwise-equal to a fresh session
+    /// running that request alone. Stale artifacts are impossible, not
+    /// just unlikely: the key covers the whole request list.
+    #[test]
+    fn prop_queue_mutations_never_serve_stale(
+        // Each element encodes a (stack depth 1..=3, mixed-weights) pair.
+        rounds in proptest::collection::vec(0usize..6, 2..6),
+    ) {
+        let spec = LayerSpec::d1(1, 6, 6, 64).modes(32).variant(Variant::FftOpt);
+        let mut slots = Slots::new(&spec, 3);
+        for (round, code) in rounds.into_iter().enumerate() {
+            let (depth, mixed) = (code % 3 + 1, code >= 3);
+            let base = 10.0 * round as f32;
+            slots.sess.upload(slots.shared_w, &rand_vec(spec.weight_len(), base + 9.0));
+            let reqs: Vec<Request> = (0..depth)
+                .map(|i| {
+                    let (x, y) = (slots.x[i], slots.y[i]);
+                    slots.sess.upload(x, &rand_vec(spec.input_len(), base + i as f32));
+                    let w = if mixed {
+                        slots.sess.upload(
+                            slots.w[i],
+                            &rand_vec(spec.weight_len(), base + 20.0 + i as f32),
+                        );
+                        slots.w[i]
+                    } else {
+                        slots.shared_w
+                    };
+                    Request { spec, x, w, y }
+                })
+                .collect();
+            slots.sess.run_many(&reqs);
+
+            for (i, r) in reqs.iter().enumerate() {
+                let mut fresh = Session::a100();
+                let fx = fresh.alloc("x", spec.input_len());
+                let fw = fresh.alloc("w", spec.weight_len());
+                let fy = fresh.alloc("y", spec.output_len());
+                fresh.upload(fx, &rand_vec(spec.input_len(), base + i as f32));
+                let w_seed = if mixed { base + 20.0 + i as f32 } else { base + 9.0 };
+                fresh.upload(fw, &rand_vec(spec.weight_len(), w_seed));
+                fresh.run(&spec, fx, fw, fy);
+                prop_assert_eq!(
+                    slots.sess.download(r.y),
+                    fresh.download(fy),
+                    "round {} request {} (depth {}, mixed {}) diverged",
+                    round, i, depth, mixed
+                );
+            }
+        }
+        let stats = slots.sess.replay_stats();
+        prop_assert_eq!(stats.invalidations, 0, "no stamp changed: {:?}", stats);
+    }
+
+    /// Property: a random interleaving of single-layer calls that mutate
+    /// shape and variant between warm calls never serves stale — each call
+    /// is bitwise-equal to a fresh session's answer, warm or cold.
+    #[test]
+    fn prop_spec_mutations_never_serve_stale(
+        ops in proptest::collection::vec(0usize..4, 3..10),
+    ) {
+        let specs = [
+            LayerSpec::d1(1, 6, 6, 64).modes(32).variant(Variant::FftOpt),
+            LayerSpec::d1(1, 6, 6, 64).modes(16).variant(Variant::FftOpt),
+            LayerSpec::d1(2, 6, 6, 64).modes(32).variant(Variant::FftOpt),
+            LayerSpec::d1(1, 6, 6, 64).modes(32).variant(Variant::FullyFused),
+        ];
+        let mut sess = Session::a100();
+        // One operand set per spec, created lazily and reused so repeats replay.
+        let mut bufs: HashMap<usize, (BufferId, BufferId, BufferId)> = HashMap::new();
+        for (call, sel) in ops.into_iter().enumerate() {
+            let spec = specs[sel];
+            let (x, w, y) = *bufs.entry(sel).or_insert_with(|| {
+                let x = sess.alloc("x", spec.input_len());
+                let w = sess.alloc("w", spec.weight_len());
+                let y = sess.alloc("y", spec.output_len());
+                (x, w, y)
+            });
+            let base = 5.0 * call as f32;
+            sess.upload(x, &rand_vec(spec.input_len(), base));
+            sess.upload(w, &rand_vec(spec.weight_len(), base + 0.5));
+            sess.run(&spec, x, w, y);
+
+            let mut fresh = Session::a100();
+            let fx = fresh.alloc("x", spec.input_len());
+            let fw = fresh.alloc("w", spec.weight_len());
+            let fy = fresh.alloc("y", spec.output_len());
+            fresh.upload(fx, &rand_vec(spec.input_len(), base));
+            fresh.upload(fw, &rand_vec(spec.weight_len(), base + 0.5));
+            fresh.run(&spec, fx, fw, fy);
+            prop_assert_eq!(
+                sess.download(y),
+                fresh.download(fy),
+                "call {} (spec {}) diverged", call, sel
+            );
+        }
+    }
+}
+
+/// Worker-count parity: a warm replayed forward on a single-worker device
+/// is bitwise-equal to one on a multi-worker device (the executor's
+/// determinism carries through recording and replay).
+#[test]
+fn replay_is_bitwise_equal_across_worker_counts() {
+    let spec = LayerSpec::d1(2, 8, 8, 128).modes(32).variant(Variant::FullyFused);
+    let warm_out = |workers: Option<usize>| {
+        let mut dev = GpuDevice::a100();
+        if let Some(n) = workers {
+            dev.set_workers(Some(n));
+        }
+        let mut sess = Session::new(dev);
+        let x = sess.alloc("x", spec.input_len());
+        let w = sess.alloc("w", spec.weight_len());
+        let y = sess.alloc("y", spec.output_len());
+        sess.upload(x, &rand_vec(spec.input_len(), 0.7));
+        sess.upload(w, &rand_vec(spec.weight_len(), 0.4));
+        sess.run(&spec, x, w, y);
+        sess.upload(y, &vec![C32::ZERO; spec.output_len()]);
+        sess.run(&spec, x, w, y); // warm: replayed
+        assert_eq!(sess.replay_stats().hits, 1);
+        sess.download(y)
+    };
+    let single = warm_out(Some(1));
+    let multi = warm_out(Some(4));
+    let default = warm_out(None);
+    assert_eq!(single, multi, "workers=1 replay != workers=4 replay");
+    assert_eq!(single, default, "workers=1 replay != default-workers replay");
+}
