@@ -32,6 +32,11 @@
 //! forward on a fresh session per call (cold planner cache, cold pool,
 //! nothing recorded).
 //!
+//! The `fault-overhead` scenario pins the cost of the fault-injection
+//! hooks (every functional launch and real allocation consults the
+//! device's `FaultPlan`): an armed zero-probability plan must stay
+//! within ~1% of the unarmed production path.
+//!
 //! `--check-floors` turns the emitted speedups into a regression gate:
 //! the process exits nonzero when any pinned floor is broken, so CI's
 //! smoke run fails loudly instead of uploading a quietly regressed JSON.
@@ -39,7 +44,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use tfno_gpu_sim::{set_launch_memo_enabled, GpuDevice};
+use tfno_gpu_sim::{set_launch_memo_enabled, FaultPlan, GpuDevice};
 use tfno_model::{gelu, pointwise_naive, Fno1d, Fno2d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
@@ -139,6 +144,10 @@ const FLOOR_SPEEDUP_2D: f64 = 1.5;
 const FLOOR_SPEEDUP_SERVE_MIXED: f64 = 1.02;
 const FLOOR_SPEEDUP_PIPELINE_OVERLAP: f64 = 1.02;
 const FLOOR_SPEEDUP_REPLAY_WARM: f64 = 1.3;
+/// `fault_overhead` is a *parity* floor, not a speedup floor: the armed
+/// zero-probability fault plan must not cost more than ~1% of throughput
+/// against the unarmed (production) hook path.
+const FLOOR_FAULT_OVERHEAD: f64 = 0.99;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -371,6 +380,39 @@ fn main() {
         model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
     });
 
+    // ---------------------------------------------- fault-hook overhead ----
+    // The fault-injection layer is compiled into every functional launch
+    // and every real allocation (see `tfno_gpu_sim::fault`). This
+    // scenario pins its hot-path cost on the steady-state 1D forward:
+    // "unarmed" is the production configuration (no FaultPlan installed —
+    // each event checks an Option and moves on), "armed-zero" installs a
+    // seeded plan with every probability at zero, so every event runs the
+    // full splitmix64 decision and still injects nothing. The armed cost
+    // is a strict superset of the unarmed hook cost, so the ratio
+    // armed/unarmed staying at ~1 bounds the production overhead too.
+    let fault_probe = FaultPlan::seeded(0xBE11C0DE);
+    turbo_sess.set_fault_plan(Some(fault_probe.clone()));
+    let (y_armed, _) = model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    assert_eq!(
+        y_armed.data(),
+        y1_turbo.data(),
+        "fault-overhead: a zero-probability plan must not perturb the forward"
+    );
+    assert_eq!(
+        turbo_sess.fault_stats().injected(),
+        0,
+        "fault-overhead: a zero-probability plan must never fire"
+    );
+    turbo_sess.set_fault_plan(None);
+    run_case("fault-overhead", &shape1, "unarmed", &mut || {
+        model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    });
+    turbo_sess.set_fault_plan(Some(fault_probe));
+    run_case("fault-overhead", &shape1, "armed-zero", &mut || {
+        model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    });
+    turbo_sess.set_fault_plan(None);
+
     let (pool, plans) = (turbo_sess.pool_stats(), turbo_sess.planner_stats());
     println!(
         "session state after the run: pool {} hits / {} misses, planner {} hits / {} misses",
@@ -400,10 +442,12 @@ fn main() {
     let speedup_overlap =
         fps_of("pipeline-overlap", "async") / fps_of("pipeline-overlap", "sync");
     let speedup_replay = fps_of("replay-warm", "warm-replay") / fps_of("replay-warm", "cold-session");
+    let fault_overhead = fps_of("fault-overhead", "armed-zero") / fps_of("fault-overhead", "unarmed");
     println!("speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x");
     println!("mixed-weight serving: stacked vs per-weight queues {speedup_serve:.2}x");
     println!("pipeline overlap: async dispatch vs synchronous session path {speedup_overlap:.2}x");
     println!("warm-path replay: steady-state session vs cold session {speedup_replay:.2}x");
+    println!("fault hooks: armed-zero plan vs unarmed session {fault_overhead:.3}x");
 
     // --------------------------------------------------------- JSON ----
     let mut json = String::from("{\n");
@@ -429,7 +473,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4}\n}}\n"
+        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4},\n  \"fault_overhead\": {fault_overhead:.4}\n}}\n"
     ));
 
     // Default to the workspace root (cargo runs benches with the package
@@ -447,6 +491,7 @@ fn main() {
             ("speedup_serve_mixed", speedup_serve, FLOOR_SPEEDUP_SERVE_MIXED),
             ("speedup_pipeline_overlap", speedup_overlap, FLOOR_SPEEDUP_PIPELINE_OVERLAP),
             ("speedup_replay_warm", speedup_replay, FLOOR_SPEEDUP_REPLAY_WARM),
+            ("fault_overhead", fault_overhead, FLOOR_FAULT_OVERHEAD),
         ];
         let mut broken = false;
         for (name, got, floor) in floors {

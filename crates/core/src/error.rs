@@ -1,0 +1,190 @@
+//! The typed error surface and recovery policy of [`Session`](crate::Session).
+//!
+//! Every failure the engine can produce funnels into [`TfnoError`]:
+//!
+//! * **`Validation`** — the request was malformed (shape/length/aliasing);
+//!   never retryable, the legacy API's documented panics carry the same
+//!   message.
+//! * **`Transient`** — a launch or allocation failed cleanly (injected by a
+//!   [`FaultPlan`](tfno_gpu_sim::FaultPlan) or, on real hardware, a
+//!   recoverable driver hiccup). Nothing was written, so the operation can
+//!   be retried; [`RetryPolicy`] bounds how hard `Session::try_run` tries,
+//!   and the degradation ladder re-plans a persistently failing fused
+//!   variant onto the unfused [`Variant::FftOpt`](crate::Variant::FftOpt)
+//!   before giving up.
+//! * **`Fatal`** — dispatched work panicked; the panic was caught on the
+//!   dispatch thread, the session healed (device and pool recovered, leaked
+//!   leases released), and only the affected handle reports this error.
+//! * **`Timeout`** — a `wait_timeout` deadline elapsed; the handle is
+//!   returned to the caller and stays valid.
+//! * **`InFlight`** — a `&self` inspector was called while submitted work
+//!   holds the device (see `Session::try_download` and friends).
+//! * **`Poisoned`** — the dispatch channel died; the session cannot recover
+//!   the device state that was on the dispatch thread.
+
+use std::fmt;
+use std::time::Duration;
+
+use tfno_gpu_sim::LaunchError;
+
+/// Typed failure of a session operation. See the [module docs](self) for
+/// the taxonomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TfnoError {
+    /// Malformed request (shape, length, aliasing). Not retryable.
+    Validation(String),
+    /// A clean, retryable device failure. `attempts` counts how many times
+    /// the operation was tried before this error was surfaced (1 when no
+    /// retry policy was in play).
+    Transient { fault: LaunchError, attempts: u32 },
+    /// Dispatched work panicked; the session healed and stays usable, only
+    /// the handle that owned the job reports this.
+    Fatal(String),
+    /// A `wait_timeout` deadline elapsed before the job's result arrived.
+    Timeout { waited: Duration },
+    /// A `&self` inspector was called while submitted work is in flight.
+    InFlight,
+    /// The dispatch thread is gone; the session lost its device state.
+    Poisoned(String),
+}
+
+impl TfnoError {
+    /// Whether retrying the same operation can succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TfnoError::Transient { .. })
+    }
+}
+
+impl fmt::Display for TfnoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TfnoError::Validation(msg) => write!(f, "validation failed: {msg}"),
+            TfnoError::Transient { fault, attempts } => {
+                write!(f, "transient device fault after {attempts} attempt(s): {fault}")
+            }
+            TfnoError::Fatal(msg) => write!(f, "dispatched work panicked: {msg}"),
+            TfnoError::Timeout { waited } => {
+                write!(f, "wait deadline elapsed after {waited:?}")
+            }
+            TfnoError::InFlight => write!(
+                f,
+                "submitted work is in flight; wait on the outstanding LaunchHandle \
+                 (or synchronize) before inspecting the session"
+            ),
+            TfnoError::Poisoned(msg) => write!(f, "session dispatch thread lost: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TfnoError {}
+
+impl From<LaunchError> for TfnoError {
+    fn from(fault: LaunchError) -> Self {
+        // Every LaunchError is clean by contract (no writes, no history),
+        // so the whole surface maps to the retryable class.
+        TfnoError::Transient { fault, attempts: 1 }
+    }
+}
+
+/// Bounded retry policy for transient faults in `Session::try_run` /
+/// `try_run_many` / `try_submit` (and their dispatched bodies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per plan rung (first try included). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Sleep between attempts (linear, not exponential — simulated faults
+    /// don't decay, so the knob only models the cost of backing off).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every transient fault surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    pub(crate) fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+}
+
+/// Counters of the session's recovery machinery (see
+/// `Session::recovery_stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Transient faults that were retried (each retry counts once).
+    pub transient_retries: u64,
+    /// Times the degradation ladder re-planned a fused variant onto the
+    /// unfused `FftOpt` pipeline after exhausting its retry budget.
+    pub degraded: u64,
+    /// Operations that gave up: retries (and degradation, when available)
+    /// exhausted without a success.
+    pub exhausted: u64,
+    /// Replays that hit a fault mid-sequence, evicted the artifact, and
+    /// fell back to the functional path.
+    pub faulted_replays: u64,
+    /// Dispatched jobs whose panic was caught and healed (leaked leases
+    /// released, later handles unaffected).
+    pub jobs_healed: u64,
+    /// Leases a panicked job leaked that the dispatch loop released.
+    pub leases_recovered: u64,
+    /// Handles dropped without `wait`; their results were discarded at the
+    /// next synchronizing call.
+    pub abandoned_handles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_error_maps_to_transient() {
+        let e: TfnoError = LaunchError::Transient {
+            kernel: "k".into(),
+            launch_index: 3,
+        }
+        .into();
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("transient"));
+    }
+
+    #[test]
+    fn retry_policy_clamps_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            backoff: Duration::ZERO,
+        };
+        assert_eq!(p.attempts(), 1);
+        assert_eq!(RetryPolicy::default().attempts(), 3);
+    }
+
+    #[test]
+    fn display_covers_the_taxonomy() {
+        for (e, needle) in [
+            (TfnoError::Validation("bad".into()), "validation"),
+            (TfnoError::Fatal("boom".into()), "panicked"),
+            (
+                TfnoError::Timeout {
+                    waited: Duration::from_millis(5),
+                },
+                "deadline",
+            ),
+            (TfnoError::InFlight, "in flight"),
+            (TfnoError::Poisoned("gone".into()), "dispatch thread"),
+        ] {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -31,6 +31,7 @@
 // warp-synchronous style.
 #![allow(clippy::needless_range_loop)]
 
+pub mod error;
 pub mod fused;
 #[cfg(test)]
 mod fused_tests;
@@ -41,6 +42,7 @@ pub mod replay;
 pub mod session;
 pub mod swizzle;
 
+pub use error::{RecoveryStats, RetryPolicy, TfnoError};
 pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
 pub use pipeline::{TurboOptions, Variant, TURBO_FFT_L1_HIT};
 pub use planner::{Planner, PlannerStats, TURBO_CANDIDATES};

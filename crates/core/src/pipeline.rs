@@ -29,14 +29,16 @@ use crate::swizzle::ForwardLayout;
 use std::sync::Arc;
 use tfno_cgemm::{BatchedCgemmKernel, BatchedOperand, GemmShape, MatView, WeightStacking};
 use tfno_culib::{
-    run_pytorch_1d_stacked, run_pytorch_2d_stacked, CuBlas, FnoProblem1d, FnoProblem2d,
+    try_run_pytorch_1d_stacked, try_run_pytorch_2d_stacked, CuBlas, FnoProblem1d, FnoProblem2d,
     PipelineRun, CUFFT_L1_HIT,
 };
 use tfno_fft::{
     BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
     StridedPencils,
 };
-use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, Kernel, LaunchRecord, PendingLaunch};
+use tfno_gpu_sim::{
+    BufferId, ExecMode, GpuDevice, Kernel, LaunchError, LaunchRecord, PendingLaunch,
+};
 use tfno_num::C32;
 
 /// L1/L2 hit rate of the hidden-dim-ordered Turbo FFT: the k-loop-aligned
@@ -234,10 +236,16 @@ fn turbo_gemm_1d(
 
 impl ExecCtx<'_> {
     /// Lease pipeline scratch matching the virtualness of the layer input.
-    fn scratch(&mut self, like: BufferId, len: usize, leases: &mut Vec<BufferId>) -> BufferId {
-        let id = self.pool.acquire_like(self.dev, like, len);
+    /// A faulted lease leaves the pool untouched and nothing to release.
+    fn try_scratch(
+        &mut self,
+        like: BufferId,
+        len: usize,
+        leases: &mut Vec<BufferId>,
+    ) -> Result<BufferId, LaunchError> {
+        let id = self.pool.try_acquire_like(self.dev, like, len)?;
         leases.push(id);
-        id
+        Ok(id)
     }
 
     pub(crate) fn release(&mut self, leases: Vec<BufferId>) {
@@ -257,39 +265,57 @@ impl ExecCtx<'_> {
     }
 
     /// Launch a kernel, capturing it on the replay tape when recording.
-    pub(crate) fn step<K: Kernel + Send + Sync + 'static>(
+    ///
+    /// A faulted launch marks the tape: a recording that saw a fault is
+    /// never frozen into a replay artifact (`replay::record` abandons it),
+    /// so the cache can only ever serve sequences that completed cleanly.
+    pub(crate) fn try_step<K: Kernel + Send + Sync + 'static>(
         &mut self,
         kernel: K,
         mode: ExecMode,
-    ) -> LaunchRecord {
+    ) -> Result<LaunchRecord, LaunchError> {
         match &mut self.tape {
             Some(tape) if tape.recordable => {
                 let kernel: Arc<dyn Kernel + Send + Sync> = Arc::new(kernel);
-                let rec = self.dev.launch(&*kernel, mode);
-                tape.steps.push(ReplayStep { kernel, mode });
-                rec
+                match self.dev.try_launch(&*kernel, mode) {
+                    Ok(rec) => {
+                        tape.steps.push(ReplayStep { kernel, mode });
+                        Ok(rec)
+                    }
+                    Err(e) => {
+                        tape.faulted = true;
+                        Err(e)
+                    }
+                }
             }
-            _ => self.dev.launch(&kernel, mode),
+            _ => self.dev.try_launch(&kernel, mode),
         }
     }
 
-    /// Deferred-completion variant of [`ExecCtx::step`] for launches whose
-    /// writes nothing later in the sequence reads (serving-queue scatters).
-    /// On the tape the step is ordinary — replay completes synchronously,
-    /// which is bitwise-identical.
-    pub(crate) fn step_deferred<K: Kernel + Send + Sync + 'static>(
+    /// Deferred-completion variant of [`ExecCtx::try_step`] for launches
+    /// whose writes nothing later in the sequence reads (serving-queue
+    /// scatters). On the tape the step is ordinary — replay completes
+    /// synchronously, which is bitwise-identical.
+    pub(crate) fn try_step_deferred<K: Kernel + Send + Sync + 'static>(
         &mut self,
         kernel: K,
         mode: ExecMode,
-    ) -> PendingLaunch {
+    ) -> Result<PendingLaunch, LaunchError> {
         match &mut self.tape {
             Some(tape) if tape.recordable => {
                 let kernel: Arc<dyn Kernel + Send + Sync> = Arc::new(kernel);
-                let pending = self.dev.launch_deferred(&*kernel, mode);
-                tape.steps.push(ReplayStep { kernel, mode });
-                pending
+                match self.dev.try_launch_deferred(&*kernel, mode) {
+                    Ok(pending) => {
+                        tape.steps.push(ReplayStep { kernel, mode });
+                        Ok(pending)
+                    }
+                    Err(e) => {
+                        tape.faulted = true;
+                        Err(e)
+                    }
+                }
             }
-            _ => self.dev.launch_deferred(&kernel, mode),
+            _ => self.dev.try_launch_deferred(&kernel, mode),
         }
     }
 
@@ -313,16 +339,53 @@ impl ExecCtx<'_> {
     /// Run one variant of the 1D Fourier layer.
     ///
     /// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]`, `y`: `[batch, k_out, n]`
-    pub(crate) fn run_1d(
+    ///
+    /// A faulted launch aborts the remaining stages and returns the fault;
+    /// leases are always released (or handed to the recording tape, which
+    /// releases them when the faulted recording is abandoned), completed
+    /// stages only wrote scratch or `y` — both fully overwritten on a retry
+    /// — so re-running the layer whole is always sound.
+    pub(crate) fn try_run_1d(
         &mut self,
         p: &FnoProblem1d,
         variant: Variant,
         b: LayerBufs,
         opts: &TurboOptions,
         mode: ExecMode,
-    ) -> PipelineRun {
-        let mut run = PipelineRun::default();
+    ) -> Result<PipelineRun, LaunchError> {
+        match variant {
+            // The baseline allocates its copy temporaries per call on
+            // purpose: that churn is part of the library stack it emulates
+            // (only Turbo scratch goes through the pool). Its internal
+            // launches never reach the tape, so the recording is abandoned.
+            Variant::Pytorch => {
+                self.mark_unrecordable();
+                return try_run_pytorch_1d_stacked(self.dev, p, b.x, b.w, b.ws, b.y, mode);
+            }
+            Variant::TurboBest => {
+                let best = self.planner.plan_1d(&self.dev.config, p, opts);
+                return self.try_run_1d(p, best, b, opts, mode);
+            }
+            _ => {}
+        }
         let mut leases = Vec::new();
+        let out = self.turbo_1d(p, variant, b, opts, mode, &mut leases);
+        self.release(leases);
+        out
+    }
+
+    /// Turbo-variant body of [`ExecCtx::try_run_1d`]; `leases` is owned by
+    /// the caller so scratch is returned on every exit path.
+    fn turbo_1d(
+        &mut self,
+        p: &FnoProblem1d,
+        variant: Variant,
+        b: LayerBufs,
+        opts: &TurboOptions,
+        mode: ExecMode,
+        leases: &mut Vec<BufferId>,
+    ) -> Result<PipelineRun, LaunchError> {
+        let mut run = PipelineRun::default();
         let geom = Geom1d {
             batch: p.batch,
             k_in: p.k_in,
@@ -332,27 +395,15 @@ impl ExecCtx<'_> {
         };
         let LayerBufs { x, w, y, ws } = b;
         match variant {
-            // The baseline allocates its copy temporaries per call on
-            // purpose: that churn is part of the library stack it emulates
-            // (only Turbo scratch goes through the pool). Its internal
-            // launches never reach the tape, so the recording is abandoned.
-            Variant::Pytorch => {
-                self.mark_unrecordable();
-                return run_pytorch_1d_stacked(self.dev, p, x, w, ws, y, mode);
-            }
-            Variant::TurboBest => {
-                let best = self.planner.plan_1d(&self.dev.config, p, opts);
-                return self.run_1d(p, best, b, opts, mode);
-            }
             Variant::FftOpt => {
-                let xf_t = self.scratch(x, p.batch * p.k_in * p.nf, &mut leases);
-                let yf_t = self.scratch(x, p.batch * p.k_out * p.nf, &mut leases);
-                run.push(self.step(turbo_fft_1d(p, x, xf_t, opts), mode));
-                run.push(self.step(turbo_gemm_1d(p, xf_t, w, ws, yf_t), mode));
-                run.push(self.step(turbo_ifft_1d(p, yf_t, y, opts), mode));
+                let xf_t = self.try_scratch(x, p.batch * p.k_in * p.nf, leases)?;
+                let yf_t = self.try_scratch(x, p.batch * p.k_out * p.nf, leases)?;
+                run.push(self.try_step(turbo_fft_1d(p, x, xf_t, opts), mode)?);
+                run.push(self.try_step(turbo_gemm_1d(p, xf_t, w, ws, yf_t), mode)?);
+                run.push(self.try_step(turbo_ifft_1d(p, yf_t, y, opts), mode)?);
             }
             Variant::FusedFftGemm => {
-                let yf_t = self.scratch(x, p.batch * p.k_out * p.nf, &mut leases);
+                let yf_t = self.try_scratch(x, p.batch * p.k_out * p.nf, leases)?;
                 let k = FusedKernel::new(
                     "turbo.fused_fft_gemm",
                     geom,
@@ -367,12 +418,12 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.step(k, mode));
-                run.push(self.step(turbo_ifft_1d(p, yf_t, y, opts), mode));
+                run.push(self.try_step(k, mode)?);
+                run.push(self.try_step(turbo_ifft_1d(p, yf_t, y, opts), mode)?);
             }
             Variant::FusedGemmIfft => {
-                let xf_t = self.scratch(x, p.batch * p.k_in * p.nf, &mut leases);
-                run.push(self.step(turbo_fft_1d(p, x, xf_t, opts), mode));
+                let xf_t = self.try_scratch(x, p.batch * p.k_in * p.nf, leases)?;
+                run.push(self.try_step(turbo_fft_1d(p, x, xf_t, opts), mode)?);
                 let k = FusedKernel::new(
                     "turbo.fused_gemm_ifft",
                     geom,
@@ -387,7 +438,7 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.step(k, mode));
+                run.push(self.try_step(k, mode)?);
             }
             Variant::FullyFused => {
                 let k = FusedKernel::new(
@@ -404,27 +455,53 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.step(k, mode));
+                run.push(self.try_step(k, mode)?);
             }
+            Variant::Pytorch | Variant::TurboBest => unreachable!("handled by try_run_1d"),
         }
-        self.release(leases);
-        run
+        Ok(run)
     }
 
     /// Run one variant of the 2D Fourier layer.
     ///
     /// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
     ///   `y`: `[batch, k_out, nx, ny]`
-    pub(crate) fn run_2d(
+    ///
+    /// Same abort/retry contract as [`ExecCtx::try_run_1d`].
+    pub(crate) fn try_run_2d(
         &mut self,
         p: &FnoProblem2d,
         variant: Variant,
         b: LayerBufs,
         opts: &TurboOptions,
         mode: ExecMode,
-    ) -> PipelineRun {
-        let mut run = PipelineRun::default();
+    ) -> Result<PipelineRun, LaunchError> {
+        if variant == Variant::Pytorch {
+            self.mark_unrecordable();
+            return try_run_pytorch_2d_stacked(self.dev, p, b.x, b.w, b.ws, b.y, mode);
+        }
+        if variant == Variant::TurboBest {
+            let best = self.planner.plan_2d(&self.dev.config, p, opts);
+            return self.try_run_2d(p, best, b, opts, mode);
+        }
         let mut leases = Vec::new();
+        let out = self.turbo_2d(p, variant, b, opts, mode, &mut leases);
+        self.release(leases);
+        out
+    }
+
+    /// Turbo-variant body of [`ExecCtx::try_run_2d`]; `leases` is owned by
+    /// the caller so scratch is returned on every exit path.
+    fn turbo_2d(
+        &mut self,
+        p: &FnoProblem2d,
+        variant: Variant,
+        b: LayerBufs,
+        opts: &TurboOptions,
+        mode: ExecMode,
+        leases: &mut Vec<BufferId>,
+    ) -> Result<PipelineRun, LaunchError> {
+        let mut run = PipelineRun::default();
         let geom = Geom2d {
             batch: p.batch,
             k_in: p.k_in,
@@ -434,31 +511,23 @@ impl ExecCtx<'_> {
             nfx: p.nfx,
         };
         let LayerBufs { x, w, y, ws } = b;
-        if variant == Variant::Pytorch {
-            self.mark_unrecordable();
-            return run_pytorch_2d_stacked(self.dev, p, x, w, ws, y, mode);
-        }
-        if variant == Variant::TurboBest {
-            let best = self.planner.plan_2d(&self.dev.config, p, opts);
-            return self.run_2d(p, best, b, opts, mode);
-        }
 
         // Stage 1: truncated FFT along the strided x axis.
-        let t1 = self.scratch(x, p.batch * p.k_in * p.nfx * p.ny, &mut leases);
+        let t1 = self.try_scratch(x, p.batch * p.k_in * p.nfx * p.ny, leases)?;
         // Output of the (possibly fused) y-stage inverse: [b, k_out, nfx, ny].
-        let t3 = self.scratch(x, p.batch * p.k_out * p.nfx * p.ny, &mut leases);
-        run.push(self.step(turbo_fft_x(p, x, t1), mode));
+        let t3 = self.try_scratch(x, p.batch * p.k_out * p.nfx * p.ny, leases)?;
+        run.push(self.try_step(turbo_fft_x(p, x, t1), mode)?);
 
         match variant {
             Variant::FftOpt => {
-                let xf_t = self.scratch(x, p.batch * p.k_in * p.nfx * p.nfy, &mut leases);
-                let yf_t = self.scratch(x, p.batch * p.k_out * p.nfx * p.nfy, &mut leases);
-                run.push(self.step(turbo_fft_y(p, t1, xf_t, opts), mode));
-                run.push(self.step(turbo_gemm_2d(p, xf_t, w, ws, yf_t), mode));
-                run.push(self.step(turbo_ifft_y(p, yf_t, t3, opts), mode));
+                let xf_t = self.try_scratch(x, p.batch * p.k_in * p.nfx * p.nfy, leases)?;
+                let yf_t = self.try_scratch(x, p.batch * p.k_out * p.nfx * p.nfy, leases)?;
+                run.push(self.try_step(turbo_fft_y(p, t1, xf_t, opts), mode)?);
+                run.push(self.try_step(turbo_gemm_2d(p, xf_t, w, ws, yf_t), mode)?);
+                run.push(self.try_step(turbo_ifft_y(p, yf_t, t3, opts), mode)?);
             }
             Variant::FusedFftGemm => {
-                let yf_t = self.scratch(x, p.batch * p.k_out * p.nfx * p.nfy, &mut leases);
+                let yf_t = self.try_scratch(x, p.batch * p.k_out * p.nfx * p.nfy, leases)?;
                 let k = FusedKernel::new(
                     "turbo.fused2d_fft_gemm",
                     geom,
@@ -473,12 +542,12 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.step(k, mode));
-                run.push(self.step(turbo_ifft_y(p, yf_t, t3, opts), mode));
+                run.push(self.try_step(k, mode)?);
+                run.push(self.try_step(turbo_ifft_y(p, yf_t, t3, opts), mode)?);
             }
             Variant::FusedGemmIfft => {
-                let xf_t = self.scratch(x, p.batch * p.k_in * p.nfx * p.nfy, &mut leases);
-                run.push(self.step(turbo_fft_y(p, t1, xf_t, opts), mode));
+                let xf_t = self.try_scratch(x, p.batch * p.k_in * p.nfx * p.nfy, leases)?;
+                run.push(self.try_step(turbo_fft_y(p, t1, xf_t, opts), mode)?);
                 let k = FusedKernel::new(
                     "turbo.fused2d_gemm_ifft",
                     geom,
@@ -493,7 +562,7 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.step(k, mode));
+                run.push(self.try_step(k, mode)?);
             }
             Variant::FullyFused => {
                 let k = FusedKernel::new(
@@ -510,15 +579,14 @@ impl ExecCtx<'_> {
                 .with_forward_layout(opts.forward_layout)
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
-                run.push(self.step(k, mode));
+                run.push(self.try_step(k, mode)?);
             }
-            Variant::Pytorch | Variant::TurboBest => unreachable!(),
+            Variant::Pytorch | Variant::TurboBest => unreachable!("handled by try_run_2d"),
         }
 
         // Final stage: zero-padded inverse FFT along x.
-        run.push(self.step(turbo_ifft_x(p, t3, y), mode));
-        self.release(leases);
-        run
+        run.push(self.try_step(turbo_ifft_x(p, t3, y), mode)?);
+        Ok(run)
     }
 }
 

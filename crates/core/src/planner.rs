@@ -316,7 +316,11 @@ pub(crate) fn evaluate_1d(
             planner: Planner::global(),
             tape: None,
         }
-        .run_1d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical);
+        .try_run_1d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical)
+        // Invariant, not a fault path: probes run analytically and fault
+        // injection applies only to functional launches and real
+        // allocations (the operands here are virtual).
+        .expect("analytical planner probes are never faulted");
         (run.total_us(), run.kernel_count() as u64)
     }))
 }
@@ -339,7 +343,8 @@ pub(crate) fn evaluate_2d(
             planner: Planner::global(),
             tape: None,
         }
-        .run_2d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical);
+        .try_run_2d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical)
+        .expect("analytical planner probes are never faulted");
         (run.total_us(), run.kernel_count() as u64)
     }))
 }

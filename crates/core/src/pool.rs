@@ -17,7 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use tfno_gpu_sim::{BufferId, GpuDevice};
+use tfno_gpu_sim::{BufferId, GpuDevice, LaunchError};
 
 /// Counters of one [`BufferPool`] (see [`BufferPool::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -102,12 +102,21 @@ impl BufferPool {
 
     /// Lease a real (value-carrying) buffer of `len` complex elements.
     pub fn acquire(&mut self, dev: &mut GpuDevice, len: usize) -> BufferId {
-        self.acquire_class(dev, len, false)
+        self.try_acquire(dev, len)
+            .unwrap_or_else(|e| panic!("pool allocation failed: {e}; use try_acquire"))
+    }
+
+    /// [`BufferPool::acquire`] through the device's typed fault path:
+    /// pooled hits never fault, a fresh allocation can report a simulated
+    /// OOM. A failed lease changes no pool state.
+    pub fn try_acquire(&mut self, dev: &mut GpuDevice, len: usize) -> Result<BufferId, LaunchError> {
+        self.try_acquire_class(dev, len, false)
     }
 
     /// Lease a storage-free virtual buffer (analytical sweeps).
     pub fn acquire_virtual(&mut self, dev: &mut GpuDevice, len: usize) -> BufferId {
-        self.acquire_class(dev, len, true)
+        self.try_acquire_class(dev, len, true)
+            .expect("virtual allocations are never faulted")
     }
 
     /// Lease a buffer matching the virtualness of `reference` — the pooled
@@ -118,11 +127,27 @@ impl BufferPool {
         reference: BufferId,
         len: usize,
     ) -> BufferId {
-        let virt = dev.memory.is_virtual(reference);
-        self.acquire_class(dev, len, virt)
+        self.try_acquire_like(dev, reference, len)
+            .unwrap_or_else(|e| panic!("pool allocation failed: {e}; use try_acquire_like"))
     }
 
-    fn acquire_class(&mut self, dev: &mut GpuDevice, len: usize, virt: bool) -> BufferId {
+    /// [`BufferPool::acquire_like`] through the device's typed fault path.
+    pub fn try_acquire_like(
+        &mut self,
+        dev: &mut GpuDevice,
+        reference: BufferId,
+        len: usize,
+    ) -> Result<BufferId, LaunchError> {
+        let virt = dev.memory.is_virtual(reference);
+        self.try_acquire_class(dev, len, virt)
+    }
+
+    fn try_acquire_class(
+        &mut self,
+        dev: &mut GpuDevice,
+        len: usize,
+        virt: bool,
+    ) -> Result<BufferId, LaunchError> {
         if let std::collections::hash_map::Entry::Occupied(mut e) = self.free.entry((len, virt)) {
             let id = e.get_mut().pop().expect("free lists are never left empty");
             // Prune the class when it empties, or a shape-diverse serving
@@ -135,19 +160,30 @@ impl BufferPool {
             self.stats.hits += 1;
             self.stats.leased += 1;
             self.stats.pooled -= 1;
-            return id;
+            return Ok(id);
         }
-        self.stats.misses += 1;
-        self.stats.leased += 1;
         self.seq += 1;
         let name = format!("pool.{}{}", if virt { "v" } else { "b" }, self.seq);
         let id = if virt {
             dev.memory.alloc_virtual(&name, len)
         } else {
-            dev.alloc(&name, len)
+            // A faulted allocation must leave the pool untouched (the
+            // caller may retry), so the device call precedes every
+            // counter/set mutation; the burned `seq` only affects the
+            // debug name of the next allocation.
+            dev.try_alloc(&name, len)?
         };
+        self.stats.misses += 1;
+        self.stats.leased += 1;
         self.leased_ids.insert(id);
-        id
+        Ok(id)
+    }
+
+    /// Snapshot of the ids currently leased out — the dispatch loop's
+    /// basis for releasing leases leaked by a panicked job (diff the
+    /// snapshots taken before and after the job).
+    pub(crate) fn leased_snapshot(&self) -> HashSet<BufferId> {
+        self.leased_ids.clone()
     }
 
     /// Return a leased buffer to its size class. Contents are left as-is —

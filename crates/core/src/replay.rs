@@ -46,8 +46,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use tfno_culib::PipelineRun;
-use tfno_gpu_sim::{lock_unpoisoned, BufferId, ExecMode, Kernel, LaunchRecord};
+use tfno_gpu_sim::{lock_unpoisoned, BufferId, ExecMode, Kernel, LaunchError, LaunchRecord};
 
+use crate::error::TfnoError;
 use crate::pipeline::ExecCtx;
 
 /// Artifacts kept per session before the oldest recording is evicted (and
@@ -80,6 +81,10 @@ pub(crate) struct ReplayTape {
     /// Cleared when the sequence takes a path that cannot be replayed
     /// (the opaque multi-kernel `Pytorch` baseline).
     pub recordable: bool,
+    /// Set when a recorded launch faulted. A tape that saw a fault is never
+    /// frozen — even if a caller were to swallow the error — so the cache
+    /// can only serve sequences that completed cleanly end to end.
+    pub faulted: bool,
 }
 
 impl ReplayTape {
@@ -113,6 +118,9 @@ pub struct ReplayStats {
     /// Artifacts discarded because a generation stamp went stale
     /// (planner cleared, pool swapped, worker configuration changed).
     pub invalidations: u64,
+    /// Replays that hit a device fault mid-sequence: the artifact was
+    /// evicted and the call fell back to the functional (recording) path.
+    pub faulted: u64,
     /// Artifacts currently cached.
     pub entries: u64,
 }
@@ -156,14 +164,21 @@ enum Lookup {
 /// single-layer run, `reqs.len()` for a serving queue); `enable` gates the
 /// whole mechanism (analytical sequences are memoized elsewhere — see
 /// `Session::measure` — and virtual/mixed queues run unrecorded).
-pub(crate) fn execute(
+///
+/// Fault handling: a replay that faults mid-sequence evicts its artifact
+/// (restoring the retained scratch to the pool), counts a `faulted` stat,
+/// and falls back to executing `work` on the functional path — the caller
+/// never sees a replay-layer failure it could not have seen cold. A
+/// recording whose work faults (or whose tape saw a fault) is abandoned,
+/// never frozen.
+pub(crate) fn try_execute(
     ctx: &mut ExecCtx<'_>,
     cache: &Mutex<ReplayCache>,
     key: u64,
     n_out: usize,
     enable: bool,
-    work: impl FnOnce(&mut ExecCtx<'_>) -> Vec<PipelineRun>,
-) -> Vec<PipelineRun> {
+    work: impl FnOnce(&mut ExecCtx<'_>) -> Result<Vec<PipelineRun>, TfnoError>,
+) -> Result<Vec<PipelineRun>, TfnoError> {
     if !enable {
         return work(ctx);
     }
@@ -193,7 +208,25 @@ pub(crate) fn execute(
         }
     };
     match looked_up {
-        Lookup::Hit(a) => replay(ctx, &a, n_out),
+        Lookup::Hit(a) => match try_replay(ctx, &a, n_out) {
+            Ok(out) => Ok(out),
+            Err(_fault) => {
+                // The artifact replayed into a fault. Completed steps only
+                // wrote scratch/output buffers the functional path fully
+                // overwrites, so evict the artifact and re-record from the
+                // still-unconsumed work closure.
+                {
+                    let mut c = lock_unpoisoned(cache);
+                    c.stats.faulted += 1;
+                    c.entries.remove(&key);
+                    c.order.retain(|k| *k != key);
+                }
+                for &id in &a.retained {
+                    ctx.pool.restore(ctx.dev, id);
+                }
+                record(ctx, cache, key, work)
+            }
+        },
         Lookup::Stale(a) => {
             for &id in &a.retained {
                 ctx.pool.restore(ctx.dev, id);
@@ -205,36 +238,42 @@ pub(crate) fn execute(
 }
 
 /// Warm path: re-launch the stored kernel objects in order and split the
-/// records back into per-request runs per the recorded plan.
-fn replay(ctx: &mut ExecCtx<'_>, artifact: &ReplayArtifact, n_out: usize) -> Vec<PipelineRun> {
-    let records: Vec<LaunchRecord> = artifact
-        .steps
-        .iter()
-        .map(|s| ctx.dev.launch(&*s.kernel, s.mode))
-        .collect();
+/// records back into per-request runs per the recorded plan. A faulted
+/// step aborts the pass (the failed launch wrote nothing).
+fn try_replay(
+    ctx: &mut ExecCtx<'_>,
+    artifact: &ReplayArtifact,
+    n_out: usize,
+) -> Result<Vec<PipelineRun>, LaunchError> {
+    let mut records: Vec<LaunchRecord> = Vec::with_capacity(artifact.steps.len());
+    for s in &artifact.steps {
+        records.push(ctx.dev.try_launch(&*s.kernel, s.mode)?);
+    }
     let mut out: Vec<PipelineRun> = (0..n_out).map(|_| PipelineRun::default()).collect();
     let mut start = 0;
     for &(idx, end) in &artifact.plan {
         out[idx].launches.extend_from_slice(&records[start..end]);
         start = end;
     }
-    out
+    Ok(out)
 }
 
 /// Cold path: execute `work` with a fresh tape on the context; freeze the
-/// tape into an artifact if every launch proved recordable.
+/// tape into an artifact if every launch proved recordable and none
+/// faulted.
 fn record(
     ctx: &mut ExecCtx<'_>,
     cache: &Mutex<ReplayCache>,
     key: u64,
-    work: impl FnOnce(&mut ExecCtx<'_>) -> Vec<PipelineRun>,
-) -> Vec<PipelineRun> {
+    work: impl FnOnce(&mut ExecCtx<'_>) -> Result<Vec<PipelineRun>, TfnoError>,
+) -> Result<Vec<PipelineRun>, TfnoError> {
     ctx.tape = Some(ReplayTape::new());
     let out = work(ctx);
     let tape = ctx.tape.take().expect("recording tape still installed");
-    if !tape.recordable || tape.steps.is_empty() {
-        // Unreplayable sequence: undo the deferred scratch releases and
-        // leave the cache untouched (the call still counted as a miss).
+    if out.is_err() || tape.faulted || !tape.recordable || tape.steps.is_empty() {
+        // Unreplayable (or faulted) sequence: undo the deferred scratch
+        // releases and leave the cache untouched (the call still counted
+        // as a miss).
         for id in tape.scratch {
             ctx.pool.release(ctx.dev, id);
         }
@@ -271,4 +310,31 @@ fn record(
         c.order.push_back(key);
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Mirror of the gpu-sim memo wedge-regression tests: a thread that
+    /// panics while holding the replay-cache lock poisons the mutex, and
+    /// every later session call would wedge if the cache used plain
+    /// `lock().unwrap()` instead of `lock_unpoisoned`.
+    #[test]
+    fn caught_panic_while_holding_the_cache_lock_does_not_wedge_the_cache() {
+        let cache = Arc::new(Mutex::new(ReplayCache::new()));
+        let c2 = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = c2.lock().unwrap();
+            panic!("poison the replay cache lock");
+        })
+        .join();
+        assert!(cache.is_poisoned(), "the panic must have poisoned the lock");
+        // The cache stays fully usable through the poison-stripping lock.
+        let mut c = lock_unpoisoned(&cache);
+        c.stats.misses += 1;
+        c.order.push_back(7);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().entries, 0);
+    }
 }

@@ -66,14 +66,39 @@
 //! first synchronizes (so `submit` → `run` is legal and simply
 //! serializes), while `&self` inspection methods ([`Session::download`],
 //! [`Session::device`], [`Session::pool_stats`]) panic rather than observe
-//! half-complete state. Submits themselves validate against a shadow
-//! length ledger so a deep pipeline never drains just to check shapes.
-//! Buffers leased before a `submit` stay leased until after the `wait` —
-//! the lease ledger travels with the pool, so in-flight layers keep their
-//! operands pinned. A panic raised by dispatched work (the documented
-//! aliasing/shape panics) is re-raised on the host at the next
-//! synchronizing call.
+//! half-complete state (their `try_*` twins return
+//! [`TfnoError::InFlight`] instead). Submits themselves validate against a
+//! shadow length ledger so a deep pipeline never drains just to check
+//! shapes. Buffers leased before a `submit` stay leased until after the
+//! `wait` — the lease ledger travels with the pool, so in-flight layers
+//! keep their operands pinned.
+//!
+//! ## Failure semantics
+//!
+//! Every entry point has a typed twin — [`Session::try_run`],
+//! [`Session::try_run_many`], [`Session::try_submit`],
+//! [`Session::try_submit_many`], [`Session::try_wait`] /
+//! [`Session::try_wait_many`] — returning `Result<_, `[`TfnoError`]`>`.
+//! The legacy panicking surface is a thin wrapper over the same engine, so
+//! the success path is bitwise-identical.
+//!
+//! Transient device faults (see [`tfno_gpu_sim::FaultPlan`]) are retried
+//! under the session's [`RetryPolicy`]; a fused variant that keeps
+//! faulting is re-planned onto the unfused `FftOpt` pipeline (the
+//! *degradation ladder*) before the error surfaces. Failed launches write
+//! nothing, so every retry — and the final success — is bitwise-identical
+//! to a fault-free run of the same variant.
+//!
+//! The dispatch thread *self-heals*: a dispatched job that panics is
+//! caught there, scratch leases the unwind leaked are released, and only
+//! that job's handle reports the failure — panics park per-handle
+//! ([`Session::wait`] re-raises the payload, [`Session::try_wait`] returns
+//! [`TfnoError::Fatal`]) and later submits proceed unaffected. A handle
+//! dropped without `wait` is *abandoned*: its work still completes, its
+//! result is discarded at the next synchronizing call (a parked panic is
+//! re-raised there). [`Session::recovery_stats`] counts all of it.
 
+use crate::error::{RecoveryStats, RetryPolicy, TfnoError};
 use crate::pipeline::{ExecCtx, LayerBufs, TurboOptions, Variant};
 use crate::planner::{hash_device_config, Planner, PlannerStats};
 use crate::pool::{BufferPool, PoolStats};
@@ -83,11 +108,12 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 use tfno_cgemm::WeightStacking;
 use tfno_culib::{CopySegment, FnoProblem1d, FnoProblem2d, PipelineRun, SegmentedCopyKernel};
 use tfno_gpu_sim::{
-    lock_unpoisoned, seq_insert, seq_lookup, BufferId, ExecMode, GpuDevice, LaunchQueue,
-    PendingLaunch,
+    lock_unpoisoned, seq_insert, seq_lookup, BufferId, ExecMode, FaultPlan, FaultStats, GpuDevice,
+    LaunchError, LaunchQueue, PendingLaunch,
 };
 use tfno_num::C32;
 
@@ -327,22 +353,62 @@ pub struct Request {
 
 /// Ticket for work dispatched with [`Session::submit`] or
 /// [`Session::submit_many`]. Redeem it with [`Session::wait`] /
-/// [`Session::wait_many`] on the session that issued it — handles are
-/// session-bound and single-use (consumed by the wait).
+/// [`Session::wait_many`] (or their `try_*` twins) on the session that
+/// issued it — handles are session-bound and single-use (consumed by the
+/// wait).
 ///
-/// Dropping a handle without waiting does not cancel the work: it still
-/// completes at the session's next synchronizing call, and its result is
-/// parked until (never) collected — wait on every handle you submit.
+/// Dropping a handle without waiting does not cancel the work, but it no
+/// longer strands its result either: the drop registers the handle as
+/// *abandoned*, and the session's next synchronizing call discards the
+/// parked result (re-raising its panic payload, if the work panicked) and
+/// counts it in [`RecoveryStats::abandoned_handles`].
 #[derive(Debug)]
 #[must_use = "dispatched work completes, but its PipelineRun is lost unless the handle is waited on"]
 pub struct LaunchHandle {
     session: u64,
     seq: u64,
+    /// Shared abandoned-handle registry of the issuing session; disarmed
+    /// (`None`) when a wait redeems the handle.
+    abandoned: Option<Arc<Mutex<Vec<u64>>>>,
+}
+
+impl LaunchHandle {
+    /// Redeem on the issuing session with a deadline — sugar for
+    /// [`Session::wait_timeout`].
+    pub fn wait_timeout(
+        self,
+        sess: &mut Session,
+        timeout: Duration,
+    ) -> Result<Vec<PipelineRun>, (Option<LaunchHandle>, TfnoError)> {
+        sess.wait_timeout(self, timeout)
+    }
+}
+
+impl Drop for LaunchHandle {
+    fn drop(&mut self) {
+        if let Some(reg) = self.abandoned.take() {
+            lock_unpoisoned(&reg).push(self.seq);
+        }
+    }
 }
 
 /// A dispatched pipeline body: runs against the thread-resident state and
-/// yields one `PipelineRun` per request.
-type DispatchWork = Box<dyn FnOnce(&mut ExecCtx<'_>) -> Vec<PipelineRun> + Send>;
+/// yields one `PipelineRun` per request, or the typed error the resilient
+/// engine could not recover from.
+type DispatchWork =
+    Box<dyn FnOnce(&mut ExecCtx<'_>) -> Result<Vec<PipelineRun>, TfnoError> + Send>;
+
+/// Parked terminal state of one dispatched job, held until its handle is
+/// redeemed (or the handle is abandoned and a synchronize discards it).
+enum Outcome {
+    Done(Vec<PipelineRun>),
+    /// The resilient engine exhausted retries/degradation (or validation
+    /// raced a buffer change); only this job's handle reports it.
+    Failed(TfnoError),
+    /// The work panicked; the dispatch thread healed (leaked leases
+    /// released) and the payload waits here for the handle's wait.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
 
 /// Work items for the session's long-lived dispatch thread.
 enum Job {
@@ -360,9 +426,14 @@ enum Job {
 /// `submit`, reused for every later one, joined on drop. Holds the device
 /// and pool between `Install` and `Return` so a deep pipeline of submits
 /// pays zero thread spawns and zero state hand-offs per job.
+/// What a dispatched job reports back: its sequence number plus either
+/// the job's typed result or its panic payload (`std::thread::Result`
+/// captures the unwind).
+type JobOutcome = (u64, std::thread::Result<Result<Vec<PipelineRun>, TfnoError>>);
+
 struct Dispatcher {
     jobs: mpsc::Sender<Job>,
-    results: mpsc::Receiver<(u64, std::thread::Result<Vec<PipelineRun>>)>,
+    results: mpsc::Receiver<JobOutcome>,
     state_back: mpsc::Receiver<Box<(GpuDevice, BufferPool)>>,
     join: std::thread::JoinHandle<()>,
 }
@@ -371,11 +442,18 @@ struct Dispatcher {
 /// drops its sender. The device and pool live in `state` and are only
 /// *borrowed* per job, so a panicking pipeline can never lose them — the
 /// panic payload rides the results channel and the thread keeps serving.
+///
+/// Self-healing: a snapshot of the pool's lease ledger is taken before
+/// each job, so when the job unwinds, every lease it acquired and leaked
+/// (pipeline scratch, staging buffers, a live recording tape's deferred
+/// releases) is released here before the next job runs. Only the panicked
+/// job's handle observes the failure.
 fn dispatch_loop(
     jobs: mpsc::Receiver<Job>,
-    results: mpsc::Sender<(u64, std::thread::Result<Vec<PipelineRun>>)>,
+    results: mpsc::Sender<JobOutcome>,
     state_back: mpsc::Sender<Box<(GpuDevice, BufferPool)>>,
     planner: Arc<Planner>,
+    recovery: Arc<Mutex<RecoveryStats>>,
 ) {
     let mut state: Option<Box<(GpuDevice, BufferPool)>> = None;
     while let Ok(job) = jobs.recv() {
@@ -384,6 +462,7 @@ fn dispatch_loop(
             Job::Work { seq, work } => {
                 let s = state.as_mut().expect("Work job follows an Install");
                 let (dev, pool) = &mut **s;
+                let before = pool.leased_snapshot();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut ctx = ExecCtx {
                         dev,
@@ -393,6 +472,20 @@ fn dispatch_loop(
                     };
                     work(&mut ctx)
                 }));
+                if result.is_err() {
+                    let leaked: Vec<BufferId> = pool
+                        .leased_snapshot()
+                        .difference(&before)
+                        .copied()
+                        .collect();
+                    let mut r = lock_unpoisoned(&recovery);
+                    r.jobs_healed += 1;
+                    r.leases_recovered += leaked.len() as u64;
+                    drop(r);
+                    for id in leaked {
+                        pool.release(dev, id);
+                    }
+                }
                 if results.send((seq, result)).is_err() {
                     return; // session gone; nothing left to serve
                 }
@@ -429,7 +522,8 @@ static SESSION_IDS: AtomicU64 = AtomicU64::new(1);
 
 const IN_FLIGHT: &str = "session has in-flight submitted work; wait on its LaunchHandle \
                          (any `&mut Session` method also synchronizes) before reading \
-                         session state";
+                         session state, or use the typed try_download/try_device/\
+                         try_pool_stats inspectors for a recoverable InFlight error";
 
 /// An owning execution handle: simulated device + memoizing planner +
 /// scratch buffer pool. The single way to execute Fourier layers (and,
@@ -461,11 +555,16 @@ pub struct Session {
     dispatcher: Option<Dispatcher>,
     /// Sequence numbers of jobs on the dispatch thread, oldest first.
     inflight: VecDeque<u64>,
-    /// First panic payload caught from dispatched work; re-raised at the
-    /// next synchronizing call.
-    panic: Option<Box<dyn std::any::Any + Send>>,
-    /// Finished dispatches not yet collected by a `wait`.
-    completed: HashMap<u64, Vec<PipelineRun>>,
+    /// Terminal states of finished dispatches not yet redeemed by a `wait`.
+    completed: HashMap<u64, Outcome>,
+    /// Seqs of handles dropped without a wait; shared with every issued
+    /// [`LaunchHandle`], drained (results discarded) at synchronize.
+    abandoned: Arc<Mutex<Vec<u64>>>,
+    /// Bounded retry budget for transient faults (see [`RetryPolicy`]).
+    retry: RetryPolicy,
+    /// Counters of the recovery machinery, shared with dispatched bodies
+    /// and the dispatch loop's healing path.
+    recovery: Arc<Mutex<RecoveryStats>>,
     stats: DispatchStats,
     /// Shadow operand-length ledger: lets `submit` validate shapes while
     /// the authoritative memory ledger is away on the dispatch thread.
@@ -488,8 +587,10 @@ impl Session {
             depth: DEFAULT_PIPELINE_DEPTH,
             dispatcher: None,
             inflight: VecDeque::new(),
-            panic: None,
             completed: HashMap::new(),
+            abandoned: Arc::new(Mutex::new(Vec::new())),
+            retry: RetryPolicy::default(),
+            recovery: Arc::new(Mutex::new(RecoveryStats::default())),
             stats: DispatchStats::default(),
             buf_meta: HashMap::new(),
             replay_enabled: true,
@@ -507,6 +608,12 @@ impl Session {
 
     pub fn device(&self) -> &GpuDevice {
         self.dev_ref()
+    }
+
+    /// Typed twin of [`Session::device`]: [`TfnoError::InFlight`] instead
+    /// of a panic while submitted work holds the device.
+    pub fn try_device(&self) -> Result<&GpuDevice, TfnoError> {
+        self.dev.as_ref().ok_or(TfnoError::InFlight)
     }
 
     pub fn device_mut(&mut self) -> &mut GpuDevice {
@@ -529,6 +636,50 @@ impl Session {
     /// `hits > 0`.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.as_ref().expect(IN_FLIGHT).stats()
+    }
+
+    /// Typed twin of [`Session::pool_stats`].
+    pub fn try_pool_stats(&self) -> Result<PoolStats, TfnoError> {
+        self.pool
+            .as_ref()
+            .map(|p| p.stats())
+            .ok_or(TfnoError::InFlight)
+    }
+
+    /// Install (or clear, with `None`) a deterministic fault-injection
+    /// plan on the session's device. Synchronizes first so the plan's
+    /// event cursors start from a quiescent state.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.device_mut().set_fault_plan(plan);
+    }
+
+    /// Fault-injection counters of the session's device (all zero when no
+    /// plan is installed).
+    ///
+    /// # Panics
+    /// While submitted work is in flight (the counters live on the
+    /// device); synchronize or wait first.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.dev_ref().fault_stats()
+    }
+
+    /// Bounded retry budget applied by `try_run`/`try_run_many`/`try_submit`
+    /// (and their legacy wrappers) to transient device faults.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Counters of the recovery machinery: transient retries, degradations
+    /// to the unfused pipeline, exhausted operations, faulted replays,
+    /// healed dispatch jobs and the leases they leaked, abandoned handles.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        let mut s = *lock_unpoisoned(&self.recovery);
+        s.faulted_replays = lock_unpoisoned(&self.replay).stats().faulted;
+        s
     }
 
     /// True while submitted work (or the session state that ran it) is
@@ -587,9 +738,10 @@ impl Session {
         let (res_tx, res_rx) = mpsc::channel();
         let (state_tx, state_rx) = mpsc::channel();
         let planner = Arc::clone(&self.planner);
+        let recovery = Arc::clone(&self.recovery);
         let join = std::thread::Builder::new()
             .name("tfno-dispatch".into())
-            .spawn(move || dispatch_loop(jobs_rx, res_tx, state_tx, planner))
+            .spawn(move || dispatch_loop(jobs_rx, res_tx, state_tx, planner, recovery))
             .expect("spawn dispatch thread");
         self.stats.threads_spawned += 1;
         self.dispatcher = Some(Dispatcher {
@@ -600,9 +752,19 @@ impl Session {
         });
     }
 
+    /// Park one received result under its seq, as a typed [`Outcome`].
+    fn park(&mut self, seq: u64, result: std::thread::Result<Result<Vec<PipelineRun>, TfnoError>>) {
+        let outcome = match result {
+            Ok(Ok(runs)) => Outcome::Done(runs),
+            Ok(Err(e)) => Outcome::Failed(e),
+            Err(payload) => Outcome::Panicked(payload),
+        };
+        self.completed.insert(seq, outcome);
+    }
+
     /// Receive the oldest in-flight job's result, parking it for its
-    /// `wait`. Panic payloads are recorded (first one wins) and re-raised
-    /// by `synchronize`, after the device is safely home.
+    /// `wait`. Failures — typed or panic — park per-seq: only the handle
+    /// that submitted the job observes them.
     fn collect_one(&mut self) {
         let Some(seq) = self.inflight.pop_front() else {
             return;
@@ -613,20 +775,15 @@ impl Session {
             .expect("dispatcher alive while jobs are in flight");
         let (got, result) = d.results.recv().expect("dispatch thread alive");
         debug_assert_eq!(got, seq, "results arrive in submit order");
-        match result {
-            Ok(runs) => {
-                self.completed.insert(seq, runs);
-            }
-            Err(payload) => {
-                self.panic.get_or_insert(payload);
-            }
-        }
+        self.park(got, result);
     }
 
     /// Drain the dispatch pipeline, restore the device and pool, and
-    /// re-raise the first panic any dispatched job produced. Every
-    /// `&mut Session` entry point except `submit`/`submit_many` calls this
-    /// first, so session state is never observed mid-dispatch.
+    /// discard the parked results of abandoned handles — re-raising the
+    /// first abandoned panic payload, so a dropped handle can never make a
+    /// dispatched panic disappear silently. Every `&mut Session` entry
+    /// point except `submit`/`submit_many` calls this first, so session
+    /// state is never observed mid-dispatch.
     pub fn synchronize(&mut self) {
         while !self.inflight.is_empty() {
             self.collect_one();
@@ -645,7 +802,21 @@ impl Session {
             self.dev = Some(dev);
             self.pool = Some(pool);
         }
-        if let Some(payload) = self.panic.take() {
+        let drained: Vec<u64> = {
+            let mut reg = lock_unpoisoned(&self.abandoned);
+            reg.drain(..).collect()
+        };
+        if drained.is_empty() {
+            return;
+        }
+        lock_unpoisoned(&self.recovery).abandoned_handles += drained.len() as u64;
+        let mut first_panic = None;
+        for seq in drained {
+            if let Some(Outcome::Panicked(payload)) = self.completed.remove(&seq) {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
             std::panic::resume_unwind(payload);
         }
     }
@@ -700,6 +871,12 @@ impl Session {
         self.dev_ref().download(id)
     }
 
+    /// Typed twin of [`Session::download`]: [`TfnoError::InFlight`]
+    /// instead of a panic while submitted work holds the device.
+    pub fn try_download(&self, id: BufferId) -> Result<Vec<C32>, TfnoError> {
+        Ok(self.try_device()?.download(id))
+    }
+
     /// Both halves of the resident state, after a `synchronize`.
     fn resident_mut(&mut self) -> (&mut GpuDevice, &mut BufferPool) {
         (
@@ -723,7 +900,13 @@ impl Session {
     /// buffer the shadow ledger has not seen (created directly via
     /// [`Session::device_mut`]) falls back to a synchronize plus the
     /// authoritative ledger.
-    fn validate(&mut self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) {
+    fn try_validate(
+        &mut self,
+        spec: &LayerSpec,
+        x: BufferId,
+        w: BufferId,
+        y: BufferId,
+    ) -> Result<(), TfnoError> {
         if self.dev.is_none() && [x, w, y].iter().any(|id| !self.buf_meta.contains_key(id)) {
             self.synchronize();
         }
@@ -731,36 +914,68 @@ impl Session {
             Some(dev) => dev.memory.len(id),
             None => self.buf_meta[&id],
         };
-        assert_eq!(len(x), spec.input_len(), "x length != spec input_len");
-        assert_eq!(len(w), spec.weight_len(), "w length != spec weight_len");
-        assert_eq!(len(y), spec.output_len(), "y length != spec output_len");
+        for (got, want, msg) in [
+            (len(x), spec.input_len(), "x length != spec input_len"),
+            (len(w), spec.weight_len(), "w length != spec weight_len"),
+            (len(y), spec.output_len(), "y length != spec output_len"),
+        ] {
+            if got != want {
+                return Err(TfnoError::Validation(format!("{msg} ({got} != {want})")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Legacy panicking admission check; the panic message is the
+    /// validation error's (pinned by the API tests).
+    fn validate(&mut self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) {
+        if let Err(e) = self.try_validate(spec, x, w, y) {
+            let TfnoError::Validation(msg) = e else {
+                unreachable!("try_validate only raises Validation")
+            };
+            panic!("{msg}");
+        }
     }
 
     /// The full `run_many` admission contract: operand lengths plus the
     /// aliasing rules. Runs on the caller's thread for both the
-    /// synchronous and the submitted path, so the documented panics always
-    /// surface at the call site.
+    /// synchronous and the submitted path, so failures always surface at
+    /// the call site.
+    fn try_validate_queue(&mut self, reqs: &[Request]) -> Result<(), TfnoError> {
+        for r in reqs {
+            self.try_validate(&r.spec, r.x, r.w, r.y)?;
+            try_shape(&r.spec)?;
+        }
+        for (i, a) in reqs.iter().enumerate() {
+            if a.y == a.x || a.y == a.w {
+                return Err(TfnoError::Validation(format!(
+                    "run_many request {i} is self-aliased (y == {}): group-reordered \
+                     execution would run it in-place; use a distinct output buffer or a \
+                     sequential `run` call",
+                    if a.y == a.x { "x" } else { "w" }
+                )));
+            }
+            for (j, b) in reqs.iter().enumerate() {
+                if i != j && (a.y == b.x || a.y == b.w || a.y == b.y) {
+                    return Err(TfnoError::Validation(format!(
+                        "run_many requests must not alias outputs: request {i}'s y is an \
+                         operand of request {j}; chain dependent layers through \
+                         sequential `run` calls instead"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Legacy panicking queue admission check (same messages).
     fn validate_queue(&mut self, reqs: &[Request]) {
         for r in reqs {
             self.validate(&r.spec, r.x, r.w, r.y);
             r.spec.assert_valid_shape();
         }
-        for (i, a) in reqs.iter().enumerate() {
-            assert!(
-                a.y != a.x && a.y != a.w,
-                "run_many request {i} is self-aliased (y == {}): group-reordered \
-                 execution would run it in-place; use a distinct output buffer or a \
-                 sequential `run` call",
-                if a.y == a.x { "x" } else { "w" }
-            );
-            for (j, b) in reqs.iter().enumerate() {
-                assert!(
-                    i == j || (a.y != b.x && a.y != b.w && a.y != b.y),
-                    "run_many requests must not alias outputs: request {i}'s y is an \
-                     operand of request {j}; chain dependent layers through \
-                     sequential `run` calls instead"
-                );
-            }
+        if let Err(TfnoError::Validation(msg)) = self.try_validate_queue(reqs) {
+            panic!("{msg}");
         }
     }
 
@@ -790,20 +1005,58 @@ impl Session {
     /// (memoized per shape); scratch comes from the session pool. Warm
     /// same-key calls replay the recorded launch sequence (see the module
     /// docs), bitwise equal to a cold run.
+    ///
+    /// # Panics
+    /// On validation failures (with the documented messages), and if the
+    /// resilient engine exhausts its retry/degradation budget under an
+    /// installed fault plan — use [`Session::try_run`] for typed recovery.
     pub fn run(&mut self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) -> PipelineRun {
         self.synchronize();
         self.validate(spec, x, w, y);
-        let key = Session::single_key(spec, x, w, y);
+        match self.run_resilient(spec, x, w, y) {
+            Ok(run) => run,
+            Err(e) => panic!("layer execution failed: {e}; use Session::try_run for typed recovery"),
+        }
+    }
+
+    /// Typed twin of [`Session::run`]: validation errors, and transient
+    /// faults that survived the session's [`RetryPolicy`] and the
+    /// degradation ladder, come back as [`TfnoError`] instead of panics.
+    /// The success path is bitwise-identical to [`Session::run`].
+    pub fn try_run(
+        &mut self,
+        spec: &LayerSpec,
+        x: BufferId,
+        w: BufferId,
+        y: BufferId,
+    ) -> Result<PipelineRun, TfnoError> {
+        self.synchronize();
+        self.try_validate(spec, x, w, y)?;
+        try_shape(spec)?;
+        self.run_resilient(spec, x, w, y)
+    }
+
+    /// Shared resilient body of `run`/`try_run` (operands already
+    /// validated).
+    fn run_resilient(
+        &mut self,
+        spec: &LayerSpec,
+        x: BufferId,
+        w: BufferId,
+        y: BufferId,
+    ) -> Result<PipelineRun, TfnoError> {
         let enable = self.replay_enabled && spec.exec == ExecMode::Functional;
         let cache = Arc::clone(&self.replay);
+        let recovery = Arc::clone(&self.recovery);
+        let policy = self.retry;
         let spec = *spec;
         let mut ctx = self.ctx();
-        let mut runs = replay::execute(&mut ctx, &cache, key, 1, enable, move |ctx| {
-            let run = ctx.run_spec(&spec, spec.variant, LayerBufs::shared(x, w, y));
-            ctx.mark_unit(0);
-            vec![run]
-        });
-        runs.pop().expect("one run per single-layer call")
+        let mut runs = run_single_resilient(
+            &mut ctx, &cache, &recovery, policy, &spec, x, w, y, enable,
+        )?;
+        // Invariant: the engine produces exactly one PipelineRun per
+        // single-layer call (n_out = 1), on both cold and replayed paths.
+        Ok(runs.pop().expect("one run per single-layer call"))
     }
 
     /// Execute a queue of layer requests, coalescing where possible.
@@ -835,16 +1088,33 @@ impl Session {
     pub fn run_many(&mut self, reqs: &[Request]) -> Vec<PipelineRun> {
         self.synchronize();
         self.validate_queue(reqs);
-        let key = Session::queue_key(reqs);
+        match self.run_many_resilient(reqs) {
+            Ok(runs) => runs,
+            Err(e) => panic!(
+                "serving queue execution failed: {e}; use Session::try_run_many for typed recovery"
+            ),
+        }
+    }
+
+    /// Typed twin of [`Session::run_many`] (same coalescing, same
+    /// aliasing contract, typed errors instead of panics).
+    pub fn try_run_many(&mut self, reqs: &[Request]) -> Result<Vec<PipelineRun>, TfnoError> {
+        self.synchronize();
+        self.try_validate_queue(reqs)?;
+        self.run_many_resilient(reqs)
+    }
+
+    /// Shared resilient body of `run_many`/`try_run_many` (queue already
+    /// validated).
+    fn run_many_resilient(&mut self, reqs: &[Request]) -> Result<Vec<PipelineRun>, TfnoError> {
         let enable =
             self.replay_enabled && reqs.iter().all(|r| r.spec.exec == ExecMode::Functional);
         let cache = Arc::clone(&self.replay);
-        let n = reqs.len();
+        let recovery = Arc::clone(&self.recovery);
+        let policy = self.retry;
         let reqs = reqs.to_vec();
         let mut ctx = self.ctx();
-        replay::execute(&mut ctx, &cache, key, n, enable, move |ctx| {
-            ctx.run_queue(&reqs)
-        })
+        run_queue_resilient(&mut ctx, &cache, &recovery, policy, reqs, enable)
     }
 
     /// Issue [`Session::run`] asynchronously: the launch sequence executes
@@ -861,16 +1131,41 @@ impl Session {
     pub fn submit(&mut self, spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) -> LaunchHandle {
         self.validate(spec, x, w, y);
         spec.assert_valid_shape();
-        let key = Session::single_key(spec, x, w, y);
+        self.submit_validated(spec, x, w, y)
+    }
+
+    /// Typed twin of [`Session::submit`]: validation failures come back as
+    /// [`TfnoError::Validation`] instead of panics. The dispatched body is
+    /// the same resilient engine as [`Session::try_run`]; its outcome
+    /// (typed error or panic payload) parks under the returned handle.
+    pub fn try_submit(
+        &mut self,
+        spec: &LayerSpec,
+        x: BufferId,
+        w: BufferId,
+        y: BufferId,
+    ) -> Result<LaunchHandle, TfnoError> {
+        self.try_validate(spec, x, w, y)?;
+        try_shape(spec)?;
+        Ok(self.submit_validated(spec, x, w, y))
+    }
+
+    /// Shared dispatching body of `submit`/`try_submit` (operands already
+    /// validated).
+    fn submit_validated(
+        &mut self,
+        spec: &LayerSpec,
+        x: BufferId,
+        w: BufferId,
+        y: BufferId,
+    ) -> LaunchHandle {
         let enable = self.replay_enabled && spec.exec == ExecMode::Functional;
         let cache = Arc::clone(&self.replay);
+        let recovery = Arc::clone(&self.recovery);
+        let policy = self.retry;
         let spec = *spec;
         self.dispatch(Box::new(move |ctx| {
-            replay::execute(ctx, &cache, key, 1, enable, |ctx| {
-                let run = ctx.run_spec(&spec, spec.variant, LayerBufs::shared(x, w, y));
-                ctx.mark_unit(0);
-                vec![run]
-            })
+            run_single_resilient(ctx, &cache, &recovery, policy, &spec, x, w, y, enable)
         }))
     }
 
@@ -879,14 +1174,24 @@ impl Session {
     /// replay). Redeem with [`Session::wait_many`].
     pub fn submit_many(&mut self, reqs: &[Request]) -> LaunchHandle {
         self.validate_queue(reqs);
-        let key = Session::queue_key(reqs);
+        self.submit_many_validated(reqs)
+    }
+
+    /// Typed twin of [`Session::submit_many`].
+    pub fn try_submit_many(&mut self, reqs: &[Request]) -> Result<LaunchHandle, TfnoError> {
+        self.try_validate_queue(reqs)?;
+        Ok(self.submit_many_validated(reqs))
+    }
+
+    fn submit_many_validated(&mut self, reqs: &[Request]) -> LaunchHandle {
         let enable =
             self.replay_enabled && reqs.iter().all(|r| r.spec.exec == ExecMode::Functional);
         let cache = Arc::clone(&self.replay);
-        let n = reqs.len();
+        let recovery = Arc::clone(&self.recovery);
+        let policy = self.retry;
         let reqs = reqs.to_vec();
         self.dispatch(Box::new(move |ctx| {
-            replay::execute(ctx, &cache, key, n, enable, move |ctx| ctx.run_queue(&reqs))
+            run_queue_resilient(ctx, &cache, &recovery, policy, reqs, enable)
         }))
     }
 
@@ -916,6 +1221,7 @@ impl Session {
         LaunchHandle {
             session: self.id,
             seq,
+            abandoned: Some(Arc::clone(&self.abandoned)),
         }
     }
 
@@ -938,15 +1244,111 @@ impl Session {
     /// Redeem a [`Session::submit_many`] handle: one [`PipelineRun`] per
     /// submitted request, in order, exactly as [`Session::run_many`] would
     /// have returned them.
+    ///
+    /// # Panics
+    /// Re-raises the dispatched work's panic, or panics with the typed
+    /// failure's message ("dispatched work failed: ...") — use
+    /// [`Session::try_wait_many`] for recoverable errors.
     pub fn wait_many(&mut self, handle: LaunchHandle) -> Vec<PipelineRun> {
+        match self.try_wait_many(handle) {
+            Ok(runs) => runs,
+            Err(e) => {
+                panic!("dispatched work failed: {e}; use Session::try_wait_many for typed recovery")
+            }
+        }
+    }
+
+    /// Typed twin of [`Session::wait`].
+    pub fn try_wait(&mut self, handle: LaunchHandle) -> Result<PipelineRun, TfnoError> {
+        let mut runs = self.try_wait_many(handle)?;
+        assert_eq!(
+            runs.len(),
+            1,
+            "wait() on a multi-request submit_many handle; use wait_many()"
+        );
+        Ok(runs.pop().expect("one run"))
+    }
+
+    /// Typed twin of [`Session::wait_many`]: a job that exhausted the
+    /// retry/degradation ladder reports its [`TfnoError`] here instead of
+    /// panicking; a job that *panicked* still re-raises its payload (a
+    /// panic is a bug, not a recoverable condition).
+    pub fn try_wait_many(&mut self, handle: LaunchHandle) -> Result<Vec<PipelineRun>, TfnoError> {
+        let seq = self.redeem(handle);
+        self.synchronize();
+        match self.completed.remove(&seq) {
+            Some(Outcome::Done(runs)) => Ok(runs),
+            Some(Outcome::Failed(e)) => Err(e),
+            Some(Outcome::Panicked(payload)) => std::panic::resume_unwind(payload),
+            None => panic!("no parked result for this LaunchHandle (already waited on?)"),
+        }
+    }
+
+    /// Redeem a handle with a deadline. On success the parked runs come
+    /// back exactly as [`Session::wait_many`] would return them. On
+    /// timeout the handle is returned *re-armed* alongside
+    /// [`TfnoError::Timeout`], so the caller can keep waiting; any other
+    /// error consumes the handle (`None`).
+    ///
+    /// Unlike the blocking waits this does not drain the whole pipeline:
+    /// it collects completions in dispatch order only until this handle's
+    /// job lands, so the device and pool stay on the dispatch thread.
+    pub fn wait_timeout(
+        &mut self,
+        handle: LaunchHandle,
+        timeout: Duration,
+    ) -> Result<Vec<PipelineRun>, (Option<LaunchHandle>, TfnoError)> {
         assert_eq!(
             handle.session, self.id,
             "LaunchHandle was issued by a different Session"
         );
-        self.synchronize();
-        self.completed
-            .remove(&handle.seq)
-            .expect("no parked result for this LaunchHandle (already waited on?)")
+        let start = Instant::now();
+        while !self.completed.contains_key(&handle.seq) {
+            let Some(d) = self.dispatcher.as_ref() else {
+                // No dispatcher ⇒ nothing in flight ⇒ the handle was
+                // already redeemed (impossible: redeeming consumes it) or
+                // parked; fall through to the lookup panic below.
+                break;
+            };
+            let waited = start.elapsed();
+            let Some(remaining) = timeout.checked_sub(waited) else {
+                return Err((Some(handle), TfnoError::Timeout { waited }));
+            };
+            match d.results.recv_timeout(remaining) {
+                Ok((seq, result)) => {
+                    let front = self.inflight.pop_front();
+                    debug_assert_eq!(front, Some(seq), "results arrive in dispatch order");
+                    self.park(seq, result);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    return Err((Some(handle), TfnoError::Timeout { waited: start.elapsed() }));
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err((
+                        None,
+                        TfnoError::Poisoned("dispatch thread exited unexpectedly".into()),
+                    ));
+                }
+            }
+        }
+        let seq = self.redeem(handle);
+        match self.completed.remove(&seq) {
+            Some(Outcome::Done(runs)) => Ok(runs),
+            Some(Outcome::Failed(e)) => Err((None, e)),
+            Some(Outcome::Panicked(payload)) => std::panic::resume_unwind(payload),
+            None => panic!("no parked result for this LaunchHandle (already waited on?)"),
+        }
+    }
+
+    /// Consume a handle without tripping its abandoned-drop hook and hand
+    /// back its sequence number.
+    fn redeem(&self, mut handle: LaunchHandle) -> u64 {
+        assert_eq!(
+            handle.session, self.id,
+            "LaunchHandle was issued by a different Session"
+        );
+        handle.abandoned = None;
+        handle.seq
     }
 
     /// Model one spec analytically on pooled virtual buffers (no values
@@ -1060,19 +1462,21 @@ impl ScatterWindow {
 /// equality guarantee of async dispatch is structural, not re-verified
 /// per feature.
 impl ExecCtx<'_> {
-    /// Execute one layer spec against this context.
-    pub(crate) fn run_spec(
+    /// Execute one layer spec against this context. A launch fault
+    /// surfaces as `Err` with nothing written and no lease held (the
+    /// pipeline bodies release scratch on every exit path).
+    pub(crate) fn try_run_spec(
         &mut self,
         spec: &LayerSpec,
         variant: Variant,
         bufs: LayerBufs,
-    ) -> PipelineRun {
+    ) -> Result<PipelineRun, LaunchError> {
         let (opts, exec) = (spec.opts, spec.exec);
         if let Some(p) = spec.problem_1d() {
-            self.run_1d(&p, variant, bufs, &opts, exec)
+            self.try_run_1d(&p, variant, bufs, &opts, exec)
         } else {
             let p = spec.problem_2d().expect("spec is 1D or 2D");
-            self.run_2d(&p, variant, bufs, &opts, exec)
+            self.try_run_2d(&p, variant, bufs, &opts, exec)
         }
     }
 
@@ -1096,7 +1500,7 @@ impl ExecCtx<'_> {
     /// request; the other members report empty runs (their outputs are
     /// still written). Each group's output scatter is completed through a
     /// small [`LaunchQueue`] window so the next group's work overlaps it.
-    pub(crate) fn run_queue(&mut self, reqs: &[Request]) -> Vec<PipelineRun> {
+    pub(crate) fn try_run_queue(&mut self, reqs: &[Request]) -> Result<Vec<PipelineRun>, LaunchError> {
         let mut out: Vec<PipelineRun> = (0..reqs.len()).map(|_| PipelineRun::default()).collect();
         let mut claimed = vec![false; reqs.len()];
         let mut window = ScatterWindow::new();
@@ -1126,17 +1530,21 @@ impl ExecCtx<'_> {
                 rest.sort_unstable();
             }
             if !stack.is_empty() {
-                self.run_stacked(reqs, &stack, concrete, &mut window, &mut out);
+                // On a fault mid-group the window's pending scatters are
+                // simply dropped with the queue run: deferred launches
+                // never executed, so the device is consistent and a retry
+                // rewrites every output from scratch.
+                self.try_run_stacked(reqs, &stack, concrete, &mut window, &mut out)?;
             }
             for j in rest {
                 let r = &reqs[j];
-                let run = self.run_spec(&r.spec, concrete, LayerBufs::shared(r.x, r.w, r.y));
+                let run = self.try_run_spec(&r.spec, concrete, LayerBufs::shared(r.x, r.w, r.y))?;
                 out[j].launches.extend(run.launches);
                 self.mark_unit(j);
             }
         }
         window.flush(self.dev, &mut out);
-        out
+        Ok(out)
     }
 
     /// Stacking moves values through device-side gather/scatter copies, so
@@ -1166,21 +1574,43 @@ impl ExecCtx<'_> {
     /// distinct ones. Launches land in `out[stack[0]]`; the scatter is
     /// issued deferred through `window` (completed up to two groups later,
     /// or synchronously under a legacy executor / on replay).
-    fn run_stacked(
+    fn try_run_stacked(
         &mut self,
         reqs: &[Request],
         stack: &[usize],
         concrete: Variant,
         window: &mut ScatterWindow,
         out: &mut [PipelineRun],
-    ) {
+    ) -> Result<(), LaunchError> {
+        let mut leases = Vec::new();
+        let r = self.stacked_body(reqs, stack, concrete, window, out, &mut leases);
+        // The pending scatter read sy at issue; releasing the staging
+        // scratch (or recycling it for the next group) cannot disturb it.
+        // On the error path this returns the staging leases too — a live
+        // recording tape defers them (record() releases an abandoned
+        // tape's scratch), so nothing leaks either way.
+        self.release(leases);
+        r
+    }
+
+    fn stacked_body(
+        &mut self,
+        reqs: &[Request],
+        stack: &[usize],
+        concrete: Variant,
+        window: &mut ScatterWindow,
+        out: &mut [PipelineRun],
+        leases: &mut Vec<BufferId>,
+    ) -> Result<(), LaunchError> {
         let owner = stack[0];
         let base = reqs[owner].spec;
         let spec = base.stacked(stack.len());
         let (in_len, out_len, w_len) = (base.input_len(), base.output_len(), base.weight_len());
 
-        let sx = self.pool.acquire(self.dev, spec.input_len());
-        let sy = self.pool.acquire(self.dev, spec.output_len());
+        let sx = self.pool.try_acquire(self.dev, spec.input_len())?;
+        leases.push(sx);
+        let sy = self.pool.try_acquire(self.dev, spec.output_len())?;
+        leases.push(sy);
 
         // Gather inputs (and, for mixed weights, the packed weight stack)
         // in one launch.
@@ -1196,8 +1626,9 @@ impl ExecCtx<'_> {
             })
             .collect();
         let mixed = stack.iter().any(|&j| reqs[j].w != reqs[stack[0]].w);
-        let (w, ws, sw) = if mixed {
-            let sw = self.pool.acquire(self.dev, stack.len() * w_len);
+        let (w, ws) = if mixed {
+            let sw = self.pool.try_acquire(self.dev, stack.len() * w_len)?;
+            leases.push(sw);
             gather.extend(stack.iter().enumerate().map(|(pos, &j)| CopySegment {
                 src: reqs[j].w,
                 src_base: 0,
@@ -1205,15 +1636,15 @@ impl ExecCtx<'_> {
                 dst_base: pos * w_len,
                 len: w_len,
             }));
-            (sw, WeightStacking::strided(w_len, base.batch()), Some(sw))
+            (sw, WeightStacking::strided(w_len, base.batch()))
         } else {
-            (reqs[stack[0]].w, WeightStacking::SHARED, None)
+            (reqs[stack[0]].w, WeightStacking::SHARED)
         };
 
         let gather = SegmentedCopyKernel::new("serve.gather", gather);
-        out[owner].push(self.step(gather, ExecMode::Functional));
+        out[owner].push(self.try_step(gather, ExecMode::Functional)?);
 
-        let pipeline = self.run_spec(&spec, concrete, LayerBufs { x: sx, w, y: sy, ws });
+        let pipeline = self.try_run_spec(&spec, concrete, LayerBufs { x: sx, w, y: sy, ws })?;
         out[owner].launches.extend(pipeline.launches);
 
         let scatter: Vec<CopySegment> = stack
@@ -1231,18 +1662,13 @@ impl ExecCtx<'_> {
         if self.dev.legacy_executor {
             // The legacy executor has no deferred completion; run the
             // scatter synchronously (bitwise-identical either way).
-            out[owner].push(self.step(scatter, ExecMode::Functional));
+            out[owner].push(self.try_step(scatter, ExecMode::Functional)?);
         } else {
-            let pending = self.step_deferred(scatter, ExecMode::Functional);
+            let pending = self.try_step_deferred(scatter, ExecMode::Functional)?;
             window.push(self.dev, pending, owner, out);
         }
         self.mark_unit(owner);
-
-        // The pending scatter read sy at issue; releasing the staging
-        // scratch (or recycling it for the next group) cannot disturb it.
-        let mut leases = vec![sx, sy];
-        leases.extend(sw);
-        self.release(leases);
+        Ok(())
     }
 
     /// The [`Session::measure`] body: analytical run on pooled virtual
@@ -1271,7 +1697,12 @@ impl ExecCtx<'_> {
         let x = self.pool.acquire_virtual(self.dev, spec.input_len());
         let w = self.pool.acquire_virtual(self.dev, spec.weight_len());
         let y = self.pool.acquire_virtual(self.dev, spec.output_len());
-        let run = self.run_spec(&spec, spec.variant, LayerBufs::shared(x, w, y));
+        // INVARIANT: analytical launches on virtual buffers are exempt
+        // from fault injection (see GpuDevice::check_launch_fault), so
+        // this cannot fail even with a FaultPlan installed.
+        let run = self
+            .try_run_spec(&spec, spec.variant, LayerBufs::shared(x, w, y))
+            .expect("analytical launches are never faulted");
         self.pool.release(self.dev, x);
         self.pool.release(self.dev, w);
         self.pool.release(self.dev, y);
@@ -1279,6 +1710,177 @@ impl ExecCtx<'_> {
             seq_insert(key, run.launches.clone());
         }
         run
+    }
+}
+
+/// Render a caught panic payload as text (best effort — payloads are
+/// `&str` or `String` everywhere this crate panics).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Typed twin of [`LayerSpec::assert_valid_shape`]: the legacy assertion
+/// panics with pinned messages; this catches them and re-surfaces the text
+/// as [`TfnoError::Validation`].
+fn try_shape(spec: &LayerSpec) -> Result<(), TfnoError> {
+    let s = *spec;
+    std::panic::catch_unwind(move || s.assert_valid_shape())
+        .map_err(|p| TfnoError::Validation(panic_message(&*p)))
+}
+
+/// The resilient single-layer engine shared by `try_run` and the
+/// dispatched body of `try_submit`.
+///
+/// Two nested loops implement the recovery ladder:
+///
+/// 1. **Retry rung** — up to [`RetryPolicy::attempts`] tries of the
+///    current spec. Transient faults are clean (nothing written), so a
+///    retried success is bitwise-equal to an unfaulted run.
+/// 2. **Degradation rung** — if the rung exhausts and the spec resolves to
+///    a fused variant, the layer is re-planned onto the unfused
+///    [`Variant::FftOpt`] pipeline (new replay key, one more retry rung)
+///    before the error is surfaced.
+///
+/// Replay stays coherent throughout: a faulted recording is never frozen,
+/// and a faulted replay evicts its artifact and falls back to the
+/// functional path (see `replay::try_execute`).
+#[allow(clippy::too_many_arguments)]
+fn run_single_resilient(
+    ctx: &mut ExecCtx<'_>,
+    cache: &Mutex<ReplayCache>,
+    recovery: &Mutex<RecoveryStats>,
+    policy: RetryPolicy,
+    spec: &LayerSpec,
+    x: BufferId,
+    w: BufferId,
+    y: BufferId,
+    enable: bool,
+) -> Result<Vec<PipelineRun>, TfnoError> {
+    let mut spec = *spec;
+    let mut degraded = false;
+    let mut total_attempts = 0u32;
+    loop {
+        let key = Session::single_key(&spec, x, w, y);
+        let mut last: Option<TfnoError> = None;
+        for attempt in 1..=policy.attempts() {
+            let s = spec;
+            let out = replay::try_execute(ctx, cache, key, 1, enable, |ctx| {
+                let run = ctx
+                    .try_run_spec(&s, s.variant, LayerBufs::shared(x, w, y))
+                    .map_err(TfnoError::from)?;
+                ctx.mark_unit(0);
+                Ok(vec![run])
+            });
+            total_attempts += 1;
+            match out {
+                Ok(runs) => return Ok(runs),
+                Err(e) if e.is_transient() => {
+                    if attempt < policy.attempts() {
+                        lock_unpoisoned(recovery).transient_retries += 1;
+                        if policy.backoff > Duration::ZERO {
+                            std::thread::sleep(policy.backoff);
+                        }
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let concrete = ctx.resolve(&spec);
+        let fused = matches!(
+            concrete,
+            Variant::FusedFftGemm | Variant::FusedGemmIfft | Variant::FullyFused
+        );
+        if fused && !degraded {
+            degraded = true;
+            lock_unpoisoned(recovery).degraded += 1;
+            spec = spec.variant(Variant::FftOpt);
+            continue;
+        }
+        lock_unpoisoned(recovery).exhausted += 1;
+        return Err(match last.expect("at least one attempt ran") {
+            TfnoError::Transient { fault, .. } => TfnoError::Transient {
+                fault,
+                attempts: total_attempts,
+            },
+            e => e,
+        });
+    }
+}
+
+/// The resilient serving-queue engine shared by `try_run_many` and the
+/// dispatched body of `try_submit_many`. Same ladder as
+/// [`run_single_resilient`]; the degradation rung rewrites *every* request
+/// whose spec resolves to a fused variant onto `FftOpt` (the whole queue
+/// is one replay unit, so the rung re-keys and re-runs it whole).
+fn run_queue_resilient(
+    ctx: &mut ExecCtx<'_>,
+    cache: &Mutex<ReplayCache>,
+    recovery: &Mutex<RecoveryStats>,
+    policy: RetryPolicy,
+    mut reqs: Vec<Request>,
+    enable: bool,
+) -> Result<Vec<PipelineRun>, TfnoError> {
+    let n = reqs.len();
+    let mut degraded = false;
+    let mut total_attempts = 0u32;
+    loop {
+        let key = Session::queue_key(&reqs);
+        let mut last: Option<TfnoError> = None;
+        for attempt in 1..=policy.attempts() {
+            let attempt_reqs = reqs.clone();
+            let out = replay::try_execute(ctx, cache, key, n, enable, move |ctx| {
+                ctx.try_run_queue(&attempt_reqs).map_err(TfnoError::from)
+            });
+            total_attempts += 1;
+            match out {
+                Ok(runs) => return Ok(runs),
+                Err(e) if e.is_transient() => {
+                    if attempt < policy.attempts() {
+                        lock_unpoisoned(recovery).transient_retries += 1;
+                        if policy.backoff > Duration::ZERO {
+                            std::thread::sleep(policy.backoff);
+                        }
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let any_fused = reqs.iter().any(|r| {
+            matches!(
+                ctx.resolve(&r.spec),
+                Variant::FusedFftGemm | Variant::FusedGemmIfft | Variant::FullyFused
+            )
+        });
+        if any_fused && !degraded {
+            degraded = true;
+            lock_unpoisoned(recovery).degraded += 1;
+            for r in &mut reqs {
+                let fused = matches!(
+                    ctx.resolve(&r.spec),
+                    Variant::FusedFftGemm | Variant::FusedGemmIfft | Variant::FullyFused
+                );
+                if fused {
+                    r.spec = r.spec.variant(Variant::FftOpt);
+                }
+            }
+            continue;
+        }
+        lock_unpoisoned(recovery).exhausted += 1;
+        return Err(match last.expect("at least one attempt ran") {
+            TfnoError::Transient { fault, .. } => TfnoError::Transient {
+                fault,
+                attempts: total_attempts,
+            },
+            e => e,
+        });
     }
 }
 
@@ -1482,5 +2084,233 @@ mod tests {
         let w = sess.alloc("w", spec.weight_len());
         let y = sess.alloc("y", spec.output_len());
         let _ = sess.submit(&spec, x, w, y);
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_bitwise_equal() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        sess.run(&spec, x, w, y);
+        let want = sess.download(y);
+
+        // A fresh output buffer gives the faulted run its own replay key.
+        let y2 = sess.alloc("y2", spec.output_len());
+        sess.set_fault_plan(Some(
+            FaultPlan::seeded(11).at_launch(0, tfno_gpu_sim::FaultKind::TransientLaunch),
+        ));
+        let run = sess.try_run(&spec, x, w, y2).expect("retry recovers");
+        assert!(run.kernel_count() > 0);
+        assert_eq!(sess.download(y2), want, "retried run is bitwise equal");
+        let stats = sess.recovery_stats();
+        assert_eq!(stats.transient_retries, 1);
+        assert_eq!(stats.exhausted, 0);
+        assert_eq!(sess.fault_stats().injected(), 1);
+        assert_eq!(sess.pool_stats().leased, 0, "no lease leaked across the fault");
+    }
+
+    #[test]
+    fn alloc_fault_is_retried_without_wedging_the_pool() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        sess.set_fault_plan(Some(FaultPlan::seeded(3).at_alloc(0)));
+        sess.try_run(&spec, x, w, y).expect("alloc retry recovers");
+        assert!(sess.recovery_stats().transient_retries >= 1);
+        assert_eq!(sess.pool_stats().leased, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_attempt_count() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        sess.set_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            backoff: Duration::ZERO,
+        });
+        // Every functional launch fails: no rung can succeed.
+        sess.set_fault_plan(Some(FaultPlan::seeded(5).transient(1.0)));
+        let err = sess.try_run(&spec, x, w, y).unwrap_err();
+        match err {
+            TfnoError::Transient { attempts, .. } => assert_eq!(attempts, 2),
+            e => panic!("expected Transient, got {e}"),
+        }
+        assert_eq!(sess.recovery_stats().exhausted, 1);
+        // The session is not wedged: lift the plan and run clean.
+        sess.set_fault_plan(None);
+        sess.run(&spec, x, w, y);
+        assert_eq!(sess.pool_stats().leased, 0);
+    }
+
+    #[test]
+    fn degradation_ladder_replans_fused_onto_fftopt() {
+        let mut reference = Session::a100();
+        let (spec_ref, xr, wr, yr) = spec_with_operands(&mut reference);
+        let spec_ref = spec_ref.variant(Variant::FftOpt);
+        reference.run(&spec_ref, xr, wr, yr);
+        let want = reference.download(yr);
+
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        let spec = spec.variant(Variant::FullyFused);
+        sess.set_retry_policy(RetryPolicy::none());
+        // Exactly the first launch faults: the fused rung's single attempt
+        // dies, the ladder re-plans onto FftOpt, which then runs clean.
+        sess.set_fault_plan(Some(
+            FaultPlan::seeded(7).at_launch(0, tfno_gpu_sim::FaultKind::TransientLaunch),
+        ));
+        sess.try_run(&spec, x, w, y).expect("degraded rung recovers");
+        let stats = sess.recovery_stats();
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.exhausted, 0);
+        assert_eq!(
+            sess.download(y),
+            want,
+            "degraded run is bitwise equal to a fault-free FftOpt run"
+        );
+    }
+
+    #[test]
+    fn faulted_replay_evicts_and_falls_back_to_functional() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        sess.run(&spec, x, w, y); // cold: records the tape
+        let want = sess.download(y);
+
+        // Warm call would replay; fault its first replayed launch.
+        sess.set_fault_plan(Some(
+            FaultPlan::seeded(13).at_launch(0, tfno_gpu_sim::FaultKind::TransientLaunch),
+        ));
+        sess.try_run(&spec, x, w, y).expect("fallback recovers");
+        assert_eq!(sess.download(y), want);
+        assert_eq!(sess.recovery_stats().faulted_replays, 1);
+        assert_eq!(sess.pool_stats().leased, 0);
+
+        // The evicted artifact was re-recorded by the fallback: the next
+        // warm call replays again, fault-free.
+        sess.set_fault_plan(None);
+        let hits_before = sess.replay_stats().hits;
+        sess.run(&spec, x, w, y);
+        let after = sess.replay_stats();
+        assert_eq!(after.hits, hits_before + 1);
+        assert_eq!(after.faulted, 1, "only the faulted warm call was evicted");
+    }
+
+    #[test]
+    fn job_panic_heals_leases_and_only_fails_its_handle() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        // A job that leaks a lease and panics (only constructible from
+        // inside the crate — the public surface never panics mid-lease
+        // without the tape hygiene the pipelines provide).
+        let bad = sess.dispatch(Box::new(|ctx| {
+            let _leak = ctx
+                .pool
+                .try_acquire(ctx.dev, 64)
+                .expect("unfaulted acquire");
+            panic!("chaos: job panic")
+        }));
+        let good = sess.submit(&spec, x, w, y);
+
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = sess.try_wait(bad);
+        }));
+        assert!(err.is_err(), "the panicked job re-raises at its wait");
+
+        // The later submit is unaffected and the leaked lease came back.
+        let run = sess.wait(good);
+        assert!(run.kernel_count() > 0);
+        let stats = sess.recovery_stats();
+        assert_eq!(stats.jobs_healed, 1);
+        assert_eq!(stats.leases_recovered, 1);
+        assert_eq!(sess.pool_stats().leased, 0);
+        sess.run(&spec, x, w, y); // still serviceable
+    }
+
+    /// Satellite: dropping a handle without waiting must not strand its
+    /// parked result or leak state — the next synchronize discards it.
+    #[test]
+    fn abandoned_handle_is_discarded_at_next_synchronize() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        let handle = sess.submit(&spec, x, w, y);
+        drop(handle);
+        sess.synchronize();
+        let stats = sess.recovery_stats();
+        assert_eq!(stats.abandoned_handles, 1);
+        assert_eq!(sess.pool_stats().leased, 0);
+        // The output was still written (dispatch ran to completion).
+        let mut reference = Session::a100();
+        let (spec2, x2, w2, y2) = spec_with_operands(&mut reference);
+        reference.run(&spec2, x2, w2, y2);
+        assert_eq!(sess.download(y), reference.download(y2));
+        sess.run(&spec, x, w, y); // still serviceable
+    }
+
+    /// A panicked job whose handle was dropped surfaces at the next
+    /// synchronizing call instead of disappearing.
+    #[test]
+    #[should_panic(expected = "chaos: abandoned panic")]
+    fn abandoned_panicked_job_reraises_at_synchronize() {
+        let mut sess = Session::a100();
+        let handle = sess.dispatch(Box::new(|_ctx| panic!("chaos: abandoned panic")));
+        drop(handle);
+        sess.synchronize();
+    }
+
+    #[test]
+    fn try_inspectors_report_in_flight() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        let handle = sess.submit(&spec, x, w, y);
+        assert!(matches!(sess.try_download(y), Err(TfnoError::InFlight)));
+        assert!(matches!(sess.try_device(), Err(TfnoError::InFlight)));
+        assert!(matches!(sess.try_pool_stats(), Err(TfnoError::InFlight)));
+        let _ = sess.wait(handle);
+        assert!(sess.try_download(y).is_ok());
+        assert!(sess.try_device().is_ok());
+        assert_eq!(sess.try_pool_stats().expect("synchronized").leased, 0);
+    }
+
+    #[test]
+    fn wait_timeout_rearms_the_handle_on_deadline() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        // Stall the first launch long enough for a short deadline to trip.
+        sess.set_fault_plan(Some(
+            FaultPlan::seeded(17)
+                .at_launch(0, tfno_gpu_sim::FaultKind::Stall)
+                .stall_us(200_000),
+        ));
+        let handle = sess.submit(&spec, x, w, y);
+        let handle = match sess.wait_timeout(handle, Duration::from_millis(5)) {
+            Err((Some(h), TfnoError::Timeout { waited })) => {
+                assert!(waited >= Duration::from_millis(5));
+                h
+            }
+            other => panic!("expected a re-armed timeout, got {other:?}"),
+        };
+        // The re-armed handle stays redeemable.
+        let runs = sess
+            .wait_timeout(handle, Duration::from_secs(30))
+            .expect("stall finishes well inside the second deadline");
+        assert_eq!(runs.len(), 1);
+        // wait_timeout leaves the device on the dispatch thread (it never
+        // drains); synchronize before inspecting it.
+        sess.synchronize();
+        assert_eq!(sess.fault_stats().stalls, 1);
+    }
+
+    #[test]
+    fn typed_submit_waits_report_dispatch_failures() {
+        let mut sess = Session::a100();
+        let (spec, x, w, y) = spec_with_operands(&mut sess);
+        sess.set_retry_policy(RetryPolicy::none());
+        sess.set_fault_plan(Some(FaultPlan::seeded(23).transient(1.0)));
+        let handle = sess.try_submit(&spec, x, w, y).expect("admission is clean");
+        let err = sess.try_wait(handle).unwrap_err();
+        assert!(err.is_transient(), "dispatched fault surfaces typed: {err}");
+        // Session heals: lift the plan, run clean.
+        sess.set_fault_plan(None);
+        sess.run(&spec, x, w, y);
+        assert_eq!(sess.pool_stats().leased, 0);
     }
 }

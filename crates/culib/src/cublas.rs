@@ -6,7 +6,7 @@
 //! is precisely the restriction TurboFNO removes.
 
 use tfno_cgemm::{BatchedCgemmKernel, BatchedOperand, GemmShape, TileConfig};
-use tfno_gpu_sim::{ExecMode, GpuDevice, LaunchRecord};
+use tfno_gpu_sim::{ExecMode, GpuDevice, LaunchError, LaunchRecord};
 use tfno_num::C32;
 
 /// Stateless cuBLAS-like entry point.
@@ -58,6 +58,24 @@ impl CuBlas {
     ) -> LaunchRecord {
         let k = Self::kernel(name, shape, a, b, c, alpha, beta);
         dev.launch(&k, mode)
+    }
+
+    /// [`CuBlas::cgemm_strided_batched`] through the device's typed fault
+    /// path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_cgemm_strided_batched(
+        dev: &mut GpuDevice,
+        name: &str,
+        shape: GemmShape,
+        a: BatchedOperand,
+        b: BatchedOperand,
+        c: BatchedOperand,
+        alpha: C32,
+        beta: C32,
+        mode: ExecMode,
+    ) -> Result<LaunchRecord, LaunchError> {
+        let k = Self::kernel(name, shape, a, b, c, alpha, beta);
+        dev.try_launch(&k, mode)
     }
 }
 

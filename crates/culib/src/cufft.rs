@@ -10,7 +10,7 @@ use tfno_fft::{
     BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
     StridedPencils,
 };
-use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, LaunchRecord};
+use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, LaunchError, LaunchRecord};
 
 /// L1/L2 hit rate of the library's spatial-order batched FFTs: consecutive
 /// thread blocks walk adjacent rows, so tile boundaries and twiddle tables
@@ -46,6 +46,29 @@ impl CuFft {
         dev.launch(&k, mode)
     }
 
+    /// [`CuFft::exec_rows`] through the device's typed fault path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_exec_rows(
+        dev: &mut GpuDevice,
+        name: &str,
+        n: usize,
+        rows: usize,
+        dir: FftDirection,
+        input: BufferId,
+        output: BufferId,
+        mode: ExecMode,
+    ) -> Result<LaunchRecord, LaunchError> {
+        let cfg = FftKernelConfig::new(FftBlockConfig::for_len(n)).with_l1_hit_rate(CUFFT_L1_HIT);
+        let plan = FftPlan::full(n, dir);
+        let addr = RowPencils {
+            count: rows,
+            in_row_len: n,
+            out_row_len: n,
+        };
+        let k = BatchedFftKernel::new(name, cfg, plan, addr, input, output);
+        dev.try_launch(&k, mode)
+    }
+
     /// Strided batched C2C (`cufftPlanMany`-style), full transform.
     #[allow(clippy::too_many_arguments)]
     pub fn exec_strided(
@@ -62,6 +85,24 @@ impl CuFft {
         let plan = FftPlan::full(n, dir);
         let k = BatchedFftKernel::new(name, cfg, plan, addressing, input, output);
         dev.launch(&k, mode)
+    }
+
+    /// [`CuFft::exec_strided`] through the device's typed fault path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_exec_strided(
+        dev: &mut GpuDevice,
+        name: &str,
+        n: usize,
+        addressing: StridedPencils,
+        dir: FftDirection,
+        input: BufferId,
+        output: BufferId,
+        mode: ExecMode,
+    ) -> Result<LaunchRecord, LaunchError> {
+        let cfg = FftKernelConfig::new(FftBlockConfig::for_len(n)).with_l1_hit_rate(CUFFT_L1_HIT);
+        let plan = FftPlan::full(n, dir);
+        let k = BatchedFftKernel::new(name, cfg, plan, addressing, input, output);
+        dev.try_launch(&k, mode)
     }
 }
 

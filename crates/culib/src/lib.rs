@@ -31,5 +31,5 @@ pub use cufft::{CuFft, CUFFT_L1_HIT};
 pub use problem::{FnoProblem1d, FnoProblem2d};
 pub use pytorch::{
     alloc_like, run_pytorch_1d, run_pytorch_1d_stacked, run_pytorch_2d, run_pytorch_2d_stacked,
-    PipelineRun,
+    try_alloc_like, try_run_pytorch_1d_stacked, try_run_pytorch_2d_stacked, PipelineRun,
 };

@@ -17,7 +17,7 @@ use crate::cufft::CuFft;
 use crate::problem::{FnoProblem1d, FnoProblem2d};
 use tfno_cgemm::{BatchedOperand, GemmShape, MatView, WeightStacking};
 use tfno_fft::{FftDirection, StridedPencils};
-use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, KernelStats, LaunchRecord};
+use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, KernelStats, LaunchError, LaunchRecord};
 
 /// The launches of one pipeline execution.
 #[derive(Clone, Debug, Default)]
@@ -53,6 +53,21 @@ pub fn alloc_like(dev: &mut GpuDevice, reference: BufferId, name: &str, len: usi
     }
 }
 
+/// [`alloc_like`] through the device's typed fault path (virtual buffers
+/// model analytics-only storage and are never faulted).
+pub fn try_alloc_like(
+    dev: &mut GpuDevice,
+    reference: BufferId,
+    name: &str,
+    len: usize,
+) -> Result<BufferId, LaunchError> {
+    if dev.memory.is_virtual(reference) {
+        Ok(dev.memory.alloc_virtual(name, len))
+    } else {
+        dev.try_alloc(name, len)
+    }
+}
+
 /// Run the 1D baseline pipeline: `y = iFFT(pad(W * trunc(FFT(x))))`.
 ///
 /// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]` row-major,
@@ -80,16 +95,33 @@ pub fn run_pytorch_1d_stacked(
     y: BufferId,
     mode: ExecMode,
 ) -> PipelineRun {
+    try_run_pytorch_1d_stacked(dev, p, x, w, ws, y, mode)
+        .unwrap_or_else(|e| panic!("pytorch 1d baseline failed: {e}"))
+}
+
+/// [`run_pytorch_1d_stacked`] through the device's typed fault path. A
+/// faulted stage aborts the rest of the sequence; completed stages only
+/// wrote scratch intermediates, so the caller's `y` is untouched unless
+/// every stage succeeded, and retrying the whole sequence is sound.
+pub fn try_run_pytorch_1d_stacked(
+    dev: &mut GpuDevice,
+    p: &FnoProblem1d,
+    x: BufferId,
+    w: BufferId,
+    ws: WeightStacking,
+    y: BufferId,
+    mode: ExecMode,
+) -> Result<PipelineRun, LaunchError> {
     let mut run = PipelineRun::default();
     let (b, ki, ko, n, nf) = (p.batch, p.k_in, p.k_out, p.n, p.nf);
 
-    let xf = alloc_like(dev, x, "pt.xf", b * ki * n);
-    let xf_t = alloc_like(dev, x, "pt.xf_t", b * ki * nf);
-    let yf_t = alloc_like(dev, x, "pt.yf_t", b * ko * nf);
-    let yf_pad = alloc_like(dev, x, "pt.yf_pad", b * ko * n);
+    let xf = try_alloc_like(dev, x, "pt.xf", b * ki * n)?;
+    let xf_t = try_alloc_like(dev, x, "pt.xf_t", b * ki * nf)?;
+    let yf_t = try_alloc_like(dev, x, "pt.yf_t", b * ko * nf)?;
+    let yf_pad = try_alloc_like(dev, x, "pt.yf_pad", b * ko * n)?;
 
     // 1. full forward FFT (cuFFT cannot truncate)
-    run.push(CuFft::exec_rows(
+    run.push(CuFft::try_exec_rows(
         dev,
         "pt.fft",
         n,
@@ -98,7 +130,7 @@ pub fn run_pytorch_1d_stacked(
         x,
         xf,
         mode,
-    ));
+    )?);
 
     // 2. truncation memcpy
     let trunc = StridedCopyKernel::new(
@@ -111,10 +143,10 @@ pub fn run_pytorch_1d_stacked(
         xf,
         xf_t,
     );
-    run.push(dev.launch(&trunc, mode));
+    run.push(dev.try_launch(&trunc, mode)?);
 
     // 3. batched CGEMM along the hidden dim
-    run.push(CuBlas::cgemm_strided_batched(
+    run.push(CuBlas::try_cgemm_strided_batched(
         dev,
         "pt.cgemm",
         GemmShape {
@@ -129,7 +161,7 @@ pub fn run_pytorch_1d_stacked(
         tfno_num::C32::ONE,
         tfno_num::C32::ZERO,
         mode,
-    ));
+    )?);
 
     // 4. zero-padding memcpy
     let pad = StridedCopyKernel::new(
@@ -142,10 +174,10 @@ pub fn run_pytorch_1d_stacked(
         yf_t,
         yf_pad,
     );
-    run.push(dev.launch(&pad, mode));
+    run.push(dev.try_launch(&pad, mode)?);
 
     // 5. full inverse FFT
-    run.push(CuFft::exec_rows(
+    run.push(CuFft::try_exec_rows(
         dev,
         "pt.ifft",
         n,
@@ -154,9 +186,9 @@ pub fn run_pytorch_1d_stacked(
         yf_pad,
         y,
         mode,
-    ));
+    )?);
 
-    run
+    Ok(run)
 }
 
 /// Run the 2D baseline pipeline (7 kernels).
@@ -185,19 +217,34 @@ pub fn run_pytorch_2d_stacked(
     y: BufferId,
     mode: ExecMode,
 ) -> PipelineRun {
+    try_run_pytorch_2d_stacked(dev, p, x, w, ws, y, mode)
+        .unwrap_or_else(|e| panic!("pytorch 2d baseline failed: {e}"))
+}
+
+/// [`run_pytorch_2d_stacked`] through the device's typed fault path (see
+/// [`try_run_pytorch_1d_stacked`] for the abort contract).
+pub fn try_run_pytorch_2d_stacked(
+    dev: &mut GpuDevice,
+    p: &FnoProblem2d,
+    x: BufferId,
+    w: BufferId,
+    ws: WeightStacking,
+    y: BufferId,
+    mode: ExecMode,
+) -> Result<PipelineRun, LaunchError> {
     let mut run = PipelineRun::default();
     let (b, ki, ko) = (p.batch, p.k_in, p.k_out);
     let (nx, ny, nfx, nfy) = (p.nx, p.ny, p.nfx, p.nfy);
 
-    let t1 = alloc_like(dev, x, "pt2.t1", b * ki * nx * ny);
-    let t2 = alloc_like(dev, x, "pt2.t2", b * ki * nx * ny);
-    let xf_t = alloc_like(dev, x, "pt2.xf_t", b * ki * nfx * nfy);
-    let yf_t = alloc_like(dev, x, "pt2.yf_t", b * ko * nfx * nfy);
-    let yf_pad = alloc_like(dev, x, "pt2.yf_pad", b * ko * nx * ny);
-    let t3 = alloc_like(dev, x, "pt2.t3", b * ko * nx * ny);
+    let t1 = try_alloc_like(dev, x, "pt2.t1", b * ki * nx * ny)?;
+    let t2 = try_alloc_like(dev, x, "pt2.t2", b * ki * nx * ny)?;
+    let xf_t = try_alloc_like(dev, x, "pt2.xf_t", b * ki * nfx * nfy)?;
+    let yf_t = try_alloc_like(dev, x, "pt2.yf_t", b * ko * nfx * nfy)?;
+    let yf_pad = try_alloc_like(dev, x, "pt2.yf_pad", b * ko * nx * ny)?;
+    let t3 = try_alloc_like(dev, x, "pt2.t3", b * ko * nx * ny)?;
 
     // 1. full FFT along y
-    run.push(CuFft::exec_rows(
+    run.push(CuFft::try_exec_rows(
         dev,
         "pt2.fft_y",
         ny,
@@ -206,10 +253,10 @@ pub fn run_pytorch_2d_stacked(
         x,
         t1,
         mode,
-    ));
+    )?);
 
     // 2. full FFT along x (strided pencils)
-    run.push(CuFft::exec_strided(
+    run.push(CuFft::try_exec_strided(
         dev,
         "pt2.fft_x",
         nx,
@@ -227,7 +274,7 @@ pub fn run_pytorch_2d_stacked(
         t1,
         t2,
         mode,
-    ));
+    )?);
 
     // 3. corner truncation memcpy
     let trunc = StridedCopyKernel::new(
@@ -242,11 +289,11 @@ pub fn run_pytorch_2d_stacked(
         t2,
         xf_t,
     );
-    run.push(dev.launch(&trunc, mode));
+    run.push(dev.try_launch(&trunc, mode)?);
 
     // 4. batched CGEMM along the hidden dim
     let m = nfx * nfy;
-    run.push(CuBlas::cgemm_strided_batched(
+    run.push(CuBlas::try_cgemm_strided_batched(
         dev,
         "pt2.cgemm",
         GemmShape {
@@ -261,7 +308,7 @@ pub fn run_pytorch_2d_stacked(
         tfno_num::C32::ONE,
         tfno_num::C32::ZERO,
         mode,
-    ));
+    )?);
 
     // 5. corner padding memcpy
     let pad = StridedCopyKernel::new(
@@ -276,10 +323,10 @@ pub fn run_pytorch_2d_stacked(
         yf_t,
         yf_pad,
     );
-    run.push(dev.launch(&pad, mode));
+    run.push(dev.try_launch(&pad, mode)?);
 
     // 6. full inverse FFT along x
-    run.push(CuFft::exec_strided(
+    run.push(CuFft::try_exec_strided(
         dev,
         "pt2.ifft_x",
         nx,
@@ -297,10 +344,10 @@ pub fn run_pytorch_2d_stacked(
         yf_pad,
         t3,
         mode,
-    ));
+    )?);
 
     // 7. full inverse FFT along y
-    run.push(CuFft::exec_rows(
+    run.push(CuFft::try_exec_rows(
         dev,
         "pt2.ifft_y",
         ny,
@@ -309,9 +356,9 @@ pub fn run_pytorch_2d_stacked(
         t3,
         y,
         mode,
-    ));
+    )?);
 
-    run
+    Ok(run)
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ use crate::spectral::{SpectralConv1d, SpectralConv2d};
 use rand::Rng;
 use tfno_culib::PipelineRun;
 use tfno_num::{C32, CTensor};
-use turbofno::{LayerSpec, Request, Session, TurboOptions, Variant};
+use turbofno::{LayerSpec, Request, Session, TfnoError, TurboOptions, Variant};
 
 /// GELU (tanh approximation), applied to both complex lanes.
 pub fn gelu(v: f32) -> f32 {
@@ -277,6 +277,23 @@ impl FnoLayer1d {
         (add_gelu(&s, &p), run)
     }
 
+    /// Typed twin of [`FnoLayer1d::forward_device`] — the same overlapped
+    /// schedule, with dispatched failures surfacing as [`TfnoError`]
+    /// (operand leases released by
+    /// [`PendingSpectral::try_finish`](crate::PendingSpectral::try_finish)).
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        let pending = self.spectral.submit_device(sess, variant, opts, x);
+        let p = pointwise(x, &self.bypass);
+        let (s, run) = pending.try_finish(sess)?;
+        Ok((add_gelu(&s, &p), run))
+    }
+
     /// The strictly sequential schedule: spectral conv to completion, then
     /// the pointwise bypass. Retained as the equality reference and the
     /// baseline of the `pipeline-overlap` throughput scenario.
@@ -357,6 +374,28 @@ impl Fno1d {
             }
         }
         (pointwise(&h, &self.proj), total)
+    }
+
+    /// Typed twin of [`Fno1d::forward_device`]: the layer sweep stops at
+    /// the first unrecoverable failure and reports it; the session stays
+    /// usable (no leases held, no in-flight work).
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        let mut h = pointwise(x, &self.lift);
+        let mut total = PipelineRun::default();
+        for layer in &self.layers {
+            let (next, run) = layer.try_forward_device(sess, variant, opts, &h)?;
+            h = next;
+            for l in run.launches {
+                total.push(l);
+            }
+        }
+        Ok((pointwise(&h, &self.proj), total))
     }
 
     /// Device forward on the strictly sequential per-layer schedule (the
@@ -484,6 +523,21 @@ impl FnoLayer2d {
         (add_gelu(&s, &p), run)
     }
 
+    /// Typed twin of [`FnoLayer2d::forward_device`] (see
+    /// [`FnoLayer1d::try_forward_device`]).
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        let pending = self.spectral.submit_device(sess, variant, opts, x);
+        let p = pointwise(x, &self.bypass);
+        let (s, run) = pending.try_finish(sess)?;
+        Ok((add_gelu(&s, &p), run))
+    }
+
     /// The strictly sequential schedule (equality reference).
     pub fn forward_device_sync(
         &self,
@@ -563,6 +617,27 @@ impl Fno2d {
             }
         }
         (pointwise(&h, &self.proj), total)
+    }
+
+    /// Typed twin of [`Fno2d::forward_device`] (see
+    /// [`Fno1d::try_forward_device`]).
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        let mut h = pointwise(x, &self.lift);
+        let mut total = PipelineRun::default();
+        for layer in &self.layers {
+            let (next, run) = layer.try_forward_device(sess, variant, opts, &h)?;
+            h = next;
+            for l in run.launches {
+                total.push(l);
+            }
+        }
+        Ok((pointwise(&h, &self.proj), total))
     }
 
     /// Device forward on the strictly sequential per-layer schedule

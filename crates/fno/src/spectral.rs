@@ -18,7 +18,7 @@ use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
 use tfno_fft::host;
 use tfno_gpu_sim::BufferId;
 use tfno_num::{C32, CTensor};
-use turbofno::{LaunchHandle, LayerSpec, Session, TurboOptions, Variant};
+use turbofno::{LaunchHandle, LayerSpec, Session, TfnoError, TurboOptions, Variant};
 
 /// A spectral convolution in flight on the session's dispatch thread
 /// (issued by [`SpectralConv1d::submit_device`] /
@@ -68,6 +68,20 @@ impl PendingSpectral {
         sess.release(self.w);
         sess.release(self.y);
         (y, run)
+    }
+
+    /// Typed twin of [`PendingSpectral::finish`]: a dispatched failure
+    /// comes back as a [`TfnoError`] with the operand leases released
+    /// either way — a faulted flight leaks nothing.
+    pub fn try_finish(self, sess: &mut Session) -> Result<(CTensor, PipelineRun), TfnoError> {
+        let out = sess.try_wait(self.handle).map(|run| {
+            let y = CTensor::from_vec(sess.download(self.y), &self.out_shape);
+            (y, run)
+        });
+        sess.release(self.x);
+        sess.release(self.w);
+        sess.release(self.y);
+        out
     }
 }
 
@@ -187,6 +201,37 @@ impl SpectralConv1d {
         sess.release(wb);
         sess.release(yb);
         (y, run)
+    }
+
+    /// Typed twin of [`SpectralConv1d::forward_device`]: engine failures
+    /// (after the session's retry/degradation ladder) surface as
+    /// [`TfnoError`] with all operand leases released.
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        let (batch, _, _) = match *x.shape() {
+            [b, k, n] => (b, k, n),
+            _ => panic!("expected rank-3 input"),
+        };
+        let p = self.problem(batch);
+        let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);
+        let xb = sess.acquire(p.input_len());
+        let wb = sess.acquire(p.weight_len());
+        let yb = sess.acquire(p.output_len());
+        sess.upload(xb, x.data());
+        sess.upload(wb, self.weight.data());
+        let out = sess.try_run(&spec, xb, wb, yb).map(|run| {
+            let y = CTensor::from_vec(sess.download(yb), &[batch, self.k_out, self.n]);
+            (y, run)
+        });
+        sess.release(xb);
+        sess.release(wb);
+        sess.release(yb);
+        out
     }
 
     /// Asynchronous [`SpectralConv1d::forward_device`]: uploads the
@@ -389,6 +434,33 @@ impl SpectralConv2d {
         sess.release(wb);
         sess.release(yb);
         (y, run)
+    }
+
+    /// Typed twin of [`SpectralConv2d::forward_device`] (see
+    /// [`SpectralConv1d::try_forward_device`]).
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        let batch = x.shape()[0];
+        let p = self.problem(batch);
+        let spec = LayerSpec::from_problem_2d(&p).variant(variant).options(*opts);
+        let xb = sess.acquire(p.input_len());
+        let wb = sess.acquire(p.weight_len());
+        let yb = sess.acquire(p.output_len());
+        sess.upload(xb, x.data());
+        sess.upload(wb, self.weight.data());
+        let out = sess.try_run(&spec, xb, wb, yb).map(|run| {
+            let y = CTensor::from_vec(sess.download(yb), &[batch, self.k_out, self.nx, self.ny]);
+            (y, run)
+        });
+        sess.release(xb);
+        sess.release(wb);
+        sess.release(yb);
+        out
     }
 
     /// Asynchronous [`SpectralConv2d::forward_device`] (see

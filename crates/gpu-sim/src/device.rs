@@ -135,6 +135,9 @@ impl DeviceConfig {
             .checked_div(shared_bytes)
             .map_or(u32::MAX, |b| b as u32);
         let regs_per_block = regs_per_thread.max(1) * threads_per_block;
+        // INVARIANT: regs_per_block > 0 (both factors are clamped/asserted
+        // above), so checked_div is Some; the unwrap_or arm only documents
+        // "no register limit" and is unreachable for user inputs.
         let by_regs = self
             .regs_per_sm
             .checked_div(regs_per_block)

@@ -33,6 +33,7 @@
 use crate::cost::CostModel;
 use crate::device::DeviceConfig;
 use crate::exec::{self, PendingLaunch};
+use crate::fault::{FaultKind, FaultPlan, FaultState, FaultStats, LaunchError};
 use crate::journal::{self, WriteJournal};
 use crate::memo;
 use crate::memory::{BufferId, GlobalMemory};
@@ -334,6 +335,9 @@ pub struct GpuDevice {
     /// Explicit worker-count override; `None` follows the
     /// `TFNO_THREADS`-aware default policy in [`crate::exec`].
     workers: Option<usize>,
+    /// Installed fault-injection schedule (see [`crate::fault`]); `None`
+    /// keeps every launch/alloc on the infallible fast path.
+    faults: Option<FaultState>,
 }
 
 impl GpuDevice {
@@ -349,6 +353,7 @@ impl GpuDevice {
             analytical_memo: true,
             legacy_executor: false,
             workers: None,
+            faults: None,
         }
     }
 
@@ -396,8 +401,49 @@ impl GpuDevice {
         }
     }
 
+    /// Install a fault-injection schedule (see [`crate::fault`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(Some(plan));
+        self
+    }
+
+    /// Install or clear the fault-injection schedule. Installing a plan
+    /// resets its event cursors and [`FaultStats`].
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.map(FaultState::new);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Injection counters of the installed plan (all-zero when none is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
+
     pub fn alloc(&mut self, name: &str, len: usize) -> BufferId {
-        self.memory.alloc(name, len)
+        self.try_alloc(name, len).unwrap_or_else(|e| {
+            panic!("injected device fault unhandled by this call path: {e}; use GpuDevice::try_alloc")
+        })
+    }
+
+    /// [`GpuDevice::alloc`] with a typed error path: when the installed
+    /// [`FaultPlan`] fails this allocation event, returns
+    /// [`LaunchError::Oom`] instead of allocating.
+    pub fn try_alloc(&mut self, name: &str, len: usize) -> Result<BufferId, LaunchError> {
+        if let Some(f) = &self.faults {
+            if let Some(idx) = f.next_alloc() {
+                return Err(LaunchError::Oom {
+                    name: name.to_string(),
+                    requested: len,
+                    alloc_index: idx,
+                });
+            }
+        }
+        Ok(self.memory.alloc(name, len))
     }
 
     pub fn upload(&mut self, id: BufferId, data: &[C32]) {
@@ -433,9 +479,24 @@ impl GpuDevice {
     /// legacy executor applies its writes inline, so its launches flow
     /// through `complete` with an empty journal set.
     pub fn launch(&mut self, kernel: &dyn Kernel, mode: ExecMode) -> LaunchRecord {
+        self.try_launch(kernel, mode).unwrap_or_else(|e| {
+            panic!("injected device fault unhandled by this call path: {e}; use GpuDevice::try_launch")
+        })
+    }
+
+    /// [`GpuDevice::launch`] with a typed error path: a fault injected by
+    /// the installed [`FaultPlan`] returns a [`LaunchError`] instead of
+    /// unwinding. A failed launch is clean — no writes applied, nothing in
+    /// the history — so retrying it is always sound.
+    pub fn try_launch(
+        &mut self,
+        kernel: &dyn Kernel,
+        mode: ExecMode,
+    ) -> Result<LaunchRecord, LaunchError> {
         let pending = if self.legacy_executor && mode == ExecMode::Functional {
             let dims = kernel.dims();
             assert!(dims.grid_blocks > 0, "empty grid for kernel {}", kernel.name());
+            self.check_launch_fault(kernel, mode)?;
             let stats = self.run_functional_legacy(kernel, dims);
             PendingLaunch {
                 name: kernel.name(),
@@ -445,9 +506,9 @@ impl GpuDevice {
                 workers: 1,
             }
         } else {
-            self.launch_deferred(kernel, mode)
+            self.try_launch_deferred(kernel, mode)?
         };
-        self.complete(pending)
+        Ok(self.complete(pending))
     }
 
     /// Issue a launch without applying its writes — the asynchronous half
@@ -464,6 +525,21 @@ impl GpuDevice {
     /// runs the journaled work-stealing engine. Analytical issue produces
     /// no journals and works on any device configuration.
     pub fn launch_deferred(&self, kernel: &dyn Kernel, mode: ExecMode) -> PendingLaunch {
+        self.try_launch_deferred(kernel, mode).unwrap_or_else(|e| {
+            panic!(
+                "injected device fault unhandled by this call path: {e}; \
+                 use GpuDevice::try_launch_deferred"
+            )
+        })
+    }
+
+    /// [`GpuDevice::launch_deferred`] with a typed error path (see
+    /// [`GpuDevice::try_launch`]).
+    pub fn try_launch_deferred(
+        &self,
+        kernel: &dyn Kernel,
+        mode: ExecMode,
+    ) -> Result<PendingLaunch, LaunchError> {
         assert!(
             !(self.legacy_executor && mode == ExecMode::Functional),
             "deferred functional launches require the journaled executor \
@@ -471,16 +547,49 @@ impl GpuDevice {
         );
         let dims = kernel.dims();
         assert!(dims.grid_blocks > 0, "empty grid for kernel {}", kernel.name());
+        self.check_launch_fault(kernel, mode)?;
         let (stats, journals, workers) = match mode {
             ExecMode::Analytical => (self.run_analytical(kernel, dims), Vec::new(), 1),
             ExecMode::Functional => self.run_blocks(kernel, dims),
         };
-        PendingLaunch {
+        Ok(PendingLaunch {
             name: kernel.name(),
             dims,
             stats,
             journals,
             workers,
+        })
+    }
+
+    /// Roll the installed fault plan for one functional launch. A drawn
+    /// stall blocks the caller and then lets the launch proceed; the
+    /// failure kinds abort it before any block runs (a worker panic is
+    /// modeled at its observable boundary — the launch discarded whole, as
+    /// if every journal died with the worker — so no thread actually
+    /// unwinds and chaos soaks stay quiet). Analytical launches model
+    /// host-side cost math, not device work, and are never faulted.
+    fn check_launch_fault(&self, kernel: &dyn Kernel, mode: ExecMode) -> Result<(), LaunchError> {
+        if mode != ExecMode::Functional {
+            return Ok(());
+        }
+        let Some(f) = &self.faults else {
+            return Ok(());
+        };
+        match f.next_launch() {
+            None => Ok(()),
+            Some((_, FaultKind::Stall)) => {
+                std::thread::sleep(std::time::Duration::from_micros(f.stall_us()));
+                Ok(())
+            }
+            Some((launch_index, FaultKind::TransientLaunch)) => Err(LaunchError::Transient {
+                kernel: kernel.name(),
+                launch_index,
+            }),
+            Some((launch_index, FaultKind::WorkerPanic)) => Err(LaunchError::WorkerPanic {
+                kernel: kernel.name(),
+                launch_index,
+            }),
+            Some((_, FaultKind::Alloc)) => unreachable!("at_launch rejects FaultKind::Alloc"),
         }
     }
 
@@ -597,6 +706,12 @@ impl GpuDevice {
                 let mut total = KernelStats::ZERO;
                 let mut journals = Vec::with_capacity(workers);
                 for h in handles {
+                    // Invariant: workers run user kernels, whose documented
+                    // failure modes (validation asserts) fire on the host
+                    // side of the launch, not inside `run_block`; a worker
+                    // panic here is a kernel bug, so re-raising is correct.
+                    // Injected worker-panic faults never reach this point —
+                    // they abort the launch at issue (see `crate::fault`).
                     let (stats, journal) = h.join().expect("block worker panicked");
                     total += stats;
                     journals.push(journal);
@@ -1061,5 +1176,107 @@ mod tests {
         };
         let t_big = dev.launch(&big, ExecMode::Analytical).time_us;
         assert!(t_big > t_small);
+    }
+
+    use crate::fault::{FaultKind, FaultPlan, LaunchError};
+
+    /// A faulted launch must be invisible: no writes, no history entry,
+    /// and the immediate retry (next launch index) produces the exact
+    /// result an unfaulted device would.
+    #[test]
+    fn transient_fault_leaves_device_clean_and_retry_is_bitwise() {
+        let (mut dev, src, dst) = setup(4);
+        dev.set_fault_plan(Some(
+            FaultPlan::seeded(11).at_launch(0, FaultKind::TransientLaunch),
+        ));
+        let k = ScaleKernel { src, dst, blocks: 4 };
+        let err = dev.try_launch(&k, ExecMode::Functional).unwrap_err();
+        assert!(matches!(err, LaunchError::Transient { launch_index: 0, .. }));
+        assert!(dev.launches().is_empty(), "failed launch left history");
+        assert_eq!(dev.download(dst)[3], C32::ZERO, "failed launch wrote memory");
+
+        let rec = dev.try_launch(&k, ExecMode::Functional).expect("retry succeeds");
+        assert_eq!(rec.stats, expected_stats(4));
+        let (mut clean, csrc, cdst) = setup(4);
+        clean.launch(&ScaleKernel { src: csrc, dst: cdst, blocks: 4 }, ExecMode::Functional);
+        assert_eq!(dev.download(dst), clean.download(cdst), "retry is bitwise-equal");
+        let st = dev.fault_stats();
+        assert_eq!((st.launches_checked, st.transient), (2, 1));
+    }
+
+    #[test]
+    fn worker_panic_fault_discards_the_whole_launch() {
+        let (mut dev, src, dst) = setup(64);
+        dev.set_fault_plan(Some(FaultPlan::seeded(3).at_launch(0, FaultKind::WorkerPanic)));
+        let k = ScaleKernel { src, dst, blocks: 64 };
+        let err = dev.try_launch(&k, ExecMode::Functional).unwrap_err();
+        assert!(matches!(err, LaunchError::WorkerPanic { .. }));
+        assert!(dev.launches().is_empty());
+        assert_eq!(dev.download(dst)[63], C32::ZERO);
+        assert_eq!(dev.fault_stats().worker_panics, 1);
+        dev.try_launch(&k, ExecMode::Functional).expect("retry succeeds");
+        assert_eq!(dev.download(dst)[63], C32::real(126.0));
+    }
+
+    #[test]
+    fn stall_fault_delays_but_succeeds() {
+        let (mut dev, src, dst) = setup(2);
+        dev.set_fault_plan(Some(
+            FaultPlan::seeded(0).at_launch(0, FaultKind::Stall).stall_us(100),
+        ));
+        let k = ScaleKernel { src, dst, blocks: 2 };
+        let rec = dev.try_launch(&k, ExecMode::Functional).expect("stall still succeeds");
+        assert_eq!(rec.stats, expected_stats(2));
+        let st = dev.fault_stats();
+        assert_eq!((st.stalls, st.injected()), (1, 0));
+    }
+
+    #[test]
+    fn oom_fault_fails_alloc_then_recovers() {
+        let mut dev = GpuDevice::a100().with_faults(FaultPlan::seeded(9).at_alloc(0));
+        let err = dev.try_alloc("victim", 128).unwrap_err();
+        assert!(matches!(err, LaunchError::Oom { requested: 128, alloc_index: 0, .. }));
+        let id = dev.try_alloc("survivor", 128).expect("next alloc succeeds");
+        assert_eq!(dev.download(id).len(), 128);
+        assert_eq!(dev.fault_stats().oom, 1);
+    }
+
+    /// Analytical launches model cost math, not device work: never faulted.
+    #[test]
+    fn analytical_launches_are_never_faulted() {
+        let (mut dev, src, dst) = setup(4);
+        dev.set_fault_plan(Some(FaultPlan::seeded(1).transient(1.0)));
+        let k = ScaleKernel { src, dst, blocks: 4 };
+        dev.try_launch(&k, ExecMode::Analytical).expect("analytical is exempt");
+        assert_eq!(dev.fault_stats().launches_checked, 0);
+    }
+
+    /// The legacy panicking wrapper converts an injected fault into a
+    /// clearly attributed panic pointing at the typed API.
+    #[test]
+    #[should_panic(expected = "injected device fault")]
+    fn panicking_launch_names_the_typed_api() {
+        let (mut dev, src, dst) = setup(2);
+        dev.set_fault_plan(Some(
+            FaultPlan::seeded(2).at_launch(0, FaultKind::TransientLaunch),
+        ));
+        let k = ScaleKernel { src, dst, blocks: 2 };
+        let _ = dev.launch(&k, ExecMode::Functional);
+    }
+
+    /// Probability schedules resolve per launch index, so they replay
+    /// identically on a device with a freshly reinstalled identical plan.
+    #[test]
+    fn probability_schedule_is_reproducible() {
+        let run = |seed: u64| -> Vec<bool> {
+            let (mut dev, src, dst) = setup(2);
+            dev.set_fault_plan(Some(FaultPlan::seeded(seed).transient(0.4)));
+            let k = ScaleKernel { src, dst, blocks: 2 };
+            (0..32)
+                .map(|_| dev.try_launch(&k, ExecMode::Functional).is_err())
+                .collect()
+        };
+        assert_eq!(run(77), run(77));
+        assert_ne!(run(77), run(78));
     }
 }

@@ -32,6 +32,7 @@
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod journal;
 pub mod kernel;
 pub mod memo;
@@ -47,6 +48,7 @@ pub use exec::{
     configured_workers, lock_unpoisoned, wait_unpoisoned, workers_for, LaunchQueue,
     PendingLaunch, PAR_BLOCK_THRESHOLD,
 };
+pub use fault::{FaultKind, FaultPlan, FaultStats, LaunchError};
 pub use journal::WriteJournal;
 pub use kernel::{BlockCtx, ExecMode, GpuDevice, Kernel, LaunchDims, LaunchRecord};
 pub use memo::{

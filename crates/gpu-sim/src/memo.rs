@@ -246,6 +246,32 @@ mod tests {
         assert!(stats.entries >= 1);
     }
 
+    /// Same regression as above for the PR 6 sequence memo: a caught
+    /// panic that poisons `SEQ_TABLE` must not wedge `seq_lookup` /
+    /// `seq_insert` / `seq_memo_stats`.
+    #[test]
+    fn caught_panic_while_holding_the_seq_table_lock_does_not_wedge_the_memo() {
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = seq_table().lock().unwrap_or_else(|e| e.into_inner());
+                panic!("unwind while holding the seq table lock");
+            })
+            .join()
+        });
+        let key = structural_fingerprint("seq-memo-poison-key", |h| 4usize.hash(h));
+        assert!(seq_lookup(key).is_none());
+        let rec = vec![LaunchRecord {
+            name: "post-poison".into(),
+            dims_grid: 1,
+            stats: KernelStats::ZERO,
+            time_us: 0.5,
+        }];
+        seq_insert(key, rec);
+        let got = seq_lookup(key).expect("seq memo must keep serving after a caught panic");
+        assert_eq!(got[0].name, "post-poison");
+        assert!(seq_memo_stats().entries >= 1);
+    }
+
     #[test]
     fn seq_memo_round_trips_sequences() {
         let key = structural_fingerprint("seq-memo-test", |h| 3usize.hash(h));

@@ -11,6 +11,11 @@ pub use turbofno as core;
 // The execution surface, re-exported flat: `turbofno_suite::Session` is
 // the canonical way to run layers and models.
 pub use turbofno::{
-    BufferPool, DispatchStats, LayerSpec, PoolStats, ReplayStats, Request, Session, TurboOptions,
-    Variant,
+    BufferPool, DispatchStats, LayerSpec, PoolStats, RecoveryStats, ReplayStats, Request,
+    RetryPolicy, Session, TfnoError, TurboOptions, Variant,
 };
+
+// The fault-injection surface (see `tfno_gpu_sim::fault`): install a
+// seeded `FaultPlan` with `Session::set_fault_plan` to chaos-test against
+// deterministic launch/allocation failures.
+pub use tfno_gpu_sim::{FaultKind, FaultPlan, FaultStats, LaunchError};
