@@ -37,6 +37,12 @@
 //! device's `FaultPlan`): an armed zero-probability plan must stay
 //! within ~1% of the unarmed production path.
 //!
+//! The `verify-overhead` scenario pins the cost of the static launch-plan
+//! verifier (see `turbofno::verify`) the same way: verification forced on
+//! vs forced off, both on the steady-state forward. Warm forwards replay
+//! tapes that were proven at freeze time, so the verified steady state
+//! must hold throughput parity with verification off.
+//!
 //! `--check-floors` turns the emitted speedups into a regression gate:
 //! the process exits nonzero when any pinned floor is broken, so CI's
 //! smoke run fails loudly instead of uploading a quietly regressed JSON.
@@ -48,7 +54,7 @@ use tfno_gpu_sim::{set_launch_memo_enabled, FaultPlan, GpuDevice};
 use tfno_model::{gelu, pointwise_naive, Fno1d, Fno2d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
-use turbofno::{LayerSpec, Planner, Request, Session, TurboOptions, Variant};
+use turbofno::{set_verify_override, LayerSpec, Planner, Request, Session, TurboOptions, Variant};
 
 struct Case {
     dim: &'static str,
@@ -148,6 +154,11 @@ const FLOOR_SPEEDUP_REPLAY_WARM: f64 = 1.3;
 /// zero-probability fault plan must not cost more than ~1% of throughput
 /// against the unarmed (production) hook path.
 const FLOOR_FAULT_OVERHEAD: f64 = 0.99;
+/// `verify_overhead` is the same kind of parity floor: the steady-state
+/// forward with plan verification forced on must not cost more than ~1%
+/// against verification forced off (warm forwards replay freeze-time
+/// proven tapes, so the verifier is off the hot path by construction).
+const FLOOR_VERIFY_OVERHEAD: f64 = 0.99;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -413,6 +424,29 @@ fn main() {
     });
     turbo_sess.set_fault_plan(None);
 
+    // ---------------------------------------------- verifier overhead ----
+    // The launch-plan verifier proves every cold launch hazard-free before
+    // it issues; warm forwards replay tapes that were already proven when
+    // they froze, so the steady state pays only the enablement check. Both
+    // arms run the warm 1D forward: "off" forces verification off, "on"
+    // forces it on (override > TFNO_VERIFY > build profile).
+    set_verify_override(Some(true));
+    let (y_verified, _) = model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    assert_eq!(
+        y_verified.data(),
+        y1_turbo.data(),
+        "verify-overhead: verification must not perturb the forward"
+    );
+    set_verify_override(Some(false));
+    run_case("verify-overhead", &shape1, "off", &mut || {
+        model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    });
+    set_verify_override(Some(true));
+    run_case("verify-overhead", &shape1, "on", &mut || {
+        model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    });
+    set_verify_override(None);
+
     let (pool, plans) = (turbo_sess.pool_stats(), turbo_sess.planner_stats());
     println!(
         "session state after the run: pool {} hits / {} misses, planner {} hits / {} misses",
@@ -443,11 +477,13 @@ fn main() {
         fps_of("pipeline-overlap", "async") / fps_of("pipeline-overlap", "sync");
     let speedup_replay = fps_of("replay-warm", "warm-replay") / fps_of("replay-warm", "cold-session");
     let fault_overhead = fps_of("fault-overhead", "armed-zero") / fps_of("fault-overhead", "unarmed");
+    let verify_overhead = fps_of("verify-overhead", "on") / fps_of("verify-overhead", "off");
     println!("speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x");
     println!("mixed-weight serving: stacked vs per-weight queues {speedup_serve:.2}x");
     println!("pipeline overlap: async dispatch vs synchronous session path {speedup_overlap:.2}x");
     println!("warm-path replay: steady-state session vs cold session {speedup_replay:.2}x");
     println!("fault hooks: armed-zero plan vs unarmed session {fault_overhead:.3}x");
+    println!("plan verifier: verification on vs off, steady state {verify_overhead:.3}x");
 
     // --------------------------------------------------------- JSON ----
     let mut json = String::from("{\n");
@@ -473,7 +509,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4},\n  \"fault_overhead\": {fault_overhead:.4}\n}}\n"
+        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4},\n  \"fault_overhead\": {fault_overhead:.4},\n  \"verify_overhead\": {verify_overhead:.4}\n}}\n"
     ));
 
     // Default to the workspace root (cargo runs benches with the package
@@ -492,6 +528,7 @@ fn main() {
             ("speedup_pipeline_overlap", speedup_overlap, FLOOR_SPEEDUP_PIPELINE_OVERLAP),
             ("speedup_replay_warm", speedup_replay, FLOOR_SPEEDUP_REPLAY_WARM),
             ("fault_overhead", fault_overhead, FLOOR_FAULT_OVERHEAD),
+            ("verify_overhead", verify_overhead, FLOOR_VERIFY_OVERHEAD),
         ];
         let mut broken = false;
         for (name, got, floor) in floors {

@@ -8,9 +8,9 @@
 
 use crate::engine::{store_c_global, AProvider, BOperand, CgemmBlockEngine, MainloopTraceCache};
 use crate::tile::TileConfig;
-use crate::view::MatView;
+use crate::view::{view_spans, MatView};
 use std::hash::Hash;
-use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims};
+use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, KernelAccess, LaunchDims};
 use tfno_num::{C32, C32_BYTES};
 
 /// Problem shape for one launch.
@@ -224,6 +224,35 @@ impl Kernel for BatchedCgemmKernel {
             self.alpha,
             self.beta,
         );
+    }
+
+    fn access(&self) -> Option<KernelAccess> {
+        let mut acc = KernelAccess::new();
+        for block_id in 0..self.grid() {
+            let (b, mt, nt) = self.decode(block_id);
+            let (m0, n0) = (mt * self.tile.m_tb, nt * self.tile.n_tb);
+            let active_m = self.tile.m_tb.min(self.shape.m - m0);
+            let active_n = self.tile.n_tb.min(self.shape.n - n0);
+            let a_view = self.a.at_batch(b).tile(m0, 0);
+            let b_view = self.b.at_batch(b).tile(0, n0);
+            let c_view = self.c.at_batch(b).tile(m0, n0);
+            for s in view_spans(self.a.buf, &a_view, active_m, self.shape.k) {
+                acc.read(s);
+            }
+            for s in view_spans(self.b.buf, &b_view, self.shape.k, active_n) {
+                acc.read(s);
+            }
+            // The epilogue only loads C when beta contributes to the result.
+            if self.beta != C32::ZERO {
+                for s in view_spans(self.c.buf, &c_view, active_m, active_n) {
+                    acc.read(s);
+                }
+            }
+            for s in view_spans(self.c.buf, &c_view, active_m, active_n) {
+                acc.write(block_id, s);
+            }
+        }
+        Some(acc)
     }
 
     fn fingerprint(&self) -> Option<u64> {
@@ -605,6 +634,69 @@ mod tests {
                     a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
                     "element {i} differs: {a:?} vs {b:?}"
                 );
+            }
+        }
+    }
+
+    /// The declared access set must cover exactly the elements `run_block`
+    /// touches: every C element written once, partitioned disjointly across
+    /// blocks, A/B read sets matching the operand footprints, and the C
+    /// read set present only when `beta != 0`.
+    #[test]
+    fn declared_access_matches_footprint() {
+        use std::collections::HashSet;
+        for (batch, m, n, k, beta) in [
+            (1usize, 64usize, 64usize, 32usize, C32::ZERO),
+            (2, 45, 37, 13, C32::new(-1.0, 0.5)),
+        ] {
+            let mut dev = GpuDevice::a100();
+            let a_buf = dev.alloc("A", batch * m * k);
+            let b_buf = dev.alloc("B", k * n);
+            let c_buf = dev.alloc("C", batch * m * n);
+            let kernel = BatchedCgemmKernel::new(
+                "cgemm",
+                TileConfig::table1(),
+                GemmShape { batch, m, n, k },
+                BatchedOperand::strided(a_buf, MatView::row_major(0, k), m * k),
+                BatchedOperand::shared(b_buf, MatView::row_major(0, n)),
+                BatchedOperand::strided(c_buf, MatView::row_major(0, n), m * n),
+                C32::ONE,
+                beta,
+            );
+            let acc = kernel.access().expect("cgemm declares access");
+            assert_eq!(acc.block_writes.len(), kernel.dims().grid_blocks);
+
+            // Writes: exactly C, each element exactly once across blocks.
+            let mut written = HashSet::new();
+            for (_, spans) in &acc.block_writes {
+                for span in spans {
+                    assert_eq!(span.buf, c_buf);
+                    for (lo, hi) in span.runs() {
+                        for e in lo..hi {
+                            assert!(written.insert(e), "element {e} written twice");
+                        }
+                    }
+                }
+            }
+            assert_eq!(written.len(), batch * m * n);
+
+            // Reads: full A and B footprints; C only under a beta epilogue.
+            let mut read: HashSet<(tfno_gpu_sim::BufferId, usize)> = HashSet::new();
+            for span in &acc.reads {
+                for (lo, hi) in span.runs() {
+                    read.extend((lo..hi).map(|e| (span.buf, e)));
+                }
+            }
+            assert_eq!(
+                read.iter().filter(|(b, _)| *b == a_buf).count(),
+                batch * m * k
+            );
+            assert_eq!(read.iter().filter(|(b, _)| *b == b_buf).count(), k * n);
+            let c_reads = read.iter().filter(|(b, _)| *b == c_buf).count();
+            if beta == C32::ZERO {
+                assert_eq!(c_reads, 0);
+            } else {
+                assert_eq!(c_reads, batch * m * n);
             }
         }
     }

@@ -29,4 +29,4 @@ pub use engine::{
 pub use tuner::{candidate_tiles, evaluate_tile, tune, verify_tile, TunedTile};
 pub use kernel::{BatchedCgemmKernel, BatchedOperand, GemmShape};
 pub use tile::TileConfig;
-pub use view::{MatView, WeightStacking};
+pub use view::{view_spans, MatView, WeightStacking};

@@ -8,6 +8,8 @@
 //! advances across stacked sub-batches — the cuBLAS-strided-batched
 //! mechanism mixed-weight serving stacks ride on.
 
+use tfno_gpu_sim::{AccessSpan, BufferId};
+
 /// Affine 2D view: element of `(row, col)` is
 /// `base + row * row_stride + col * col_stride`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -48,6 +50,30 @@ impl MatView {
             row_stride: self.row_stride,
             col_stride: self.col_stride,
         }
+    }
+}
+
+/// Exact [`AccessSpan`]s covering the `rows x cols` tile of `view` in
+/// `buf` — the element set `{ view.at(r, c) | r < rows, c < cols }`.
+///
+/// A unit-stride axis collapses the tile into one strided span (one run
+/// per element of the other axis); a view with two non-unit strides falls
+/// back to one span per row. Used by the kernels' declared access sets, so
+/// the cover must be exact — see `tfno_gpu_sim::access`.
+pub fn view_spans(buf: BufferId, view: &MatView, rows: usize, cols: usize) -> Vec<AccessSpan> {
+    if rows == 0 || cols == 0 {
+        return Vec::new();
+    }
+    if view.col_stride == 1 {
+        vec![AccessSpan::strided(buf, view.base, cols, view.row_stride, rows)]
+    } else if view.row_stride == 1 {
+        vec![AccessSpan::strided(buf, view.base, rows, view.col_stride, cols)]
+    } else {
+        (0..rows)
+            .map(|r| {
+                AccessSpan::strided(buf, view.base + r * view.row_stride, 1, view.col_stride, cols)
+            })
+            .collect()
     }
 }
 

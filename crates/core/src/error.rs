@@ -80,9 +80,17 @@ impl std::error::Error for TfnoError {}
 
 impl From<LaunchError> for TfnoError {
     fn from(fault: LaunchError) -> Self {
-        // Every LaunchError is clean by contract (no writes, no history),
-        // so the whole surface maps to the retryable class.
-        TfnoError::Transient { fault, attempts: 1 }
+        match fault {
+            // A plan rejection is a property of the request, not of the
+            // device: retrying the identical plan re-fails identically, so
+            // it surfaces as (non-retryable) validation.
+            LaunchError::PlanRejected { kernel, reason } => TfnoError::Validation(format!(
+                "plan verifier rejected kernel '{kernel}': {reason}"
+            )),
+            // Every other LaunchError is clean by contract (no writes, no
+            // history), so it maps to the retryable class.
+            fault => TfnoError::Transient { fault, attempts: 1 },
+        }
     }
 }
 

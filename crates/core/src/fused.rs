@@ -22,10 +22,14 @@
 use crate::swizzle::{EpilogueStaging, ForwardLayout};
 use std::hash::Hash;
 use tfno_cgemm::{
-    AProvider, BOperand, CFragments, CgemmBlockEngine, MatView, TileConfig, WeightStacking,
+    view_spans, AProvider, BOperand, CFragments, CgemmBlockEngine, MatView, TileConfig,
+    WeightStacking,
 };
 use tfno_fft::{FftBlockEngine, FftIo, FftPlan, InstanceOrder, PencilTarget, TraceCache};
-use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx, WARP_SIZE};
+use tfno_gpu_sim::{
+    structural_fingerprint, AccessSpan, BlockCtx, BufferId, Kernel, KernelAccess, LaunchDims,
+    WarpIdx, WARP_SIZE,
+};
 use tfno_num::{C32, C32_BYTES};
 
 /// Pencils per FFT batch inside the fused kernel — Table 1's `bs = 8`,
@@ -578,6 +582,64 @@ impl<G: FusedGeometry> Kernel for FusedKernel<G> {
                 C32::ZERO,
             );
         }
+    }
+
+    fn access(&self) -> Option<KernelAccess> {
+        let geom = &self.geom;
+        let ms = self.tile.m_tb;
+        // Both geometries are contiguous along the fused axis, but probe
+        // the stride instead of assuming it so a future strided geometry
+        // cannot silently break the exactness contract.
+        let pencil = |buf: BufferId, base: usize, stride: usize, len: usize| {
+            if stride == 1 {
+                AccessSpan::contiguous(buf, base, len)
+            } else {
+                AccessSpan::strided(buf, base, 1, stride, len)
+            }
+        };
+        let mut acc = KernelAccess::new();
+        for block_id in 0..self.grid() {
+            let outer = block_id / self.n_tiles();
+            let ntile = block_id % self.n_tiles();
+            let n0 = ntile * self.tile.n_tb;
+            let active_n = self.tile.n_tb.min(geom.k_out() - n0);
+            if self.fuse_fft {
+                let len = self.fwd_plan.n_in_valid;
+                for k in 0..geom.k_in() {
+                    let base = geom.x_addr(outer, k, 0);
+                    let stride = if len > 1 {
+                        geom.x_addr(outer, k, 1) - base
+                    } else {
+                        1
+                    };
+                    acc.read(pencil(self.input, base, stride, len));
+                }
+            } else {
+                for s in view_spans(self.input, &geom.a_view(outer), ms, geom.k_in()) {
+                    acc.read(s);
+                }
+            }
+            for s in view_spans(self.w, &self.w_view(outer, n0), geom.k_in(), active_n) {
+                acc.read(s);
+            }
+            if self.fuse_ifft {
+                let len = self.inv_plan.n_out_keep;
+                for ch in 0..active_n {
+                    let base = geom.y_addr(outer, n0 + ch, 0);
+                    let stride = if len > 1 {
+                        geom.y_addr(outer, n0 + ch, 1) - base
+                    } else {
+                        1
+                    };
+                    acc.write(block_id, pencil(self.output, base, stride, len));
+                }
+            } else {
+                for s in view_spans(self.output, &geom.c_view(outer, n0), ms, active_n) {
+                    acc.write(block_id, s);
+                }
+            }
+        }
+        Some(acc)
     }
 
     fn fingerprint(&self) -> Option<u64> {

@@ -218,3 +218,80 @@ fn fused_kernel_rejects_no_fusion() {
     let yf = dev.memory.alloc_virtual("yf", 256);
     let _ = FusedKernel::new("bad", g, false, false, 8, x, w, yf, 0.1);
 }
+
+/// The declared access set of every fusion variant must cover exactly the
+/// elements `run_block` touches: input rows (full spatial rows when the
+/// forward FFT is fused, truncated modes otherwise), the weight slice, and
+/// the output partitioned disjointly across blocks.
+#[test]
+fn fused_access_matches_footprint() {
+    use std::collections::HashSet;
+    let count =
+        |acc: &tfno_gpu_sim::KernelAccess, buf: tfno_gpu_sim::BufferId| -> usize {
+            acc.reads
+                .iter()
+                .filter(|s| s.buf == buf)
+                .flat_map(|s| s.runs())
+                .flat_map(|(lo, hi)| lo..hi)
+                .collect::<HashSet<_>>()
+                .len()
+        };
+    let write_once = |acc: &tfno_gpu_sim::KernelAccess,
+                      buf: tfno_gpu_sim::BufferId|
+     -> usize {
+        let mut written = HashSet::new();
+        for (_, spans) in &acc.block_writes {
+            for span in spans {
+                assert_eq!(span.buf, buf);
+                for (lo, hi) in span.runs() {
+                    for e in lo..hi {
+                        assert!(written.insert(e), "element {e} written twice");
+                    }
+                }
+            }
+        }
+        written.len()
+    };
+
+    let g = Geom1d {
+        batch: 2,
+        k_in: 8,
+        k_out: 16,
+        n: 64,
+        nf: 32,
+    };
+    for (ff, fi) in [(true, false), (false, true), (true, true)] {
+        let mut dev = GpuDevice::a100();
+        let in_len = if ff { g.batch * g.k_in * g.n } else { g.batch * g.k_in * g.nf };
+        let out_len = if fi { g.batch * g.k_out * g.n } else { g.batch * g.k_out * g.nf };
+        let x = dev.memory.alloc_virtual("x", in_len);
+        let w = dev.memory.alloc_virtual("w", g.k_in * g.k_out);
+        let y = dev.memory.alloc_virtual("y", out_len);
+        let kernel = FusedKernel::new("acc", g, ff, fi, 16, x, w, y, 0.1);
+        let acc = kernel.access().expect("fused kernel declares access");
+        assert_eq!(count(&acc, x), in_len, "ff={ff} fi={fi}");
+        assert_eq!(count(&acc, w), g.k_in * g.k_out, "ff={ff} fi={fi}");
+        assert_eq!(write_once(&acc, y), out_len, "ff={ff} fi={fi}");
+        assert_eq!(acc.block_writes.len(), kernel.dims().grid_blocks);
+    }
+
+    let g = Geom2d {
+        batch: 2,
+        k_in: 4,
+        k_out: 8,
+        ny: 32,
+        nfy: 32,
+        nfx: 3,
+    };
+    let mut dev = GpuDevice::a100();
+    let in_len = g.batch * g.k_in * g.nfx * g.ny;
+    let out_len = g.batch * g.k_out * g.nfx * g.ny;
+    let x = dev.memory.alloc_virtual("x", in_len);
+    let w = dev.memory.alloc_virtual("w", g.k_in * g.k_out);
+    let y = dev.memory.alloc_virtual("y", out_len);
+    let kernel = FusedKernel::new("acc2d", g, true, true, 16, x, w, y, 0.1);
+    let acc = kernel.access().expect("fused kernel declares access");
+    assert_eq!(count(&acc, x), in_len);
+    assert_eq!(count(&acc, w), g.k_in * g.k_out);
+    assert_eq!(write_once(&acc, y), out_len);
+}

@@ -41,6 +41,7 @@ pub mod pool;
 pub mod replay;
 pub mod session;
 pub mod swizzle;
+pub mod verify;
 
 pub use error::{RecoveryStats, RetryPolicy, TfnoError};
 pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
@@ -49,6 +50,10 @@ pub use planner::{Planner, PlannerStats, TURBO_CANDIDATES};
 pub use pool::{BufferPool, PoolStats};
 pub use replay::ReplayStats;
 pub use session::{DispatchStats, LaunchHandle, LayerSpec, Request, Session};
+pub use verify::{
+    check_queue_aliasing, check_tape, set_verify_override, verifier_enabled, PlanHazard,
+    PlanVerifier, QueueAccess,
+};
 // The strided-batched weight layout mixed-weight serving stacks ride on.
 pub use tfno_cgemm::WeightStacking;
 pub use swizzle::{

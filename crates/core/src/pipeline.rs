@@ -148,6 +148,12 @@ pub(crate) struct ExecCtx<'a> {
     /// present, every launch routed through [`ExecCtx::step`] is captured;
     /// `None` on paths that never record (planner cost probes, measure).
     pub tape: Option<ReplayTape>,
+    /// Static launch-plan verifier (`verify.rs`). When present, every
+    /// launch routed through `try_step`/`try_step_deferred` is proven
+    /// hazard-free before it issues, and lease traffic is balanced; `None`
+    /// when verification is disabled (see `verify::verifier_enabled`) and
+    /// on planner cost probes, which re-run proven plans analytically.
+    pub verify: Option<crate::verify::PlanVerifier>,
 }
 
 // ---------------------------------------------------------------- 1D ----
@@ -244,6 +250,24 @@ impl ExecCtx<'_> {
         leases: &mut Vec<BufferId>,
     ) -> Result<BufferId, LaunchError> {
         let id = self.pool.try_acquire_like(self.dev, like, len)?;
+        if let Some(v) = &mut self.verify {
+            v.acquire(id);
+        }
+        leases.push(id);
+        Ok(id)
+    }
+
+    /// Lease a real staging buffer (serving-queue gather/scatter scratch),
+    /// keeping the verifier's lease ledger in step with the pool's.
+    pub(crate) fn try_stage(
+        &mut self,
+        len: usize,
+        leases: &mut Vec<BufferId>,
+    ) -> Result<BufferId, LaunchError> {
+        let id = self.pool.try_acquire(self.dev, len)?;
+        if let Some(v) = &mut self.verify {
+            v.acquire(id);
+        }
         leases.push(id);
         Ok(id)
     }
@@ -256,12 +280,61 @@ impl ExecCtx<'_> {
         // releases it. Data-wise this is invisible: every stage fully
         // overwrites the scratch it reads.
         if let Some(tape) = &mut self.tape {
+            if let Some(v) = &mut self.verify {
+                // The tape now owes the release, not this sequence — and
+                // the buffers stay live (recorded steps reference them).
+                for id in &leases {
+                    v.transfer(*id);
+                }
+            }
             tape.scratch.extend(leases);
             return;
         }
         for id in leases {
             self.pool.release(self.dev, id);
+            if let Some(v) = &mut self.verify {
+                // The pool's own panics fire first on a bad release, so
+                // the ledgers cannot disagree here.
+                let balanced = v.release(id);
+                debug_assert!(balanced.is_ok(), "verifier and pool lease ledgers diverged");
+            }
         }
+    }
+
+    /// Prove a launch hazard-free before it issues (no-op when the
+    /// verifier is off). A rejection surfaces as
+    /// [`LaunchError::PlanRejected`], which the session's error layer maps
+    /// to non-retryable `TfnoError::Validation`.
+    fn check_plan(&mut self, kernel: &dyn Kernel, deferred: bool) -> Result<(), LaunchError> {
+        let Some(v) = &mut self.verify else {
+            return Ok(());
+        };
+        let checked = if deferred {
+            v.check_deferred(self.dev, kernel)
+        } else {
+            v.check_launch(self.dev, kernel)
+        };
+        checked.map_err(|hazard| LaunchError::PlanRejected {
+            kernel: kernel.name(),
+            reason: hazard.to_string(),
+        })
+    }
+
+    /// Retire the `n` oldest verified deferred launches (their journals
+    /// were applied by `GpuDevice::complete`).
+    pub(crate) fn note_completions(&mut self, n: usize) {
+        if let Some(v) = &mut self.verify {
+            v.complete_oldest(n);
+        }
+    }
+
+    /// End-of-sequence verifier check: every lease this sequence took must
+    /// have been released (or handed to a recording tape).
+    pub(crate) fn verify_finish(&mut self) -> Result<(), crate::error::TfnoError> {
+        if let Some(v) = &mut self.verify {
+            v.finish()?;
+        }
+        Ok(())
     }
 
     /// Launch a kernel, capturing it on the replay tape when recording.
@@ -274,6 +347,7 @@ impl ExecCtx<'_> {
         kernel: K,
         mode: ExecMode,
     ) -> Result<LaunchRecord, LaunchError> {
+        self.check_plan(&kernel, false)?;
         match &mut self.tape {
             Some(tape) if tape.recordable => {
                 let kernel: Arc<dyn Kernel + Send + Sync> = Arc::new(kernel);
@@ -301,6 +375,7 @@ impl ExecCtx<'_> {
         kernel: K,
         mode: ExecMode,
     ) -> Result<PendingLaunch, LaunchError> {
+        self.check_plan(&kernel, true)?;
         match &mut self.tape {
             Some(tape) if tape.recordable => {
                 let kernel: Arc<dyn Kernel + Send + Sync> = Arc::new(kernel);

@@ -315,6 +315,9 @@ pub(crate) fn evaluate_1d(
             pool: &mut pool,
             planner: Planner::global(),
             tape: None,
+            // Cost probes re-run already-proven plans analytically; the
+            // verifier would only re-prove the same fingerprints.
+            verify: None,
         }
         .try_run_1d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical)
         // Invariant, not a fault path: probes run analytically and fault
@@ -342,6 +345,9 @@ pub(crate) fn evaluate_2d(
             pool: &mut pool,
             planner: Planner::global(),
             tape: None,
+            // Cost probes re-run already-proven plans analytically; the
+            // verifier would only re-prove the same fingerprints.
+            verify: None,
         }
         .try_run_2d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical)
         .expect("analytical planner probes are never faulted");

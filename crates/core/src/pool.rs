@@ -186,6 +186,18 @@ impl BufferPool {
         self.leased_ids.clone()
     }
 
+    /// Is `id` sitting in the free lists (released, available for reuse)?
+    /// A replay tape referencing a free pool buffer is a use-after-release
+    /// in the making — the plan verifier's freeze check rejects it.
+    pub fn is_free(&self, id: BufferId) -> bool {
+        self.free_ids.contains(&id)
+    }
+
+    /// Is `id` currently leased from this pool?
+    pub fn is_leased(&self, id: BufferId) -> bool {
+        self.leased_ids.contains(&id)
+    }
+
     /// Return a leased buffer to its size class. Contents are left as-is —
     /// the next lessee must fully overwrite before reading, which every
     /// pipeline stage does.

@@ -85,12 +85,17 @@ pub(crate) struct ReplayTape {
     /// frozen — even if a caller were to swallow the error — so the cache
     /// can only serve sequences that completed cleanly end to end.
     pub faulted: bool,
+    /// Generation of the pool the recording leased its scratch from; the
+    /// freeze-time verifier check (`verify::check_tape`) proves the tape
+    /// is frozen against the same pool.
+    pub pool_gen: u64,
 }
 
 impl ReplayTape {
-    fn new() -> Self {
+    fn new(pool_gen: u64) -> Self {
         ReplayTape {
             recordable: true,
+            pool_gen,
             ..ReplayTape::default()
         }
     }
@@ -267,7 +272,7 @@ fn record(
     key: u64,
     work: impl FnOnce(&mut ExecCtx<'_>) -> Result<Vec<PipelineRun>, TfnoError>,
 ) -> Result<Vec<PipelineRun>, TfnoError> {
-    ctx.tape = Some(ReplayTape::new());
+    ctx.tape = Some(ReplayTape::new(ctx.pool.generation()));
     let out = work(ctx);
     let tape = ctx.tape.take().expect("recording tape still installed");
     if out.is_err() || tape.faulted || !tape.recordable || tape.steps.is_empty() {
@@ -278,6 +283,25 @@ fn record(
             ctx.pool.release(ctx.dev, id);
         }
         return out;
+    }
+    // Freeze-time verification: the tape must reference only scratch that
+    // is still alive and leased from the generation it recorded against —
+    // a stale or recycled reference would replay against someone else's
+    // buffer. Rejection abandons the recording (the outputs it produced
+    // are discarded with it: a tape the verifier cannot prove is a bug,
+    // not a servable result).
+    if crate::verify::verifier_enabled() {
+        let steps = tape
+            .steps
+            .iter()
+            .map(|s| (s.kernel.name(), s.kernel.access()));
+        if let Err(hazard) = crate::verify::check_tape(ctx.pool, tape.pool_gen, &tape.scratch, steps)
+        {
+            for id in tape.scratch {
+                ctx.pool.release(ctx.dev, id);
+            }
+            return Err(hazard.into());
+        }
     }
     for &id in &tape.scratch {
         ctx.pool.retain(id);

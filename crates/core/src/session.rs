@@ -103,6 +103,7 @@ use crate::pipeline::{ExecCtx, LayerBufs, TurboOptions, Variant};
 use crate::planner::{hash_device_config, Planner, PlannerStats};
 use crate::pool::{BufferPool, PoolStats};
 use crate::replay::{self, ReplayCache, ReplayStats};
+use crate::verify::{check_queue_aliasing, verifier_enabled, PlanHazard, PlanVerifier, QueueAccess};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -469,6 +470,7 @@ fn dispatch_loop(
                         pool,
                         planner: &planner,
                         tape: None,
+                        verify: verifier_enabled().then(PlanVerifier::new),
                     };
                     work(&mut ctx)
                 }));
@@ -891,6 +893,7 @@ impl Session {
             pool: self.pool.as_mut().expect("pool resident after synchronize"),
             planner: &self.planner,
             tape: None,
+            verify: verifier_enabled().then(PlanVerifier::new),
         }
     }
 
@@ -946,26 +949,30 @@ impl Session {
             self.try_validate(&r.spec, r.x, r.w, r.y)?;
             try_shape(&r.spec)?;
         }
-        for (i, a) in reqs.iter().enumerate() {
-            if a.y == a.x || a.y == a.w {
-                return Err(TfnoError::Validation(format!(
-                    "run_many request {i} is self-aliased (y == {}): group-reordered \
-                     execution would run it in-place; use a distinct output buffer or a \
-                     sequential `run` call",
-                    if a.y == a.x { "x" } else { "w" }
-                )));
-            }
-            for (j, b) in reqs.iter().enumerate() {
-                if i != j && (a.y == b.x || a.y == b.w || a.y == b.y) {
-                    return Err(TfnoError::Validation(format!(
-                        "run_many requests must not alias outputs: request {i}'s y is an \
-                         operand of request {j}; chain dependent layers through \
-                         sequential `run` calls instead"
-                    )));
-                }
-            }
+        // The aliasing rules are one `PlanVerifier` code path shared by the
+        // sync, async and replayed entry points; only the message text —
+        // pinned by the API tests — is rendered here.
+        let access: Vec<QueueAccess> = reqs
+            .iter()
+            .map(|r| QueueAccess {
+                reads: vec![("x", r.x), ("w", r.w)],
+                writes: vec![r.y],
+            })
+            .collect();
+        match check_queue_aliasing(&access) {
+            Ok(()) => Ok(()),
+            Err(PlanHazard::SelfAlias { index, operand }) => Err(TfnoError::Validation(format!(
+                "run_many request {index} is self-aliased (y == {operand}): group-reordered \
+                 execution would run it in-place; use a distinct output buffer or a \
+                 sequential `run` call"
+            ))),
+            Err(PlanHazard::CrossAlias { writer, reader }) => Err(TfnoError::Validation(format!(
+                "run_many requests must not alias outputs: request {writer}'s y is an \
+                 operand of request {reader}; chain dependent layers through \
+                 sequential `run` calls instead"
+            ))),
+            Err(other) => Err(other.into()),
         }
-        Ok(())
     }
 
     /// Legacy panicking queue admission check (same messages).
@@ -1266,6 +1273,7 @@ impl Session {
             1,
             "wait() on a multi-request submit_many handle; use wait_many()"
         );
+        // INVARIANT: the assert above just proved runs.len() == 1.
         Ok(runs.pop().expect("one run"))
     }
 
@@ -1280,6 +1288,8 @@ impl Session {
             Some(Outcome::Done(runs)) => Ok(runs),
             Some(Outcome::Failed(e)) => Err(e),
             Some(Outcome::Panicked(payload)) => std::panic::resume_unwind(payload),
+            // INVARIANT: redeem() consumes the handle, so a missing parked
+            // result means a double-wait — a caller bug, not an engine error.
             None => panic!("no parked result for this LaunchHandle (already waited on?)"),
         }
     }
@@ -1434,25 +1444,34 @@ impl ScatterWindow {
         }
     }
 
+    /// Returns how many pending scatters *completed* during the push, so
+    /// the caller can retire their verifier windows in the same order.
     fn push(
         &mut self,
         dev: &mut GpuDevice,
         pending: PendingLaunch,
         owner: usize,
         out: &mut [PipelineRun],
-    ) {
+    ) -> usize {
         self.owners.push_back(owner);
+        let mut completed = 0;
         for rec in self.queue.push(dev, pending) {
             let o = self.owners.pop_front().expect("one owner per completion");
             out[o].push(rec);
+            completed += 1;
         }
+        completed
     }
 
-    fn flush(&mut self, dev: &mut GpuDevice, out: &mut [PipelineRun]) {
+    /// Returns how many pending scatters completed (see `push`).
+    fn flush(&mut self, dev: &mut GpuDevice, out: &mut [PipelineRun]) -> usize {
+        let mut completed = 0;
         for rec in self.queue.flush(dev) {
             let o = self.owners.pop_front().expect("one owner per completion");
             out[o].push(rec);
+            completed += 1;
         }
+        completed
     }
 }
 
@@ -1475,6 +1494,8 @@ impl ExecCtx<'_> {
         if let Some(p) = spec.problem_1d() {
             self.try_run_1d(&p, variant, bufs, &opts, exec)
         } else {
+            // INVARIANT: LayerSpec constructors admit exactly 1D or 2D shapes,
+            // so a spec that is not 1D must be 2D.
             let p = spec.problem_2d().expect("spec is 1D or 2D");
             self.try_run_2d(&p, variant, bufs, &opts, exec)
         }
@@ -1504,6 +1525,12 @@ impl ExecCtx<'_> {
         let mut out: Vec<PipelineRun> = (0..reqs.len()).map(|_| PipelineRun::default()).collect();
         let mut claimed = vec![false; reqs.len()];
         let mut window = ScatterWindow::new();
+        // A retried queue starts with a fresh ScatterWindow — the aborted
+        // run's deferred launches were dropped unexecuted — so the
+        // verifier's pending tracking must restart with it.
+        if let Some(v) = &mut self.verify {
+            v.clear_pending();
+        }
         for i in 0..reqs.len() {
             if claimed[i] {
                 continue;
@@ -1543,7 +1570,8 @@ impl ExecCtx<'_> {
                 self.mark_unit(j);
             }
         }
-        window.flush(self.dev, &mut out);
+        let completed = window.flush(self.dev, &mut out);
+        self.note_completions(completed);
         Ok(out)
     }
 
@@ -1607,10 +1635,8 @@ impl ExecCtx<'_> {
         let spec = base.stacked(stack.len());
         let (in_len, out_len, w_len) = (base.input_len(), base.output_len(), base.weight_len());
 
-        let sx = self.pool.try_acquire(self.dev, spec.input_len())?;
-        leases.push(sx);
-        let sy = self.pool.try_acquire(self.dev, spec.output_len())?;
-        leases.push(sy);
+        let sx = self.try_stage(spec.input_len(), leases)?;
+        let sy = self.try_stage(spec.output_len(), leases)?;
 
         // Gather inputs (and, for mixed weights, the packed weight stack)
         // in one launch.
@@ -1627,8 +1653,7 @@ impl ExecCtx<'_> {
             .collect();
         let mixed = stack.iter().any(|&j| reqs[j].w != reqs[stack[0]].w);
         let (w, ws) = if mixed {
-            let sw = self.pool.try_acquire(self.dev, stack.len() * w_len)?;
-            leases.push(sw);
+            let sw = self.try_stage(stack.len() * w_len, leases)?;
             gather.extend(stack.iter().enumerate().map(|(pos, &j)| CopySegment {
                 src: reqs[j].w,
                 src_base: 0,
@@ -1665,7 +1690,8 @@ impl ExecCtx<'_> {
             out[owner].push(self.try_step(scatter, ExecMode::Functional)?);
         } else {
             let pending = self.try_step_deferred(scatter, ExecMode::Functional)?;
-            window.push(self.dev, pending, owner, out);
+            let completed = window.push(self.dev, pending, owner, out);
+            self.note_completions(completed);
         }
         self.mark_unit(owner);
         Ok(())
@@ -1779,7 +1805,13 @@ fn run_single_resilient(
             });
             total_attempts += 1;
             match out {
-                Ok(runs) => return Ok(runs),
+                Ok(runs) => {
+                    // Lease balance is part of the proof: a sequence that
+                    // finished with outstanding verifier leases mis-declared
+                    // its scratch traffic.
+                    ctx.verify_finish()?;
+                    return Ok(runs);
+                }
                 Err(e) if e.is_transient() => {
                     if attempt < policy.attempts() {
                         lock_unpoisoned(recovery).transient_retries += 1;
@@ -1840,7 +1872,13 @@ fn run_queue_resilient(
             });
             total_attempts += 1;
             match out {
-                Ok(runs) => return Ok(runs),
+                Ok(runs) => {
+                    // Lease balance is part of the proof: a sequence that
+                    // finished with outstanding verifier leases mis-declared
+                    // its scratch traffic.
+                    ctx.verify_finish()?;
+                    return Ok(runs);
+                }
                 Err(e) if e.is_transient() => {
                     if attempt < policy.attempts() {
                         lock_unpoisoned(recovery).transient_retries += 1;

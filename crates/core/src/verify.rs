@@ -1,0 +1,811 @@
+//! Static launch-plan verifier (`tfno-verify` level 1).
+//!
+//! Every kernel in the suite declares its global-memory footprint through
+//! [`Kernel::access`] — per-buffer read spans plus per-block write
+//! partitions (see `tfno_gpu_sim::access`). [`PlanVerifier`] consumes
+//! those declarations to *prove*, without executing a block, that a
+//! launch plan is hazard-free:
+//!
+//! * **Block-write disjointness** — no two blocks of one launch write the
+//!   same element (the static counterpart of the device's journal-time
+//!   `validate_writes`, caught before the launch instead of after).
+//! * **Deferred-window ordering** — a launch issued while deferred
+//!   launches are pending must not read (RAW) or write (WAW) elements a
+//!   still-pending launch will write: deferred blocks execute at issue
+//!   against current memory, but their writes journal in and apply at
+//!   [`complete`](tfno_gpu_sim::GpuDevice::complete) time, so such a plan
+//!   observes stale data or loses writes.
+//! * **Lease discipline** — every pool lease a sequence takes is released
+//!   exactly once, and no launch touches a buffer after its release.
+//! * **Replay-tape validity** — at freeze time a tape references only
+//!   scratch that is still alive (about to be retained) and was leased
+//!   from the pool generation the tape recorded ([`check_tape`]).
+//!
+//! The declared access sets are exact, so the verifier holds a zero
+//! false-positive contract: a plan the engine would execute correctly is
+//! never rejected (`tests/verify.rs` pins this across every variant and
+//! the mutation suite).
+//!
+//! Verification runs by default in debug builds; `TFNO_VERIFY=1` forces
+//! it on in release, `TFNO_VERIFY=0` forces it off, and
+//! [`set_verify_override`] takes precedence over both (the env var is
+//! read once per process).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::error::TfnoError;
+use crate::pool::BufferPool;
+use tfno_gpu_sim::{
+    lock_unpoisoned, merge_runs, runs_overlap, BufferId, GpuDevice, Kernel, KernelAccess,
+    LaunchError,
+};
+
+/// A provable defect in a launch plan. Each variant is one hazard class
+/// the verifier detects; `Display` produces the human-readable reason
+/// embedded in [`TfnoError::Validation`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanHazard {
+    /// Two blocks of one launch write overlapping elements.
+    BlockWriteOverlap { kernel: String, buf: String },
+    /// A declared read span ends past the end of its buffer.
+    ReadOutOfBounds {
+        kernel: String,
+        buf: String,
+        end: usize,
+        len: usize,
+    },
+    /// A declared write span ends past the end of its buffer.
+    WriteOutOfBounds {
+        kernel: String,
+        buf: String,
+        end: usize,
+        len: usize,
+    },
+    /// The launch reads elements a still-pending deferred launch writes:
+    /// it would observe pre-write (stale) data.
+    RawHazard {
+        kernel: String,
+        pending: String,
+        buf: String,
+    },
+    /// The launch writes elements a still-pending deferred launch writes:
+    /// the pending journal would clobber them on completion.
+    WawHazard {
+        kernel: String,
+        pending: String,
+        buf: String,
+    },
+    /// The launch touches a buffer after its pool lease was released.
+    UseAfterRelease { kernel: String, buf: String },
+    /// A lease was released twice.
+    DoubleRelease { buf: String },
+    /// A release of a buffer the sequence never acquired.
+    ReleaseUnleased { buf: String },
+    /// The sequence finished with leases still outstanding.
+    UnreleasedLease { count: usize },
+    /// A frozen tape step references a pool buffer that was released back
+    /// to the free lists (a replay would read/write recycled scratch).
+    TapeUnretainedScratch { step: String, buf: String },
+    /// A tape's scratch list names a buffer that is not leased from the
+    /// pool at freeze time, so it cannot be retained.
+    TapeScratchNotLeased { buf: String },
+    /// A tape recorded against a different pool generation than the one
+    /// it is being frozen against: its buffer ids are meaningless.
+    StaleGeneration { recorded: u64, current: u64 },
+    /// A queued request's output aliases one of its own operands.
+    SelfAlias { index: usize, operand: String },
+    /// A queued request's output is an operand (or the output) of another
+    /// request in the same group-reordered queue.
+    CrossAlias { writer: usize, reader: usize },
+}
+
+impl fmt::Display for PlanHazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanHazard::BlockWriteOverlap { kernel, buf } => write!(
+                f,
+                "blocks of kernel '{kernel}' write overlapping elements of {buf}"
+            ),
+            PlanHazard::ReadOutOfBounds {
+                kernel,
+                buf,
+                end,
+                len,
+            } => write!(
+                f,
+                "kernel '{kernel}' reads {buf} up to element {end} but the buffer holds {len}"
+            ),
+            PlanHazard::WriteOutOfBounds {
+                kernel,
+                buf,
+                end,
+                len,
+            } => write!(
+                f,
+                "kernel '{kernel}' writes {buf} up to element {end} but the buffer holds {len}"
+            ),
+            PlanHazard::RawHazard {
+                kernel,
+                pending,
+                buf,
+            } => write!(
+                f,
+                "kernel '{kernel}' reads elements of {buf} that pending deferred launch \
+                 '{pending}' writes (stale read: deferred writes apply at completion)"
+            ),
+            PlanHazard::WawHazard {
+                kernel,
+                pending,
+                buf,
+            } => write!(
+                f,
+                "kernel '{kernel}' writes elements of {buf} that pending deferred launch \
+                 '{pending}' also writes (the pending journal would clobber them)"
+            ),
+            PlanHazard::UseAfterRelease { kernel, buf } => write!(
+                f,
+                "kernel '{kernel}' touches {buf} after its pool lease was released"
+            ),
+            PlanHazard::DoubleRelease { buf } => {
+                write!(f, "lease of {buf} released twice")
+            }
+            PlanHazard::ReleaseUnleased { buf } => {
+                write!(f, "release of {buf}, which this sequence never acquired")
+            }
+            PlanHazard::UnreleasedLease { count } => {
+                write!(f, "sequence finished with {count} unreleased pool lease(s)")
+            }
+            PlanHazard::TapeUnretainedScratch { step, buf } => write!(
+                f,
+                "replay tape step '{step}' references pool buffer {buf}, which was \
+                 released back to the free lists"
+            ),
+            PlanHazard::TapeScratchNotLeased { buf } => write!(
+                f,
+                "replay tape scratch {buf} is not leased from the pool at freeze time"
+            ),
+            PlanHazard::StaleGeneration { recorded, current } => write!(
+                f,
+                "replay tape recorded against pool generation {recorded} but is frozen \
+                 against generation {current}"
+            ),
+            PlanHazard::SelfAlias { index, operand } => {
+                write!(f, "request {index} is self-aliased (y == {operand})")
+            }
+            PlanHazard::CrossAlias { writer, reader } => write!(
+                f,
+                "request {writer}'s output is an operand of request {reader}"
+            ),
+        }
+    }
+}
+
+impl From<PlanHazard> for TfnoError {
+    fn from(h: PlanHazard) -> Self {
+        TfnoError::Validation(format!("plan verifier: {h}"))
+    }
+}
+
+impl PlanHazard {
+    /// Wrap the hazard in the device-level typed error for a specific
+    /// kernel, which [`From<LaunchError>`](TfnoError) then surfaces as
+    /// [`TfnoError::Validation`] — one conversion path for every choke
+    /// point that has a kernel in hand.
+    pub fn rejecting(self, kernel: &dyn Kernel) -> TfnoError {
+        LaunchError::PlanRejected {
+            kernel: kernel.name(),
+            reason: self.to_string(),
+        }
+        .into()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gating
+// ---------------------------------------------------------------------------
+
+/// Programmatic override: 0 = none, 1 = forced off, 2 = forced on.
+static VERIFY_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force verification on/off for this process (`Some(true)` / `Some(false)`)
+/// or restore the environment/default policy (`None`). Takes precedence
+/// over `TFNO_VERIFY` and build profile — the bench harness and the
+/// on-vs-off equivalence tests toggle within one process, where the
+/// env var has already been cached.
+pub fn set_verify_override(v: Option<bool>) {
+    let raw = match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    VERIFY_OVERRIDE.store(raw, Ordering::Relaxed);
+}
+
+/// Should launch plans be verified? Override > `TFNO_VERIFY` env
+/// (`1` on, `0` off; read once per process) > on in debug builds.
+pub fn verifier_enabled() -> bool {
+    match VERIFY_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static ENV: OnceLock<Option<bool>> = OnceLock::new();
+            let env = ENV.get_or_init(|| match std::env::var("TFNO_VERIFY").as_deref() {
+                Ok("1") => Some(true),
+                Ok("0") => Some(false),
+                _ => None,
+            });
+            env.unwrap_or(cfg!(debug_assertions))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The verifier
+// ---------------------------------------------------------------------------
+
+/// Merged, pending (journaled but not yet applied) writes of one deferred
+/// launch.
+#[derive(Debug)]
+struct PendingWrites {
+    kernel: String,
+    writes: HashMap<BufferId, Vec<(usize, usize)>>,
+}
+
+/// Tracks one execution sequence (an `ExecCtx` lifetime or a queue
+/// window) and proves each launch hazard-free before it issues.
+///
+/// The verifier mirrors the engine's ordering semantics exactly: deferred
+/// blocks *execute at issue* (reads see current memory) while their
+/// writes journal in and apply at completion — so only pending **writes**
+/// participate in hazard tracking, and completing a deferred launch
+/// ([`complete_oldest`](PlanVerifier::complete_oldest)) retires its
+/// window.
+#[derive(Debug, Default)]
+pub struct PlanVerifier {
+    pending: VecDeque<PendingWrites>,
+    leased: HashSet<BufferId>,
+    released: HashSet<BufferId>,
+}
+
+/// Process-wide memo of write-partition disjointness proofs, keyed by
+/// kernel fingerprint + write-buffer aliasing pattern (success only).
+/// Disjointness is a pure function of that key: fingerprints are invariant
+/// under buffer ids by convention, so the aliasing pattern (which write
+/// spans share a buffer) is folded in to keep the memo sound for
+/// multi-output kernels like the segmented copy.
+fn disjoint_memo() -> &'static Mutex<HashSet<u64>> {
+    static MEMO: OnceLock<Mutex<HashSet<u64>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+fn disjoint_key(kernel: &dyn Kernel, access: &KernelAccess) -> Option<u64> {
+    let fp = kernel.fingerprint()?;
+    let mut h = DefaultHasher::new();
+    fp.hash(&mut h);
+    let mut labels: HashMap<BufferId, usize> = HashMap::new();
+    for span in access.write_spans() {
+        let next = labels.len();
+        (*labels.entry(span.buf).or_insert(next)).hash(&mut h);
+    }
+    Some(h.finish())
+}
+
+impl PlanVerifier {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note a pool lease taken by this sequence. Re-acquiring a buffer
+    /// that was released earlier in the sequence (pool recycling) makes
+    /// it live again.
+    pub fn acquire(&mut self, buf: BufferId) {
+        self.released.remove(&buf);
+        self.leased.insert(buf);
+    }
+
+    /// Note a lease whose release was deferred past this sequence (a
+    /// recording tape retaining its scratch): the sequence's balance no
+    /// longer owes a release, but the buffer stays live — later launches
+    /// may still reference it.
+    pub fn transfer(&mut self, buf: BufferId) {
+        self.leased.remove(&buf);
+    }
+
+    /// Note a lease release. Rejects double releases and releases of
+    /// buffers this sequence never acquired.
+    pub fn release(&mut self, buf: BufferId) -> Result<(), PlanHazard> {
+        if self.released.contains(&buf) {
+            return Err(PlanHazard::DoubleRelease {
+                buf: format!("{buf:?}"),
+            });
+        }
+        if !self.leased.remove(&buf) {
+            return Err(PlanHazard::ReleaseUnleased {
+                buf: format!("{buf:?}"),
+            });
+        }
+        self.released.insert(buf);
+        Ok(())
+    }
+
+    /// Prove a synchronous launch safe against the current window. The
+    /// launch executes and completes immediately, so nothing is added to
+    /// the pending set.
+    pub fn check_launch(&mut self, dev: &GpuDevice, kernel: &dyn Kernel) -> Result<(), PlanHazard> {
+        if let Some(access) = kernel.access() {
+            self.check_access(dev, kernel, &access)?;
+        }
+        Ok(())
+    }
+
+    /// Prove a deferred launch safe, then track its writes as pending
+    /// until [`complete_oldest`](PlanVerifier::complete_oldest) retires
+    /// them.
+    pub fn check_deferred(
+        &mut self,
+        dev: &GpuDevice,
+        kernel: &dyn Kernel,
+    ) -> Result<(), PlanHazard> {
+        let Some(access) = kernel.access() else {
+            // Opaque kernels cannot be tracked; skip permissively (they
+            // also skip the sync checks).
+            return Ok(());
+        };
+        self.check_access(dev, kernel, &access)?;
+        let mut writes: HashMap<BufferId, Vec<(usize, usize)>> = HashMap::new();
+        for span in access.write_spans() {
+            writes.entry(span.buf).or_default().extend(span.runs());
+        }
+        for runs in writes.values_mut() {
+            merge_runs(runs);
+        }
+        self.pending.push_back(PendingWrites {
+            kernel: kernel.name(),
+            writes,
+        });
+        Ok(())
+    }
+
+    /// Retire the `n` oldest pending deferred launches (their journals
+    /// were applied by `GpuDevice::complete`).
+    pub fn complete_oldest(&mut self, n: usize) {
+        for _ in 0..n {
+            self.pending.pop_front();
+        }
+    }
+
+    /// Deferred launches still tracked as pending.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drop every tracked pending window — an aborted queue run drops its
+    /// deferred launches unexecuted, so a retry starts from a clean slate.
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// End-of-sequence check: every lease must have been released.
+    pub fn finish(&self) -> Result<(), PlanHazard> {
+        if !self.leased.is_empty() {
+            return Err(PlanHazard::UnreleasedLease {
+                count: self.leased.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_access(
+        &self,
+        dev: &GpuDevice,
+        kernel: &dyn Kernel,
+        access: &KernelAccess,
+    ) -> Result<(), PlanHazard> {
+        let name = |buf: BufferId| format!("'{}'", dev.memory.name(buf));
+
+        // Bounds: cheap (O(spans)) and a precondition for everything else.
+        for span in &access.reads {
+            if span.end() > dev.memory.len(span.buf) {
+                return Err(PlanHazard::ReadOutOfBounds {
+                    kernel: kernel.name(),
+                    buf: name(span.buf),
+                    end: span.end(),
+                    len: dev.memory.len(span.buf),
+                });
+            }
+        }
+        for span in access.write_spans() {
+            if span.end() > dev.memory.len(span.buf) {
+                return Err(PlanHazard::WriteOutOfBounds {
+                    kernel: kernel.name(),
+                    buf: name(span.buf),
+                    end: span.end(),
+                    len: dev.memory.len(span.buf),
+                });
+            }
+        }
+
+        // Use-after-release of pool leases.
+        for buf in access.buffers() {
+            if self.released.contains(&buf) {
+                return Err(PlanHazard::UseAfterRelease {
+                    kernel: kernel.name(),
+                    buf: name(buf),
+                });
+            }
+        }
+
+        // Cross-block write disjointness, memoized per structure.
+        let key = disjoint_key(kernel, access);
+        let proven = key
+            .map(|k| lock_unpoisoned(disjoint_memo()).contains(&k))
+            .unwrap_or(false);
+        if !proven {
+            let mut seen: HashMap<BufferId, Vec<(usize, usize)>> = HashMap::new();
+            for (_, spans) in &access.block_writes {
+                let mut per_buf: HashMap<BufferId, Vec<(usize, usize)>> = HashMap::new();
+                for span in spans {
+                    per_buf.entry(span.buf).or_default().extend(span.runs());
+                }
+                for (buf, mut runs) in per_buf {
+                    merge_runs(&mut runs);
+                    let earlier = seen.entry(buf).or_default();
+                    if runs_overlap(earlier, &runs) {
+                        return Err(PlanHazard::BlockWriteOverlap {
+                            kernel: kernel.name(),
+                            buf: name(buf),
+                        });
+                    }
+                    earlier.extend(runs);
+                    merge_runs(earlier);
+                }
+            }
+            if let Some(k) = key {
+                lock_unpoisoned(disjoint_memo()).insert(k);
+            }
+        }
+
+        // RAW / WAW against pending deferred writes. A launch issued now
+        // reads current memory and (sync) applies its writes before the
+        // older pending journals do — both directions are plan bugs.
+        if !self.pending.is_empty() {
+            let mut reads: HashMap<BufferId, Vec<(usize, usize)>> = HashMap::new();
+            for span in &access.reads {
+                reads.entry(span.buf).or_default().extend(span.runs());
+            }
+            let mut writes: HashMap<BufferId, Vec<(usize, usize)>> = HashMap::new();
+            for span in access.write_spans() {
+                writes.entry(span.buf).or_default().extend(span.runs());
+            }
+            for runs in reads.values_mut().chain(writes.values_mut()) {
+                merge_runs(runs);
+            }
+            for p in &self.pending {
+                for (buf, pending_runs) in &p.writes {
+                    if let Some(r) = reads.get(buf) {
+                        if runs_overlap(r, pending_runs) {
+                            return Err(PlanHazard::RawHazard {
+                                kernel: kernel.name(),
+                                pending: p.kernel.clone(),
+                                buf: name(*buf),
+                            });
+                        }
+                    }
+                    if let Some(w) = writes.get(buf) {
+                        if runs_overlap(w, pending_runs) {
+                            return Err(PlanHazard::WawHazard {
+                                kernel: kernel.name(),
+                                pending: p.kernel.clone(),
+                                buf: name(*buf),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue aliasing (satellite of the Session submit path)
+// ---------------------------------------------------------------------------
+
+/// The buffer-level operand sets of one queued request, labeled so alias
+/// rejections can name the offending operand. Derived by `Session` from
+/// the same buffers its plans' access sets will name.
+#[derive(Clone, Debug)]
+pub struct QueueAccess {
+    /// `(label, buffer)` operand reads, e.g. `[("x", x), ("w", w)]`.
+    pub reads: Vec<(&'static str, BufferId)>,
+    /// Buffers the request writes (its output).
+    pub writes: Vec<BufferId>,
+}
+
+/// Prove a group-reorderable queue alias-free: no request's output is one
+/// of its own operands ([`PlanHazard::SelfAlias`]) and no request's
+/// output is an operand or output of any other request
+/// ([`PlanHazard::CrossAlias`]). Queues are executed group-reordered, so
+/// aliasing either way breaks the sequential-equivalence contract.
+pub fn check_queue_aliasing(reqs: &[QueueAccess]) -> Result<(), PlanHazard> {
+    // Scan order is part of the contract: for each request, its self-alias
+    // is reported before any cross-alias it participates in, and pairs are
+    // found writer-major — `Session` formats its pinned messages from the
+    // first hazard, so this must match the historical scan exactly.
+    for (i, a) in reqs.iter().enumerate() {
+        for w in &a.writes {
+            if let Some((label, _)) = a.reads.iter().find(|(_, b)| b == w) {
+                return Err(PlanHazard::SelfAlias {
+                    index: i,
+                    operand: (*label).to_string(),
+                });
+            }
+        }
+        for (j, b) in reqs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let aliased = a.writes.iter().any(|w| {
+                b.reads.iter().any(|(_, r)| r == w) || b.writes.contains(w)
+            });
+            if aliased {
+                return Err(PlanHazard::CrossAlias {
+                    writer: i,
+                    reader: j,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Replay-tape freeze check
+// ---------------------------------------------------------------------------
+
+/// Prove a replay tape safe to freeze: the pool generation matches the
+/// one the tape recorded, every scratch buffer slated for retention is
+/// still leased, and no recorded step references a pool buffer that was
+/// released back to the free lists.
+pub fn check_tape(
+    pool: &BufferPool,
+    recorded_gen: u64,
+    scratch: &[BufferId],
+    steps: impl Iterator<Item = (String, Option<KernelAccess>)>,
+) -> Result<(), PlanHazard> {
+    if recorded_gen != pool.generation() {
+        return Err(PlanHazard::StaleGeneration {
+            recorded: recorded_gen,
+            current: pool.generation(),
+        });
+    }
+    for &b in scratch {
+        if !pool.is_leased(b) {
+            return Err(PlanHazard::TapeScratchNotLeased {
+                buf: format!("{b:?}"),
+            });
+        }
+    }
+    for (step, access) in steps {
+        let Some(access) = access else { continue };
+        for buf in access.buffers() {
+            if pool.is_free(buf) {
+                return Err(PlanHazard::TapeUnretainedScratch {
+                    step,
+                    buf: format!("{buf:?}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfno_culib::copy::{CopySegment, SegmentedCopyKernel};
+
+    fn dev_with(lens: &[usize]) -> (GpuDevice, Vec<BufferId>) {
+        let mut dev = GpuDevice::a100();
+        let ids = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| dev.alloc(&format!("b{i}"), l))
+            .collect();
+        (dev, ids)
+    }
+
+    #[test]
+    fn disjoint_copy_passes_and_overlap_is_rejected() {
+        let (dev, ids) = dev_with(&[64, 64]);
+        let (src, dst) = (ids[0], ids[1]);
+        let ok = SegmentedCopyKernel::new(
+            "ok",
+            vec![
+                CopySegment { src, src_base: 0, dst, dst_base: 0, len: 32 },
+                CopySegment { src, src_base: 32, dst, dst_base: 32, len: 32 },
+            ],
+        );
+        let mut v = PlanVerifier::new();
+        v.check_launch(&dev, &ok).expect("disjoint plan accepted");
+
+        let bad = SegmentedCopyKernel::new(
+            "bad",
+            vec![
+                CopySegment { src, src_base: 0, dst, dst_base: 0, len: 32 },
+                CopySegment { src, src_base: 32, dst, dst_base: 16, len: 32 },
+            ],
+        );
+        let err = v.check_launch(&dev, &bad).unwrap_err();
+        assert!(matches!(err, PlanHazard::BlockWriteOverlap { .. }), "{err}");
+    }
+
+    #[test]
+    fn memoized_disjointness_distinguishes_buffer_aliasing() {
+        // Same structural fingerprint (bases/lengths), different buffer
+        // aliasing: two distinct outputs are disjoint, one shared output
+        // overlaps. The memo must not let the first proof excuse the
+        // second kernel.
+        let (dev, ids) = dev_with(&[64, 64, 64]);
+        let (src, d0, d1) = (ids[0], ids[1], ids[2]);
+        let seg = |dst, dst_base| CopySegment { src, src_base: 0, dst, dst_base, len: 32 };
+        let distinct =
+            SegmentedCopyKernel::new("distinct", vec![seg(d0, 0), seg(d1, 0)]);
+        let mut v = PlanVerifier::new();
+        v.check_launch(&dev, &distinct).expect("distinct outputs accepted");
+        let shared = SegmentedCopyKernel::new("shared", vec![seg(d0, 0), seg(d0, 0)]);
+        let err = v.check_launch(&dev, &shared).unwrap_err();
+        assert!(matches!(err, PlanHazard::BlockWriteOverlap { .. }), "{err}");
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let (dev, ids) = dev_with(&[64, 16]);
+        let k = SegmentedCopyKernel::new(
+            "oob",
+            vec![CopySegment { src: ids[0], src_base: 0, dst: ids[1], dst_base: 0, len: 32 }],
+        );
+        let err = PlanVerifier::new().check_launch(&dev, &k).unwrap_err();
+        assert!(matches!(err, PlanHazard::WriteOutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn pending_window_raw_and_waw() {
+        let (dev, ids) = dev_with(&[64, 64, 64]);
+        let (a, b, c) = (ids[0], ids[1], ids[2]);
+        let copy = |name: &str, src, dst| {
+            SegmentedCopyKernel::new(
+                name,
+                vec![CopySegment { src, src_base: 0, dst, dst_base: 0, len: 64 }],
+            )
+        };
+        let mut v = PlanVerifier::new();
+        v.check_deferred(&dev, &copy("w_b", a, b)).expect("first defer");
+        // Reading b while its write is pending -> stale read.
+        let err = v.check_launch(&dev, &copy("r_b", b, c)).unwrap_err();
+        assert!(matches!(err, PlanHazard::RawHazard { .. }), "{err}");
+        // Writing b while its write is pending -> lost write.
+        let err = v.check_launch(&dev, &copy("w_b2", c, b)).unwrap_err();
+        assert!(matches!(err, PlanHazard::WawHazard { .. }), "{err}");
+        // Disjoint traffic is fine, and completion clears the window.
+        v.check_launch(&dev, &copy("ok", a, c)).expect("disjoint launch");
+        v.complete_oldest(1);
+        assert_eq!(v.pending_len(), 0);
+        v.check_launch(&dev, &copy("r_b_after", b, c))
+            .expect("ordered read after completion");
+    }
+
+    #[test]
+    fn lease_discipline() {
+        let (dev, ids) = dev_with(&[64, 64]);
+        let (a, b) = (ids[0], ids[1]);
+        let mut v = PlanVerifier::new();
+        v.acquire(a);
+        assert!(matches!(
+            v.release(b),
+            Err(PlanHazard::ReleaseUnleased { .. })
+        ));
+        v.release(a).expect("first release");
+        assert!(matches!(v.release(a), Err(PlanHazard::DoubleRelease { .. })));
+        let k = SegmentedCopyKernel::new(
+            "uar",
+            vec![CopySegment { src: b, src_base: 0, dst: a, dst_base: 0, len: 8 }],
+        );
+        let err = v.check_launch(&dev, &k).unwrap_err();
+        assert!(matches!(err, PlanHazard::UseAfterRelease { .. }), "{err}");
+        // Re-acquiring (pool recycling) makes the buffer live again.
+        v.acquire(a);
+        v.check_launch(&dev, &k).expect("recycled lease is live");
+        v.release(a).expect("balanced");
+        v.finish().expect("no outstanding leases");
+        v.acquire(b);
+        assert!(matches!(
+            v.finish(),
+            Err(PlanHazard::UnreleasedLease { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn queue_aliasing_typed_hazards() {
+        let (_, ids) = dev_with(&[8, 8, 8, 8]);
+        let req = |x, w, y| QueueAccess {
+            reads: vec![("x", x), ("w", w)],
+            writes: vec![y],
+        };
+        check_queue_aliasing(&[req(ids[0], ids[1], ids[2]), req(ids[0], ids[1], ids[3])])
+            .expect("shared operands are fine");
+        let err =
+            check_queue_aliasing(&[req(ids[0], ids[1], ids[0])]).unwrap_err();
+        assert_eq!(
+            err,
+            PlanHazard::SelfAlias { index: 0, operand: "x".into() }
+        );
+        let err = check_queue_aliasing(&[
+            req(ids[0], ids[1], ids[2]),
+            req(ids[2], ids[1], ids[3]),
+        ])
+        .unwrap_err();
+        assert_eq!(err, PlanHazard::CrossAlias { writer: 0, reader: 1 });
+    }
+
+    #[test]
+    fn override_beats_env_and_default() {
+        set_verify_override(Some(true));
+        assert!(verifier_enabled());
+        set_verify_override(Some(false));
+        assert!(!verifier_enabled());
+        set_verify_override(None);
+        let _ = verifier_enabled(); // env/profile default; just must not panic
+    }
+
+    #[test]
+    fn hazard_display_names_every_class() {
+        let cases: Vec<(PlanHazard, &str)> = vec![
+            (
+                PlanHazard::BlockWriteOverlap { kernel: "k".into(), buf: "b".into() },
+                "overlapping",
+            ),
+            (
+                PlanHazard::ReadOutOfBounds { kernel: "k".into(), buf: "b".into(), end: 9, len: 8 },
+                "reads",
+            ),
+            (
+                PlanHazard::WriteOutOfBounds { kernel: "k".into(), buf: "b".into(), end: 9, len: 8 },
+                "writes",
+            ),
+            (
+                PlanHazard::RawHazard { kernel: "k".into(), pending: "p".into(), buf: "b".into() },
+                "stale read",
+            ),
+            (
+                PlanHazard::WawHazard { kernel: "k".into(), pending: "p".into(), buf: "b".into() },
+                "clobber",
+            ),
+            (
+                PlanHazard::UseAfterRelease { kernel: "k".into(), buf: "b".into() },
+                "after its pool lease",
+            ),
+            (PlanHazard::DoubleRelease { buf: "b".into() }, "twice"),
+            (PlanHazard::ReleaseUnleased { buf: "b".into() }, "never acquired"),
+            (PlanHazard::UnreleasedLease { count: 2 }, "unreleased"),
+            (
+                PlanHazard::TapeUnretainedScratch { step: "s".into(), buf: "b".into() },
+                "free lists",
+            ),
+            (PlanHazard::TapeScratchNotLeased { buf: "b".into() }, "not leased"),
+            (PlanHazard::StaleGeneration { recorded: 1, current: 2 }, "generation"),
+            (PlanHazard::SelfAlias { index: 0, operand: "x".into() }, "self-aliased"),
+            (PlanHazard::CrossAlias { writer: 0, reader: 1 }, "operand of request"),
+        ];
+        for (h, needle) in cases {
+            assert!(h.to_string().contains(needle), "{h}");
+            let e: TfnoError = h.into();
+            assert!(matches!(e, TfnoError::Validation(_)));
+        }
+    }
+}

@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Mutex, OnceLock};
 use tfno_gpu_sim::{
-    lock_unpoisoned, structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims, WarpIdx,
-    WARP_SIZE,
+    lock_unpoisoned, structural_fingerprint, AccessSpan, BlockCtx, BufferId, Kernel, KernelAccess,
+    LaunchDims, WarpIdx, WARP_SIZE,
 };
 use tfno_num::C32;
 
@@ -20,6 +20,10 @@ use tfno_num::C32;
 /// `in_len(r)` elements from `in_addr(r, i)` and writes `out_len(r)`
 /// elements to `out_addr(r, i)`; positions `i >= in_len(r)` are written as
 /// zero (the padding tail).
+///
+/// Contract: within one row the addressing is contiguous in `i`
+/// (`in_addr(r, i) == in_addr(r, 0) + i`, likewise `out_addr`) — the
+/// declared access sets rely on it.
 pub trait CopyAddressing: Sync {
     fn rows(&self) -> usize;
     fn in_len(&self, row: usize) -> usize;
@@ -243,6 +247,30 @@ impl<A: CopyAddressing> Kernel for StridedCopyKernel<A> {
         }
     }
 
+    fn access(&self) -> Option<KernelAccess> {
+        let mut acc = KernelAccess::new();
+        for block_id in 0..self.grid() {
+            let r0 = block_id * COPY_ROWS_PER_BLOCK;
+            let rows = COPY_ROWS_PER_BLOCK.min(self.addressing.rows() - r0);
+            for r in r0..r0 + rows {
+                acc.read(AccessSpan::contiguous(
+                    self.input,
+                    self.addressing.in_addr(r, 0),
+                    self.addressing.in_len(r),
+                ));
+                acc.write(
+                    block_id,
+                    AccessSpan::contiguous(
+                        self.output,
+                        self.addressing.out_addr(r, 0),
+                        self.addressing.out_len(r),
+                    ),
+                );
+            }
+        }
+        Some(acc)
+    }
+
     fn fingerprint(&self) -> Option<u64> {
         Some(structural_fingerprint("copy.strided", |h| {
             self.addressing.fingerprint().hash(h);
@@ -370,6 +398,24 @@ impl Kernel for SegmentedCopyKernel {
             let write_idx = WarpIdx::contiguous_partial(seg.dst_base + off + rel, active);
             ctx.global_write(seg.dst, &write_idx, &vals);
         }
+    }
+
+    fn access(&self) -> Option<KernelAccess> {
+        let mut acc = KernelAccess::new();
+        for (block_id, &(s, off)) in self.blocks.iter().enumerate() {
+            let seg = &self.segments[s];
+            let end = seg.len.min(off + SEGMENT_COPY_BLOCK_ELEMS);
+            acc.read(AccessSpan::contiguous(
+                seg.src,
+                seg.src_base + off,
+                end - off,
+            ));
+            acc.write(
+                block_id,
+                AccessSpan::contiguous(seg.dst, seg.dst_base + off, end - off),
+            );
+        }
+        Some(acc)
     }
 
     fn fingerprint(&self) -> Option<u64> {
@@ -635,6 +681,67 @@ mod tests {
         let f = dev.launch(&k, ExecMode::Functional);
         let a = dev.launch(&k, ExecMode::Analytical);
         assert_eq!(f.stats, a.stats);
+    }
+
+    /// Declared access sets must match the real footprint: every output
+    /// element written exactly once (block partitions disjoint), reads
+    /// covering exactly the source elements — including CornerPad2d's
+    /// zero-fill rows, which read nothing but still write full rows.
+    #[test]
+    fn declared_access_matches_footprint() {
+        use std::collections::HashSet;
+        let mut dev = GpuDevice::a100();
+        let (grids, nfx, nfy, nx, ny) = (2usize, 2usize, 3usize, 5usize, 7usize);
+        let src = dev.alloc("src", grids * nfx * nfy);
+        let dst = dev.alloc("dst", grids * nx * ny);
+        let k = StridedCopyKernel::new(
+            "cpad",
+            CornerPad2d { grids, nfx, nfy, nx, ny },
+            src,
+            dst,
+        );
+        let acc = k.access().expect("copy declares access");
+        let mut written = HashSet::new();
+        for (_, spans) in &acc.block_writes {
+            for span in spans {
+                assert_eq!(span.buf, dst);
+                for (lo, hi) in span.runs() {
+                    for e in lo..hi {
+                        assert!(written.insert(e), "element {e} written twice");
+                    }
+                }
+            }
+        }
+        assert_eq!(written.len(), grids * nx * ny);
+        let read_elems: usize = acc.reads.iter().map(|s| s.run * s.count).sum();
+        assert_eq!(read_elems, grids * nfx * nfy);
+        assert!(acc.reads.iter().all(|s| s.buf == src));
+
+        // Segmented copy: per-block 2048-element chunks over each segment.
+        let len = SEGMENT_COPY_BLOCK_ELEMS + 77;
+        let a = dev.alloc("a", len);
+        let b = dev.alloc("b", len + 13);
+        let k = SegmentedCopyKernel::new(
+            "seg",
+            vec![CopySegment { src: a, src_base: 0, dst: b, dst_base: 13, len }],
+        );
+        let acc = k.access().expect("segmented copy declares access");
+        assert_eq!(acc.block_writes.len(), 2);
+        let mut written = HashSet::new();
+        for (_, spans) in &acc.block_writes {
+            for span in spans {
+                assert_eq!(span.buf, b);
+                for (lo, hi) in span.runs() {
+                    for e in lo..hi {
+                        assert!(written.insert(e), "element {e} written twice");
+                    }
+                }
+            }
+        }
+        assert_eq!(written.len(), len);
+        assert!(written.contains(&13) && !written.contains(&12));
+        let read_elems: usize = acc.reads.iter().map(|s| s.run * s.count).sum();
+        assert_eq!(read_elems, len);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::plan::{FftOpKind, FftPlan};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
-use tfno_gpu_sim::{BlockCtx, BufferId, WarpIdx, WARP_SIZE};
+use tfno_gpu_sim::{lock_unpoisoned, BlockCtx, BufferId, WarpIdx, WARP_SIZE};
 use tfno_num::C32;
 
 /// Where a block's pencils come from / go to.
@@ -151,7 +151,9 @@ impl TraceCache {
                 }
             }
         }
-        let mut map = self.overflow.lock().unwrap();
+        // Poison recovery, not just style: a caught panic in another
+        // launch thread must not wedge every later trace build.
+        let mut map = lock_unpoisoned(&self.overflow);
         // A racer may have published while we waited for the lock.
         for slot in &self.slots {
             if let Some((k, trace)) = slot.get() {

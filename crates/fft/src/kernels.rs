@@ -14,7 +14,9 @@ use crate::engine::{FftBlockEngine, FftIo, PencilTarget, TraceCache};
 use crate::plan::{FftDirection, FftPlan};
 use crate::FftBlockConfig;
 use std::hash::Hash;
-use tfno_gpu_sim::{structural_fingerprint, BlockCtx, BufferId, Kernel, LaunchDims};
+use tfno_gpu_sim::{
+    structural_fingerprint, AccessSpan, BlockCtx, BufferId, Kernel, KernelAccess, LaunchDims,
+};
 use tfno_num::C32_BYTES;
 
 /// Maps block-global pencil ids to input/output element addresses.
@@ -25,9 +27,26 @@ pub trait PencilAddressing: Sync {
     fn in_addr(&self, pencil: usize, idx: usize) -> usize;
     /// Output element address of `(pencil, idx)`.
     fn out_addr(&self, pencil: usize, idx: usize) -> usize;
+    /// Stride in elements between `idx` and `idx + 1` of one pencil's
+    /// input. Addressing is affine in `idx` by contract
+    /// (`in_addr(p, idx) = in_addr(p, 0) + idx * in_idx_stride()`) —
+    /// that is what lets the kernel declare exact static access sets.
+    fn in_idx_stride(&self) -> usize;
+    /// Output-side counterpart of [`PencilAddressing::in_idx_stride`].
+    fn out_idx_stride(&self) -> usize;
     /// Structural hash of the addressing scheme for the analytical launch
     /// memo: must cover every field that shapes the produced addresses.
     fn fingerprint(&self) -> u64;
+}
+
+/// [`AccessSpan`] of one pencil's `len` elements starting at `start` with
+/// the addressing's affine `idx` stride.
+fn pencil_span(buf: BufferId, start: usize, idx_stride: usize, len: usize) -> AccessSpan {
+    if idx_stride == 1 {
+        AccessSpan::contiguous(buf, start, len)
+    } else {
+        AccessSpan::strided(buf, start, 1, idx_stride, len)
+    }
 }
 
 /// Pencils stored as contiguous rows (the 1D FNO layout `[pencil, n]`),
@@ -48,6 +67,12 @@ impl PencilAddressing for RowPencils {
     }
     fn out_addr(&self, pencil: usize, idx: usize) -> usize {
         pencil * self.out_row_len + idx
+    }
+    fn in_idx_stride(&self) -> usize {
+        1
+    }
+    fn out_idx_stride(&self) -> usize {
+        1
     }
     fn fingerprint(&self) -> u64 {
         structural_fingerprint("fft.addr.rows", |h| {
@@ -90,6 +115,12 @@ impl PencilAddressing for StridedPencils {
         self.out_group_stride * (pencil / self.group)
             + self.out_pencil_stride * (pencil % self.group)
             + self.out_idx_stride * idx
+    }
+    fn in_idx_stride(&self) -> usize {
+        self.in_idx_stride
+    }
+    fn out_idx_stride(&self) -> usize {
+        self.out_idx_stride
     }
     fn fingerprint(&self) -> u64 {
         structural_fingerprint("fft.addr.strided", |h| {
@@ -277,6 +308,48 @@ impl<A: PencilAddressing> Kernel for BatchedFftKernel<A> {
             vec![(0, grid as u64 - 1), (grid - 1, 1)]
         }
     }
+
+    fn access(&self) -> Option<KernelAccess> {
+        let mut acc = KernelAccess::new();
+        let bs = self.cfg.block.bs;
+        let count = self.addressing.count();
+        let groups = self.groups();
+        let (si, so) = (
+            self.addressing.in_idx_stride(),
+            self.addressing.out_idx_stride(),
+        );
+        // Mirror run_block's group walk exactly: per k-iteration a block
+        // reads the valid prefix and writes the kept prefix of each of its
+        // `active` pencils.
+        for block in 0..self.grid_blocks() {
+            for g in 0..self.cfg.k_iters {
+                let group = block * self.cfg.k_iters + g;
+                if group >= groups {
+                    break;
+                }
+                let p0 = group * bs;
+                let active = bs.min(count - p0);
+                for p in p0..p0 + active {
+                    acc.read(pencil_span(
+                        self.input,
+                        self.addressing.in_addr(p, 0),
+                        si,
+                        self.plan.n_in_valid,
+                    ));
+                    acc.write(
+                        block,
+                        pencil_span(
+                            self.output,
+                            self.addressing.out_addr(p, 0),
+                            so,
+                            self.plan.n_out_keep,
+                        ),
+                    );
+                }
+            }
+        }
+        Some(acc)
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +494,50 @@ mod tests {
             "loads badly coalesced: {} sectors",
             rec.stats.global_load_sectors
         );
+    }
+
+    /// The declared access sets must cover exactly the elements the
+    /// kernel touches: `count * n_in_valid` distinct reads and
+    /// `count * n_out_keep` distinct writes, with write partitions
+    /// disjoint across blocks.
+    #[test]
+    fn declared_access_matches_footprint() {
+        for (pencils, n, nf) in [(8usize, 64usize, 64usize), (11, 64, 16), (19, 128, 32)] {
+            let mut dev = GpuDevice::a100();
+            let input = dev.alloc("in", pencils * n);
+            let output = dev.alloc("out", pencils * nf);
+            let cfg = FftKernelConfig::new(FftBlockConfig::for_len(n)).with_k_iters(2);
+            let plan = FftPlan::new(n, FftDirection::Forward, n, nf);
+            let addr = RowPencils {
+                count: pencils,
+                in_row_len: n,
+                out_row_len: nf,
+            };
+            let k = BatchedFftKernel::new("fft", cfg, plan, addr, input, output);
+            let acc = k.access().expect("FFT kernels declare access sets");
+
+            let mut reads = std::collections::HashSet::new();
+            for s in &acc.reads {
+                assert_eq!(s.buf, input);
+                for (lo, hi) in s.runs() {
+                    reads.extend(lo..hi);
+                }
+            }
+            assert_eq!(reads.len(), pencils * n, "pencils={pencils}");
+
+            let mut writes = std::collections::HashSet::new();
+            for (_, spans) in &acc.block_writes {
+                for s in spans {
+                    assert_eq!(s.buf, output);
+                    for (lo, hi) in s.runs() {
+                        for e in lo..hi {
+                            assert!(writes.insert(e), "overlapping write at {e}");
+                        }
+                    }
+                }
+            }
+            assert_eq!(writes.len(), pencils * nf, "pencils={pencils}");
+        }
     }
 
     #[test]

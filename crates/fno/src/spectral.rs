@@ -215,7 +215,12 @@ impl SpectralConv1d {
     ) -> Result<(CTensor, PipelineRun), TfnoError> {
         let (batch, _, _) = match *x.shape() {
             [b, k, n] => (b, k, n),
-            _ => panic!("expected rank-3 input"),
+            _ => {
+                return Err(TfnoError::Validation(format!(
+                    "spectral conv expects rank-3 input [batch, modes, n]; got rank-{}",
+                    x.shape().len()
+                )))
+            }
         };
         let p = self.problem(batch);
         let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);

@@ -71,6 +71,11 @@ pub enum LaunchError {
         requested: usize,
         alloc_index: u64,
     },
+    /// The static launch-plan verifier rejected the operation before it
+    /// was issued (see the core crate's `verify` module). Unlike the
+    /// fault-injected variants this is *not* retryable — the plan itself
+    /// is wrong, and retrying the identical plan can only fail again.
+    PlanRejected { kernel: String, reason: String },
 }
 
 impl fmt::Display for LaunchError {
@@ -99,6 +104,10 @@ impl fmt::Display for LaunchError {
                 f,
                 "device out of memory: allocation '{name}' of {requested} elements \
                  (alloc index {alloc_index})"
+            ),
+            LaunchError::PlanRejected { kernel, reason } => write!(
+                f,
+                "plan verifier rejected kernel '{kernel}': {reason}"
             ),
         }
     }

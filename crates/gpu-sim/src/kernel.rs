@@ -30,6 +30,7 @@
 //! identical shape returns the cached [`KernelStats`] without touching a
 //! single block.
 
+use crate::access::KernelAccess;
 use crate::cost::CostModel;
 use crate::device::DeviceConfig;
 use crate::exec::{self, PendingLaunch};
@@ -149,6 +150,19 @@ pub trait Kernel: Sync {
     /// [`dims`]: Kernel::dims
     /// [`block_classes`]: Kernel::block_classes
     fn fingerprint(&self) -> Option<u64> {
+        None
+    }
+
+    /// Declared static access sets (see [`crate::access`]), or `None` (the
+    /// default) to opt out of plan verification — the verifier skips
+    /// opaque kernels rather than guess.
+    ///
+    /// Contract: the returned sets are *exact* — every element any block
+    /// reads appears in `reads`, every element a block writes appears in
+    /// that block's `block_writes` partition, and nothing else does. Like
+    /// [`Kernel::fingerprint`], the sets are a pure function of the
+    /// kernel's structure; only the [`BufferId`]s carry identity.
+    fn access(&self) -> Option<KernelAccess> {
         None
     }
 }

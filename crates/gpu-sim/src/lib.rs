@@ -29,6 +29,7 @@
 //! shared memory is per-block scratch. Writes from different blocks to the
 //! same element are detected and rejected in debug builds.
 
+pub mod access;
 pub mod cost;
 pub mod device;
 pub mod exec;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod timeline;
 pub mod warp;
 
+pub use access::{merge_runs, runs_overlap, AccessSpan, KernelAccess};
 pub use cost::CostModel;
 pub use device::{DeviceConfig, Occupancy};
 pub use exec::{

@@ -14,7 +14,7 @@ use tfno_num::{C32, C32_BYTES};
 pub const SECTOR_BYTES: usize = 32;
 
 /// Handle to a device buffer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BufferId(pub(crate) usize);
 
 #[derive(Debug)]
