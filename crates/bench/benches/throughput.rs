@@ -54,7 +54,10 @@ use tfno_gpu_sim::{set_launch_memo_enabled, FaultPlan, GpuDevice};
 use tfno_model::{gelu, pointwise_naive, Fno1d, Fno2d};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
-use turbofno::{set_verify_override, LayerSpec, Planner, Request, Session, TurboOptions, Variant};
+use turbofno::{
+    set_verify_override, LayerSpec, NativeBackend, Planner, Request, Session, TurboOptions,
+    Variant,
+};
 
 struct Case {
     dim: &'static str,
@@ -159,6 +162,10 @@ const FLOOR_FAULT_OVERHEAD: f64 = 0.99;
 /// against verification forced off (warm forwards replay freeze-time
 /// proven tapes, so the verifier is off the hot path by construction).
 const FLOOR_VERIFY_OVERHEAD: f64 = 0.99;
+/// The native host backend skips the simulator's event accounting
+/// entirely, so the steady-state forward must never be slower on it than
+/// on the sim (the metric is the worse of the 1D and 2D ratios).
+const FLOOR_SPEEDUP_BACKEND_NATIVE: f64 = 1.0;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
@@ -447,6 +454,36 @@ fn main() {
     });
     set_verify_override(None);
 
+    // ---------------------------------------------- backend comparison ----
+    // The same steady-state TurboBest forwards on the two execution
+    // backends behind the `Backend` trait. "sim" is the default simulated
+    // device (full event accounting, modeled memory system); "native" is
+    // the eager host executor — each kernel's functional body runs
+    // immediately, no deferred window, no event modeling. Outputs are held
+    // to the functional contract (float tolerance, not bitwise): both
+    // backends run the same kernel bodies, but the native path skips the
+    // simulator's launch machinery. The floor pins the native backend
+    // never being slower than the simulator it bypasses.
+    let mut native_sess = Session::with_backend(NativeBackend::a100());
+    let (y1_native, _) = model1.forward_device(&mut native_sess, Variant::TurboBest, &opts, &x1);
+    let (y2_native, _) = model2.forward_device(&mut native_sess, Variant::TurboBest, &opts, &x2);
+    let err1n = rel_l2_error(y1_native.data(), y1_turbo.data());
+    let err2n = rel_l2_error(y2_native.data(), y2_turbo.data());
+    assert!(err1n < 1e-5, "backend-native: 1D backends diverge: rel l2 {err1n}");
+    assert!(err2n < 1e-5, "backend-native: 2D backends diverge: rel l2 {err2n}");
+    run_case("backend-1d", &shape1, "sim", &mut || {
+        model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
+    });
+    run_case("backend-1d", &shape1, "native", &mut || {
+        model1.forward_device(&mut native_sess, Variant::TurboBest, &opts, &x1);
+    });
+    run_case("backend-2d", &shape2, "sim", &mut || {
+        model2.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x2);
+    });
+    run_case("backend-2d", &shape2, "native", &mut || {
+        model2.forward_device(&mut native_sess, Variant::TurboBest, &opts, &x2);
+    });
+
     let (pool, plans) = (turbo_sess.pool_stats(), turbo_sess.planner_stats());
     println!(
         "session state after the run: pool {} hits / {} misses, planner {} hits / {} misses",
@@ -478,12 +515,19 @@ fn main() {
     let speedup_replay = fps_of("replay-warm", "warm-replay") / fps_of("replay-warm", "cold-session");
     let fault_overhead = fps_of("fault-overhead", "armed-zero") / fps_of("fault-overhead", "unarmed");
     let verify_overhead = fps_of("verify-overhead", "on") / fps_of("verify-overhead", "off");
+    let speedup_backend_1d = fps_of("backend-1d", "native") / fps_of("backend-1d", "sim");
+    let speedup_backend_2d = fps_of("backend-2d", "native") / fps_of("backend-2d", "sim");
+    let speedup_backend_native = speedup_backend_1d.min(speedup_backend_2d);
     println!("speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x");
     println!("mixed-weight serving: stacked vs per-weight queues {speedup_serve:.2}x");
     println!("pipeline overlap: async dispatch vs synchronous session path {speedup_overlap:.2}x");
     println!("warm-path replay: steady-state session vs cold session {speedup_replay:.2}x");
     println!("fault hooks: armed-zero plan vs unarmed session {fault_overhead:.3}x");
     println!("plan verifier: verification on vs off, steady state {verify_overhead:.3}x");
+    println!(
+        "native backend vs sim: 1D {speedup_backend_1d:.2}x, 2D {speedup_backend_2d:.2}x \
+         (floor metric {speedup_backend_native:.2}x)"
+    );
 
     // --------------------------------------------------------- JSON ----
     let mut json = String::from("{\n");
@@ -509,7 +553,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4},\n  \"fault_overhead\": {fault_overhead:.4},\n  \"verify_overhead\": {verify_overhead:.4}\n}}\n"
+        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4},\n  \"fault_overhead\": {fault_overhead:.4},\n  \"verify_overhead\": {verify_overhead:.4},\n  \"speedup_backend_native_1d\": {speedup_backend_1d:.4},\n  \"speedup_backend_native_2d\": {speedup_backend_2d:.4},\n  \"speedup_backend_native\": {speedup_backend_native:.4}\n}}\n"
     ));
 
     // Default to the workspace root (cargo runs benches with the package
@@ -529,6 +573,11 @@ fn main() {
             ("speedup_replay_warm", speedup_replay, FLOOR_SPEEDUP_REPLAY_WARM),
             ("fault_overhead", fault_overhead, FLOOR_FAULT_OVERHEAD),
             ("verify_overhead", verify_overhead, FLOOR_VERIFY_OVERHEAD),
+            (
+                "speedup_backend_native",
+                speedup_backend_native,
+                FLOOR_SPEEDUP_BACKEND_NATIVE,
+            ),
         ];
         let mut broken = false;
         for (name, got, floor) in floors {

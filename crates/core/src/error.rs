@@ -6,7 +6,7 @@
 //!   never retryable, the legacy API's documented panics carry the same
 //!   message.
 //! * **`Transient`** — a launch or allocation failed cleanly (injected by a
-//!   [`FaultPlan`](tfno_gpu_sim::FaultPlan) or, on real hardware, a
+//!   [`FaultPlan`](crate::backend::FaultPlan) or, on real hardware, a
 //!   recoverable driver hiccup). Nothing was written, so the operation can
 //!   be retried; [`RetryPolicy`] bounds how hard `Session::try_run` tries,
 //!   and the degradation ladder re-plans a persistently failing fused
@@ -25,7 +25,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use tfno_gpu_sim::LaunchError;
+use crate::backend::LaunchError;
 
 /// Typed failure of a session operation. See the [module docs](self) for
 /// the taxonomy.
@@ -87,6 +87,10 @@ impl From<LaunchError> for TfnoError {
             LaunchError::PlanRejected { kernel, reason } => TfnoError::Validation(format!(
                 "plan verifier rejected kernel '{kernel}': {reason}"
             )),
+            // Asking a backend for a capability it does not advertise is a
+            // property of the request too (check `Backend::caps` first):
+            // retrying re-fails identically on the same backend.
+            fault @ LaunchError::Unsupported { .. } => TfnoError::Validation(fault.to_string()),
             // Every other LaunchError is clean by contract (no writes, no
             // history), so it maps to the retryable class.
             fault => TfnoError::Transient { fault, attempts: 1 },

@@ -31,6 +31,7 @@
 // warp-synchronous style.
 #![allow(clippy::needless_range_loop)]
 
+pub mod backend;
 pub mod error;
 pub mod fused;
 #[cfg(test)]
@@ -43,6 +44,9 @@ pub mod session;
 pub mod swizzle;
 pub mod verify;
 
+pub use backend::{
+    parse_backend_kind, AnyBackend, Backend, BackendCaps, BackendKind, NativeBackend, SimBackend,
+};
 pub use error::{RecoveryStats, RetryPolicy, TfnoError};
 pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
 pub use pipeline::{TurboOptions, Variant, TURBO_FFT_L1_HIT};
@@ -67,7 +71,7 @@ pub use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tfno_gpu_sim::{ExecMode, GpuDevice};
+    use crate::backend::{AnyBackend, Backend, BufferId, ExecMode, SimBackend};
     use tfno_num::error::rel_l2_error;
     use tfno_num::{C32, CTensor};
 
@@ -100,16 +104,44 @@ mod tests {
 
     /// A fresh session with uploaded operands for `p`; returns the
     /// uploaded data so references are computed from exactly those values.
+    /// Runs on the env-selected backend; tests that pin sim-modeled stats
+    /// use [`session_for_1d_sim`] instead.
     #[allow(clippy::type_complexity)]
     fn session_for_1d(
         p: &FnoProblem1d,
     ) -> (
-        Session,
+        Session<AnyBackend>,
         LayerSpec,
-        [tfno_gpu_sim::BufferId; 3],
+        [BufferId; 3],
         (Vec<C32>, Vec<C32>),
     ) {
-        let mut sess = Session::a100();
+        session_for_1d_in(Session::a100(), p)
+    }
+
+    /// Like [`session_for_1d`] but pinned to the simulator, for tests that
+    /// assert modeled traffic/cycle stats or analytical-mode agreement.
+    #[allow(clippy::type_complexity)]
+    fn session_for_1d_sim(
+        p: &FnoProblem1d,
+    ) -> (
+        Session<SimBackend>,
+        LayerSpec,
+        [BufferId; 3],
+        (Vec<C32>, Vec<C32>),
+    ) {
+        session_for_1d_in(Session::new(SimBackend::a100()), p)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn session_for_1d_in<B: Backend>(
+        mut sess: Session<B>,
+        p: &FnoProblem1d,
+    ) -> (
+        Session<B>,
+        LayerSpec,
+        [BufferId; 3],
+        (Vec<C32>, Vec<C32>),
+    ) {
         let spec = LayerSpec::from_problem_1d(p);
         let x = sess.alloc("x", p.input_len());
         let w = sess.alloc("w", p.weight_len());
@@ -122,7 +154,21 @@ mod tests {
     }
 
     fn run_1d(p: &FnoProblem1d, v: Variant) -> (Vec<C32>, PipelineRun, CTensor) {
-        let (mut sess, spec, [x, w, y], (xd, wd)) = session_for_1d(p);
+        run_1d_in(session_for_1d(p), p, v)
+    }
+
+    /// Like [`run_1d`] but pinned to the simulator (modeled stats).
+    fn run_1d_sim(p: &FnoProblem1d, v: Variant) -> (Vec<C32>, PipelineRun, CTensor) {
+        run_1d_in(session_for_1d_sim(p), p, v)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_1d_in<B: Backend>(
+        parts: (Session<B>, LayerSpec, [BufferId; 3], (Vec<C32>, Vec<C32>)),
+        p: &FnoProblem1d,
+        v: Variant,
+    ) -> (Vec<C32>, PipelineRun, CTensor) {
+        let (mut sess, spec, [x, w, y], (xd, wd)) = parts;
         let run = sess.run(&spec.variant(v), x, w, y);
         let xt = CTensor::from_vec(xd, &[p.batch, p.k_in, p.n]);
         let wt = CTensor::from_vec(wd, &[p.k_in, p.k_out]);
@@ -160,9 +206,9 @@ mod tests {
     #[test]
     fn fused_variants_reduce_traffic_and_launches() {
         let p = FnoProblem1d::new(4, 32, 32, 128, 32);
-        let (_, pt, _) = run_1d(&p, Variant::Pytorch);
-        let (_, a, _) = run_1d(&p, Variant::FftOpt);
-        let (_, d, _) = run_1d(&p, Variant::FullyFused);
+        let (_, pt, _) = run_1d_sim(&p, Variant::Pytorch);
+        let (_, a, _) = run_1d_sim(&p, Variant::FftOpt);
+        let (_, d, _) = run_1d_sim(&p, Variant::FullyFused);
         let pt_bytes = pt.total_stats().global_bytes();
         let a_bytes = a.total_stats().global_bytes();
         let d_bytes = d.total_stats().global_bytes();
@@ -182,7 +228,7 @@ mod tests {
     fn ablation_layouts_only_change_bank_stats() {
         let p = FnoProblem1d::new(2, 16, 16, 128, 32);
         let run_with = |layout: ForwardLayout, swz: bool| {
-            let (mut sess, spec, [x, w, y], _) = session_for_1d(&p);
+            let (mut sess, spec, [x, w, y], _) = session_for_1d_sim(&p);
             let opts = TurboOptions {
                 forward_layout: layout,
                 epilogue_swizzle: swz,
@@ -260,7 +306,7 @@ mod tests {
             Variant::FusedGemmIfft,
             Variant::FullyFused,
         ] {
-            let (mut sess, spec, [x, w, y], _) = session_for_1d(&p);
+            let (mut sess, spec, [x, w, y], _) = session_for_1d_sim(&p);
             let f = sess.run(&spec.variant(v), x, w, y);
             let a = sess.run(&spec.variant(v).exec(ExecMode::Analytical), x, w, y);
             assert_eq!(f.total_stats(), a.total_stats(), "{v:?}");
@@ -271,7 +317,7 @@ mod tests {
     fn analytical_equals_functional_fused_2d() {
         let p = FnoProblem2d::new(2, 12, 8, 32, 64, 8, 32);
         for v in [Variant::FftOpt, Variant::FullyFused] {
-            let mut sess = Session::new(GpuDevice::a100());
+            let mut sess = Session::new(SimBackend::a100());
             let spec = LayerSpec::from_problem_2d(&p).variant(v);
             let x = sess.alloc("x", p.input_len());
             let w = sess.alloc("w", p.weight_len());

@@ -36,8 +36,8 @@ use tfno_fft::{
     BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
     StridedPencils,
 };
-use tfno_gpu_sim::{
-    BufferId, ExecMode, GpuDevice, Kernel, LaunchError, LaunchRecord, PendingLaunch,
+use crate::backend::{
+    Backend, BufferId, ExecMode, Kernel, LaunchError, LaunchRecord, PendingLaunch,
 };
 use tfno_num::C32;
 
@@ -135,13 +135,13 @@ impl LayerBufs {
 }
 
 /// Everything a pipeline execution needs from its surrounding
-/// [`Session`](crate::Session): the device, the scratch pool, and the
+/// [`Session`](crate::Session): the backend, the scratch pool, and the
 /// planner consulted for `TurboBest` dispatches. Synchronous `Session`
 /// calls build one over the resident state; async dispatch threads build
 /// one over the device/pool they temporarily own — both paths therefore
 /// execute the exact same engine code (see `session.rs`).
 pub(crate) struct ExecCtx<'a> {
-    pub dev: &'a mut GpuDevice,
+    pub dev: &'a mut dyn Backend,
     pub pool: &'a mut BufferPool,
     pub planner: &'a crate::Planner,
     /// Recording tape for whole-forward launch replay (`replay.rs`). When
@@ -321,7 +321,7 @@ impl ExecCtx<'_> {
     }
 
     /// Retire the `n` oldest verified deferred launches (their journals
-    /// were applied by `GpuDevice::complete`).
+    /// were applied by [`Backend::complete`]).
     pub(crate) fn note_completions(&mut self, n: usize) {
         if let Some(v) = &mut self.verify {
             v.complete_oldest(n);
@@ -438,7 +438,7 @@ impl ExecCtx<'_> {
                 return try_run_pytorch_1d_stacked(self.dev, p, b.x, b.w, b.ws, b.y, mode);
             }
             Variant::TurboBest => {
-                let best = self.planner.plan_1d(&self.dev.config, p, opts);
+                let best = self.planner.plan_1d(self.dev.config(), p, opts);
                 return self.try_run_1d(p, best, b, opts, mode);
             }
             _ => {}
@@ -556,7 +556,7 @@ impl ExecCtx<'_> {
             return try_run_pytorch_2d_stacked(self.dev, p, b.x, b.w, b.ws, b.y, mode);
         }
         if variant == Variant::TurboBest {
-            let best = self.planner.plan_2d(&self.dev.config, p, opts);
+            let best = self.planner.plan_2d(self.dev.config(), p, opts);
             return self.try_run_2d(p, best, b, opts, mode);
         }
         let mut leases = Vec::new();

@@ -27,8 +27,8 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use tfno_culib::{FnoProblem1d, FnoProblem2d};
-use tfno_gpu_sim::{
-    configured_workers, lock_unpoisoned, wait_unpoisoned, DeviceConfig, ExecMode, GpuDevice,
+use crate::backend::{
+    configured_workers, lock_unpoisoned, wait_unpoisoned, DeviceConfig, ExecMode, SimBackend,
 };
 
 /// The candidates `TurboBest` chooses among (paper Table 2, A–D).
@@ -303,7 +303,7 @@ pub(crate) fn evaluate_1d(
     opts: &TurboOptions,
 ) -> (Variant, u64) {
     select(evaluate_candidates(|v| {
-        let mut dev = GpuDevice::new(cfg.clone());
+        let mut dev = SimBackend::new(cfg.clone());
         dev.analytical_memo = false;
         let mut pool = BufferPool::new();
         let x = dev.memory.alloc_virtual("x", p.input_len());
@@ -334,7 +334,7 @@ pub(crate) fn evaluate_2d(
     opts: &TurboOptions,
 ) -> (Variant, u64) {
     select(evaluate_candidates(|v| {
-        let mut dev = GpuDevice::new(cfg.clone());
+        let mut dev = SimBackend::new(cfg.clone());
         dev.analytical_memo = false;
         let mut pool = BufferPool::new();
         let x = dev.memory.alloc_virtual("x", p.input_len());

@@ -17,7 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use tfno_gpu_sim::{BufferId, GpuDevice, LaunchError};
+use crate::backend::{Backend, BufferId, LaunchError};
 
 /// Counters of one [`BufferPool`] (see [`BufferPool::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -38,10 +38,10 @@ pub struct PoolStats {
 /// A size-class pool of simulated device buffers.
 ///
 /// Owned by a [`Session`](crate::Session); not tied to a specific
-/// `GpuDevice` — the device is passed per call so the pool can live next
+/// backend — the backend is passed per call so the pool can live next
 /// to it in one struct without borrow cycles. Handing buffers from one
-/// device to a pool used with another is a logic error (buffer ids are
-/// per-device indices).
+/// backend to a pool used with another is a logic error (buffer ids are
+/// per-backend indices).
 #[derive(Debug)]
 pub struct BufferPool {
     free: HashMap<(usize, bool), Vec<BufferId>>,
@@ -101,7 +101,7 @@ impl BufferPool {
     }
 
     /// Lease a real (value-carrying) buffer of `len` complex elements.
-    pub fn acquire(&mut self, dev: &mut GpuDevice, len: usize) -> BufferId {
+    pub fn acquire(&mut self, dev: &mut dyn Backend, len: usize) -> BufferId {
         self.try_acquire(dev, len)
             .unwrap_or_else(|e| panic!("pool allocation failed: {e}; use try_acquire"))
     }
@@ -109,12 +109,12 @@ impl BufferPool {
     /// [`BufferPool::acquire`] through the device's typed fault path:
     /// pooled hits never fault, a fresh allocation can report a simulated
     /// OOM. A failed lease changes no pool state.
-    pub fn try_acquire(&mut self, dev: &mut GpuDevice, len: usize) -> Result<BufferId, LaunchError> {
+    pub fn try_acquire(&mut self, dev: &mut dyn Backend, len: usize) -> Result<BufferId, LaunchError> {
         self.try_acquire_class(dev, len, false)
     }
 
     /// Lease a storage-free virtual buffer (analytical sweeps).
-    pub fn acquire_virtual(&mut self, dev: &mut GpuDevice, len: usize) -> BufferId {
+    pub fn acquire_virtual(&mut self, dev: &mut dyn Backend, len: usize) -> BufferId {
         self.try_acquire_class(dev, len, true)
             .expect("virtual allocations are never faulted")
     }
@@ -123,7 +123,7 @@ impl BufferPool {
     /// replacement for `tfno_culib::alloc_like`.
     pub fn acquire_like(
         &mut self,
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         reference: BufferId,
         len: usize,
     ) -> BufferId {
@@ -134,17 +134,17 @@ impl BufferPool {
     /// [`BufferPool::acquire_like`] through the device's typed fault path.
     pub fn try_acquire_like(
         &mut self,
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         reference: BufferId,
         len: usize,
     ) -> Result<BufferId, LaunchError> {
-        let virt = dev.memory.is_virtual(reference);
+        let virt = dev.memory().is_virtual(reference);
         self.try_acquire_class(dev, len, virt)
     }
 
     fn try_acquire_class(
         &mut self,
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         len: usize,
         virt: bool,
     ) -> Result<BufferId, LaunchError> {
@@ -165,7 +165,7 @@ impl BufferPool {
         self.seq += 1;
         let name = format!("pool.{}{}", if virt { "v" } else { "b" }, self.seq);
         let id = if virt {
-            dev.memory.alloc_virtual(&name, len)
+            dev.memory_mut().alloc_virtual(&name, len)
         } else {
             // A faulted allocation must leave the pool untouched (the
             // caller may retry), so the device call precedes every
@@ -209,11 +209,11 @@ impl BufferPool {
     ///   skew the `leased`/`pooled` counters (the decrement saturated
     ///   against leases that never happened). Foreign buffers must enter
     ///   through the explicit [`BufferPool::adopt`].
-    pub fn release(&mut self, dev: &GpuDevice, id: BufferId) {
+    pub fn release(&mut self, dev: &dyn Backend, id: BufferId) {
         assert!(
             !self.free_ids.contains(&id),
             "double release of pooled buffer {id:?} ({} elements)",
-            dev.memory.len(id)
+            dev.memory().len(id)
         );
         assert!(
             self.leased_ids.remove(&id),
@@ -231,7 +231,7 @@ impl BufferPool {
     ///
     /// # Panics
     /// If the buffer is already pooled or currently leased.
-    pub fn adopt(&mut self, dev: &GpuDevice, id: BufferId) {
+    pub fn adopt(&mut self, dev: &dyn Backend, id: BufferId) {
         assert!(
             !self.free_ids.contains(&id),
             "adopting buffer {id:?} twice would alias later leases"
@@ -268,7 +268,7 @@ impl BufferPool {
     ///
     /// # Panics
     /// If the buffer is not currently retained.
-    pub fn restore(&mut self, dev: &GpuDevice, id: BufferId) {
+    pub fn restore(&mut self, dev: &dyn Backend, id: BufferId) {
         assert!(
             self.retained_ids.remove(&id),
             "restored buffer {id:?} is not retained from this pool"
@@ -277,8 +277,8 @@ impl BufferPool {
         self.park(dev, id);
     }
 
-    fn park(&mut self, dev: &GpuDevice, id: BufferId) {
-        let key = (dev.memory.len(id), dev.memory.is_virtual(id));
+    fn park(&mut self, dev: &dyn Backend, id: BufferId) {
+        let key = (dev.memory().len(id), dev.memory().is_virtual(id));
         self.free.entry(key).or_default().push(id);
         self.free_ids.insert(id);
         self.stats.pooled += 1;
@@ -288,10 +288,11 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::SimBackend;
 
     #[test]
     fn reuse_is_by_exact_size_class() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let a = pool.acquire(&mut dev, 64);
         let b = pool.acquire(&mut dev, 64);
@@ -310,32 +311,32 @@ mod tests {
 
     #[test]
     fn virtual_and_real_classes_never_mix() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let v = pool.acquire_virtual(&mut dev, 32);
         pool.release(&dev, v);
         let r = pool.acquire(&mut dev, 32);
         assert_ne!(v, r, "a virtual buffer must not satisfy a real lease");
-        assert!(dev.memory.is_virtual(v));
-        assert!(!dev.memory.is_virtual(r));
+        assert!(dev.memory().is_virtual(v));
+        assert!(!dev.memory().is_virtual(r));
     }
 
     #[test]
     fn acquire_like_follows_reference_virtualness() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let real = dev.alloc("x", 16);
         let virt = dev.memory.alloc_virtual("xv", 16);
         let like_real = pool.acquire_like(&mut dev, real, 8);
         let like_virt = pool.acquire_like(&mut dev, virt, 8);
-        assert!(!dev.memory.is_virtual(like_real));
-        assert!(dev.memory.is_virtual(like_virt));
+        assert!(!dev.memory().is_virtual(like_real));
+        assert!(dev.memory().is_virtual(like_virt));
     }
 
     #[test]
     #[should_panic(expected = "double release")]
     fn double_release_is_rejected() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let a = pool.acquire(&mut dev, 8);
         pool.release(&dev, a);
@@ -344,7 +345,7 @@ mod tests {
 
     #[test]
     fn leased_and_pooled_counters_track() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let a = pool.acquire(&mut dev, 8);
         assert_eq!((pool.stats().leased, pool.stats().pooled), (1, 0));
@@ -358,7 +359,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "never leased from this pool")]
     fn releasing_a_foreign_buffer_is_rejected() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let foreign = dev.alloc("foreign", 32);
         pool.release(&dev, foreign);
@@ -368,7 +369,7 @@ mod tests {
     /// enter through the explicit adoption path.
     #[test]
     fn adoption_is_explicit_and_keeps_stats_exact() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let leased = pool.acquire(&mut dev, 32);
         let foreign = dev.alloc("foreign", 32);
@@ -387,7 +388,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "adopting buffer")]
     fn double_adoption_is_rejected() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let foreign = dev.alloc("foreign", 8);
         pool.adopt(&dev, foreign);
@@ -397,7 +398,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "currently leased")]
     fn adopting_a_leased_buffer_is_rejected() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let a = pool.acquire(&mut dev, 8);
         pool.adopt(&dev, a);
@@ -408,7 +409,7 @@ mod tests {
     /// while retained, and re-enter circulation on restore.
     #[test]
     fn retain_restore_lifecycle() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let a = pool.acquire(&mut dev, 16);
         pool.retain(a);
@@ -432,7 +433,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not currently leased")]
     fn retaining_an_unleased_buffer_is_rejected() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         let foreign = dev.alloc("foreign", 8);
         pool.retain(foreign);
@@ -448,7 +449,7 @@ mod tests {
     /// pruned, so the map tracks *pooled buffers*, not history.
     #[test]
     fn empty_size_classes_are_pruned() {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         let mut pool = BufferPool::new();
         for len in (1..=64).map(|i| i * 17) {
             let a = pool.acquire(&mut dev, len);

@@ -32,7 +32,7 @@
 //! * [`BufferPool::generation`](crate::BufferPool::generation) — process-
 //!   unique per pool instance, so an artifact can never be replayed against
 //!   a pool that does not own its retained scratch;
-//! * [`GpuDevice::worker_key`](tfno_gpu_sim::GpuDevice::worker_key) —
+//! * [`Backend::worker_key`](crate::backend::Backend::worker_key) —
 //!   hashes the executor configuration (worker
 //!   count, parallel flag, legacy executor), so changing the worker setup
 //!   re-records instead of replaying under a stale configuration.
@@ -46,7 +46,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use tfno_culib::PipelineRun;
-use tfno_gpu_sim::{lock_unpoisoned, BufferId, ExecMode, Kernel, LaunchError, LaunchRecord};
+use crate::backend::{lock_unpoisoned, BufferId, ExecMode, Kernel, LaunchError, LaunchRecord};
 
 use crate::error::TfnoError;
 use crate::pipeline::ExecCtx;

@@ -5,8 +5,9 @@
 //! every `run_variant_*` call took eight positional arguments, allocated
 //! its scratch fresh, and callers threaded device, planner, options and
 //! mode through every layer by hand. A [`Session`] owns that state once —
-//! the simulated [`GpuDevice`], the memoizing [`Planner`], and a
-//! size-class [`BufferPool`] — and executes [`LayerSpec`]s against it:
+//! an execution [`Backend`] (the simulated
+//! device by default), the memoizing [`Planner`], and a size-class
+//! [`BufferPool`] — and executes [`LayerSpec`]s against it:
 //!
 //! ```
 //! use turbofno::{LayerSpec, Session, Variant};
@@ -82,7 +83,7 @@
 //! The legacy panicking surface is a thin wrapper over the same engine, so
 //! the success path is bitwise-identical.
 //!
-//! Transient device faults (see [`tfno_gpu_sim::FaultPlan`]) are retried
+//! Transient device faults (see [`FaultPlan`]) are retried
 //! under the session's [`RetryPolicy`]; a fused variant that keeps
 //! faulting is re-planned onto the unfused `FftOpt` pipeline (the
 //! *degradation ladder*) before the error surfaces. Failed launches write
@@ -112,9 +113,9 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use tfno_cgemm::WeightStacking;
 use tfno_culib::{CopySegment, FnoProblem1d, FnoProblem2d, PipelineRun, SegmentedCopyKernel};
-use tfno_gpu_sim::{
-    lock_unpoisoned, seq_insert, seq_lookup, BufferId, ExecMode, FaultPlan, FaultStats, GpuDevice,
-    LaunchError, LaunchQueue, PendingLaunch,
+use crate::backend::{
+    lock_unpoisoned, seq_insert, seq_lookup, AnyBackend, Backend, BufferId, DeferredWindow,
+    ExecMode, FaultPlan, FaultStats, LaunchError, PendingLaunch, SimBackend,
 };
 use tfno_num::C32;
 
@@ -376,9 +377,9 @@ pub struct LaunchHandle {
 impl LaunchHandle {
     /// Redeem on the issuing session with a deadline — sugar for
     /// [`Session::wait_timeout`].
-    pub fn wait_timeout(
+    pub fn wait_timeout<B: Backend>(
         self,
-        sess: &mut Session,
+        sess: &mut Session<B>,
         timeout: Duration,
     ) -> Result<Vec<PipelineRun>, (Option<LaunchHandle>, TfnoError)> {
         sess.wait_timeout(self, timeout)
@@ -412,10 +413,10 @@ enum Outcome {
 }
 
 /// Work items for the session's long-lived dispatch thread.
-enum Job {
+enum Job<B: Backend> {
     /// Move the device and pool onto the dispatch thread (boxed so the
     /// queue slot stays small).
-    Install(Box<(GpuDevice, BufferPool)>),
+    Install(Box<(B, BufferPool)>),
     /// Execute one dispatched pipeline; the result travels back over the
     /// in-order results channel tagged with `seq`.
     Work { seq: u64, work: DispatchWork },
@@ -432,10 +433,10 @@ enum Job {
 /// captures the unwind).
 type JobOutcome = (u64, std::thread::Result<Result<Vec<PipelineRun>, TfnoError>>);
 
-struct Dispatcher {
-    jobs: mpsc::Sender<Job>,
+struct Dispatcher<B: Backend> {
+    jobs: mpsc::Sender<Job<B>>,
     results: mpsc::Receiver<JobOutcome>,
-    state_back: mpsc::Receiver<Box<(GpuDevice, BufferPool)>>,
+    state_back: mpsc::Receiver<Box<(B, BufferPool)>>,
     join: std::thread::JoinHandle<()>,
 }
 
@@ -449,14 +450,14 @@ struct Dispatcher {
 /// (pipeline scratch, staging buffers, a live recording tape's deferred
 /// releases) is released here before the next job runs. Only the panicked
 /// job's handle observes the failure.
-fn dispatch_loop(
-    jobs: mpsc::Receiver<Job>,
+fn dispatch_loop<B: Backend>(
+    jobs: mpsc::Receiver<Job<B>>,
     results: mpsc::Sender<JobOutcome>,
-    state_back: mpsc::Sender<Box<(GpuDevice, BufferPool)>>,
+    state_back: mpsc::Sender<Box<(B, BufferPool)>>,
     planner: Arc<Planner>,
     recovery: Arc<Mutex<RecoveryStats>>,
 ) {
-    let mut state: Option<Box<(GpuDevice, BufferPool)>> = None;
+    let mut state: Option<Box<(B, BufferPool)>> = None;
     while let Ok(job) = jobs.recv() {
         match job {
             Job::Install(s) => state = Some(s),
@@ -466,8 +467,8 @@ fn dispatch_loop(
                 let before = pool.leased_snapshot();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut ctx = ExecCtx {
-                        dev,
-                        pool,
+                        dev: &mut *dev,
+                        pool: &mut *pool,
                         planner: &planner,
                         tape: None,
                         verify: verifier_enabled().then(PlanVerifier::new),
@@ -485,7 +486,7 @@ fn dispatch_loop(
                     r.leases_recovered += leaked.len() as u64;
                     drop(r);
                     for id in leaked {
-                        pool.release(dev, id);
+                        pool.release(&*dev, id);
                     }
                 }
                 if results.send((seq, result)).is_err() {
@@ -539,10 +540,10 @@ const IN_FLIGHT: &str = "session has in-flight submitted work; wait on its Launc
 /// asynchronous ([`Session::submit`], [`Session::submit_many`] — see the
 /// [module docs](self) for the dispatch model); both produce bitwise-equal
 /// results.
-pub struct Session {
+pub struct Session<B: Backend = SimBackend> {
     /// `None` exactly while dispatched work is in flight (the device lives
     /// on the dispatch thread between `Install` and `Return`).
-    dev: Option<GpuDevice>,
+    dev: Option<B>,
     /// Travels with the device so in-flight pipelines lease scratch and
     /// leases pinned by the host stay tracked.
     pool: Option<BufferPool>,
@@ -554,7 +555,7 @@ pub struct Session {
     next_seq: u64,
     /// Max jobs in flight before `submit` applies backpressure.
     depth: usize,
-    dispatcher: Option<Dispatcher>,
+    dispatcher: Option<Dispatcher<B>>,
     /// Sequence numbers of jobs on the dispatch thread, oldest first.
     inflight: VecDeque<u64>,
     /// Terminal states of finished dispatches not yet redeemed by a `wait`.
@@ -576,9 +577,31 @@ pub struct Session {
     replay_enabled: bool,
 }
 
-impl Session {
-    /// Wrap an existing device (its executor/memo configuration is kept).
-    pub fn new(dev: GpuDevice) -> Self {
+impl Session<AnyBackend> {
+    /// A session over the paper's evaluation device, on the backend
+    /// selected by the `TFNO_BACKEND` environment variable (`sim` — the
+    /// default — or `native`).
+    pub fn a100() -> Self {
+        Session::new(AnyBackend::a100())
+    }
+
+    /// A session over an explicitly chosen backend (builder-style
+    /// selection; bypasses the `TFNO_BACKEND` environment variable):
+    ///
+    /// ```
+    /// use turbofno::{NativeBackend, Session};
+    ///
+    /// let sess = Session::with_backend(NativeBackend::a100());
+    /// assert!(!sess.device().caps().fault_injection);
+    /// ```
+    pub fn with_backend(backend: impl Into<AnyBackend>) -> Self {
+        Session::new(backend.into())
+    }
+}
+
+impl<B: Backend> Session<B> {
+    /// Wrap an existing backend (its executor/memo configuration is kept).
+    pub fn new(dev: B) -> Self {
         Session {
             dev: Some(dev),
             pool: Some(BufferPool::new()),
@@ -599,26 +622,21 @@ impl Session {
         }
     }
 
-    /// A session over the paper's evaluation device.
-    pub fn a100() -> Self {
-        Session::new(GpuDevice::a100())
-    }
-
-    fn dev_ref(&self) -> &GpuDevice {
+    fn dev_ref(&self) -> &B {
         self.dev.as_ref().expect(IN_FLIGHT)
     }
 
-    pub fn device(&self) -> &GpuDevice {
+    pub fn device(&self) -> &B {
         self.dev_ref()
     }
 
     /// Typed twin of [`Session::device`]: [`TfnoError::InFlight`] instead
     /// of a panic while submitted work holds the device.
-    pub fn try_device(&self) -> Result<&GpuDevice, TfnoError> {
+    pub fn try_device(&self) -> Result<&B, TfnoError> {
         self.dev.as_ref().ok_or(TfnoError::InFlight)
     }
 
-    pub fn device_mut(&mut self) -> &mut GpuDevice {
+    pub fn device_mut(&mut self) -> &mut B {
         self.synchronize();
         self.dev.as_mut().expect("device resident after synchronize")
     }
@@ -651,8 +669,31 @@ impl Session {
     /// Install (or clear, with `None`) a deterministic fault-injection
     /// plan on the session's device. Synchronizes first so the plan's
     /// event cursors start from a quiescent state.
+    ///
+    /// # Panics
+    /// If the backend does not advertise fault injection (see
+    /// [`BackendCaps::fault_injection`](crate::backend::BackendCaps)) —
+    /// use [`Session::try_set_fault_plan`] for the typed twin. Clearing
+    /// with `None` succeeds on every backend.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
-        self.device_mut().set_fault_plan(plan);
+        if let Err(e) = self.try_set_fault_plan(plan) {
+            panic!("{e}");
+        }
+    }
+
+    /// Typed twin of [`Session::set_fault_plan`]: a backend that does not
+    /// advertise fault injection reports [`TfnoError::Validation`]
+    /// instead of panicking (asking for an unadvertised capability is a
+    /// request error — check [`Backend::caps`] first).
+    pub fn try_set_fault_plan(&mut self, plan: Option<FaultPlan>) -> Result<(), TfnoError> {
+        self.synchronize();
+        self.dev
+            .as_mut()
+            // INVARIANT: synchronize() just reclaimed the device from the
+            // dispatch thread; it stays resident until the next submit.
+            .expect("device resident after synchronize")
+            .try_set_fault_plan(plan)
+            .map_err(TfnoError::from)
     }
 
     /// Fault-injection counters of the session's device (all zero when no
@@ -834,8 +875,8 @@ impl Session {
     pub fn acquire(&mut self, len: usize) -> BufferId {
         self.synchronize();
         let (dev, pool) = self.resident_mut();
-        let id = pool.acquire(dev, len);
-        let n = dev.memory.len(id);
+        let id = pool.acquire(&mut *dev, len);
+        let n = dev.memory().len(id);
         self.buf_meta.insert(id, n);
         id
     }
@@ -844,8 +885,8 @@ impl Session {
     pub fn acquire_virtual(&mut self, len: usize) -> BufferId {
         self.synchronize();
         let (dev, pool) = self.resident_mut();
-        let id = pool.acquire_virtual(dev, len);
-        let n = dev.memory.len(id);
+        let id = pool.acquire_virtual(&mut *dev, len);
+        let n = dev.memory().len(id);
         self.buf_meta.insert(id, n);
         id
     }
@@ -854,7 +895,7 @@ impl Session {
     pub fn release(&mut self, id: BufferId) {
         self.synchronize();
         let (dev, pool) = self.resident_mut();
-        pool.release(dev, id);
+        pool.release(&*dev, id);
     }
 
     /// Donate a buffer the pool never leased (e.g. one created with
@@ -862,7 +903,7 @@ impl Session {
     pub fn adopt(&mut self, id: BufferId) {
         self.synchronize();
         let (dev, pool) = self.resident_mut();
-        pool.adopt(dev, id);
+        pool.adopt(&*dev, id);
     }
 
     pub fn upload(&mut self, id: BufferId, data: &[C32]) {
@@ -880,7 +921,7 @@ impl Session {
     }
 
     /// Both halves of the resident state, after a `synchronize`.
-    fn resident_mut(&mut self) -> (&mut GpuDevice, &mut BufferPool) {
+    fn resident_mut(&mut self) -> (&mut B, &mut BufferPool) {
         (
             self.dev.as_mut().expect("device resident after synchronize"),
             self.pool.as_mut().expect("pool resident after synchronize"),
@@ -914,7 +955,7 @@ impl Session {
             self.synchronize();
         }
         let len = |id: BufferId| match &self.dev {
-            Some(dev) => dev.memory.len(id),
+            Some(dev) => dev.memory().len(id),
             None => self.buf_meta[&id],
         };
         for (got, want, msg) in [
@@ -984,28 +1025,6 @@ impl Session {
         if let Err(TfnoError::Validation(msg)) = self.try_validate_queue(reqs) {
             panic!("{msg}");
         }
-    }
-
-    /// Replay key of a single-layer call: spec identity plus operand
-    /// buffers (prefix-tagged so single runs and queues never collide).
-    fn single_key(spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) -> u64 {
-        let mut h = DefaultHasher::new();
-        0xF0u8.hash(&mut h);
-        hash_spec(spec, &mut h);
-        (x, w, y).hash(&mut h);
-        h.finish()
-    }
-
-    /// Replay key of a serving queue: the full request list, in order.
-    fn queue_key(reqs: &[Request]) -> u64 {
-        let mut h = DefaultHasher::new();
-        0xF1u8.hash(&mut h);
-        reqs.len().hash(&mut h);
-        for r in reqs {
-            hash_spec(&r.spec, &mut h);
-            (r.x, r.w, r.y).hash(&mut h);
-        }
-        h.finish()
     }
 
     /// Execute one layer spec. `TurboBest` consults the session planner
@@ -1370,7 +1389,7 @@ impl Session {
     }
 }
 
-impl Drop for Session {
+impl<B: Backend> Drop for Session<B> {
     /// Never leak the dispatch thread: drop its job queue (the loop exits
     /// at the closed channel, finishing any in-flight work first) and join
     /// it, discarding parked results and swallowing — not re-raising — any
@@ -1419,7 +1438,29 @@ fn hash_spec(spec: &LayerSpec, h: &mut DefaultHasher) {
     (spec.exec == ExecMode::Analytical).hash(h);
 }
 
-/// Deferred serving-queue output scatters: a small [`LaunchQueue`] window
+/// Replay key of a single-layer call: spec identity plus operand
+/// buffers (prefix-tagged so single runs and queues never collide).
+fn single_key(spec: &LayerSpec, x: BufferId, w: BufferId, y: BufferId) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xF0u8.hash(&mut h);
+    hash_spec(spec, &mut h);
+    (x, w, y).hash(&mut h);
+    h.finish()
+}
+
+/// Replay key of a serving queue: the full request list, in order.
+fn queue_key(reqs: &[Request]) -> u64 {
+    let mut h = DefaultHasher::new();
+    0xF1u8.hash(&mut h);
+    reqs.len().hash(&mut h);
+    for r in reqs {
+        hash_spec(&r.spec, &mut h);
+        (r.x, r.w, r.y).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Deferred serving-queue output scatters: a small [`DeferredWindow`]
 /// completes each stacked group's scatter a couple of groups behind issue,
 /// so the next group's gather and pipeline overlap the previous group's
 /// output redistribution (double-buffered staging on the device side).
@@ -1430,7 +1471,7 @@ fn hash_spec(spec: &LayerSpec, h: &mut DefaultHasher) {
 /// (execute-at-issue semantics), so releasing or reusing the stacked
 /// scratch behind it is fine.
 struct ScatterWindow {
-    queue: LaunchQueue,
+    queue: DeferredWindow,
     /// `out` index owning each pending scatter, oldest first (parallel to
     /// the queue's in-flight order).
     owners: VecDeque<usize>,
@@ -1439,7 +1480,7 @@ struct ScatterWindow {
 impl ScatterWindow {
     fn new() -> Self {
         ScatterWindow {
-            queue: LaunchQueue::new(2),
+            queue: DeferredWindow::new(2),
             owners: VecDeque::new(),
         }
     }
@@ -1448,7 +1489,7 @@ impl ScatterWindow {
     /// the caller can retire their verifier windows in the same order.
     fn push(
         &mut self,
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         pending: PendingLaunch,
         owner: usize,
         out: &mut [PipelineRun],
@@ -1464,7 +1505,7 @@ impl ScatterWindow {
     }
 
     /// Returns how many pending scatters completed (see `push`).
-    fn flush(&mut self, dev: &mut GpuDevice, out: &mut [PipelineRun]) -> usize {
+    fn flush(&mut self, dev: &mut dyn Backend, out: &mut [PipelineRun]) -> usize {
         let mut completed = 0;
         for rec in self.queue.flush(dev) {
             let o = self.owners.pop_front().expect("one owner per completion");
@@ -1508,10 +1549,10 @@ impl ExecCtx<'_> {
             return spec.variant;
         }
         if let Some(p) = spec.problem_1d() {
-            self.planner.plan_1d(&self.dev.config, &p, &spec.opts)
+            self.planner.plan_1d(self.dev.config(), &p, &spec.opts)
         } else {
             let p = spec.problem_2d().expect("spec is 1D or 2D");
-            self.planner.plan_2d(&self.dev.config, &p, &spec.opts)
+            self.planner.plan_2d(self.dev.config(), &p, &spec.opts)
         }
     }
 
@@ -1520,7 +1561,7 @@ impl ExecCtx<'_> {
     /// A coalesced group reports its launches on the group's first
     /// request; the other members report empty runs (their outputs are
     /// still written). Each group's output scatter is completed through a
-    /// small [`LaunchQueue`] window so the next group's work overlaps it.
+    /// small [`DeferredWindow`] so the next group's work overlaps it.
     pub(crate) fn try_run_queue(&mut self, reqs: &[Request]) -> Result<Vec<PipelineRun>, LaunchError> {
         let mut out: Vec<PipelineRun> = (0..reqs.len()).map(|_| PipelineRun::default()).collect();
         let mut claimed = vec![false; reqs.len()];
@@ -1579,9 +1620,9 @@ impl ExecCtx<'_> {
     /// it requires functional execution on real buffers.
     fn stackable(&self, r: &Request) -> bool {
         r.spec.exec == ExecMode::Functional
-            && !self.dev.memory.is_virtual(r.x)
-            && !self.dev.memory.is_virtual(r.y)
-            && !self.dev.memory.is_virtual(r.w)
+            && !self.dev.memory().is_virtual(r.x)
+            && !self.dev.memory().is_virtual(r.y)
+            && !self.dev.memory().is_virtual(r.w)
     }
 
     /// Execute a same-spec stack of requests as one batched launch
@@ -1601,7 +1642,7 @@ impl ExecCtx<'_> {
     /// same whether the stack shares one weight buffer or uses `k`
     /// distinct ones. Launches land in `out[stack[0]]`; the scatter is
     /// issued deferred through `window` (completed up to two groups later,
-    /// or synchronously under a legacy executor / on replay).
+    /// or synchronously on a backend without deferred launches / on replay).
     fn try_run_stacked(
         &mut self,
         reqs: &[Request],
@@ -1684,9 +1725,10 @@ impl ExecCtx<'_> {
             })
             .collect();
         let scatter = SegmentedCopyKernel::new("serve.scatter", scatter);
-        if self.dev.legacy_executor {
-            // The legacy executor has no deferred completion; run the
-            // scatter synchronously (bitwise-identical either way).
+        if !self.dev.caps().deferred_launch {
+            // Backends without deferred completion (the sim's legacy
+            // executor, the eager native backend) run the scatter
+            // synchronously (bitwise-identical either way).
             out[owner].push(self.try_step(scatter, ExecMode::Functional)?);
         } else {
             let pending = self.try_step_deferred(scatter, ExecMode::Functional)?;
@@ -1701,21 +1743,21 @@ impl ExecCtx<'_> {
     /// operands.
     ///
     /// Warm measurements are answered from the process-wide sequence memo
-    /// (`tfno_gpu_sim::seq_lookup`) without issuing a single launch: the
-    /// key covers device config, spec geometry, variant and options —
-    /// never buffer identities or worker configuration, since analytical
-    /// records are independent of both. `GpuDevice::analytical_memo`
-    /// opts a device out.
+    /// ([`seq_lookup`](crate::backend::seq_lookup)) without issuing a
+    /// single launch: the key covers device config, spec geometry, variant
+    /// and options — never buffer identities or worker configuration,
+    /// since analytical records are independent of both.
+    /// [`Backend::analytical_memo`] opts a backend out.
     pub(crate) fn measure_spec(&mut self, spec: &LayerSpec) -> PipelineRun {
         let spec = spec.exec(ExecMode::Analytical);
         let key = {
             let mut h = DefaultHasher::new();
             0xF2u8.hash(&mut h);
-            hash_device_config(&self.dev.config, &mut h);
+            hash_device_config(self.dev.config(), &mut h);
             hash_spec(&spec, &mut h);
             h.finish()
         };
-        if self.dev.analytical_memo {
+        if self.dev.analytical_memo() {
             if let Some(launches) = seq_lookup(key) {
                 return PipelineRun { launches };
             }
@@ -1724,7 +1766,7 @@ impl ExecCtx<'_> {
         let w = self.pool.acquire_virtual(self.dev, spec.weight_len());
         let y = self.pool.acquire_virtual(self.dev, spec.output_len());
         // INVARIANT: analytical launches on virtual buffers are exempt
-        // from fault injection (see GpuDevice::check_launch_fault), so
+        // from fault injection (a contract every backend upholds), so
         // this cannot fail even with a FaultPlan installed.
         let run = self
             .try_run_spec(&spec, spec.variant, LayerBufs::shared(x, w, y))
@@ -1732,7 +1774,7 @@ impl ExecCtx<'_> {
         self.pool.release(self.dev, x);
         self.pool.release(self.dev, w);
         self.pool.release(self.dev, y);
-        if self.dev.analytical_memo {
+        if self.dev.analytical_memo() {
             seq_insert(key, run.launches.clone());
         }
         run
@@ -1792,7 +1834,7 @@ fn run_single_resilient(
     let mut degraded = false;
     let mut total_attempts = 0u32;
     loop {
-        let key = Session::single_key(&spec, x, w, y);
+        let key = single_key(&spec, x, w, y);
         let mut last: Option<TfnoError> = None;
         for attempt in 1..=policy.attempts() {
             let s = spec;
@@ -1863,7 +1905,7 @@ fn run_queue_resilient(
     let mut degraded = false;
     let mut total_attempts = 0u32;
     loop {
-        let key = Session::queue_key(&reqs);
+        let key = queue_key(&reqs);
         let mut last: Option<TfnoError> = None;
         for attempt in 1..=policy.attempts() {
             let attempt_reqs = reqs.clone();
@@ -1995,7 +2037,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "input_len")]
     fn run_validates_buffer_lengths() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let spec = LayerSpec::d1(1, 2, 2, 64).variant(Variant::FftOpt);
         let x = sess.alloc("x", 7); // wrong
         let w = sess.alloc("w", spec.weight_len());
@@ -2005,7 +2047,7 @@ mod tests {
 
     #[test]
     fn measure_is_analytical_and_memoizes_the_sequence() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let spec = LayerSpec::d1(2, 8, 8, 128).modes(32).variant(Variant::FftOpt);
         let a = sess.measure(&spec);
         assert_eq!(a.kernel_count(), 3);
@@ -2048,12 +2090,12 @@ mod tests {
 
     #[test]
     fn submit_wait_is_bitwise_equal_to_run() {
-        let mut sync = Session::a100();
+        let mut sync = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sync);
         let run_sync = sync.run(&spec, x, w, y);
         let want = sync.download(y);
 
-        let mut agsync = Session::a100();
+        let mut agsync = Session::new(SimBackend::a100());
         let (spec2, x2, w2, y2) = spec_with_operands(&mut agsync);
         let handle = agsync.submit(&spec2, x2, w2, y2);
         assert!(agsync.pending(), "dispatch must be in flight after submit");
@@ -2066,7 +2108,7 @@ mod tests {
 
     #[test]
     fn mut_session_methods_synchronize_with_the_dispatch() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         let handle = sess.submit(&spec, x, w, y);
         // `run` is a &mut method: it must serialize behind the dispatch,
@@ -2083,7 +2125,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "in-flight submitted work")]
     fn download_during_flight_panics() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         let _handle = sess.submit(&spec, x, w, y);
         let _ = sess.download(y);
@@ -2092,10 +2134,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "different Session")]
     fn foreign_handles_are_rejected() {
-        let mut a = Session::a100();
+        let mut a = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut a);
         let handle = a.submit(&spec, x, w, y);
-        let mut b = Session::a100();
+        let mut b = Session::new(SimBackend::a100());
         let _ = b.wait(handle);
     }
 
@@ -2104,7 +2146,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "mode count out of range")]
     fn submit_validates_shapes_synchronously() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         // Bypass the modes() clamp to build an invalid spec directly.
         let spec = LayerSpec {
             shape: SpecShape::D1 {
@@ -2126,7 +2168,7 @@ mod tests {
 
     #[test]
     fn transient_fault_is_retried_and_bitwise_equal() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         sess.run(&spec, x, w, y);
         let want = sess.download(y);
@@ -2134,7 +2176,7 @@ mod tests {
         // A fresh output buffer gives the faulted run its own replay key.
         let y2 = sess.alloc("y2", spec.output_len());
         sess.set_fault_plan(Some(
-            FaultPlan::seeded(11).at_launch(0, tfno_gpu_sim::FaultKind::TransientLaunch),
+            FaultPlan::seeded(11).at_launch(0, crate::backend::FaultKind::TransientLaunch),
         ));
         let run = sess.try_run(&spec, x, w, y2).expect("retry recovers");
         assert!(run.kernel_count() > 0);
@@ -2148,7 +2190,7 @@ mod tests {
 
     #[test]
     fn alloc_fault_is_retried_without_wedging_the_pool() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         sess.set_fault_plan(Some(FaultPlan::seeded(3).at_alloc(0)));
         sess.try_run(&spec, x, w, y).expect("alloc retry recovers");
@@ -2158,7 +2200,7 @@ mod tests {
 
     #[test]
     fn exhausted_retries_surface_attempt_count() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         sess.set_retry_policy(RetryPolicy {
             max_attempts: 2,
@@ -2180,20 +2222,20 @@ mod tests {
 
     #[test]
     fn degradation_ladder_replans_fused_onto_fftopt() {
-        let mut reference = Session::a100();
+        let mut reference = Session::new(SimBackend::a100());
         let (spec_ref, xr, wr, yr) = spec_with_operands(&mut reference);
         let spec_ref = spec_ref.variant(Variant::FftOpt);
         reference.run(&spec_ref, xr, wr, yr);
         let want = reference.download(yr);
 
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         let spec = spec.variant(Variant::FullyFused);
         sess.set_retry_policy(RetryPolicy::none());
         // Exactly the first launch faults: the fused rung's single attempt
         // dies, the ladder re-plans onto FftOpt, which then runs clean.
         sess.set_fault_plan(Some(
-            FaultPlan::seeded(7).at_launch(0, tfno_gpu_sim::FaultKind::TransientLaunch),
+            FaultPlan::seeded(7).at_launch(0, crate::backend::FaultKind::TransientLaunch),
         ));
         sess.try_run(&spec, x, w, y).expect("degraded rung recovers");
         let stats = sess.recovery_stats();
@@ -2208,14 +2250,14 @@ mod tests {
 
     #[test]
     fn faulted_replay_evicts_and_falls_back_to_functional() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         sess.run(&spec, x, w, y); // cold: records the tape
         let want = sess.download(y);
 
         // Warm call would replay; fault its first replayed launch.
         sess.set_fault_plan(Some(
-            FaultPlan::seeded(13).at_launch(0, tfno_gpu_sim::FaultKind::TransientLaunch),
+            FaultPlan::seeded(13).at_launch(0, crate::backend::FaultKind::TransientLaunch),
         ));
         sess.try_run(&spec, x, w, y).expect("fallback recovers");
         assert_eq!(sess.download(y), want);
@@ -2234,7 +2276,7 @@ mod tests {
 
     #[test]
     fn job_panic_heals_leases_and_only_fails_its_handle() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         // A job that leaks a lease and panics (only constructible from
         // inside the crate — the public surface never panics mid-lease
@@ -2267,7 +2309,7 @@ mod tests {
     /// parked result or leak state — the next synchronize discards it.
     #[test]
     fn abandoned_handle_is_discarded_at_next_synchronize() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         let handle = sess.submit(&spec, x, w, y);
         drop(handle);
@@ -2276,7 +2318,7 @@ mod tests {
         assert_eq!(stats.abandoned_handles, 1);
         assert_eq!(sess.pool_stats().leased, 0);
         // The output was still written (dispatch ran to completion).
-        let mut reference = Session::a100();
+        let mut reference = Session::new(SimBackend::a100());
         let (spec2, x2, w2, y2) = spec_with_operands(&mut reference);
         reference.run(&spec2, x2, w2, y2);
         assert_eq!(sess.download(y), reference.download(y2));
@@ -2288,7 +2330,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "chaos: abandoned panic")]
     fn abandoned_panicked_job_reraises_at_synchronize() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let handle = sess.dispatch(Box::new(|_ctx| panic!("chaos: abandoned panic")));
         drop(handle);
         sess.synchronize();
@@ -2296,7 +2338,7 @@ mod tests {
 
     #[test]
     fn try_inspectors_report_in_flight() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         let handle = sess.submit(&spec, x, w, y);
         assert!(matches!(sess.try_download(y), Err(TfnoError::InFlight)));
@@ -2310,12 +2352,12 @@ mod tests {
 
     #[test]
     fn wait_timeout_rearms_the_handle_on_deadline() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         // Stall the first launch long enough for a short deadline to trip.
         sess.set_fault_plan(Some(
             FaultPlan::seeded(17)
-                .at_launch(0, tfno_gpu_sim::FaultKind::Stall)
+                .at_launch(0, crate::backend::FaultKind::Stall)
                 .stall_us(200_000),
         ));
         let handle = sess.submit(&spec, x, w, y);
@@ -2339,7 +2381,7 @@ mod tests {
 
     #[test]
     fn typed_submit_waits_report_dispatch_failures() {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let (spec, x, w, y) = spec_with_operands(&mut sess);
         sess.set_retry_policy(RetryPolicy::none());
         sess.set_fault_plan(Some(FaultPlan::seeded(23).transient(1.0)));

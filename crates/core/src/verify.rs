@@ -2,7 +2,7 @@
 //!
 //! Every kernel in the suite declares its global-memory footprint through
 //! [`Kernel::access`] — per-buffer read spans plus per-block write
-//! partitions (see `tfno_gpu_sim::access`). [`PlanVerifier`] consumes
+//! partitions (declared in the simulator's access module). [`PlanVerifier`] consumes
 //! those declarations to *prove*, without executing a block, that a
 //! launch plan is hazard-free:
 //!
@@ -13,7 +13,7 @@
 //!   launches are pending must not read (RAW) or write (WAW) elements a
 //!   still-pending launch will write: deferred blocks execute at issue
 //!   against current memory, but their writes journal in and apply at
-//!   [`complete`](tfno_gpu_sim::GpuDevice::complete) time, so such a plan
+//!   [`Backend::complete`] time, so such a plan
 //!   observes stale data or loses writes.
 //! * **Lease discipline** — every pool lease a sequence takes is released
 //!   exactly once, and no launch touches a buffer after its release.
@@ -40,8 +40,8 @@ use std::sync::{Mutex, OnceLock};
 
 use crate::error::TfnoError;
 use crate::pool::BufferPool;
-use tfno_gpu_sim::{
-    lock_unpoisoned, merge_runs, runs_overlap, BufferId, GpuDevice, Kernel, KernelAccess,
+use crate::backend::{
+    lock_unpoisoned, merge_runs, runs_overlap, Backend, BufferId, Kernel, KernelAccess,
     LaunchError,
 };
 
@@ -336,7 +336,7 @@ impl PlanVerifier {
     /// Prove a synchronous launch safe against the current window. The
     /// launch executes and completes immediately, so nothing is added to
     /// the pending set.
-    pub fn check_launch(&mut self, dev: &GpuDevice, kernel: &dyn Kernel) -> Result<(), PlanHazard> {
+    pub fn check_launch(&mut self, dev: &dyn Backend, kernel: &dyn Kernel) -> Result<(), PlanHazard> {
         if let Some(access) = kernel.access() {
             self.check_access(dev, kernel, &access)?;
         }
@@ -348,7 +348,7 @@ impl PlanVerifier {
     /// them.
     pub fn check_deferred(
         &mut self,
-        dev: &GpuDevice,
+        dev: &dyn Backend,
         kernel: &dyn Kernel,
     ) -> Result<(), PlanHazard> {
         let Some(access) = kernel.access() else {
@@ -372,7 +372,7 @@ impl PlanVerifier {
     }
 
     /// Retire the `n` oldest pending deferred launches (their journals
-    /// were applied by `GpuDevice::complete`).
+    /// were applied by [`Backend::complete`]).
     pub fn complete_oldest(&mut self, n: usize) {
         for _ in 0..n {
             self.pending.pop_front();
@@ -402,30 +402,30 @@ impl PlanVerifier {
 
     fn check_access(
         &self,
-        dev: &GpuDevice,
+        dev: &dyn Backend,
         kernel: &dyn Kernel,
         access: &KernelAccess,
     ) -> Result<(), PlanHazard> {
-        let name = |buf: BufferId| format!("'{}'", dev.memory.name(buf));
+        let name = |buf: BufferId| format!("'{}'", dev.memory().name(buf));
 
         // Bounds: cheap (O(spans)) and a precondition for everything else.
         for span in &access.reads {
-            if span.end() > dev.memory.len(span.buf) {
+            if span.end() > dev.memory().len(span.buf) {
                 return Err(PlanHazard::ReadOutOfBounds {
                     kernel: kernel.name(),
                     buf: name(span.buf),
                     end: span.end(),
-                    len: dev.memory.len(span.buf),
+                    len: dev.memory().len(span.buf),
                 });
             }
         }
         for span in access.write_spans() {
-            if span.end() > dev.memory.len(span.buf) {
+            if span.end() > dev.memory().len(span.buf) {
                 return Err(PlanHazard::WriteOutOfBounds {
                     kernel: kernel.name(),
                     buf: name(span.buf),
                     end: span.end(),
-                    len: dev.memory.len(span.buf),
+                    len: dev.memory().len(span.buf),
                 });
             }
         }
@@ -608,10 +608,11 @@ pub fn check_tape(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::SimBackend;
     use tfno_culib::copy::{CopySegment, SegmentedCopyKernel};
 
-    fn dev_with(lens: &[usize]) -> (GpuDevice, Vec<BufferId>) {
-        let mut dev = GpuDevice::a100();
+    fn dev_with(lens: &[usize]) -> (SimBackend, Vec<BufferId>) {
+        let mut dev = SimBackend::a100();
         let ids = lens
             .iter()
             .enumerate()

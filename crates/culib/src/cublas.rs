@@ -6,7 +6,8 @@
 //! is precisely the restriction TurboFNO removes.
 
 use tfno_cgemm::{BatchedCgemmKernel, BatchedOperand, GemmShape, TileConfig};
-use tfno_gpu_sim::{ExecMode, GpuDevice, LaunchError, LaunchRecord};
+use tfno_backend::Backend;
+use tfno_gpu_sim::{ExecMode, LaunchError, LaunchRecord};
 use tfno_num::C32;
 
 /// Stateless cuBLAS-like entry point.
@@ -46,7 +47,7 @@ impl CuBlas {
     /// `C = alpha * A B + beta * C`, batched with strides.
     #[allow(clippy::too_many_arguments)]
     pub fn cgemm_strided_batched(
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         name: &str,
         shape: GemmShape,
         a: BatchedOperand,
@@ -64,7 +65,7 @@ impl CuBlas {
     /// path.
     #[allow(clippy::too_many_arguments)]
     pub fn try_cgemm_strided_batched(
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         name: &str,
         shape: GemmShape,
         a: BatchedOperand,
@@ -82,6 +83,7 @@ impl CuBlas {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tfno_gpu_sim::GpuDevice;
     use tfno_cgemm::MatView;
     use tfno_num::error::{assert_close, gemm_tolerance};
     use tfno_num::reference;

@@ -10,7 +10,8 @@ use tfno_fft::{
     BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
     StridedPencils,
 };
-use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, LaunchError, LaunchRecord};
+use tfno_backend::Backend;
+use tfno_gpu_sim::{BufferId, ExecMode, LaunchError, LaunchRecord};
 
 /// L1/L2 hit rate of the library's spatial-order batched FFTs: consecutive
 /// thread blocks walk adjacent rows, so tile boundaries and twiddle tables
@@ -26,7 +27,7 @@ impl CuFft {
     /// Batched C2C over `rows` contiguous rows of length `n` — always the
     /// full transform (no truncation support in the library).
     pub fn exec_rows(
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         name: &str,
         n: usize,
         rows: usize,
@@ -49,7 +50,7 @@ impl CuFft {
     /// [`CuFft::exec_rows`] through the device's typed fault path.
     #[allow(clippy::too_many_arguments)]
     pub fn try_exec_rows(
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         name: &str,
         n: usize,
         rows: usize,
@@ -72,7 +73,7 @@ impl CuFft {
     /// Strided batched C2C (`cufftPlanMany`-style), full transform.
     #[allow(clippy::too_many_arguments)]
     pub fn exec_strided(
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         name: &str,
         n: usize,
         addressing: StridedPencils,
@@ -90,7 +91,7 @@ impl CuFft {
     /// [`CuFft::exec_strided`] through the device's typed fault path.
     #[allow(clippy::too_many_arguments)]
     pub fn try_exec_strided(
-        dev: &mut GpuDevice,
+        dev: &mut dyn Backend,
         name: &str,
         n: usize,
         addressing: StridedPencils,
@@ -109,6 +110,7 @@ impl CuFft {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tfno_gpu_sim::GpuDevice;
     use tfno_num::error::{assert_close, fft_tolerance};
     use tfno_num::{reference, C32};
 

@@ -17,7 +17,8 @@ use crate::cufft::CuFft;
 use crate::problem::{FnoProblem1d, FnoProblem2d};
 use tfno_cgemm::{BatchedOperand, GemmShape, MatView, WeightStacking};
 use tfno_fft::{FftDirection, StridedPencils};
-use tfno_gpu_sim::{BufferId, ExecMode, GpuDevice, KernelStats, LaunchError, LaunchRecord};
+use tfno_backend::Backend;
+use tfno_gpu_sim::{BufferId, ExecMode, KernelStats, LaunchError, LaunchRecord};
 
 /// The launches of one pipeline execution.
 #[derive(Clone, Debug, Default)]
@@ -45,9 +46,9 @@ impl PipelineRun {
 
 /// Allocate an intermediate matching the virtualness of the pipeline input
 /// (analytical sweeps run entirely on virtual buffers).
-pub fn alloc_like(dev: &mut GpuDevice, reference: BufferId, name: &str, len: usize) -> BufferId {
-    if dev.memory.is_virtual(reference) {
-        dev.memory.alloc_virtual(name, len)
+pub fn alloc_like(dev: &mut dyn Backend, reference: BufferId, name: &str, len: usize) -> BufferId {
+    if dev.memory().is_virtual(reference) {
+        dev.memory_mut().alloc_virtual(name, len)
     } else {
         dev.alloc(name, len)
     }
@@ -56,13 +57,13 @@ pub fn alloc_like(dev: &mut GpuDevice, reference: BufferId, name: &str, len: usi
 /// [`alloc_like`] through the device's typed fault path (virtual buffers
 /// model analytics-only storage and are never faulted).
 pub fn try_alloc_like(
-    dev: &mut GpuDevice,
+    dev: &mut dyn Backend,
     reference: BufferId,
     name: &str,
     len: usize,
 ) -> Result<BufferId, LaunchError> {
-    if dev.memory.is_virtual(reference) {
-        Ok(dev.memory.alloc_virtual(name, len))
+    if dev.memory().is_virtual(reference) {
+        Ok(dev.memory_mut().alloc_virtual(name, len))
     } else {
         dev.try_alloc(name, len)
     }
@@ -73,7 +74,7 @@ pub fn try_alloc_like(
 /// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]` row-major,
 ///   `y`: `[batch, k_out, n]`.
 pub fn run_pytorch_1d(
-    dev: &mut GpuDevice,
+    dev: &mut dyn Backend,
     p: &FnoProblem1d,
     x: BufferId,
     w: BufferId,
@@ -87,7 +88,7 @@ pub fn run_pytorch_1d(
 /// `[k_in, k_out]` slice per `ws.group` consecutive batch entries (the
 /// mixed-weight serving stack collapsed into one baseline launch sequence).
 pub fn run_pytorch_1d_stacked(
-    dev: &mut GpuDevice,
+    dev: &mut dyn Backend,
     p: &FnoProblem1d,
     x: BufferId,
     w: BufferId,
@@ -104,7 +105,7 @@ pub fn run_pytorch_1d_stacked(
 /// wrote scratch intermediates, so the caller's `y` is untouched unless
 /// every stage succeeded, and retrying the whole sequence is sound.
 pub fn try_run_pytorch_1d_stacked(
-    dev: &mut GpuDevice,
+    dev: &mut dyn Backend,
     p: &FnoProblem1d,
     x: BufferId,
     w: BufferId,
@@ -196,7 +197,7 @@ pub fn try_run_pytorch_1d_stacked(
 /// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
 ///   `y`: `[batch, k_out, nx, ny]`.
 pub fn run_pytorch_2d(
-    dev: &mut GpuDevice,
+    dev: &mut dyn Backend,
     p: &FnoProblem2d,
     x: BufferId,
     w: BufferId,
@@ -209,7 +210,7 @@ pub fn run_pytorch_2d(
 /// [`run_pytorch_2d`] with a stacked weight operand (see
 /// [`run_pytorch_1d_stacked`]).
 pub fn run_pytorch_2d_stacked(
-    dev: &mut GpuDevice,
+    dev: &mut dyn Backend,
     p: &FnoProblem2d,
     x: BufferId,
     w: BufferId,
@@ -224,7 +225,7 @@ pub fn run_pytorch_2d_stacked(
 /// [`run_pytorch_2d_stacked`] through the device's typed fault path (see
 /// [`try_run_pytorch_1d_stacked`] for the abort contract).
 pub fn try_run_pytorch_2d_stacked(
-    dev: &mut GpuDevice,
+    dev: &mut dyn Backend,
     p: &FnoProblem2d,
     x: BufferId,
     w: BufferId,
@@ -364,6 +365,7 @@ pub fn try_run_pytorch_2d_stacked(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tfno_gpu_sim::GpuDevice;
     use tfno_num::error::rel_l2_error;
     use tfno_num::{reference, C32, CTensor};
 

@@ -34,7 +34,7 @@ use crate::spectral::{SpectralConv1d, SpectralConv2d};
 use rand::Rng;
 use tfno_culib::PipelineRun;
 use tfno_num::{C32, CTensor};
-use turbofno::{LayerSpec, Request, Session, TfnoError, TurboOptions, Variant};
+use turbofno::{Backend, LayerSpec, Request, Session, TfnoError, TurboOptions, Variant};
 
 /// GELU (tanh approximation), applied to both complex lanes.
 pub fn gelu(v: f32) -> f32 {
@@ -266,7 +266,7 @@ impl FnoLayer1d {
     /// [`FnoLayer1d::forward_device_sync`].
     pub fn forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -283,7 +283,7 @@ impl FnoLayer1d {
     /// [`PendingSpectral::try_finish`](crate::PendingSpectral::try_finish)).
     pub fn try_forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -299,7 +299,7 @@ impl FnoLayer1d {
     /// baseline of the `pipeline-overlap` throughput scenario.
     pub fn forward_device_sync(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -359,7 +359,7 @@ impl Fno1d {
     /// bitwise-equal to [`Fno1d::forward_device_sync`].
     pub fn forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -381,7 +381,7 @@ impl Fno1d {
     /// usable (no leases held, no in-flight work).
     pub fn try_forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -403,7 +403,7 @@ impl Fno1d {
     /// [`Fno1d::forward_device`]).
     pub fn forward_device_sync(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -430,7 +430,7 @@ impl Fno1d {
     /// queue's first entry, matching the [`Session::run_many`] convention.
     pub fn forward_device_batch(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         xs: &[CTensor],
@@ -512,7 +512,7 @@ impl FnoLayer2d {
     /// Overlapped device forward (see [`FnoLayer1d::forward_device`]).
     pub fn forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -527,7 +527,7 @@ impl FnoLayer2d {
     /// [`FnoLayer1d::try_forward_device`]).
     pub fn try_forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -541,7 +541,7 @@ impl FnoLayer2d {
     /// The strictly sequential schedule (equality reference).
     pub fn forward_device_sync(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -602,7 +602,7 @@ impl Fno2d {
     /// Overlapped device forward (see [`Fno1d::forward_device`]).
     pub fn forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -623,7 +623,7 @@ impl Fno2d {
     /// [`Fno1d::try_forward_device`]).
     pub fn try_forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -644,7 +644,7 @@ impl Fno2d {
     /// (equality reference for [`Fno2d::forward_device`]).
     pub fn forward_device_sync(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -665,7 +665,7 @@ impl Fno2d {
     /// [`Fno1d::forward_device_batch`]).
     pub fn forward_device_batch(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         xs: &[CTensor],

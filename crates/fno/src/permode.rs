@@ -15,7 +15,7 @@ use tfno_culib::{CuBlas, PipelineRun};
 use tfno_fft::host;
 use tfno_gpu_sim::ExecMode;
 use tfno_num::{C32, CTensor};
-use turbofno::Session;
+use turbofno::{Backend, Session};
 
 /// 1D spectral convolution with per-mode weights
 /// (`weight[f, ki, ko]`, `f < nf`).
@@ -113,7 +113,7 @@ impl PerModeSpectralConv1d {
     /// inverse FFT (a 3-kernel pipeline; per-mode weights cannot enter the
     /// single-CGEMM fused path, which is exactly why the paper's
     /// formulation shares them).
-    pub fn forward_device(&self, sess: &mut Session, x: &CTensor) -> (CTensor, PipelineRun) {
+    pub fn forward_device(&self, sess: &mut Session<impl Backend>, x: &CTensor) -> (CTensor, PipelineRun) {
         use tfno_fft::{BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils};
         let batch = x.shape()[0];
         let (k_in, k_out, n, nf) = (self.k_in, self.k_out, self.n, self.nf);

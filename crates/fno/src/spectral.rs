@@ -18,7 +18,7 @@ use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
 use tfno_fft::host;
 use tfno_gpu_sim::BufferId;
 use tfno_num::{C32, CTensor};
-use turbofno::{LaunchHandle, LayerSpec, Session, TfnoError, TurboOptions, Variant};
+use turbofno::{Backend, LaunchHandle, LayerSpec, Session, TfnoError, TurboOptions, Variant};
 
 /// A spectral convolution in flight on the session's dispatch thread
 /// (issued by [`SpectralConv1d::submit_device`] /
@@ -38,7 +38,7 @@ pub struct PendingSpectral {
 
 impl PendingSpectral {
     fn issue(
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         spec: &LayerSpec,
         x_data: &[C32],
         w_data: &[C32],
@@ -61,7 +61,7 @@ impl PendingSpectral {
 
     /// Join the dispatch: output tensor + the layer's timing record,
     /// bitwise-identical to what the synchronous `forward_device` returns.
-    pub fn finish(self, sess: &mut Session) -> (CTensor, PipelineRun) {
+    pub fn finish(self, sess: &mut Session<impl Backend>) -> (CTensor, PipelineRun) {
         let run = sess.wait(self.handle);
         let y = CTensor::from_vec(sess.download(self.y), &self.out_shape);
         sess.release(self.x);
@@ -73,7 +73,7 @@ impl PendingSpectral {
     /// Typed twin of [`PendingSpectral::finish`]: a dispatched failure
     /// comes back as a [`TfnoError`] with the operand leases released
     /// either way — a faulted flight leaks nothing.
-    pub fn try_finish(self, sess: &mut Session) -> Result<(CTensor, PipelineRun), TfnoError> {
+    pub fn try_finish(self, sess: &mut Session<impl Backend>) -> Result<(CTensor, PipelineRun), TfnoError> {
         let out = sess.try_wait(self.handle).map(|run| {
             let y = CTensor::from_vec(sess.download(self.y), &self.out_shape);
             (y, run)
@@ -179,7 +179,7 @@ impl SpectralConv1d {
     /// same-shape forwards allocate nothing.
     pub fn forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -208,7 +208,7 @@ impl SpectralConv1d {
     /// [`TfnoError`] with all operand leases released.
     pub fn try_forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -247,7 +247,7 @@ impl SpectralConv1d {
     /// synchronous call.
     pub fn submit_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -420,7 +420,7 @@ impl SpectralConv2d {
     /// see [`SpectralConv1d::forward_device`]).
     pub fn forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -445,7 +445,7 @@ impl SpectralConv2d {
     /// [`SpectralConv1d::try_forward_device`]).
     pub fn try_forward_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,
@@ -472,7 +472,7 @@ impl SpectralConv2d {
     /// [`SpectralConv1d::submit_device`]).
     pub fn submit_device(
         &self,
-        sess: &mut Session,
+        sess: &mut Session<impl Backend>,
         variant: Variant,
         opts: &TurboOptions,
         x: &CTensor,

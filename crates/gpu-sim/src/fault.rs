@@ -76,6 +76,14 @@ pub enum LaunchError {
     /// fault-injected variants this is *not* retryable — the plan itself
     /// is wrong, and retrying the identical plan can only fail again.
     PlanRejected { kernel: String, reason: String },
+    /// The execution backend does not implement the requested operation
+    /// (see the `tfno-backend` capability flags). Not retryable: the same
+    /// backend will decline the same operation every time — callers should
+    /// consult `Backend::caps` and take the supported path instead.
+    Unsupported {
+        backend: &'static str,
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for LaunchError {
@@ -108,6 +116,11 @@ impl fmt::Display for LaunchError {
             LaunchError::PlanRejected { kernel, reason } => write!(
                 f,
                 "plan verifier rejected kernel '{kernel}': {reason}"
+            ),
+            LaunchError::Unsupported { backend, op } => write!(
+                f,
+                "backend '{backend}' does not support {op} \
+                 (check Backend::caps before requesting it)"
             ),
         }
     }

@@ -201,6 +201,11 @@ pub struct BlockCtx<'a> {
     /// Route per-access accounting through the pre-PR allocating
     /// implementations (legacy-executor baseline).
     legacy_accounting: bool,
+    /// When false, global and shared accesses move data but skip all
+    /// traffic accounting (sector math, bank-conflict cycles). The eager
+    /// host backend runs kernels this way — functionally exact, none of
+    /// the simulator's per-access cost model.
+    metered: bool,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -213,6 +218,7 @@ impl<'a> BlockCtx<'a> {
             gmem,
             journal: WriteJournal::new(),
             legacy_accounting: false,
+            metered: true,
         }
     }
 
@@ -220,6 +226,13 @@ impl<'a> BlockCtx<'a> {
         let mut ctx = Self::new(dims, gmem);
         ctx.legacy_accounting = true;
         ctx.shared.legacy_accounting = true;
+        ctx
+    }
+
+    fn new_unmetered(dims: LaunchDims, gmem: &'a GlobalMemory) -> Self {
+        let mut ctx = Self::new(dims, gmem);
+        ctx.metered = false;
+        ctx.shared.metered = false;
         ctx
     }
 
@@ -239,21 +252,28 @@ impl<'a> BlockCtx<'a> {
         self.stats.blocks += 1;
         self.stats.warps += self.dims.warps_per_block() as u64;
         self.shared.reset_for_block();
+        // reset_for_block unconditionally re-arms shared metering; an
+        // unmetered context must stay unmetered for every block it runs.
+        self.shared.metered = self.metered;
     }
 
     /// Warp-level global load. Observes pre-launch buffer contents.
     pub fn global_read(&mut self, buf: BufferId, idx: &WarpIdx) -> [C32; WARP_SIZE] {
-        let cost = self.access_cost(buf, idx);
-        self.stats.global_load_bytes += cost.bytes;
-        self.stats.global_load_sectors += cost.sectors;
+        if self.metered {
+            let cost = self.access_cost(buf, idx);
+            self.stats.global_load_bytes += cost.bytes;
+            self.stats.global_load_sectors += cost.sectors;
+        }
         self.gmem.read_warp(buf, idx)
     }
 
     /// Warp-level global store. Becomes visible after the launch.
     pub fn global_write(&mut self, buf: BufferId, idx: &WarpIdx, vals: &[C32; WARP_SIZE]) {
-        let cost = self.access_cost(buf, idx);
-        self.stats.global_store_bytes += cost.bytes;
-        self.stats.global_store_sectors += cost.sectors;
+        if self.metered {
+            let cost = self.access_cost(buf, idx);
+            self.stats.global_store_bytes += cost.bytes;
+            self.stats.global_store_sectors += cost.sectors;
+        }
         for (lane, elem) in idx.iter_active() {
             self.journal.push(buf, elem, vals[lane]);
         }
@@ -284,8 +304,9 @@ impl<'a> BlockCtx<'a> {
     /// move data (so functional results stay exact) but are charged as
     /// register traffic — used by the FFT engine to model butterfly stages
     /// that a real kernel keeps entirely in registers within a radix pass.
+    /// A context that is itself unmetered never re-enables accounting.
     pub fn set_shared_metering(&mut self, on: bool) {
-        self.shared.metered = on;
+        self.shared.metered = on && self.metered;
     }
 
     /// True when this context belongs to the legacy (pre-PR) executor
@@ -642,38 +663,8 @@ impl GpuDevice {
     /// discarded) and scale the counts — unless a memoized launch of the
     /// same signature already did.
     fn run_analytical(&self, kernel: &dyn Kernel, dims: LaunchDims) -> KernelStats {
-        let classes = kernel.block_classes();
-        let declared: u64 = classes.iter().map(|(_, c)| c).sum();
-        assert_eq!(
-            declared,
-            dims.grid_blocks as u64,
-            "block_classes of '{}' cover {declared} blocks but the grid has {}",
-            kernel.name(),
-            dims.grid_blocks
-        );
-        let key = if self.analytical_memo && memo::launch_memo_enabled() {
-            memo::signature(kernel.fingerprint(), &dims, &classes)
-        } else {
-            None
-        };
-        if let Some(key) = key {
-            if let Some(stats) = memo::lookup(key) {
-                return stats;
-            }
-        }
-        let mut total = KernelStats::ZERO;
-        for (rep, count) in classes {
-            assert!(rep < dims.grid_blocks, "representative block out of grid");
-            let mut ctx = BlockCtx::new(dims, &self.memory);
-            ctx.begin_block(rep);
-            kernel.run_block(rep, &mut ctx);
-            let (stats, _writes) = ctx.finish();
-            total += stats.scaled(count);
-        }
-        if let Some(key) = key {
-            memo::insert(key, total);
-        }
-        total
+        debug_assert_eq!(dims.grid_blocks, kernel.dims().grid_blocks);
+        run_analytical_stats(&self.memory, kernel, self.analytical_memo)
     }
 
     /// Work-stealing block execution (see the module docs): run every
@@ -791,6 +782,125 @@ impl GpuDevice {
         }
         total
     }
+}
+
+/// Analytical stats of one launch against `memory` — one representative
+/// block per equivalence class, counts scaled by class size, memoized
+/// through the process-wide [launch memo](crate::memo) when `use_memo` is
+/// set (and the memo is globally enabled).
+///
+/// This is the device-independent core of the analytical launch path,
+/// shared by [`GpuDevice`] and the `tfno-backend` host backend so both
+/// produce bit-identical stats (and share the same memo entries) for the
+/// same kernel and device geometry.
+pub fn run_analytical_stats(
+    memory: &GlobalMemory,
+    kernel: &dyn Kernel,
+    use_memo: bool,
+) -> KernelStats {
+    let dims = kernel.dims();
+    let classes = kernel.block_classes();
+    let declared: u64 = classes.iter().map(|(_, c)| c).sum();
+    assert_eq!(
+        declared,
+        dims.grid_blocks as u64,
+        "block_classes of '{}' cover {declared} blocks but the grid has {}",
+        kernel.name(),
+        dims.grid_blocks
+    );
+    let key = if use_memo && memo::launch_memo_enabled() {
+        memo::signature(kernel.fingerprint(), &dims, &classes)
+    } else {
+        None
+    };
+    if let Some(key) = key {
+        if let Some(stats) = memo::lookup(key) {
+            return stats;
+        }
+    }
+    let mut total = KernelStats::ZERO;
+    for (rep, count) in classes {
+        assert!(rep < dims.grid_blocks, "representative block out of grid");
+        let mut ctx = BlockCtx::new(dims, memory);
+        ctx.begin_block(rep);
+        kernel.run_block(rep, &mut ctx);
+        let (stats, _writes) = ctx.finish();
+        total += stats.scaled(count);
+    }
+    if let Some(key) = key {
+        memo::insert(key, total);
+    }
+    total
+}
+
+/// Execute a kernel's functional body eagerly against `memory`: every
+/// block runs with traffic accounting switched off (no sector math, no
+/// bank-conflict cycles), writes are applied immediately at return with no
+/// conflict validation, and nothing is journaled past the call.
+///
+/// This is the `tfno-backend` host backend's data path. It is functionally
+/// exact — the same `run_block` bodies execute, reads observe pre-launch
+/// memory (writes buffer per worker until the blocks finish, preserving
+/// CUDA read visibility), and block writes are disjoint by the kernel
+/// contract — but it pays none of the simulator's modeling costs. The
+/// returned stats carry only the structural counters (blocks, warps,
+/// flops, syncthreads); all traffic fields are zero.
+///
+/// Blocks are statically chunked across `workers` host threads (capped at
+/// the grid size), so the execution — and therefore the journal
+/// application order — is deterministic for a fixed worker count.
+pub fn run_functional_eager(
+    memory: &mut GlobalMemory,
+    kernel: &dyn Kernel,
+    workers: usize,
+) -> KernelStats {
+    let dims = kernel.dims();
+    let n_blocks = dims.grid_blocks;
+    assert!(n_blocks > 0, "empty grid for kernel {}", kernel.name());
+    let workers = workers.clamp(1, n_blocks);
+
+    let results: Vec<WorkerResult> = if workers <= 1 {
+        let mut ctx = BlockCtx::new_unmetered(dims, memory);
+        for b in 0..n_blocks {
+            ctx.begin_block(b);
+            kernel.run_block(b, &mut ctx);
+        }
+        vec![ctx.finish()]
+    } else {
+        let gmem = &*memory;
+        let chunk = n_blocks.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut ctx = BlockCtx::new_unmetered(dims, gmem);
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(n_blocks);
+                        for b in lo..hi {
+                            ctx.begin_block(b);
+                            kernel.run_block(b, &mut ctx);
+                        }
+                        ctx.finish()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("eager block worker panicked"))
+                .collect()
+        })
+    };
+
+    let mut total = KernelStats::ZERO;
+    let journals: Vec<WriteJournal> = results
+        .into_iter()
+        .map(|(stats, journal)| {
+            total += stats;
+            journal
+        })
+        .collect();
+    journal::apply_journals(memory, &journals, false, workers, &kernel.name());
+    total
 }
 
 #[cfg(test)]
@@ -1276,6 +1386,42 @@ mod tests {
         ));
         let k = ScaleKernel { src, dst, blocks: 2 };
         let _ = dev.launch(&k, ExecMode::Functional);
+    }
+
+    /// The eager executor moves exactly the data a simulated launch moves
+    /// (serial and chunked), with only structural counters recorded.
+    #[test]
+    fn eager_execution_matches_simulated_launch() {
+        let (mut dev, src, dst) = setup(64);
+        let k = ScaleKernel { src, dst, blocks: 64 };
+        dev.launch(&k, ExecMode::Functional);
+        let want = dev.download(dst);
+
+        for workers in [1usize, 4] {
+            let (mut eager, src2, dst2) = setup(64);
+            let k2 = ScaleKernel { src: src2, dst: dst2, blocks: 64 };
+            let stats = run_functional_eager(&mut eager.memory, &k2, workers);
+            assert_eq!(eager.download(dst2), want, "workers={workers}");
+            assert_eq!(stats.blocks, 64);
+            assert_eq!(stats.flops, 64 * 64);
+            assert_eq!(stats.syncthreads, 64);
+            assert_eq!(
+                (stats.global_load_sectors, stats.global_store_sectors),
+                (0, 0),
+                "eager execution must skip traffic accounting"
+            );
+        }
+    }
+
+    /// The shared analytical helper is bit-identical to the device path.
+    #[test]
+    fn analytical_stats_helper_matches_device_path() {
+        let (mut dev, src, dst) = setup(7);
+        let k = ScaleKernel { src, dst, blocks: 7 };
+        let rec = dev.launch(&k, ExecMode::Analytical);
+        let direct = run_analytical_stats(&dev.memory, &k, false);
+        assert_eq!(rec.stats, direct);
+        assert_eq!(direct, expected_stats(7));
     }
 
     /// Probability schedules resolve per launch index, so they replay

@@ -52,13 +52,16 @@ pub use exec::{
 };
 pub use fault::{FaultKind, FaultPlan, FaultStats, LaunchError};
 pub use journal::WriteJournal;
-pub use kernel::{BlockCtx, ExecMode, GpuDevice, Kernel, LaunchDims, LaunchRecord};
+pub use kernel::{
+    run_analytical_stats, run_functional_eager, BlockCtx, ExecMode, GpuDevice, Kernel,
+    LaunchDims, LaunchRecord,
+};
 pub use memo::{
     launch_memo_clear, launch_memo_enabled, launch_memo_stats, seq_insert, seq_lookup,
     seq_memo_clear, seq_memo_stats, set_launch_memo_enabled, structural_fingerprint,
     MemoStats, SeqMemoStats,
 };
-pub use memory::BufferId;
+pub use memory::{BufferId, GlobalMemory};
 pub use shared::BankStats;
 pub use stats::KernelStats;
 pub use timeline::{achieved_bandwidth_gbps, binding_resource, render_table, BindingResource};

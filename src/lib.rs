@@ -15,6 +15,11 @@ pub use turbofno::{
     RetryPolicy, Session, TfnoError, TurboOptions, Variant,
 };
 
+// The backend surface: `Session` is generic over `Backend`; `AnyBackend`
+// switches between the simulator and the eager native host executor
+// (`TFNO_BACKEND`, or `Session::with_backend`).
+pub use turbofno::{AnyBackend, Backend, BackendCaps, BackendKind, NativeBackend, SimBackend};
+
 // The fault-injection surface (see `tfno_gpu_sim::fault`): install a
 // seeded `FaultPlan` with `Session::set_fault_plan` to chaos-test against
 // deterministic launch/allocation failures.

@@ -1,0 +1,218 @@
+//! Cross-backend equivalence: the same `LayerSpec` run through the
+//! simulated device and the eager native host executor must produce the
+//! same numbers (within float tolerance — the backends share kernel
+//! bodies but are only held to the functional contract, not bitwise
+//! equality), across every variant, both dimensionalities, stacked
+//! mixed-weight queues, and async submit storms. Capabilities a backend
+//! does not advertise must surface as typed `TfnoError::Validation`
+//! errors, never panics.
+
+use proptest::prelude::*;
+use tfno_num::error::rel_l2_error;
+use tfno_num::C32;
+use turbofno_suite::gpu_sim::BufferId;
+use turbofno_suite::{
+    Backend, FaultPlan, LayerSpec, NativeBackend, Request, Session, SimBackend, TfnoError, Variant,
+};
+
+fn data(len: usize, seed: f32) -> Vec<C32> {
+    (0..len)
+        .map(|i| {
+            let t = i as f32;
+            C32::new((t * 0.17 + seed).sin(), (t * 0.23 - seed).cos())
+        })
+        .collect()
+}
+
+/// Upload operands for `spec` (derived deterministically from `seed`),
+/// run it, and download the result. Works on any backend.
+fn run_on<B: Backend>(sess: &mut Session<B>, spec: &LayerSpec, seed: f32) -> Vec<C32> {
+    let x = sess.alloc("x", spec.input_len());
+    let w = sess.alloc("w", spec.weight_len());
+    let y = sess.alloc("y", spec.output_len());
+    sess.upload(x, &data(spec.input_len(), seed));
+    sess.upload(w, &data(spec.weight_len(), seed + 0.5));
+    sess.run(spec, x, w, y);
+    sess.download(y)
+}
+
+/// The same spec on a fresh session per backend; asserts agreement within
+/// the documented 1e-5 relative tolerance.
+fn assert_backends_agree(spec: &LayerSpec, seed: f32) {
+    let sim = run_on(&mut Session::new(SimBackend::a100()), spec, seed);
+    let native = run_on(&mut Session::with_backend(NativeBackend::a100()), spec, seed);
+    let err = rel_l2_error(&sim, &native);
+    assert!(
+        err < 1e-5,
+        "{:?}: sim and native diverge, rel l2 {err}",
+        spec.variant
+    );
+}
+
+#[test]
+fn all_variants_agree_1d() {
+    for v in Variant::CONCRETE {
+        let spec = LayerSpec::d1(2, 6, 6, 128).modes(32).variant(v);
+        assert_backends_agree(&spec, 0.3);
+    }
+}
+
+#[test]
+fn all_variants_agree_2d() {
+    for v in Variant::CONCRETE {
+        let spec = LayerSpec::d2(1, 5, 4, 32, 64).modes_xy(8, 32).variant(v);
+        assert_backends_agree(&spec, 0.7);
+    }
+}
+
+#[test]
+fn stacked_mixed_weight_queue_agrees() {
+    // K same-shape requests with K distinct weight buffers: the engine
+    // packs them into one stacked launch sequence (strided weights,
+    // device-side gather/scatter) on backends that support it and runs
+    // them sequentially otherwise — either way the numbers must match.
+    fn queue_on<B: Backend>(sess: &mut Session<B>, spec: &LayerSpec, k: usize) -> Vec<Vec<C32>> {
+        let reqs: Vec<Request> = (0..k)
+            .map(|i| {
+                let x = sess.alloc("qx", spec.input_len());
+                let w = sess.alloc("qw", spec.weight_len());
+                let y = sess.alloc("qy", spec.output_len());
+                sess.upload(x, &data(spec.input_len(), 0.1 + i as f32));
+                sess.upload(w, &data(spec.weight_len(), 0.6 + i as f32));
+                Request { spec: *spec, x, w, y }
+            })
+            .collect();
+        sess.run_many(&reqs);
+        reqs.iter().map(|r| sess.download(r.y)).collect()
+    }
+
+    let spec = LayerSpec::d1(1, 8, 8, 128).modes(32).variant(Variant::TurboBest);
+    let sim = queue_on(&mut Session::new(SimBackend::a100()), &spec, 6);
+    let native = queue_on(&mut Session::with_backend(NativeBackend::a100()), &spec, 6);
+    for (i, (s, n)) in sim.iter().zip(&native).enumerate() {
+        let err = rel_l2_error(s, n);
+        assert!(err < 1e-5, "stacked request {i} diverged: rel l2 {err}");
+    }
+}
+
+#[test]
+fn async_submit_storm_agrees() {
+    // Flood the session with submits before waiting on anything, waiting
+    // in an order that differs from submission; the dispatch thread (and
+    // the native backend's eager execution under it) must keep results
+    // keyed to the right handles.
+    fn storm_on<B: Backend>(sess: &mut Session<B>, specs: &[LayerSpec]) -> Vec<Vec<C32>> {
+        let slots: Vec<(BufferId, BufferId, BufferId)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let x = sess.alloc("ax", spec.input_len());
+                let w = sess.alloc("aw", spec.weight_len());
+                let y = sess.alloc("ay", spec.output_len());
+                sess.upload(x, &data(spec.input_len(), 0.2 + i as f32));
+                sess.upload(w, &data(spec.weight_len(), 0.9 + i as f32));
+                (x, w, y)
+            })
+            .collect();
+        let handles: Vec<_> = specs
+            .iter()
+            .zip(&slots)
+            .map(|(spec, &(x, w, y))| sess.submit(spec, x, w, y))
+            .collect();
+        // Wait newest-first: completion order must not matter.
+        for h in handles.into_iter().rev() {
+            sess.wait(h);
+        }
+        slots.iter().map(|&(_, _, y)| sess.download(y)).collect()
+    }
+
+    // A mixed storm: different shapes and variants interleaved.
+    let specs: Vec<LayerSpec> = (0..8)
+        .map(|i| {
+            let v = Variant::CONCRETE[i % Variant::CONCRETE.len()];
+            if i % 2 == 0 {
+                LayerSpec::d1(1 + i % 3, 4, 4, 128).modes(32).variant(v)
+            } else {
+                LayerSpec::d1(1, 6, 4, 128).modes(64).variant(v)
+            }
+        })
+        .collect();
+    let sim = storm_on(&mut Session::new(SimBackend::a100()), &specs);
+    let native = storm_on(&mut Session::with_backend(NativeBackend::a100()), &specs);
+    for (i, (s, n)) in sim.iter().zip(&native).enumerate() {
+        let err = rel_l2_error(s, n);
+        assert!(err < 1e-5, "storm submit {i} diverged: rel l2 {err}");
+    }
+}
+
+#[test]
+fn unsupported_capability_is_typed_not_a_panic() {
+    let mut native = Session::with_backend(NativeBackend::a100());
+    assert!(!native.device().caps().fault_injection);
+    assert!(!native.device().caps().deferred_launch);
+    assert!(native.device().caps().replay);
+    // Arming a fault plan on a backend without fault injection reports
+    // Validation (a request error — check caps first), never panics.
+    let err = native
+        .try_set_fault_plan(Some(FaultPlan::seeded(0xD15C0)))
+        .unwrap_err();
+    assert!(matches!(err, TfnoError::Validation(_)), "{err:?}");
+    // Clearing is a no-op everywhere: a session teardown path must not
+    // have to know which backend it is running on.
+    native.try_set_fault_plan(None).unwrap();
+    // The simulator advertises and accepts the same call.
+    let mut sim = Session::new(SimBackend::a100());
+    assert!(sim.device().caps().fault_injection);
+    sim.try_set_fault_plan(Some(FaultPlan::seeded(0xD15C0))).unwrap();
+    sim.try_set_fault_plan(None).unwrap();
+}
+
+#[test]
+fn native_session_still_serves_faultless_runs_after_rejection() {
+    // A rejected capability request must leave the session fully usable.
+    let mut sess = Session::with_backend(NativeBackend::a100());
+    let spec = LayerSpec::d1(1, 4, 4, 128).modes(32).variant(Variant::FullyFused);
+    assert!(sess.try_set_fault_plan(Some(FaultPlan::seeded(1))).is_err());
+    let y = run_on(&mut sess, &spec, 0.4);
+    assert!(y.iter().all(|c| c.re.is_finite() && c.im.is_finite()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random shapes, every variant, 1D: sim and native agree.
+    #[test]
+    fn prop_backends_agree_1d(
+        batch in 1usize..3,
+        k in 1usize..10,
+        nf_sel in 0usize..2,
+        variant_sel in 0usize..Variant::CONCRETE.len(),
+    ) {
+        let nf = [32usize, 64][nf_sel];
+        let spec = LayerSpec::d1(batch, k, k, 128)
+            .modes(nf)
+            .variant(Variant::CONCRETE[variant_sel]);
+        let sim = run_on(&mut Session::new(SimBackend::a100()), &spec, 0.3);
+        let native = run_on(&mut Session::with_backend(NativeBackend::a100()), &spec, 0.3);
+        let err = rel_l2_error(&sim, &native);
+        prop_assert!(err < 1e-5, "{:?}: rel l2 {err}", spec.variant);
+    }
+
+    /// Random shapes, every variant, 2D: sim and native agree.
+    #[test]
+    fn prop_backends_agree_2d(
+        batch in 1usize..3,
+        k in 1usize..6,
+        ny_sel in 0usize..2,
+        variant_sel in 0usize..Variant::CONCRETE.len(),
+    ) {
+        let ny = [64usize, 128][ny_sel];
+        let spec = LayerSpec::d2(batch, k, k, 32, ny)
+            .modes_xy(8, 32)
+            .variant(Variant::CONCRETE[variant_sel]);
+        let sim = run_on(&mut Session::new(SimBackend::a100()), &spec, 0.6);
+        let native = run_on(&mut Session::with_backend(NativeBackend::a100()), &spec, 0.6);
+        let err = rel_l2_error(&sim, &native);
+        prop_assert!(err < 1e-5, "{:?}: rel l2 {err}", spec.variant);
+    }
+}

@@ -26,7 +26,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use tfno_num::C32;
-use turbofno_suite::{FaultPlan, LayerSpec, Request, RetryPolicy, Session, Variant};
+use turbofno_suite::{FaultPlan, LayerSpec, Request, RetryPolicy, Session, SimBackend, Variant};
 
 /// All five concrete pipeline variants (TurboBest is a planner alias).
 const VARIANTS: [Variant; 5] = [
@@ -74,7 +74,7 @@ fn seeded_values(len: usize, seed: f32) -> Vec<C32> {
 /// The mixed single-run soak: all five variants x 1D/2D, three rounds of
 /// typed runs under a seeded schedule, then a clean sweep.
 fn soak_single_runs(case_seed: u64) {
-    let mut sess = Session::a100();
+    let mut sess = Session::new(SimBackend::a100());
     let d1 = LayerSpec::d1(1, 4, 4, 64).modes(32);
     let d2 = LayerSpec::d2(1, 4, 4, 32, 64).modes_xy(8, 32);
     let dims = [d1, d2];
@@ -170,7 +170,7 @@ fn soak_single_runs(case_seed: u64) {
 /// The serving-queue soak: a coalescible queue (stacked same-spec pair,
 /// mixed weights, an unfused member, a 2D member) under the same schedule.
 fn soak_queue(case_seed: u64) {
-    let mut sess = Session::a100();
+    let mut sess = Session::new(SimBackend::a100());
     let fused = LayerSpec::d1(2, 4, 4, 64).modes(32).variant(Variant::FullyFused);
     let plain = LayerSpec::d1(2, 4, 4, 64).modes(32).variant(Variant::FftOpt);
     let two_d = LayerSpec::d2(1, 4, 4, 32, 64).modes_xy(8, 32).variant(Variant::FusedFftGemm);
@@ -256,7 +256,7 @@ fn soak_queue(case_seed: u64) {
 /// The async soak: a storm of `try_submit`s redeemed with `try_wait`,
 /// including handles deliberately dropped without waiting.
 fn soak_submits(case_seed: u64) {
-    let mut sess = Session::a100();
+    let mut sess = Session::new(SimBackend::a100());
     let fused = LayerSpec::d1(1, 4, 4, 64).modes(32).variant(Variant::FullyFused);
     let plain = LayerSpec::d2(1, 4, 4, 32, 64).modes_xy(8, 32).variant(Variant::FftOpt);
     let specs = [fused, plain];
@@ -353,7 +353,7 @@ proptest! {
 #[test]
 fn fault_schedules_are_deterministic_per_seed() {
     let run = || {
-        let mut sess = Session::a100();
+        let mut sess = Session::new(SimBackend::a100());
         let spec = LayerSpec::d1(1, 4, 4, 64).modes(32).variant(Variant::FullyFused);
         let x = sess.alloc("x", spec.input_len());
         let w = sess.alloc("w", spec.weight_len());

@@ -9,9 +9,9 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use tfno_gpu_sim::{BufferId, GpuDevice};
+use tfno_gpu_sim::BufferId;
 use tfno_num::C32;
-use turbofno::{LayerSpec, Request, Session, Variant};
+use turbofno::{AnyBackend, LayerSpec, Request, Session, SimBackend, Variant};
 
 fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
     (0..len)
@@ -27,7 +27,7 @@ fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
 /// Run `spec` cold and warm in one session (same operands), proving the
 /// warm call replayed (where the variant allows) and rewrote the output;
 /// returns the agreed output bits.
-fn cold_then_warm(sess: &mut Session, spec: &LayerSpec, x_seed: f32, w_seed: f32) -> Vec<C32> {
+fn cold_then_warm(sess: &mut Session<AnyBackend>, spec: &LayerSpec, x_seed: f32, w_seed: f32) -> Vec<C32> {
     let x = sess.alloc("x", spec.input_len());
     let w = sess.alloc("w", spec.weight_len());
     let y = sess.alloc("y", spec.output_len());
@@ -183,7 +183,7 @@ fn planner_clear_invalidates_turbo_best_artifacts() {
 /// Per-iteration operand slots for the queue property: reused across
 /// iterations so identical queue layouts actually replay.
 struct Slots {
-    sess: Session,
+    sess: Session<AnyBackend>,
     x: Vec<BufferId>,
     w: Vec<BufferId>,
     y: Vec<BufferId>,
@@ -318,7 +318,7 @@ proptest! {
 fn replay_is_bitwise_equal_across_worker_counts() {
     let spec = LayerSpec::d1(2, 8, 8, 128).modes(32).variant(Variant::FullyFused);
     let warm_out = |workers: Option<usize>| {
-        let mut dev = GpuDevice::a100();
+        let mut dev = SimBackend::a100();
         if let Some(n) = workers {
             dev.set_workers(Some(n));
         }

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use tfno_num::C32;
 use turbofno::{
-    BufferPool, FnoProblem1d, LayerSpec, Request, Session, Variant,
+    Backend, BufferPool, FnoProblem1d, LayerSpec, Request, Session, Variant,
 };
 use turbofno_suite::gpu_sim::{BufferId, ExecMode, GpuDevice};
 
@@ -21,7 +21,7 @@ fn rand_vec(len: usize, seed: f32) -> Vec<C32> {
 }
 
 /// Allocate + upload the operands of `spec`, with data derived from `seed`.
-fn operands(sess: &mut Session, spec: &LayerSpec, seed: f32) -> (BufferId, BufferId, BufferId) {
+fn operands(sess: &mut Session<impl Backend>, spec: &LayerSpec, seed: f32) -> (BufferId, BufferId, BufferId) {
     let x = sess.alloc("x", spec.input_len());
     let w = sess.alloc("w", spec.weight_len());
     let y = sess.alloc("y", spec.output_len());

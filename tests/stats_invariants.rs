@@ -4,11 +4,14 @@
 
 use proptest::prelude::*;
 use tfno_num::C32;
-use turbofno::{FnoProblem1d, LayerSpec, Session, Variant};
+use turbofno::{FnoProblem1d, LayerSpec, Session, SimBackend, Variant};
 use turbofno_suite::gpu_sim::{ExecMode, KernelStats};
 
+// Pinned to the simulator: these invariants are properties of the sim's
+// event-accounting model (analytical replays, modeled traffic), not of an
+// arbitrary backend.
 fn run(p: &FnoProblem1d, v: Variant, mode: ExecMode) -> (KernelStats, usize, f64) {
-    let mut sess = Session::a100();
+    let mut sess = Session::new(SimBackend::a100());
     let x = sess.alloc("x", p.input_len());
     let w = sess.alloc("w", p.weight_len());
     let y = sess.alloc("y", p.output_len());

@@ -3,7 +3,7 @@
 //! `cargo xtask lint` is the repo-invariant half of the static-analysis story:
 //! the launch-plan verifier (`turbofno::verify`) proves runtime plans safe,
 //! and this pass proves the *source* keeps the conventions those proofs rely
-//! on. Four rules:
+//! on. Five rules:
 //!
 //! - **lock-discipline**: no `.lock().unwrap()` / `.lock().expect(` outside
 //!   the poison-recovery helpers in `crates/gpu-sim/src/exec.rs`
@@ -19,6 +19,12 @@
 //! - **bench-ci-coverage**: every `harness = false` `[[bench]]` target in
 //!   `crates/*/Cargo.toml` must be compiled by CI, either via a blanket
 //!   `cargo bench --no-run` step or by naming the target in the workflow.
+//! - **backend-isolation**: `crates/core` sees the execution device only
+//!   through the `Backend` trait. Outside the adapter module
+//!   (`backend.rs`) and the sim-specific kernel builders (`fused.rs`,
+//!   `swizzle.rs`, `fused_tests.rs`), core source must not name
+//!   `tfno_gpu_sim` or `GpuDevice` — new code goes through the trait so
+//!   every backend benefits.
 //!
 //! Test code (`#[cfg(test)] mod` regions) is exempt from the source rules:
 //! tests assert invariants by panicking on purpose.
@@ -67,6 +73,7 @@ fn lint() -> ExitCode {
             continue;
         };
         lint_source(&root, &file, &text, &mut findings);
+        lint_backend_isolation(&root, &file, &text, &mut findings);
     }
     lint_bench_coverage(&root, &mut findings);
 
@@ -394,6 +401,13 @@ fn lint_source(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>
                     }
                     depth -= 1;
                 }
+                // A `;` before any `{` terminates the pending declaration
+                // (a bodyless trait method like `fn try_alloc(...) -> X;`):
+                // the next brace belongs to some other item, not to it.
+                ';' => {
+                    pending_try = false;
+                    pending_test = false;
+                }
                 _ => {}
             }
         }
@@ -420,6 +434,45 @@ fn contains_try_fn_decl(line: &str) -> bool {
         rest = &rest[pos + 3..];
     }
     false
+}
+
+/// Whether `file` is core source held to the backend-isolation rule:
+/// everything under `crates/core/src` except the backend adapter module
+/// and the sim-specific kernel builders it wraps.
+fn backend_isolation_scope(root: &Path, file: &Path) -> bool {
+    let Ok(rel) = file.strip_prefix(root) else {
+        return false;
+    };
+    if !rel.starts_with("crates/core/src") {
+        return false;
+    }
+    !matches!(
+        file.file_name().and_then(|n| n.to_str()),
+        Some("backend.rs" | "fused.rs" | "swizzle.rs" | "fused_tests.rs")
+    )
+}
+
+/// Rule 5: `crates/core` talks to the device only through the `Backend`
+/// trait. Direct references to the simulator crate or its concrete device
+/// type belong in the adapter module, not in engine code.
+fn lint_backend_isolation(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>) {
+    if !backend_isolation_scope(root, file) {
+        return;
+    }
+    let sanitized = sanitize(text);
+    for (idx, line) in sanitized.lines().enumerate() {
+        if line.contains("tfno_gpu_sim") || line.contains("GpuDevice") {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: "backend-isolation",
+                message: "core engine code must not reference tfno_gpu_sim/GpuDevice \
+                          directly: go through the `Backend` trait (or the adapter \
+                          re-exports in crates/core/src/backend.rs)"
+                    .into(),
+            });
+        }
+    }
 }
 
 /// Rule 4: every `harness = false` bench target must be compiled by CI.
@@ -639,6 +692,75 @@ name = \"with_harness\"
         lint_source(
             Path::new("/repo"),
             Path::new("/repo/crates/gpu-sim/src/exec.rs"),
+            src,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn bodyless_trait_try_decl_does_not_capture_next_body() {
+        // `fn try_alloc(...) -> X;` has no body: the provided method that
+        // follows must not inherit its try_* status.
+        let src = "\
+trait Backend {
+    fn try_alloc(&mut self, len: usize) -> Result<u32, ()>;
+
+    fn alloc(&mut self, len: usize) -> u32 {
+        self.try_alloc(len).unwrap_or_else(|e| panic!(\"fault: {e}\"))
+    }
+}
+";
+        let mut findings = Vec::new();
+        lint_source(
+            Path::new("/tmp"),
+            Path::new("/tmp/lib.rs"),
+            src,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn backend_isolation_flags_core_device_refs() {
+        let root = Path::new("/repo");
+        let src = "use crate::backend::ExecMode;\nuse tfno_gpu_sim::GpuDevice;\n";
+        let mut findings = Vec::new();
+        lint_backend_isolation(
+            root,
+            &root.join("crates/core/src/session.rs"),
+            src,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "backend-isolation");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn backend_isolation_exempts_adapter_and_other_crates() {
+        let root = Path::new("/repo");
+        let src = "pub use tfno_gpu_sim::GpuDevice;\n";
+        for rel in [
+            "crates/core/src/backend.rs",    // the adapter module itself
+            "crates/core/src/fused.rs",      // sim-specific kernel builders
+            "crates/gpu-sim/src/device.rs",  // the simulator crate
+            "tests/verify.rs",               // root tests may pin the sim
+        ] {
+            let mut findings = Vec::new();
+            lint_backend_isolation(root, &root.join(rel), src, &mut findings);
+            assert!(findings.is_empty(), "{rel}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn backend_isolation_ignores_comment_mentions() {
+        let root = Path::new("/repo");
+        let src = "// The sim's GpuDevice used to live here.\nfn f() {}\n";
+        let mut findings = Vec::new();
+        lint_backend_isolation(
+            root,
+            &root.join("crates/core/src/pool.rs"),
             src,
             &mut findings,
         );
