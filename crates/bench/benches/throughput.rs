@@ -51,7 +51,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use tfno_gpu_sim::{set_launch_memo_enabled, FaultPlan, GpuDevice};
-use tfno_model::{gelu, pointwise_naive, Fno1d, Fno2d};
+use tfno_model::{gelu, pointwise_naive, Fno1d, Fno2d, FnoNd};
 use tfno_num::error::rel_l2_error;
 use tfno_num::CTensor;
 use turbofno::{
@@ -139,17 +139,34 @@ fn forward_legacy_2d(model: &Fno2d, opts: &TurboOptions, x: &CTensor) -> CTensor
     pointwise_naive(&h, &model.proj)
 }
 
+/// The rank-generic legacy forward (used for the 3D scenario the rank-3
+/// path opened): same pre-PR costs — fresh session, static-chunk
+/// executor, cold `pick_best` plan per layer, scalar pointwise.
+fn forward_legacy_nd(model: &FnoNd, opts: &TurboOptions, x: &CTensor) -> CTensor {
+    let mut sess = legacy_session();
+    let mut h = pointwise_naive(x, &model.lift);
+    for layer in &model.layers {
+        let shape = layer.spectral.shape(h.shape()[0]);
+        let best = Planner::pick_best_shape(&sess.device().config, &shape, opts);
+        let (s, _) = layer.spectral.forward_device(&mut sess, best, opts, &h);
+        let pb = pointwise_naive(&h, &layer.bypass);
+        h = add_gelu_naive(&s, &pb);
+    }
+    pointwise_naive(&h, &model.proj)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Regression floors for `--check-floors` (CI smoke). Deliberately far
-/// below the build-host numbers (4.4x / 3.2x / 1.17x at the time of
-/// pinning): shared CI runners are noisy, and the gate exists to catch a
-/// *collapsed* optimization — an engine regression to pre-PR behavior —
-/// not a few percent of jitter.
+/// below the build-host numbers (7.4x / 4.5x / 4.1x for 1D/2D/3D at the
+/// last pinning): shared CI runners are noisy, and the gate exists to
+/// catch a *collapsed* optimization — an engine regression to pre-PR
+/// behavior — not a few percent of jitter.
 const FLOOR_SPEEDUP_1D: f64 = 2.0;
 const FLOOR_SPEEDUP_2D: f64 = 1.5;
+const FLOOR_SPEEDUP_3D: f64 = 1.3;
 const FLOOR_SPEEDUP_SERVE_MIXED: f64 = 1.02;
 const FLOOR_SPEEDUP_PIPELINE_OVERLAP: f64 = 1.02;
 const FLOOR_SPEEDUP_REPLAY_WARM: f64 = 1.3;
@@ -195,21 +212,46 @@ fn main() {
         "batch={batch2} width={width2} layers={layers2} nx={nx2} ny={ny2} nfx={nfx2} nfy={nfy2}"
     );
 
+    // ------------------------------------------------------------ 3D ----
+    // The rank-3 workload the rank-generic engine opened. The innermost
+    // mode count is a multiple of the fused kernels' warp M-tile so
+    // `TurboBest` may pick any fusion level.
+    let (layers3, nx3, ny3, nz3, nfx3, nfy3, nfz3, width3, batch3) =
+        if smoke { (2, 8, 8, 32, 2, 4, 32, 4, 1) } else { (2, 8, 16, 32, 4, 8, 32, 8, 1) };
+    let model3 = FnoNd::random(
+        &mut rng,
+        1,
+        width3,
+        1,
+        layers3,
+        &[nx3, ny3, nz3],
+        &[nfx3, nfy3, nfz3],
+    );
+    let x3 = CTensor::random(&mut rng, &[batch3, 1, nx3, ny3, nz3]);
+    let shape3 = format!(
+        "batch={batch3} width={width3} layers={layers3} nx={nx3} ny={ny3} nz={nz3} \
+         nfx={nfx3} nfy={nfy3} nfz={nfz3}"
+    );
+
     // Cross-check the two engines compute the same model before timing.
     set_launch_memo_enabled(false);
     let y1_legacy = forward_legacy_1d(&model1, &opts, &x1);
     let y2_legacy = forward_legacy_2d(&model2, &opts, &x2);
+    let y3_legacy = forward_legacy_nd(&model3, &opts, &x3);
     set_launch_memo_enabled(true);
     // One session serves every turbo forward of the bench: planner cache
     // and buffer pool warm up once and stay warm across the whole run.
     let mut turbo_sess = Session::a100();
     let (y1_turbo, _) = model1.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x1);
     let (y2_turbo, _) = model2.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x2);
+    let (y3_turbo, _) = model3.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x3);
     let err1 = rel_l2_error(y1_turbo.data(), y1_legacy.data());
     let err2 = rel_l2_error(y2_turbo.data(), y2_legacy.data());
+    let err3 = rel_l2_error(y3_turbo.data(), y3_legacy.data());
     assert!(err1 < 1e-6, "1D engines diverge: rel l2 {err1}");
     assert!(err2 < 1e-6, "2D engines diverge: rel l2 {err2}");
-    println!("engine cross-check: 1D rel_l2 {err1:.2e}, 2D rel_l2 {err2:.2e}");
+    assert!(err3 < 1e-6, "3D engines diverge: rel l2 {err3}");
+    println!("engine cross-check: 1D rel_l2 {err1:.2e}, 2D rel_l2 {err2:.2e}, 3D rel_l2 {err3:.2e}");
 
     // ------------------------------------------------- measurements ----
     let mut run_case = |dim: &'static str,
@@ -236,6 +278,9 @@ fn main() {
     run_case("2d", &shape2, "legacy", &mut || {
         forward_legacy_2d(&model2, &opts, &x2);
     });
+    run_case("3d", &shape3, "legacy", &mut || {
+        forward_legacy_nd(&model3, &opts, &x3);
+    });
     set_launch_memo_enabled(true);
 
     run_case("1d", &shape1, "turbo", &mut || {
@@ -243,6 +288,9 @@ fn main() {
     });
     run_case("2d", &shape2, "turbo", &mut || {
         model2.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x2);
+    });
+    run_case("3d", &shape3, "turbo", &mut || {
+        model3.forward_device(&mut turbo_sess, Variant::TurboBest, &opts, &x3);
     });
 
     // -------------------------------------------- mixed-weight serving ----
@@ -508,6 +556,7 @@ fn main() {
     };
     let speedup_1d = fps_of("1d", "turbo") / fps_of("1d", "legacy");
     let speedup_2d = fps_of("2d", "turbo") / fps_of("2d", "legacy");
+    let speedup_3d = fps_of("3d", "turbo") / fps_of("3d", "legacy");
     let speedup_serve =
         fps_of("serve-mixed", "mixed-stacked") / fps_of("serve-mixed", "per-weight");
     let speedup_overlap =
@@ -518,7 +567,9 @@ fn main() {
     let speedup_backend_1d = fps_of("backend-1d", "native") / fps_of("backend-1d", "sim");
     let speedup_backend_2d = fps_of("backend-2d", "native") / fps_of("backend-2d", "sim");
     let speedup_backend_native = speedup_backend_1d.min(speedup_backend_2d);
-    println!("speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x");
+    println!(
+        "speedup vs pre-PR executor: 1D {speedup_1d:.2}x, 2D {speedup_2d:.2}x, 3D {speedup_3d:.2}x"
+    );
     println!("mixed-weight serving: stacked vs per-weight queues {speedup_serve:.2}x");
     println!("pipeline overlap: async dispatch vs synchronous session path {speedup_overlap:.2}x");
     println!("warm-path replay: steady-state session vs cold session {speedup_replay:.2}x");
@@ -553,7 +604,7 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4},\n  \"fault_overhead\": {fault_overhead:.4},\n  \"verify_overhead\": {verify_overhead:.4},\n  \"speedup_backend_native_1d\": {speedup_backend_1d:.4},\n  \"speedup_backend_native_2d\": {speedup_backend_2d:.4},\n  \"speedup_backend_native\": {speedup_backend_native:.4}\n}}\n"
+        "  \"speedup_1d\": {speedup_1d:.4},\n  \"speedup_2d\": {speedup_2d:.4},\n  \"speedup_3d\": {speedup_3d:.4},\n  \"speedup_serve_mixed\": {speedup_serve:.4},\n  \"speedup_pipeline_overlap\": {speedup_overlap:.4},\n  \"speedup_replay_warm\": {speedup_replay:.4},\n  \"fault_overhead\": {fault_overhead:.4},\n  \"verify_overhead\": {verify_overhead:.4},\n  \"speedup_backend_native_1d\": {speedup_backend_1d:.4},\n  \"speedup_backend_native_2d\": {speedup_backend_2d:.4},\n  \"speedup_backend_native\": {speedup_backend_native:.4}\n}}\n"
     ));
 
     // Default to the workspace root (cargo runs benches with the package
@@ -568,6 +619,7 @@ fn main() {
         let floors = [
             ("speedup_1d", speedup_1d, FLOOR_SPEEDUP_1D),
             ("speedup_2d", speedup_2d, FLOOR_SPEEDUP_2D),
+            ("speedup_3d", speedup_3d, FLOOR_SPEEDUP_3D),
             ("speedup_serve_mixed", speedup_serve, FLOOR_SPEEDUP_SERVE_MIXED),
             ("speedup_pipeline_overlap", speedup_overlap, FLOOR_SPEEDUP_PIPELINE_OVERLAP),
             ("speedup_replay_warm", speedup_replay, FLOOR_SPEEDUP_REPLAY_WARM),

@@ -91,99 +91,68 @@ pub trait FusedGeometry: Sync {
     fn fingerprint(&self) -> u64;
 }
 
-/// 1D Fourier layer geometry (`[batch, k, n]` tensors).
+/// Rank-generic fused-middle geometry (`[batch, k, outer modes..., n]`
+/// tensors): the ONE geometry every rank shares.
+///
+/// The paper keeps the FFT stages along strided outer axes as standalone
+/// kernels and fuses only the *innermost, contiguous* axis — that is what
+/// makes the k-loop-ordered loads of the fused kernel coalesced
+/// (§2.3 / Fig. 6). By the time the fused middle runs, all outer axes are
+/// already truncated to their retained modes, so the only geometry the
+/// kernel needs is the product of those outer modes (`outer_modes`, 1 for
+/// rank 1) plus the innermost extent/mode pair:
+///
+/// * rank 1: input `[batch, k, n]`, `outer_modes = 1`;
+/// * rank 2: input `[batch, k, nfx, ny]`, `outer_modes = nfx`;
+/// * rank 3: input `[batch, k, nfx, nfy, nz]`, `outer_modes = nfx * nfy`.
+///
+/// Output is either truncated modes (`m_inner` per pencil) or the restored
+/// innermost axis (`n_inner`) when the inverse stage is fused too.
 #[derive(Clone, Copy, Debug)]
-pub struct Geom1d {
+pub struct GeomNd {
     pub batch: usize,
     pub k_in: usize,
     pub k_out: usize,
-    pub n: usize,
-    pub nf: usize,
+    /// Spatial rank of the surrounding layer (serialization lookup only —
+    /// the addressing is fully determined by the other fields).
+    pub rank: usize,
+    /// Spatial extent of the fused (innermost, contiguous) axis.
+    pub n_inner: usize,
+    /// Retained modes along the fused axis (= the tile's `m_tb`).
+    pub m_inner: usize,
+    /// Product of the retained modes of every already-transformed outer
+    /// axis (1 for rank 1).
+    pub outer_modes: usize,
 }
 
-impl FusedGeometry for Geom1d {
-    fn outer_blocks(&self) -> usize {
-        self.batch
-    }
-    fn outer_batch(&self, outer: usize) -> usize {
-        outer
-    }
-    fn k_in(&self) -> usize {
-        self.k_in
-    }
-    fn k_out(&self) -> usize {
-        self.k_out
-    }
-    fn fft_len(&self) -> usize {
-        self.n
-    }
-    fn modes(&self) -> usize {
-        self.nf
-    }
-    fn x_addr(&self, outer: usize, k: usize, idx: usize) -> usize {
-        (outer * self.k_in + k) * self.n + idx
-    }
-    fn a_view(&self, outer: usize) -> MatView {
-        MatView {
-            base: outer * self.k_in * self.nf,
-            row_stride: 1,
-            col_stride: self.nf,
+impl GeomNd {
+    /// The fused-middle geometry of a [`tfno_culib::SpectralShape`].
+    pub fn from_shape(s: &tfno_culib::SpectralShape) -> Self {
+        GeomNd {
+            batch: s.batch,
+            k_in: s.k_in,
+            k_out: s.k_out,
+            rank: s.rank,
+            n_inner: s.dims[s.rank - 1],
+            m_inner: s.modes[s.rank - 1],
+            outer_modes: s.outer_modes(),
         }
     }
-    fn c_view(&self, outer: usize, n0: usize) -> MatView {
-        MatView {
-            base: (outer * self.k_out + n0) * self.nf,
-            row_stride: 1,
-            col_stride: self.nf,
-        }
-    }
-    fn y_addr(&self, outer: usize, ch: usize, idx: usize) -> usize {
-        (outer * self.k_out + ch) * self.n + idx
-    }
-    fn fingerprint(&self) -> u64 {
-        structural_fingerprint("fused.geom1d", |h| {
-            self.batch.hash(h);
-            self.k_in.hash(h);
-            self.k_out.hash(h);
-            self.n.hash(h);
-            self.nf.hash(h);
-        })
-    }
-}
 
-/// Geometry of the 2D layer's fused middle.
-///
-/// The paper keeps the *first* FFT stage (along the strided width axis,
-/// here X) as a standalone kernel and fuses the *second* stage, which runs
-/// along the innermost, contiguous axis (here Y) — that is what makes the
-/// k-loop-ordered loads of the fused kernel coalesced (§2.3 / Fig. 6).
-///
-/// Input is therefore the x-truncated stage-1 output `[batch, k, nfx, ny]`
-/// (contiguous Y rows); output is either truncated modes
-/// `[batch, k_out, nfx, nfy]` or the y-restored tensor
-/// `[batch, k_out, nfx, ny]` when the inverse stage is fused too.
-#[derive(Clone, Copy, Debug)]
-pub struct Geom2d {
-    pub batch: usize,
-    pub k_in: usize,
-    pub k_out: usize,
-    /// Spatial extent of the fused (contiguous) axis.
-    pub ny: usize,
-    /// Retained modes along the fused axis (= `m_tb`).
-    pub nfy: usize,
-    /// Retained modes along the already-transformed strided axis.
-    pub nfx: usize,
-}
-
-impl Geom2d {
     fn split(&self, outer: usize) -> (usize, usize) {
-        (outer / self.nfx, outer % self.nfx)
+        (outer / self.outer_modes, outer % self.outer_modes)
+    }
+
+    /// Product of retained modes across ALL axes (the CGEMM column
+    /// stride of the packed spectral tensors).
+    fn modes_total(&self) -> usize {
+        self.outer_modes * self.m_inner
     }
 }
 
-impl FusedGeometry for Geom2d {
+impl FusedGeometry for GeomNd {
     fn outer_blocks(&self) -> usize {
-        self.batch * self.nfx
+        self.batch * self.outer_modes
     }
     fn outer_batch(&self, outer: usize) -> usize {
         self.split(outer).0
@@ -195,64 +164,75 @@ impl FusedGeometry for Geom2d {
         self.k_out
     }
     fn fft_len(&self) -> usize {
-        self.ny
+        self.n_inner
     }
     fn modes(&self) -> usize {
-        self.nfy
+        self.m_inner
     }
     fn x_addr(&self, outer: usize, k: usize, idx: usize) -> usize {
-        let (b, fx) = self.split(outer);
-        ((b * self.k_in + k) * self.nfx + fx) * self.ny + idx
+        let (b, f) = self.split(outer);
+        ((b * self.k_in + k) * self.outer_modes + f) * self.n_inner + idx
     }
     fn a_view(&self, outer: usize) -> MatView {
-        let (b, fx) = self.split(outer);
+        let (b, f) = self.split(outer);
         MatView {
-            base: (b * self.k_in * self.nfx + fx) * self.nfy,
+            base: (b * self.k_in * self.outer_modes + f) * self.m_inner,
             row_stride: 1,
-            col_stride: self.nfx * self.nfy,
+            col_stride: self.modes_total(),
         }
     }
     fn c_view(&self, outer: usize, n0: usize) -> MatView {
-        let (b, fx) = self.split(outer);
+        let (b, f) = self.split(outer);
         MatView {
-            base: ((b * self.k_out + n0) * self.nfx + fx) * self.nfy,
+            base: ((b * self.k_out + n0) * self.outer_modes + f) * self.m_inner,
             row_stride: 1,
-            col_stride: self.nfx * self.nfy,
+            col_stride: self.modes_total(),
         }
     }
     fn y_addr(&self, outer: usize, ch: usize, idx: usize) -> usize {
-        let (b, fx) = self.split(outer);
-        ((b * self.k_out + ch) * self.nfx + fx) * self.ny + idx
+        let (b, f) = self.split(outer);
+        ((b * self.k_out + ch) * self.outer_modes + f) * self.n_inner + idx
     }
 
     fn serialization(&self) -> (f64, f64) {
-        (0.85, 0.65)
+        // Higher ranks overlap worse: the per-outer working set (one outer
+        // mode slice) shrinks as the outer-mode product grows, so the
+        // k-loop's FFT/MAC dependency chain leaves less independent work in
+        // flight — consistent with the paper's near-zero 2D fusion gains
+        // (§5.2 B.2); rank 3 extrapolates that trend.
+        match self.rank {
+            1 => (0.40, 0.30),
+            2 => (0.85, 0.65),
+            _ => (0.90, 0.70),
+        }
     }
 
     fn fingerprint(&self) -> u64 {
-        structural_fingerprint("fused.geom2d", |h| {
+        structural_fingerprint("fused.geomnd", |h| {
             self.batch.hash(h);
             self.k_in.hash(h);
             self.k_out.hash(h);
-            self.ny.hash(h);
-            self.nfy.hash(h);
-            self.nfx.hash(h);
+            self.rank.hash(h);
+            self.n_inner.hash(h);
+            self.m_inner.hash(h);
+            self.outer_modes.hash(h);
         })
     }
 
     fn outer_classes(&self) -> Vec<(usize, u64)> {
-        // Every base address is a multiple of nfy / ny elements; with
-        // nfy % 4 == 0 all outers share one sector-alignment phase.
-        if self.nfy.is_multiple_of(4) {
+        // Every base address is a multiple of m_inner / n_inner elements;
+        // with m_inner % 4 == 0 all outers share one sector-alignment
+        // phase (rank 1 always does: its only outer-mode index is 0).
+        if self.m_inner.is_multiple_of(4) {
             return vec![(0, self.outer_blocks() as u64)];
         }
         // Group outers by the sector phase of their base addresses.
         let mut rep: [Option<usize>; 4] = [None; 4];
         let mut count = [0u64; 4];
-        for fx in 0..self.nfx {
-            let ph = (fx * self.nfy) % 4;
+        for f in 0..self.outer_modes {
+            let ph = (f * self.m_inner) % 4;
             if rep[ph].is_none() {
-                rep[ph] = Some(fx);
+                rep[ph] = Some(f);
             }
             count[ph] += 1;
         }

@@ -1,21 +1,28 @@
 //! Unit tests for the fused kernel's geometry layer and direct kernel
 //! launches (the pipeline-level tests live in `lib.rs` and `tests/`).
 
-use crate::fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d};
+use crate::fused::{FusedGeometry, FusedKernel, GeomNd};
 use crate::swizzle::ForwardLayout;
+use tfno_culib::SpectralShape;
 use tfno_gpu_sim::{ExecMode, GpuDevice, Kernel};
 use tfno_num::error::{gemm_tolerance, max_abs_error};
 use tfno_num::{reference, C32};
 
+fn geom_1d(batch: usize, k_in: usize, k_out: usize, n: usize, nf: usize) -> GeomNd {
+    GeomNd {
+        batch,
+        k_in,
+        k_out,
+        rank: 1,
+        n_inner: n,
+        m_inner: nf,
+        outer_modes: 1,
+    }
+}
+
 #[test]
-fn geom1d_addressing_is_row_major() {
-    let g = Geom1d {
-        batch: 3,
-        k_in: 4,
-        k_out: 5,
-        n: 16,
-        nf: 8,
-    };
+fn geom_rank1_addressing_is_row_major() {
+    let g = geom_1d(3, 4, 5, 16, 8);
     // x[b, k, i] with row-major [batch, k_in, n]
     assert_eq!(g.x_addr(0, 0, 0), 0);
     assert_eq!(g.x_addr(1, 2, 3), (4 + 2) * 16 + 3);
@@ -31,14 +38,16 @@ fn geom1d_addressing_is_row_major() {
 }
 
 #[test]
-fn geom2d_addressing_keeps_rows_contiguous() {
-    let g = Geom2d {
+fn geom_rank2_addressing_keeps_rows_contiguous() {
+    // [batch=2, k, nfx=8, ny=32] with nfy=16 retained along the fused axis.
+    let g = GeomNd {
         batch: 2,
         k_in: 3,
         k_out: 4,
-        ny: 32,
-        nfy: 16,
-        nfx: 8,
+        rank: 2,
+        n_inner: 32,
+        m_inner: 16,
+        outer_modes: 8,
     };
     assert_eq!(g.outer_blocks(), 2 * 8);
     assert_eq!(g.fft_len(), 32);
@@ -60,40 +69,82 @@ fn geom2d_addressing_keeps_rows_contiguous() {
 }
 
 #[test]
-fn geom2d_outer_classes_cover_all_blocks() {
-    for nfy in [8usize, 6, 10, 32] {
-        let g = Geom2d {
-            batch: 3,
-            k_in: 2,
-            k_out: 2,
-            ny: 64,
-            nfy,
-            nfx: 5,
-        };
-        let total: u64 = g.outer_classes().iter().map(|(_, c)| c).sum();
-        assert_eq!(total, g.outer_blocks() as u64, "nfy={nfy}");
-        for (rep, _) in g.outer_classes() {
-            assert!(rep < g.outer_blocks());
+fn geom_from_shape_matches_hand_built() {
+    // Rank 3: [b=2, k, nfx=4, nfy=6, nz=32], nfz=16. By the time the fused
+    // middle runs, x and y are already truncated, so outer_modes = nfx*nfy.
+    let s = SpectralShape::d3(2, 3, 5, 8, 16, 32).with_modes(&[4, 6, 16]);
+    let g = GeomNd::from_shape(&s);
+    assert_eq!(g.rank, 3);
+    assert_eq!(g.n_inner, 32);
+    assert_eq!(g.m_inner, 16);
+    assert_eq!(g.outer_modes, 4 * 6);
+    assert_eq!(g.outer_blocks(), 2 * 24);
+    // Address math treats the packed outer modes as one flat axis.
+    let outer = 24 + 13; // b=1, (fx, fy) = (2, 1)
+    assert_eq!(g.x_addr(outer, 2, 7), ((3 + 2) * 24 + 13) * 32 + 7);
+    assert_eq!(g.y_addr(outer, 4, 7), ((5 + 4) * 24 + 13) * 32 + 7);
+    let av = g.a_view(outer);
+    assert_eq!(av.at(1, 0), av.at(0, 0) + 1);
+    assert_eq!(av.at(0, 1), av.at(0, 0) + 24 * 16);
+    // 1D shapes collapse to the degenerate single-outer geometry.
+    let s1 = SpectralShape::d1(3, 4, 5, 16).with_modes(&[8]);
+    let g1 = GeomNd::from_shape(&s1);
+    assert_eq!(g1.outer_modes, 1);
+    assert_eq!(g1.x_addr(1, 2, 3), geom_1d(3, 4, 5, 16, 8).x_addr(1, 2, 3));
+}
+
+#[test]
+fn geom_outer_classes_cover_all_blocks() {
+    for m_inner in [8usize, 6, 10, 32] {
+        for rank in [2usize, 3] {
+            let g = GeomNd {
+                batch: 3,
+                k_in: 2,
+                k_out: 2,
+                rank,
+                n_inner: 64,
+                m_inner,
+                outer_modes: 5,
+            };
+            let total: u64 = g.outer_classes().iter().map(|(_, c)| c).sum();
+            assert_eq!(total, g.outer_blocks() as u64, "m_inner={m_inner}");
+            for (rep, _) in g.outer_classes() {
+                assert!(rep < g.outer_blocks());
+            }
         }
     }
+    // Rank 1 has a single outer-mode index, so always one class.
+    assert_eq!(geom_1d(3, 2, 2, 64, 6).outer_classes().len(), 1);
+}
+
+#[test]
+fn geom_serialization_worsens_with_rank() {
+    let g = |rank| GeomNd {
+        batch: 1,
+        k_in: 2,
+        k_out: 2,
+        rank,
+        n_inner: 64,
+        m_inner: 32,
+        outer_modes: if rank == 1 { 1 } else { 4 },
+    };
+    let (s1, _) = g(1).serialization();
+    let (s2, _) = g(2).serialization();
+    let (s3, _) = g(3).serialization();
+    assert!(s1 < s2 && s2 < s3);
 }
 
 /// Drive the fused kernel directly (no pipeline) on a tiny problem and
 /// compare against reference FFT+GEMM on the retained modes.
 #[test]
 fn fused_fft_gemm_kernel_direct() {
-    let g = Geom1d {
-        batch: 2,
-        k_in: 8,
-        k_out: 16,
-        n: 64,
-        nf: 32,
-    };
+    let g = geom_1d(2, 8, 16, 64, 32);
+    let (n, nf) = (g.n_inner, g.m_inner);
     let mut dev = GpuDevice::a100();
-    let x = dev.alloc("x", g.batch * g.k_in * g.n);
+    let x = dev.alloc("x", g.batch * g.k_in * n);
     let w = dev.alloc("w", g.k_in * g.k_out);
-    let yf = dev.alloc("yf", g.batch * g.k_out * g.nf);
-    let xd: Vec<C32> = (0..g.batch * g.k_in * g.n)
+    let yf = dev.alloc("yf", g.batch * g.k_out * nf);
+    let xd: Vec<C32> = (0..g.batch * g.k_in * n)
         .map(|i| C32::new((i as f32 * 0.21).sin(), (i as f32 * 0.43).cos()))
         .collect();
     let wd: Vec<C32> = (0..g.k_in * g.k_out)
@@ -108,18 +159,18 @@ fn fused_fft_gemm_kernel_direct() {
 
     // reference: truncated FFT then GEMM along hidden dim
     for b in 0..g.batch {
-        let mut xf = vec![C32::ZERO; g.k_in * g.nf];
+        let mut xf = vec![C32::ZERO; g.k_in * nf];
         for k in 0..g.k_in {
-            let base = (b * g.k_in + k) * g.n;
-            reference::dft(&xd[base..base + g.n], &mut xf[k * g.nf..(k + 1) * g.nf]);
+            let base = (b * g.k_in + k) * n;
+            reference::dft(&xd[base..base + n], &mut xf[k * nf..(k + 1) * nf]);
         }
-        for f in 0..g.nf {
+        for f in 0..nf {
             for ko in 0..g.k_out {
                 let mut acc = C32::ZERO;
                 for ki in 0..g.k_in {
-                    acc = acc.mac(xf[ki * g.nf + f], wd[ki * g.k_out + ko]);
+                    acc = acc.mac(xf[ki * nf + f], wd[ki * g.k_out + ko]);
                 }
-                let got_v = got[(b * g.k_out + ko) * g.nf + f];
+                let got_v = got[(b * g.k_out + ko) * nf + f];
                 assert!(
                     (got_v - acc).abs() < gemm_tolerance(g.k_in, 16.0),
                     "b={b} f={f} ko={ko}: {got_v} vs {acc}"
@@ -133,19 +184,13 @@ fn fused_fft_gemm_kernel_direct() {
 /// only the access pattern differs.
 #[test]
 fn forward_layouts_are_data_equivalent() {
-    let g = Geom1d {
-        batch: 1,
-        k_in: 8,
-        k_out: 8,
-        n: 64,
-        nf: 32,
-    };
+    let g = geom_1d(1, 8, 8, 64, 32);
     let run = |layout: ForwardLayout| {
         let mut dev = GpuDevice::a100();
-        let x = dev.alloc("x", g.batch * g.k_in * g.n);
+        let x = dev.alloc("x", g.batch * g.k_in * g.n_inner);
         let w = dev.alloc("w", g.k_in * g.k_out);
-        let yf = dev.alloc("yf", g.batch * g.k_out * g.nf);
-        let xd: Vec<C32> = (0..g.batch * g.k_in * g.n)
+        let yf = dev.alloc("yf", g.batch * g.k_out * g.m_inner);
+        let xd: Vec<C32> = (0..g.batch * g.k_in * g.n_inner)
             .map(|i| C32::new((i as f32 * 0.13).sin(), -(i as f32 * 0.29).cos()))
             .collect();
         let wd: Vec<C32> = (0..g.k_in * g.k_out)
@@ -165,17 +210,11 @@ fn forward_layouts_are_data_equivalent() {
 
 #[test]
 fn fused_kernel_block_classes_cover_grid() {
-    let g = Geom1d {
-        batch: 3,
-        k_in: 8,
-        k_out: 40, // forces an edge n-tile with n_tb=32
-        n: 64,
-        nf: 32,
-    };
+    let g = geom_1d(3, 8, 40, 64, 32); // k_out=40 forces an edge n-tile with n_tb=32
     let mut dev = GpuDevice::a100();
-    let x = dev.memory.alloc_virtual("x", g.batch * g.k_in * g.n);
+    let x = dev.memory.alloc_virtual("x", g.batch * g.k_in * g.n_inner);
     let w = dev.memory.alloc_virtual("w", g.k_in * g.k_out);
-    let yf = dev.memory.alloc_virtual("yf", g.batch * g.k_out * g.nf);
+    let yf = dev.memory.alloc_virtual("yf", g.batch * g.k_out * g.m_inner);
     let kernel = FusedKernel::new("classes", g, true, false, 32, x, w, yf, 0.1);
     let dims = kernel.dims();
     let covered: u64 = kernel.block_classes().iter().map(|(_, c)| c).sum();
@@ -188,13 +227,7 @@ fn fused_kernel_block_classes_cover_grid() {
 #[test]
 #[should_panic(expected = "multiple of the warp M-tile")]
 fn fused_kernel_rejects_unaligned_modes() {
-    let g = Geom1d {
-        batch: 1,
-        k_in: 8,
-        k_out: 8,
-        n: 64,
-        nf: 24,
-    };
+    let g = geom_1d(1, 8, 8, 64, 24);
     let mut dev = GpuDevice::a100();
     let x = dev.memory.alloc_virtual("x", 512);
     let w = dev.memory.alloc_virtual("w", 64);
@@ -205,13 +238,7 @@ fn fused_kernel_rejects_unaligned_modes() {
 #[test]
 #[should_panic(expected = "use BatchedCgemmKernel")]
 fn fused_kernel_rejects_no_fusion() {
-    let g = Geom1d {
-        batch: 1,
-        k_in: 8,
-        k_out: 8,
-        n: 64,
-        nf: 32,
-    };
+    let g = geom_1d(1, 8, 8, 64, 32);
     let mut dev = GpuDevice::a100();
     let x = dev.memory.alloc_virtual("x", 512);
     let w = dev.memory.alloc_virtual("w", 64);
@@ -253,17 +280,19 @@ fn fused_access_matches_footprint() {
         written.len()
     };
 
-    let g = Geom1d {
-        batch: 2,
-        k_in: 8,
-        k_out: 16,
-        n: 64,
-        nf: 32,
-    };
+    let g = geom_1d(2, 8, 16, 64, 32);
     for (ff, fi) in [(true, false), (false, true), (true, true)] {
         let mut dev = GpuDevice::a100();
-        let in_len = if ff { g.batch * g.k_in * g.n } else { g.batch * g.k_in * g.nf };
-        let out_len = if fi { g.batch * g.k_out * g.n } else { g.batch * g.k_out * g.nf };
+        let in_len = if ff {
+            g.batch * g.k_in * g.n_inner
+        } else {
+            g.batch * g.k_in * g.m_inner
+        };
+        let out_len = if fi {
+            g.batch * g.k_out * g.n_inner
+        } else {
+            g.batch * g.k_out * g.m_inner
+        };
         let x = dev.memory.alloc_virtual("x", in_len);
         let w = dev.memory.alloc_virtual("w", g.k_in * g.k_out);
         let y = dev.memory.alloc_virtual("y", out_len);
@@ -275,23 +304,27 @@ fn fused_access_matches_footprint() {
         assert_eq!(acc.block_writes.len(), kernel.dims().grid_blocks);
     }
 
-    let g = Geom2d {
-        batch: 2,
-        k_in: 4,
-        k_out: 8,
-        ny: 32,
-        nfy: 32,
-        nfx: 3,
-    };
-    let mut dev = GpuDevice::a100();
-    let in_len = g.batch * g.k_in * g.nfx * g.ny;
-    let out_len = g.batch * g.k_out * g.nfx * g.ny;
-    let x = dev.memory.alloc_virtual("x", in_len);
-    let w = dev.memory.alloc_virtual("w", g.k_in * g.k_out);
-    let y = dev.memory.alloc_virtual("y", out_len);
-    let kernel = FusedKernel::new("acc2d", g, true, true, 16, x, w, y, 0.1);
-    let acc = kernel.access().expect("fused kernel declares access");
-    assert_eq!(count(&acc, x), in_len);
-    assert_eq!(count(&acc, w), g.k_in * g.k_out);
-    assert_eq!(write_once(&acc, y), out_len);
+    // Higher-rank geometry: outer modes already truncated, fused axis full.
+    for (rank, outer_modes) in [(2usize, 3usize), (3, 6)] {
+        let g = GeomNd {
+            batch: 2,
+            k_in: 4,
+            k_out: 8,
+            rank,
+            n_inner: 32,
+            m_inner: 32,
+            outer_modes,
+        };
+        let mut dev = GpuDevice::a100();
+        let in_len = g.batch * g.k_in * g.outer_modes * g.n_inner;
+        let out_len = g.batch * g.k_out * g.outer_modes * g.n_inner;
+        let x = dev.memory.alloc_virtual("x", in_len);
+        let w = dev.memory.alloc_virtual("w", g.k_in * g.k_out);
+        let y = dev.memory.alloc_virtual("y", out_len);
+        let kernel = FusedKernel::new("accnd", g, true, true, 16, x, w, y, 0.1);
+        let acc = kernel.access().expect("fused kernel declares access");
+        assert_eq!(count(&acc, x), in_len, "rank={rank}");
+        assert_eq!(count(&acc, w), g.k_in * g.k_out, "rank={rank}");
+        assert_eq!(write_once(&acc, y), out_len, "rank={rank}");
+    }
 }

@@ -11,8 +11,8 @@
 //!   description) and [`Session::run_many`] batched serving;
 //! * [`swizzle`] — the address-level swizzle patterns with pinned
 //!   utilization numbers;
-//! * [`fused`] — the generic fused kernel (variants B/C/D) over 1D and 2D
-//!   layer geometries;
+//! * [`fused`] — the generic fused kernel (variants B/C/D) over
+//!   rank-generic layer geometries ([`GeomNd`]);
 //! * [`pipeline`] — executors for every evaluated variant (Table 2),
 //!   including the PyTorch baseline via `tfno-culib` and the best-of
 //!   selection the paper calls "TurboFNO";
@@ -48,7 +48,7 @@ pub use backend::{
     parse_backend_kind, AnyBackend, Backend, BackendCaps, BackendKind, NativeBackend, SimBackend,
 };
 pub use error::{RecoveryStats, RetryPolicy, TfnoError};
-pub use fused::{FusedGeometry, FusedKernel, Geom1d, Geom2d, FUSED_FFT_BS};
+pub use fused::{FusedGeometry, FusedKernel, GeomNd, FUSED_FFT_BS};
 pub use pipeline::{TurboOptions, Variant, TURBO_FFT_L1_HIT};
 pub use planner::{Planner, PlannerStats, TURBO_CANDIDATES};
 pub use pool::{BufferPool, PoolStats};
@@ -66,7 +66,7 @@ pub use swizzle::{
 };
 
 // Re-export the problem descriptors so users of the core crate see one API.
-pub use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
+pub use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun, SpectralShape, MAX_RANK};
 
 #[cfg(test)]
 mod tests {

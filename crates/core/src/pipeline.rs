@@ -1,43 +1,41 @@
 //! Pipeline variants of the paper's evaluation (Table 2) and their
 //! executors.
 //!
-//! | Variant | Fusion | 1D kernels | 2D kernels |
-//! |---|---|---|---|
-//! | `Pytorch`       | none (cuFFT/cuBLAS + copies) | 5 | 7 |
-//! | `FftOpt` (A)    | none, but truncation/padding/pruning built into the FFT | 3 | 5 |
-//! | `FusedFftGemm` (B) | FFT fused into the CGEMM k-loop | 2 | 4 |
-//! | `FusedGemmIfft` (C) | iFFT fused as CGEMM epilogue | 2 | 4 |
-//! | `FullyFused` (D) | both | 1 | 3 |
-//! | `TurboBest` (E) | best of A–D per problem size | — | — |
+//! | Variant | Fusion | 1D kernels | 2D kernels | 3D kernels |
+//! |---|---|---|---|---|
+//! | `Pytorch`       | none (cuFFT/cuBLAS + copies) | 5 | 7 | 9 |
+//! | `FftOpt` (A)    | none, but truncation/padding/pruning built into the FFT | 3 | 5 | 7 |
+//! | `FusedFftGemm` (B) | FFT fused into the CGEMM k-loop | 2 | 4 | 6 |
+//! | `FusedGemmIfft` (C) | iFFT fused as CGEMM epilogue | 2 | 4 | 6 |
+//! | `FullyFused` (D) | both | 1 | 3 | 5 |
+//! | `TurboBest` (E) | best of A–D per problem size | — | — | — |
 //!
-//! In 2D the stage along the strided x axis (forward first, inverse last)
-//! stays a standalone kernel in every Turbo variant — only the stage along
-//! the contiguous y axis participates in fusion, exactly as in the paper
-//! (§5.2: the first FFT's overhead is what masks 2D fusion gains).
+//! At every rank the stages along strided outer axes (forward first,
+//! inverse last) stay standalone kernels in every Turbo variant — only the
+//! stage along the contiguous innermost axis participates in fusion,
+//! exactly as in the paper (§5.2: the first FFT's overhead is what masks
+//! 2D fusion gains). The executor here is **rank-generic**: one body walks
+//! the outer axes of a [`SpectralShape`] and hands the innermost axis to
+//! the fused middle, so 1D, 2D and 3D layers all run through the same
+//! code path (the pre-refactor `try_run_{1d,2d}` twins are gone).
 //!
 //! The public execution surface is [`crate::Session`]: it owns the device,
 //! the memoizing [`crate::Planner`] and a scratch [`crate::BufferPool`],
-//! and dispatches [`crate::LayerSpec`]s through the executors here. (The
-//! pre-Session `run_variant_{1d,2d}` shims have completed their one
-//! deprecation release and are gone; cold best-of evaluation lives on as
-//! `Planner::pick_best_{1d,2d}`.)
+//! and dispatches [`crate::LayerSpec`]s through the executors here.
 
-use crate::fused::{FusedKernel, Geom1d, Geom2d};
+use crate::backend::{
+    Backend, BufferId, ExecMode, Kernel, LaunchError, LaunchRecord, PendingLaunch,
+};
+use crate::fused::{FusedKernel, GeomNd};
 use crate::pool::BufferPool;
 use crate::replay::{ReplayStep, ReplayTape};
 use crate::swizzle::ForwardLayout;
 use std::sync::Arc;
 use tfno_cgemm::{BatchedCgemmKernel, BatchedOperand, GemmShape, MatView, WeightStacking};
-use tfno_culib::{
-    try_run_pytorch_1d_stacked, try_run_pytorch_2d_stacked, CuBlas, FnoProblem1d, FnoProblem2d,
-    PipelineRun, CUFFT_L1_HIT,
-};
+use tfno_culib::{try_run_pytorch_stacked, CuBlas, PipelineRun, SpectralShape, CUFFT_L1_HIT};
 use tfno_fft::{
     BatchedFftKernel, FftBlockConfig, FftDirection, FftKernelConfig, FftPlan, RowPencils,
     StridedPencils,
-};
-use crate::backend::{
-    Backend, BufferId, ExecMode, Kernel, LaunchError, LaunchRecord, PendingLaunch,
 };
 use tfno_num::C32;
 
@@ -111,6 +109,59 @@ fn fused_n_tb(k_out: usize) -> usize {
     (k_out.div_ceil(16) * 16).clamp(16, 128)
 }
 
+/// Per-rank kernel naming so traces, stats and replay keys keep the
+/// established `turbo.*` vocabulary (1D/2D names are byte-identical to the
+/// pre-refactor twin pipelines).
+struct StageNames {
+    /// Forward outer-axis stages, outermost axis first (empty for rank 1).
+    fwd_outer: &'static [&'static str],
+    /// Inverse outer-axis stages, indexed by axis (applied in reverse).
+    inv_outer: &'static [&'static str],
+    fwd_inner: &'static str,
+    inv_inner: &'static str,
+    gemm: &'static str,
+    fused_fft_gemm: &'static str,
+    fused_gemm_ifft: &'static str,
+    fused_all: &'static str,
+}
+
+static STAGE_NAMES: [StageNames; tfno_culib::MAX_RANK] = [
+    StageNames {
+        fwd_outer: &[],
+        inv_outer: &[],
+        fwd_inner: "turbo.fft",
+        inv_inner: "turbo.ifft",
+        gemm: "turbo.cgemm",
+        fused_fft_gemm: "turbo.fused_fft_gemm",
+        fused_gemm_ifft: "turbo.fused_gemm_ifft",
+        fused_all: "turbo.fused_fft_gemm_ifft",
+    },
+    StageNames {
+        fwd_outer: &["turbo.fft_x"],
+        inv_outer: &["turbo.ifft_x"],
+        fwd_inner: "turbo.fft_y",
+        inv_inner: "turbo.ifft_y",
+        gemm: "turbo.cgemm2d",
+        fused_fft_gemm: "turbo.fused2d_fft_gemm",
+        fused_gemm_ifft: "turbo.fused2d_gemm_ifft",
+        fused_all: "turbo.fused2d_fft_gemm_ifft",
+    },
+    StageNames {
+        fwd_outer: &["turbo.fft3_x", "turbo.fft3_y"],
+        inv_outer: &["turbo.ifft3_x", "turbo.ifft3_y"],
+        fwd_inner: "turbo.fft3_z",
+        inv_inner: "turbo.ifft3_z",
+        gemm: "turbo.cgemm3d",
+        fused_fft_gemm: "turbo.fused3d_fft_gemm",
+        fused_gemm_ifft: "turbo.fused3d_gemm_ifft",
+        fused_all: "turbo.fused3d_fft_gemm_ifft",
+    },
+];
+
+fn stage_names(rank: usize) -> &'static StageNames {
+    &STAGE_NAMES[rank - 1]
+}
+
 /// The three tensor operands of one Fourier-layer execution, plus the
 /// weight-stacking layout of `w` (shared single matrix unless the run is
 /// a coalesced mixed-weight stack).
@@ -156,84 +207,121 @@ pub(crate) struct ExecCtx<'a> {
     pub verify: Option<crate::verify::PlanVerifier>,
 }
 
-// ---------------------------------------------------------------- 1D ----
+// -------------------------------------------------- stage builders ----
 
-/// Truncated forward FFT kernel of the Turbo pipeline (variant A / C).
-///
-/// The `turbo_*` helpers build the kernel object without launching it so
-/// every launch can flow through [`ExecCtx::step`] (and onto the replay
-/// tape when one is recording).
-fn turbo_fft_1d(
-    p: &FnoProblem1d,
-    x: BufferId,
-    xf_t: BufferId,
-    opts: &TurboOptions,
-) -> BatchedFftKernel<RowPencils> {
-    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.n))
-        .with_l1_hit_rate(opts.fft_l1_hit)
-        .with_k_iters(p.k_in.div_ceil(8));
-    let plan = FftPlan::new(p.n, FftDirection::Forward, p.n, p.nf);
-    let addr = RowPencils {
-        count: p.batch * p.k_in,
-        in_row_len: p.n,
-        out_row_len: p.nf,
-    };
-    BatchedFftKernel::new("turbo.fft", cfg, plan, addr, x, xf_t)
+/// Forward FFT with built-in truncation along strided outer axis `axis`
+/// (all Turbo variants, ranks >= 2). Pencils are adjacent along the inner
+/// axes, so the reads coalesce across pencils — the baseline-quality
+/// spatial dataflow, hence the cuFFT-grade L1 hit rate.
+fn turbo_fft_outer(
+    s: &SpectralShape,
+    axis: usize,
+    src: BufferId,
+    dst: BufferId,
+) -> BatchedFftKernel<StridedPencils> {
+    let slabs = s.batch * s.k_in * s.modes[..axis].iter().product::<usize>();
+    let inner: usize = s.dims[axis + 1..s.rank].iter().product();
+    let cfg =
+        FftKernelConfig::new(FftBlockConfig::for_len(s.dims[axis])).with_l1_hit_rate(CUFFT_L1_HIT);
+    let plan = FftPlan::new(s.dims[axis], FftDirection::Forward, s.dims[axis], s.modes[axis]);
+    let addr = StridedPencils::along_axis(slabs, s.dims[axis], s.modes[axis], inner);
+    BatchedFftKernel::new(stage_names(s.rank).fwd_outer[axis], cfg, plan, addr, src, dst)
 }
 
-/// Zero-padded inverse FFT kernel (variant A / B).
-fn turbo_ifft_1d(
-    p: &FnoProblem1d,
-    yf_t: BufferId,
-    y: BufferId,
-    opts: &TurboOptions,
-) -> BatchedFftKernel<RowPencils> {
-    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.n))
-        .with_l1_hit_rate(opts.fft_l1_hit)
-        .with_k_iters(p.k_out.div_ceil(8));
-    let plan = FftPlan::new(p.n, FftDirection::Inverse, p.nf, p.n);
-    let addr = RowPencils {
-        count: p.batch * p.k_out,
-        in_row_len: p.nf,
-        out_row_len: p.n,
-    };
-    BatchedFftKernel::new("turbo.ifft", cfg, plan, addr, yf_t, y)
+/// Inverse FFT with built-in zero padding along strided outer axis `axis`.
+fn turbo_ifft_outer(
+    s: &SpectralShape,
+    axis: usize,
+    src: BufferId,
+    dst: BufferId,
+) -> BatchedFftKernel<StridedPencils> {
+    let slabs = s.batch * s.k_out * s.modes[..axis].iter().product::<usize>();
+    let inner: usize = s.dims[axis + 1..s.rank].iter().product();
+    let cfg =
+        FftKernelConfig::new(FftBlockConfig::for_len(s.dims[axis])).with_l1_hit_rate(CUFFT_L1_HIT);
+    let plan = FftPlan::new(s.dims[axis], FftDirection::Inverse, s.modes[axis], s.dims[axis]);
+    let addr = StridedPencils::along_axis(slabs, s.modes[axis], s.dims[axis], inner);
+    BatchedFftKernel::new(stage_names(s.rank).inv_outer[axis], cfg, plan, addr, src, dst)
 }
 
-/// Standalone CGEMM over truncated modes (variant A).
-fn turbo_gemm_1d(
-    p: &FnoProblem1d,
+/// Standalone truncated FFT along the contiguous innermost axis (variants
+/// A and C). Hidden-dim-ordered (the fusable stage), hence the lower L1
+/// hit rate and the k-blocked launch shape.
+fn turbo_fft_inner(
+    s: &SpectralShape,
+    src: BufferId,
+    dst: BufferId,
+    opts: &TurboOptions,
+) -> BatchedFftKernel<RowPencils> {
+    let (n, m) = (s.dims[s.rank - 1], s.modes[s.rank - 1]);
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(n))
+        .with_l1_hit_rate(opts.fft_l1_hit)
+        .with_k_iters(s.k_in.div_ceil(8));
+    let plan = FftPlan::new(n, FftDirection::Forward, n, m);
+    let addr = RowPencils {
+        count: s.batch * s.k_in * s.outer_modes(),
+        in_row_len: n,
+        out_row_len: m,
+    };
+    BatchedFftKernel::new(stage_names(s.rank).fwd_inner, cfg, plan, addr, src, dst)
+}
+
+/// Standalone zero-padded inverse FFT along the innermost axis (variants
+/// A and B).
+fn turbo_ifft_inner(
+    s: &SpectralShape,
+    src: BufferId,
+    dst: BufferId,
+    opts: &TurboOptions,
+) -> BatchedFftKernel<RowPencils> {
+    let (n, m) = (s.dims[s.rank - 1], s.modes[s.rank - 1]);
+    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(n))
+        .with_l1_hit_rate(opts.fft_l1_hit)
+        .with_k_iters(s.k_out.div_ceil(8));
+    let plan = FftPlan::new(n, FftDirection::Inverse, m, n);
+    let addr = RowPencils {
+        count: s.batch * s.k_out * s.outer_modes(),
+        in_row_len: m,
+        out_row_len: n,
+    };
+    BatchedFftKernel::new(stage_names(s.rank).inv_inner, cfg, plan, addr, src, dst)
+}
+
+/// Standalone CGEMM over the retained modes of every axis (variant A).
+fn turbo_gemm(
+    s: &SpectralShape,
     xf_t: BufferId,
     w: BufferId,
     ws: WeightStacking,
     yf_t: BufferId,
 ) -> BatchedCgemmKernel {
+    let m = s.modes_total();
     CuBlas::kernel(
-        "turbo.cgemm",
+        stage_names(s.rank).gemm,
         GemmShape {
-            batch: p.batch,
-            m: p.nf,
-            n: p.k_out,
-            k: p.k_in,
+            batch: s.batch,
+            m,
+            n: s.k_out,
+            k: s.k_in,
         },
         BatchedOperand::strided(
             xf_t,
             MatView {
                 base: 0,
                 row_stride: 1,
-                col_stride: p.nf,
+                col_stride: m,
             },
-            p.k_in * p.nf,
+            s.k_in * m,
         ),
-        BatchedOperand::stacked(w, MatView::row_major(0, p.k_out), ws),
+        BatchedOperand::stacked(w, MatView::row_major(0, s.k_out), ws),
         BatchedOperand::strided(
             yf_t,
             MatView {
                 base: 0,
                 row_stride: 1,
-                col_stride: p.nf,
+                col_stride: m,
             },
-            p.k_out * p.nf,
+            s.k_out * m,
         ),
         C32::ONE,
         C32::ZERO,
@@ -411,18 +499,19 @@ impl ExecCtx<'_> {
         }
     }
 
-    /// Run one variant of the 1D Fourier layer.
+    /// Run one variant of the rank-`s.rank` Fourier layer.
     ///
-    /// * `x`: `[batch, k_in, n]`, `w`: `[k_in, k_out]`, `y`: `[batch, k_out, n]`
+    /// * `x`: `[batch, k_in, dims...]`, `w`: `[k_in, k_out]`,
+    ///   `y`: `[batch, k_out, dims...]`
     ///
     /// A faulted launch aborts the remaining stages and returns the fault;
     /// leases are always released (or handed to the recording tape, which
     /// releases them when the faulted recording is abandoned), completed
     /// stages only wrote scratch or `y` — both fully overwritten on a retry
     /// — so re-running the layer whole is always sound.
-    pub(crate) fn try_run_1d(
+    pub(crate) fn try_run_spectral(
         &mut self,
-        p: &FnoProblem1d,
+        s: &SpectralShape,
         variant: Variant,
         b: LayerBufs,
         opts: &TurboOptions,
@@ -435,25 +524,31 @@ impl ExecCtx<'_> {
             // launches never reach the tape, so the recording is abandoned.
             Variant::Pytorch => {
                 self.mark_unrecordable();
-                return try_run_pytorch_1d_stacked(self.dev, p, b.x, b.w, b.ws, b.y, mode);
+                return try_run_pytorch_stacked(self.dev, s, b.x, b.w, b.ws, b.y, mode);
             }
             Variant::TurboBest => {
-                let best = self.planner.plan_1d(self.dev.config(), p, opts);
-                return self.try_run_1d(p, best, b, opts, mode);
+                let best = self.planner.plan_shape(self.dev.config(), s, opts);
+                return self.try_run_spectral(s, best, b, opts, mode);
             }
             _ => {}
         }
         let mut leases = Vec::new();
-        let out = self.turbo_1d(p, variant, b, opts, mode, &mut leases);
+        let out = self.turbo_spectral(s, variant, b, opts, mode, &mut leases);
         self.release(leases);
         out
     }
 
-    /// Turbo-variant body of [`ExecCtx::try_run_1d`]; `leases` is owned by
-    /// the caller so scratch is returned on every exit path.
-    fn turbo_1d(
+    /// Turbo-variant body of [`ExecCtx::try_run_spectral`]; `leases` is
+    /// owned by the caller so scratch is returned on every exit path.
+    ///
+    /// Stage plan (rank r): forward outer FFTs along axes `0..r-1`
+    /// (outermost first, each truncating its axis to the retained modes),
+    /// then the fusable innermost middle (FFT/CGEMM/iFFT in the
+    /// variant-chosen fusion), then inverse outer FFTs along axes
+    /// `r-2..=0` (each zero-padding its axis back to full extent).
+    fn turbo_spectral(
         &mut self,
-        p: &FnoProblem1d,
+        s: &SpectralShape,
         variant: Variant,
         b: LayerBufs,
         opts: &TurboOptions,
@@ -461,31 +556,57 @@ impl ExecCtx<'_> {
         leases: &mut Vec<BufferId>,
     ) -> Result<PipelineRun, LaunchError> {
         let mut run = PipelineRun::default();
-        let geom = Geom1d {
-            batch: p.batch,
-            k_in: p.k_in,
-            k_out: p.k_out,
-            n: p.n,
-            nf: p.nf,
-        };
+        let geom = GeomNd::from_shape(s);
+        let names = stage_names(s.rank);
         let LayerBufs { x, w, y, ws } = b;
+        let r = s.rank;
+
+        // Outer-axis scratch. `fwd[a]` holds the forward chain after axis
+        // `a` is truncated (axes `..=a` at modes, axes `a+1..` full);
+        // `inv[a]` is its k_out-sized mirror on the inverse chain.
+        let mut fwd = Vec::new();
+        let mut inv = Vec::new();
+        for a in 0..r - 1 {
+            let len = s.batch
+                * s.k_in
+                * s.modes[..=a].iter().product::<usize>()
+                * s.dims[a + 1..r].iter().product::<usize>();
+            fwd.push(self.try_scratch(x, len, leases)?);
+        }
+        for a in 0..r - 1 {
+            let len = s.batch
+                * s.k_out
+                * s.modes[..=a].iter().product::<usize>()
+                * s.dims[a + 1..r].iter().product::<usize>();
+            inv.push(self.try_scratch(x, len, leases)?);
+        }
+
+        // Forward outer stages, outermost axis first.
+        for a in 0..r - 1 {
+            let src = if a == 0 { x } else { fwd[a - 1] };
+            run.push(self.try_step(turbo_fft_outer(s, a, src, fwd[a]), mode)?);
+        }
+
+        // The fusable middle along the innermost, contiguous axis.
+        let mid_in = if r == 1 { x } else { fwd[r - 2] };
+        let mid_out = if r == 1 { y } else { inv[r - 2] };
         match variant {
             Variant::FftOpt => {
-                let xf_t = self.try_scratch(x, p.batch * p.k_in * p.nf, leases)?;
-                let yf_t = self.try_scratch(x, p.batch * p.k_out * p.nf, leases)?;
-                run.push(self.try_step(turbo_fft_1d(p, x, xf_t, opts), mode)?);
-                run.push(self.try_step(turbo_gemm_1d(p, xf_t, w, ws, yf_t), mode)?);
-                run.push(self.try_step(turbo_ifft_1d(p, yf_t, y, opts), mode)?);
+                let xf_t = self.try_scratch(x, s.batch * s.k_in * s.modes_total(), leases)?;
+                let yf_t = self.try_scratch(x, s.batch * s.k_out * s.modes_total(), leases)?;
+                run.push(self.try_step(turbo_fft_inner(s, mid_in, xf_t, opts), mode)?);
+                run.push(self.try_step(turbo_gemm(s, xf_t, w, ws, yf_t), mode)?);
+                run.push(self.try_step(turbo_ifft_inner(s, yf_t, mid_out, opts), mode)?);
             }
             Variant::FusedFftGemm => {
-                let yf_t = self.try_scratch(x, p.batch * p.k_out * p.nf, leases)?;
+                let yf_t = self.try_scratch(x, s.batch * s.k_out * s.modes_total(), leases)?;
                 let k = FusedKernel::new(
-                    "turbo.fused_fft_gemm",
+                    names.fused_fft_gemm,
                     geom,
                     true,
                     false,
-                    fused_n_tb(p.k_out),
-                    x,
+                    fused_n_tb(s.k_out),
+                    mid_in,
                     w,
                     yf_t,
                     opts.fft_l1_hit,
@@ -494,20 +615,20 @@ impl ExecCtx<'_> {
                 .with_epilogue_swizzle(opts.epilogue_swizzle)
                 .with_weight_stacking(ws);
                 run.push(self.try_step(k, mode)?);
-                run.push(self.try_step(turbo_ifft_1d(p, yf_t, y, opts), mode)?);
+                run.push(self.try_step(turbo_ifft_inner(s, yf_t, mid_out, opts), mode)?);
             }
             Variant::FusedGemmIfft => {
-                let xf_t = self.try_scratch(x, p.batch * p.k_in * p.nf, leases)?;
-                run.push(self.try_step(turbo_fft_1d(p, x, xf_t, opts), mode)?);
+                let xf_t = self.try_scratch(x, s.batch * s.k_in * s.modes_total(), leases)?;
+                run.push(self.try_step(turbo_fft_inner(s, mid_in, xf_t, opts), mode)?);
                 let k = FusedKernel::new(
-                    "turbo.fused_gemm_ifft",
+                    names.fused_gemm_ifft,
                     geom,
                     false,
                     true,
-                    fused_n_tb(p.k_out),
+                    fused_n_tb(s.k_out),
                     xf_t,
                     w,
-                    y,
+                    mid_out,
                     opts.fft_l1_hit,
                 )
                 .with_forward_layout(opts.forward_layout)
@@ -517,14 +638,14 @@ impl ExecCtx<'_> {
             }
             Variant::FullyFused => {
                 let k = FusedKernel::new(
-                    "turbo.fused_fft_gemm_ifft",
+                    names.fused_all,
                     geom,
                     true,
                     true,
-                    fused_n_tb(p.k_out),
-                    x,
+                    fused_n_tb(s.k_out),
+                    mid_in,
                     w,
-                    y,
+                    mid_out,
                     opts.fft_l1_hit,
                 )
                 .with_forward_layout(opts.forward_layout)
@@ -532,254 +653,14 @@ impl ExecCtx<'_> {
                 .with_weight_stacking(ws);
                 run.push(self.try_step(k, mode)?);
             }
-            Variant::Pytorch | Variant::TurboBest => unreachable!("handled by try_run_1d"),
+            Variant::Pytorch | Variant::TurboBest => unreachable!("handled by try_run_spectral"),
+        }
+
+        // Inverse outer stages, innermost remaining axis first.
+        for a in (0..r - 1).rev() {
+            let dst = if a == 0 { y } else { inv[a - 1] };
+            run.push(self.try_step(turbo_ifft_outer(s, a, inv[a], dst), mode)?);
         }
         Ok(run)
     }
-
-    /// Run one variant of the 2D Fourier layer.
-    ///
-    /// * `x`: `[batch, k_in, nx, ny]`, `w`: `[k_in, k_out]`,
-    ///   `y`: `[batch, k_out, nx, ny]`
-    ///
-    /// Same abort/retry contract as [`ExecCtx::try_run_1d`].
-    pub(crate) fn try_run_2d(
-        &mut self,
-        p: &FnoProblem2d,
-        variant: Variant,
-        b: LayerBufs,
-        opts: &TurboOptions,
-        mode: ExecMode,
-    ) -> Result<PipelineRun, LaunchError> {
-        if variant == Variant::Pytorch {
-            self.mark_unrecordable();
-            return try_run_pytorch_2d_stacked(self.dev, p, b.x, b.w, b.ws, b.y, mode);
-        }
-        if variant == Variant::TurboBest {
-            let best = self.planner.plan_2d(self.dev.config(), p, opts);
-            return self.try_run_2d(p, best, b, opts, mode);
-        }
-        let mut leases = Vec::new();
-        let out = self.turbo_2d(p, variant, b, opts, mode, &mut leases);
-        self.release(leases);
-        out
-    }
-
-    /// Turbo-variant body of [`ExecCtx::try_run_2d`]; `leases` is owned by
-    /// the caller so scratch is returned on every exit path.
-    fn turbo_2d(
-        &mut self,
-        p: &FnoProblem2d,
-        variant: Variant,
-        b: LayerBufs,
-        opts: &TurboOptions,
-        mode: ExecMode,
-        leases: &mut Vec<BufferId>,
-    ) -> Result<PipelineRun, LaunchError> {
-        let mut run = PipelineRun::default();
-        let geom = Geom2d {
-            batch: p.batch,
-            k_in: p.k_in,
-            k_out: p.k_out,
-            ny: p.ny,
-            nfy: p.nfy,
-            nfx: p.nfx,
-        };
-        let LayerBufs { x, w, y, ws } = b;
-
-        // Stage 1: truncated FFT along the strided x axis.
-        let t1 = self.try_scratch(x, p.batch * p.k_in * p.nfx * p.ny, leases)?;
-        // Output of the (possibly fused) y-stage inverse: [b, k_out, nfx, ny].
-        let t3 = self.try_scratch(x, p.batch * p.k_out * p.nfx * p.ny, leases)?;
-        run.push(self.try_step(turbo_fft_x(p, x, t1), mode)?);
-
-        match variant {
-            Variant::FftOpt => {
-                let xf_t = self.try_scratch(x, p.batch * p.k_in * p.nfx * p.nfy, leases)?;
-                let yf_t = self.try_scratch(x, p.batch * p.k_out * p.nfx * p.nfy, leases)?;
-                run.push(self.try_step(turbo_fft_y(p, t1, xf_t, opts), mode)?);
-                run.push(self.try_step(turbo_gemm_2d(p, xf_t, w, ws, yf_t), mode)?);
-                run.push(self.try_step(turbo_ifft_y(p, yf_t, t3, opts), mode)?);
-            }
-            Variant::FusedFftGemm => {
-                let yf_t = self.try_scratch(x, p.batch * p.k_out * p.nfx * p.nfy, leases)?;
-                let k = FusedKernel::new(
-                    "turbo.fused2d_fft_gemm",
-                    geom,
-                    true,
-                    false,
-                    fused_n_tb(p.k_out),
-                    t1,
-                    w,
-                    yf_t,
-                    opts.fft_l1_hit,
-                )
-                .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle)
-                .with_weight_stacking(ws);
-                run.push(self.try_step(k, mode)?);
-                run.push(self.try_step(turbo_ifft_y(p, yf_t, t3, opts), mode)?);
-            }
-            Variant::FusedGemmIfft => {
-                let xf_t = self.try_scratch(x, p.batch * p.k_in * p.nfx * p.nfy, leases)?;
-                run.push(self.try_step(turbo_fft_y(p, t1, xf_t, opts), mode)?);
-                let k = FusedKernel::new(
-                    "turbo.fused2d_gemm_ifft",
-                    geom,
-                    false,
-                    true,
-                    fused_n_tb(p.k_out),
-                    xf_t,
-                    w,
-                    t3,
-                    opts.fft_l1_hit,
-                )
-                .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle)
-                .with_weight_stacking(ws);
-                run.push(self.try_step(k, mode)?);
-            }
-            Variant::FullyFused => {
-                let k = FusedKernel::new(
-                    "turbo.fused2d_fft_gemm_ifft",
-                    geom,
-                    true,
-                    true,
-                    fused_n_tb(p.k_out),
-                    t1,
-                    w,
-                    t3,
-                    opts.fft_l1_hit,
-                )
-                .with_forward_layout(opts.forward_layout)
-                .with_epilogue_swizzle(opts.epilogue_swizzle)
-                .with_weight_stacking(ws);
-                run.push(self.try_step(k, mode)?);
-            }
-            Variant::Pytorch | Variant::TurboBest => unreachable!("handled by try_run_2d"),
-        }
-
-        // Final stage: zero-padded inverse FFT along x.
-        run.push(self.try_step(turbo_ifft_x(p, t3, y), mode)?);
-        Ok(run)
-    }
-}
-
-// ---------------------------------------------------------------- 2D ----
-
-/// Stage-1 FFT along the strided x axis with built-in truncation (all
-/// Turbo variants). Pencils are adjacent in y, so the reads coalesce
-/// across pencils — the baseline-quality spatial dataflow.
-fn turbo_fft_x(p: &FnoProblem2d, x: BufferId, t1: BufferId) -> BatchedFftKernel<StridedPencils> {
-    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.nx)).with_l1_hit_rate(CUFFT_L1_HIT);
-    let plan = FftPlan::new(p.nx, FftDirection::Forward, p.nx, p.nfx);
-    let addr = StridedPencils {
-        count: p.batch * p.k_in * p.ny,
-        group: p.ny,
-        in_group_stride: p.nx * p.ny,
-        in_pencil_stride: 1,
-        in_idx_stride: p.ny,
-        out_group_stride: p.nfx * p.ny,
-        out_pencil_stride: 1,
-        out_idx_stride: p.ny,
-    };
-    BatchedFftKernel::new("turbo.fft_x", cfg, plan, addr, x, t1)
-}
-
-/// Final inverse FFT along the strided x axis with built-in zero padding.
-fn turbo_ifft_x(p: &FnoProblem2d, t3: BufferId, y: BufferId) -> BatchedFftKernel<StridedPencils> {
-    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.nx)).with_l1_hit_rate(CUFFT_L1_HIT);
-    let plan = FftPlan::new(p.nx, FftDirection::Inverse, p.nfx, p.nx);
-    let addr = StridedPencils {
-        count: p.batch * p.k_out * p.ny,
-        group: p.ny,
-        in_group_stride: p.nfx * p.ny,
-        in_pencil_stride: 1,
-        in_idx_stride: p.ny,
-        out_group_stride: p.nx * p.ny,
-        out_pencil_stride: 1,
-        out_idx_stride: p.ny,
-    };
-    BatchedFftKernel::new("turbo.ifft_x", cfg, plan, addr, t3, y)
-}
-
-/// Standalone truncated y-stage FFT over the contiguous rows of `t1`
-/// (variants A and C). Hidden-dim-ordered (the fusable stage), hence the
-/// lower L1 hit rate.
-fn turbo_fft_y(
-    p: &FnoProblem2d,
-    t1: BufferId,
-    xf_t: BufferId,
-    opts: &TurboOptions,
-) -> BatchedFftKernel<RowPencils> {
-    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.ny))
-        .with_l1_hit_rate(opts.fft_l1_hit)
-        .with_k_iters(p.k_in.div_ceil(8));
-    let plan = FftPlan::new(p.ny, FftDirection::Forward, p.ny, p.nfy);
-    let addr = RowPencils {
-        count: p.batch * p.k_in * p.nfx,
-        in_row_len: p.ny,
-        out_row_len: p.nfy,
-    };
-    BatchedFftKernel::new("turbo.fft_y", cfg, plan, addr, t1, xf_t)
-}
-
-/// Standalone padded y-stage inverse FFT (variants A and B).
-fn turbo_ifft_y(
-    p: &FnoProblem2d,
-    yf_t: BufferId,
-    t3: BufferId,
-    opts: &TurboOptions,
-) -> BatchedFftKernel<RowPencils> {
-    let cfg = FftKernelConfig::new(FftBlockConfig::for_len(p.ny))
-        .with_l1_hit_rate(opts.fft_l1_hit)
-        .with_k_iters(p.k_out.div_ceil(8));
-    let plan = FftPlan::new(p.ny, FftDirection::Inverse, p.nfy, p.ny);
-    let addr = RowPencils {
-        count: p.batch * p.k_out * p.nfx,
-        in_row_len: p.nfy,
-        out_row_len: p.ny,
-    };
-    BatchedFftKernel::new("turbo.ifft_y", cfg, plan, addr, yf_t, t3)
-}
-
-/// Standalone CGEMM over the truncated 2D modes (variant A).
-fn turbo_gemm_2d(
-    p: &FnoProblem2d,
-    xf_t: BufferId,
-    w: BufferId,
-    ws: WeightStacking,
-    yf_t: BufferId,
-) -> BatchedCgemmKernel {
-    let m = p.nfx * p.nfy;
-    CuBlas::kernel(
-        "turbo.cgemm2d",
-        GemmShape {
-            batch: p.batch,
-            m,
-            n: p.k_out,
-            k: p.k_in,
-        },
-        BatchedOperand::strided(
-            xf_t,
-            MatView {
-                base: 0,
-                row_stride: 1,
-                col_stride: m,
-            },
-            p.k_in * m,
-        ),
-        BatchedOperand::stacked(w, MatView::row_major(0, p.k_out), ws),
-        BatchedOperand::strided(
-            yf_t,
-            MatView {
-                base: 0,
-                row_stride: 1,
-                col_stride: m,
-            },
-            p.k_out * m,
-        ),
-        C32::ONE,
-        C32::ZERO,
-    )
 }

@@ -12,7 +12,8 @@
 //! Each [`Session`](crate::Session) owns a planner, so its models, benches
 //! and serving loops share one warm cache whose stats are observable per
 //! session. Cold, uncached best-of evaluation is exposed as
-//! [`Planner::pick_best_1d`]/[`Planner::pick_best_2d`]. Capping uses
+//! [`Planner::pick_best_shape`] (with `pick_best_{1d,2d}` conveniences
+//! over the problem descriptors). Capping uses
 //! generational eviction (never a full wipe), and racing cold evaluations
 //! of one key are de-duplicated: one planner evaluates, the rest wait.
 //! Internal locks recover from poisoning ([`lock_unpoisoned`]), so a
@@ -26,7 +27,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
-use tfno_culib::{FnoProblem1d, FnoProblem2d};
+use tfno_culib::{FnoProblem1d, FnoProblem2d, SpectralShape};
 use crate::backend::{
     configured_workers, lock_unpoisoned, wait_unpoisoned, DeviceConfig, ExecMode, SimBackend,
 };
@@ -176,30 +177,28 @@ impl Planner {
         self.len() == 0
     }
 
-    /// Plan a 1D layer: cached variant, or a cold four-way evaluation.
-    pub fn plan_1d(&self, cfg: &DeviceConfig, p: &FnoProblem1d, opts: &TurboOptions) -> Variant {
+    /// Plan a spectral layer of any rank: cached variant, or a cold
+    /// four-way evaluation.
+    pub fn plan_shape(&self, cfg: &DeviceConfig, s: &SpectralShape, opts: &TurboOptions) -> Variant {
         let mut h = key_base(cfg, opts);
-        "1d".hash(&mut h);
-        p.batch.hash(&mut h);
-        p.k_in.hash(&mut h);
-        p.k_out.hash(&mut h);
-        p.n.hash(&mut h);
-        p.nf.hash(&mut h);
-        self.plan(h.finish(), || evaluate_1d(cfg, p, opts))
+        "shape".hash(&mut h);
+        s.rank.hash(&mut h);
+        s.batch.hash(&mut h);
+        s.k_in.hash(&mut h);
+        s.k_out.hash(&mut h);
+        s.dims.hash(&mut h);
+        s.modes.hash(&mut h);
+        self.plan(h.finish(), || evaluate_shape(cfg, s, opts))
     }
 
-    /// Plan a 2D layer.
+    /// Plan a 1D layer (convenience over [`Planner::plan_shape`]).
+    pub fn plan_1d(&self, cfg: &DeviceConfig, p: &FnoProblem1d, opts: &TurboOptions) -> Variant {
+        self.plan_shape(cfg, &SpectralShape::from(p), opts)
+    }
+
+    /// Plan a 2D layer (convenience over [`Planner::plan_shape`]).
     pub fn plan_2d(&self, cfg: &DeviceConfig, p: &FnoProblem2d, opts: &TurboOptions) -> Variant {
-        let mut h = key_base(cfg, opts);
-        "2d".hash(&mut h);
-        p.batch.hash(&mut h);
-        p.k_in.hash(&mut h);
-        p.k_out.hash(&mut h);
-        p.nx.hash(&mut h);
-        p.ny.hash(&mut h);
-        p.nfx.hash(&mut h);
-        p.nfy.hash(&mut h);
-        self.plan(h.finish(), || evaluate_2d(cfg, p, opts))
+        self.plan_shape(cfg, &SpectralShape::from(p), opts)
     }
 
     /// Default plan-cache entry cap: keeps long-running shape-diverse
@@ -245,14 +244,19 @@ impl Planner {
     /// Evaluate variants A–D analytically and return the fastest (the
     /// paper's "TurboFNO" best-of configuration). Always a cold, uncached
     /// evaluation; `Variant::TurboBest` dispatches use the memoized
-    /// [`Planner::plan_1d`] instead.
-    pub fn pick_best_1d(cfg: &DeviceConfig, p: &FnoProblem1d, opts: &TurboOptions) -> Variant {
-        evaluate_1d(cfg, p, opts).0
+    /// [`Planner::plan_shape`] instead.
+    pub fn pick_best_shape(cfg: &DeviceConfig, s: &SpectralShape, opts: &TurboOptions) -> Variant {
+        evaluate_shape(cfg, s, opts).0
     }
 
-    /// Cold best-of evaluation for a 2D problem (see [`Planner::pick_best_1d`]).
+    /// Cold best-of evaluation for a 1D problem (see [`Planner::pick_best_shape`]).
+    pub fn pick_best_1d(cfg: &DeviceConfig, p: &FnoProblem1d, opts: &TurboOptions) -> Variant {
+        Self::pick_best_shape(cfg, &SpectralShape::from(p), opts)
+    }
+
+    /// Cold best-of evaluation for a 2D problem (see [`Planner::pick_best_shape`]).
     pub fn pick_best_2d(cfg: &DeviceConfig, p: &FnoProblem2d, opts: &TurboOptions) -> Variant {
-        evaluate_2d(cfg, p, opts).0
+        Self::pick_best_shape(cfg, &SpectralShape::from(p), opts)
     }
 }
 
@@ -297,18 +301,18 @@ pub(crate) fn hash_device_config(cfg: &DeviceConfig, h: &mut DefaultHasher) {
 /// earlier candidate, matching the sequential pre-PR scan. The analytical
 /// launch memo is disabled on the scratch devices so "cold" stays true —
 /// every counted launch really simulates its representative blocks.
-pub(crate) fn evaluate_1d(
+pub(crate) fn evaluate_shape(
     cfg: &DeviceConfig,
-    p: &FnoProblem1d,
+    s: &SpectralShape,
     opts: &TurboOptions,
 ) -> (Variant, u64) {
     select(evaluate_candidates(|v| {
         let mut dev = SimBackend::new(cfg.clone());
         dev.analytical_memo = false;
         let mut pool = BufferPool::new();
-        let x = dev.memory.alloc_virtual("x", p.input_len());
-        let w = dev.memory.alloc_virtual("w", p.weight_len());
-        let y = dev.memory.alloc_virtual("y", p.output_len());
+        let x = dev.memory.alloc_virtual("x", s.input_len());
+        let w = dev.memory.alloc_virtual("w", s.weight_len());
+        let y = dev.memory.alloc_virtual("y", s.output_len());
         // Candidates are concrete, so the planner field is never consulted.
         let run = ExecCtx {
             dev: &mut dev,
@@ -319,37 +323,10 @@ pub(crate) fn evaluate_1d(
             // verifier would only re-prove the same fingerprints.
             verify: None,
         }
-        .try_run_1d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical)
+        .try_run_spectral(s, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical)
         // Invariant, not a fault path: probes run analytically and fault
         // injection applies only to functional launches and real
         // allocations (the operands here are virtual).
-        .expect("analytical planner probes are never faulted");
-        (run.total_us(), run.kernel_count() as u64)
-    }))
-}
-
-pub(crate) fn evaluate_2d(
-    cfg: &DeviceConfig,
-    p: &FnoProblem2d,
-    opts: &TurboOptions,
-) -> (Variant, u64) {
-    select(evaluate_candidates(|v| {
-        let mut dev = SimBackend::new(cfg.clone());
-        dev.analytical_memo = false;
-        let mut pool = BufferPool::new();
-        let x = dev.memory.alloc_virtual("x", p.input_len());
-        let w = dev.memory.alloc_virtual("w", p.weight_len());
-        let y = dev.memory.alloc_virtual("y", p.output_len());
-        let run = ExecCtx {
-            dev: &mut dev,
-            pool: &mut pool,
-            planner: Planner::global(),
-            tape: None,
-            // Cost probes re-run already-proven plans analytically; the
-            // verifier would only re-prove the same fingerprints.
-            verify: None,
-        }
-        .try_run_2d(p, v, LayerBufs::shared(x, w, y), opts, ExecMode::Analytical)
         .expect("analytical planner probes are never faulted");
         (run.total_us(), run.kernel_count() as u64)
     }))

@@ -112,21 +112,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use tfno_cgemm::WeightStacking;
-use tfno_culib::{CopySegment, FnoProblem1d, FnoProblem2d, PipelineRun, SegmentedCopyKernel};
+use tfno_culib::{
+    CopySegment, FnoProblem1d, FnoProblem2d, PipelineRun, SegmentedCopyKernel, SpectralShape,
+    MAX_RANK,
+};
 use crate::backend::{
     lock_unpoisoned, seq_insert, seq_lookup, AnyBackend, Backend, BufferId, DeferredWindow,
     ExecMode, FaultPlan, FaultStats, LaunchError, PendingLaunch, SimBackend,
 };
 use tfno_num::C32;
 
-/// Dimension-generic description of one Fourier-layer execution.
+/// Rank-generic description of one Fourier-layer execution.
 ///
-/// Built with [`LayerSpec::d1`]/[`LayerSpec::d2`] plus chained setters;
-/// consumed by [`Session::run`]/[`Session::run_many`]. Until `.modes(..)`
-/// is called the spec keeps the full spectrum (`nf = n`).
+/// Built with [`LayerSpec::d1`]/[`LayerSpec::d2`]/[`LayerSpec::d3`] (or
+/// [`LayerSpec::from_shape`] over any [`SpectralShape`]) plus chained
+/// setters; consumed by [`Session::run`]/[`Session::run_many`]. Until
+/// `.modes(..)` is called the spec keeps the full spectrum on every axis.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LayerSpec {
-    shape: SpecShape,
+    shape: SpectralShape,
     /// Pipeline variant to execute (default [`Variant::TurboBest`]).
     pub variant: Variant,
     /// Turbo tuning/ablation knobs.
@@ -135,59 +139,32 @@ pub struct LayerSpec {
     pub exec: ExecMode,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum SpecShape {
-    D1 {
-        batch: usize,
-        k_in: usize,
-        k_out: usize,
-        n: usize,
-        nf: usize,
-    },
-    D2 {
-        batch: usize,
-        k_in: usize,
-        k_out: usize,
-        nx: usize,
-        ny: usize,
-        nfx: usize,
-        nfy: usize,
-    },
-}
-
 impl LayerSpec {
-    /// A 1D Fourier layer: `x [batch, k_in, n] -> y [batch, k_out, n]`.
-    pub fn d1(batch: usize, k_in: usize, k_out: usize, n: usize) -> Self {
+    /// A spec over an arbitrary-rank spectral shape (the generic entry the
+    /// `d1`/`d2`/`d3` conveniences delegate to).
+    pub fn from_shape(shape: SpectralShape) -> Self {
         LayerSpec {
-            shape: SpecShape::D1 {
-                batch,
-                k_in,
-                k_out,
-                n,
-                nf: n,
-            },
+            shape,
             variant: Variant::TurboBest,
             opts: TurboOptions::default(),
             exec: ExecMode::Functional,
         }
     }
 
+    /// A 1D Fourier layer: `x [batch, k_in, n] -> y [batch, k_out, n]`.
+    pub fn d1(batch: usize, k_in: usize, k_out: usize, n: usize) -> Self {
+        LayerSpec::from_shape(SpectralShape::d1(batch, k_in, k_out, n))
+    }
+
     /// A 2D Fourier layer: `x [batch, k_in, nx, ny] -> y [batch, k_out, nx, ny]`.
     pub fn d2(batch: usize, k_in: usize, k_out: usize, nx: usize, ny: usize) -> Self {
-        LayerSpec {
-            shape: SpecShape::D2 {
-                batch,
-                k_in,
-                k_out,
-                nx,
-                ny,
-                nfx: nx,
-                nfy: ny,
-            },
-            variant: Variant::TurboBest,
-            opts: TurboOptions::default(),
-            exec: ExecMode::Functional,
-        }
+        LayerSpec::from_shape(SpectralShape::d2(batch, k_in, k_out, nx, ny))
+    }
+
+    /// A 3D Fourier layer:
+    /// `x [batch, k_in, nx, ny, nz] -> y [batch, k_out, nx, ny, nz]`.
+    pub fn d3(batch: usize, k_in: usize, k_out: usize, nx: usize, ny: usize, nz: usize) -> Self {
+        LayerSpec::from_shape(SpectralShape::d3(batch, k_in, k_out, nx, ny, nz))
     }
 
     /// Spec matching an existing 1D problem descriptor.
@@ -201,7 +178,7 @@ impl LayerSpec {
     }
 
     /// Retain `nf` low-frequency modes per transformed axis, clamped to
-    /// the axis length (`n` in 1D, `nx`/`ny` in 2D).
+    /// each axis length — one clamp rule shared by every rank.
     ///
     /// The clamp is to the *full* axis length, not `n/2`: retained modes
     /// count complex spectrum entries from DC upward (this formulation has
@@ -209,15 +186,8 @@ impl LayerSpec {
     /// spectrum and any larger request degrades to exactly that instead of
     /// building an invalid problem that panics downstream.
     pub fn modes(mut self, nf: usize) -> Self {
-        match &mut self.shape {
-            SpecShape::D1 { n, nf: m, .. } => *m = nf.min(*n),
-            SpecShape::D2 {
-                nx, ny, nfx, nfy, ..
-            } => {
-                *nfx = nf.min(*nx);
-                *nfy = nf.min(*ny);
-            }
-        }
+        let per_axis = [nf; MAX_RANK];
+        self.shape = self.shape.with_modes(&per_axis[..self.shape.rank]);
         self
     }
 
@@ -226,18 +196,28 @@ impl LayerSpec {
     /// agree on every input, in and out of range.
     ///
     /// # Panics
-    /// On a 1D spec — a 1D layer has a single mode count; use
-    /// [`LayerSpec::modes`].
-    pub fn modes_xy(mut self, nfx_new: usize, nfy_new: usize) -> Self {
-        match &mut self.shape {
-            SpecShape::D1 { .. } => panic!("modes_xy on a 1D LayerSpec; use .modes(nf)"),
-            SpecShape::D2 {
-                nx, ny, nfx, nfy, ..
-            } => {
-                *nfx = nfx_new.min(*nx);
-                *nfy = nfy_new.min(*ny);
-            }
+    /// On any other rank — a 1D layer has a single mode count (use
+    /// [`LayerSpec::modes`]); a 3D layer has three
+    /// ([`LayerSpec::modes_xyz`]).
+    pub fn modes_xy(mut self, nfx: usize, nfy: usize) -> Self {
+        match self.shape.rank {
+            1 => panic!("modes_xy on a 1D LayerSpec; use .modes(nf)"),
+            2 => {}
+            r => panic!("modes_xy on a {r}D LayerSpec; use .modes_xyz(nfx, nfy, nfz)"),
         }
+        self.shape = self.shape.with_modes(&[nfx, nfy]);
+        self
+    }
+
+    /// Retain an `nfx x nfy x nfz` corner (3D only), with the same
+    /// per-axis clamping as [`LayerSpec::modes`].
+    ///
+    /// # Panics
+    /// On any other rank.
+    pub fn modes_xyz(mut self, nfx: usize, nfy: usize, nfz: usize) -> Self {
+        let r = self.shape.rank;
+        assert!(r == 3, "modes_xyz on a {r}D LayerSpec; use .modes(nf) or .modes_xy(nfx, nfy)");
+        self.shape = self.shape.with_modes(&[nfx, nfy, nfz]);
         self
     }
 
@@ -259,87 +239,53 @@ impl LayerSpec {
         self
     }
 
-    /// The 1D problem descriptor, if this spec is 1D. Shape invariants
-    /// (power-of-two length, mode bounds) are asserted here.
+    /// The spectral shape this spec executes.
+    pub fn shape(&self) -> SpectralShape {
+        self.shape
+    }
+
+    /// The 1D problem descriptor, if this spec is rank 1.
     pub fn problem_1d(&self) -> Option<FnoProblem1d> {
-        match self.shape {
-            SpecShape::D1 {
-                batch,
-                k_in,
-                k_out,
-                n,
-                nf,
-            } => Some(FnoProblem1d::new(batch, k_in, k_out, n, nf)),
-            SpecShape::D2 { .. } => None,
-        }
+        self.shape.to_problem_1d()
     }
 
-    /// The 2D problem descriptor, if this spec is 2D.
+    /// The 2D problem descriptor, if this spec is rank 2.
     pub fn problem_2d(&self) -> Option<FnoProblem2d> {
-        match self.shape {
-            SpecShape::D1 { .. } => None,
-            SpecShape::D2 {
-                batch,
-                k_in,
-                k_out,
-                nx,
-                ny,
-                nfx,
-                nfy,
-            } => Some(FnoProblem2d::new(batch, k_in, k_out, nx, ny, nfx, nfy)),
-        }
+        self.shape.to_problem_2d()
     }
 
-    /// Construct (and discard) the problem descriptor so shape panics
-    /// surface on the submitting thread, not inside a dispatch.
+    /// Assert the shape invariants (power-of-two lengths, mode bounds) so
+    /// shape panics surface on the submitting thread, not inside a
+    /// dispatch.
     fn assert_valid_shape(&self) {
-        let _ = self.problem_1d();
-        let _ = self.problem_2d();
+        self.shape.validate();
     }
 
     /// Leading (batch) dimension.
     pub fn batch(&self) -> usize {
-        match self.shape {
-            SpecShape::D1 { batch, .. } | SpecShape::D2 { batch, .. } => batch,
-        }
+        self.shape.batch
     }
 
     /// Required length of the `x` operand in complex elements.
     pub fn input_len(&self) -> usize {
-        match self.shape {
-            SpecShape::D1 { batch, k_in, n, .. } => batch * k_in * n,
-            SpecShape::D2 {
-                batch, k_in, nx, ny, ..
-            } => batch * k_in * nx * ny,
-        }
+        self.shape.input_len()
     }
 
     /// Required length of the `w` operand (`k_in * k_out`).
     pub fn weight_len(&self) -> usize {
-        match self.shape {
-            SpecShape::D1 { k_in, k_out, .. } | SpecShape::D2 { k_in, k_out, .. } => k_in * k_out,
-        }
+        self.shape.weight_len()
     }
 
     /// Required length of the `y` operand.
     pub fn output_len(&self) -> usize {
-        match self.shape {
-            SpecShape::D1 {
-                batch, k_out, n, ..
-            } => batch * k_out * n,
-            SpecShape::D2 {
-                batch, k_out, nx, ny, ..
-            } => batch * k_out * nx * ny,
-        }
+        self.shape.output_len()
     }
 
     /// The same layer with the batch dimension scaled by `factor` — the
     /// shape of a coalesced stack of `factor` identical requests.
     fn stacked(&self, factor: usize) -> LayerSpec {
         let mut s = *self;
-        match &mut s.shape {
-            SpecShape::D1 { batch, .. } | SpecShape::D2 { batch, .. } => *batch *= factor,
-        }
+        s.shape.batch *= factor;
         s
     }
 }
@@ -1407,30 +1353,11 @@ impl<B: Backend> Drop for Session<B> {
 /// the options that steer kernel assembly, and the functional/analytical
 /// split. Shared by the replay keys and the `measure` sequence memo.
 fn hash_spec(spec: &LayerSpec, h: &mut DefaultHasher) {
-    match spec.shape {
-        SpecShape::D1 {
-            batch,
-            k_in,
-            k_out,
-            n,
-            nf,
-        } => {
-            0u8.hash(h);
-            [batch, k_in, k_out, n, nf].hash(h);
-        }
-        SpecShape::D2 {
-            batch,
-            k_in,
-            k_out,
-            nx,
-            ny,
-            nfx,
-            nfy,
-        } => {
-            1u8.hash(h);
-            [batch, k_in, k_out, nx, ny, nfx, nfy].hash(h);
-        }
-    }
+    let s = &spec.shape;
+    (s.rank as u8).hash(h);
+    [s.batch, s.k_in, s.k_out].hash(h);
+    s.dims.hash(h);
+    s.modes.hash(h);
     spec.variant.hash(h);
     spec.opts.forward_layout.hash(h);
     spec.opts.epilogue_swizzle.hash(h);
@@ -1532,14 +1459,7 @@ impl ExecCtx<'_> {
         bufs: LayerBufs,
     ) -> Result<PipelineRun, LaunchError> {
         let (opts, exec) = (spec.opts, spec.exec);
-        if let Some(p) = spec.problem_1d() {
-            self.try_run_1d(&p, variant, bufs, &opts, exec)
-        } else {
-            // INVARIANT: LayerSpec constructors admit exactly 1D or 2D shapes,
-            // so a spec that is not 1D must be 2D.
-            let p = spec.problem_2d().expect("spec is 1D or 2D");
-            self.try_run_2d(&p, variant, bufs, &opts, exec)
-        }
+        self.try_run_spectral(&spec.shape, variant, bufs, &opts, exec)
     }
 
     /// Resolve `TurboBest` to a concrete variant (one planner consult; a
@@ -1548,12 +1468,7 @@ impl ExecCtx<'_> {
         if spec.variant != Variant::TurboBest {
             return spec.variant;
         }
-        if let Some(p) = spec.problem_1d() {
-            self.planner.plan_1d(self.dev.config(), &p, &spec.opts)
-        } else {
-            let p = spec.problem_2d().expect("spec is 1D or 2D");
-            self.planner.plan_2d(self.dev.config(), &p, &spec.opts)
-        }
+        self.planner.plan_shape(self.dev.config(), &spec.shape, &spec.opts)
     }
 
     /// The [`Session::run_many`] body (queue already validated).
@@ -2149,12 +2064,13 @@ mod tests {
         let mut sess = Session::new(SimBackend::a100());
         // Bypass the modes() clamp to build an invalid spec directly.
         let spec = LayerSpec {
-            shape: SpecShape::D1 {
+            shape: SpectralShape {
                 batch: 1,
                 k_in: 2,
                 k_out: 2,
-                n: 64,
-                nf: 0,
+                rank: 1,
+                dims: [64, 1, 1],
+                modes: [0, 1, 1],
             },
             variant: Variant::FftOpt,
             opts: TurboOptions::default(),

@@ -187,6 +187,104 @@ impl CopyAddressing for CornerPad2d {
     }
 }
 
+/// 3D corner truncation: gather the `[nfx, nfy, nfz]` low-frequency corner
+/// out of each `[nx, ny, nz]` volume (`grids` of them), packed output. One
+/// row per retained `(x, y)` pencil, contiguous along z.
+#[derive(Clone, Copy, Debug)]
+pub struct CornerTruncate3d {
+    pub grids: usize,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub nfx: usize,
+    pub nfy: usize,
+    pub nfz: usize,
+}
+
+impl CopyAddressing for CornerTruncate3d {
+    fn rows(&self) -> usize {
+        self.grids * self.nfx * self.nfy
+    }
+    fn in_len(&self, _r: usize) -> usize {
+        self.nfz
+    }
+    fn out_len(&self, _r: usize) -> usize {
+        self.nfz
+    }
+    fn in_addr(&self, r: usize, i: usize) -> usize {
+        let g = r / (self.nfx * self.nfy);
+        let x = (r / self.nfy) % self.nfx;
+        let y = r % self.nfy;
+        ((g * self.nx + x) * self.ny + y) * self.nz + i
+    }
+    fn out_addr(&self, r: usize, i: usize) -> usize {
+        r * self.nfz + i
+    }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("copy.corner_truncate3d", |h| {
+            self.grids.hash(h);
+            self.nx.hash(h);
+            self.ny.hash(h);
+            self.nz.hash(h);
+            self.nfx.hash(h);
+            self.nfy.hash(h);
+            self.nfz.hash(h);
+        })
+    }
+}
+
+/// 3D corner padding: scatter packed `[nfx, nfy, nfz]` corners into zeroed
+/// `[nx, ny, nz]` volumes. Rows with `x >= nfx` or `y >= nfy` are pure
+/// zero-fill, like [`CornerPad2d`]'s tail rows.
+#[derive(Clone, Copy, Debug)]
+pub struct CornerPad3d {
+    pub grids: usize,
+    pub nfx: usize,
+    pub nfy: usize,
+    pub nfz: usize,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl CopyAddressing for CornerPad3d {
+    fn rows(&self) -> usize {
+        self.grids * self.nx * self.ny
+    }
+    fn in_len(&self, r: usize) -> usize {
+        let x = (r / self.ny) % self.nx;
+        let y = r % self.ny;
+        if x < self.nfx && y < self.nfy {
+            self.nfz
+        } else {
+            0
+        }
+    }
+    fn out_len(&self, _r: usize) -> usize {
+        self.nz
+    }
+    fn in_addr(&self, r: usize, i: usize) -> usize {
+        let g = r / (self.nx * self.ny);
+        let x = (r / self.ny) % self.nx;
+        let y = r % self.ny;
+        ((g * self.nfx + x) * self.nfy + y) * self.nfz + i
+    }
+    fn out_addr(&self, r: usize, i: usize) -> usize {
+        r * self.nz + i
+    }
+    fn fingerprint(&self) -> u64 {
+        structural_fingerprint("copy.corner_pad3d", |h| {
+            self.grids.hash(h);
+            self.nfx.hash(h);
+            self.nfy.hash(h);
+            self.nfz.hash(h);
+            self.nx.hash(h);
+            self.ny.hash(h);
+            self.nz.hash(h);
+        })
+    }
+}
+
 /// Rows handled by each thread block of the copy kernel.
 pub const COPY_ROWS_PER_BLOCK: usize = 8;
 
@@ -558,6 +656,68 @@ mod tests {
                     C32::ZERO
                 };
                 assert_eq!(out[x * ny + y], want, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn corner_truncate_3d() {
+        let (grids, nx, ny, nz, nfx, nfy, nfz) = (2usize, 4, 4, 8, 2, 3, 4);
+        let mut dev = GpuDevice::a100();
+        let src = dev.alloc("src", grids * nx * ny * nz);
+        let dst = dev.alloc("dst", grids * nfx * nfy * nfz);
+        dev.upload(src, &seq(grids * nx * ny * nz));
+        let k = StridedCopyKernel::new(
+            "corner3",
+            CornerTruncate3d { grids, nx, ny, nz, nfx, nfy, nfz },
+            src,
+            dst,
+        );
+        dev.launch(&k, ExecMode::Functional);
+        let out = dev.download(dst);
+        for g in 0..grids {
+            for x in 0..nfx {
+                for y in 0..nfy {
+                    for z in 0..nfz {
+                        let src_i = ((g * nx + x) * ny + y) * nz + z;
+                        assert_eq!(
+                            out[((g * nfx + x) * nfy + y) * nfz + z],
+                            C32::new(src_i as f32, -(src_i as f32)),
+                            "g={g} x={x} y={y} z={z}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corner_pad_3d_zero_fills_outside_corner() {
+        let (grids, nfx, nfy, nfz, nx, ny, nz) = (1usize, 2, 2, 2, 4, 4, 4);
+        let mut dev = GpuDevice::a100();
+        let src = dev.alloc("src", grids * nfx * nfy * nfz);
+        let dst = dev.alloc("dst", grids * nx * ny * nz);
+        dev.upload(src, &seq(grids * nfx * nfy * nfz));
+        dev.upload(dst, &vec![C32::new(7.0, 7.0); grids * nx * ny * nz]);
+        let k = StridedCopyKernel::new(
+            "cpad3",
+            CornerPad3d { grids, nfx, nfy, nfz, nx, ny, nz },
+            src,
+            dst,
+        );
+        dev.launch(&k, ExecMode::Functional);
+        let out = dev.download(dst);
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let want = if x < nfx && y < nfy && z < nfz {
+                        let i = (x * nfy + y) * nfz + z;
+                        C32::new(i as f32, -(i as f32))
+                    } else {
+                        C32::ZERO
+                    };
+                    assert_eq!(out[(x * ny + y) * nz + z], want, "x={x} y={y} z={z}");
+                }
             }
         }
     }

@@ -99,6 +99,178 @@ impl FnoProblem2d {
     }
 }
 
+/// Highest spatial rank the spectral engine supports.
+pub const MAX_RANK: usize = 3;
+
+/// Rank-generic spectral layer shape: `batch` grids of `k_in` hidden
+/// channels over a dense row-major spatial grid `dims[..rank]`, keeping the
+/// low-frequency corner `modes[..rank]`, mixed to `k_out` channels by one
+/// shared `[k_in, k_out]` spectral weight.
+///
+/// Axes at positions `>= rank` are `1` so products over the fixed-size
+/// arrays work for every rank; the innermost (contiguous) axis is
+/// `dims[rank - 1]`. This one struct replaces the `FnoProblem1d` /
+/// `FnoProblem2d` twins everywhere inside the engine; the rank-specific
+/// descriptors remain as thin public conversions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpectralShape {
+    pub batch: usize,
+    pub k_in: usize,
+    pub k_out: usize,
+    pub rank: usize,
+    /// Spatial extents, outermost first; entries `>= rank` are 1.
+    pub dims: [usize; MAX_RANK],
+    /// Retained modes per axis; entries `>= rank` are 1.
+    pub modes: [usize; MAX_RANK],
+}
+
+impl SpectralShape {
+    /// 1D shape with the full spectrum retained (clamp with
+    /// [`SpectralShape::with_modes`]).
+    pub fn d1(batch: usize, k_in: usize, k_out: usize, n: usize) -> Self {
+        SpectralShape {
+            batch,
+            k_in,
+            k_out,
+            rank: 1,
+            dims: [n, 1, 1],
+            modes: [n, 1, 1],
+        }
+    }
+
+    /// 2D shape with the full spectrum retained.
+    pub fn d2(batch: usize, k_in: usize, k_out: usize, nx: usize, ny: usize) -> Self {
+        SpectralShape {
+            batch,
+            k_in,
+            k_out,
+            rank: 2,
+            dims: [nx, ny, 1],
+            modes: [nx, ny, 1],
+        }
+    }
+
+    /// 3D shape with the full spectrum retained.
+    #[allow(clippy::too_many_arguments)]
+    pub fn d3(batch: usize, k_in: usize, k_out: usize, nx: usize, ny: usize, nz: usize) -> Self {
+        SpectralShape {
+            batch,
+            k_in,
+            k_out,
+            rank: 3,
+            dims: [nx, ny, nz],
+            modes: [nx, ny, nz],
+        }
+    }
+
+    /// Set the retained mode counts, clamping each axis to its spatial
+    /// extent — the ONE clamp rule every rank shares (a request for more
+    /// modes than samples keeps the full spectrum of that axis).
+    pub fn with_modes(mut self, modes: &[usize]) -> Self {
+        assert_eq!(
+            modes.len(),
+            self.rank,
+            "expected {} mode counts for a rank-{} shape, got {}",
+            self.rank,
+            self.rank,
+            modes.len()
+        );
+        for (a, &m) in modes.iter().enumerate() {
+            self.modes[a] = m.min(self.dims[a]);
+        }
+        self
+    }
+
+    /// Panic unless the shape is executable: power-of-two FFT lengths,
+    /// in-range mode counts, non-empty batch/channel dims. Uses the same
+    /// messages as [`FnoProblem1d::new`] so rank-1 callers see identical
+    /// diagnostics.
+    pub fn validate(&self) {
+        assert!(
+            self.rank >= 1 && self.rank <= MAX_RANK,
+            "spectral rank must be 1..={MAX_RANK}"
+        );
+        for a in 0..self.rank {
+            assert!(
+                self.dims[a].is_power_of_two(),
+                "FFT length must be a power of two"
+            );
+            assert!(
+                self.modes[a] >= 1 && self.modes[a] <= self.dims[a],
+                "mode count out of range"
+            );
+        }
+        for a in self.rank..MAX_RANK {
+            assert!(
+                self.dims[a] == 1 && self.modes[a] == 1,
+                "axes beyond the rank must be 1"
+            );
+        }
+        assert!(self.batch >= 1 && self.k_in >= 1 && self.k_out >= 1);
+    }
+
+    /// Product of the spatial extents (one grid's element count).
+    pub fn spatial_len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Product of the retained modes (one grid's spectral corner).
+    pub fn modes_total(&self) -> usize {
+        self.modes.iter().product()
+    }
+
+    /// Product of the retained modes of every axis left of the innermost
+    /// one — the number of already-transformed "outer" spectral positions
+    /// the inner FFT–CGEMM–iFFT stage is batched over (1 for rank 1).
+    pub fn outer_modes(&self) -> usize {
+        self.modes[..self.rank - 1].iter().product()
+    }
+
+    /// The paper's GEMM `M` dimension: `batch x` retained positions.
+    pub fn gemm_m_total(&self) -> usize {
+        self.batch * self.modes_total()
+    }
+
+    pub fn input_len(&self) -> usize {
+        self.batch * self.k_in * self.spatial_len()
+    }
+
+    pub fn output_len(&self) -> usize {
+        self.batch * self.k_out * self.spatial_len()
+    }
+
+    pub fn weight_len(&self) -> usize {
+        self.k_in * self.k_out
+    }
+
+    /// The 1D problem descriptor, if this is a rank-1 shape.
+    pub fn to_problem_1d(&self) -> Option<FnoProblem1d> {
+        (self.rank == 1).then(|| FnoProblem1d::new(self.batch, self.k_in, self.k_out, self.dims[0], self.modes[0]))
+    }
+
+    /// The 2D problem descriptor, if this is a rank-2 shape.
+    pub fn to_problem_2d(&self) -> Option<FnoProblem2d> {
+        (self.rank == 2).then(|| {
+            FnoProblem2d::new(
+                self.batch, self.k_in, self.k_out, self.dims[0], self.dims[1], self.modes[0],
+                self.modes[1],
+            )
+        })
+    }
+}
+
+impl From<&FnoProblem1d> for SpectralShape {
+    fn from(p: &FnoProblem1d) -> Self {
+        SpectralShape::d1(p.batch, p.k_in, p.k_out, p.n).with_modes(&[p.nf])
+    }
+}
+
+impl From<&FnoProblem2d> for SpectralShape {
+    fn from(p: &FnoProblem2d) -> Self {
+        SpectralShape::d2(p.batch, p.k_in, p.k_out, p.nx, p.ny).with_modes(&[p.nfx, p.nfy])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +301,70 @@ mod tests {
     #[should_panic(expected = "mode count")]
     fn excess_modes_rejected() {
         FnoProblem1d::new(1, 1, 1, 64, 65);
+    }
+
+    #[test]
+    fn shape_roundtrips_problem_descriptors() {
+        let p1 = FnoProblem1d::new(4, 8, 16, 128, 32);
+        let s1 = SpectralShape::from(&p1);
+        assert_eq!(s1.to_problem_1d(), Some(p1));
+        assert_eq!(s1.to_problem_2d(), None);
+        assert_eq!(s1.input_len(), p1.input_len());
+        assert_eq!(s1.gemm_m_total(), p1.gemm_m_total());
+        assert_eq!(s1.outer_modes(), 1);
+
+        let p2 = FnoProblem2d::new(2, 4, 4, 64, 32, 16, 8);
+        let s2 = SpectralShape::from(&p2);
+        assert_eq!(s2.to_problem_2d(), Some(p2));
+        assert_eq!(s2.to_problem_1d(), None);
+        assert_eq!(s2.output_len(), p2.output_len());
+        assert_eq!(s2.outer_modes(), 16);
+    }
+
+    #[test]
+    fn shape_3d_sizes() {
+        let s = SpectralShape::d3(2, 4, 8, 8, 16, 32).with_modes(&[4, 8, 16]);
+        s.validate();
+        assert_eq!(s.spatial_len(), 8 * 16 * 32);
+        assert_eq!(s.modes_total(), 4 * 8 * 16);
+        assert_eq!(s.outer_modes(), 4 * 8);
+        assert_eq!(s.input_len(), 2 * 4 * 8 * 16 * 32);
+        assert_eq!(s.output_len(), 2 * 8 * 8 * 16 * 32);
+        assert_eq!(s.weight_len(), 32);
+    }
+
+    /// The one shared clamp rule: every axis independently clamps its mode
+    /// request to the axis extent, at every rank.
+    #[test]
+    fn with_modes_clamps_per_axis() {
+        for m in [1usize, 16, 32, 33, 64, 65, 1000] {
+            let want = m.min(64);
+            assert_eq!(SpectralShape::d1(1, 2, 2, 64).with_modes(&[m]).modes, [want, 1, 1]);
+            assert_eq!(
+                SpectralShape::d2(1, 2, 2, 64, 64).with_modes(&[m, m]).modes,
+                [want, want, 1]
+            );
+            assert_eq!(
+                SpectralShape::d3(1, 2, 2, 64, 64, 64).with_modes(&[m, m, m]).modes,
+                [want, want, want]
+            );
+        }
+        // clamps are per-axis, not uniform
+        let s = SpectralShape::d3(1, 1, 1, 8, 16, 32).with_modes(&[100, 100, 100]);
+        assert_eq!(s.modes, [8, 16, 32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shape_validate_rejects_non_pow2_axis() {
+        SpectralShape::d3(1, 1, 1, 8, 12, 16).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mode count out of range")]
+    fn shape_validate_rejects_zero_modes() {
+        let mut s = SpectralShape::d2(1, 1, 1, 8, 8);
+        s.modes = [0, 8, 1];
+        s.validate();
     }
 }

@@ -6,15 +6,22 @@
 //! * **1D** (5 kernels): full FFT → truncate-copy → CGEMM → pad-copy →
 //!   full iFFT;
 //! * **2D** (7 kernels): full FFT-y → full FFT-x → corner-truncate-copy →
-//!   CGEMM → corner-pad-copy → full iFFT-x → full iFFT-y.
+//!   CGEMM → corner-pad-copy → full iFFT-x → full iFFT-y;
+//! * **3D** (9 kernels): full FFT-z → FFT-y → FFT-x → corner-truncate →
+//!   CGEMM → corner-pad → iFFT-x → iFFT-y → iFFT-z.
 //!
 //! Every stage round-trips global memory, and the copies exist only because
 //! cuFFT cannot filter — the two inefficiencies TurboFNO removes.
+//! [`try_run_pytorch_stacked`] is the rank-generic entry the engine
+//! dispatches through.
 
-use crate::copy::{CornerPad2d, CornerTruncate2d, RowPad, RowTruncate, StridedCopyKernel};
+use crate::copy::{
+    CornerPad2d, CornerPad3d, CornerTruncate2d, CornerTruncate3d, RowPad, RowTruncate,
+    StridedCopyKernel,
+};
 use crate::cublas::CuBlas;
 use crate::cufft::CuFft;
-use crate::problem::{FnoProblem1d, FnoProblem2d};
+use crate::problem::{FnoProblem1d, FnoProblem2d, SpectralShape};
 use tfno_cgemm::{BatchedOperand, GemmShape, MatView, WeightStacking};
 use tfno_fft::{FftDirection, StridedPencils};
 use tfno_backend::Backend;
@@ -261,16 +268,7 @@ pub fn try_run_pytorch_2d_stacked(
         dev,
         "pt2.fft_x",
         nx,
-        StridedPencils {
-            count: b * ki * ny,
-            group: ny,
-            in_group_stride: nx * ny,
-            in_pencil_stride: 1,
-            in_idx_stride: ny,
-            out_group_stride: nx * ny,
-            out_pencil_stride: 1,
-            out_idx_stride: ny,
-        },
+        StridedPencils::along_axis(b * ki, nx, nx, ny),
         FftDirection::Forward,
         t1,
         t2,
@@ -331,16 +329,7 @@ pub fn try_run_pytorch_2d_stacked(
         dev,
         "pt2.ifft_x",
         nx,
-        StridedPencils {
-            count: b * ko * ny,
-            group: ny,
-            in_group_stride: nx * ny,
-            in_pencil_stride: 1,
-            in_idx_stride: ny,
-            out_group_stride: nx * ny,
-            out_pencil_stride: 1,
-            out_idx_stride: ny,
-        },
+        StridedPencils::along_axis(b * ko, nx, nx, ny),
         FftDirection::Inverse,
         yf_pad,
         t3,
@@ -360,6 +349,209 @@ pub fn try_run_pytorch_2d_stacked(
     )?);
 
     Ok(run)
+}
+
+/// [`try_run_pytorch_3d_stacked`] without weight stacking, panicking on
+/// faults (the unsandboxed convenience wrapper the 1D/2D baselines have).
+pub fn run_pytorch_3d(
+    dev: &mut dyn Backend,
+    s: &SpectralShape,
+    x: BufferId,
+    w: BufferId,
+    y: BufferId,
+    mode: ExecMode,
+) -> PipelineRun {
+    try_run_pytorch_3d_stacked(dev, s, x, w, WeightStacking::SHARED, y, mode)
+        .unwrap_or_else(|e| panic!("pytorch 3d baseline failed: {e}"))
+}
+
+/// Run the 3D baseline pipeline (9 kernels) through the device's typed
+/// fault path: one full FFT per axis (innermost z first), the corner
+/// truncation/padding copies cuFFT forces, and the hidden-dim CGEMM.
+///
+/// * `x`: `[batch, k_in, nx, ny, nz]`, `w`: `[k_in, k_out]`,
+///   `y`: `[batch, k_out, nx, ny, nz]`.
+pub fn try_run_pytorch_3d_stacked(
+    dev: &mut dyn Backend,
+    s: &SpectralShape,
+    x: BufferId,
+    w: BufferId,
+    ws: WeightStacking,
+    y: BufferId,
+    mode: ExecMode,
+) -> Result<PipelineRun, LaunchError> {
+    assert_eq!(s.rank, 3, "3d baseline needs a rank-3 shape");
+    let mut run = PipelineRun::default();
+    let (b, ki, ko) = (s.batch, s.k_in, s.k_out);
+    let [nx, ny, nz] = s.dims;
+    let [nfx, nfy, nfz] = s.modes;
+    let grid = nx * ny * nz;
+    let corner = nfx * nfy * nfz;
+
+    let t1 = try_alloc_like(dev, x, "pt3.t1", b * ki * grid)?;
+    let t2 = try_alloc_like(dev, x, "pt3.t2", b * ki * grid)?;
+    let t3 = try_alloc_like(dev, x, "pt3.t3", b * ki * grid)?;
+    let xf_t = try_alloc_like(dev, x, "pt3.xf_t", b * ki * corner)?;
+    let yf_t = try_alloc_like(dev, x, "pt3.yf_t", b * ko * corner)?;
+    let yf_pad = try_alloc_like(dev, x, "pt3.yf_pad", b * ko * grid)?;
+    let t4 = try_alloc_like(dev, x, "pt3.t4", b * ko * grid)?;
+    let t5 = try_alloc_like(dev, x, "pt3.t5", b * ko * grid)?;
+
+    // 1. full FFT along z (contiguous rows)
+    run.push(CuFft::try_exec_rows(
+        dev,
+        "pt3.fft_z",
+        nz,
+        b * ki * nx * ny,
+        FftDirection::Forward,
+        x,
+        t1,
+        mode,
+    )?);
+
+    // 2. full FFT along y (strided pencils)
+    run.push(CuFft::try_exec_strided(
+        dev,
+        "pt3.fft_y",
+        ny,
+        StridedPencils::along_axis(b * ki * nx, ny, ny, nz),
+        FftDirection::Forward,
+        t1,
+        t2,
+        mode,
+    )?);
+
+    // 3. full FFT along x (strided pencils)
+    run.push(CuFft::try_exec_strided(
+        dev,
+        "pt3.fft_x",
+        nx,
+        StridedPencils::along_axis(b * ki, nx, nx, ny * nz),
+        FftDirection::Forward,
+        t2,
+        t3,
+        mode,
+    )?);
+
+    // 4. corner truncation memcpy
+    let trunc = StridedCopyKernel::new(
+        "pt3.truncate",
+        CornerTruncate3d {
+            grids: b * ki,
+            nx,
+            ny,
+            nz,
+            nfx,
+            nfy,
+            nfz,
+        },
+        t3,
+        xf_t,
+    );
+    run.push(dev.try_launch(&trunc, mode)?);
+
+    // 5. batched CGEMM along the hidden dim
+    let m = corner;
+    run.push(CuBlas::try_cgemm_strided_batched(
+        dev,
+        "pt3.cgemm",
+        GemmShape {
+            batch: b,
+            m,
+            n: ko,
+            k: ki,
+        },
+        BatchedOperand::strided(xf_t, MatView { base: 0, row_stride: 1, col_stride: m, }, ki * m),
+        BatchedOperand::stacked(w, MatView::row_major(0, ko), ws),
+        BatchedOperand::strided(yf_t, MatView { base: 0, row_stride: 1, col_stride: m, }, ko * m),
+        tfno_num::C32::ONE,
+        tfno_num::C32::ZERO,
+        mode,
+    )?);
+
+    // 6. corner padding memcpy
+    let pad = StridedCopyKernel::new(
+        "pt3.pad",
+        CornerPad3d {
+            grids: b * ko,
+            nfx,
+            nfy,
+            nfz,
+            nx,
+            ny,
+            nz,
+        },
+        yf_t,
+        yf_pad,
+    );
+    run.push(dev.try_launch(&pad, mode)?);
+
+    // 7. full inverse FFT along x
+    run.push(CuFft::try_exec_strided(
+        dev,
+        "pt3.ifft_x",
+        nx,
+        StridedPencils::along_axis(b * ko, nx, nx, ny * nz),
+        FftDirection::Inverse,
+        yf_pad,
+        t4,
+        mode,
+    )?);
+
+    // 8. full inverse FFT along y
+    run.push(CuFft::try_exec_strided(
+        dev,
+        "pt3.ifft_y",
+        ny,
+        StridedPencils::along_axis(b * ko * nx, ny, ny, nz),
+        FftDirection::Inverse,
+        t4,
+        t5,
+        mode,
+    )?);
+
+    // 9. full inverse FFT along z
+    run.push(CuFft::try_exec_rows(
+        dev,
+        "pt3.ifft_z",
+        nz,
+        b * ko * nx * ny,
+        FftDirection::Inverse,
+        t5,
+        y,
+        mode,
+    )?);
+
+    Ok(run)
+}
+
+/// Rank-generic baseline entry: dispatch a [`SpectralShape`] to the 1D, 2D
+/// or 3D kernel sequence. The per-rank bodies stay separate because the
+/// baseline's WHOLE point is replicating the rank-specific launch sequences
+/// PyTorch emits; this is the one seam the engine calls through.
+pub fn try_run_pytorch_stacked(
+    dev: &mut dyn Backend,
+    s: &SpectralShape,
+    x: BufferId,
+    w: BufferId,
+    ws: WeightStacking,
+    y: BufferId,
+    mode: ExecMode,
+) -> Result<PipelineRun, LaunchError> {
+    match s.rank {
+        1 => {
+            let p = s.to_problem_1d().expect("rank checked");
+            try_run_pytorch_1d_stacked(dev, &p, x, w, ws, y, mode)
+        }
+        2 => {
+            let p = s.to_problem_2d().expect("rank checked");
+            try_run_pytorch_2d_stacked(dev, &p, x, w, ws, y, mode)
+        }
+        3 => try_run_pytorch_3d_stacked(dev, s, x, w, ws, y, mode),
+        // INVARIANT: SpectralShape::validate() rejects ranks outside 1..=3
+        // before any launch path runs, so this arm is unreachable.
+        r => panic!("unsupported spectral rank {r}"),
+    }
 }
 
 #[cfg(test)]
@@ -424,6 +616,51 @@ mod tests {
         let got = dev.download(y);
         let err = rel_l2_error(&got, want.data());
         assert!(err < 1e-4, "rel l2 error {err}");
+    }
+
+    #[test]
+    fn pipeline_3d_matches_reference_layer() {
+        let s = SpectralShape::d3(1, 2, 3, 4, 8, 16).with_modes(&[2, 3, 5]);
+        let mut dev = GpuDevice::a100();
+        let x = dev.alloc("x", s.input_len());
+        let w = dev.alloc("w", s.weight_len());
+        let y = dev.alloc("y", s.output_len());
+        let xd = rand_like(s.input_len(), 0.6);
+        let wd = rand_like(s.weight_len(), 0.2);
+        dev.upload(x, &xd);
+        dev.upload(w, &wd);
+
+        let run = run_pytorch_3d(&mut dev, &s, x, w, y, ExecMode::Functional);
+        assert_eq!(run.kernel_count(), 9);
+
+        let xt = CTensor::from_vec(xd, &[s.batch, s.k_in, 4, 8, 16]);
+        let wt = CTensor::from_vec(wd, &[s.k_in, s.k_out]);
+        let want = reference::fno_layer_3d(&xt, &wt, 2, 3, 5);
+        let got = dev.download(y);
+        let err = rel_l2_error(&got, want.data());
+        assert!(err < 1e-4, "rel l2 error {err}");
+    }
+
+    #[test]
+    fn generic_dispatch_matches_per_rank_entries() {
+        let p = FnoProblem1d::new(2, 4, 4, 64, 16);
+        let s = SpectralShape::from(&p);
+        let mut dev = GpuDevice::a100();
+        let x = dev.alloc("x", p.input_len());
+        let w = dev.alloc("w", p.weight_len());
+        let (y1, y2) = (dev.alloc("y1", p.output_len()), dev.alloc("y2", p.output_len()));
+        dev.upload(x, &rand_like(p.input_len(), 0.3));
+        dev.upload(w, &rand_like(p.weight_len(), 0.7));
+        let r1 = try_run_pytorch_1d_stacked(
+            &mut dev, &p, x, w, WeightStacking::SHARED, y1, ExecMode::Functional,
+        )
+        .unwrap();
+        let r2 = try_run_pytorch_stacked(
+            &mut dev, &s, x, w, WeightStacking::SHARED, y2, ExecMode::Functional,
+        )
+        .unwrap();
+        assert_eq!(r1.kernel_count(), r2.kernel_count());
+        assert_eq!(dev.download(y1), dev.download(y2));
     }
 
     #[test]

@@ -102,6 +102,30 @@ pub struct StridedPencils {
     pub out_idx_stride: usize,
 }
 
+impl StridedPencils {
+    /// Pencils along one non-innermost axis of a dense row-major tensor
+    /// `[slabs, len, inner]`: every `(slab, inner)` position is one pencil,
+    /// the transform walks the middle axis with stride `inner`, and the
+    /// output replaces `in_len` by `out_len` (truncation or padding).
+    ///
+    /// This is the staging rule every outer axis of a rank-generic
+    /// spectral pipeline uses: for axis `a` of an N-D grid, `slabs` is the
+    /// product of all axes left of `a` (batch and hidden included) and
+    /// `inner` the product of all axes right of it.
+    pub fn along_axis(slabs: usize, in_len: usize, out_len: usize, inner: usize) -> Self {
+        StridedPencils {
+            count: slabs * inner,
+            group: inner,
+            in_group_stride: in_len * inner,
+            in_pencil_stride: 1,
+            in_idx_stride: inner,
+            out_group_stride: out_len * inner,
+            out_pencil_stride: 1,
+            out_idx_stride: inner,
+        }
+    }
+}
+
 impl PencilAddressing for StridedPencils {
     fn count(&self) -> usize {
         self.count
@@ -573,6 +597,38 @@ mod tests {
             let want = reference::dft_full(&col);
             let got: Vec<C32> = (0..nx).map(|x| out[x * nfy + fy]).collect();
             assert_close(&got, &want, fft_tolerance(nx, 2.0), &format!("fy={fy}"));
+        }
+    }
+
+    /// `along_axis` must address a middle axis of `[slabs, len, inner]`
+    /// exactly like a hand-written strided stage, including truncation.
+    #[test]
+    fn along_axis_transforms_middle_axis() {
+        let (slabs, len, keep, inner) = (3usize, 16usize, 4usize, 5usize);
+        let mut dev = GpuDevice::a100();
+        let input = dev.alloc("in", slabs * len * inner);
+        let output = dev.alloc("out", slabs * keep * inner);
+        let data = signals(1, slabs * len * inner);
+        dev.upload(input, &data);
+
+        let cfg = FftKernelConfig::new(FftBlockConfig::for_len(len));
+        let plan = FftPlan::new(len, FftDirection::Forward, len, keep);
+        let addr = StridedPencils::along_axis(slabs, len, keep, inner);
+        assert_eq!(addr.count, slabs * inner);
+        let k = BatchedFftKernel::new("fft-axis", cfg, plan, addr, input, output);
+        dev.launch(&k, ExecMode::Functional);
+        let out = dev.download(output);
+
+        for s in 0..slabs {
+            for j in 0..inner {
+                let col: Vec<C32> =
+                    (0..len).map(|t| data[(s * len + t) * inner + j]).collect();
+                let mut want = vec![C32::ZERO; keep];
+                reference::dft(&col, &mut want);
+                let got: Vec<C32> =
+                    (0..keep).map(|f| out[(s * keep + f) * inner + j]).collect();
+                assert_close(&got, &want, fft_tolerance(len, 2.0), &format!("s={s} j={j}"));
+            }
         }
     }
 }

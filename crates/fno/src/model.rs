@@ -1,12 +1,15 @@
 //! Complete FNO architectures: lifting → Fourier layers (spectral conv +
-//! pointwise bypass + GELU) → projection, in 1D and 2D.
+//! pointwise bypass + GELU) → projection, rank-generic with shape-named
+//! 1D/2D wrappers.
 //!
 //! The device path runs the spectral convolutions through a
 //! [`Session`] (shared planner + pooled buffers across layers and
 //! forwards) with any pipeline [`Variant`] and aggregates the
 //! per-layer timing records; the pointwise/projection GEMMs execute on the
 //! host (the paper's optimization target is the Fourier layer — everything
-//! else is identical between baselines and TurboFNO).
+//! else is identical between baselines and TurboFNO). [`FnoNd`] is the one
+//! implementation; [`Fno1d`]/[`Fno2d`] delegate to it, and a 3D model is
+//! just `FnoNd` with three spatial dims.
 //!
 //! ## Overlapped layer schedule
 //!
@@ -30,7 +33,7 @@
 //! bypasses — the serving-path schedule the throughput bench pins as
 //! `pipeline-overlap`.
 
-use crate::spectral::{SpectralConv1d, SpectralConv2d};
+use crate::spectral::{SpectralConv1d, SpectralConv2d, SpectralConvNd};
 use rand::Rng;
 use tfno_culib::PipelineRun;
 use tfno_num::{C32, CTensor};
@@ -232,24 +235,30 @@ pub fn add_gelu(a: &CTensor, b: &CTensor) -> CTensor {
     CTensor::from_vec(out, a.shape())
 }
 
-/// One 1D Fourier layer: `gelu(spectral(x) + pointwise(x))`.
+/// A square random bypass/lift/proj weight with real entries, scale `1/i`.
+fn random_real_weight<R: Rng>(rng: &mut R, i: usize, o: usize) -> CTensor {
+    let scale = 1.0 / i as f32;
+    CTensor::from_vec(
+        (0..i * o)
+            .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
+            .collect(),
+        &[i, o],
+    )
+}
+
+/// One rank-generic Fourier layer: `gelu(spectral(x) + pointwise(x))`.
+/// The single implementation behind [`FnoLayer1d`]/[`FnoLayer2d`].
 #[derive(Clone, Debug)]
-pub struct FnoLayer1d {
-    pub spectral: SpectralConv1d,
+pub struct FnoLayerNd {
+    pub spectral: SpectralConvNd,
     pub bypass: CTensor, // [k, k]
 }
 
-impl FnoLayer1d {
-    pub fn random<R: Rng>(rng: &mut R, width: usize, n: usize, nf: usize) -> Self {
-        let scale = 1.0 / width as f32;
-        let bypass = CTensor::from_vec(
-            (0..width * width)
-                .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
-                .collect(),
-            &[width, width],
-        );
-        FnoLayer1d {
-            spectral: SpectralConv1d::random(rng, width, width, n, nf),
+impl FnoLayerNd {
+    pub fn random<R: Rng>(rng: &mut R, width: usize, dims: &[usize], modes: &[usize]) -> Self {
+        let bypass = random_real_weight(rng, width, width);
+        FnoLayerNd {
+            spectral: SpectralConvNd::random(rng, width, width, dims, modes),
             bypass,
         }
     }
@@ -263,7 +272,7 @@ impl FnoLayer1d {
     /// Overlapped device forward (see the [module docs](self)): the
     /// spectral launches execute on the dispatch thread while this thread
     /// runs the pointwise bypass. Bitwise-equal to
-    /// [`FnoLayer1d::forward_device_sync`].
+    /// [`FnoLayerNd::forward_device_sync`].
     pub fn forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -277,7 +286,7 @@ impl FnoLayer1d {
         (add_gelu(&s, &p), run)
     }
 
-    /// Typed twin of [`FnoLayer1d::forward_device`] — the same overlapped
+    /// Typed twin of [`FnoLayerNd::forward_device`] — the same overlapped
     /// schedule, with dispatched failures surfacing as [`TfnoError`]
     /// (operand leases released by
     /// [`PendingSpectral::try_finish`](crate::PendingSpectral::try_finish)).
@@ -310,15 +319,18 @@ impl FnoLayer1d {
     }
 }
 
-/// A full 1D FNO.
+/// A full rank-generic FNO: `in_ch -> width -> (layers x Fourier) ->
+/// out_ch` over any supported spatial rank. The single implementation
+/// behind [`Fno1d`]/[`Fno2d`]; a 3D model is `FnoNd::random(.., &[nx, ny,
+/// nz], &[nfx, nfy, nfz])`.
 #[derive(Clone, Debug)]
-pub struct Fno1d {
-    pub lift: CTensor,  // [in_ch, width]
-    pub layers: Vec<FnoLayer1d>,
-    pub proj: CTensor,  // [width, out_ch]
+pub struct FnoNd {
+    pub lift: CTensor, // [in_ch, width]
+    pub layers: Vec<FnoLayerNd>,
+    pub proj: CTensor, // [width, out_ch]
 }
 
-impl Fno1d {
+impl FnoNd {
     /// Random model: `in_ch -> width -> (layers x Fourier) -> out_ch`.
     pub fn random<R: Rng>(
         rng: &mut R,
@@ -326,22 +338,15 @@ impl Fno1d {
         width: usize,
         out_ch: usize,
         layers: usize,
-        n: usize,
-        nf: usize,
+        dims: &[usize],
+        modes: &[usize],
     ) -> Self {
-        let mk = |rng: &mut R, i: usize, o: usize| {
-            let scale = 1.0 / i as f32;
-            CTensor::from_vec(
-                (0..i * o)
-                    .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
-                    .collect(),
-                &[i, o],
-            )
-        };
-        Fno1d {
-            lift: mk(rng, in_ch, width),
-            layers: (0..layers).map(|_| FnoLayer1d::random(rng, width, n, nf)).collect(),
-            proj: mk(rng, width, out_ch),
+        FnoNd {
+            lift: random_real_weight(rng, in_ch, width),
+            layers: (0..layers)
+                .map(|_| FnoLayerNd::random(rng, width, dims, modes))
+                .collect(),
+            proj: random_real_weight(rng, width, out_ch),
         }
     }
 
@@ -355,8 +360,8 @@ impl Fno1d {
 
     /// Device forward; returns the output and the concatenated spectral
     /// timing records of all layers. Each layer runs the overlapped
-    /// schedule ([`FnoLayer1d::forward_device`]); the output is
-    /// bitwise-equal to [`Fno1d::forward_device_sync`].
+    /// schedule ([`FnoLayerNd::forward_device`]); the output is
+    /// bitwise-equal to [`FnoNd::forward_device_sync`].
     pub fn forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -376,7 +381,7 @@ impl Fno1d {
         (pointwise(&h, &self.proj), total)
     }
 
-    /// Typed twin of [`Fno1d::forward_device`]: the layer sweep stops at
+    /// Typed twin of [`FnoNd::forward_device`]: the layer sweep stops at
     /// the first unrecoverable failure and reports it; the session stays
     /// usable (no leases held, no in-flight work).
     pub fn try_forward_device(
@@ -400,7 +405,7 @@ impl Fno1d {
 
     /// Device forward on the strictly sequential per-layer schedule (the
     /// pre-async execution contract; equality reference for
-    /// [`Fno1d::forward_device`]).
+    /// [`FnoNd::forward_device`]).
     pub fn forward_device_sync(
         &self,
         sess: &mut Session<impl Backend>,
@@ -425,7 +430,7 @@ impl Fno1d {
     /// as one [`Session::submit_many`] stack (one gather, one batched
     /// pipeline, one scatter) while the host runs the K pointwise
     /// bypasses. Returns `(output, timing)` per input, in order; each
-    /// output is bitwise-equal to a solo [`Fno1d::forward_device`] on the
+    /// output is bitwise-equal to a solo [`FnoNd::forward_device`] on the
     /// same input. A coalesced layer's launches are reported on the
     /// queue's first entry, matching the [`Session::run_many`] convention.
     pub fn forward_device_batch(
@@ -446,8 +451,9 @@ impl Fno1d {
             sess.upload(wb, sc.weight.data());
             let mut reqs = Vec::with_capacity(hs.len());
             for h in &hs {
-                let p = sc.problem(h.shape()[0]);
-                let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);
+                let spec = LayerSpec::from_shape(sc.shape(h.shape()[0]))
+                    .variant(variant)
+                    .options(*opts);
                 let xb = sess.acquire(spec.input_len());
                 sess.upload(xb, h.data());
                 let yb = sess.acquire(spec.output_len());
@@ -458,8 +464,9 @@ impl Fno1d {
             let ps: Vec<CTensor> = hs.iter().map(|h| pointwise(h, &layer.bypass)).collect();
             let runs = sess.wait_many(handle);
             for (j, (req, run)) in reqs.iter().zip(runs).enumerate() {
-                let batch = hs[j].shape()[0];
-                let s = CTensor::from_vec(sess.download(req.y), &[batch, sc.k_out, sc.n]);
+                let mut out_shape = vec![hs[j].shape()[0], sc.k_out];
+                out_shape.extend_from_slice(&sc.dims);
+                let s = CTensor::from_vec(sess.download(req.y), &out_shape);
                 hs[j] = add_gelu(&s, &ps[j]);
                 totals[j].launches.extend(run.launches);
                 sess.release(req.x);
@@ -474,7 +481,163 @@ impl Fno1d {
     }
 }
 
-/// One 2D Fourier layer.
+/// One 1D Fourier layer: `gelu(spectral(x) + pointwise(x))`.
+/// Thin shape-named wrapper over [`FnoLayerNd`].
+#[derive(Clone, Debug)]
+pub struct FnoLayer1d {
+    pub spectral: SpectralConv1d,
+    pub bypass: CTensor, // [k, k]
+}
+
+impl FnoLayer1d {
+    pub fn random<R: Rng>(rng: &mut R, width: usize, n: usize, nf: usize) -> Self {
+        let nd = FnoLayerNd::random(rng, width, &[n], &[nf]);
+        FnoLayer1d {
+            spectral: SpectralConv1d::new(width, width, n, nf, nd.spectral.weight),
+            bypass: nd.bypass,
+        }
+    }
+
+    /// The rank-generic layer this wrapper delegates to.
+    pub fn nd(&self) -> FnoLayerNd {
+        FnoLayerNd {
+            spectral: self.spectral.nd(),
+            bypass: self.bypass.clone(),
+        }
+    }
+
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        self.nd().forward_host(x)
+    }
+
+    /// Overlapped device forward (see [`FnoLayerNd::forward_device`]).
+    pub fn forward_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        self.nd().forward_device(sess, variant, opts, x)
+    }
+
+    /// Typed twin (see [`FnoLayerNd::try_forward_device`]).
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        self.nd().try_forward_device(sess, variant, opts, x)
+    }
+
+    /// The strictly sequential schedule (see
+    /// [`FnoLayerNd::forward_device_sync`]).
+    pub fn forward_device_sync(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        self.nd().forward_device_sync(sess, variant, opts, x)
+    }
+}
+
+/// A full 1D FNO. Thin shape-named wrapper over [`FnoNd`].
+#[derive(Clone, Debug)]
+pub struct Fno1d {
+    pub lift: CTensor,  // [in_ch, width]
+    pub layers: Vec<FnoLayer1d>,
+    pub proj: CTensor,  // [width, out_ch]
+}
+
+impl Fno1d {
+    /// Random model: `in_ch -> width -> (layers x Fourier) -> out_ch`.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        in_ch: usize,
+        width: usize,
+        out_ch: usize,
+        layers: usize,
+        n: usize,
+        nf: usize,
+    ) -> Self {
+        let nd = FnoNd::random(rng, in_ch, width, out_ch, layers, &[n], &[nf]);
+        Fno1d {
+            lift: nd.lift,
+            layers: nd
+                .layers
+                .into_iter()
+                .map(|l| FnoLayer1d {
+                    spectral: SpectralConv1d::new(width, width, n, nf, l.spectral.weight),
+                    bypass: l.bypass,
+                })
+                .collect(),
+            proj: nd.proj,
+        }
+    }
+
+    /// The rank-generic model this wrapper delegates to.
+    pub fn nd(&self) -> FnoNd {
+        FnoNd {
+            lift: self.lift.clone(),
+            layers: self.layers.iter().map(|l| l.nd()).collect(),
+            proj: self.proj.clone(),
+        }
+    }
+
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        self.nd().forward_host(x)
+    }
+
+    /// Overlapped device forward (see [`FnoNd::forward_device`]).
+    pub fn forward_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        self.nd().forward_device(sess, variant, opts, x)
+    }
+
+    /// Typed twin (see [`FnoNd::try_forward_device`]).
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        self.nd().try_forward_device(sess, variant, opts, x)
+    }
+
+    /// Sequential per-layer schedule (see [`FnoNd::forward_device_sync`]).
+    pub fn forward_device_sync(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        self.nd().forward_device_sync(sess, variant, opts, x)
+    }
+
+    /// Lockstep queue forward (see [`FnoNd::forward_device_batch`]).
+    pub fn forward_device_batch(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        xs: &[CTensor],
+    ) -> Vec<(CTensor, PipelineRun)> {
+        self.nd().forward_device_batch(sess, variant, opts, xs)
+    }
+}
+
+/// One 2D Fourier layer. Thin shape-named wrapper over [`FnoLayerNd`].
 #[derive(Clone, Debug)]
 pub struct FnoLayer2d {
     pub spectral: SpectralConv2d,
@@ -490,26 +653,26 @@ impl FnoLayer2d {
         nfx: usize,
         nfy: usize,
     ) -> Self {
-        let scale = 1.0 / width as f32;
-        let bypass = CTensor::from_vec(
-            (0..width * width)
-                .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
-                .collect(),
-            &[width, width],
-        );
+        let nd = FnoLayerNd::random(rng, width, &[nx, ny], &[nfx, nfy]);
         FnoLayer2d {
-            spectral: SpectralConv2d::random(rng, width, width, nx, ny, nfx, nfy),
-            bypass,
+            spectral: SpectralConv2d::new(width, width, nx, ny, nfx, nfy, nd.spectral.weight),
+            bypass: nd.bypass,
+        }
+    }
+
+    /// The rank-generic layer this wrapper delegates to.
+    pub fn nd(&self) -> FnoLayerNd {
+        FnoLayerNd {
+            spectral: self.spectral.nd(),
+            bypass: self.bypass.clone(),
         }
     }
 
     pub fn forward_host(&self, x: &CTensor) -> CTensor {
-        let s = self.spectral.forward_host(x);
-        let p = pointwise(x, &self.bypass);
-        add_gelu(&s, &p)
+        self.nd().forward_host(x)
     }
 
-    /// Overlapped device forward (see [`FnoLayer1d::forward_device`]).
+    /// Overlapped device forward (see [`FnoLayerNd::forward_device`]).
     pub fn forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -517,14 +680,10 @@ impl FnoLayer2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
-        let pending = self.spectral.submit_device(sess, variant, opts, x);
-        let p = pointwise(x, &self.bypass);
-        let (s, run) = pending.finish(sess);
-        (add_gelu(&s, &p), run)
+        self.nd().forward_device(sess, variant, opts, x)
     }
 
-    /// Typed twin of [`FnoLayer2d::forward_device`] (see
-    /// [`FnoLayer1d::try_forward_device`]).
+    /// Typed twin (see [`FnoLayerNd::try_forward_device`]).
     pub fn try_forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -532,13 +691,11 @@ impl FnoLayer2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> Result<(CTensor, PipelineRun), TfnoError> {
-        let pending = self.spectral.submit_device(sess, variant, opts, x);
-        let p = pointwise(x, &self.bypass);
-        let (s, run) = pending.try_finish(sess)?;
-        Ok((add_gelu(&s, &p), run))
+        self.nd().try_forward_device(sess, variant, opts, x)
     }
 
-    /// The strictly sequential schedule (equality reference).
+    /// The strictly sequential schedule (see
+    /// [`FnoLayerNd::forward_device_sync`]).
     pub fn forward_device_sync(
         &self,
         sess: &mut Session<impl Backend>,
@@ -546,13 +703,11 @@ impl FnoLayer2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
-        let (s, run) = self.spectral.forward_device(sess, variant, opts, x);
-        let p = pointwise(x, &self.bypass);
-        (add_gelu(&s, &p), run)
+        self.nd().forward_device_sync(sess, variant, opts, x)
     }
 }
 
-/// A full 2D FNO.
+/// A full 2D FNO. Thin shape-named wrapper over [`FnoNd`].
 #[derive(Clone, Debug)]
 pub struct Fno2d {
     pub lift: CTensor,
@@ -573,33 +728,43 @@ impl Fno2d {
         nfx: usize,
         nfy: usize,
     ) -> Self {
-        let mk = |rng: &mut R, i: usize, o: usize| {
-            let scale = 1.0 / i as f32;
-            CTensor::from_vec(
-                (0..i * o)
-                    .map(|_| C32::new(rng.gen_range(-scale..scale), 0.0))
-                    .collect(),
-                &[i, o],
-            )
-        };
+        let nd = FnoNd::random(rng, in_ch, width, out_ch, layers, &[nx, ny], &[nfx, nfy]);
         Fno2d {
-            lift: mk(rng, in_ch, width),
-            layers: (0..layers)
-                .map(|_| FnoLayer2d::random(rng, width, nx, ny, nfx, nfy))
+            lift: nd.lift,
+            layers: nd
+                .layers
+                .into_iter()
+                .map(|l| FnoLayer2d {
+                    spectral: SpectralConv2d::new(
+                        width,
+                        width,
+                        nx,
+                        ny,
+                        nfx,
+                        nfy,
+                        l.spectral.weight,
+                    ),
+                    bypass: l.bypass,
+                })
                 .collect(),
-            proj: mk(rng, width, out_ch),
+            proj: nd.proj,
+        }
+    }
+
+    /// The rank-generic model this wrapper delegates to.
+    pub fn nd(&self) -> FnoNd {
+        FnoNd {
+            lift: self.lift.clone(),
+            layers: self.layers.iter().map(|l| l.nd()).collect(),
+            proj: self.proj.clone(),
         }
     }
 
     pub fn forward_host(&self, x: &CTensor) -> CTensor {
-        let mut h = pointwise(x, &self.lift);
-        for layer in &self.layers {
-            h = layer.forward_host(&h);
-        }
-        pointwise(&h, &self.proj)
+        self.nd().forward_host(x)
     }
 
-    /// Overlapped device forward (see [`Fno1d::forward_device`]).
+    /// Overlapped device forward (see [`FnoNd::forward_device`]).
     pub fn forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -607,20 +772,10 @@ impl Fno2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
-        let mut h = pointwise(x, &self.lift);
-        let mut total = PipelineRun::default();
-        for layer in &self.layers {
-            let (next, run) = layer.forward_device(sess, variant, opts, &h);
-            h = next;
-            for l in run.launches {
-                total.push(l);
-            }
-        }
-        (pointwise(&h, &self.proj), total)
+        self.nd().forward_device(sess, variant, opts, x)
     }
 
-    /// Typed twin of [`Fno2d::forward_device`] (see
-    /// [`Fno1d::try_forward_device`]).
+    /// Typed twin (see [`FnoNd::try_forward_device`]).
     pub fn try_forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -628,20 +783,10 @@ impl Fno2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> Result<(CTensor, PipelineRun), TfnoError> {
-        let mut h = pointwise(x, &self.lift);
-        let mut total = PipelineRun::default();
-        for layer in &self.layers {
-            let (next, run) = layer.try_forward_device(sess, variant, opts, &h)?;
-            h = next;
-            for l in run.launches {
-                total.push(l);
-            }
-        }
-        Ok((pointwise(&h, &self.proj), total))
+        self.nd().try_forward_device(sess, variant, opts, x)
     }
 
-    /// Device forward on the strictly sequential per-layer schedule
-    /// (equality reference for [`Fno2d::forward_device`]).
+    /// Sequential per-layer schedule (see [`FnoNd::forward_device_sync`]).
     pub fn forward_device_sync(
         &self,
         sess: &mut Session<impl Backend>,
@@ -649,20 +794,10 @@ impl Fno2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
-        let mut h = pointwise(x, &self.lift);
-        let mut total = PipelineRun::default();
-        for layer in &self.layers {
-            let (next, run) = layer.forward_device_sync(sess, variant, opts, &h);
-            h = next;
-            for l in run.launches {
-                total.push(l);
-            }
-        }
-        (pointwise(&h, &self.proj), total)
+        self.nd().forward_device_sync(sess, variant, opts, x)
     }
 
-    /// Forward a queue of independent inputs in lockstep (see
-    /// [`Fno1d::forward_device_batch`]).
+    /// Lockstep queue forward (see [`FnoNd::forward_device_batch`]).
     pub fn forward_device_batch(
         &self,
         sess: &mut Session<impl Backend>,
@@ -670,44 +805,7 @@ impl Fno2d {
         opts: &TurboOptions,
         xs: &[CTensor],
     ) -> Vec<(CTensor, PipelineRun)> {
-        if xs.is_empty() {
-            return Vec::new();
-        }
-        let mut hs: Vec<CTensor> = xs.iter().map(|x| pointwise(x, &self.lift)).collect();
-        let mut totals: Vec<PipelineRun> = xs.iter().map(|_| PipelineRun::default()).collect();
-        for layer in &self.layers {
-            let sc = &layer.spectral;
-            let wb = sess.acquire(sc.k_in * sc.k_out);
-            sess.upload(wb, sc.weight.data());
-            let mut reqs = Vec::with_capacity(hs.len());
-            for h in &hs {
-                let p = sc.problem(h.shape()[0]);
-                let spec = LayerSpec::from_problem_2d(&p).variant(variant).options(*opts);
-                let xb = sess.acquire(spec.input_len());
-                sess.upload(xb, h.data());
-                let yb = sess.acquire(spec.output_len());
-                reqs.push(Request { spec, x: xb, w: wb, y: yb });
-            }
-            let handle = sess.submit_many(&reqs);
-            let ps: Vec<CTensor> = hs.iter().map(|h| pointwise(h, &layer.bypass)).collect();
-            let runs = sess.wait_many(handle);
-            for (j, (req, run)) in reqs.iter().zip(runs).enumerate() {
-                let batch = hs[j].shape()[0];
-                let s = CTensor::from_vec(
-                    sess.download(req.y),
-                    &[batch, sc.k_out, sc.nx, sc.ny],
-                );
-                hs[j] = add_gelu(&s, &ps[j]);
-                totals[j].launches.extend(run.launches);
-                sess.release(req.x);
-                sess.release(req.y);
-            }
-            sess.release(wb);
-        }
-        hs.into_iter()
-            .zip(totals)
-            .map(|(h, total)| (pointwise(&h, &self.proj), total))
-            .collect()
+        self.nd().forward_device_batch(sess, variant, opts, xs)
     }
 }
 
@@ -868,5 +966,25 @@ mod tests {
         );
         let err = rel_l2_error(got.data(), want.data());
         assert!(err < 1e-3, "err {err}");
+    }
+
+    /// A 3D model runs end-to-end through the generic layer and agrees
+    /// with its own host path.
+    #[test]
+    fn fno3d_device_matches_host() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let model = FnoNd::random(&mut rng, 1, 6, 1, 1, &[8, 8, 16], &[2, 4, 8]);
+        let x = CTensor::random(&mut rng, &[1, 1, 8, 8, 16]);
+        let want = model.forward_host(&x);
+        let mut sess = Session::a100();
+        let (got, run) = model.forward_device(
+            &mut sess,
+            Variant::FftOpt,
+            &TurboOptions::default(),
+            &x,
+        );
+        let err = rel_l2_error(got.data(), want.data());
+        assert!(err < 1e-3, "err {err}");
+        assert_eq!(run.kernel_count(), 7); // rank-3 FftOpt: 7 kernels
     }
 }

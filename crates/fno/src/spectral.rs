@@ -2,10 +2,14 @@
 //!
 //! The weight is a single complex `[k_in, k_out]` matrix shared across
 //! retained modes — the formulation that turns the spectral multiply into
-//! one CGEMM (see DESIGN.md §1, "Semantics note"). Two execution paths:
+//! one CGEMM (see DESIGN.md §1, "Semantics note"). The rank-generic
+//! [`SpectralConvNd`] is the one implementation; [`SpectralConv1d`] and
+//! [`SpectralConv2d`] are thin shape-named wrappers over it. Two
+//! execution paths:
 //!
-//! * `forward_host` — O(N log N) host Stockham FFTs, used for training-free
-//!   validation and as the reference for the device path;
+//! * `forward_host` — O(N log N) host Stockham FFTs applied separably per
+//!   axis, used for training-free validation and as the reference for the
+//!   device path;
 //! * `forward_device` — any pipeline [`Variant`] through a
 //!   [`Session`], returning both the output and the modeled timing record;
 //! * `submit_device` — the asynchronous split of `forward_device`: launches
@@ -14,19 +18,19 @@
 //!   [`PendingSpectral::finish`]ing (bitwise-equal to the synchronous path).
 
 use rand::Rng;
-use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun};
+use tfno_culib::{FnoProblem1d, FnoProblem2d, PipelineRun, SpectralShape};
 use tfno_fft::host;
 use tfno_gpu_sim::BufferId;
 use tfno_num::{C32, CTensor};
 use turbofno::{Backend, LaunchHandle, LayerSpec, Session, TfnoError, TurboOptions, Variant};
 
 /// A spectral convolution in flight on the session's dispatch thread
-/// (issued by [`SpectralConv1d::submit_device`] /
-/// [`SpectralConv2d::submit_device`]): the device is executing the layer's
-/// launch sequence while the host is free to run the layer's pointwise
-/// bypass. [`PendingSpectral::finish`] joins the dispatch, downloads the
-/// result, and returns the leased operand buffers to the session pool —
-/// the leases stay pinned for exactly the flight's duration.
+/// (issued by [`SpectralConvNd::submit_device`] or a rank-named wrapper):
+/// the device is executing the layer's launch sequence while the host is
+/// free to run the layer's pointwise bypass. [`PendingSpectral::finish`]
+/// joins the dispatch, downloads the result, and returns the leased
+/// operand buffers to the session pool — the leases stay pinned for
+/// exactly the flight's duration.
 #[must_use = "an in-flight spectral conv leaks its pooled operand leases unless finished"]
 pub struct PendingSpectral {
     handle: LaunchHandle,
@@ -85,7 +89,282 @@ impl PendingSpectral {
     }
 }
 
+/// One forward stage of the separable host path: FFT every length-`d`
+/// pencil along one axis and keep its first `m` modes. The tensor is
+/// `[slabs, d, inner]` row-major; pencils stride by `inner`.
+fn fwd_stage(data: &[C32], slabs: usize, d: usize, m: usize, inner: usize) -> Vec<C32> {
+    let mut out = vec![C32::ZERO; slabs * m * inner];
+    let mut pencil = vec![C32::ZERO; d];
+    for s in 0..slabs {
+        for i in 0..inner {
+            for (j, p) in pencil.iter_mut().enumerate() {
+                *p = data[(s * d + j) * inner + i];
+            }
+            let modes = host::fft_truncated(&pencil, m);
+            for (j, v) in modes.iter().enumerate() {
+                out[(s * m + j) * inner + i] = *v;
+            }
+        }
+    }
+    out
+}
+
+/// One inverse stage: zero-pad every length-`m` pencil back to `d` and
+/// inverse-FFT it. Layout mirrors [`fwd_stage`].
+fn inv_stage(data: &[C32], slabs: usize, m: usize, d: usize, inner: usize) -> Vec<C32> {
+    let mut out = vec![C32::ZERO; slabs * d * inner];
+    let mut pencil = vec![C32::ZERO; m];
+    for s in 0..slabs {
+        for i in 0..inner {
+            for (j, p) in pencil.iter_mut().enumerate() {
+                *p = data[(s * m + j) * inner + i];
+            }
+            let spatial = host::ifft_padded(&pencil, d);
+            for (j, v) in spatial.iter().enumerate() {
+                out[(s * d + j) * inner + i] = *v;
+            }
+        }
+    }
+    out
+}
+
+/// Rank-generic spectral convolution:
+/// `[batch, k_in, ...dims] -> [batch, k_out, ...dims]` with an
+/// `nf[a]`-mode corner retained per axis. The single implementation the
+/// rank-named wrappers delegate to.
+#[derive(Clone, Debug)]
+pub struct SpectralConvNd {
+    pub k_in: usize,
+    pub k_out: usize,
+    /// Spatial extent per transformed axis, outermost first.
+    pub dims: Vec<usize>,
+    /// Retained modes per axis (same order as `dims`).
+    pub modes: Vec<usize>,
+    /// `[k_in, k_out]` complex weight shared across modes.
+    pub weight: CTensor,
+}
+
+impl SpectralConvNd {
+    pub fn new(
+        k_in: usize,
+        k_out: usize,
+        dims: Vec<usize>,
+        modes: Vec<usize>,
+        weight: CTensor,
+    ) -> Self {
+        assert_eq!(weight.shape(), &[k_in, k_out], "weight shape mismatch");
+        assert_eq!(dims.len(), modes.len(), "one mode count per axis");
+        assert!(!dims.is_empty(), "at least one transformed axis");
+        for (d, m) in dims.iter().zip(&modes) {
+            assert!(m <= d, "mode count out of range");
+        }
+        SpectralConvNd {
+            k_in,
+            k_out,
+            dims,
+            modes,
+            weight,
+        }
+    }
+
+    /// Xavier-ish random initialization (scale `1 / k_in`).
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        k_in: usize,
+        k_out: usize,
+        dims: &[usize],
+        modes: &[usize],
+    ) -> Self {
+        let scale = 1.0 / k_in as f32;
+        let data = (0..k_in * k_out)
+            .map(|_| {
+                C32::new(
+                    rng.gen_range(-scale..scale),
+                    rng.gen_range(-scale..scale),
+                )
+            })
+            .collect();
+        Self::new(
+            k_in,
+            k_out,
+            dims.to_vec(),
+            modes.to_vec(),
+            CTensor::from_vec(data, &[k_in, k_out]),
+        )
+    }
+
+    /// Number of transformed axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The execution-layer shape of a batch-`batch` forward.
+    pub fn shape(&self, batch: usize) -> SpectralShape {
+        let s = match *self.dims.as_slice() {
+            [n] => SpectralShape::d1(batch, self.k_in, self.k_out, n),
+            [nx, ny] => SpectralShape::d2(batch, self.k_in, self.k_out, nx, ny),
+            [nx, ny, nz] => SpectralShape::d3(batch, self.k_in, self.k_out, nx, ny, nz),
+            _ => panic!("spectral conv supports ranks 1..=3, got {}", self.rank()),
+        };
+        s.with_modes(&self.modes)
+    }
+
+    fn out_shape(&self, batch: usize) -> Vec<usize> {
+        let mut s = vec![batch, self.k_out];
+        s.extend_from_slice(&self.dims);
+        s
+    }
+
+    fn batch_of(&self, x: &CTensor) -> usize {
+        let r = self.rank();
+        assert_eq!(
+            x.shape().len(),
+            r + 2,
+            "expected rank-{} input [batch, modes, ...spatial]",
+            r + 2
+        );
+        x.shape()[0]
+    }
+
+    /// Host-side forward: separable truncated Stockham FFTs (innermost
+    /// axis first), the shared-weight CGEMM over the retained corner, then
+    /// padded inverse FFTs (outermost axis first) — the same stage order
+    /// as the device pipelines.
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        let r = self.rank();
+        let batch = self.batch_of(x);
+        assert_eq!(x.shape()[1], self.k_in);
+        assert_eq!(&x.shape()[2..], &self.dims[..]);
+
+        // FFT + truncate per axis, innermost first.
+        let mut cur = x.data().to_vec();
+        for a in (0..r).rev() {
+            let slabs = batch * self.k_in * self.dims[..a].iter().product::<usize>();
+            let inner = self.modes[a + 1..].iter().product::<usize>();
+            cur = fwd_stage(&cur, slabs, self.dims[a], self.modes[a], inner);
+        }
+
+        // Shared-weight CGEMM across the retained corner.
+        let m: usize = self.modes.iter().product();
+        let mut yf = vec![C32::ZERO; batch * self.k_out * m];
+        for b in 0..batch {
+            for f in 0..m {
+                for ko in 0..self.k_out {
+                    let mut acc = C32::ZERO;
+                    for ki in 0..self.k_in {
+                        acc = acc.mac(
+                            cur[(b * self.k_in + ki) * m + f],
+                            self.weight.get(&[ki, ko]),
+                        );
+                    }
+                    yf[(b * self.k_out + ko) * m + f] = acc;
+                }
+            }
+        }
+
+        // Zero-pad + inverse FFT per axis, outermost first.
+        let mut cur = yf;
+        for a in 0..r {
+            let slabs = batch * self.k_out * self.dims[..a].iter().product::<usize>();
+            let inner = self.modes[a + 1..].iter().product::<usize>();
+            cur = inv_stage(&cur, slabs, self.modes[a], self.dims[a], inner);
+        }
+        CTensor::from_vec(cur, &self.out_shape(batch))
+    }
+
+    fn spec(&self, batch: usize, variant: Variant, opts: &TurboOptions) -> LayerSpec {
+        LayerSpec::from_shape(self.shape(batch))
+            .variant(variant)
+            .options(*opts)
+    }
+
+    /// Device forward through a pipeline variant; returns output + timings.
+    /// Operand buffers are leased from the session pool, so repeated
+    /// same-shape forwards allocate nothing.
+    pub fn forward_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        let batch = self.batch_of(x);
+        let spec = self.spec(batch, variant, opts);
+        let xb = sess.acquire(spec.input_len());
+        let wb = sess.acquire(spec.weight_len());
+        let yb = sess.acquire(spec.output_len());
+        sess.upload(xb, x.data());
+        sess.upload(wb, self.weight.data());
+        let run = sess.run(&spec, xb, wb, yb);
+        let y = CTensor::from_vec(sess.download(yb), &self.out_shape(batch));
+        sess.release(xb);
+        sess.release(wb);
+        sess.release(yb);
+        (y, run)
+    }
+
+    /// Typed twin of [`SpectralConvNd::forward_device`]: engine failures
+    /// (after the session's retry/degradation ladder) surface as
+    /// [`TfnoError`] with all operand leases released.
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        let r = self.rank();
+        if x.shape().len() != r + 2 {
+            return Err(TfnoError::Validation(format!(
+                "spectral conv expects rank-{} input [batch, modes, ...spatial]; got rank-{}",
+                r + 2,
+                x.shape().len()
+            )));
+        }
+        let batch = x.shape()[0];
+        let spec = self.spec(batch, variant, opts);
+        let xb = sess.acquire(spec.input_len());
+        let wb = sess.acquire(spec.weight_len());
+        let yb = sess.acquire(spec.output_len());
+        sess.upload(xb, x.data());
+        sess.upload(wb, self.weight.data());
+        let out = sess.try_run(&spec, xb, wb, yb).map(|run| {
+            let y = CTensor::from_vec(sess.download(yb), &self.out_shape(batch));
+            (y, run)
+        });
+        sess.release(xb);
+        sess.release(wb);
+        sess.release(yb);
+        out
+    }
+
+    /// Asynchronous [`SpectralConvNd::forward_device`]: uploads the
+    /// operands and issues the launch sequence on the session's dispatch
+    /// thread, returning immediately so the host can overlap independent
+    /// work (an FNO layer runs its pointwise bypass here). Finish with
+    /// [`PendingSpectral::finish`]; the result is bitwise-identical to the
+    /// synchronous call.
+    pub fn submit_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> PendingSpectral {
+        let batch = self.batch_of(x);
+        let spec = self.spec(batch, variant, opts);
+        PendingSpectral::issue(
+            sess,
+            &spec,
+            x.data(),
+            self.weight.data(),
+            self.out_shape(batch),
+        )
+    }
+}
+
 /// 1D spectral convolution: `[batch, k_in, n] -> [batch, k_out, n]`.
+/// Thin shape-named wrapper over [`SpectralConvNd`].
 #[derive(Clone, Debug)]
 pub struct SpectralConv1d {
     pub k_in: usize,
@@ -111,16 +390,19 @@ impl SpectralConv1d {
 
     /// Xavier-ish random initialization (scale `1 / k_in`).
     pub fn random<R: Rng>(rng: &mut R, k_in: usize, k_out: usize, n: usize, nf: usize) -> Self {
-        let scale = 1.0 / k_in as f32;
-        let data = (0..k_in * k_out)
-            .map(|_| {
-                C32::new(
-                    rng.gen_range(-scale..scale),
-                    rng.gen_range(-scale..scale),
-                )
-            })
-            .collect();
-        Self::new(k_in, k_out, n, nf, CTensor::from_vec(data, &[k_in, k_out]))
+        let nd = SpectralConvNd::random(rng, k_in, k_out, &[n], &[nf]);
+        Self::new(k_in, k_out, n, nf, nd.weight)
+    }
+
+    /// The rank-generic layer this wrapper delegates to.
+    pub fn nd(&self) -> SpectralConvNd {
+        SpectralConvNd::new(
+            self.k_in,
+            self.k_out,
+            vec![self.n],
+            vec![self.nf],
+            self.weight.clone(),
+        )
     }
 
     pub fn problem(&self, batch: usize) -> FnoProblem1d {
@@ -129,54 +411,10 @@ impl SpectralConv1d {
 
     /// Host-side forward (fast Stockham FFTs).
     pub fn forward_host(&self, x: &CTensor) -> CTensor {
-        let (batch, k_in, n) = match *x.shape() {
-            [b, k, n] => (b, k, n),
-            _ => panic!("expected rank-3 input"),
-        };
-        assert_eq!(k_in, self.k_in);
-        assert_eq!(n, self.n);
-        let nf = self.nf;
-
-        // FFT + truncate every pencil.
-        let mut xf = vec![C32::ZERO; batch * k_in * nf];
-        for b in 0..batch {
-            for k in 0..k_in {
-                let base = (b * k_in + k) * n;
-                let modes = host::fft_truncated(&x.data()[base..base + n], nf);
-                xf[(b * k_in + k) * nf..(b * k_in + k + 1) * nf].copy_from_slice(&modes);
-            }
-        }
-
-        // Shared-weight CGEMM across retained modes.
-        let mut yf = vec![C32::ZERO; batch * self.k_out * nf];
-        for b in 0..batch {
-            for f in 0..nf {
-                for ko in 0..self.k_out {
-                    let mut acc = C32::ZERO;
-                    for ki in 0..k_in {
-                        acc = acc.mac(xf[(b * k_in + ki) * nf + f], self.weight.get(&[ki, ko]));
-                    }
-                    yf[(b * self.k_out + ko) * nf + f] = acc;
-                }
-            }
-        }
-
-        // Zero-pad + inverse FFT.
-        let mut y = CTensor::zeros(&[batch, self.k_out, n]);
-        for b in 0..batch {
-            for ko in 0..self.k_out {
-                let base = (b * self.k_out + ko) * nf;
-                let row = host::ifft_padded(&yf[base..base + nf], n);
-                let obase = y.offset(&[b, ko, 0]);
-                y.data_mut()[obase..obase + n].copy_from_slice(&row);
-            }
-        }
-        y
+        self.nd().forward_host(x)
     }
 
-    /// Device forward through a pipeline variant; returns output + timings.
-    /// Operand buffers are leased from the session pool, so repeated
-    /// same-shape forwards allocate nothing.
+    /// Device forward (see [`SpectralConvNd::forward_device`]).
     pub fn forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -184,28 +422,11 @@ impl SpectralConv1d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
-        let (batch, _, _) = match *x.shape() {
-            [b, k, n] => (b, k, n),
-            _ => panic!("expected rank-3 input"),
-        };
-        let p = self.problem(batch);
-        let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);
-        let xb = sess.acquire(p.input_len());
-        let wb = sess.acquire(p.weight_len());
-        let yb = sess.acquire(p.output_len());
-        sess.upload(xb, x.data());
-        sess.upload(wb, self.weight.data());
-        let run = sess.run(&spec, xb, wb, yb);
-        let y = CTensor::from_vec(sess.download(yb), &[batch, self.k_out, self.n]);
-        sess.release(xb);
-        sess.release(wb);
-        sess.release(yb);
-        (y, run)
+        self.nd().forward_device(sess, variant, opts, x)
     }
 
-    /// Typed twin of [`SpectralConv1d::forward_device`]: engine failures
-    /// (after the session's retry/degradation ladder) surface as
-    /// [`TfnoError`] with all operand leases released.
+    /// Typed twin of [`SpectralConv1d::forward_device`] (see
+    /// [`SpectralConvNd::try_forward_device`]).
     pub fn try_forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -213,38 +434,10 @@ impl SpectralConv1d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> Result<(CTensor, PipelineRun), TfnoError> {
-        let (batch, _, _) = match *x.shape() {
-            [b, k, n] => (b, k, n),
-            _ => {
-                return Err(TfnoError::Validation(format!(
-                    "spectral conv expects rank-3 input [batch, modes, n]; got rank-{}",
-                    x.shape().len()
-                )))
-            }
-        };
-        let p = self.problem(batch);
-        let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);
-        let xb = sess.acquire(p.input_len());
-        let wb = sess.acquire(p.weight_len());
-        let yb = sess.acquire(p.output_len());
-        sess.upload(xb, x.data());
-        sess.upload(wb, self.weight.data());
-        let out = sess.try_run(&spec, xb, wb, yb).map(|run| {
-            let y = CTensor::from_vec(sess.download(yb), &[batch, self.k_out, self.n]);
-            (y, run)
-        });
-        sess.release(xb);
-        sess.release(wb);
-        sess.release(yb);
-        out
+        self.nd().try_forward_device(sess, variant, opts, x)
     }
 
-    /// Asynchronous [`SpectralConv1d::forward_device`]: uploads the
-    /// operands and issues the launch sequence on the session's dispatch
-    /// thread, returning immediately so the host can overlap independent
-    /// work (an FNO layer runs its pointwise bypass here). Finish with
-    /// [`PendingSpectral::finish`]; the result is bitwise-identical to the
-    /// synchronous call.
+    /// Asynchronous forward (see [`SpectralConvNd::submit_device`]).
     pub fn submit_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -252,23 +445,12 @@ impl SpectralConv1d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> PendingSpectral {
-        let (batch, _, _) = match *x.shape() {
-            [b, k, n] => (b, k, n),
-            _ => panic!("expected rank-3 input"),
-        };
-        let p = self.problem(batch);
-        let spec = LayerSpec::from_problem_1d(&p).variant(variant).options(*opts);
-        PendingSpectral::issue(
-            sess,
-            &spec,
-            x.data(),
-            self.weight.data(),
-            vec![batch, self.k_out, self.n],
-        )
+        self.nd().submit_device(sess, variant, opts, x)
     }
 }
 
 /// 2D spectral convolution: `[batch, k_in, nx, ny] -> [batch, k_out, nx, ny]`.
+/// Thin shape-named wrapper over [`SpectralConvNd`].
 #[derive(Clone, Debug)]
 pub struct SpectralConv2d {
     pub k_in: usize,
@@ -313,23 +495,18 @@ impl SpectralConv2d {
         nfx: usize,
         nfy: usize,
     ) -> Self {
-        let scale = 1.0 / k_in as f32;
-        let data = (0..k_in * k_out)
-            .map(|_| {
-                C32::new(
-                    rng.gen_range(-scale..scale),
-                    rng.gen_range(-scale..scale),
-                )
-            })
-            .collect();
-        Self::new(
-            k_in,
-            k_out,
-            nx,
-            ny,
-            nfx,
-            nfy,
-            CTensor::from_vec(data, &[k_in, k_out]),
+        let nd = SpectralConvNd::random(rng, k_in, k_out, &[nx, ny], &[nfx, nfy]);
+        Self::new(k_in, k_out, nx, ny, nfx, nfy, nd.weight)
+    }
+
+    /// The rank-generic layer this wrapper delegates to.
+    pub fn nd(&self) -> SpectralConvNd {
+        SpectralConvNd::new(
+            self.k_in,
+            self.k_out,
+            vec![self.nx, self.ny],
+            vec![self.nfx, self.nfy],
+            self.weight.clone(),
         )
     }
 
@@ -341,83 +518,10 @@ impl SpectralConv2d {
 
     /// Host-side forward via separable Stockham FFTs.
     pub fn forward_host(&self, x: &CTensor) -> CTensor {
-        let (batch, k_in, nx, ny) = match *x.shape() {
-            [b, k, nx, ny] => (b, k, nx, ny),
-            _ => panic!("expected rank-4 input"),
-        };
-        assert_eq!((k_in, nx, ny), (self.k_in, self.nx, self.ny));
-        let (nfx, nfy) = (self.nfx, self.nfy);
-
-        // 2D FFT + corner truncation per (b, k).
-        let mut xf = vec![C32::ZERO; batch * k_in * nfx * nfy];
-        let mut col = vec![C32::ZERO; nx];
-        for b in 0..batch {
-            for k in 0..k_in {
-                let base = (b * k_in + k) * nx * ny;
-                // y-stage
-                let mut stage1 = vec![C32::ZERO; nx * nfy];
-                for xr in 0..nx {
-                    let modes = host::fft_truncated(&x.data()[base + xr * ny..base + (xr + 1) * ny], nfy);
-                    stage1[xr * nfy..(xr + 1) * nfy].copy_from_slice(&modes);
-                }
-                // x-stage
-                for fy in 0..nfy {
-                    for (xr, c) in col.iter_mut().enumerate() {
-                        *c = stage1[xr * nfy + fy];
-                    }
-                    let modes = host::fft_truncated(&col, nfx);
-                    for fx in 0..nfx {
-                        xf[((b * k_in + k) * nfx + fx) * nfy + fy] = modes[fx];
-                    }
-                }
-            }
-        }
-
-        // Shared-weight CGEMM.
-        let m = nfx * nfy;
-        let mut yf = vec![C32::ZERO; batch * self.k_out * m];
-        for b in 0..batch {
-            for f in 0..m {
-                for ko in 0..self.k_out {
-                    let mut acc = C32::ZERO;
-                    for ki in 0..k_in {
-                        acc = acc.mac(xf[(b * k_in + ki) * m + f], self.weight.get(&[ki, ko]));
-                    }
-                    yf[(b * self.k_out + ko) * m + f] = acc;
-                }
-            }
-        }
-
-        // Pad + inverse 2D FFT.
-        let mut y = CTensor::zeros(&[batch, self.k_out, nx, ny]);
-        let mut colf = vec![C32::ZERO; nfx];
-        for b in 0..batch {
-            for ko in 0..self.k_out {
-                let base = (b * self.k_out + ko) * m;
-                // x-stage inverse
-                let mut stage1 = vec![C32::ZERO; nx * nfy];
-                for fy in 0..nfy {
-                    for (fx, c) in colf.iter_mut().enumerate() {
-                        *c = yf[base + fx * nfy + fy];
-                    }
-                    let spatial = host::ifft_padded(&colf, nx);
-                    for xr in 0..nx {
-                        stage1[xr * nfy + fy] = spatial[xr];
-                    }
-                }
-                // y-stage inverse
-                let obase = y.offset(&[b, ko, 0, 0]);
-                for xr in 0..nx {
-                    let row = host::ifft_padded(&stage1[xr * nfy..(xr + 1) * nfy], ny);
-                    y.data_mut()[obase + xr * ny..obase + (xr + 1) * ny].copy_from_slice(&row);
-                }
-            }
-        }
-        y
+        self.nd().forward_host(x)
     }
 
-    /// Device forward through a pipeline variant (pooled operand buffers;
-    /// see [`SpectralConv1d::forward_device`]).
+    /// Device forward (see [`SpectralConvNd::forward_device`]).
     pub fn forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -425,24 +529,11 @@ impl SpectralConv2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> (CTensor, PipelineRun) {
-        let batch = x.shape()[0];
-        let p = self.problem(batch);
-        let spec = LayerSpec::from_problem_2d(&p).variant(variant).options(*opts);
-        let xb = sess.acquire(p.input_len());
-        let wb = sess.acquire(p.weight_len());
-        let yb = sess.acquire(p.output_len());
-        sess.upload(xb, x.data());
-        sess.upload(wb, self.weight.data());
-        let run = sess.run(&spec, xb, wb, yb);
-        let y = CTensor::from_vec(sess.download(yb), &[batch, self.k_out, self.nx, self.ny]);
-        sess.release(xb);
-        sess.release(wb);
-        sess.release(yb);
-        (y, run)
+        self.nd().forward_device(sess, variant, opts, x)
     }
 
     /// Typed twin of [`SpectralConv2d::forward_device`] (see
-    /// [`SpectralConv1d::try_forward_device`]).
+    /// [`SpectralConvNd::try_forward_device`]).
     pub fn try_forward_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -450,26 +541,10 @@ impl SpectralConv2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> Result<(CTensor, PipelineRun), TfnoError> {
-        let batch = x.shape()[0];
-        let p = self.problem(batch);
-        let spec = LayerSpec::from_problem_2d(&p).variant(variant).options(*opts);
-        let xb = sess.acquire(p.input_len());
-        let wb = sess.acquire(p.weight_len());
-        let yb = sess.acquire(p.output_len());
-        sess.upload(xb, x.data());
-        sess.upload(wb, self.weight.data());
-        let out = sess.try_run(&spec, xb, wb, yb).map(|run| {
-            let y = CTensor::from_vec(sess.download(yb), &[batch, self.k_out, self.nx, self.ny]);
-            (y, run)
-        });
-        sess.release(xb);
-        sess.release(wb);
-        sess.release(yb);
-        out
+        self.nd().try_forward_device(sess, variant, opts, x)
     }
 
-    /// Asynchronous [`SpectralConv2d::forward_device`] (see
-    /// [`SpectralConv1d::submit_device`]).
+    /// Asynchronous forward (see [`SpectralConvNd::submit_device`]).
     pub fn submit_device(
         &self,
         sess: &mut Session<impl Backend>,
@@ -477,16 +552,117 @@ impl SpectralConv2d {
         opts: &TurboOptions,
         x: &CTensor,
     ) -> PendingSpectral {
-        let batch = x.shape()[0];
-        let p = self.problem(batch);
-        let spec = LayerSpec::from_problem_2d(&p).variant(variant).options(*opts);
-        PendingSpectral::issue(
-            sess,
-            &spec,
-            x.data(),
-            self.weight.data(),
-            vec![batch, self.k_out, self.nx, self.ny],
+        self.nd().submit_device(sess, variant, opts, x)
+    }
+}
+
+/// 3D spectral convolution:
+/// `[batch, k_in, nx, ny, nz] -> [batch, k_out, nx, ny, nz]`.
+/// Thin shape-named wrapper over [`SpectralConvNd`].
+#[derive(Clone, Debug)]
+pub struct SpectralConv3d {
+    pub k_in: usize,
+    pub k_out: usize,
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    pub nfx: usize,
+    pub nfy: usize,
+    pub nfz: usize,
+    pub weight: CTensor,
+}
+
+impl SpectralConv3d {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        k_in: usize,
+        k_out: usize,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        nfx: usize,
+        nfy: usize,
+        nfz: usize,
+        weight: CTensor,
+    ) -> Self {
+        assert_eq!(weight.shape(), &[k_in, k_out]);
+        SpectralConv3d {
+            k_in,
+            k_out,
+            nx,
+            ny,
+            nz,
+            nfx,
+            nfy,
+            nfz,
+            weight,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        k_in: usize,
+        k_out: usize,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        nfx: usize,
+        nfy: usize,
+        nfz: usize,
+    ) -> Self {
+        let nd = SpectralConvNd::random(rng, k_in, k_out, &[nx, ny, nz], &[nfx, nfy, nfz]);
+        Self::new(k_in, k_out, nx, ny, nz, nfx, nfy, nfz, nd.weight)
+    }
+
+    /// The rank-generic layer this wrapper delegates to.
+    pub fn nd(&self) -> SpectralConvNd {
+        SpectralConvNd::new(
+            self.k_in,
+            self.k_out,
+            vec![self.nx, self.ny, self.nz],
+            vec![self.nfx, self.nfy, self.nfz],
+            self.weight.clone(),
         )
+    }
+
+    /// Host-side forward via separable Stockham FFTs.
+    pub fn forward_host(&self, x: &CTensor) -> CTensor {
+        self.nd().forward_host(x)
+    }
+
+    /// Device forward (see [`SpectralConvNd::forward_device`]).
+    pub fn forward_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> (CTensor, PipelineRun) {
+        self.nd().forward_device(sess, variant, opts, x)
+    }
+
+    /// Typed twin of [`SpectralConv3d::forward_device`] (see
+    /// [`SpectralConvNd::try_forward_device`]).
+    pub fn try_forward_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> Result<(CTensor, PipelineRun), TfnoError> {
+        self.nd().try_forward_device(sess, variant, opts, x)
+    }
+
+    /// Asynchronous forward (see [`SpectralConvNd::submit_device`]).
+    pub fn submit_device(
+        &self,
+        sess: &mut Session<impl Backend>,
+        variant: Variant,
+        opts: &TurboOptions,
+        x: &CTensor,
+    ) -> PendingSpectral {
+        self.nd().submit_device(sess, variant, opts, x)
     }
 }
 
@@ -573,5 +749,44 @@ mod tests {
         );
         let err = rel_l2_error(got.data(), want.data());
         assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn host_forward_matches_reference_3d() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = SpectralConv3d::random(&mut rng, 3, 4, 8, 8, 16, 2, 4, 8);
+        let x = CTensor::random(&mut rng, &[2, 3, 8, 8, 16]);
+        let got = layer.forward_host(&x);
+        let want = reference::fno_layer_3d(&x, &layer.weight, 2, 4, 8);
+        let err = rel_l2_error(got.data(), want.data());
+        assert!(err < 1e-4, "err {err}");
+    }
+
+    #[test]
+    fn device_forward_matches_host_3d() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let layer = SpectralConv3d::random(&mut rng, 6, 4, 8, 16, 32, 4, 8, 16);
+        let x = CTensor::random(&mut rng, &[1, 6, 8, 16, 32]);
+        let want = layer.forward_host(&x);
+        let mut sess = Session::a100();
+        for variant in [Variant::Pytorch, Variant::FftOpt] {
+            let (got, _) =
+                layer.forward_device(&mut sess, variant, &TurboOptions::default(), &x);
+            let err = rel_l2_error(got.data(), want.data());
+            assert!(err < 1e-4, "{variant:?} err {err}");
+        }
+    }
+
+    /// The separable Nd host path must agree with the rank-named wrappers'
+    /// historical outputs exactly: the wrapper and the generic layer run
+    /// the same code, so this pins the delegation plumbing.
+    #[test]
+    fn nd_wrapper_is_bitwise_equal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer = SpectralConv2d::random(&mut rng, 4, 4, 16, 32, 4, 8);
+        let x = CTensor::random(&mut rng, &[2, 4, 16, 32]);
+        let via_wrapper = layer.forward_host(&x);
+        let via_nd = layer.nd().forward_host(&x);
+        assert_eq!(via_wrapper.data(), via_nd.data());
     }
 }

@@ -130,6 +130,119 @@ pub fn idft2_padded(modes: &[C32], nfx: usize, nfy: usize, nx: usize, ny: usize)
     out
 }
 
+/// 3D forward DFT of a `nx x ny x nz` row-major grid, truncated to the
+/// low-frequency `nfx x nfy x nfz` corner (separable: DFT the contiguous
+/// z rows first, then y, then x — innermost axis outward, the same
+/// convention `dft2_truncated` uses).
+#[allow(clippy::too_many_arguments)]
+pub fn dft3_truncated(
+    input: &[C32],
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    nfx: usize,
+    nfy: usize,
+    nfz: usize,
+) -> Vec<C32> {
+    assert_eq!(input.len(), nx * ny * nz);
+    assert!(nfx <= nx && nfy <= ny && nfz <= nz);
+    // Stage 1: DFT along z for every (x, y) row, keep first nfz modes.
+    let mut stage1 = vec![C32::ZERO; nx * ny * nfz];
+    for r in 0..nx * ny {
+        dft(
+            &input[r * nz..(r + 1) * nz],
+            &mut stage1[r * nfz..(r + 1) * nfz],
+        );
+    }
+    // Stage 2: DFT along y for every retained (x, fz) pencil.
+    let mut stage2 = vec![C32::ZERO; nx * nfy * nfz];
+    let mut col = vec![C32::ZERO; ny];
+    let mut colf = vec![C32::ZERO; nfy];
+    for x in 0..nx {
+        for fz in 0..nfz {
+            for y in 0..ny {
+                col[y] = stage1[(x * ny + y) * nfz + fz];
+            }
+            dft(&col, &mut colf);
+            for fy in 0..nfy {
+                stage2[(x * nfy + fy) * nfz + fz] = colf[fy];
+            }
+        }
+    }
+    // Stage 3: DFT along x for every retained (fy, fz) pencil.
+    let mut out = vec![C32::ZERO; nfx * nfy * nfz];
+    let mut col = vec![C32::ZERO; nx];
+    let mut colf = vec![C32::ZERO; nfx];
+    for fy in 0..nfy {
+        for fz in 0..nfz {
+            for x in 0..nx {
+                col[x] = stage2[(x * nfy + fy) * nfz + fz];
+            }
+            dft(&col, &mut colf);
+            for fx in 0..nfx {
+                out[(fx * nfy + fy) * nfz + fz] = colf[fx];
+            }
+        }
+    }
+    out
+}
+
+/// 3D inverse DFT of an `nfx x nfy x nfz` low-frequency corner zero-padded
+/// to `nx x ny x nz`, with the full `1/(nx*ny*nz)` normalization
+/// (separable, outermost axis inward — the reverse of `dft3_truncated`).
+#[allow(clippy::too_many_arguments)]
+pub fn idft3_padded(
+    modes: &[C32],
+    nfx: usize,
+    nfy: usize,
+    nfz: usize,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+) -> Vec<C32> {
+    assert_eq!(modes.len(), nfx * nfy * nfz);
+    assert!(nfx <= nx && nfy <= ny && nfz <= nz);
+    // Stage 1: inverse DFT along x for each retained (fy, fz) pencil.
+    let mut stage1 = vec![C32::ZERO; nx * nfy * nfz];
+    let mut colf = vec![C32::ZERO; nfx];
+    let mut col = vec![C32::ZERO; nx];
+    for fy in 0..nfy {
+        for fz in 0..nfz {
+            for fx in 0..nfx {
+                colf[fx] = modes[(fx * nfy + fy) * nfz + fz];
+            }
+            idft(&colf, &mut col);
+            for x in 0..nx {
+                stage1[(x * nfy + fy) * nfz + fz] = col[x];
+            }
+        }
+    }
+    // Stage 2: inverse DFT along y for each (x, fz) pencil.
+    let mut stage2 = vec![C32::ZERO; nx * ny * nfz];
+    let mut colf = vec![C32::ZERO; nfy];
+    let mut col = vec![C32::ZERO; ny];
+    for x in 0..nx {
+        for fz in 0..nfz {
+            for fy in 0..nfy {
+                colf[fy] = stage1[(x * nfy + fy) * nfz + fz];
+            }
+            idft(&colf, &mut col);
+            for y in 0..ny {
+                stage2[(x * ny + y) * nfz + fz] = col[y];
+            }
+        }
+    }
+    // Stage 3: inverse DFT along z for every (x, y) row.
+    let mut out = vec![C32::ZERO; nx * ny * nz];
+    for r in 0..nx * ny {
+        idft(
+            &stage2[r * nfz..(r + 1) * nfz],
+            &mut out[r * nz..(r + 1) * nz],
+        );
+    }
+    out
+}
+
 /// Reference 1D FNO Fourier layer (the paper's Fig. 1 pipeline).
 ///
 /// * `x`: `[batch, k_in, n]`
@@ -244,6 +357,68 @@ pub fn fno_layer_2d(x: &CTensor, w: &CTensor, nfx: usize, nfy: usize) -> CTensor
             let g = idft2_padded(&modes, nfx, nfy, nx, ny);
             let obase = y.offset(&[b, ko, 0, 0]);
             y.data_mut()[obase..obase + nx * ny].copy_from_slice(&g);
+        }
+    }
+    y
+}
+
+/// Reference 3D FNO Fourier layer.
+///
+/// * `x`: `[batch, k_in, nx, ny, nz]`
+/// * `w`: `[k_in, k_out]`
+/// * `nfx`, `nfy`, `nfz`: retained low-frequency corner
+///
+/// Returns `[batch, k_out, nx, ny, nz]`.
+pub fn fno_layer_3d(x: &CTensor, w: &CTensor, nfx: usize, nfy: usize, nfz: usize) -> CTensor {
+    let (batch, k_in, nx, ny, nz) = match *x.shape() {
+        [b, k, nx, ny, nz] => (b, k, nx, ny, nz),
+        _ => panic!("fno_layer_3d expects rank-5 input, got {:?}", x.shape()),
+    };
+    let (wk_in, k_out) = match *w.shape() {
+        [ki, ko] => (ki, ko),
+        _ => panic!("weight must be rank-2"),
+    };
+    assert_eq!(k_in, wk_in, "hidden dim mismatch");
+    let (grid, corner) = (nx * ny * nz, nfx * nfy * nfz);
+
+    // Truncated 3D FFT per (b, k).
+    let mut xf = CTensor::zeros(&[batch, k_in, nfx, nfy, nfz]);
+    for b in 0..batch {
+        for k in 0..k_in {
+            let base = x.offset(&[b, k, 0, 0, 0]);
+            let f = dft3_truncated(&x.data()[base..base + grid], nx, ny, nz, nfx, nfy, nfz);
+            let obase = xf.offset(&[b, k, 0, 0, 0]);
+            xf.data_mut()[obase..obase + corner].copy_from_slice(&f);
+        }
+    }
+
+    // Hidden-dim CGEMM at every retained (b, fx, fy, fz).
+    let mut yf = CTensor::zeros(&[batch, k_out, nfx, nfy, nfz]);
+    for b in 0..batch {
+        for fx in 0..nfx {
+            for fy in 0..nfy {
+                for fz in 0..nfz {
+                    for ko in 0..k_out {
+                        let mut acc = C32::ZERO;
+                        for ki in 0..k_in {
+                            acc = acc.mac(xf.get(&[b, ki, fx, fy, fz]), w.get(&[ki, ko]));
+                        }
+                        yf.set(&[b, ko, fx, fy, fz], acc);
+                    }
+                }
+            }
+        }
+    }
+
+    // Zero-pad + inverse 3D FFT.
+    let mut y = CTensor::zeros(&[batch, k_out, nx, ny, nz]);
+    for b in 0..batch {
+        for ko in 0..k_out {
+            let base = yf.offset(&[b, ko, 0, 0, 0]);
+            let modes = yf.data()[base..base + corner].to_vec();
+            let g = idft3_padded(&modes, nfx, nfy, nfz, nx, ny, nz);
+            let obase = y.offset(&[b, ko, 0, 0, 0]);
+            y.data_mut()[obase..obase + grid].copy_from_slice(&g);
         }
     }
     y
@@ -372,6 +547,56 @@ mod tests {
         for (m, b) in modes.iter().zip(&back) {
             assert!((*m - b.scale(scale)).abs() < 1e-4, "{m} vs {b}");
         }
+    }
+
+    #[test]
+    fn dft3_roundtrip_with_truncation_of_lowpass_signal() {
+        // Energy only in the 2x2x2 low corner; truncation to it is lossless.
+        let (nx, ny, nz) = (4usize, 8usize, 4usize);
+        let mut rng = StdRng::seed_from_u64(23);
+        let modes = rand_signal(&mut rng, 8);
+        let x = idft3_padded(&modes, 2, 2, 2, nx, ny, nz);
+        let back = dft3_truncated(&x, nx, ny, nz, 2, 2, 2);
+        for (m, b) in modes.iter().zip(&back) {
+            assert!((*m - *b).abs() < 1e-4, "{m} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dft3_truncation_matches_per_axis_composition() {
+        // Separable check: a 3D DFT truncated per axis must equal the 2D
+        // truncated DFT of each z-stage slice, composed by hand.
+        let (nx, ny, nz, nfx, nfy, nfz) = (4usize, 4usize, 8usize, 2usize, 3usize, 4usize);
+        let mut rng = StdRng::seed_from_u64(29);
+        let x = rand_signal(&mut rng, nx * ny * nz);
+        let got = dft3_truncated(&x, nx, ny, nz, nfx, nfy, nfz);
+        // Hand composition: z rows first...
+        let mut stage = vec![C32::ZERO; nx * ny * nfz];
+        for r in 0..nx * ny {
+            dft(&x[r * nz..(r + 1) * nz], &mut stage[r * nfz..(r + 1) * nfz]);
+        }
+        // ...then a 2D transform of every fz slice.
+        for fz in 0..nfz {
+            let slice: Vec<C32> = (0..nx * ny).map(|r| stage[r * nfz + fz]).collect();
+            let want = dft2_truncated(&slice, nx, ny, nfx, nfy);
+            for r in 0..nfx * nfy {
+                let g = got[r * nfz + fz];
+                assert!((want[r] - g).abs() < 1e-3, "fz={fz} r={r}: {} vs {g}", want[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn fno_layer_3d_identity_full_modes() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (b, k, nx, ny, nz) = (1usize, 2usize, 4usize, 4usize, 8usize);
+        let x = CTensor::random(&mut rng, &[b, k, nx, ny, nz]);
+        let mut w = CTensor::zeros(&[k, k]);
+        for i in 0..k {
+            w.set(&[i, i], C32::ONE);
+        }
+        let y = fno_layer_3d(&x, &w, nx, ny, nz);
+        assert!(x.max_abs_diff(&y) < 1e-3, "diff={}", x.max_abs_diff(&y));
     }
 
     #[test]

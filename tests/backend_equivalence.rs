@@ -2,7 +2,7 @@
 //! simulated device and the eager native host executor must produce the
 //! same numbers (within float tolerance — the backends share kernel
 //! bodies but are only held to the functional contract, not bitwise
-//! equality), across every variant, both dimensionalities, stacked
+//! equality), across every variant, every rank (1D/2D/3D), stacked
 //! mixed-weight queues, and async submit storms. Capabilities a backend
 //! does not advertise must surface as typed `TfnoError::Validation`
 //! errors, never panics.
@@ -62,6 +62,14 @@ fn all_variants_agree_2d() {
     for v in Variant::CONCRETE {
         let spec = LayerSpec::d2(1, 5, 4, 32, 64).modes_xy(8, 32).variant(v);
         assert_backends_agree(&spec, 0.7);
+    }
+}
+
+#[test]
+fn all_variants_agree_3d() {
+    for v in Variant::CONCRETE {
+        let spec = LayerSpec::d3(1, 4, 4, 8, 16, 32).modes_xyz(4, 8, 32).variant(v);
+        assert_backends_agree(&spec, 0.5);
     }
 }
 

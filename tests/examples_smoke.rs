@@ -10,13 +10,14 @@ use std::process::Command;
 
 /// The demos the README points at; renaming one should fail loudly here,
 /// not in a user's terminal.
-const EXPECTED: [&str; 6] = [
+const EXPECTED: [&str; 7] = [
     "burgers_spectral",
     "darcy_flow",
     "heat_equation",
     "kernel_tour",
     "navier_stokes_2d",
     "quickstart",
+    "wave_rollout",
 ];
 
 #[test]

@@ -3,7 +3,7 @@
 //! `cargo xtask lint` is the repo-invariant half of the static-analysis story:
 //! the launch-plan verifier (`turbofno::verify`) proves runtime plans safe,
 //! and this pass proves the *source* keeps the conventions those proofs rely
-//! on. Five rules:
+//! on. Six rules:
 //!
 //! - **lock-discipline**: no `.lock().unwrap()` / `.lock().expect(` outside
 //!   the poison-recovery helpers in `crates/gpu-sim/src/exec.rs`
@@ -25,6 +25,13 @@
 //!   `swizzle.rs`, `fused_tests.rs`), core source must not name
 //!   `tfno_gpu_sim` or `GpuDevice` — new code goes through the trait so
 //!   every backend benefits.
+//! - **rank-isolation**: the engine is rank-generic (`SpectralShape`); new
+//!   rank-suffixed twin entry points (`fn *_1d` / `fn *_2d`) in
+//!   `crates/core/src` are forbidden outside the grandfathered
+//!   compatibility shims (`problem_1d`/`problem_2d`,
+//!   `from_problem_1d`/`from_problem_2d`, `plan_1d`/`plan_2d`,
+//!   `pick_best_1d`/`pick_best_2d`) — add a rank-generic path instead of
+//!   re-growing the twin pipelines the refactor collapsed.
 //!
 //! Test code (`#[cfg(test)] mod` regions) is exempt from the source rules:
 //! tests assert invariants by panicking on purpose.
@@ -316,6 +323,7 @@ fn lint_source(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>
 
     let hot_path = is_hot_path_file(file);
     let lock_exempt = is_lock_helper_file(root, file);
+    let rank_scope = rank_isolation_scope(root, file);
 
     let mut depth: i64 = 0;
     // Depth at which a `#[cfg(test)]` item's body opened; everything inside
@@ -378,6 +386,23 @@ fn lint_source(root: &Path, file: &Path, text: &str, findings: &mut Vec<Finding>
                         .into(),
                 });
             }
+            if rank_scope {
+                if let Some(name) = rank_suffixed_fn_decl(line) {
+                    if !RANK_ISOLATION_ALLOW.contains(&name) {
+                        findings.push(Finding {
+                            file: file.to_path_buf(),
+                            line: lineno,
+                            rule: "rank-isolation",
+                            message: format!(
+                                "new rank-suffixed entry point `fn {name}` in core: \
+                                 the engine is rank-generic — take a `SpectralShape` \
+                                 (or extend the generic path) instead of adding a \
+                                 per-rank twin"
+                            ),
+                        });
+                    }
+                }
+            }
         }
 
         for c in line.chars() {
@@ -434,6 +459,58 @@ fn contains_try_fn_decl(line: &str) -> bool {
         rest = &rest[pos + 3..];
     }
     false
+}
+
+/// The grandfathered per-rank compatibility shims: thin wrappers kept so
+/// pre-refactor call sites (`FnoProblem1d`/`FnoProblem2d` users) still
+/// work. Everything else in core must be rank-generic.
+const RANK_ISOLATION_ALLOW: [&str; 8] = [
+    "problem_1d",
+    "problem_2d",
+    "from_problem_1d",
+    "from_problem_2d",
+    "plan_1d",
+    "plan_2d",
+    "pick_best_1d",
+    "pick_best_2d",
+];
+
+/// Whether `file` is core engine source held to the rank-isolation rule.
+/// `fused_tests.rs` is a test-only module (compiled under `cfg(test)` via
+/// its `mod` declaration, so its helpers are test scaffolding).
+fn rank_isolation_scope(root: &Path, file: &Path) -> bool {
+    let Ok(rel) = file.strip_prefix(root) else {
+        return false;
+    };
+    rel.starts_with("crates/core/src")
+        && file.file_name().and_then(|n| n.to_str()) != Some("fused_tests.rs")
+}
+
+/// Returns the name of a `fn` declared on the (sanitized) line when it
+/// ends in a rank suffix (`_1d` / `_2d`), using the same `fn`-keyword
+/// boundary logic as [`contains_try_fn_decl`].
+fn rank_suffixed_fn_decl(line: &str) -> Option<&str> {
+    let mut rest = line;
+    while let Some(pos) = rest.find("fn ") {
+        let boundary = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .map(|c| c.is_alphanumeric() || c == '_')
+                .unwrap_or(false);
+        let after = rest[pos + 3..].trim_start();
+        if boundary {
+            let end = after
+                .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+                .unwrap_or(after.len());
+            let name = &after[..end];
+            if name.ends_with("_1d") || name.ends_with("_2d") {
+                return Some(name);
+            }
+        }
+        rest = &rest[pos + 3..];
+    }
+    None
 }
 
 /// Whether `file` is core source held to the backend-isolation rule:
@@ -719,6 +796,71 @@ trait Backend {
             &mut findings,
         );
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn rank_isolation_flags_new_twin_entry_points() {
+        let root = Path::new("/repo");
+        let src = "pub fn run_spectral_1d(&mut self) {\n}\n";
+        let mut findings = Vec::new();
+        lint_source(
+            root,
+            &root.join("crates/core/src/pipeline.rs"),
+            src,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "rank-isolation");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn rank_isolation_allows_grandfathered_shims_tests_and_other_crates() {
+        let root = Path::new("/repo");
+        let shims = "\
+pub fn from_problem_1d(p: &FnoProblem1d) -> Self { todo!() }
+pub fn problem_2d(&self) -> Option<FnoProblem2d> { None }
+pub fn plan_1d(&self) {}
+pub fn pick_best_2d() {}
+";
+        let mut findings = Vec::new();
+        lint_source(
+            root,
+            &root.join("crates/core/src/session.rs"),
+            shims,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+
+        // Test modules assert per-rank behavior on purpose.
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn run_1d() {}\n}\n";
+        lint_source(
+            root,
+            &root.join("crates/core/src/lib.rs"),
+            test_src,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+
+        // Other crates (model wrappers, root tests) keep shape-named APIs.
+        let src = "pub fn forward_2d() {}\n";
+        lint_source(
+            root,
+            &root.join("crates/fno/src/spectral.rs"),
+            src,
+            &mut findings,
+        );
+        lint_source(root, &root.join("tests/rank_equivalence.rs"), src, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn rank_suffixed_decl_detection() {
+        assert_eq!(rank_suffixed_fn_decl("pub fn run_1d(p: &P) {"), Some("run_1d"));
+        assert_eq!(rank_suffixed_fn_decl("    fn stage_2d<T>("), Some("stage_2d"));
+        assert_eq!(rank_suffixed_fn_decl("self.run_1d();"), None);
+        assert_eq!(rank_suffixed_fn_decl("pub fn run_3d() {"), None);
+        assert_eq!(rank_suffixed_fn_decl("pub fn rank() {"), None);
     }
 
     #[test]
